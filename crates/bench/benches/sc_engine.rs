@@ -1,0 +1,42 @@
+//! Real-CPU benchmark of the simulated-construct engine: steps per second
+//! for the construct sizes the paper evaluates (Section IV-G).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use servo_redstone::{generators, simulate_sequence, Construct};
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_step");
+    for blocks in [64usize, 252, 484, 1000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
+            let blueprint = generators::dense_circuit(blocks);
+            b.iter_batched(
+                || Construct::new(blueprint.clone()),
+                |mut construct| {
+                    construct.step();
+                    construct
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate_sequence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_simulate_100_steps");
+    for blocks in [252usize, 484] {
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
+            let blueprint = generators::dense_circuit(blocks);
+            b.iter_batched(
+                || Construct::new(blueprint.clone()),
+                |mut construct| simulate_sequence(&mut construct, 100),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_simulate_sequence);
+criterion_main!(benches);

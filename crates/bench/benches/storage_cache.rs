@@ -1,0 +1,54 @@
+//! Real-CPU benchmark of the storage cache hot paths (Figure 13's code
+//! path: cache lookups, pre-fetch bookkeeping, serialization round trips).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use servo_simkit::SimRng;
+use servo_storage::{BlobStore, BlobTier, CachedChunkStore, ObjectStore};
+use servo_types::{ChunkPos, SimTime};
+use servo_world::Chunk;
+
+fn seeded_cache(chunks: i32) -> CachedChunkStore<BlobStore> {
+    let mut remote = BlobStore::new(BlobTier::Standard, SimRng::seed(1));
+    for x in 0..chunks {
+        for z in 0..chunks {
+            remote
+                .write(
+                    &format!("terrain/{x}/{z}"),
+                    Chunk::empty(ChunkPos::new(x, z)).to_bytes(),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+        }
+    }
+    CachedChunkStore::new(remote, SimRng::seed(2))
+}
+
+fn bench_cache_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cached_chunk_store");
+    group.bench_function("memory_hit", |b| {
+        let mut store = seeded_cache(4);
+        store.read(ChunkPos::new(0, 0), SimTime::ZERO).unwrap();
+        b.iter(|| store.read(ChunkPos::new(0, 0), SimTime::from_secs(1)).unwrap());
+    });
+    group.bench_function("remote_miss_then_hit_cycle", |b| {
+        let mut store = seeded_cache(16);
+        let mut i = 0i32;
+        b.iter(|| {
+            i = (i + 1) % 16;
+            store.read(ChunkPos::new(i, i), SimTime::from_secs(1)).unwrap()
+        });
+    });
+    group.bench_function("prefetch_issue", |b| {
+        let mut store = seeded_cache(24);
+        let mut offset = 0i32;
+        b.iter(|| {
+            offset = (offset + 1) % 20;
+            let targets: Vec<ChunkPos> = (0..4).map(|d| ChunkPos::new(offset + d, 0)).collect();
+            store.prefetch(targets, SimTime::from_secs(2));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_reads);
+criterion_main!(benches);

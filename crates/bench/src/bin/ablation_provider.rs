@@ -1,0 +1,111 @@
+//! Ablation: cloud provider characteristics. The paper evaluates Servo on
+//! both AWS and Azure (Table I); this ablation compares AWS-like and
+//! Azure-like function profiles for the SC-offload path and for terrain
+//! generation, plus the player-perceived response time they translate to.
+
+use servo_bench::{emit, scaled_secs};
+use servo_core::{SpeculationConfig, SpeculativeScBackend};
+use servo_faas::{FaasPlatform, FunctionConfig};
+use servo_metrics::{response_summary, Summary, Table};
+use servo_pcg::{DefaultGenerator, TerrainGenerator};
+use servo_redstone::{generators, Construct};
+use servo_server::ScBackend;
+use servo_simkit::SimRng;
+use servo_types::{ConstructId, MemoryMb, SimDuration, SimTime, Tick};
+
+fn provider_config(name: &str) -> FunctionConfig {
+    match name {
+        "AWS" => FunctionConfig::aws_like(MemoryMb::new(2048)),
+        _ => FunctionConfig::azure_like(),
+    }
+}
+
+fn main() {
+    let ticks = (scaled_secs(90).as_secs_f64() * 20.0) as u64;
+
+    // 1. SC offloading: efficiency and invocation latency per provider.
+    let mut sc_table = Table::new(vec![
+        "Provider",
+        "median efficiency",
+        "median invocation latency [ms]",
+        "p95 invocation latency [ms]",
+        "cold starts",
+    ]);
+    for provider in ["AWS", "Azure"] {
+        let platform = FaasPlatform::new(provider_config(provider), SimRng::seed(0xAB));
+        let config = SpeculationConfig {
+            tick_lead: 20,
+            simulation_steps: 100,
+            loop_detection: false,
+            ..SpeculationConfig::default()
+        };
+        let mut backend = SpeculativeScBackend::new(config, platform);
+        let mut construct = Construct::new(generators::paper_medium());
+        for t in 0..ticks {
+            backend.resolve(
+                ConstructId::new(0),
+                &mut construct,
+                Tick(t),
+                SimTime::from_millis(t * 50),
+            );
+        }
+        let stats = backend.handle().stats();
+        let latencies: Vec<f64> = stats
+            .invocation_latencies
+            .iter()
+            .map(|d| d.as_millis_f64())
+            .collect();
+        let s = Summary::from_values(&latencies);
+        sc_table.row(vec![
+            provider.to_string(),
+            format!("{:.2}", stats.median_efficiency().unwrap_or(0.0)),
+            format!("{:.0}", s.p50),
+            format!("{:.0}", s.p95),
+            backend.handle().platform_stats().cold_starts.to_string(),
+        ]);
+    }
+    emit(
+        "ablation_provider_sc",
+        "Ablation: SC offloading on AWS-like vs Azure-like functions",
+        &sc_table,
+    );
+
+    // 2. Terrain generation latency per provider, and what a healthy 30 ms
+    //    tick translates to in player response time per deployment region.
+    let mut gen_table = Table::new(vec![
+        "Provider",
+        "mean chunk generation [ms]",
+        "p95 [ms]",
+        "response time p95 @ 20 ms RTT/2 [ms]",
+        "actions over 100 ms threshold",
+    ]);
+    let generator = DefaultGenerator::new(5);
+    for provider in ["AWS", "Azure"] {
+        let mut platform = FaasPlatform::new(provider_config(provider), SimRng::seed(0xAC));
+        let mut now = SimTime::ZERO;
+        let mut latencies = Vec::new();
+        for _ in 0..200 {
+            let inv = platform
+                .invoke(now, generator.cost().work_units)
+                .expect("within timeout");
+            now = inv.completed_at;
+            latencies.push(inv.latency.as_millis_f64());
+        }
+        let s = Summary::from_values(&latencies);
+        let healthy_ticks: Vec<SimDuration> =
+            (0..2000).map(|_| SimDuration::from_millis(30)).collect();
+        let response = response_summary(&healthy_ticks, 20.0);
+        gen_table.row(vec![
+            provider.to_string(),
+            format!("{:.0}", s.mean),
+            format!("{:.0}", s.p95),
+            format!("{:.0}", response.summary.p95),
+            format!("{:.3}", response.over_first_person),
+        ]);
+    }
+    emit(
+        "ablation_provider_generation",
+        "Ablation: terrain generation on AWS-like vs Azure-like functions",
+        &gen_table,
+    );
+}

@@ -1,0 +1,83 @@
+//! Ablation: the joint effect of tick lead and simulation length on the
+//! *server*, not just on per-invocation efficiency (which Figure 8 covers):
+//! local-fallback share of construct-ticks, tick-duration percentiles, and
+//! offload cost for a construct-heavy instance.
+
+use servo_bench::{emit, scaled_secs};
+use servo_core::{ServoConfig, ServoDeployment, SpeculationConfig};
+use servo_metrics::{Summary, Table};
+use servo_redstone::generators;
+use servo_server::ServerConfig;
+use servo_simkit::SimRng;
+use servo_workload::{BehaviorKind, PlayerFleet};
+
+fn main() {
+    let duration = scaled_secs(60);
+    // Constructs large enough that one offloaded simulation takes several
+    // ticks of latency — otherwise the tick lead has nothing to hide.
+    let construct_blocks = 300usize;
+    let constructs = 100usize;
+    let players = 40usize;
+
+    let mut table = Table::new(vec![
+        "Tick lead",
+        "Simulation steps",
+        "local fallback share",
+        "median tick [ms]",
+        "p95 tick [ms]",
+        "offload cost [$/h]",
+    ]);
+
+    for tick_lead in [0u64, 10, 20, 40] {
+        for simulation_steps in [50usize, 100, 200] {
+            let config = ServoConfig {
+                server: ServerConfig::servo_base().with_view_distance(32),
+                speculation: SpeculationConfig {
+                    tick_lead,
+                    simulation_steps,
+                    loop_detection: false,
+                    ..SpeculationConfig::default()
+                },
+                seed: 0x71c,
+                ..ServoConfig::default()
+            };
+            let mut deployment = ServoDeployment::from_config(config);
+            deployment
+                .server
+                .add_constructs(constructs, |_| generators::dense_circuit(construct_blocks));
+            let mut fleet =
+                PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(0x71d));
+            fleet.connect_all(players);
+            deployment.server.run_with_fleet(&mut fleet, duration);
+
+            let stats = deployment.server.stats();
+            let total =
+                (stats.sc_local + stats.sc_merged + stats.sc_replayed).max(1) as f64;
+            let fallback_share = stats.sc_local as f64 / total;
+            let ticks = Summary::from_durations(&deployment.server.tick_durations());
+            let cost = deployment
+                .speculation
+                .billing()
+                .cost_rate(duration)
+                .value();
+            table.row(vec![
+                tick_lead.to_string(),
+                simulation_steps.to_string(),
+                format!("{:.3}", fallback_share),
+                format!("{:.1}", ticks.p50),
+                format!("{:.1}", ticks.p95),
+                format!("{:.4}", cost),
+            ]);
+        }
+    }
+    emit(
+        "ablation_tick_lead",
+        "Ablation: tick lead and simulation length vs fallback share, tick duration, and cost",
+        &table,
+    );
+    println!(
+        "Longer simulation lengths reduce the invocation rate (and cost) but make\n\
+         each reply later; a tick lead of 10-20 ticks absorbs that latency, which\n\
+         is exactly the trade-off behind the paper's Figures 8 and 9."
+    );
+}

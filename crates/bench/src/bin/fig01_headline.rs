@@ -1,0 +1,36 @@
+//! Figure 1: the headline result — maximum number of supported players for
+//! Servo, Minecraft and Opencraft under the 100-simulated-construct
+//! workload (Servo 150, Minecraft 90, Opencraft 10 in the paper).
+
+use servo_bench::{emit, measure_capacity, scaled_secs, ExperimentWorld, SystemKind};
+use servo_metrics::Table;
+use servo_workload::BehaviorKind;
+
+fn main() {
+    let world = ExperimentWorld::flat_sc(100);
+    let player_counts: Vec<u32> = (1..=20).map(|i| i * 10).collect();
+    let duration = scaled_secs(30);
+    let behavior = BehaviorKind::Bounded { radius: 24.0 };
+
+    let mut table = Table::new(vec!["Game", "Maximum number of players supported"]);
+    let mut results = Vec::new();
+    for kind in [SystemKind::Servo, SystemKind::Minecraft, SystemKind::Opencraft] {
+        let result = measure_capacity(kind, &world, behavior, &player_counts, duration, 7);
+        results.push((kind, result.max_players));
+        table.row(vec![kind.name().to_string(), result.max_players.to_string()]);
+    }
+    emit(
+        "fig01_headline",
+        "Figure 1: maximum number of supported players (100 simulated constructs)",
+        &table,
+    );
+
+    let servo = results.iter().find(|(k, _)| *k == SystemKind::Servo).unwrap().1;
+    let minecraft = results.iter().find(|(k, _)| *k == SystemKind::Minecraft).unwrap().1;
+    let opencraft = results.iter().find(|(k, _)| *k == SystemKind::Opencraft).unwrap().1;
+    println!(
+        "Servo supports +{} players vs Minecraft and +{} vs Opencraft (paper: +60 and +140).",
+        servo.saturating_sub(minecraft),
+        servo.saturating_sub(opencraft)
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 3: download latency (and variability) from serverless blob
+//! storage for two types of game data (small player records vs large
+//! terrain objects), on the Premium and Standard service tiers, compared to
+//! the latency thresholds of FPS / RPG / RTS games.
+
+use servo_bench::emit;
+use servo_metrics::{Summary, Table};
+use servo_simkit::SimRng;
+use servo_storage::{BlobStore, BlobTier, ObjectStore};
+use servo_types::consts;
+use servo_types::SimTime;
+
+fn main() {
+    let samples_per_config = (2_000.0 * servo_bench::experiment_scale()) as usize;
+    // Player records are small; terrain objects are region-sized blobs.
+    let data_kinds = [("Player", 8 * 1024usize), ("Terrain", 2 * 1024 * 1024)];
+    let tiers = [BlobTier::Premium, BlobTier::Standard];
+
+    let mut table = Table::new(vec![
+        "Game data", "Service", "median [ms]", "p95 [ms]", "p99 [ms]", "max [ms]",
+        "> FPS threshold (100 ms)", "> RPG threshold (500 ms)",
+    ]);
+    for (label, size) in data_kinds {
+        for tier in tiers {
+            let mut store = BlobStore::new(tier, SimRng::seed(0xF16_3));
+            store
+                .write("object", vec![0u8; size], SimTime::ZERO)
+                .expect("seed write");
+            let mut now = SimTime::ZERO;
+            let mut latencies = Vec::with_capacity(samples_per_config);
+            for _ in 0..samples_per_config {
+                let read = store.read("object", now).expect("object exists");
+                now = read.completed_at;
+                latencies.push(read.latency.as_millis_f64());
+            }
+            let s = Summary::from_values(&latencies);
+            let frac_fps = Summary::fraction_above(&latencies, consts::FPS_LATENCY_THRESHOLD_MS as f64);
+            let frac_rpg = Summary::fraction_above(&latencies, consts::RPG_LATENCY_THRESHOLD_MS as f64);
+            table.row(vec![
+                label.to_string(),
+                match tier {
+                    BlobTier::Premium => "Premium".to_string(),
+                    BlobTier::Standard => "Standard".to_string(),
+                },
+                format!("{:.1}", s.p50),
+                format!("{:.1}", s.p95),
+                format!("{:.1}", s.p99),
+                format!("{:.0}", s.max),
+                format!("{:.3}", frac_fps),
+                format!("{:.3}", frac_rpg),
+            ]);
+        }
+    }
+    emit(
+        "fig03_storage_latency",
+        "Figure 3: blob-storage download latency for player and terrain data",
+        &table,
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 7a: maximum number of supported players for an increasing number
+//! of simulated constructs (0, 50, 100, 200), for Servo, Opencraft and
+//! Minecraft.
+//!
+//! The paper's headline numbers (Section IV-B): with 100 constructs Servo
+//! supports 150 players vs 10 (Opencraft) and 90 (Minecraft); with 200
+//! constructs Servo supports 120 players while both baselines support none.
+
+use servo_bench::{emit, measure_capacity, scaled_secs, ExperimentWorld, SystemKind};
+use servo_metrics::Table;
+use servo_workload::BehaviorKind;
+
+fn main() {
+    let sc_counts = [0usize, 50, 100, 200];
+    let player_counts: Vec<u32> = (1..=20).map(|i| i * 10).collect();
+    let duration = scaled_secs(30);
+    let behavior = BehaviorKind::Bounded { radius: 24.0 };
+
+    let mut table = Table::new(vec!["Simulated constructs", "Servo", "Opencraft", "Minecraft"]);
+    for &constructs in &sc_counts {
+        let world = ExperimentWorld::flat_sc(constructs);
+        let mut row = vec![constructs.to_string()];
+        for kind in [SystemKind::Servo, SystemKind::Opencraft, SystemKind::Minecraft] {
+            let result = measure_capacity(kind, &world, behavior, &player_counts, duration, 42);
+            println!(
+                "{:<10} {:>3} SCs -> max {:>3} players (evaluated {:?})",
+                kind.name(),
+                constructs,
+                result.max_players,
+                result
+                    .evaluated
+                    .iter()
+                    .map(|(n, ok)| format!("{n}:{}", if *ok { "ok" } else { "x" }))
+                    .collect::<Vec<_>>()
+            );
+            row.push(result.max_players.to_string());
+        }
+        table.row(row);
+    }
+    emit(
+        "fig07a_max_players",
+        "Figure 7a: maximum players supported vs number of simulated constructs",
+        &table,
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 7b: the tick-duration distribution for 10–200 players with 200
+//! simulated constructs, for all three systems.
+//!
+//! The paper shows boxplots (5th/95th-percentile whiskers, maximum printed
+//! above each box) and observes that the baselines are bimodal because they
+//! simulate constructs only every other tick, while Servo's distribution is
+//! narrow and stays below the 50 ms budget up to 120 players.
+
+use servo_bench::{emit, measure_tick_durations, scaled_secs, ExperimentWorld, SystemKind};
+use servo_metrics::{Boxplot, Table};
+use servo_workload::BehaviorKind;
+
+fn main() {
+    let world = ExperimentWorld::flat_sc(200);
+    let behavior = BehaviorKind::Bounded { radius: 24.0 };
+    let duration = scaled_secs(20);
+    let player_counts: Vec<usize> = (1..=20).map(|i| i * 10).collect();
+
+    let mut table = Table::new(vec![
+        "Game", "Players", "p5 [ms]", "q1 [ms]", "median [ms]", "q3 [ms]", "p95 [ms]", "max [ms]",
+        "frac > 50 ms",
+    ]);
+    for kind in [SystemKind::Minecraft, SystemKind::Opencraft, SystemKind::Servo] {
+        for &players in &player_counts {
+            let ticks = measure_tick_durations(kind, &world, behavior, players, duration, 11);
+            let values: Vec<f64> = ticks.iter().map(|d| d.as_millis_f64()).collect();
+            let b = Boxplot::from_values(&values);
+            let over = values.iter().filter(|v| **v > 50.0).count() as f64 / values.len() as f64;
+            table.row(vec![
+                kind.name().to_string(),
+                players.to_string(),
+                format!("{:.1}", b.whisker_low),
+                format!("{:.1}", b.q1),
+                format!("{:.1}", b.median),
+                format!("{:.1}", b.q3),
+                format!("{:.1}", b.whisker_high),
+                format!("{:.0}", b.max),
+                format!("{:.3}", over),
+            ]);
+        }
+    }
+    emit(
+        "fig07b_tick_distribution",
+        "Figure 7b: tick duration distribution, 200 simulated constructs",
+        &table,
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 8: efficiency of offloaded simulation for varying tick leads
+//! (left) and varying simulation lengths (right).
+//!
+//! The paper reports a median efficiency of 84% with no tick lead, 100%
+//! when invoking 10–40 ticks in advance, and an efficiency drop for 200-step
+//! simulations because the function latency exceeds the lead time.
+
+use servo_bench::{emit, scaled_secs};
+use servo_core::{SpeculationConfig, SpeculativeScBackend};
+use servo_faas::{FaasPlatform, FunctionConfig};
+use servo_metrics::{Summary, Table};
+use servo_redstone::{generators, Construct};
+use servo_server::ScBackend;
+use servo_simkit::SimRng;
+use servo_types::{ConstructId, MemoryMb, SimTime, Tick};
+
+/// Runs one configuration for the given number of game ticks and returns
+/// the per-invocation efficiency samples.
+fn run(config: SpeculationConfig, ticks: u64, seed: u64) -> Vec<f64> {
+    let platform = FaasPlatform::new(
+        FunctionConfig::aws_like(MemoryMb::new(2048)),
+        SimRng::seed(seed),
+    );
+    let mut backend = SpeculativeScBackend::new(config, platform);
+    let mut construct = Construct::new(generators::paper_medium());
+    for t in 0..ticks {
+        let now = SimTime::from_millis(t * 50);
+        backend.resolve(ConstructId::new(0), &mut construct, Tick(t), now);
+    }
+    backend.handle().stats().efficiency_samples
+}
+
+fn main() {
+    let ticks = (scaled_secs(90).as_secs_f64() * 20.0) as u64;
+
+    // Left plot: efficiency vs tick lead, 100-step simulations.
+    let mut lead_table = Table::new(vec![
+        "Tick lead", "median efficiency", "p5", "p95", "samples", "share at 100%",
+    ]);
+    for lead in [0u64, 10, 20, 40] {
+        let config = SpeculationConfig {
+            tick_lead: lead,
+            simulation_steps: 100,
+            loop_detection: false,
+            ..SpeculationConfig::default()
+        };
+        let samples = run(config, ticks, 0x8E + lead);
+        let s = Summary::from_values(&samples);
+        let full = samples.iter().filter(|e| **e >= 0.999).count() as f64 / samples.len().max(1) as f64;
+        lead_table.row(vec![
+            lead.to_string(),
+            format!("{:.2}", s.p50),
+            format!("{:.2}", s.p05),
+            format!("{:.2}", s.p95),
+            samples.len().to_string(),
+            format!("{:.3}", full),
+        ]);
+    }
+    emit(
+        "fig08_left_efficiency_vs_tick_lead",
+        "Figure 8 (left): efficiency of offloaded simulation vs tick lead",
+        &lead_table,
+    );
+
+    // Right plot: efficiency vs simulation length, fixed 20-tick lead.
+    let mut length_table = Table::new(vec![
+        "Simulation steps", "median efficiency", "p5", "p95", "samples",
+    ]);
+    for steps in [50usize, 100, 200] {
+        let config = SpeculationConfig {
+            tick_lead: 20,
+            simulation_steps: steps,
+            loop_detection: false,
+            ..SpeculationConfig::default()
+        };
+        let samples = run(config, ticks, 0x900 + steps as u64);
+        let s = Summary::from_values(&samples);
+        length_table.row(vec![
+            steps.to_string(),
+            format!("{:.2}", s.p50),
+            format!("{:.2}", s.p05),
+            format!("{:.2}", s.p95),
+            samples.len().to_string(),
+        ]);
+    }
+    emit(
+        "fig08_right_efficiency_vs_simulation_length",
+        "Figure 8 (right): efficiency vs simulation length (20-tick lead)",
+        &length_table,
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 9: end-to-end latency of the SC-offload function and number of
+//! invocations per minute, for varying simulation lengths, plus the derived
+//! hourly cost the paper compares against a `c5n.xlarge` instance.
+
+use servo_bench::{emit, scaled_secs};
+use servo_core::{SpeculationConfig, SpeculativeScBackend};
+use servo_faas::{FaasPlatform, FunctionConfig};
+use servo_metrics::{Summary, Table};
+use servo_redstone::{generators, Construct};
+use servo_server::ScBackend;
+use servo_simkit::SimRng;
+use servo_types::{ConstructId, MemoryMb, SimDuration, SimTime, Tick, UsdPerHour};
+
+fn main() {
+    let duration = scaled_secs(120);
+    let ticks = (duration.as_secs_f64() * 20.0) as u64;
+
+    let mut table = Table::new(vec![
+        "Simulation steps",
+        "mean latency [ms]",
+        "median latency [ms]",
+        "p95 latency [ms]",
+        "invocations / minute",
+        "offload cost [$/h]",
+        "c5n.xlarge [$/h]",
+    ]);
+    for steps in [50usize, 100, 200] {
+        let config = SpeculationConfig {
+            tick_lead: 20,
+            simulation_steps: steps,
+            loop_detection: false,
+            ..SpeculationConfig::default()
+        };
+        let platform = FaasPlatform::new(
+            FunctionConfig::aws_like(MemoryMb::new(2048)),
+            SimRng::seed(0xF19 + steps as u64),
+        );
+        let mut backend = SpeculativeScBackend::new(config, platform);
+        let mut construct = Construct::new(generators::paper_medium());
+        for t in 0..ticks {
+            let now = SimTime::from_millis(t * 50);
+            backend.resolve(ConstructId::new(0), &mut construct, Tick(t), now);
+        }
+        let stats = backend.handle().stats();
+        let latencies: Vec<f64> = stats
+            .invocation_latencies
+            .iter()
+            .map(|d| d.as_millis_f64())
+            .collect();
+        let s = Summary::from_values(&latencies);
+        let elapsed = SimDuration::from_millis(ticks * 50);
+        let rate = stats.invocations_per_minute(elapsed);
+        let cost = backend.handle().billing().cost_rate(elapsed);
+        table.row(vec![
+            steps.to_string(),
+            format!("{:.0}", s.mean),
+            format!("{:.0}", s.p50),
+            format!("{:.0}", s.p95),
+            format!("{:.1}", rate),
+            format!("{:.3}", cost.value()),
+            format!("{:.3}", UsdPerHour::C5N_XLARGE.value()),
+        ]);
+    }
+    emit(
+        "fig09_function_latency",
+        "Figure 9: SC-offload function latency, invocation rate, and cost",
+        &table,
+    );
+}

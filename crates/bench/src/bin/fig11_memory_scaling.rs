@@ -1,0 +1,66 @@
+//! Figure 11: serverless terrain generation on AWS-Lambda-like functions —
+//! per-chunk generation latency (left) and the normalised
+//! performance-to-cost ratio (right) for memory configurations from 320 MB
+//! to 10240 MB.
+
+use servo_bench::{emit, experiment_scale};
+use servo_faas::{FaasPlatform, FunctionConfig};
+use servo_metrics::{Summary, Table};
+use servo_pcg::{DefaultGenerator, TerrainGenerator};
+use servo_simkit::SimRng;
+use servo_types::{MemoryMb, SimTime};
+
+fn main() {
+    let invocations = (150.0 * experiment_scale()) as usize;
+    let generator = DefaultGenerator::new(99);
+    let work = generator.cost().work_units;
+
+    let mut rows = Vec::new();
+    for memory in MemoryMb::PAPER_SWEEP {
+        let mut platform = FaasPlatform::new(
+            FunctionConfig::aws_like(memory),
+            SimRng::seed(0xF11 + memory.as_mb() as u64),
+        );
+        let mut now = SimTime::ZERO;
+        let mut latencies = Vec::with_capacity(invocations);
+        for _ in 0..invocations {
+            let inv = platform.invoke(now, work).expect("generation fits timeout");
+            now = inv.completed_at;
+            latencies.push(inv.latency.as_millis_f64() / 1000.0); // seconds
+        }
+        let s = Summary::from_values(&latencies);
+        rows.push((memory, s));
+    }
+
+    // Normalised performance-to-cost ratio: 1 / (mean latency * memory),
+    // scaled so the best configuration is 1.0 (the paper's Figure 11b).
+    let ratios: Vec<f64> = rows
+        .iter()
+        .map(|(memory, s)| 1.0 / (s.mean * memory.as_gb()))
+        .collect();
+    let best = ratios.iter().cloned().fold(f64::MIN, f64::max);
+
+    let mut table = Table::new(vec![
+        "Memory [MB]",
+        "mean latency [s]",
+        "median [s]",
+        "p95 [s]",
+        "max [s]",
+        "relative performance-to-cost",
+    ]);
+    for ((memory, s), ratio) in rows.iter().zip(ratios.iter()) {
+        table.row(vec![
+            memory.as_mb().to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.p50),
+            format!("{:.2}", s.p95),
+            format!("{:.2}", s.max),
+            format!("{:.2}", ratio / best),
+        ]);
+    }
+    emit(
+        "fig11_memory_scaling",
+        "Figure 11: chunk generation latency and cost-efficiency vs function memory",
+        &table,
+    );
+}

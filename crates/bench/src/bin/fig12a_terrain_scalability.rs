@@ -1,0 +1,76 @@
+//! Figure 12a: tick duration over time for the S3 and S8 workloads, in
+//! which a new player joins every ten seconds and walks away from spawn in
+//! a straight line at 3 or 8 blocks per second.
+//!
+//! The paper reports that Opencraft supports 12 (S3) / 9 (S8) players and
+//! Servo 18 / 15 before the 95th-percentile tick duration exceeds 50 ms.
+
+use servo_bench::{build_system, emit, scaled_secs, ExperimentWorld, SystemKind};
+use servo_metrics::{RollingBands, Table};
+use servo_simkit::SimRng;
+use servo_types::SimDuration;
+use servo_workload::{BehaviorKind, PlayerFleet};
+
+fn supported_players(kind: SystemKind, speed: f64, duration: SimDuration) -> (u32, Vec<(u64, f64)>) {
+    let world = ExperimentWorld::default_world(128);
+    let mut server = build_system(kind, &world, 0xF12);
+    let mut fleet = PlayerFleet::new(BehaviorKind::Star { speed }, SimRng::seed(0x12a));
+    let max_players = (duration.as_secs_f64() / 10.0).ceil() as usize;
+    fleet.set_join_schedule(max_players, SimDuration::from_secs(10));
+    server.run_with_fleet(&mut fleet, duration);
+
+    // Rolling 2.5-second p95 band; a player count is "supported" until the
+    // band first exceeds the 50 ms budget. The first seconds are skipped:
+    // they are dominated by the initial terrain load around the spawn point
+    // rather than by player load.
+    let bands = RollingBands::paper_default().compute(&server.tick_duration_series());
+    let mut supported = max_players as u32;
+    for band in &bands {
+        if band.at.as_secs_f64() < 60.0 {
+            continue;
+        }
+        if band.p95 > 50.0 {
+            // Player joining every 10 s starting at t=0.
+            supported = (band.at.as_secs_f64() / 10.0).floor() as u32;
+            break;
+        }
+    }
+    let series = bands
+        .iter()
+        .map(|b| (b.at.as_secs_f64() as u64, b.p95))
+        .collect();
+    (supported.min(max_players as u32), series)
+}
+
+fn main() {
+    let duration = scaled_secs(300);
+    let mut summary = Table::new(vec!["Workload", "Servo: players", "Opencraft: players"]);
+    for (label, speed) in [("S3", 3.0), ("S8", 8.0)] {
+        let (servo_n, servo_series) = supported_players(SystemKind::Servo, speed, duration);
+        let (open_n, open_series) = supported_players(SystemKind::Opencraft, speed, duration);
+        summary.row(vec![
+            label.to_string(),
+            servo_n.to_string(),
+            open_n.to_string(),
+        ]);
+
+        let mut detail = Table::new(vec!["Time [s]", "Servo p95 tick [ms]", "Opencraft p95 tick [ms]"]);
+        for (servo_point, open_point) in servo_series.iter().zip(open_series.iter()) {
+            detail.row(vec![
+                servo_point.0.to_string(),
+                format!("{:.1}", servo_point.1),
+                format!("{:.1}", open_point.1),
+            ]);
+        }
+        emit(
+            &format!("fig12a_{}_tick_over_time", label.to_lowercase()),
+            &format!("Figure 12a ({label}): rolling p95 tick duration as players join"),
+            &detail,
+        );
+    }
+    emit(
+        "fig12a_supported_players",
+        "Figure 12a: supported players under S3 and S8 (p95 below 50 ms)",
+        &summary,
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 12b: maximum supported players under the randomized behaviour R
+//! (Table II), repeated across several seeds. The paper repeats this
+//! experiment 20 times and reports that Servo supports slightly more players
+//! than Opencraft, with somewhat higher variability.
+
+use servo_bench::{emit, experiment_scale, measure_capacity, scaled_secs, ExperimentWorld, SystemKind};
+use servo_metrics::{Summary, Table};
+use servo_workload::BehaviorKind;
+
+fn main() {
+    let repetitions = ((5.0 * experiment_scale()).round() as usize).clamp(3, 20);
+    let duration = scaled_secs(20);
+    let player_counts: Vec<u32> = (1..=18).map(|i| i * 8).collect();
+    let world = ExperimentWorld::default_world(64);
+
+    let mut table = Table::new(vec![
+        "Game", "repetitions", "min", "p25", "median", "mean", "p75", "max",
+    ]);
+    let mut per_rep = Table::new(vec!["Repetition", "Servo", "Opencraft"]);
+    let mut per_rep_rows: Vec<(u32, u32)> = Vec::new();
+
+    for kind in [SystemKind::Servo, SystemKind::Opencraft] {
+        let mut maxima = Vec::new();
+        for rep in 0..repetitions {
+            let result = measure_capacity(
+                kind,
+                &world,
+                BehaviorKind::Random,
+                &player_counts,
+                duration,
+                0xF12B + rep as u64,
+            );
+            maxima.push(result.max_players as f64);
+            if kind == SystemKind::Servo {
+                per_rep_rows.push((result.max_players, 0));
+            } else if let Some(row) = per_rep_rows.get_mut(rep) {
+                row.1 = result.max_players;
+            }
+        }
+        let s = Summary::from_values(&maxima);
+        table.row(vec![
+            kind.name().to_string(),
+            repetitions.to_string(),
+            format!("{:.0}", s.min),
+            format!("{:.0}", s.p25),
+            format!("{:.0}", s.p50),
+            format!("{:.1}", s.mean),
+            format!("{:.0}", s.p75),
+            format!("{:.0}", s.max),
+        ]);
+    }
+    for (i, (servo, opencraft)) in per_rep_rows.iter().enumerate() {
+        per_rep.row(vec![(i + 1).to_string(), servo.to_string(), opencraft.to_string()]);
+    }
+
+    emit(
+        "fig12b_random_behavior",
+        "Figure 12b: maximum supported players, random behaviour R",
+        &table,
+    );
+    emit(
+        "fig12b_random_behavior_repetitions",
+        "Figure 12b: per-repetition maxima",
+        &per_rep,
+    );
+}

@@ -1,0 +1,284 @@
+//! Wiring a complete Servo instance.
+
+use servo_faas::{FaasPlatform, FunctionConfig};
+use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
+use servo_server::{GameServer, ServerConfig};
+use servo_simkit::SimRng;
+use servo_types::MemoryMb;
+use servo_world::WorldKind;
+
+use crate::speculative::{SpeculationConfig, SpeculationHandle, SpeculativeScBackend};
+use crate::terrain::{FaasTerrainBackend, TerrainOffloadHandle};
+
+/// Configuration of a Servo deployment.
+#[derive(Debug, Clone)]
+pub struct ServoConfig {
+    /// The game-server configuration (cost model, tick rate, view distance).
+    pub server: ServerConfig,
+    /// The speculative execution unit's configuration.
+    pub speculation: SpeculationConfig,
+    /// FaaS configuration of the SC-offloading function.
+    pub sc_function: FunctionConfig,
+    /// FaaS configuration of the terrain-generation function.
+    pub generation_function: FunctionConfig,
+    /// Seed for all random streams of the deployment.
+    pub seed: u64,
+}
+
+impl Default for ServoConfig {
+    fn default() -> Self {
+        ServoConfig {
+            server: ServerConfig::servo_base(),
+            speculation: SpeculationConfig::default(),
+            sc_function: FunctionConfig::aws_like(MemoryMb::new(2048)),
+            generation_function: FunctionConfig::aws_like(MemoryMb::new(10240)),
+            seed: 42,
+        }
+    }
+}
+
+/// Builder for [`ServoDeployment`].
+#[derive(Debug, Clone, Default)]
+pub struct ServoBuilder {
+    config: ServoConfig,
+}
+
+impl ServoBuilder {
+    /// Sets the random seed of the deployment.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the view distance of the game server, in blocks.
+    pub fn view_distance(mut self, blocks: i32) -> Self {
+        self.config.server.view_distance_blocks = blocks.max(0);
+        self
+    }
+
+    /// Sets the world kind hosted by the instance.
+    pub fn world_kind(mut self, kind: WorldKind) -> Self {
+        self.config.server.world_kind = kind;
+        self
+    }
+
+    /// Sets the speculation configuration.
+    pub fn speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.config.speculation = speculation;
+        self
+    }
+
+    /// Sets the FaaS configuration of the SC-offloading function.
+    pub fn sc_function(mut self, function: FunctionConfig) -> Self {
+        self.config.sc_function = function;
+        self
+    }
+
+    /// Sets the FaaS configuration of the terrain-generation function.
+    pub fn generation_function(mut self, function: FunctionConfig) -> Self {
+        self.config.generation_function = function;
+        self
+    }
+
+    /// Replaces the full server configuration.
+    pub fn server_config(mut self, server: ServerConfig) -> Self {
+        self.config.server = server;
+        self
+    }
+
+    /// Builds the deployment.
+    pub fn build(self) -> ServoDeployment {
+        ServoDeployment::from_config(self.config)
+    }
+}
+
+/// A complete Servo instance: the game server with Servo's serverless
+/// backends plugged in, plus handles for inspecting the serverless side
+/// after an experiment.
+pub struct ServoDeployment {
+    /// The running game server.
+    pub server: GameServer,
+    /// Handle to the speculative execution unit's statistics and billing.
+    pub speculation: SpeculationHandle,
+    /// Handle to the terrain-offloading statistics and billing.
+    pub terrain: TerrainOffloadHandle,
+    /// The configuration the deployment was built from.
+    pub config: ServoConfig,
+}
+
+impl std::fmt::Debug for ServoDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServoDeployment")
+            .field("server", &self.server)
+            .field("seed", &self.config.seed)
+            .finish()
+    }
+}
+
+impl ServoDeployment {
+    /// Starts building a deployment with default configuration.
+    pub fn builder() -> ServoBuilder {
+        ServoBuilder::default()
+    }
+
+    /// Builds a deployment from an explicit configuration.
+    pub fn from_config(config: ServoConfig) -> Self {
+        let rng = SimRng::seed(config.seed);
+
+        let sc_platform = FaasPlatform::new(config.sc_function.clone(), rng.substream("sc-faas"));
+        let sc_backend = SpeculativeScBackend::new(config.speculation, sc_platform);
+        let speculation = sc_backend.handle();
+
+        let generator: Box<dyn TerrainGenerator> = match config.server.world_kind {
+            WorldKind::Flat => Box::new(FlatGenerator::default()),
+            WorldKind::Default => Box::new(DefaultGenerator::new(config.seed)),
+        };
+        let generation_platform = FaasPlatform::new(
+            config.generation_function.clone(),
+            rng.substream("generation-faas"),
+        );
+        let terrain_backend = FaasTerrainBackend::new(generator, generation_platform);
+        let terrain = terrain_backend.handle();
+
+        let server = GameServer::new(
+            config.server.clone(),
+            Box::new(sc_backend),
+            Box::new(terrain_backend),
+            rng.substream("server"),
+        );
+
+        ServoDeployment {
+            server,
+            speculation,
+            terrain,
+            config,
+        }
+    }
+
+    /// Builds the Opencraft baseline with the same world kind and view
+    /// distance as this configuration would use — convenience for
+    /// comparative experiments.
+    pub fn opencraft_baseline(seed: u64, config: &ServerConfig) -> GameServer {
+        Self::local_baseline(ServerConfig { costs: servo_server::CostModel::opencraft(), name: "Opencraft", ..config.clone() }, seed)
+    }
+
+    /// Builds the Minecraft baseline with the same world kind and view
+    /// distance as this configuration would use.
+    pub fn minecraft_baseline(seed: u64, config: &ServerConfig) -> GameServer {
+        Self::local_baseline(ServerConfig { costs: servo_server::CostModel::minecraft(), name: "Minecraft", ..config.clone() }, seed)
+    }
+
+    fn local_baseline(config: ServerConfig, seed: u64) -> GameServer {
+        let generator: Box<dyn TerrainGenerator> = match config.world_kind {
+            WorldKind::Flat => Box::new(FlatGenerator::default()),
+            WorldKind::Default => Box::new(DefaultGenerator::new(seed)),
+        };
+        let rng = SimRng::seed(seed);
+        GameServer::new(
+            config,
+            Box::new(servo_server::LocalScBackend::every_other_tick()),
+            Box::new(servo_server::LocalGenerationBackend::new(generator, 8)),
+            rng.substream("server"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servo_redstone::generators;
+    use servo_types::SimDuration;
+    use servo_workload::{BehaviorKind, PlayerFleet};
+
+    fn bounded_fleet(players: usize, seed: u64) -> PlayerFleet {
+        let mut fleet =
+            PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(seed));
+        fleet.connect_all(players);
+        fleet
+    }
+
+    #[test]
+    fn deployment_runs_and_offloads() {
+        let mut deployment = ServoDeployment::builder()
+            .seed(3)
+            .view_distance(32)
+            .build();
+        deployment
+            .server
+            .add_constructs(20, |_| generators::dense_circuit(64));
+        let mut fleet = bounded_fleet(30, 4);
+        deployment
+            .server
+            .run_with_fleet(&mut fleet, SimDuration::from_secs(10));
+        let stats = deployment.server.stats();
+        // The overwhelming majority of construct-ticks are served from
+        // offloaded results, not local simulation.
+        assert!(stats.sc_merged + stats.sc_replayed > stats.sc_local * 3);
+        assert!(deployment.speculation.stats().invocations > 0);
+        // Terrain was generated through FaaS.
+        assert!(deployment.terrain.stats().invocations > 0);
+        assert!(deployment.server.world().loaded_chunks() > 0);
+    }
+
+    #[test]
+    fn servo_beats_opencraft_with_many_constructs() {
+        let constructs = 150usize;
+        let players = 40usize;
+        let seconds = 8u64;
+
+        let mut servo = ServoDeployment::builder().seed(5).view_distance(32).build();
+        servo
+            .server
+            .add_constructs(constructs, |_| generators::dense_circuit(64));
+        let mut fleet = bounded_fleet(players, 6);
+        servo
+            .server
+            .run_with_fleet(&mut fleet, SimDuration::from_secs(seconds));
+
+        let mut opencraft = ServoDeployment::opencraft_baseline(
+            5,
+            &ServerConfig::opencraft().with_view_distance(32),
+        );
+        opencraft.add_constructs(constructs, |_| generators::dense_circuit(64));
+        let mut fleet = bounded_fleet(players, 6);
+        opencraft.run_with_fleet(&mut fleet, SimDuration::from_secs(seconds));
+
+        let mean = |s: &GameServer| {
+            let d = s.tick_durations();
+            d.iter().map(|x| x.as_millis_f64()).sum::<f64>() / d.len() as f64
+        };
+        assert!(
+            mean(&servo.server) * 2.0 < mean(&opencraft),
+            "servo {} vs opencraft {}",
+            mean(&servo.server),
+            mean(&opencraft)
+        );
+    }
+
+    #[test]
+    fn builder_options_are_applied() {
+        let deployment = ServoDeployment::builder()
+            .seed(9)
+            .view_distance(64)
+            .world_kind(WorldKind::Default)
+            .speculation(SpeculationConfig {
+                tick_lead: 5,
+                ..SpeculationConfig::default()
+            })
+            .build();
+        assert_eq!(deployment.config.seed, 9);
+        assert_eq!(deployment.config.server.view_distance_blocks, 64);
+        assert_eq!(deployment.config.speculation.tick_lead, 5);
+        assert_eq!(deployment.server.config().name, "Servo");
+    }
+
+    #[test]
+    fn baselines_share_world_settings() {
+        let config = ServerConfig::minecraft().with_view_distance(48);
+        let baseline = ServoDeployment::minecraft_baseline(1, &config);
+        assert_eq!(baseline.config().view_distance_blocks, 48);
+        assert_eq!(baseline.config().name, "Minecraft");
+        let opencraft = ServoDeployment::opencraft_baseline(1, &config);
+        assert_eq!(opencraft.config().name, "Opencraft");
+    }
+}

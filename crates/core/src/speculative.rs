@@ -1,0 +1,587 @@
+//! Replicated speculative execution for simulated constructs
+//! (paper Section III-C).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use servo_faas::FaasPlatform;
+use servo_redstone::{simulate_sequence, Construct, SimulationOutcome};
+use servo_server::{ScBackend, ScResolution};
+use servo_types::{ConstructId, SimDuration, SimTime, Tick};
+
+/// The compute-cost model of the offloaded construct simulation function.
+///
+/// Section IV-G of the paper measures that a 252-block construct simulates at
+/// roughly 488 steps per second inside a function and a 484-block construct
+/// at roughly 105 steps per second — a super-linear cost in construct size.
+/// The model `work = coefficient * blocks^exponent` (milliseconds of compute
+/// per step at one vCPU) reproduces that relationship.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScWorkModel {
+    /// Multiplicative coefficient.
+    pub coefficient: f64,
+    /// Exponent applied to the block count.
+    pub exponent: f64,
+}
+
+impl Default for ScWorkModel {
+    fn default() -> Self {
+        // Calibrated so that 484 blocks -> ~7.3 ms/step (137 steps/s) and
+        // 252 blocks -> ~1.6 ms/step, matching the order of magnitude of the
+        // paper's Section IV-G measurements, and so that a 200-step
+        // simulation of the 484-block construct takes ~1.5 s end to end
+        // (Figure 9).
+        ScWorkModel {
+            coefficient: 3.6e-6,
+            exponent: 2.35,
+        }
+    }
+}
+
+impl ScWorkModel {
+    /// Milliseconds of compute (at one full vCPU) to simulate one step of a
+    /// construct with `blocks` blocks.
+    pub fn work_per_step(&self, blocks: usize) -> f64 {
+        self.coefficient * (blocks.max(1) as f64).powf(self.exponent)
+    }
+
+    /// Total work units for simulating `steps` steps.
+    pub fn work_for(&self, blocks: usize, steps: usize) -> f64 {
+        self.work_per_step(blocks) * steps as f64
+    }
+}
+
+/// Configuration of the speculative execution unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    /// How many ticks before the current speculative sequence runs out the
+    /// next function invocation is issued (the paper's *tick lead*).
+    pub tick_lead: u64,
+    /// How many simulation steps each function invocation computes.
+    pub simulation_steps: usize,
+    /// Whether the remote function performs loop detection and the server
+    /// replays detected loops without further invocations.
+    pub loop_detection: bool,
+    /// The compute-cost model of the remote function.
+    pub work_model: ScWorkModel,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            tick_lead: 20,
+            simulation_steps: 100,
+            loop_detection: true,
+            work_model: ScWorkModel::default(),
+        }
+    }
+}
+
+/// Aggregate statistics of the speculative execution unit.
+#[derive(Debug, Clone, Default)]
+pub struct SpeculationStats {
+    /// Function invocations issued.
+    pub invocations: u64,
+    /// Invocations whose results were discarded because the construct was
+    /// modified while they were in flight.
+    pub discarded_stale: u64,
+    /// Invocations that failed on the platform (timeout, concurrency).
+    pub failed: u64,
+    /// Construct-ticks served by applying a speculative state.
+    pub speculative_applied: u64,
+    /// Construct-ticks served by replaying a detected loop.
+    pub loop_replayed: u64,
+    /// Construct-ticks that fell back to local simulation.
+    pub local_fallback: u64,
+    /// Per-invocation efficiency samples (fraction of offloaded steps that
+    /// were not wasted), as defined in Section III-C of the paper.
+    pub efficiency_samples: Vec<f64>,
+    /// End-to-end latency of each completed invocation.
+    pub invocation_latencies: Vec<SimDuration>,
+    /// Completion times of invocations (for invocations-per-minute plots).
+    pub invocation_completions: Vec<SimTime>,
+}
+
+impl SpeculationStats {
+    /// The median efficiency over all completed invocations, or `None` if no
+    /// invocation completed.
+    pub fn median_efficiency(&self) -> Option<f64> {
+        if self.efficiency_samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.efficiency_samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(sorted[sorted.len() / 2])
+    }
+
+    /// Invocations per minute, averaged over `elapsed`.
+    pub fn invocations_per_minute(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.invocations as f64 / (elapsed.as_secs_f64() / 60.0)
+    }
+}
+
+/// A cloneable handle to the speculation unit's statistics and billing.
+#[derive(Debug, Clone)]
+pub struct SpeculationHandle {
+    inner: Arc<Mutex<Shared>>,
+}
+
+impl SpeculationHandle {
+    /// A snapshot of the current statistics.
+    pub fn stats(&self) -> SpeculationStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// A snapshot of the FaaS billing meter for the SC-offload function.
+    pub fn billing(&self) -> servo_faas::BillingMeter {
+        self.inner.lock().platform.billing().clone()
+    }
+
+    /// A snapshot of the FaaS platform statistics (cold starts, peak
+    /// concurrency).
+    pub fn platform_stats(&self) -> servo_faas::PlatformStats {
+        self.inner.lock().platform.stats()
+    }
+}
+
+/// A pending (in-flight) function invocation for one construct.
+#[derive(Debug, Clone)]
+struct PendingInvocation {
+    completes_at: SimTime,
+    latency: SimDuration,
+    /// The modification stamp of the construct at request time; a mismatch
+    /// at completion means the result is outdated (Section III-C).
+    stamp: u64,
+    /// The construct step the offloaded simulation started from.
+    start_step: u64,
+    /// The precomputed result, applied only once `completes_at` is reached.
+    outcome: SimulationOutcome,
+}
+
+/// The speculative state sequence currently available for application.
+#[derive(Debug, Clone)]
+struct AvailableSequence {
+    stamp: u64,
+    start_step: u64,
+    outcome: SimulationOutcome,
+}
+
+#[derive(Debug, Default)]
+struct ConstructSlot {
+    pending: Option<PendingInvocation>,
+    available: Option<AvailableSequence>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    platform: FaasPlatform,
+    stats: SpeculationStats,
+}
+
+/// The speculative execution unit: Servo's [`ScBackend`].
+///
+/// See the crate-level documentation and the paper's Section III-C for the
+/// mechanism. The unit is deterministic given the platform's RNG seed.
+pub struct SpeculativeScBackend {
+    config: SpeculationConfig,
+    slots: HashMap<ConstructId, ConstructSlot>,
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl std::fmt::Debug for SpeculativeScBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeculativeScBackend")
+            .field("config", &self.config)
+            .field("constructs", &self.slots.len())
+            .finish()
+    }
+}
+
+impl SpeculativeScBackend {
+    /// Creates a speculative execution unit that offloads to `platform`.
+    pub fn new(config: SpeculationConfig, platform: FaasPlatform) -> Self {
+        SpeculativeScBackend {
+            config,
+            slots: HashMap::new(),
+            shared: Arc::new(Mutex::new(Shared {
+                platform,
+                stats: SpeculationStats::default(),
+            })),
+        }
+    }
+
+    /// A handle for reading statistics and billing after the unit has been
+    /// moved into a [`GameServer`](servo_server::GameServer).
+    pub fn handle(&self) -> SpeculationHandle {
+        SpeculationHandle {
+            inner: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> SpeculationConfig {
+        self.config
+    }
+
+    /// Issues a new offload invocation for `construct`, speculating from
+    /// `base` (a clone of the construct at `start_step`).
+    fn issue(
+        shared: &mut Shared,
+        config: &SpeculationConfig,
+        slot: &mut ConstructSlot,
+        base: Construct,
+        now: SimTime,
+    ) {
+        let start_step = base.state().step();
+        let stamp = base.state().modification_stamp();
+        let blocks = base.len();
+        let work = config.work_model.work_for(blocks, config.simulation_steps);
+        match shared.platform.invoke(now, work) {
+            Ok(invocation) => {
+                // The remote function runs the same deterministic engine; we
+                // compute its reply eagerly but only deliver it at the
+                // invocation's completion time.
+                let mut remote = base;
+                let outcome = if config.loop_detection {
+                    simulate_sequence(&mut remote, config.simulation_steps)
+                } else {
+                    let states = remote.step_many(config.simulation_steps);
+                    SimulationOutcome {
+                        simulated_steps: states.len(),
+                        states,
+                        loop_info: None,
+                    }
+                };
+                shared.stats.invocations += 1;
+                slot.pending = Some(PendingInvocation {
+                    completes_at: invocation.completed_at,
+                    latency: invocation.latency,
+                    stamp,
+                    start_step,
+                    outcome,
+                });
+            }
+            Err(_) => {
+                shared.stats.failed += 1;
+            }
+        }
+    }
+}
+
+impl ScBackend for SpeculativeScBackend {
+    fn resolve(
+        &mut self,
+        id: ConstructId,
+        construct: &mut Construct,
+        _tick: Tick,
+        now: SimTime,
+    ) -> ScResolution {
+        let slot = self.slots.entry(id).or_default();
+        let mut shared = self.shared.lock();
+        let config = self.config;
+
+        // Drop an available sequence that a player interaction invalidated.
+        if let Some(available) = &slot.available {
+            if available.stamp != construct.modification_stamp() {
+                slot.available = None;
+            }
+        }
+
+        // Try to apply a speculative state, delivering a completed pending
+        // invocation first if the current sequence cannot serve this tick.
+        for attempt in 0..2 {
+            // Attempt 0 uses whatever is already available; attempt 1 runs
+            // after delivering a completed pending invocation.
+            let application = slot.available.as_ref().and_then(|available| {
+                let target_step = construct.state().step() + 1;
+                if target_step <= available.start_step {
+                    // The sequence starts in the future (it was issued with a
+                    // tick lead and the server has not caught up, e.g. after
+                    // a modification); keep it and fall back locally.
+                    return None;
+                }
+                let offset = (target_step - available.start_step) as usize;
+                available.outcome.state_at(offset).map(|state| {
+                    let replaying = available.outcome.loop_info.is_some()
+                        && offset > available.outcome.simulated_steps;
+                    let remaining =
+                        available.outcome.simulated_steps.saturating_sub(offset) as u64;
+                    let refresh_base = if !replaying
+                        && available.outcome.loop_info.is_none()
+                        && remaining <= config.tick_lead
+                        && slot.pending.is_none()
+                    {
+                        // Tick lead: speculate onward from the *end* of the
+                        // current sequence, a state the server has not
+                        // reached yet (Figure 6 of the paper).
+                        available.outcome.states.last().map(|last| {
+                            Construct::with_state(construct.blueprint().clone(), last.clone())
+                        })
+                    } else {
+                        None
+                    };
+                    (state.clone(), target_step, replaying, refresh_base)
+                })
+            });
+
+            if let Some((mut state, target_step, replaying, refresh_base)) = application {
+                // Preserve the construct's global step counter and
+                // modification stamp when replaying loop states.
+                state.set_step(target_step);
+                state.set_modification_stamp(construct.modification_stamp());
+                construct.apply_state(state);
+                if let Some(base) = refresh_base {
+                    Self::issue(&mut shared, &config, slot, base, now);
+                }
+                if replaying {
+                    shared.stats.loop_replayed += 1;
+                    return ScResolution::LoopReplayed;
+                }
+                shared.stats.speculative_applied += 1;
+                return ScResolution::SpeculativeApplied;
+            }
+
+            // The current sequence cannot serve this tick. If it is a
+            // finished, non-looping sequence that is simply exhausted,
+            // discard it so a delivered pending invocation can take over.
+            if let Some(available) = &slot.available {
+                let target_step = construct.state().step() + 1;
+                if target_step > available.start_step && available.outcome.loop_info.is_none() {
+                    slot.available = None;
+                }
+            }
+
+            if attempt == 0 {
+                // Deliver a completed invocation, discarding it if the
+                // construct was modified while it was in flight.
+                let completed = slot
+                    .pending
+                    .as_ref()
+                    .map(|p| p.completes_at <= now)
+                    .unwrap_or(false);
+                if completed && slot.available.is_none() {
+                    let pending = slot.pending.take().expect("checked above");
+                    shared.stats.invocation_latencies.push(pending.latency);
+                    shared
+                        .stats
+                        .invocation_completions
+                        .push(pending.completes_at);
+                    if pending.stamp == construct.modification_stamp() {
+                        // Efficiency: the fraction of offloaded steps the
+                        // server did not already compute locally while
+                        // waiting (Section III-C).
+                        let total = pending.outcome.simulated_steps.max(1) as f64;
+                        let already_local =
+                            construct.state().step().saturating_sub(pending.start_step) as f64;
+                        let efficiency = ((total - already_local) / total).clamp(0.0, 1.0);
+                        shared.stats.efficiency_samples.push(efficiency);
+                        slot.available = Some(AvailableSequence {
+                            stamp: pending.stamp,
+                            start_step: pending.start_step,
+                            outcome: pending.outcome,
+                        });
+                        continue;
+                    }
+                    shared.stats.discarded_stale += 1;
+                }
+            }
+            break;
+        }
+
+        // Fall back to local simulation while (re)starting speculation.
+        construct.step();
+        shared.stats.local_fallback += 1;
+        if slot.pending.is_none() {
+            let base = construct.clone();
+            Self::issue(&mut shared, &config, slot, base, now);
+        }
+        ScResolution::LocalSimulated
+    }
+
+    fn name(&self) -> &'static str {
+        "servo-speculative"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servo_faas::FunctionConfig;
+    use servo_redstone::generators;
+    use servo_simkit::SimRng;
+    use servo_types::{BlockPos, MemoryMb};
+
+    fn backend(config: SpeculationConfig, seed: u64) -> SpeculativeScBackend {
+        let platform = FaasPlatform::new(
+            FunctionConfig::aws_like(MemoryMb::new(2048)),
+            SimRng::seed(seed),
+        );
+        SpeculativeScBackend::new(config, platform)
+    }
+
+    /// Drives a single construct for `ticks` game ticks at 20 Hz.
+    fn drive(
+        backend: &mut SpeculativeScBackend,
+        construct: &mut Construct,
+        ticks: u64,
+    ) -> Vec<ScResolution> {
+        let mut out = Vec::new();
+        for t in 0..ticks {
+            let now = SimTime::from_millis(t * 50);
+            out.push(backend.resolve(ConstructId::new(0), construct, Tick(t), now));
+        }
+        out
+    }
+
+    #[test]
+    fn construct_advances_one_step_per_tick() {
+        let mut b = backend(SpeculationConfig::default(), 1);
+        let mut c = Construct::new(generators::dense_circuit(64));
+        drive(&mut b, &mut c, 200);
+        assert_eq!(c.state().step(), 200);
+    }
+
+    #[test]
+    fn speculation_takes_over_after_initial_local_phase() {
+        let mut b = backend(SpeculationConfig::default(), 2);
+        let mut c = Construct::new(generators::dense_circuit(200));
+        let resolutions = drive(&mut b, &mut c, 300);
+        // The very first ticks are local (the function reply has not arrived
+        // yet); later ticks are dominated by speculative application.
+        assert_eq!(resolutions[0], ScResolution::LocalSimulated);
+        let late = &resolutions[100..];
+        let local_late = late
+            .iter()
+            .filter(|r| **r == ScResolution::LocalSimulated)
+            .count();
+        assert!(
+            (local_late as f64) < late.len() as f64 * 0.2,
+            "late local fallbacks: {local_late}/{}",
+            late.len()
+        );
+        let handle = b.handle();
+        assert!(handle.stats().invocations >= 1);
+        assert!(handle.billing().total_cost_usd() > 0.0);
+    }
+
+    #[test]
+    fn speculative_states_match_pure_local_simulation() {
+        // Correctness: offloading must not change the construct's evolution.
+        let blueprint = generators::dense_circuit(100);
+        let mut offloaded = Construct::new(blueprint.clone());
+        let mut reference = Construct::new(blueprint);
+        let mut b = backend(SpeculationConfig::default(), 3);
+        for t in 0..400u64 {
+            let now = SimTime::from_millis(t * 50);
+            b.resolve(ConstructId::new(0), &mut offloaded, Tick(t), now);
+            reference.step();
+            assert_eq!(
+                offloaded.state().hash(),
+                reference.state().hash(),
+                "divergence at tick {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn looping_construct_switches_to_replay_and_stops_invoking() {
+        let mut b = backend(SpeculationConfig::default(), 4);
+        let mut c = Construct::new(generators::clock(6));
+        drive(&mut b, &mut c, 600);
+        let stats = b.handle().stats();
+        assert!(stats.loop_replayed > 300, "replayed {}", stats.loop_replayed);
+        // One or two invocations at the start, then the loop replays forever.
+        assert!(stats.invocations <= 3, "invocations {}", stats.invocations);
+    }
+
+    #[test]
+    fn disabling_loop_detection_keeps_invoking() {
+        let config = SpeculationConfig {
+            loop_detection: false,
+            ..SpeculationConfig::default()
+        };
+        let mut b = backend(config, 5);
+        let mut c = Construct::new(generators::clock(6));
+        drive(&mut b, &mut c, 600);
+        let stats = b.handle().stats();
+        assert_eq!(stats.loop_replayed, 0);
+        assert!(stats.invocations > 3);
+    }
+
+    #[test]
+    fn player_modification_discards_stale_speculation() {
+        let mut b = backend(SpeculationConfig::default(), 6);
+        let mut c = Construct::new(generators::dense_circuit(80));
+        // Let speculation get established.
+        drive(&mut b, &mut c, 100);
+        // Modify the construct: in-flight and available results are stale.
+        c.apply_modification(BlockPos::new(0, 0, 0), None);
+        let resolutions = drive(&mut b, &mut c, 100);
+        // Immediately after the modification the server falls back to local
+        // simulation (the old sequence is unusable).
+        assert_eq!(resolutions[0], ScResolution::LocalSimulated);
+        // And it recovers: offloaded results (fresh speculation or loop
+        // replay of the re-simulated construct) take over again, with local
+        // fallbacks limited to the re-invocation window.
+        let local_after = resolutions
+            .iter()
+            .filter(|r| **r == ScResolution::LocalSimulated)
+            .count();
+        assert!(local_after < 20, "local fallbacks after modification: {local_after}");
+        assert!(resolutions.iter().any(|r| matches!(
+            r,
+            ScResolution::SpeculativeApplied | ScResolution::LoopReplayed
+        )));
+        assert_eq!(c.state().step(), 200);
+    }
+
+    #[test]
+    fn higher_tick_lead_gives_higher_efficiency() {
+        let run = |lead: u64| -> f64 {
+            let config = SpeculationConfig {
+                tick_lead: lead,
+                simulation_steps: 100,
+                loop_detection: false,
+                ..SpeculationConfig::default()
+            };
+            let mut b = backend(config, 7);
+            let mut c = Construct::new(generators::paper_medium());
+            drive(&mut b, &mut c, 1200);
+            b.handle().stats().median_efficiency().unwrap_or(0.0)
+        };
+        let none = run(0);
+        let generous = run(40);
+        assert!(generous > none, "lead 0: {none}, lead 40: {generous}");
+        assert!(generous > 0.98, "lead 40 efficiency {generous}");
+        assert!(none > 0.5, "lead 0 efficiency {none}");
+    }
+
+    #[test]
+    fn work_model_matches_section_4g_shape() {
+        let model = ScWorkModel::default();
+        let small_rate = 1000.0 / model.work_per_step(252);
+        let medium_rate = 1000.0 / model.work_per_step(484);
+        // Small constructs simulate several times faster than medium ones,
+        // and both are far above the 20 Hz game rate.
+        assert!(small_rate > 3.0 * medium_rate);
+        assert!(medium_rate > 20.0 * 5.0);
+        assert!(small_rate > 400.0 && small_rate < 900.0, "rate {small_rate}");
+        assert!(medium_rate > 90.0 && medium_rate < 250.0, "rate {medium_rate}");
+    }
+
+    #[test]
+    fn stats_track_invocation_latency_and_rate() {
+        let mut b = backend(SpeculationConfig::default(), 8);
+        let mut c = Construct::new(generators::dense_circuit(64));
+        drive(&mut b, &mut c, 400);
+        let stats = b.handle().stats();
+        assert!(!stats.invocation_latencies.is_empty());
+        assert!(stats.invocations_per_minute(SimDuration::from_secs(20)) > 0.0);
+        assert!(stats.median_efficiency().is_some());
+        assert_eq!(stats.invocation_latencies.len(), stats.invocation_completions.len());
+    }
+}

@@ -1,0 +1,141 @@
+//! Utilization-based billing.
+//!
+//! Serverless billing is fine-grained: the user pays per millisecond of
+//! execution, scaled by the memory size, plus a small per-request fee
+//! (Section II-C of the paper). The meter here uses AWS Lambda's public
+//! prices, which is what the paper's $0.216–$0.244 per hour estimate is
+//! based on.
+
+use servo_types::{MemoryMb, SimDuration, UsdPerHour};
+
+/// Price per GB-second of function execution (AWS Lambda, x86).
+pub const PRICE_PER_GB_SECOND: f64 = 0.000_016_666_7;
+
+/// Price per single request.
+pub const PRICE_PER_REQUEST: f64 = 0.20 / 1_000_000.0;
+
+/// Accumulates the cost of function invocations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BillingMeter {
+    invocations: u64,
+    billed_gb_seconds: f64,
+}
+
+impl BillingMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        BillingMeter::default()
+    }
+
+    /// Records one invocation that executed for `billed_duration` on a
+    /// function with `memory` configured.
+    ///
+    /// Billed duration is rounded up to the next millisecond, as commercial
+    /// platforms do.
+    pub fn record(&mut self, memory: MemoryMb, billed_duration: SimDuration) {
+        self.invocations += 1;
+        let millis = billed_duration.as_millis_f64().ceil();
+        self.billed_gb_seconds += memory.as_gb() * millis / 1_000.0;
+    }
+
+    /// Number of invocations recorded.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Total GB-seconds billed.
+    pub fn billed_gb_seconds(&self) -> f64 {
+        self.billed_gb_seconds
+    }
+
+    /// Total cost in dollars.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.billed_gb_seconds * PRICE_PER_GB_SECOND + self.invocations as f64 * PRICE_PER_REQUEST
+    }
+
+    /// The cost rate if the recorded usage was accumulated over
+    /// `elapsed` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    pub fn cost_rate(&self, elapsed: SimDuration) -> UsdPerHour {
+        assert!(
+            elapsed > SimDuration::ZERO,
+            "cannot compute a rate over zero elapsed time"
+        );
+        let hours = elapsed.as_secs_f64() / 3600.0;
+        UsdPerHour::new(self.total_cost_usd() / hours)
+    }
+
+    /// Merges another meter's usage into this one.
+    pub fn merge(&mut self, other: &BillingMeter) {
+        self.invocations += other.invocations;
+        self.billed_gb_seconds += other.billed_gb_seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut m = BillingMeter::new();
+        m.record(MemoryMb::new(1024), SimDuration::from_millis(1000));
+        m.record(MemoryMb::new(1024), SimDuration::from_millis(500));
+        assert_eq!(m.invocations(), 2);
+        assert!((m.billed_gb_seconds() - 1.5).abs() < 1e-9);
+        assert!(m.total_cost_usd() > 0.0);
+    }
+
+    #[test]
+    fn sub_millisecond_rounds_up() {
+        let mut m = BillingMeter::new();
+        m.record(MemoryMb::new(2048), SimDuration::from_micros(100));
+        assert!((m.billed_gb_seconds() - 2.0 * 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_rate_matches_hand_computation() {
+        let mut m = BillingMeter::new();
+        // 600 invocations of 1 s at 1 GB over one hour.
+        for _ in 0..600 {
+            m.record(MemoryMb::new(1024), SimDuration::from_secs(1));
+        }
+        let rate = m.cost_rate(SimDuration::from_secs(3600));
+        let expected = 600.0 * PRICE_PER_GB_SECOND + 600.0 * PRICE_PER_REQUEST;
+        assert!((rate.value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero elapsed")]
+    fn zero_elapsed_panics() {
+        BillingMeter::new().cost_rate(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds_usage() {
+        let mut a = BillingMeter::new();
+        a.record(MemoryMb::new(512), SimDuration::from_secs(2));
+        let mut b = BillingMeter::new();
+        b.record(MemoryMb::new(512), SimDuration::from_secs(3));
+        a.merge(&b);
+        assert_eq!(a.invocations(), 2);
+        assert!((a.billed_gb_seconds() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offloading_cost_is_in_papers_ballpark() {
+        // The paper multiplies mean function latency by invocations per
+        // minute and reports $0.216-$0.244/h. Reproduce the arithmetic for a
+        // representative configuration: ~120 invocations/minute of ~180 ms
+        // billed compute on a 10 GB function.
+        let mut m = BillingMeter::new();
+        for _ in 0..(120 * 60) {
+            m.record(MemoryMb::new(10240), SimDuration::from_millis(180));
+        }
+        let rate = m.cost_rate(SimDuration::from_secs(3600)).value();
+        assert!(rate > 0.15 && rate < 0.35, "rate was {rate}");
+    }
+}

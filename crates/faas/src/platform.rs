@@ -1,0 +1,317 @@
+//! The FaaS platform: container lifecycle, invocation latency, statistics.
+
+use servo_simkit::{Distribution, SimRng};
+use servo_types::id::IdAllocator;
+use servo_types::{InvocationId, ServoError, SimDuration, SimTime};
+
+use crate::billing::BillingMeter;
+use crate::config::FunctionConfig;
+
+/// One container ("execution environment") of the deployed function.
+#[derive(Debug, Clone, Copy)]
+struct Container {
+    /// The instant at which the container finishes its current invocation.
+    busy_until: SimTime,
+    /// The instant of the last completed (or started) invocation, used to
+    /// decide idle reclamation.
+    last_used: SimTime,
+}
+
+/// The outcome of a single function invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invocation {
+    /// Unique identifier of the invocation.
+    pub id: InvocationId,
+    /// When the request was issued by the caller.
+    pub requested_at: SimTime,
+    /// When the function's reply reaches the caller.
+    pub completed_at: SimTime,
+    /// Whether a new container had to be started.
+    pub cold_start: bool,
+    /// Pure compute time inside the function (what gets billed).
+    pub compute: SimDuration,
+    /// End-to-end latency observed by the caller.
+    pub latency: SimDuration,
+}
+
+/// Aggregate statistics of a platform instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlatformStats {
+    /// Total invocations served.
+    pub invocations: u64,
+    /// Invocations that required a cold start.
+    pub cold_starts: u64,
+    /// Invocations rejected because the concurrency limit was reached.
+    pub rejected: u64,
+    /// Largest number of simultaneously busy containers observed.
+    pub peak_concurrency: usize,
+}
+
+/// A simulated serverless function deployment.
+///
+/// The platform tracks warm containers, charges cold starts when no warm
+/// container is available, reclaims containers idle longer than the
+/// configured timeout, and meters billing.
+///
+/// # Example
+///
+/// ```
+/// use servo_faas::{FaasPlatform, FunctionConfig};
+/// use servo_simkit::SimRng;
+/// use servo_types::{MemoryMb, SimTime, SimDuration};
+///
+/// let mut platform = FaasPlatform::new(FunctionConfig::aws_like(MemoryMb::new(1024)), SimRng::seed(1));
+/// let first = platform.invoke(SimTime::ZERO, 50.0).unwrap();
+/// assert!(first.cold_start);
+/// // Invoking again right after completion reuses the warm container.
+/// let second = platform.invoke(first.completed_at, 50.0).unwrap();
+/// assert!(!second.cold_start);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaasPlatform {
+    config: FunctionConfig,
+    rng: SimRng,
+    containers: Vec<Container>,
+    ids: IdAllocator<InvocationId>,
+    billing: BillingMeter,
+    stats: PlatformStats,
+}
+
+impl FaasPlatform {
+    /// Creates a platform for one function deployment.
+    pub fn new(config: FunctionConfig, rng: SimRng) -> Self {
+        FaasPlatform {
+            config,
+            rng,
+            containers: Vec::new(),
+            ids: IdAllocator::new(),
+            billing: BillingMeter::new(),
+            stats: PlatformStats::default(),
+        }
+    }
+
+    /// The function configuration.
+    pub fn config(&self) -> &FunctionConfig {
+        &self.config
+    }
+
+    /// The billing meter accumulated so far.
+    pub fn billing(&self) -> &BillingMeter {
+        &self.billing
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> PlatformStats {
+        self.stats
+    }
+
+    /// Number of containers currently kept warm at instant `now`.
+    pub fn warm_containers(&self, now: SimTime) -> usize {
+        self.containers
+            .iter()
+            .filter(|c| now.saturating_since(c.last_used) <= self.config.idle_timeout)
+            .count()
+    }
+
+    /// Invokes the function at `now` with `work_units` of compute
+    /// (milliseconds at one full vCPU).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::LimitExceeded`] if the concurrency limit is
+    /// reached, and [`ServoError::FunctionFailed`] if the computed execution
+    /// time exceeds the function timeout.
+    pub fn invoke(&mut self, now: SimTime, work_units: f64) -> Result<Invocation, ServoError> {
+        // Reclaim containers idle beyond the timeout.
+        let idle_timeout = self.config.idle_timeout;
+        self.containers
+            .retain(|c| now.saturating_since(c.last_used) <= idle_timeout);
+
+        let busy = self.containers.iter().filter(|c| c.busy_until > now).count();
+        if let Some(limit) = self.config.max_concurrency {
+            if busy >= limit {
+                self.stats.rejected += 1;
+                return Err(ServoError::LimitExceeded {
+                    what: format!("function concurrency limit of {limit}"),
+                });
+            }
+        }
+
+        let compute = self.config.compute_duration(work_units);
+        if compute > self.config.timeout {
+            self.stats.rejected += 1;
+            return Err(ServoError::function_failed(format!(
+                "execution time {compute} exceeds the {} timeout",
+                self.config.timeout
+            )));
+        }
+
+        // Find a warm, free container; otherwise start a new (cold) one.
+        let warm_index = self
+            .containers
+            .iter()
+            .position(|c| c.busy_until <= now);
+        let (cold_start, container_index) = match warm_index {
+            Some(i) => (false, i),
+            None => {
+                self.containers.push(Container {
+                    busy_until: now,
+                    last_used: now,
+                });
+                (true, self.containers.len() - 1)
+            }
+        };
+
+        let mut latency = SimDuration::from_millis_f64(
+            self.config.warm_overhead.sample_ms(&mut self.rng),
+        );
+        if cold_start {
+            latency += SimDuration::from_millis_f64(self.config.cold_start.sample_ms(&mut self.rng));
+            self.stats.cold_starts += 1;
+        }
+        latency += compute;
+
+        let completed_at = now + latency;
+        {
+            let container = &mut self.containers[container_index];
+            container.busy_until = completed_at;
+            container.last_used = completed_at;
+        }
+
+        self.billing.record(self.config.memory, compute);
+        self.stats.invocations += 1;
+        let busy_now = self
+            .containers
+            .iter()
+            .filter(|c| c.busy_until > now)
+            .count();
+        self.stats.peak_concurrency = self.stats.peak_concurrency.max(busy_now);
+
+        Ok(Invocation {
+            id: self.ids.next(),
+            requested_at: now,
+            completed_at,
+            cold_start,
+            compute,
+            latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servo_types::MemoryMb;
+
+    fn platform(memory: u32) -> FaasPlatform {
+        FaasPlatform::new(
+            FunctionConfig::aws_like(MemoryMb::new(memory)),
+            SimRng::seed(42),
+        )
+    }
+
+    #[test]
+    fn first_invocation_is_cold_warm_reuse_after() {
+        let mut p = platform(1024);
+        let a = p.invoke(SimTime::ZERO, 10.0).unwrap();
+        assert!(a.cold_start);
+        let b = p.invoke(a.completed_at, 10.0).unwrap();
+        assert!(!b.cold_start);
+        assert_eq!(p.stats().invocations, 2);
+        assert_eq!(p.stats().cold_starts, 1);
+        assert!(a.latency > b.latency);
+    }
+
+    #[test]
+    fn concurrent_invocations_each_get_a_container() {
+        let mut p = platform(1024);
+        let now = SimTime::ZERO;
+        for _ in 0..10 {
+            let inv = p.invoke(now, 100.0).unwrap();
+            assert!(inv.cold_start, "parallel requests cannot share a container");
+        }
+        assert_eq!(p.stats().cold_starts, 10);
+        assert!(p.stats().peak_concurrency >= 10);
+    }
+
+    #[test]
+    fn idle_containers_are_reclaimed() {
+        let mut p = platform(1024);
+        let a = p.invoke(SimTime::ZERO, 10.0).unwrap();
+        // Invoke again long after the idle timeout.
+        let later = a.completed_at + SimDuration::from_secs(600);
+        assert_eq!(p.warm_containers(later), 0);
+        let b = p.invoke(later, 10.0).unwrap();
+        assert!(b.cold_start);
+    }
+
+    #[test]
+    fn concurrency_limit_rejects() {
+        let mut config = FunctionConfig::aws_like(MemoryMb::new(1024));
+        config.max_concurrency = Some(2);
+        let mut p = FaasPlatform::new(config, SimRng::seed(1));
+        let now = SimTime::ZERO;
+        p.invoke(now, 1000.0).unwrap();
+        p.invoke(now, 1000.0).unwrap();
+        let err = p.invoke(now, 1000.0).unwrap_err();
+        assert!(matches!(err, ServoError::LimitExceeded { .. }));
+        assert_eq!(p.stats().rejected, 1);
+    }
+
+    #[test]
+    fn timeout_rejects_oversized_work() {
+        let mut config = FunctionConfig::aws_like(MemoryMb::new(1024));
+        config.timeout = SimDuration::from_secs(1);
+        let mut p = FaasPlatform::new(config, SimRng::seed(1));
+        let err = p.invoke(SimTime::ZERO, 1e7).unwrap_err();
+        assert!(matches!(err, ServoError::FunctionFailed { .. }));
+    }
+
+    #[test]
+    fn latency_includes_compute_and_overhead() {
+        let mut p = platform(1792); // exactly one vCPU
+        let inv = p.invoke(SimTime::ZERO, 500.0).unwrap();
+        assert!(inv.compute.as_millis() >= 450 && inv.compute.as_millis() <= 550);
+        assert!(inv.latency > inv.compute);
+        assert_eq!(inv.completed_at, inv.requested_at + inv.latency);
+    }
+
+    #[test]
+    fn more_memory_gives_lower_latency() {
+        let mut small = platform(320);
+        let mut large = platform(10240);
+        // Average over several warm invocations.
+        let mut t_small = SimTime::ZERO;
+        let mut t_large = SimTime::ZERO;
+        let mut small_total = 0.0;
+        let mut large_total = 0.0;
+        for _ in 0..20 {
+            let a = small.invoke(t_small, 550.0).unwrap();
+            t_small = a.completed_at;
+            small_total += a.latency.as_millis_f64();
+            let b = large.invoke(t_large, 550.0).unwrap();
+            t_large = b.completed_at;
+            large_total += b.latency.as_millis_f64();
+        }
+        assert!(small_total > 3.0 * large_total);
+    }
+
+    #[test]
+    fn billing_accumulates_per_invocation() {
+        let mut p = platform(1024);
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            now = p.invoke(now, 100.0).unwrap().completed_at;
+        }
+        assert_eq!(p.billing().invocations(), 5);
+        assert!(p.billing().total_cost_usd() > 0.0);
+    }
+
+    #[test]
+    fn invocation_ids_are_unique() {
+        let mut p = platform(1024);
+        let a = p.invoke(SimTime::ZERO, 1.0).unwrap();
+        let b = p.invoke(SimTime::ZERO, 1.0).unwrap();
+        assert_ne!(a.id, b.id);
+    }
+}

@@ -1,0 +1,160 @@
+//! The "maximum number of supported players" metric.
+//!
+//! The paper defines the maximum number of supported players as the largest
+//! player count for which less than 5% of tick-duration samples exceed the
+//! 50 ms tick budget (Section IV-B).
+
+use servo_types::{consts, SimDuration};
+
+/// Whether a set of tick durations satisfies the QoS rule: less than
+/// `violation_fraction` of samples exceed `budget`.
+///
+/// # Example
+///
+/// ```
+/// use servo_metrics::qos_satisfied;
+/// use servo_types::SimDuration;
+///
+/// let good: Vec<SimDuration> = (0..100).map(|_| SimDuration::from_millis(30)).collect();
+/// assert!(qos_satisfied(&good, SimDuration::from_millis(50), 0.05));
+///
+/// let bad: Vec<SimDuration> = (0..100)
+///     .map(|i| SimDuration::from_millis(if i < 10 { 80 } else { 30 }))
+///     .collect();
+/// assert!(!qos_satisfied(&bad, SimDuration::from_millis(50), 0.05));
+/// ```
+pub fn qos_satisfied(
+    tick_durations: &[SimDuration],
+    budget: SimDuration,
+    violation_fraction: f64,
+) -> bool {
+    if tick_durations.is_empty() {
+        return false;
+    }
+    let violations = tick_durations.iter().filter(|&&d| d > budget).count();
+    (violations as f64) < violation_fraction * tick_durations.len() as f64
+}
+
+/// Whether tick durations satisfy the paper's default rule: fewer than 5% of
+/// samples above 50 ms.
+pub fn qos_satisfied_default(tick_durations: &[SimDuration]) -> bool {
+    qos_satisfied(
+        tick_durations,
+        consts::TICK_BUDGET,
+        consts::QOS_VIOLATION_FRACTION,
+    )
+}
+
+/// The outcome of a capacity search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityResult {
+    /// The largest player count that satisfied the QoS rule, or zero if even
+    /// the smallest tested count failed (the paper reports "0 players(!)"
+    /// for Opencraft and Minecraft at 200 simulated constructs).
+    pub max_players: u32,
+    /// Every player count that was evaluated, with its pass/fail outcome.
+    pub evaluated: Vec<(u32, bool)>,
+}
+
+impl CapacityResult {
+    /// Player counts that passed the QoS rule.
+    pub fn passing_counts(&self) -> Vec<u32> {
+        self.evaluated
+            .iter()
+            .filter(|(_, ok)| *ok)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+}
+
+/// Finds the maximum supported player count by evaluating `run` (which maps a
+/// player count to the tick durations observed at that count) over the given
+/// candidate counts, in increasing order.
+///
+/// The search mirrors the paper's methodology: player counts are swept
+/// upward and the maximum reported is the largest count whose samples pass
+/// the QoS rule. The sweep continues past a failing count (the paper's
+/// Figure 7b shows all counts), so a temporary dip does not truncate the
+/// search; the *largest* passing count is returned.
+pub fn max_supported<F>(candidates: &[u32], mut run: F) -> CapacityResult
+where
+    F: FnMut(u32) -> Vec<SimDuration>,
+{
+    let mut evaluated = Vec::with_capacity(candidates.len());
+    let mut max_players = 0;
+    for &n in candidates {
+        let ticks = run(n);
+        let ok = qos_satisfied_default(&ticks);
+        if ok {
+            max_players = max_players.max(n);
+        }
+        evaluated.push((n, ok));
+    }
+    CapacityResult {
+        max_players,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticks_ms(ms: u64, n: usize) -> Vec<SimDuration> {
+        (0..n).map(|_| SimDuration::from_millis(ms)).collect()
+    }
+
+    #[test]
+    fn empty_samples_never_satisfy_qos() {
+        assert!(!qos_satisfied_default(&[]));
+    }
+
+    #[test]
+    fn exactly_five_percent_violations_fail() {
+        // 5 of 100 samples above budget is NOT "< 5%".
+        let mut ticks = ticks_ms(30, 95);
+        ticks.extend(ticks_ms(60, 5));
+        assert!(!qos_satisfied_default(&ticks));
+        // 4 of 100 passes.
+        let mut ticks = ticks_ms(30, 96);
+        ticks.extend(ticks_ms(60, 4));
+        assert!(qos_satisfied_default(&ticks));
+    }
+
+    #[test]
+    fn boundary_value_is_not_a_violation() {
+        // Exactly 50 ms does not exceed the budget.
+        assert!(qos_satisfied_default(&ticks_ms(50, 100)));
+        assert!(!qos_satisfied_default(&ticks_ms(51, 100)));
+    }
+
+    #[test]
+    fn capacity_search_finds_threshold() {
+        let candidates: Vec<u32> = (1..=20).map(|i| i * 10).collect();
+        // Model: tick time = players / 4 ms, so the budget of 50 ms breaks at
+        // >200... use players / 2 to break at >100.
+        let result = max_supported(&candidates, |players| {
+            ticks_ms((players / 2) as u64, 200)
+        });
+        assert_eq!(result.max_players, 100);
+        assert_eq!(result.evaluated.len(), 20);
+        assert_eq!(result.passing_counts().last(), Some(&100));
+    }
+
+    #[test]
+    fn capacity_zero_when_all_fail() {
+        let result = max_supported(&[10, 20], |_| ticks_ms(80, 50));
+        assert_eq!(result.max_players, 0);
+        assert!(result.passing_counts().is_empty());
+    }
+
+    #[test]
+    fn capacity_reports_largest_passing_count_even_after_dip() {
+        // 10 passes, 20 fails, 30 passes: the paper reports the largest.
+        let result = max_supported(&[10, 20, 30], |n| match n {
+            20 => ticks_ms(70, 100),
+            _ => ticks_ms(20, 100),
+        });
+        assert_eq!(result.max_players, 30);
+    }
+}

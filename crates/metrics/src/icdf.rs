@@ -1,0 +1,96 @@
+//! Inverse (complementary) cumulative distribution functions.
+//!
+//! Figure 13 of the paper plots, for each latency `x`, the *fraction of
+//! operations with latency at least `x`* on a logarithmic axis. This module
+//! produces those curves from raw samples.
+
+/// One point of a complementary CDF: `fraction` of samples are `>= value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcdfPoint {
+    /// The sample value (e.g. latency in milliseconds).
+    pub value: f64,
+    /// Fraction of samples greater than or equal to `value`, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+/// Computes the complementary CDF of `samples`.
+///
+/// The returned points are sorted by increasing `value`, with `fraction`
+/// decreasing from 1 towards `1/n`. Duplicate values are merged.
+///
+/// # Example
+///
+/// ```
+/// use servo_metrics::ccdf_points;
+/// let pts = ccdf_points(&[1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(pts[0].value, 1.0);
+/// assert_eq!(pts[0].fraction, 1.0);
+/// assert_eq!(pts.last().unwrap().value, 4.0);
+/// assert_eq!(pts.last().unwrap().fraction, 0.25);
+/// ```
+pub fn ccdf_points(samples: &[f64]) -> Vec<CcdfPoint> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    let mut points = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let value = sorted[i];
+        // All samples at indices >= i are >= value.
+        let fraction = (sorted.len() - i) as f64 / n;
+        points.push(CcdfPoint { value, fraction });
+        // Skip duplicates.
+        while i < sorted.len() && sorted[i] == value {
+            i += 1;
+        }
+    }
+    points
+}
+
+/// Returns the fraction of samples that are at least `threshold`.
+pub fn fraction_at_least(samples: &[f64], threshold: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&s| s >= threshold).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_gives_empty_curve() {
+        assert!(ccdf_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn fractions_are_monotonically_decreasing() {
+        let samples: Vec<f64> = (0..500).map(|i| ((i * 37) % 113) as f64).collect();
+        let pts = ccdf_points(&samples);
+        for w in pts.windows(2) {
+            assert!(w[0].value < w[1].value);
+            assert!(w[0].fraction > w[1].fraction);
+        }
+        assert_eq!(pts[0].fraction, 1.0);
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let pts = ccdf_points(&[3.0, 3.0, 3.0]);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].fraction, 1.0);
+    }
+
+    #[test]
+    fn fraction_at_least_matches_curve() {
+        let samples = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(fraction_at_least(&samples, 25.0), 0.5);
+        assert_eq!(fraction_at_least(&samples, 10.0), 1.0);
+        assert_eq!(fraction_at_least(&samples, 41.0), 0.0);
+        assert_eq!(fraction_at_least(&[], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Player-perceived response time.
+//!
+//! The paper's operational model (Section II-A) defines the response time
+//! `t_r` of a player action as the time between the action being issued and
+//! its effect becoming visible to all players: one network traversal to the
+//! server (`t_n`), waiting for the next simulation step, the step itself
+//! (`t_s`), and the network traversal back. This module derives response-time
+//! distributions from measured tick durations so experiments can relate
+//! server-side tick behaviour to the latency thresholds per game genre shown
+//! in Figure 3.
+
+use servo_types::{consts, SimDuration};
+
+use crate::summary::Summary;
+
+/// The game-genre latency classes of Claypool & Claypool, as used by the
+/// paper's Figure 3 thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GenreThreshold {
+    /// First-person games: ~100 ms. MVEs such as Minecraft fall here.
+    FirstPerson,
+    /// Third-person / RPG games: ~500 ms.
+    ThirdPerson,
+    /// Omnipresent (RTS) games: ~1000 ms.
+    Omnipresent,
+}
+
+impl GenreThreshold {
+    /// The threshold value in milliseconds.
+    pub fn millis(self) -> f64 {
+        match self {
+            GenreThreshold::FirstPerson => consts::FPS_LATENCY_THRESHOLD_MS as f64,
+            GenreThreshold::ThirdPerson => consts::RPG_LATENCY_THRESHOLD_MS as f64,
+            GenreThreshold::Omnipresent => consts::RTS_LATENCY_THRESHOLD_MS as f64,
+        }
+    }
+}
+
+/// Computes per-action response times (milliseconds) from a series of tick
+/// durations.
+///
+/// The model follows Section II-A of the paper, assuming symmetric network
+/// latency: an action issued at a uniformly random point within a tick waits
+/// on average half a tick interval before the next simulation step begins,
+/// is processed by that step, and its result is shipped back.
+///
+/// `network_one_way_ms` is `t_n`; each tick-duration sample produces one
+/// response-time sample.
+pub fn response_times(tick_durations: &[SimDuration], network_one_way_ms: f64) -> Vec<f64> {
+    let half_interval = consts::TICK_BUDGET.as_millis_f64() / 2.0;
+    tick_durations
+        .iter()
+        .map(|t_s| 2.0 * network_one_way_ms.max(0.0) + half_interval + t_s.as_millis_f64())
+        .collect()
+}
+
+/// Summary of a response-time distribution together with the fraction of
+/// actions exceeding each genre threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseSummary {
+    /// Distribution summary of the response times, in milliseconds.
+    pub summary: Summary,
+    /// Fraction of actions above the first-person threshold (100 ms).
+    pub over_first_person: f64,
+    /// Fraction of actions above the third-person threshold (500 ms).
+    pub over_third_person: f64,
+    /// Fraction of actions above the omnipresent threshold (1000 ms).
+    pub over_omnipresent: f64,
+}
+
+/// Builds a [`ResponseSummary`] from tick durations and a one-way network
+/// latency.
+pub fn response_summary(
+    tick_durations: &[SimDuration],
+    network_one_way_ms: f64,
+) -> ResponseSummary {
+    let times = response_times(tick_durations, network_one_way_ms);
+    ResponseSummary {
+        summary: Summary::from_values(&times),
+        over_first_person: Summary::fraction_above(&times, GenreThreshold::FirstPerson.millis()),
+        over_third_person: Summary::fraction_above(&times, GenreThreshold::ThirdPerson.millis()),
+        over_omnipresent: Summary::fraction_above(&times, GenreThreshold::Omnipresent.millis()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticks(ms: u64, n: usize) -> Vec<SimDuration> {
+        (0..n).map(|_| SimDuration::from_millis(ms)).collect()
+    }
+
+    #[test]
+    fn response_time_composition() {
+        // 20 ms one-way network, 30 ms tick: 20 + 20 + 25 (half interval) + 30.
+        let times = response_times(&ticks(30, 4), 20.0);
+        assert_eq!(times.len(), 4);
+        for t in times {
+            assert!((t - 95.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_network_latency_is_clamped() {
+        let times = response_times(&ticks(10, 1), -5.0);
+        assert!((times[0] - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn genre_thresholds_are_ordered() {
+        assert!(GenreThreshold::FirstPerson.millis() < GenreThreshold::ThirdPerson.millis());
+        assert!(GenreThreshold::ThirdPerson.millis() < GenreThreshold::Omnipresent.millis());
+    }
+
+    #[test]
+    fn healthy_server_meets_first_person_budget_on_lan() {
+        // 30 ms ticks and 10 ms network stay under the 100 ms first-person
+        // threshold.
+        let summary = response_summary(&ticks(30, 100), 10.0);
+        assert_eq!(summary.over_first_person, 0.0);
+        assert_eq!(summary.over_omnipresent, 0.0);
+        assert!(summary.summary.p50 < 100.0);
+    }
+
+    #[test]
+    fn overloaded_server_violates_first_person_budget() {
+        // 90 ms ticks blow the first-person budget even with zero network
+        // latency, but remain acceptable for slower genres.
+        let summary = response_summary(&ticks(90, 100), 0.0);
+        assert_eq!(summary.over_first_person, 1.0);
+        assert_eq!(summary.over_third_person, 0.0);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_distribution() {
+        let summary = response_summary(&[], 10.0);
+        assert_eq!(summary.summary.count, 0);
+        assert_eq!(summary.over_first_person, 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Rolling percentile bands over a time series.
+//!
+//! Figures 10 and 12a of the paper show tick duration over time as a rolling
+//! arithmetic mean with a band between the rolling 5th and 95th percentiles,
+//! computed over a 2.5-second window.
+
+use servo_types::{SimDuration, SimTime};
+
+use crate::summary::percentile;
+
+/// A timestamped sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimePoint {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// The sample value (milliseconds for tick durations).
+    pub value: f64,
+}
+
+/// One aggregated window of a rolling band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandPoint {
+    /// Centre time of the window.
+    pub at: SimTime,
+    /// Rolling 5th percentile.
+    pub p05: f64,
+    /// Rolling arithmetic mean.
+    pub mean: f64,
+    /// Rolling 95th percentile.
+    pub p95: f64,
+}
+
+/// Computes rolling percentile bands over a time series.
+///
+/// # Example
+///
+/// ```
+/// use servo_metrics::{RollingBands, TimePoint};
+/// use servo_types::{SimDuration, SimTime};
+///
+/// let series: Vec<TimePoint> = (0..100)
+///     .map(|i| TimePoint { at: SimTime::from_millis(i * 50), value: 20.0 + (i % 3) as f64 })
+///     .collect();
+/// let bands = RollingBands::new(SimDuration::from_millis(2500)).compute(&series);
+/// assert!(!bands.is_empty());
+/// assert!(bands.iter().all(|b| b.p05 <= b.mean && b.mean <= b.p95));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RollingBands {
+    window: SimDuration,
+}
+
+impl RollingBands {
+    /// Creates a rolling-band computation with the given window length.
+    pub fn new(window: SimDuration) -> Self {
+        RollingBands { window }
+    }
+
+    /// The 2.5-second window the paper uses.
+    pub fn paper_default() -> Self {
+        RollingBands::new(SimDuration::from_millis(2500))
+    }
+
+    /// Aggregates the series into consecutive windows; each window produces
+    /// one [`BandPoint`] centred on the window. Samples must be provided in
+    /// any order; they are grouped by timestamp.
+    pub fn compute(&self, series: &[TimePoint]) -> Vec<BandPoint> {
+        if series.is_empty() {
+            return Vec::new();
+        }
+        let window_us = self.window.as_micros().max(1);
+        let mut sorted: Vec<&TimePoint> = series.iter().collect();
+        sorted.sort_by_key(|p| p.at);
+        let start = sorted[0].at.as_micros();
+
+        let mut bands = Vec::new();
+        let mut bucket: Vec<f64> = Vec::new();
+        let mut bucket_index = 0u64;
+        for p in sorted {
+            let idx = (p.at.as_micros() - start) / window_us;
+            if idx != bucket_index && !bucket.is_empty() {
+                bands.push(Self::finish_bucket(start, bucket_index, window_us, &bucket));
+                bucket.clear();
+            }
+            bucket_index = idx;
+            bucket.push(p.value);
+        }
+        if !bucket.is_empty() {
+            bands.push(Self::finish_bucket(start, bucket_index, window_us, &bucket));
+        }
+        bands
+    }
+
+    fn finish_bucket(start: u64, index: u64, window_us: u64, values: &[f64]) -> BandPoint {
+        let centre = start + index * window_us + window_us / 2;
+        BandPoint {
+            at: SimTime::from_micros(centre),
+            p05: percentile(values, 0.05),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            p95: percentile(values, 0.95),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: u64, period_ms: u64, f: impl Fn(u64) -> f64) -> Vec<TimePoint> {
+        (0..n)
+            .map(|i| TimePoint {
+                at: SimTime::from_millis(i * period_ms),
+                value: f(i),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_series_gives_no_bands() {
+        let bands = RollingBands::paper_default().compute(&[]);
+        assert!(bands.is_empty());
+    }
+
+    #[test]
+    fn constant_series_has_flat_bands() {
+        let s = series(200, 50, |_| 25.0);
+        let bands = RollingBands::paper_default().compute(&s);
+        assert!(!bands.is_empty());
+        for b in bands {
+            assert_eq!(b.p05, 25.0);
+            assert_eq!(b.mean, 25.0);
+            assert_eq!(b.p95, 25.0);
+        }
+    }
+
+    #[test]
+    fn band_count_matches_duration_over_window() {
+        // 200 ticks at 50 ms = 10 s; 2.5 s windows -> 4 bands.
+        let s = series(200, 50, |i| i as f64);
+        let bands = RollingBands::paper_default().compute(&s);
+        assert_eq!(bands.len(), 4);
+        // Band centres are increasing.
+        assert!(bands.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn bands_are_ordered_p05_mean_p95() {
+        let s = series(500, 50, |i| ((i * 31) % 67) as f64);
+        for b in RollingBands::paper_default().compute(&s) {
+            assert!(b.p05 <= b.mean + 1e-9);
+            assert!(b.mean <= b.p95 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut s = series(100, 50, |i| i as f64);
+        s.reverse();
+        let bands = RollingBands::paper_default().compute(&s);
+        assert_eq!(bands.len(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Percentiles, summary statistics, and boxplot descriptions.
+
+use servo_types::SimDuration;
+
+/// Linear-interpolation percentile of a slice of values.
+///
+/// `q` is a fraction in `[0, 1]`; `q = 0.5` is the median. The input does not
+/// need to be sorted. Returns `0.0` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use servo_metrics::percentile;
+/// let v = vec![1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 0.5), 2.5);
+/// assert_eq!(percentile(&v, 1.0), 4.0);
+/// ```
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_sorted(&sorted, q)
+}
+
+/// Percentile of an already-sorted slice (ascending). See [`percentile`].
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Summary statistics of a set of samples, in the units of the input
+/// (milliseconds when built from durations).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// First quartile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// Third quartile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over raw floating-point samples.
+    pub fn from_values(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            p05: percentile_sorted(&sorted, 0.05),
+            p25: percentile_sorted(&sorted, 0.25),
+            p50: percentile_sorted(&sorted, 0.50),
+            p75: percentile_sorted(&sorted, 0.75),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+            p999: percentile_sorted(&sorted, 0.999),
+        }
+    }
+
+    /// Computes summary statistics over durations, in milliseconds.
+    pub fn from_durations(durations: &[SimDuration]) -> Summary {
+        let values: Vec<f64> = durations.iter().map(|d| d.as_millis_f64()).collect();
+        Summary::from_values(&values)
+    }
+
+    /// The fraction of samples strictly greater than `threshold` — the
+    /// quantity the paper's 5%-over-50 ms QoS rule is evaluated on.
+    pub fn fraction_above(values: &[f64], threshold: f64) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().filter(|&&v| v > threshold).count() as f64 / values.len() as f64
+    }
+}
+
+/// The five-number boxplot description the paper's figures use: whiskers at
+/// the 5th/95th percentiles, box at the quartiles, plus the maximum printed
+/// above each box (Figure 7b).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Boxplot {
+    /// Lower whisker (5th percentile).
+    pub whisker_low: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (95th percentile).
+    pub whisker_high: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl Boxplot {
+    /// Builds the boxplot description of a set of samples.
+    pub fn from_values(values: &[f64]) -> Boxplot {
+        let s = Summary::from_values(values);
+        Boxplot {
+            whisker_low: s.p05,
+            q1: s.p25,
+            median: s.p50,
+            q3: s.p75,
+            whisker_high: s.p95,
+            max: s.max,
+        }
+    }
+
+    /// Builds the boxplot description from durations, in milliseconds.
+    pub fn from_durations(durations: &[SimDuration]) -> Boxplot {
+        let values: Vec<f64> = durations.iter().map(|d| d.as_millis_f64()).collect();
+        Boxplot::from_values(&values)
+    }
+
+    /// Height of the box (inter-quartile range), a proxy the paper uses for
+    /// performance variability.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 1.0), 7.0);
+        let unsorted = vec![5.0, 1.0, 3.0];
+        assert_eq!(percentile(&unsorted, 0.5), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v: Vec<f64> = (1..=5).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 0.25), 2.0);
+        assert_eq!(percentile(&v, 0.625), 3.5);
+    }
+
+    #[test]
+    fn summary_of_uniform_ramp() {
+        let v: Vec<f64> = (0..=100).map(|x| x as f64).collect();
+        let s = Summary::from_values(&v);
+        assert_eq!(s.count, 101);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert!((s.mean - 50.0).abs() < 1e-9);
+        assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn summary_from_durations_uses_milliseconds() {
+        let d: Vec<SimDuration> = (1..=9).map(SimDuration::from_millis).collect();
+        let s = Summary::from_durations(&d);
+        assert_eq!(s.p50, 5.0);
+    }
+
+    #[test]
+    fn fraction_above_counts_strictly_greater() {
+        let v = vec![10.0, 50.0, 60.0, 70.0];
+        assert_eq!(Summary::fraction_above(&v, 50.0), 0.5);
+        assert_eq!(Summary::fraction_above(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn boxplot_ordering_invariant() {
+        let v: Vec<f64> = (0..1000).map(|x| (x % 97) as f64).collect();
+        let b = Boxplot::from_values(&v);
+        assert!(b.whisker_low <= b.q1);
+        assert!(b.q1 <= b.median);
+        assert!(b.median <= b.q3);
+        assert!(b.q3 <= b.whisker_high);
+        assert!(b.whisker_high <= b.max);
+        assert!(b.iqr() >= 0.0);
+    }
+
+    #[test]
+    fn empty_summary_is_default() {
+        assert_eq!(Summary::from_values(&[]), Summary::default());
+    }
+}

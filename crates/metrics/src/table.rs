@@ -1,0 +1,155 @@
+//! Plain-text tables and CSV output for experiment results.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table used by the experiment binaries to print
+/// paper-style result tables to stdout and to export CSV files.
+///
+/// # Example
+///
+/// ```
+/// use servo_metrics::Table;
+/// let mut t = Table::new(vec!["game", "players"]);
+/// t.row(vec!["Servo".to_string(), "150".to_string()]);
+/// let text = t.render();
+/// assert!(text.contains("Servo"));
+/// assert!(t.to_csv().starts_with("game,players"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&self.headers, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (comma-separated, quoting cells containing
+    /// commas or quotes).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals, for table cells.
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_contains_data() {
+        let mut t = Table::new(vec!["a", "long header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "22".into()]);
+        let text = t.render();
+        assert!(text.contains("long header"));
+        assert!(text.contains("yyyy"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["only one".into()]);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "only one,,");
+    }
+
+    #[test]
+    fn csv_escapes_special_characters() {
+        let mut t = Table::new(vec!["name"]);
+        t.row(vec!["a,b".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn fmt_f64_rounds() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(1.0, 0), "1");
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        let t = Table::new(vec!["h"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains('h'));
+    }
+}

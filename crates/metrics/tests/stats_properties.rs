@@ -1,0 +1,67 @@
+//! Property-based tests for the measurement utilities.
+
+use proptest::prelude::*;
+use servo_metrics::{ccdf_points, percentile, qos_satisfied, Boxplot, Summary};
+use servo_types::SimDuration;
+
+proptest! {
+    /// Percentiles are monotone in the quantile and bounded by min/max.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0.0f64..10_000.0, 1..300),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = percentile(&values, lo);
+        let p_hi = percentile(&values, hi);
+        prop_assert!(p_lo <= p_hi + 1e-9);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p_lo >= min - 1e-9 && p_hi <= max + 1e-9);
+    }
+
+    /// Summary invariants: ordering of the reported percentiles and the mean
+    /// lying between min and max.
+    #[test]
+    fn summary_is_internally_consistent(values in prop::collection::vec(-1000.0f64..1000.0, 1..300)) {
+        let s = Summary::from_values(&values);
+        prop_assert_eq!(s.count, values.len());
+        prop_assert!(s.min <= s.p05 && s.p05 <= s.p25 && s.p25 <= s.p50);
+        prop_assert!(s.p50 <= s.p75 && s.p75 <= s.p95 && s.p95 <= s.p99);
+        prop_assert!(s.p99 <= s.p999 && s.p999 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        let b = Boxplot::from_values(&values);
+        prop_assert!(b.whisker_low <= b.median && b.median <= b.whisker_high);
+    }
+
+    /// The CCDF starts at fraction 1, is strictly decreasing, and every
+    /// fraction is consistent with a direct count.
+    #[test]
+    fn ccdf_matches_direct_counts(values in prop::collection::vec(0.0f64..500.0, 1..200)) {
+        let points = ccdf_points(&values);
+        prop_assert_eq!(points[0].fraction, 1.0);
+        for pair in points.windows(2) {
+            prop_assert!(pair[0].value < pair[1].value);
+            prop_assert!(pair[0].fraction > pair[1].fraction);
+        }
+        for point in &points {
+            let count = values.iter().filter(|v| **v >= point.value).count();
+            prop_assert!((point.fraction - count as f64 / values.len() as f64).abs() < 1e-9);
+        }
+    }
+
+    /// The QoS rule agrees with a direct violation count for any threshold.
+    #[test]
+    fn qos_rule_matches_direct_count(
+        millis in prop::collection::vec(1u64..200, 1..400),
+        budget_ms in 10u64..100,
+        fraction in 0.01f64..0.2,
+    ) {
+        let ticks: Vec<SimDuration> = millis.iter().map(|&m| SimDuration::from_millis(m)).collect();
+        let budget = SimDuration::from_millis(budget_ms);
+        let violations = millis.iter().filter(|&&m| m > budget_ms).count();
+        let expected = (violations as f64) < fraction * millis.len() as f64;
+        prop_assert_eq!(qos_satisfied(&ticks, budget, fraction), expected);
+    }
+}

@@ -1,0 +1,78 @@
+//! Generation cost model.
+//!
+//! The paper's Figure 11 measures chunk-generation latency on AWS Lambda as
+//! a function of the memory (and therefore vCPU share) allocated to the
+//! function: roughly 0.9 s on a 10240 MB function and more than 3 s on a
+//! 320 MB function. The cost model here expresses generation work in
+//! abstract *work units*; the FaaS platform simulator divides work units by
+//! the function's compute speed to obtain latency, which reproduces that
+//! scaling curve.
+
+use servo_types::SimDuration;
+
+/// The compute cost of generating a single chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationCost {
+    /// Abstract work units per chunk. One work unit corresponds to one
+    /// millisecond of compute on a full vCPU (the calibration anchor).
+    pub work_units: f64,
+}
+
+impl GenerationCost {
+    /// Cost of generating a flat-world chunk (trivial: three filled layers).
+    pub const FLAT: GenerationCost = GenerationCost { work_units: 30.0 };
+
+    /// Cost of generating a default-world chunk. Calibrated so that a full
+    /// vCPU takes about 0.55 s per chunk, matching the paper's observation
+    /// that a 10 GB Lambda function (~5.7 vCPU, but generation is mostly
+    /// single-threaded so the effective speed-up saturates) generates a
+    /// chunk in just under a second and a 320 MB function needs over 3 s.
+    pub const DEFAULT_WORLD: GenerationCost = GenerationCost { work_units: 550.0 };
+
+    /// Creates a cost of `work_units` abstract units.
+    pub fn new(work_units: f64) -> Self {
+        GenerationCost {
+            work_units: work_units.max(0.0),
+        }
+    }
+
+    /// The time this work takes on a processor running at `speed_factor`
+    /// times the speed of one full vCPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_factor` is not positive.
+    pub fn duration_at_speed(&self, speed_factor: f64) -> SimDuration {
+        assert!(speed_factor > 0.0, "speed factor must be positive");
+        SimDuration::from_millis_f64(self.work_units / speed_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_scales_inversely_with_speed() {
+        let cost = GenerationCost::new(100.0);
+        assert_eq!(cost.duration_at_speed(1.0).as_millis(), 100);
+        assert_eq!(cost.duration_at_speed(2.0).as_millis(), 50);
+        assert_eq!(cost.duration_at_speed(0.25).as_millis(), 400);
+    }
+
+    #[test]
+    fn negative_work_clamps_to_zero() {
+        assert_eq!(GenerationCost::new(-5.0).work_units, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factor")]
+    fn zero_speed_is_rejected() {
+        GenerationCost::new(1.0).duration_at_speed(0.0);
+    }
+
+    #[test]
+    fn default_world_is_much_more_expensive_than_flat() {
+        assert!(GenerationCost::DEFAULT_WORLD.work_units >= 10.0 * GenerationCost::FLAT.work_units);
+    }
+}

@@ -1,0 +1,257 @@
+//! Terrain generators.
+
+use servo_types::consts::{CHUNK_HEIGHT, CHUNK_SIZE};
+use servo_types::ChunkPos;
+use servo_world::{Block, Chunk};
+
+use crate::cost::GenerationCost;
+use crate::noise::Perlin;
+
+/// A terrain generator: produces the chunk at a given position,
+/// deterministically from its configuration (seed).
+///
+/// Both the monolithic baseline servers and Servo's serverless generation
+/// functions use implementations of this trait; Servo simply runs it inside
+/// a function invocation instead of on the game server.
+pub trait TerrainGenerator: Send + Sync {
+    /// Generates the chunk at `pos`.
+    fn generate(&self, pos: ChunkPos) -> Chunk;
+
+    /// The compute cost of generating one chunk, used by the platform
+    /// simulators to model generation latency.
+    fn cost(&self) -> GenerationCost;
+
+    /// A short human-readable name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The flat world: bedrock floor, dirt body, grass surface — the world type
+/// players use to prototype simulated constructs (Section IV-A).
+#[derive(Debug, Clone)]
+pub struct FlatGenerator {
+    ground_height: i32,
+}
+
+impl FlatGenerator {
+    /// Creates a flat generator whose grass surface sits at `ground_height`.
+    pub fn new(ground_height: i32) -> Self {
+        FlatGenerator {
+            ground_height: ground_height.clamp(1, CHUNK_HEIGHT - 1),
+        }
+    }
+
+    /// The height of the grass surface.
+    pub fn ground_height(&self) -> i32 {
+        self.ground_height
+    }
+}
+
+impl Default for FlatGenerator {
+    fn default() -> Self {
+        FlatGenerator::new(4)
+    }
+}
+
+impl TerrainGenerator for FlatGenerator {
+    fn generate(&self, pos: ChunkPos) -> Chunk {
+        let mut chunk = Chunk::empty(pos);
+        chunk
+            .fill_layer(0, Block::Bedrock)
+            .expect("layer 0 in range");
+        for y in 1..self.ground_height {
+            chunk.fill_layer(y, Block::Dirt).expect("layer in range");
+        }
+        chunk
+            .fill_layer(self.ground_height, Block::Grass)
+            .expect("ground in range");
+        chunk
+    }
+
+    fn cost(&self) -> GenerationCost {
+        GenerationCost::FLAT
+    }
+
+    fn name(&self) -> &'static str {
+        "flat"
+    }
+}
+
+/// The default world: procedurally generated terrain with mountains,
+/// water, beaches, and snow-capped peaks, built from fractal Perlin noise.
+#[derive(Debug, Clone)]
+pub struct DefaultGenerator {
+    seed: u64,
+    height_noise: Perlin,
+    detail_noise: Perlin,
+    sea_level: i32,
+}
+
+impl DefaultGenerator {
+    /// Default sea level of the generated world.
+    pub const DEFAULT_SEA_LEVEL: i32 = 62;
+
+    /// Creates a default-world generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DefaultGenerator {
+            seed,
+            height_noise: Perlin::new(seed),
+            detail_noise: Perlin::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1)),
+            sea_level: Self::DEFAULT_SEA_LEVEL,
+        }
+    }
+
+    /// The seed for the pseudo-random number generator — the parameter Servo
+    /// passes to the remote generation function (Section III-D).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The terrain height of the column at world coordinates `(x, z)`.
+    pub fn surface_height(&self, x: i32, z: i32) -> i32 {
+        let wx = x as f64;
+        let wz = z as f64;
+        // Broad mountains plus fine detail.
+        let broad = self.height_noise.fbm(wx, wz, 5, 0.004);
+        let detail = self.detail_noise.fbm(wx, wz, 3, 0.02);
+        let height = self.sea_level as f64 + broad * 48.0 + detail * 8.0;
+        (height.round() as i32).clamp(1, CHUNK_HEIGHT - 2)
+    }
+}
+
+impl TerrainGenerator for DefaultGenerator {
+    fn generate(&self, pos: ChunkPos) -> Chunk {
+        let mut chunk = Chunk::empty(pos);
+        let base = pos.min_block();
+        chunk
+            .fill_layer(0, Block::Bedrock)
+            .expect("layer 0 in range");
+        for lx in 0..CHUNK_SIZE {
+            for lz in 0..CHUNK_SIZE {
+                let wx = base.x + lx;
+                let wz = base.z + lz;
+                let surface = self.surface_height(wx, wz);
+                for y in 1..=surface {
+                    let block = if y == surface {
+                        if surface <= self.sea_level + 1 {
+                            Block::Sand
+                        } else if surface > self.sea_level + 38 {
+                            Block::Snow
+                        } else {
+                            Block::Grass
+                        }
+                    } else if y > surface - 4 {
+                        Block::Dirt
+                    } else {
+                        Block::Stone
+                    };
+                    chunk.set_local(lx, y, lz, block).expect("in range");
+                }
+                // Fill water up to sea level.
+                for y in (surface + 1)..=self.sea_level {
+                    chunk.set_local(lx, y, lz, Block::Water).expect("in range");
+                }
+            }
+        }
+        chunk
+    }
+
+    fn cost(&self) -> GenerationCost {
+        GenerationCost::DEFAULT_WORLD
+    }
+
+    fn name(&self) -> &'static str {
+        "default"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_generator_builds_expected_layers() {
+        let g = FlatGenerator::new(4);
+        let chunk = g.generate(ChunkPos::new(0, 0));
+        assert_eq!(chunk.local(0, 0, 0), Some(Block::Bedrock));
+        assert_eq!(chunk.local(7, 2, 7), Some(Block::Dirt));
+        assert_eq!(chunk.local(7, 4, 7), Some(Block::Grass));
+        assert_eq!(chunk.local(7, 5, 7), Some(Block::Air));
+        assert_eq!(chunk.height_at(3, 3), Some(4));
+    }
+
+    #[test]
+    fn flat_generator_clamps_extreme_heights() {
+        assert_eq!(FlatGenerator::new(0).ground_height(), 1);
+        assert_eq!(FlatGenerator::new(9999).ground_height(), CHUNK_HEIGHT - 1);
+    }
+
+    #[test]
+    fn default_generator_is_deterministic() {
+        let a = DefaultGenerator::new(12345);
+        let b = DefaultGenerator::new(12345);
+        let pos = ChunkPos::new(5, -7);
+        assert_eq!(a.generate(pos).to_bytes(), b.generate(pos).to_bytes());
+    }
+
+    #[test]
+    fn different_seeds_give_different_terrain() {
+        let a = DefaultGenerator::new(1);
+        let b = DefaultGenerator::new(2);
+        let pos = ChunkPos::new(0, 0);
+        assert_ne!(a.generate(pos).to_bytes(), b.generate(pos).to_bytes());
+    }
+
+    #[test]
+    fn default_terrain_has_varied_height_and_features() {
+        let g = DefaultGenerator::new(7);
+        let mut heights = Vec::new();
+        for cx in -3..3 {
+            for cz in -3..3 {
+                let chunk = g.generate(ChunkPos::new(cx, cz));
+                assert!(chunk.non_air_blocks() > 0);
+                for lx in [0, 8, 15] {
+                    for lz in [0, 8, 15] {
+                        heights.push(chunk.height_at(lx, lz).unwrap());
+                    }
+                }
+            }
+        }
+        let min = *heights.iter().min().unwrap();
+        let max = *heights.iter().max().unwrap();
+        assert!(max > min, "terrain is unexpectedly flat");
+        assert!(min >= 1 && max < CHUNK_HEIGHT);
+    }
+
+    #[test]
+    fn surface_blocks_match_biome_rules() {
+        let g = DefaultGenerator::new(3);
+        let mut seen_water_or_sand = false;
+        let mut seen_grass = false;
+        for cx in -6..6 {
+            for cz in -6..6 {
+                let chunk = g.generate(ChunkPos::new(cx, cz));
+                for lx in 0..CHUNK_SIZE {
+                    for lz in 0..CHUNK_SIZE {
+                        let h = chunk.height_at(lx, lz).unwrap();
+                        match chunk.local(lx, h, lz).unwrap() {
+                            Block::Water | Block::Sand => seen_water_or_sand = true,
+                            Block::Grass => seen_grass = true,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        assert!(seen_grass, "no grass found in 144 chunks");
+        assert!(seen_water_or_sand, "no water/beach found in 144 chunks");
+    }
+
+    #[test]
+    fn generation_cost_distinguishes_world_types() {
+        assert!(
+            DefaultGenerator::new(1).cost().work_units > FlatGenerator::default().cost().work_units
+        );
+        assert_eq!(DefaultGenerator::new(1).name(), "default");
+        assert_eq!(FlatGenerator::default().name(), "flat");
+    }
+}

@@ -1,0 +1,198 @@
+//! Two-dimensional Perlin gradient noise.
+
+/// A seeded two-dimensional Perlin noise field.
+///
+/// The implementation is the classic permutation-table construction; the
+/// table is derived from the seed with a small deterministic shuffle so the
+/// same seed always produces the same field.
+///
+/// # Example
+///
+/// ```
+/// use servo_pcg::Perlin;
+/// let noise = Perlin::new(7);
+/// let v = noise.sample(1.5, -2.25);
+/// assert!((-1.0..=1.0).contains(&v));
+/// assert_eq!(v, Perlin::new(7).sample(1.5, -2.25));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Perlin {
+    permutation: [u8; 512],
+    seed: u64,
+}
+
+impl Perlin {
+    /// Creates a noise field from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut table: [u8; 256] = [0; 256];
+        for (i, v) in table.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        // Fisher–Yates shuffle driven by a splitmix64 stream.
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = state;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        };
+        for i in (1..256usize).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            table.swap(i, j);
+        }
+        let mut permutation = [0u8; 512];
+        for i in 0..512 {
+            permutation[i] = table[i % 256];
+        }
+        Perlin { permutation, seed }
+    }
+
+    /// The seed this field was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn gradient(hash: u8, x: f64, y: f64) -> f64 {
+        // Eight gradient directions.
+        match hash & 7 {
+            0 => x + y,
+            1 => x - y,
+            2 => -x + y,
+            3 => -x - y,
+            4 => x,
+            5 => -x,
+            6 => y,
+            _ => -y,
+        }
+    }
+
+    fn fade(t: f64) -> f64 {
+        t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+    }
+
+    fn lerp(a: f64, b: f64, t: f64) -> f64 {
+        a + t * (b - a)
+    }
+
+    /// Samples the noise field at `(x, y)`. The result is in `[-1, 1]`.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let xi = x.floor() as i64;
+        let yi = y.floor() as i64;
+        let xf = x - xi as f64;
+        let yf = y - yi as f64;
+        let xi = (xi & 255) as usize;
+        let yi = (yi & 255) as usize;
+
+        let p = &self.permutation;
+        let aa = p[p[xi] as usize + yi];
+        let ab = p[p[xi] as usize + yi + 1];
+        let ba = p[p[xi + 1] as usize + yi];
+        let bb = p[p[xi + 1] as usize + yi + 1];
+
+        let u = Self::fade(xf);
+        let v = Self::fade(yf);
+
+        let x1 = Self::lerp(
+            Self::gradient(aa, xf, yf),
+            Self::gradient(ba, xf - 1.0, yf),
+            u,
+        );
+        let x2 = Self::lerp(
+            Self::gradient(ab, xf, yf - 1.0),
+            Self::gradient(bb, xf - 1.0, yf - 1.0),
+            u,
+        );
+        // The raw range of this gradient set is within [-2, 2]; normalise.
+        (Self::lerp(x1, x2, v) / 2.0).clamp(-1.0, 1.0)
+    }
+
+    /// Fractal Brownian motion: `octaves` layers of noise, each at double the
+    /// frequency and half the amplitude of the previous. The result is in
+    /// `[-1, 1]`.
+    pub fn fbm(&self, x: f64, y: f64, octaves: u32, base_frequency: f64) -> f64 {
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut frequency = base_frequency;
+        let mut max_amplitude = 0.0;
+        for _ in 0..octaves.max(1) {
+            total += self.sample(x * frequency, y * frequency) * amplitude;
+            max_amplitude += amplitude;
+            amplitude *= 0.5;
+            frequency *= 2.0;
+        }
+        (total / max_amplitude).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_bounded() {
+        let n = Perlin::new(1);
+        for i in -50..50 {
+            for j in -50..50 {
+                let v = n.sample(i as f64 * 0.37, j as f64 * 0.51);
+                assert!((-1.0..=1.0).contains(&v), "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = Perlin::new(99);
+        let b = Perlin::new(99);
+        for i in 0..100 {
+            let x = i as f64 * 0.173;
+            assert_eq!(a.sample(x, -x), b.sample(x, -x));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Perlin::new(1);
+        let b = Perlin::new(2);
+        let differs = (0..100).any(|i| {
+            let x = i as f64 * 0.31 + 0.11;
+            (a.sample(x, x * 0.7) - b.sample(x, x * 0.7)).abs() > 1e-12
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        // Adjacent samples should not jump wildly.
+        let n = Perlin::new(5);
+        let step = 0.01;
+        for i in 0..1000 {
+            let x = i as f64 * step;
+            let a = n.sample(x, 0.5);
+            let b = n.sample(x + step, 0.5);
+            assert!((a - b).abs() < 0.1, "jump at {x}: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn noise_has_variation() {
+        let n = Perlin::new(5);
+        let values: Vec<f64> = (0..200)
+            .map(|i| n.sample(i as f64 * 0.37 + 0.19, i as f64 * 0.23))
+            .collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.3, "range too small: {min}..{max}");
+    }
+
+    #[test]
+    fn fbm_is_bounded_and_deterministic() {
+        let n = Perlin::new(11);
+        for i in 0..100 {
+            let x = i as f64 * 0.7;
+            let v = n.fbm(x, -x * 0.3, 4, 0.05);
+            assert!((-1.0..=1.0).contains(&v));
+            assert_eq!(v, n.fbm(x, -x * 0.3, 4, 0.05));
+        }
+    }
+}

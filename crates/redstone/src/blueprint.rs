@@ -1,0 +1,233 @@
+//! Construct blueprints: block kinds and their positions.
+
+use std::collections::HashMap;
+
+use servo_types::{BlockPos, Direction};
+use servo_world::Block;
+
+/// The kind of a stateful block inside a construct.
+///
+/// These mirror the stateful [`Block`](servo_world::Block) kinds of the
+/// world crate, but carry the circuit semantics used by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CircuitBlock {
+    /// Always emits a full-strength (15) signal.
+    PowerSource,
+    /// Propagates signal with a decay of one level per block.
+    Wire,
+    /// Consumes signal; "lit" when receiving any power.
+    Lamp,
+    /// Re-emits a full-strength signal one tick after being powered.
+    Repeater,
+    /// Inverter: emits full strength one tick after being *unpowered*.
+    Torch,
+}
+
+impl CircuitBlock {
+    /// The world-block representation of this circuit block.
+    pub const fn as_world_block(self) -> Block {
+        match self {
+            CircuitBlock::PowerSource => Block::PowerSource,
+            CircuitBlock::Wire => Block::Wire,
+            CircuitBlock::Lamp => Block::Lamp,
+            CircuitBlock::Repeater => Block::Repeater,
+            CircuitBlock::Torch => Block::Torch,
+        }
+    }
+
+    /// Builds a circuit block from a stateful world block, or `None` for
+    /// passive terrain blocks.
+    pub const fn from_world_block(block: Block) -> Option<CircuitBlock> {
+        Some(match block {
+            Block::PowerSource => CircuitBlock::PowerSource,
+            Block::Wire => CircuitBlock::Wire,
+            Block::Lamp => CircuitBlock::Lamp,
+            Block::Repeater => CircuitBlock::Repeater,
+            Block::Torch => CircuitBlock::Torch,
+            _ => return None,
+        })
+    }
+}
+
+/// The immutable shape of a simulated construct: which stateful blocks it
+/// contains and where they sit relative to each other.
+///
+/// Adjacency (which blocks feed signal into which) is pre-computed when the
+/// blueprint is frozen, so stepping only touches flat arrays.
+///
+/// # Example
+///
+/// ```
+/// use servo_redstone::{Blueprint, CircuitBlock};
+/// use servo_types::BlockPos;
+///
+/// let mut b = Blueprint::new();
+/// b.add(BlockPos::new(0, 0, 0), CircuitBlock::PowerSource);
+/// b.add(BlockPos::new(1, 0, 0), CircuitBlock::Wire);
+/// b.add(BlockPos::new(2, 0, 0), CircuitBlock::Lamp);
+/// assert_eq!(b.len(), 3);
+/// assert_eq!(b.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Blueprint {
+    kinds: Vec<CircuitBlock>,
+    positions: Vec<BlockPos>,
+    /// For each block, the indices of adjacent blocks (6-connectivity).
+    adjacency: Vec<Vec<usize>>,
+    index_by_pos: HashMap<BlockPos, usize>,
+}
+
+impl Blueprint {
+    /// Creates an empty blueprint.
+    pub fn new() -> Self {
+        Blueprint::default()
+    }
+
+    /// Adds a block at `pos`. If a block already exists at that position its
+    /// kind is replaced. Returns the block's index within the construct.
+    pub fn add(&mut self, pos: BlockPos, kind: CircuitBlock) -> usize {
+        if let Some(&idx) = self.index_by_pos.get(&pos) {
+            self.kinds[idx] = kind;
+            return idx;
+        }
+        let idx = self.kinds.len();
+        self.kinds.push(kind);
+        self.positions.push(pos);
+        self.adjacency.push(Vec::new());
+        self.index_by_pos.insert(pos, idx);
+        // Wire up adjacency with existing neighbours.
+        for dir in Direction::ALL {
+            let neighbour_pos = pos.offset(dir);
+            if let Some(&n) = self.index_by_pos.get(&neighbour_pos) {
+                self.adjacency[idx].push(n);
+                self.adjacency[n].push(idx);
+            }
+        }
+        self.adjacency[idx].sort_unstable();
+        idx
+    }
+
+    /// Number of blocks in the construct.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the blueprint contains no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kind of the block at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn kind(&self, index: usize) -> CircuitBlock {
+        self.kinds[index]
+    }
+
+    /// The kinds of all blocks, in index order.
+    pub fn kinds(&self) -> &[CircuitBlock] {
+        &self.kinds
+    }
+
+    /// The position of the block at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn position(&self, index: usize) -> BlockPos {
+        self.positions[index]
+    }
+
+    /// The positions of all blocks, in index order.
+    pub fn positions(&self) -> &[BlockPos] {
+        &self.positions
+    }
+
+    /// The indices of blocks adjacent to the block at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn neighbors(&self, index: usize) -> &[usize] {
+        &self.adjacency[index]
+    }
+
+    /// The index of the block at `pos`, if any.
+    pub fn index_of(&self, pos: BlockPos) -> Option<usize> {
+        self.index_by_pos.get(&pos).copied()
+    }
+
+    /// Translates every block position by `offset`, e.g. to place the
+    /// construct somewhere in the world.
+    pub fn translated(&self, offset: BlockPos) -> Blueprint {
+        let mut out = Blueprint::new();
+        for (i, &kind) in self.kinds.iter().enumerate() {
+            out.add(self.positions[i] + offset, kind);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let mut b = Blueprint::new();
+        let a = b.add(BlockPos::new(0, 0, 0), CircuitBlock::PowerSource);
+        let w = b.add(BlockPos::new(0, 1, 0), CircuitBlock::Wire);
+        let far = b.add(BlockPos::new(5, 5, 5), CircuitBlock::Lamp);
+        assert_eq!(b.neighbors(a), &[w]);
+        assert_eq!(b.neighbors(w), &[a]);
+        assert!(b.neighbors(far).is_empty());
+    }
+
+    #[test]
+    fn duplicate_position_replaces_kind() {
+        let mut b = Blueprint::new();
+        let idx1 = b.add(BlockPos::ORIGIN, CircuitBlock::Wire);
+        let idx2 = b.add(BlockPos::ORIGIN, CircuitBlock::Lamp);
+        assert_eq!(idx1, idx2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.kind(idx1), CircuitBlock::Lamp);
+    }
+
+    #[test]
+    fn index_of_finds_blocks() {
+        let mut b = Blueprint::new();
+        b.add(BlockPos::new(1, 2, 3), CircuitBlock::Torch);
+        assert_eq!(b.index_of(BlockPos::new(1, 2, 3)), Some(0));
+        assert_eq!(b.index_of(BlockPos::new(0, 0, 0)), None);
+    }
+
+    #[test]
+    fn translated_preserves_structure() {
+        let mut b = Blueprint::new();
+        b.add(BlockPos::new(0, 0, 0), CircuitBlock::PowerSource);
+        b.add(BlockPos::new(1, 0, 0), CircuitBlock::Wire);
+        let t = b.translated(BlockPos::new(10, 20, 30));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.position(0), BlockPos::new(10, 20, 30));
+        assert_eq!(t.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn circuit_block_world_round_trip() {
+        for kind in [
+            CircuitBlock::PowerSource,
+            CircuitBlock::Wire,
+            CircuitBlock::Lamp,
+            CircuitBlock::Repeater,
+            CircuitBlock::Torch,
+        ] {
+            assert_eq!(
+                CircuitBlock::from_world_block(kind.as_world_block()),
+                Some(kind)
+            );
+        }
+        assert_eq!(CircuitBlock::from_world_block(Block::Stone), None);
+    }
+}

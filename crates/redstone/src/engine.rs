@@ -1,0 +1,383 @@
+//! The construct simulation engine.
+
+use std::collections::VecDeque;
+
+use servo_types::BlockPos;
+
+use crate::blueprint::{Blueprint, CircuitBlock};
+use crate::state::{ConstructState, MAX_POWER};
+
+/// A simulated construct: a blueprint plus its current state.
+///
+/// The stepping semantics follow the Minecraft-style circuit model the
+/// paper's prototype uses:
+///
+/// * **wires** propagate signal *instantaneously* within a step, losing one
+///   level of strength per block, and are recomputed from the emitting
+///   blocks every step (so they cannot sustain themselves);
+/// * **power sources** always emit full strength;
+/// * **repeaters** and **torches** are the sequential elements: their output
+///   in step `t+1` depends on their input in step `t` (a repeater re-emits,
+///   a torch inverts), which is what makes clocks and other looping
+///   constructs possible;
+/// * **lamps** light up when they receive any signal.
+///
+/// Stepping is fully deterministic — the property Servo's replicated
+/// speculative execution relies on: the server and the serverless function
+/// must compute identical state sequences from the same starting state.
+///
+/// # Example
+///
+/// ```
+/// use servo_redstone::{Blueprint, CircuitBlock, Construct};
+/// use servo_types::BlockPos;
+///
+/// let mut b = Blueprint::new();
+/// b.add(BlockPos::new(0, 0, 0), CircuitBlock::PowerSource);
+/// b.add(BlockPos::new(1, 0, 0), CircuitBlock::Wire);
+/// b.add(BlockPos::new(2, 0, 0), CircuitBlock::Lamp);
+/// let mut c = Construct::new(b);
+/// c.step();
+/// // Wire propagation is instantaneous: the lamp is lit after one step.
+/// assert!(c.state().powers()[2] > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Construct {
+    blueprint: Blueprint,
+    state: ConstructState,
+    /// Monotonic counter of player modifications, used as the logical
+    /// timestamp included in offload requests (Section III-C).
+    modification_counter: u64,
+}
+
+impl Construct {
+    /// Creates a construct in its initial (unpowered) state.
+    pub fn new(blueprint: Blueprint) -> Self {
+        let state = ConstructState::initial(blueprint.len());
+        Construct {
+            blueprint,
+            state,
+            modification_counter: 0,
+        }
+    }
+
+    /// Creates a construct from a blueprint and an explicit state.
+    ///
+    /// This is how the serverless simulation function reconstructs the
+    /// construct from the state shipped in the request.
+    pub fn with_state(blueprint: Blueprint, state: ConstructState) -> Self {
+        let modification_counter = state.modification_stamp();
+        Construct {
+            blueprint,
+            state,
+            modification_counter,
+        }
+    }
+
+    /// The construct's blueprint.
+    pub fn blueprint(&self) -> &Blueprint {
+        &self.blueprint
+    }
+
+    /// The construct's current state.
+    pub fn state(&self) -> &ConstructState {
+        &self.state
+    }
+
+    /// Number of blocks in the construct.
+    pub fn len(&self) -> usize {
+        self.blueprint.len()
+    }
+
+    /// Whether the construct has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blueprint.is_empty()
+    }
+
+    /// The logical timestamp of the most recent player modification.
+    pub fn modification_stamp(&self) -> u64 {
+        self.modification_counter
+    }
+
+    /// Advances the construct by one simulation step.
+    pub fn step(&mut self) {
+        let n = self.blueprint.len();
+        let prev = self.state.powers();
+
+        // 1. Output of the emitting (non-wire) blocks, based on the previous
+        //    step's state.
+        let mut emitted = vec![0u8; n];
+        for i in 0..n {
+            emitted[i] = match self.blueprint.kind(i) {
+                CircuitBlock::PowerSource => MAX_POWER,
+                CircuitBlock::Repeater | CircuitBlock::Torch => prev[i],
+                CircuitBlock::Wire | CircuitBlock::Lamp => 0,
+            };
+        }
+
+        // 2. Instantaneous wire propagation: multi-source BFS over wires,
+        //    decaying one level per block, keeping the strongest signal.
+        let mut wire_power = vec![0u8; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for i in 0..n {
+            if self.blueprint.kind(i) != CircuitBlock::Wire {
+                continue;
+            }
+            let strongest_emitter = self
+                .blueprint
+                .neighbors(i)
+                .iter()
+                .map(|&j| emitted[j])
+                .max()
+                .unwrap_or(0);
+            let p = strongest_emitter.saturating_sub(1);
+            if p > 0 {
+                wire_power[i] = p;
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            let next_power = wire_power[i].saturating_sub(1);
+            if next_power == 0 {
+                continue;
+            }
+            for &j in self.blueprint.neighbors(i) {
+                if self.blueprint.kind(j) == CircuitBlock::Wire && wire_power[j] < next_power {
+                    wire_power[j] = next_power;
+                    queue.push_back(j);
+                }
+            }
+        }
+
+        // 3. Input seen by each block this step: the strongest of adjacent
+        //    emitter outputs and adjacent wire power.
+        let input = |i: usize| -> u8 {
+            self.blueprint
+                .neighbors(i)
+                .iter()
+                .map(|&j| emitted[j].max(wire_power[j]))
+                .max()
+                .unwrap_or(0)
+        };
+
+        // 4. Next state.
+        let mut next = vec![0u8; n];
+        for i in 0..n {
+            next[i] = match self.blueprint.kind(i) {
+                CircuitBlock::PowerSource => MAX_POWER,
+                CircuitBlock::Wire => wire_power[i],
+                CircuitBlock::Lamp => {
+                    if input(i) > 0 {
+                        MAX_POWER
+                    } else {
+                        0
+                    }
+                }
+                CircuitBlock::Repeater => {
+                    if input(i) > 0 {
+                        MAX_POWER
+                    } else {
+                        0
+                    }
+                }
+                CircuitBlock::Torch => {
+                    if input(i) > 0 {
+                        0
+                    } else {
+                        MAX_POWER
+                    }
+                }
+            };
+        }
+
+        let step = self.state.step() + 1;
+        *self.state.powers_mut() = next;
+        self.state.set_step(step);
+    }
+
+    /// Advances the construct by `n` steps and returns the state after each
+    /// step — the "speculative state sequence" a serverless function returns
+    /// to the execution unit.
+    pub fn step_many(&mut self, n: usize) -> Vec<ConstructState> {
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.step();
+            states.push(self.state.clone());
+        }
+        states
+    }
+
+    /// Applies a player modification: the block at `pos` (construct-local
+    /// position) is replaced with `kind`, or neutralised if `kind` is `None`
+    /// (the block becomes a dead wire).
+    ///
+    /// Every modification bumps the construct's logical modification stamp,
+    /// which is what invalidates in-flight speculative executions.
+    /// Returns the new modification stamp.
+    pub fn apply_modification(&mut self, pos: BlockPos, kind: Option<CircuitBlock>) -> u64 {
+        match (self.blueprint.index_of(pos), kind) {
+            (Some(idx), Some(new_kind)) => {
+                self.blueprint.add(pos, new_kind);
+                self.state.powers_mut()[idx] = 0;
+            }
+            (Some(idx), None) => {
+                self.blueprint.add(pos, CircuitBlock::Wire);
+                self.state.powers_mut()[idx] = 0;
+            }
+            (None, Some(new_kind)) => {
+                self.blueprint.add(pos, new_kind);
+                self.state.powers_mut().push(0);
+            }
+            (None, None) => {}
+        }
+        self.modification_counter += 1;
+        self.state.set_modification_stamp(self.modification_counter);
+        self.modification_counter
+    }
+
+    /// Replaces the construct's state with an externally computed state
+    /// (e.g. a speculative state received from a serverless function).
+    ///
+    /// The caller is responsible for having validated the state's
+    /// modification stamp; the engine only checks the block count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's block count does not match the blueprint.
+    pub fn apply_state(&mut self, state: ConstructState) {
+        assert_eq!(
+            state.len(),
+            self.blueprint.len(),
+            "state block count must match blueprint"
+        );
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn line_construct() -> Construct {
+        let mut b = Blueprint::new();
+        b.add(BlockPos::new(0, 0, 0), CircuitBlock::PowerSource);
+        for x in 1..=5 {
+            b.add(BlockPos::new(x, 0, 0), CircuitBlock::Wire);
+        }
+        b.add(BlockPos::new(6, 0, 0), CircuitBlock::Lamp);
+        Construct::new(b)
+    }
+
+    #[test]
+    fn wire_signal_decays_with_distance() {
+        let mut c = line_construct();
+        c.step();
+        let p = c.state().powers();
+        assert_eq!(p[1], MAX_POWER - 1);
+        assert_eq!(p[2], MAX_POWER - 2);
+        assert_eq!(p[5], MAX_POWER - 5);
+        // The lamp is lit because the adjacent wire carries signal.
+        assert_eq!(p[6], MAX_POWER);
+    }
+
+    #[test]
+    fn long_wire_runs_out_of_signal() {
+        let mut b = Blueprint::new();
+        b.add(BlockPos::new(0, 0, 0), CircuitBlock::PowerSource);
+        for x in 1..=20 {
+            b.add(BlockPos::new(x, 0, 0), CircuitBlock::Wire);
+        }
+        b.add(BlockPos::new(21, 0, 0), CircuitBlock::Lamp);
+        let mut c = Construct::new(b);
+        c.step_many(30);
+        // Signal strength 15 cannot reach past ~15 wire blocks.
+        assert_eq!(c.state().powers()[20], 0);
+        assert_eq!(*c.state().powers().last().unwrap(), 0);
+    }
+
+    #[test]
+    fn stepping_is_deterministic() {
+        let mut a = Construct::new(generators::dense_circuit(100));
+        let mut b = Construct::new(generators::dense_circuit(100));
+        let sa = a.step_many(50);
+        let sb = b.step_many(50);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn torch_clock_oscillates_and_loops() {
+        let mut c = Construct::new(generators::clock(3));
+        let hashes: Vec<u64> = c.step_many(32).iter().map(|s| s.hash()).collect();
+        let distinct: std::collections::HashSet<u64> = hashes.iter().copied().collect();
+        // The clock must visit at least two distinct states and revisit them.
+        assert!(distinct.len() >= 2, "distinct states: {}", distinct.len());
+        assert!(distinct.len() < hashes.len());
+    }
+
+    #[test]
+    fn step_many_returns_sequence_with_increasing_steps() {
+        let mut c = line_construct();
+        let states = c.step_many(10);
+        assert_eq!(states.len(), 10);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(s.step(), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn modification_bumps_stamp_and_invalidates() {
+        let mut c = line_construct();
+        assert_eq!(c.modification_stamp(), 0);
+        let stamp = c.apply_modification(BlockPos::new(3, 0, 0), None);
+        assert_eq!(stamp, 1);
+        assert_eq!(c.state().modification_stamp(), 1);
+        let stamp = c.apply_modification(BlockPos::new(10, 0, 0), Some(CircuitBlock::Torch));
+        assert_eq!(stamp, 2);
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn with_state_resumes_from_snapshot() {
+        let mut original = line_construct();
+        original.step_many(4);
+        let snapshot = original.state().clone();
+        let mut resumed = Construct::with_state(original.blueprint().clone(), snapshot);
+        original.step();
+        resumed.step();
+        assert_eq!(original.state(), resumed.state());
+    }
+
+    #[test]
+    #[should_panic(expected = "state block count")]
+    fn apply_state_rejects_mismatched_size() {
+        let mut c = line_construct();
+        c.apply_state(ConstructState::initial(1));
+    }
+
+    #[test]
+    fn lamp_turns_off_when_source_removed() {
+        let mut c = line_construct();
+        c.step_many(3);
+        assert_eq!(c.state().powers()[6], MAX_POWER);
+        c.apply_modification(BlockPos::new(0, 0, 0), None);
+        c.step_many(3);
+        assert_eq!(c.state().powers()[6], 0);
+        assert_eq!(c.state().powered_blocks(), 0);
+    }
+
+    #[test]
+    fn wires_cannot_sustain_themselves() {
+        // A ring of wires with no emitter must stay dead even if it starts
+        // powered (e.g. via a stale external state).
+        let mut b = Blueprint::new();
+        b.add(BlockPos::new(0, 0, 0), CircuitBlock::Wire);
+        b.add(BlockPos::new(1, 0, 0), CircuitBlock::Wire);
+        b.add(BlockPos::new(1, 0, 1), CircuitBlock::Wire);
+        b.add(BlockPos::new(0, 0, 1), CircuitBlock::Wire);
+        let state = ConstructState::from_powers(vec![15, 14, 13, 14], 0, 0);
+        let mut c = Construct::with_state(b, state);
+        c.step();
+        assert_eq!(c.state().powered_blocks(), 0);
+    }
+}

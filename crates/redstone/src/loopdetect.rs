@@ -1,0 +1,236 @@
+//! State-hash loop detection.
+//!
+//! Servo's cost optimization (Section III-C1): the remote simulation
+//! function hashes the construct state after every step; when a previously
+//! seen state recurs, the construct has entered a cycle and the function can
+//! truncate its reply to a single iteration of the loop plus an index. The
+//! server then replays the loop indefinitely without invoking any further
+//! functions.
+
+use std::collections::HashMap;
+
+use crate::engine::Construct;
+use crate::state::ConstructState;
+
+/// Information about a detected state cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// The step index (within the returned sequence) at which the cycle
+    /// starts.
+    pub start: usize,
+    /// The cycle length in steps.
+    pub length: usize,
+}
+
+/// Detects cycles in a stream of state hashes.
+///
+/// # Example
+///
+/// ```
+/// use servo_redstone::LoopDetector;
+///
+/// let mut det = LoopDetector::new();
+/// assert_eq!(det.observe(10, 0), None);
+/// assert_eq!(det.observe(20, 1), None);
+/// let looped = det.observe(10, 2).unwrap();
+/// assert_eq!(looped.start, 0);
+/// assert_eq!(looped.length, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LoopDetector {
+    seen: HashMap<u64, usize>,
+}
+
+impl LoopDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        LoopDetector::default()
+    }
+
+    /// Records the hash observed at `step`. Returns cycle information the
+    /// first time a previously seen hash recurs.
+    pub fn observe(&mut self, hash: u64, step: usize) -> Option<LoopInfo> {
+        match self.seen.get(&hash) {
+            Some(&first) => Some(LoopInfo {
+                start: first,
+                length: step - first,
+            }),
+            None => {
+                self.seen.insert(hash, step);
+                None
+            }
+        }
+    }
+
+    /// Number of distinct states observed so far.
+    pub fn distinct_states(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// The result of running the remote simulation function's work loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationOutcome {
+    /// The computed speculative states, in step order. When a loop was
+    /// detected the sequence is truncated to end at the last state of the
+    /// first complete cycle.
+    pub states: Vec<ConstructState>,
+    /// Cycle information, if the construct entered a state cycle.
+    pub loop_info: Option<LoopInfo>,
+    /// Number of steps actually simulated (may be fewer than requested when
+    /// a loop is found).
+    pub simulated_steps: usize,
+}
+
+impl SimulationOutcome {
+    /// Whether the outcome allows the server to replay states indefinitely
+    /// without further function invocations.
+    pub fn is_replayable(&self) -> bool {
+        self.loop_info.is_some()
+    }
+
+    /// The state to apply at `offset` steps after the start of this
+    /// sequence, replaying the detected loop if needed. Returns `None` when
+    /// no loop was detected and `offset` runs past the computed states.
+    pub fn state_at(&self, offset: usize) -> Option<&ConstructState> {
+        if offset == 0 {
+            return None;
+        }
+        if offset <= self.states.len() {
+            return Some(&self.states[offset - 1]);
+        }
+        let info = self.loop_info?;
+        if info.length == 0 {
+            return None;
+        }
+        // Steps past the end wrap around inside the cycle. `info.start` and
+        // the offsets here are in step space (step 0 is the initial state,
+        // step `s` is `states[s - 1]`).
+        let mut equivalent_step = info.start + (offset - info.start) % info.length;
+        if equivalent_step == 0 {
+            // The cycle includes the initial state, which is not stored in
+            // `states`; step `length` has the same circuit state.
+            equivalent_step = info.length;
+        }
+        self.states.get(equivalent_step - 1)
+    }
+}
+
+/// Simulates `construct` for up to `max_steps`, hashing every state and
+/// truncating as soon as a state cycle is detected.
+///
+/// This is exactly the work a Servo SC-offload function performs on the FaaS
+/// platform; it is exposed here so both the serverless function model and
+/// the benchmarks share one implementation.
+pub fn simulate_sequence(construct: &mut Construct, max_steps: usize) -> SimulationOutcome {
+    let mut detector = LoopDetector::new();
+    // Include the starting state so a cycle back to it is detected.
+    detector.observe(construct.state().hash(), 0);
+    let mut states = Vec::new();
+    for i in 1..=max_steps {
+        construct.step();
+        let state = construct.state().clone();
+        let hash = state.hash();
+        states.push(state);
+        if let Some(info) = detector.observe(hash, i) {
+            return SimulationOutcome {
+                simulated_steps: states.len(),
+                states,
+                loop_info: Some(info),
+            };
+        }
+    }
+    SimulationOutcome {
+        simulated_steps: states.len(),
+        states,
+        loop_info: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn detector_finds_first_recurrence() {
+        let mut det = LoopDetector::new();
+        for (i, h) in [1u64, 2, 3, 4].iter().enumerate() {
+            assert_eq!(det.observe(*h, i), None);
+        }
+        let info = det.observe(3, 4).unwrap();
+        assert_eq!(info.start, 2);
+        assert_eq!(info.length, 2);
+        assert_eq!(det.distinct_states(), 4);
+    }
+
+    #[test]
+    fn clock_simulation_truncates_to_loop() {
+        let mut c = Construct::new(generators::clock(4));
+        let outcome = simulate_sequence(&mut c, 200);
+        assert!(outcome.is_replayable());
+        assert!(outcome.simulated_steps < 200);
+        let info = outcome.loop_info.unwrap();
+        assert!(info.length >= 1);
+    }
+
+    #[test]
+    fn non_looping_simulation_runs_all_steps() {
+        // A wire line reaches a fixed point, which *is* a loop of length 1,
+        // so use very few steps to observe a non-looping prefix.
+        let mut c = Construct::new(generators::wire_line(10));
+        let outcome = simulate_sequence(&mut c, 1);
+        assert_eq!(outcome.simulated_steps, 1);
+        assert_eq!(outcome.states.len(), 1);
+    }
+
+    #[test]
+    fn fixed_point_detected_as_length_one_loop() {
+        let mut c = Construct::new(generators::wire_line(5));
+        let outcome = simulate_sequence(&mut c, 100);
+        let info = outcome.loop_info.expect("steady state must be detected");
+        assert_eq!(info.length, 1);
+        assert!(outcome.simulated_steps < 100);
+    }
+
+    #[test]
+    fn state_at_replays_loop_indefinitely() {
+        let mut c = Construct::new(generators::clock(4));
+        let outcome = simulate_sequence(&mut c, 200);
+        let info = outcome.loop_info.unwrap();
+        // Replay far past the computed sequence and check periodicity.
+        let a = outcome.state_at(info.start + 1 + 10 * info.length).unwrap();
+        let b = outcome.state_at(info.start + 1).unwrap();
+        assert_eq!(a.hash(), b.hash());
+        // Offset zero is "no state yet".
+        assert!(outcome.state_at(0).is_none());
+    }
+
+    #[test]
+    fn state_at_without_loop_is_bounded() {
+        let outcome = SimulationOutcome {
+            states: {
+                let mut cc = Construct::new(generators::wire_line(10));
+                cc.step_many(5)
+            },
+            loop_info: None,
+            simulated_steps: 5,
+        };
+        assert!(outcome.state_at(5).is_some());
+        assert!(outcome.state_at(6).is_none());
+    }
+
+    #[test]
+    fn replay_matches_live_simulation() {
+        // Replaying through state_at must agree with actually stepping the
+        // construct, for any offset.
+        let mut offloaded = Construct::new(generators::clock(5));
+        let outcome = simulate_sequence(&mut offloaded, 300);
+        let mut live = Construct::new(generators::clock(5));
+        for offset in 1..100usize {
+            live.step();
+            let replayed = outcome.state_at(offset).expect("replayable");
+            assert_eq!(replayed.hash(), live.state().hash(), "offset {offset}");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Pluggable backends for construct simulation and terrain generation.
+
+use std::collections::{HashSet, VecDeque};
+
+use servo_pcg::TerrainGenerator;
+use servo_redstone::Construct;
+use servo_types::{ChunkPos, ConstructId, SimTime, Tick};
+use servo_world::Chunk;
+
+/// How a construct's state was advanced during a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScResolution {
+    /// The construct was stepped locally on the game server.
+    LocalSimulated,
+    /// A speculative state computed by an offloaded function was applied.
+    SpeculativeApplied,
+    /// A state from a detected loop was replayed without any simulation.
+    LoopReplayed,
+    /// The construct was not simulated this tick (the baselines simulate
+    /// constructs only every other tick).
+    Skipped,
+}
+
+/// A strategy for advancing simulated constructs each tick.
+///
+/// The baselines use [`LocalScBackend`]; Servo plugs in its speculative
+/// execution unit (implemented in the `servo-core` crate).
+pub trait ScBackend {
+    /// Advances `construct` for game tick `tick` at virtual time `now` and
+    /// reports how its state was obtained.
+    fn resolve(
+        &mut self,
+        id: ConstructId,
+        construct: &mut Construct,
+        tick: Tick,
+        now: SimTime,
+    ) -> ScResolution;
+
+    /// A short name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Local construct simulation, as Opencraft and Minecraft do it.
+///
+/// Both baselines simulate constructs every *other* tick — the
+/// implementation detail the paper identifies as the cause of their bimodal
+/// tick-duration distributions (Section IV-B).
+#[derive(Debug, Clone, Copy)]
+pub struct LocalScBackend {
+    every_other_tick: bool,
+}
+
+impl LocalScBackend {
+    /// Simulates constructs on every tick.
+    pub fn every_tick() -> Self {
+        LocalScBackend {
+            every_other_tick: false,
+        }
+    }
+
+    /// Simulates constructs only on even ticks (the baseline behaviour).
+    pub fn every_other_tick() -> Self {
+        LocalScBackend {
+            every_other_tick: true,
+        }
+    }
+}
+
+impl ScBackend for LocalScBackend {
+    fn resolve(
+        &mut self,
+        _id: ConstructId,
+        construct: &mut Construct,
+        tick: Tick,
+        _now: SimTime,
+    ) -> ScResolution {
+        if self.every_other_tick && tick.0 % 2 == 1 {
+            return ScResolution::Skipped;
+        }
+        construct.step();
+        ScResolution::LocalSimulated
+    }
+
+    fn name(&self) -> &'static str {
+        "local"
+    }
+}
+
+/// A provider of generated terrain.
+///
+/// The baselines generate terrain in background threads on the game server
+/// ([`LocalGenerationBackend`]); Servo offloads generation to serverless
+/// functions (`servo-core`'s `FaasTerrainBackend`).
+pub trait TerrainBackend {
+    /// Requests generation of the chunk at `pos`. Duplicate requests are
+    /// ignored.
+    fn request(&mut self, pos: ChunkPos, now: SimTime);
+
+    /// Returns every chunk whose generation has completed by `now`.
+    fn poll_ready(&mut self, now: SimTime) -> Vec<Chunk>;
+
+    /// Number of generation tasks currently executing *on the game server*
+    /// (used to model interference with the game loop; serverless backends
+    /// return zero).
+    fn busy_local_workers(&self, now: SimTime) -> usize;
+
+    /// Number of requested chunks not yet delivered.
+    fn pending(&self) -> usize;
+
+    /// A short name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Terrain generation in a bounded pool of background threads on the game
+/// server, the way the monolithic baselines do it.
+pub struct LocalGenerationBackend {
+    generator: Box<dyn TerrainGenerator>,
+    workers: usize,
+    queue: VecDeque<ChunkPos>,
+    running: Vec<(ChunkPos, SimTime)>,
+    requested: HashSet<ChunkPos>,
+    generated: u64,
+}
+
+impl LocalGenerationBackend {
+    /// Creates a backend with `workers` background generation threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(generator: Box<dyn TerrainGenerator>, workers: usize) -> Self {
+        assert!(workers > 0, "at least one generation worker is required");
+        LocalGenerationBackend {
+            generator,
+            workers,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            requested: HashSet::new(),
+            generated: 0,
+        }
+    }
+
+    /// Total chunks generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    fn start_queued(&mut self, now: SimTime) {
+        while self.running.len() < self.workers {
+            let Some(pos) = self.queue.pop_front() else {
+                break;
+            };
+            let done_at = now + self.generator.cost().duration_at_speed(1.0);
+            self.running.push((pos, done_at));
+        }
+    }
+}
+
+impl std::fmt::Debug for LocalGenerationBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalGenerationBackend")
+            .field("workers", &self.workers)
+            .field("queued", &self.queue.len())
+            .field("running", &self.running.len())
+            .field("generated", &self.generated)
+            .finish()
+    }
+}
+
+impl TerrainBackend for LocalGenerationBackend {
+    fn request(&mut self, pos: ChunkPos, now: SimTime) {
+        if self.requested.insert(pos) {
+            self.queue.push_back(pos);
+            self.start_queued(now);
+        }
+    }
+
+    fn poll_ready(&mut self, now: SimTime) -> Vec<Chunk> {
+        let mut ready = Vec::new();
+        let mut still_running = Vec::new();
+        for (pos, done_at) in self.running.drain(..) {
+            if done_at <= now {
+                ready.push(self.generator.generate(pos));
+            } else {
+                still_running.push((pos, done_at));
+            }
+        }
+        self.running = still_running;
+        self.generated += ready.len() as u64;
+        self.start_queued(now);
+        ready
+    }
+
+    fn busy_local_workers(&self, now: SimTime) -> usize {
+        self.running.iter().filter(|(_, done)| *done > now).count()
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len() + self.running.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "local-generation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servo_pcg::{DefaultGenerator, FlatGenerator};
+    use servo_redstone::generators;
+    use servo_types::SimDuration;
+
+    #[test]
+    fn local_sc_backend_every_other_tick_skips_odd_ticks() {
+        let mut backend = LocalScBackend::every_other_tick();
+        let mut construct = Construct::new(generators::wire_line(5));
+        let r0 = backend.resolve(ConstructId::new(0), &mut construct, Tick(0), SimTime::ZERO);
+        let r1 = backend.resolve(ConstructId::new(0), &mut construct, Tick(1), SimTime::ZERO);
+        assert_eq!(r0, ScResolution::LocalSimulated);
+        assert_eq!(r1, ScResolution::Skipped);
+        assert_eq!(construct.state().step(), 1);
+    }
+
+    #[test]
+    fn local_sc_backend_every_tick_always_steps() {
+        let mut backend = LocalScBackend::every_tick();
+        let mut construct = Construct::new(generators::wire_line(5));
+        for t in 0..10 {
+            assert_eq!(
+                backend.resolve(ConstructId::new(0), &mut construct, Tick(t), SimTime::ZERO),
+                ScResolution::LocalSimulated
+            );
+        }
+        assert_eq!(construct.state().step(), 10);
+        assert_eq!(backend.name(), "local");
+    }
+
+    #[test]
+    fn local_generation_completes_after_cost_duration() {
+        let mut backend = LocalGenerationBackend::new(Box::new(FlatGenerator::default()), 2);
+        backend.request(ChunkPos::new(0, 0), SimTime::ZERO);
+        backend.request(ChunkPos::new(1, 0), SimTime::ZERO);
+        assert_eq!(backend.pending(), 2);
+        assert_eq!(backend.busy_local_workers(SimTime::ZERO), 2);
+        // Nothing is ready immediately.
+        assert!(backend.poll_ready(SimTime::ZERO).is_empty());
+        // After the flat-generation cost (30 work units = 30 ms) both are done.
+        let ready = backend.poll_ready(SimTime::from_millis(31));
+        assert_eq!(ready.len(), 2);
+        assert_eq!(backend.pending(), 0);
+        assert_eq!(backend.generated(), 2);
+    }
+
+    #[test]
+    fn local_generation_throughput_is_bounded_by_workers() {
+        let mut backend = LocalGenerationBackend::new(Box::new(DefaultGenerator::new(1)), 2);
+        for i in 0..10 {
+            backend.request(ChunkPos::new(i, 0), SimTime::ZERO);
+        }
+        // A default chunk costs 550 ms at one vCPU; with 2 workers only 2
+        // chunks can be ready after 600 ms.
+        let ready = backend.poll_ready(SimTime::from_millis(600));
+        assert_eq!(ready.len(), 2);
+        assert_eq!(backend.pending(), 8);
+        // After 10 x 550 ms everything is done even with 2 workers.
+        let mut total = ready.len();
+        let mut now = SimTime::from_millis(600);
+        for _ in 0..20 {
+            now += SimDuration::from_millis(550);
+            total += backend.poll_ready(now).len();
+        }
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn duplicate_requests_are_ignored() {
+        let mut backend = LocalGenerationBackend::new(Box::new(FlatGenerator::default()), 1);
+        for _ in 0..5 {
+            backend.request(ChunkPos::new(3, 3), SimTime::ZERO);
+        }
+        assert_eq!(backend.pending(), 1);
+        let ready = backend.poll_ready(SimTime::from_secs(1));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].pos(), ChunkPos::new(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one generation worker")]
+    fn zero_workers_is_rejected() {
+        LocalGenerationBackend::new(Box::new(FlatGenerator::default()), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The calibrated per-tick cost model.
+//!
+//! The paper measures tick durations on DAS-5 compute nodes running real
+//! Opencraft and Minecraft servers. Those servers are not available here, so
+//! tick duration is modelled as a function of the *work actually performed*
+//! in the tick (players handled, constructs simulated or merged, chunks
+//! loaded, events processed), with coefficients calibrated against the
+//! anchor points the paper reports:
+//!
+//! * Opencraft supports ~200 players with 0 simulated constructs, ~10 with
+//!   100, and none with 200 (Figure 7a);
+//! * Minecraft supports ~110 players with 0 constructs, ~90 with 100, and
+//!   none with 200;
+//! * Servo supports ~190 / ~150 / ~120 players for 0 / 100 / 200 constructs;
+//! * both baselines simulate constructs only every other tick, producing the
+//!   bimodal tick-duration distributions of Figure 7b.
+
+use rand::Rng;
+use servo_simkit::SimRng;
+use servo_types::SimDuration;
+
+/// The work performed during one tick, counted from the real data
+/// structures by the game loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickWork {
+    /// Connected players whose input and state updates were handled.
+    pub players: usize,
+    /// Player events (block changes, chat, inventory) processed.
+    pub events: usize,
+    /// Chunks integrated into the world this tick (from generation or
+    /// storage).
+    pub chunks_loaded: usize,
+    /// Chunks sent to clients this tick.
+    pub chunks_sent: usize,
+    /// Simulated constructs stepped locally on the server this tick.
+    pub sc_local: usize,
+    /// Simulated constructs whose state came from an applied speculative
+    /// (offloaded) result this tick.
+    pub sc_merged: usize,
+    /// Simulated constructs whose state came from replaying a detected loop.
+    pub sc_replayed: usize,
+    /// Background terrain-generation workers busy during this tick
+    /// (interference with the game loop).
+    pub busy_generation_workers: usize,
+    /// Chunks requested but not yet delivered by the terrain backend
+    /// (generation backlog; queue management burdens the game loop).
+    pub generation_backlog: usize,
+}
+
+/// Coefficients converting [`TickWork`] into a tick duration.
+///
+/// All `*_ms` fields are milliseconds; the `*_pair_ms` fields multiply the
+/// *square* of a count divided by 1000, modelling the super-linear costs of
+/// broadcasting state updates between players and of interference between
+/// locally simulated constructs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-tick bookkeeping cost.
+    pub base_ms: f64,
+    /// Linear per-player cost (input handling, entity updates).
+    pub per_player_ms: f64,
+    /// Super-linear player cost: `per_player_pair_ms * players^2 / 1000`.
+    pub per_player_pair_ms: f64,
+    /// Cost per processed player event.
+    pub per_event_ms: f64,
+    /// Cost of integrating one newly generated or loaded chunk.
+    pub per_chunk_load_ms: f64,
+    /// Cost of sending one chunk to one client.
+    pub per_chunk_send_ms: f64,
+    /// Cost of locally simulating one construct for one tick.
+    pub per_sc_local_ms: f64,
+    /// Super-linear local-construct cost: `per_sc_local_pair_ms * local^2 / 1000`.
+    pub per_sc_local_pair_ms: f64,
+    /// Cost of merging one speculative (offloaded) construct state.
+    pub per_sc_merge_ms: f64,
+    /// Super-linear merge cost: `per_sc_merge_pair_ms * merged^2 / 1000`.
+    pub per_sc_merge_pair_ms: f64,
+    /// Cost of replaying one loop-detected construct state.
+    pub per_sc_replay_ms: f64,
+    /// Interference of one busy background generation worker with the loop.
+    pub generation_interference_ms: f64,
+    /// Per-chunk cost of the generation backlog (queue management, memory
+    /// pressure), applied to at most [`CostModel::BACKLOG_CAP`] chunks.
+    pub per_backlog_chunk_ms: f64,
+    /// Multiplicative log-normal measurement noise (sigma of the underlying
+    /// normal).
+    pub noise_sigma: f64,
+    /// Probability of a garbage-collection-style latency spike.
+    pub spike_probability: f64,
+    /// Multiplier applied to the tick duration during a spike.
+    pub spike_multiplier: f64,
+}
+
+impl CostModel {
+    /// The maximum number of backlog chunks charged per tick; beyond this
+    /// the queue-management cost saturates.
+    pub const BACKLOG_CAP: usize = 300;
+
+    /// The Opencraft research server: very low per-player cost, but an
+    /// unoptimised construct simulator that collapses beyond ~100 constructs.
+    pub fn opencraft() -> Self {
+        CostModel {
+            base_ms: 2.0,
+            per_player_ms: 0.06,
+            per_player_pair_ms: 0.85,
+            per_event_ms: 0.02,
+            per_chunk_load_ms: 1.5,
+            per_chunk_send_ms: 0.15,
+            per_sc_local_ms: 0.16,
+            per_sc_local_pair_ms: 2.64,
+            per_sc_merge_ms: 0.16,
+            per_sc_merge_pair_ms: 2.64,
+            per_sc_replay_ms: 0.01,
+            generation_interference_ms: 3.5,
+            per_backlog_chunk_ms: 0.10,
+            noise_sigma: 0.06,
+            spike_probability: 0.004,
+            spike_multiplier: 4.0,
+        }
+    }
+
+    /// The official Minecraft server: heavier per-player machinery but a
+    /// much better optimised construct (redstone) engine.
+    pub fn minecraft() -> Self {
+        CostModel {
+            base_ms: 2.5,
+            per_player_ms: 0.12,
+            per_player_pair_ms: 2.3,
+            per_event_ms: 0.03,
+            per_chunk_load_ms: 1.8,
+            per_chunk_send_ms: 0.18,
+            per_sc_local_ms: 0.02,
+            per_sc_local_pair_ms: 1.3,
+            per_sc_merge_ms: 0.02,
+            per_sc_merge_pair_ms: 1.3,
+            per_sc_replay_ms: 0.01,
+            generation_interference_ms: 3.8,
+            per_backlog_chunk_ms: 0.12,
+            noise_sigma: 0.08,
+            spike_probability: 0.006,
+            spike_multiplier: 5.0,
+        }
+    }
+
+    /// Servo: Opencraft plus the offloading machinery. Locally simulated
+    /// constructs (speculation fallbacks) cost the same as on Opencraft, but
+    /// merging an offloaded state is cheap and replaying a detected loop is
+    /// nearly free.
+    pub fn servo() -> Self {
+        CostModel {
+            base_ms: 3.0,
+            per_player_ms: 0.06,
+            per_player_pair_ms: 0.85,
+            per_event_ms: 0.02,
+            per_chunk_load_ms: 1.5,
+            per_chunk_send_ms: 0.15,
+            per_sc_local_ms: 0.16,
+            per_sc_local_pair_ms: 2.64,
+            per_sc_merge_ms: 0.10,
+            per_sc_merge_pair_ms: 0.06,
+            per_sc_replay_ms: 0.01,
+            generation_interference_ms: 0.0,
+            per_backlog_chunk_ms: 0.01,
+            noise_sigma: 0.05,
+            spike_probability: 0.004,
+            spike_multiplier: 4.0,
+        }
+    }
+
+    /// The deterministic (noise-free) duration of a tick with the given
+    /// work, in milliseconds.
+    pub fn mean_duration_ms(&self, work: &TickWork) -> f64 {
+        let players = work.players as f64;
+        let events = work.events as f64;
+        let local = work.sc_local as f64;
+        let merged = work.sc_merged as f64;
+        let replayed = work.sc_replayed as f64;
+        self.base_ms
+            + self.per_player_ms * players
+            + self.per_player_pair_ms * players * players / 1000.0
+            + self.per_event_ms * events
+            + self.per_chunk_load_ms * work.chunks_loaded as f64
+            + self.per_chunk_send_ms * work.chunks_sent as f64
+            + self.per_sc_local_ms * local
+            + self.per_sc_local_pair_ms * local * local / 1000.0
+            + self.per_sc_merge_ms * merged
+            + self.per_sc_merge_pair_ms * merged * merged / 1000.0
+            + self.per_sc_replay_ms * replayed
+            + self.generation_interference_ms * work.busy_generation_workers as f64
+            + self.per_backlog_chunk_ms * work.generation_backlog.min(Self::BACKLOG_CAP) as f64
+    }
+
+    /// Samples the tick duration for the given work, applying measurement
+    /// noise and occasional latency spikes.
+    pub fn tick_duration(&self, work: &TickWork, rng: &mut SimRng) -> SimDuration {
+        let mean = self.mean_duration_ms(work);
+        let z = {
+            // Box–Muller standard normal.
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let mut duration = mean * (self.noise_sigma * z).exp();
+        if rng.gen::<f64>() < self.spike_probability {
+            duration *= 1.0 + rng.gen::<f64>() * (self.spike_multiplier - 1.0);
+        }
+        SimDuration::from_millis_f64(duration.max(0.05))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(players: usize, sc_local: usize) -> TickWork {
+        TickWork {
+            players,
+            sc_local,
+            ..TickWork::default()
+        }
+    }
+
+    #[test]
+    fn mean_duration_grows_with_players_and_constructs() {
+        let m = CostModel::opencraft();
+        assert!(m.mean_duration_ms(&work(100, 0)) > m.mean_duration_ms(&work(10, 0)));
+        assert!(m.mean_duration_ms(&work(10, 100)) > m.mean_duration_ms(&work(10, 10)));
+    }
+
+    #[test]
+    fn opencraft_anchor_points() {
+        let m = CostModel::opencraft();
+        // ~190 players with no constructs stay within budget.
+        assert!(m.mean_duration_ms(&work(180, 0)) < 48.0);
+        // 100 local constructs nearly exhaust the budget on their own.
+        let d100 = m.mean_duration_ms(&work(10, 100));
+        assert!(d100 > 40.0 && d100 < 50.0, "100 SCs took {d100}");
+        // 200 local constructs blow the budget outright.
+        assert!(m.mean_duration_ms(&work(1, 200)) > 50.0);
+    }
+
+    #[test]
+    fn minecraft_anchor_points() {
+        let m = CostModel::minecraft();
+        assert!(m.mean_duration_ms(&work(100, 0)) < 48.0);
+        assert!(m.mean_duration_ms(&work(130, 0)) > 50.0);
+        // Minecraft's construct engine is far better than Opencraft's at 100
+        // constructs but still fails at 200.
+        assert!(m.mean_duration_ms(&work(70, 100)) < 48.0);
+        assert!(m.mean_duration_ms(&work(1, 200)) > 50.0);
+    }
+
+    #[test]
+    fn servo_merging_is_much_cheaper_than_local_simulation() {
+        let m = CostModel::servo();
+        let merged = TickWork {
+            players: 120,
+            sc_merged: 200,
+            ..TickWork::default()
+        };
+        let local = TickWork {
+            players: 120,
+            sc_local: 200,
+            ..TickWork::default()
+        };
+        assert!(m.mean_duration_ms(&merged) < 48.0, "merged: {}", m.mean_duration_ms(&merged));
+        assert!(m.mean_duration_ms(&local) > 50.0);
+        // Replaying a detected loop is almost free.
+        let replayed = TickWork {
+            players: 120,
+            sc_replayed: 200,
+            ..TickWork::default()
+        };
+        assert!(m.mean_duration_ms(&replayed) < m.mean_duration_ms(&merged));
+    }
+
+    #[test]
+    fn baselines_are_ordered_as_in_figure_7a() {
+        // With constructs present: Servo (merged) beats Minecraft, which
+        // beats Opencraft. Without constructs Opencraft is the fastest.
+        let players = 80;
+        let o = CostModel::opencraft().mean_duration_ms(&work(players, 100));
+        let m = CostModel::minecraft().mean_duration_ms(&work(players, 100));
+        let s = CostModel::servo().mean_duration_ms(&TickWork {
+            players,
+            sc_merged: 100,
+            ..TickWork::default()
+        });
+        assert!(s < m && m < o, "servo {s}, minecraft {m}, opencraft {o}");
+        let o0 = CostModel::opencraft().mean_duration_ms(&work(players, 0));
+        let m0 = CostModel::minecraft().mean_duration_ms(&work(players, 0));
+        assert!(o0 < m0);
+    }
+
+    #[test]
+    fn sampled_durations_are_positive_and_near_mean() {
+        let m = CostModel::opencraft();
+        let mut rng = SimRng::seed(1);
+        let w = work(50, 20);
+        let mean = m.mean_duration_ms(&w);
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| m.tick_duration(&w, &mut rng).as_millis_f64())
+            .collect();
+        let sample_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(samples.iter().all(|&s| s > 0.0));
+        assert!((sample_mean - mean).abs() / mean < 0.1, "mean {mean} vs {sample_mean}");
+        // Spikes occasionally produce large outliers.
+        assert!(samples.iter().cloned().fold(0.0, f64::max) > mean * 1.5);
+    }
+
+    #[test]
+    fn chunk_loading_and_interference_add_cost() {
+        let m = CostModel::minecraft();
+        let quiet = TickWork { players: 5, ..TickWork::default() };
+        let loading = TickWork {
+            players: 5,
+            chunks_loaded: 20,
+            chunks_sent: 40,
+            busy_generation_workers: 6,
+            ..TickWork::default()
+        };
+        assert!(m.mean_duration_ms(&loading) > m.mean_duration_ms(&quiet) + 20.0);
+    }
+}

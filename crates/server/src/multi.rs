@@ -1,0 +1,319 @@
+//! Multi-server architectures for non-modifiable virtual worlds: zoning and
+//! replication (paper Section II-B).
+//!
+//! The paper argues that the two classic techniques for scaling online games
+//! do not address MVE workloads:
+//!
+//! * **zoning** partitions the *world* over servers, so player interaction
+//!   and constructs near zone borders cause frequent server-to-server
+//!   coordination, and the environment simulation itself is still bounded by
+//!   the busiest zone;
+//! * **replication** partitions the *players* over servers but every replica
+//!   must simulate the entire modifiable environment, duplicating exactly
+//!   the workload (simulated constructs) that makes MVEs expensive.
+//!
+//! This module models both architectures on top of the same cost model as
+//! the single-server baselines so the ablation experiment
+//! (`ablation_multiserver`) can quantify the argument: with simulated
+//! constructs present, adding servers through zoning or replication helps
+//! far less than Servo's offloading — replication not at all.
+
+use servo_simkit::SimRng;
+use servo_types::SimDuration;
+
+use crate::costs::{CostModel, TickWork};
+
+/// The per-tick outcome of a multi-server cluster: the longest tick duration
+/// over all member servers (the cluster is only as fast as its slowest
+/// member) plus some bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterTick {
+    /// The slowest member's tick duration, which determines the cluster's
+    /// effective simulation latency.
+    pub critical_path: SimDuration,
+    /// Cross-server messages exchanged this tick.
+    pub cross_server_messages: u64,
+}
+
+/// A zoned deployment: the world is split into `zones` zones, each simulated
+/// by its own server running the given cost model.
+#[derive(Debug, Clone)]
+pub struct ZonedCluster {
+    costs: CostModel,
+    zones: usize,
+    rng: SimRng,
+    /// Fraction of players that sit near a zone border at any tick and
+    /// therefore require cross-server coordination. With the star and
+    /// bounded behaviours of the paper's workloads players cluster around
+    /// the spawn point, which lies on a zone corner, so this is substantial.
+    border_player_fraction: f64,
+    /// Fraction of constructs that span a zone border (constructs are part
+    /// of the terrain; splitting the terrain splits constructs).
+    border_construct_fraction: f64,
+    /// Cost of one cross-server coordination message, in milliseconds.
+    message_cost_ms: f64,
+}
+
+impl ZonedCluster {
+    /// Creates a zoned cluster of `zones` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zones` is zero.
+    pub fn new(costs: CostModel, zones: usize, rng: SimRng) -> Self {
+        assert!(zones > 0, "a cluster needs at least one zone");
+        ZonedCluster {
+            costs,
+            zones,
+            rng,
+            border_player_fraction: 0.25,
+            border_construct_fraction: 0.20,
+            message_cost_ms: 0.05,
+        }
+    }
+
+    /// Number of zones (servers).
+    pub fn zones(&self) -> usize {
+        self.zones
+    }
+
+    /// Overrides the fraction of players and constructs near zone borders.
+    pub fn with_border_fractions(mut self, players: f64, constructs: f64) -> Self {
+        self.border_player_fraction = players.clamp(0.0, 1.0);
+        self.border_construct_fraction = constructs.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Simulates one tick of the whole cluster for a workload of `players`
+    /// players and `constructs` locally simulated constructs, distributed
+    /// over the zones.
+    ///
+    /// Players and constructs are spread evenly; border entities require
+    /// coordination messages that are charged to both involved servers.
+    pub fn run_tick(&mut self, players: usize, constructs: usize) -> ClusterTick {
+        let per_zone_players = players / self.zones;
+        let per_zone_constructs = constructs / self.zones;
+        let border_players = (players as f64 * self.border_player_fraction) as u64;
+        let border_constructs = (constructs as f64 * self.border_construct_fraction) as u64;
+        // Each border entity is coordinated every tick with one neighbour
+        // zone (state exchange + conflict resolution).
+        let messages = border_players * 2 + border_constructs * 4;
+        let coordination_ms = messages as f64 * self.message_cost_ms / self.zones as f64;
+
+        let mut critical = SimDuration::ZERO;
+        for zone in 0..self.zones {
+            // The spawn zone holds the remainder plus a disproportionate
+            // share of border traffic.
+            let extra = if zone == 0 {
+                players % self.zones + constructs % self.zones
+            } else {
+                0
+            };
+            let work = TickWork {
+                players: per_zone_players + extra,
+                sc_local: per_zone_constructs + if zone == 0 { constructs % self.zones } else { 0 },
+                ..TickWork::default()
+            };
+            let mut duration = self.costs.tick_duration(&work, &mut self.rng);
+            duration += SimDuration::from_millis_f64(coordination_ms);
+            critical = critical.max(duration);
+        }
+        ClusterTick {
+            critical_path: critical,
+            cross_server_messages: messages,
+        }
+    }
+}
+
+/// A replicated deployment: players are partitioned over `replicas` servers,
+/// but every replica simulates the complete modifiable environment.
+#[derive(Debug, Clone)]
+pub struct ReplicatedCluster {
+    costs: CostModel,
+    replicas: usize,
+    rng: SimRng,
+    /// Probability per player per tick of an interaction that must be
+    /// forwarded to the replica that owns the interaction partner.
+    interaction_rate: f64,
+    /// Cost of one cross-replica state-update message, in milliseconds.
+    message_cost_ms: f64,
+}
+
+impl ReplicatedCluster {
+    /// Creates a replicated cluster of `replicas` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(costs: CostModel, replicas: usize, rng: SimRng) -> Self {
+        assert!(replicas > 0, "a cluster needs at least one replica");
+        ReplicatedCluster {
+            costs,
+            replicas,
+            rng,
+            interaction_rate: 0.3,
+            message_cost_ms: 0.05,
+        }
+    }
+
+    /// Number of replicas (servers).
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Simulates one tick of the cluster.
+    ///
+    /// Each replica handles `players / replicas` players but simulates *all*
+    /// `constructs` constructs — the duplication of environment workload the
+    /// paper points out. Player interactions whose partner lives on another
+    /// replica cost cross-server messages.
+    pub fn run_tick(&mut self, players: usize, constructs: usize) -> ClusterTick {
+        let per_replica_players = players / self.replicas;
+        // An interaction crosses replicas with probability (replicas-1)/replicas.
+        let cross_fraction = (self.replicas as f64 - 1.0) / self.replicas as f64;
+        let expected_cross =
+            players as f64 * self.interaction_rate * cross_fraction;
+        let messages = expected_cross.round() as u64 * 2;
+        let coordination_ms = expected_cross * self.message_cost_ms;
+
+        let mut critical = SimDuration::ZERO;
+        for replica in 0..self.replicas {
+            let extra = if replica == 0 { players % self.replicas } else { 0 };
+            let work = TickWork {
+                players: per_replica_players + extra,
+                // Every replica simulates the whole environment.
+                sc_local: constructs,
+                ..TickWork::default()
+            };
+            let mut duration = self.costs.tick_duration(&work, &mut self.rng);
+            duration += SimDuration::from_millis_f64(coordination_ms);
+            critical = critical.max(duration);
+        }
+        ClusterTick {
+            critical_path: critical,
+            cross_server_messages: messages,
+        }
+    }
+}
+
+/// Convenience: runs `ticks` cluster ticks and returns the critical-path
+/// durations, for feeding into the capacity metric.
+pub fn run_cluster_ticks<F: FnMut() -> ClusterTick>(ticks: usize, mut step: F) -> Vec<SimDuration> {
+    (0..ticks).map(|_| step().critical_path).collect()
+}
+
+/// Samples a tick-duration series for a zoned cluster under a fixed
+/// workload.
+pub fn zoned_tick_durations(
+    costs: CostModel,
+    zones: usize,
+    players: usize,
+    constructs: usize,
+    ticks: usize,
+    seed: u64,
+) -> Vec<SimDuration> {
+    let mut cluster = ZonedCluster::new(costs, zones, SimRng::seed(seed));
+    run_cluster_ticks(ticks, || cluster.run_tick(players, constructs))
+}
+
+/// Samples a tick-duration series for a replicated cluster under a fixed
+/// workload.
+pub fn replicated_tick_durations(
+    costs: CostModel,
+    replicas: usize,
+    players: usize,
+    constructs: usize,
+    ticks: usize,
+    seed: u64,
+) -> Vec<SimDuration> {
+    let mut cluster = ReplicatedCluster::new(costs, replicas, SimRng::seed(seed));
+    run_cluster_ticks(ticks, || cluster.run_tick(players, constructs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servo_metrics::qos_satisfied_default;
+
+    fn mean_ms(durations: &[SimDuration]) -> f64 {
+        durations.iter().map(|d| d.as_millis_f64()).sum::<f64>() / durations.len() as f64
+    }
+
+    #[test]
+    fn zoning_distributes_player_load() {
+        // Without constructs, four zones handle many more players than one.
+        let single = zoned_tick_durations(CostModel::opencraft(), 1, 300, 0, 200, 1);
+        let four = zoned_tick_durations(CostModel::opencraft(), 4, 300, 0, 200, 1);
+        assert!(mean_ms(&four) < mean_ms(&single));
+        assert!(qos_satisfied_default(&four));
+        assert!(!qos_satisfied_default(&single));
+    }
+
+    #[test]
+    fn zoning_still_collapses_under_constructs() {
+        // With 200 constructs, even 8 zones stay over the budget on
+        // construct-simulation ticks once coordination is charged: the
+        // environment workload does not shrink the way player load does.
+        let durations = zoned_tick_durations(CostModel::opencraft(), 8, 50, 200, 200, 2);
+        // Zone-local SC load is 25 constructs, which is fine, but the
+        // coordination overhead of border constructs and players pushes the
+        // cluster close to (or over) budget far earlier than Servo, which
+        // handles 200 constructs with margin.
+        assert!(mean_ms(&durations) > 8.0);
+        let single = zoned_tick_durations(CostModel::opencraft(), 1, 50, 200, 200, 2);
+        assert!(mean_ms(&durations) < mean_ms(&single));
+    }
+
+    #[test]
+    fn replication_duplicates_environment_workload() {
+        // Adding replicas does not reduce construct cost at all: with 150
+        // constructs a single Opencraft server and an 8-replica cluster are
+        // both over budget.
+        let single = replicated_tick_durations(CostModel::opencraft(), 1, 40, 150, 200, 3);
+        let eight = replicated_tick_durations(CostModel::opencraft(), 8, 40, 150, 200, 3);
+        assert!(!qos_satisfied_default(&single));
+        assert!(!qos_satisfied_default(&eight));
+        // The environment cost dominates: means are within ~25% of each
+        // other despite 8x the hardware.
+        assert!((mean_ms(&eight) - mean_ms(&single)).abs() / mean_ms(&single) < 0.25);
+    }
+
+    #[test]
+    fn replication_helps_player_only_workloads() {
+        let single = replicated_tick_durations(CostModel::minecraft(), 1, 240, 0, 200, 4);
+        let four = replicated_tick_durations(CostModel::minecraft(), 4, 240, 0, 200, 4);
+        assert!(!qos_satisfied_default(&single));
+        assert!(qos_satisfied_default(&four));
+    }
+
+    #[test]
+    fn cross_server_messages_are_reported() {
+        let mut zoned = ZonedCluster::new(CostModel::opencraft(), 4, SimRng::seed(5));
+        let tick = zoned.run_tick(100, 100);
+        assert!(tick.cross_server_messages > 0);
+        let mut replicated = ReplicatedCluster::new(CostModel::opencraft(), 4, SimRng::seed(5));
+        let tick = replicated.run_tick(100, 100);
+        assert!(tick.cross_server_messages > 0);
+        assert!(tick.critical_path > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn border_fractions_are_configurable() {
+        let mut isolated = ZonedCluster::new(CostModel::opencraft(), 4, SimRng::seed(6))
+            .with_border_fractions(0.0, 0.0);
+        let tick = isolated.run_tick(100, 100);
+        assert_eq!(tick.cross_server_messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one zone")]
+    fn zero_zones_is_rejected() {
+        ZonedCluster::new(CostModel::opencraft(), 0, SimRng::seed(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_is_rejected() {
+        ReplicatedCluster::new(CostModel::opencraft(), 0, SimRng::seed(0));
+    }
+}

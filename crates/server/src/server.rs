@@ -1,0 +1,589 @@
+//! The game loop.
+
+use std::collections::HashSet;
+
+use servo_metrics::TimePoint;
+use servo_redstone::{Blueprint, Construct};
+use servo_simkit::{SimClock, SimRng};
+use servo_types::consts;
+use servo_types::id::IdAllocator;
+use servo_types::{BlockPos, ChunkPos, ConstructId, PlayerId, SimDuration, SimTime, Tick};
+use servo_world::{nearest_missing_distance_blocks, required_chunks, World, WorldKind};
+use servo_workload::{PlayerEvent, PlayerFleet};
+
+use crate::backends::{ScBackend, ScResolution, TerrainBackend};
+use crate::costs::{CostModel, TickWork};
+
+/// Static configuration of a game-server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Human-readable system name ("Opencraft", "Minecraft", "Servo").
+    pub name: &'static str,
+    /// The calibrated cost model of this implementation.
+    pub costs: CostModel,
+    /// Simulation rate in Hz (20 for all systems in the paper).
+    pub tick_rate_hz: u32,
+    /// View distance in blocks that must be covered with terrain.
+    pub view_distance_blocks: i32,
+    /// Extra distance beyond the view distance at which terrain generation
+    /// is already requested, hiding generation latency.
+    pub generation_margin_blocks: i32,
+    /// Maximum number of freshly generated or loaded chunks integrated into
+    /// the world per tick; the remainder is queued for following ticks, as
+    /// production servers do to bound per-tick work.
+    pub max_chunk_loads_per_tick: usize,
+    /// The kind of world the instance hosts.
+    pub world_kind: WorldKind,
+}
+
+impl ServerConfig {
+    /// The Opencraft baseline configuration.
+    pub fn opencraft() -> Self {
+        ServerConfig {
+            name: "Opencraft",
+            costs: CostModel::opencraft(),
+            tick_rate_hz: consts::TICK_RATE_HZ,
+            view_distance_blocks: consts::DEFAULT_VIEW_DISTANCE_BLOCKS,
+            generation_margin_blocks: 16,
+            max_chunk_loads_per_tick: 16,
+            world_kind: WorldKind::Flat,
+        }
+    }
+
+    /// The Minecraft baseline configuration.
+    pub fn minecraft() -> Self {
+        ServerConfig {
+            costs: CostModel::minecraft(),
+            name: "Minecraft",
+            ..ServerConfig::opencraft()
+        }
+    }
+
+    /// The base configuration Servo builds on (Servo is implemented on top
+    /// of Opencraft; `servo-core` combines this with its backends).
+    pub fn servo_base() -> Self {
+        ServerConfig {
+            costs: CostModel::servo(),
+            name: "Servo",
+            generation_margin_blocks: 48,
+            ..ServerConfig::opencraft()
+        }
+    }
+
+    /// Sets the view distance, returning the modified configuration.
+    pub fn with_view_distance(mut self, blocks: i32) -> Self {
+        self.view_distance_blocks = blocks.max(0);
+        self
+    }
+
+    /// Sets the world kind, returning the modified configuration.
+    pub fn with_world_kind(mut self, kind: WorldKind) -> Self {
+        self.world_kind = kind;
+        self
+    }
+
+    /// The tick budget implied by the tick rate.
+    pub fn tick_budget(&self) -> SimDuration {
+        SimDuration::from_micros(1_000_000 / self.tick_rate_hz as u64)
+    }
+}
+
+/// Counters describing what a server instance did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Player events processed.
+    pub events_processed: u64,
+    /// Chunks integrated into the world.
+    pub chunks_loaded: u64,
+    /// Construct resolutions by kind.
+    pub sc_local: u64,
+    /// Constructs advanced by applying speculative results.
+    pub sc_merged: u64,
+    /// Constructs advanced by replaying a detected loop.
+    pub sc_replayed: u64,
+    /// Constructs skipped (baselines simulate every other tick).
+    pub sc_skipped: u64,
+}
+
+/// The outcome of one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickReport {
+    /// The tick index.
+    pub tick: Tick,
+    /// The virtual time at which the tick started.
+    pub started_at: SimTime,
+    /// How long the tick took.
+    pub duration: SimDuration,
+    /// The work performed.
+    pub work: TickWork,
+    /// Distance from the closest player to the closest missing terrain, in
+    /// blocks (the QoS metric of Figure 10); equals the view distance when
+    /// all required terrain is loaded.
+    pub view_range_blocks: f64,
+}
+
+/// A modifiable-virtual-environment game server.
+///
+/// See the crate-level documentation for the role this type plays; the
+/// baselines and Servo are all instances of it with different backends and
+/// cost models.
+pub struct GameServer {
+    config: ServerConfig,
+    world: World,
+    constructs: Vec<(ConstructId, Construct)>,
+    construct_ids: IdAllocator<ConstructId>,
+    sc_backend: Box<dyn ScBackend>,
+    terrain: Box<dyn TerrainBackend>,
+    clock: SimClock,
+    tick: Tick,
+    rng: SimRng,
+    reports: Vec<TickReport>,
+    stats: ServerStats,
+    /// Generated chunks waiting to be integrated (per-tick integration is
+    /// bounded by `max_chunk_loads_per_tick`).
+    pending_integration: std::collections::VecDeque<servo_world::Chunk>,
+}
+
+impl std::fmt::Debug for GameServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GameServer")
+            .field("name", &self.config.name)
+            .field("tick", &self.tick)
+            .field("constructs", &self.constructs.len())
+            .field("loaded_chunks", &self.world.loaded_chunks())
+            .finish()
+    }
+}
+
+impl GameServer {
+    /// Creates a server instance with the given construct and terrain
+    /// backends.
+    pub fn new(
+        config: ServerConfig,
+        sc_backend: Box<dyn ScBackend>,
+        terrain: Box<dyn TerrainBackend>,
+        rng: SimRng,
+    ) -> Self {
+        let world = match config.world_kind {
+            WorldKind::Flat => World::flat(4),
+            WorldKind::Default => World::new(),
+        };
+        GameServer {
+            config,
+            world,
+            constructs: Vec::new(),
+            construct_ids: IdAllocator::new(),
+            sc_backend,
+            terrain,
+            clock: SimClock::new(),
+            tick: Tick::ZERO,
+            rng,
+            reports: Vec::new(),
+            stats: ServerStats::default(),
+            pending_integration: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The server's world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The current tick index.
+    pub fn current_tick(&self) -> Tick {
+        self.tick
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Number of simulated constructs in the instance.
+    pub fn construct_count(&self) -> usize {
+        self.constructs.len()
+    }
+
+    /// Adds a simulated construct built from `blueprint` and returns its id.
+    pub fn add_construct(&mut self, blueprint: Blueprint) -> ConstructId {
+        let id = self.construct_ids.next();
+        self.constructs.push((id, Construct::new(blueprint)));
+        id
+    }
+
+    /// Adds `count` identical constructs built by `builder`.
+    pub fn add_constructs<F: Fn(usize) -> Blueprint>(&mut self, count: usize, builder: F) {
+        for i in 0..count {
+            self.add_construct(builder(i));
+        }
+    }
+
+    /// Read access to a construct by id.
+    pub fn construct(&self, id: ConstructId) -> Option<&Construct> {
+        self.constructs
+            .iter()
+            .find(|(cid, _)| *cid == id)
+            .map(|(_, c)| c)
+    }
+
+    /// All tick reports recorded so far.
+    pub fn reports(&self) -> &[TickReport] {
+        &self.reports
+    }
+
+    /// All recorded tick durations.
+    pub fn tick_durations(&self) -> Vec<SimDuration> {
+        self.reports.iter().map(|r| r.duration).collect()
+    }
+
+    /// Tick durations as a time series (milliseconds), for rolling-band
+    /// plots.
+    pub fn tick_duration_series(&self) -> Vec<TimePoint> {
+        self.reports
+            .iter()
+            .map(|r| TimePoint {
+                at: r.started_at,
+                value: r.duration.as_millis_f64(),
+            })
+            .collect()
+    }
+
+    /// View-range samples over time (blocks), for the Figure 10 QoS plot.
+    pub fn view_range_series(&self) -> Vec<TimePoint> {
+        self.reports
+            .iter()
+            .map(|r| TimePoint {
+                at: r.started_at,
+                value: r.view_range_blocks,
+            })
+            .collect()
+    }
+
+    /// Clears recorded reports (e.g. to discard a warm-up phase) without
+    /// resetting the world or the clock.
+    pub fn discard_reports(&mut self) {
+        self.reports.clear();
+    }
+
+    /// Runs a single tick given the current avatar positions and the player
+    /// events that arrived since the previous tick.
+    pub fn run_tick(
+        &mut self,
+        positions: &[BlockPos],
+        events: &[(PlayerId, PlayerEvent)],
+    ) -> TickReport {
+        let now = self.clock.now();
+        let mut work = TickWork {
+            players: positions.len(),
+            events: events.len(),
+            ..TickWork::default()
+        };
+
+        // 1. Terrain management: request generation out to the view distance
+        //    plus the generation margin, integrate whatever is ready.
+        let generation_horizon =
+            self.config.view_distance_blocks + self.config.generation_margin_blocks;
+        let needed = required_chunks(positions, generation_horizon);
+        for pos in &needed {
+            if !self.world.is_loaded(*pos) {
+                self.terrain.request(*pos, now);
+            }
+        }
+        self.pending_integration.extend(self.terrain.poll_ready(now));
+        let to_integrate = self
+            .pending_integration
+            .len()
+            .min(self.config.max_chunk_loads_per_tick);
+        work.chunks_loaded = to_integrate;
+        work.chunks_sent = to_integrate * positions.len().min(4).max(1);
+        for _ in 0..to_integrate {
+            if let Some(chunk) = self.pending_integration.pop_front() {
+                self.world.insert_chunk(chunk);
+            }
+        }
+        work.busy_generation_workers = self.terrain.busy_local_workers(now);
+        work.generation_backlog = self.terrain.pending() + self.pending_integration.len();
+
+        // 2. Apply player events to the world and to any construct they
+        //    touch (invalidating in-flight speculation via the modification
+        //    stamp).
+        for (_, event) in events {
+            match event {
+                PlayerEvent::BlockPlaced(pos) | PlayerEvent::BlockBroken(pos) => {
+                    let block = match event {
+                        PlayerEvent::BlockPlaced(_) => servo_world::Block::Stone,
+                        _ => servo_world::Block::Air,
+                    };
+                    // Ignore writes into unloaded terrain; clients cannot
+                    // modify terrain they have not received.
+                    let _ = self.world.set_block(*pos, block);
+                    for (_, construct) in &mut self.constructs {
+                        if construct.blueprint().index_of(*pos).is_some() {
+                            construct.apply_modification(*pos, None);
+                        }
+                    }
+                }
+                PlayerEvent::ChatMessage | PlayerEvent::InventoryChanged => {}
+            }
+        }
+
+        // 3. Advance simulated constructs through the configured backend.
+        for (id, construct) in &mut self.constructs {
+            match self.sc_backend.resolve(*id, construct, self.tick, now) {
+                ScResolution::LocalSimulated => {
+                    work.sc_local += 1;
+                    self.stats.sc_local += 1;
+                }
+                ScResolution::SpeculativeApplied => {
+                    work.sc_merged += 1;
+                    self.stats.sc_merged += 1;
+                }
+                ScResolution::LoopReplayed => {
+                    work.sc_replayed += 1;
+                    self.stats.sc_replayed += 1;
+                }
+                ScResolution::Skipped => {
+                    self.stats.sc_skipped += 1;
+                }
+            }
+        }
+
+        // 4. QoS metric: distance to the nearest missing terrain.
+        let view_range_blocks = if positions.is_empty() {
+            self.config.view_distance_blocks as f64
+        } else {
+            nearest_missing_distance_blocks(
+                &self.world,
+                positions,
+                self.config.view_distance_blocks,
+            )
+        };
+
+        // 5. Derive the tick duration from the work performed.
+        let duration = self.config.costs.tick_duration(&work, &mut self.rng);
+
+        let report = TickReport {
+            tick: self.tick,
+            started_at: now,
+            duration,
+            work,
+            view_range_blocks,
+        };
+        self.reports.push(report);
+        self.stats.ticks += 1;
+        self.stats.events_processed += events.len() as u64;
+        self.stats.chunks_loaded += work.chunks_loaded as u64;
+
+        // 6. Advance the clock: the next tick starts after the fixed tick
+        //    interval, or later if this tick overran its budget.
+        let tick_budget = self.config.tick_budget();
+        self.clock.advance_by(duration.max(tick_budget));
+        self.tick = self.tick.next();
+        report
+    }
+
+    /// Drives the server with a player fleet for `duration` of virtual time,
+    /// returning the reports of the executed ticks.
+    pub fn run_with_fleet(
+        &mut self,
+        fleet: &mut PlayerFleet,
+        duration: SimDuration,
+    ) -> Vec<TickReport> {
+        let end = self.clock.now() + duration;
+        let tick_budget = self.config.tick_budget();
+        let mut reports = Vec::new();
+        while self.clock.now() < end {
+            let now = self.clock.now();
+            let events = fleet.tick(now, tick_budget);
+            let positions = fleet.positions();
+            reports.push(self.run_tick(&positions, &events));
+        }
+        reports
+    }
+
+    /// Convenience: the set of chunks currently required by the given
+    /// positions at the configured view distance.
+    pub fn required_chunk_set(&self, positions: &[BlockPos]) -> HashSet<ChunkPos> {
+        required_chunks(positions, self.config.view_distance_blocks)
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{LocalGenerationBackend, LocalScBackend};
+    use servo_pcg::FlatGenerator;
+    use servo_redstone::generators;
+    use servo_workload::BehaviorKind;
+
+    fn flat_server(config: ServerConfig) -> GameServer {
+        GameServer::new(
+            config.with_view_distance(32),
+            Box::new(LocalScBackend::every_other_tick()),
+            Box::new(LocalGenerationBackend::new(
+                Box::new(FlatGenerator::default()),
+                8,
+            )),
+            SimRng::seed(7),
+        )
+    }
+
+    fn bounded_fleet(players: usize, seed: u64) -> PlayerFleet {
+        let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(seed));
+        fleet.connect_all(players);
+        fleet
+    }
+
+    #[test]
+    fn runs_at_twenty_ticks_per_second() {
+        let mut server = flat_server(ServerConfig::opencraft());
+        let mut fleet = bounded_fleet(5, 1);
+        let reports = server.run_with_fleet(&mut fleet, SimDuration::from_secs(5));
+        // A handful of early ticks overrun while the spawn terrain loads;
+        // after that the loop runs at 20 ticks per second.
+        assert!(
+            (90..=100).contains(&reports.len()),
+            "ticks {}",
+            reports.len()
+        );
+        assert_eq!(server.stats().ticks, reports.len() as u64);
+        // Virtual time advanced by at least the requested duration.
+        assert!(server.now() >= SimTime::from_secs(5));
+        // Steady state meets the tick budget.
+        let tail = &reports[reports.len() / 2..];
+        assert!(tail.iter().all(|r| r.duration <= SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    fn terrain_appears_around_players() {
+        let mut server = flat_server(ServerConfig::opencraft());
+        let mut fleet = bounded_fleet(3, 2);
+        server.run_with_fleet(&mut fleet, SimDuration::from_secs(5));
+        assert!(server.world().loaded_chunks() > 0);
+        // Eventually all required terrain is loaded: view range recovers to
+        // the full view distance.
+        let last = server.reports().last().unwrap();
+        assert_eq!(last.view_range_blocks, 32.0);
+        assert!(server.stats().chunks_loaded > 0);
+    }
+
+    #[test]
+    fn constructs_advance_every_other_tick_for_baselines() {
+        let mut server = flat_server(ServerConfig::opencraft());
+        server.add_constructs(4, |_| generators::wire_line(10));
+        assert_eq!(server.construct_count(), 4);
+        let mut fleet = bounded_fleet(1, 3);
+        server.run_with_fleet(&mut fleet, SimDuration::from_secs(2));
+        // Constructs are stepped on even ticks only: exactly half of all
+        // construct resolutions are skips, and every construct advanced one
+        // step per non-skipped tick.
+        let stats = server.stats();
+        assert_eq!(stats.sc_local + stats.sc_skipped, 4 * stats.ticks);
+        assert!(stats.sc_local >= stats.sc_skipped);
+        assert!(stats.sc_local <= stats.sc_skipped + 4);
+        let id = ConstructId::new(0);
+        assert_eq!(server.construct(id).unwrap().state().step(), stats.sc_local / 4);
+    }
+
+    #[test]
+    fn tick_duration_grows_with_construct_count() {
+        let run = |constructs: usize| -> f64 {
+            let mut server = flat_server(ServerConfig::opencraft());
+            server.add_constructs(constructs, |_| generators::dense_circuit(64));
+            let mut fleet = bounded_fleet(10, 4);
+            // Let the spawn terrain load, then measure the steady state.
+            server.run_with_fleet(&mut fleet, SimDuration::from_secs(2));
+            server.discard_reports();
+            server.run_with_fleet(&mut fleet, SimDuration::from_secs(3));
+            let durations = server.tick_durations();
+            durations.iter().map(|d| d.as_millis_f64()).sum::<f64>() / durations.len() as f64
+        };
+        let few = run(5);
+        let many = run(60);
+        assert!(many > few * 1.5, "few {few} many {many}");
+    }
+
+    #[test]
+    fn baseline_distribution_is_bimodal_with_constructs() {
+        let mut server = flat_server(ServerConfig::minecraft());
+        server.add_constructs(100, |_| generators::dense_circuit(64));
+        let mut fleet = bounded_fleet(10, 5);
+        server.run_with_fleet(&mut fleet, SimDuration::from_secs(5));
+        let reports = server.reports();
+        let even: Vec<f64> = reports
+            .iter()
+            .filter(|r| r.tick.0 % 2 == 0)
+            .map(|r| r.duration.as_millis_f64())
+            .collect();
+        let odd: Vec<f64> = reports
+            .iter()
+            .filter(|r| r.tick.0 % 2 == 1)
+            .map(|r| r.duration.as_millis_f64())
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        // SC ticks are clearly more expensive than non-SC ticks.
+        assert!(mean(&even) > mean(&odd) + 5.0);
+    }
+
+    #[test]
+    fn block_events_modify_world_and_invalidate_constructs() {
+        let mut server = flat_server(ServerConfig::opencraft());
+        let id = server.add_construct(generators::wire_line(5));
+        // Pre-load the spawn chunk so block modifications apply.
+        let mut fleet = bounded_fleet(1, 6);
+        server.run_with_fleet(&mut fleet, SimDuration::from_secs(2));
+        let stamp_before = server.construct(id).unwrap().modification_stamp();
+        // A player breaks the block at the construct's origin.
+        let events = vec![(PlayerId::new(0), PlayerEvent::BlockBroken(BlockPos::new(0, 0, 0)))];
+        let positions = fleet.positions();
+        server.run_tick(&positions, &events);
+        assert_eq!(server.stats().events_processed, 1);
+        assert!(server.construct(id).unwrap().modification_stamp() > stamp_before);
+    }
+
+    #[test]
+    fn overrunning_ticks_delay_the_clock() {
+        let mut server = flat_server(ServerConfig::opencraft());
+        // 300 constructs guarantee every SC tick overruns 50 ms.
+        server.add_constructs(300, |_| generators::wire_line(3));
+        let mut fleet = bounded_fleet(1, 7);
+        server.run_with_fleet(&mut fleet, SimDuration::from_secs(1));
+        // Fewer than 20 ticks fit in one virtual second because SC ticks
+        // take longer than 50 ms.
+        assert!(server.stats().ticks < 20, "ticks {}", server.stats().ticks);
+    }
+
+    #[test]
+    fn discard_reports_keeps_world_state() {
+        let mut server = flat_server(ServerConfig::opencraft());
+        let mut fleet = bounded_fleet(2, 8);
+        server.run_with_fleet(&mut fleet, SimDuration::from_secs(1));
+        let chunks = server.world().loaded_chunks();
+        server.discard_reports();
+        assert!(server.reports().is_empty());
+        assert_eq!(server.world().loaded_chunks(), chunks);
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = ServerConfig::minecraft().with_view_distance(64);
+        assert_eq!(cfg.view_distance_blocks, 64);
+        assert_eq!(cfg.name, "Minecraft");
+        assert_eq!(ServerConfig::opencraft().tick_budget(), SimDuration::from_millis(50));
+        assert_eq!(ServerConfig::servo_base().name, "Servo");
+    }
+}

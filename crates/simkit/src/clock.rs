@@ -1,0 +1,95 @@
+//! The virtual clock.
+
+use servo_types::{SimDuration, SimTime, Tick};
+
+/// A monotonically advancing virtual clock.
+///
+/// The clock never goes backwards: [`SimClock::advance_to`] with a time in
+/// the past is a no-op. This mirrors how a discrete-event simulation consumes
+/// an event queue.
+///
+/// # Example
+///
+/// ```
+/// use servo_simkit::SimClock;
+/// use servo_types::SimDuration;
+///
+/// let mut clock = SimClock::new();
+/// clock.advance_by(SimDuration::from_millis(75));
+/// assert_eq!(clock.now().as_millis(), 75);
+/// assert_eq!(clock.current_tick(20).0, 1); // 75 ms is within tick 1 at 20 Hz
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now: SimTime::ZERO }
+    }
+
+    /// Creates a clock starting at the given instant.
+    pub fn starting_at(start: SimTime) -> Self {
+        SimClock { now: start }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock to `target`. Times in the past are ignored so the
+    /// clock stays monotonic.
+    pub fn advance_to(&mut self, target: SimTime) {
+        if target > self.now {
+            self.now = target;
+        }
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance_by(&mut self, delta: SimDuration) {
+        self.now += delta;
+    }
+
+    /// The game-loop tick that contains the current instant, for a tick rate
+    /// in Hz.
+    pub fn current_tick(&self, tick_rate_hz: u32) -> Tick {
+        let tick_len_us = 1_000_000 / tick_rate_hz as u64;
+        Tick(self.now.as_micros() / tick_len_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = SimClock::new();
+        c.advance_to(SimTime::from_millis(100));
+        c.advance_to(SimTime::from_millis(40));
+        assert_eq!(c.now(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn advance_by_accumulates() {
+        let mut c = SimClock::starting_at(SimTime::from_secs(1));
+        c.advance_by(SimDuration::from_millis(500));
+        c.advance_by(SimDuration::from_millis(500));
+        assert_eq!(c.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn current_tick_at_20hz() {
+        let mut c = SimClock::new();
+        assert_eq!(c.current_tick(20), Tick(0));
+        c.advance_to(SimTime::from_millis(49));
+        assert_eq!(c.current_tick(20), Tick(0));
+        c.advance_to(SimTime::from_millis(50));
+        assert_eq!(c.current_tick(20), Tick(1));
+        c.advance_to(SimTime::from_secs(10));
+        assert_eq!(c.current_tick(20), Tick(200));
+    }
+}

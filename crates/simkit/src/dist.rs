@@ -1,0 +1,328 @@
+//! Latency distributions.
+//!
+//! Cloud-service latencies are well described by log-normal bodies with
+//! heavy (Pareto-like) tails; cold starts add a second mode. The types here
+//! implement exactly the sampling primitives the FaaS and storage simulators
+//! need, without pulling in an external statistics crate.
+
+use rand::Rng;
+use servo_types::SimDuration;
+
+/// A sampleable distribution over non-negative durations (milliseconds).
+pub trait Distribution {
+    /// Draws one sample, in milliseconds.
+    fn sample_ms(&self, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// Draws one sample as a [`SimDuration`].
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> SimDuration {
+        SimDuration::from_millis_f64(self.sample_ms(rng).max(0.0))
+    }
+}
+
+/// A degenerate distribution that always returns the same value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Distribution for Constant {
+    fn sample_ms(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.0
+    }
+}
+
+/// A uniform distribution over `[lo, hi)` milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    /// Inclusive lower bound in milliseconds.
+    pub lo: f64,
+    /// Exclusive upper bound in milliseconds.
+    pub hi: f64,
+}
+
+impl Distribution for Uniform {
+    fn sample_ms(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen();
+        self.lo + u * (self.hi - self.lo)
+    }
+}
+
+/// A normal (Gaussian) distribution, sampled with the Box–Muller transform
+/// and truncated at zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean in milliseconds.
+    pub mean: f64,
+    /// Standard deviation in milliseconds.
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Draws a standard-normal variate.
+    pub fn standard_sample(rng: &mut dyn rand::RngCore) -> f64 {
+        // Box–Muller; u1 is kept away from zero to avoid ln(0).
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Distribution for Normal {
+    fn sample_ms(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        (self.mean + self.std_dev * Normal::standard_sample(rng)).max(0.0)
+    }
+}
+
+/// A log-normal distribution parameterised by the *median* and the shape
+/// `sigma` of the underlying normal.
+///
+/// Parameterising by the median (rather than mu) keeps configuration
+/// readable: `median_ms` is the typical latency, `sigma` controls the spread
+/// of the body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Median latency in milliseconds.
+    pub median_ms: f64,
+    /// Shape parameter of the underlying normal distribution.
+    pub sigma: f64,
+}
+
+impl Distribution for LogNormal {
+    fn sample_ms(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let z = Normal::standard_sample(rng);
+        self.median_ms * (self.sigma * z).exp()
+    }
+}
+
+/// An exponential distribution with the given mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Mean in milliseconds.
+    pub mean: f64,
+}
+
+impl Distribution for Exponential {
+    fn sample_ms(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        -self.mean * u.ln()
+    }
+}
+
+/// A Pareto distribution with scale `x_min` and shape `alpha`, used for
+/// heavy latency tails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Minimum value (scale) in milliseconds.
+    pub x_min: f64,
+    /// Tail index; smaller values give heavier tails.
+    pub alpha: f64,
+}
+
+impl Distribution for Pareto {
+    fn sample_ms(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// A cloud-service latency model: a log-normal body plus an occasional
+/// heavy-tailed outlier, clamped to a configurable ceiling.
+///
+/// This is the workhorse used to model managed-storage GETs (Figure 3,
+/// Figure 13) and FaaS invocation overhead (Figure 9).
+///
+/// # Example
+///
+/// ```
+/// use servo_simkit::{LatencyModel, SimRng, Distribution};
+///
+/// let model = LatencyModel::new(12.0, 0.35).with_outliers(0.001, 300.0, 2.5);
+/// let mut rng = SimRng::seed(1);
+/// let sample = model.sample_ms(&mut rng);
+/// assert!(sample > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    body: LogNormal,
+    /// Probability that a request falls into the outlier regime.
+    outlier_probability: f64,
+    /// Outlier tail distribution.
+    tail: Pareto,
+    /// Hard upper bound on any sample, in milliseconds.
+    ceiling_ms: f64,
+}
+
+impl LatencyModel {
+    /// Creates a latency model with the given median and body shape and no
+    /// outlier regime.
+    pub fn new(median_ms: f64, sigma: f64) -> Self {
+        LatencyModel {
+            body: LogNormal { median_ms, sigma },
+            outlier_probability: 0.0,
+            tail: Pareto {
+                x_min: median_ms,
+                alpha: 3.0,
+            },
+            ceiling_ms: f64::INFINITY,
+        }
+    }
+
+    /// Adds an outlier regime: with probability `p` a sample is drawn from a
+    /// Pareto tail starting at `tail_min_ms` with shape `alpha`.
+    pub fn with_outliers(mut self, p: f64, tail_min_ms: f64, alpha: f64) -> Self {
+        self.outlier_probability = p.clamp(0.0, 1.0);
+        self.tail = Pareto {
+            x_min: tail_min_ms,
+            alpha,
+        };
+        self
+    }
+
+    /// Caps every sample at `ceiling_ms`.
+    pub fn with_ceiling(mut self, ceiling_ms: f64) -> Self {
+        self.ceiling_ms = ceiling_ms;
+        self
+    }
+
+    /// The median of the latency body, in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.body.median_ms
+    }
+
+    /// Returns a copy of this model with the median scaled by `factor`
+    /// (used to scale compute latency with allocated function resources).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut scaled = *self;
+        scaled.body.median_ms *= factor;
+        scaled.tail.x_min *= factor;
+        scaled
+    }
+}
+
+impl Distribution for LatencyModel {
+    fn sample_ms(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen();
+        let sample = if u < self.outlier_probability {
+            self.tail.sample_ms(rng)
+        } else {
+            self.body.sample_ms(rng)
+        };
+        sample.min(self.ceiling_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn mean_of(dist: &dyn Distribution, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed(seed);
+        (0..n).map(|_| dist.sample_ms(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::seed(0);
+        let d = Constant(42.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample_ms(&mut rng), 42.0);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = Uniform { lo: 5.0, hi: 10.0 };
+        let mut rng = SimRng::seed(1);
+        for _ in 0..1000 {
+            let s = d.sample_ms(&mut rng);
+            assert!((5.0..10.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let d = Normal {
+            mean: 100.0,
+            std_dev: 10.0,
+        };
+        let m = mean_of(&d, 20_000, 2);
+        assert!((m - 100.0).abs() < 1.0, "mean was {m}");
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let d = LogNormal {
+            median_ms: 50.0,
+            sigma: 0.5,
+        };
+        let mut rng = SimRng::seed(3);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample_ms(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 50.0).abs() < 2.5, "median was {median}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let d = Exponential { mean: 30.0 };
+        let m = mean_of(&d, 50_000, 4);
+        assert!((m - 30.0).abs() < 1.0, "mean was {m}");
+    }
+
+    #[test]
+    fn pareto_never_below_min() {
+        let d = Pareto {
+            x_min: 200.0,
+            alpha: 2.0,
+        };
+        let mut rng = SimRng::seed(5);
+        for _ in 0..1000 {
+            assert!(d.sample_ms(&mut rng) >= 200.0);
+        }
+    }
+
+    #[test]
+    fn latency_model_outliers_increase_extremes() {
+        let base = LatencyModel::new(10.0, 0.3);
+        let heavy = LatencyModel::new(10.0, 0.3).with_outliers(0.05, 400.0, 2.0);
+        let mut rng1 = SimRng::seed(6);
+        let mut rng2 = SimRng::seed(6);
+        let base_max = (0..10_000)
+            .map(|_| base.sample_ms(&mut rng1))
+            .fold(0.0, f64::max);
+        let heavy_max = (0..10_000)
+            .map(|_| heavy.sample_ms(&mut rng2))
+            .fold(0.0, f64::max);
+        assert!(heavy_max > base_max);
+        assert!(heavy_max >= 400.0);
+    }
+
+    #[test]
+    fn latency_model_ceiling_is_respected() {
+        let d = LatencyModel::new(10.0, 1.0)
+            .with_outliers(0.2, 500.0, 1.5)
+            .with_ceiling(750.0);
+        let mut rng = SimRng::seed(7);
+        for _ in 0..10_000 {
+            assert!(d.sample_ms(&mut rng) <= 750.0);
+        }
+    }
+
+    #[test]
+    fn scaled_model_scales_median() {
+        let d = LatencyModel::new(100.0, 0.2);
+        assert!((d.scaled(0.5).median_ms() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_convert_to_nonnegative_durations() {
+        let d = Normal {
+            mean: 0.5,
+            std_dev: 5.0,
+        };
+        let mut rng = SimRng::seed(8);
+        for _ in 0..1000 {
+            // Must never underflow even when the normal sample is negative.
+            let _ = d.sample(&mut rng);
+        }
+    }
+}

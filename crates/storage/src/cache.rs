@@ -1,0 +1,444 @@
+//! The server-local terrain cache with pre-fetching.
+//!
+//! Servo keeps terrain in serverless storage but hides its latency
+//! variability behind a server-local cache (Section III-E): chunks near a
+//! player are pre-fetched before they are needed, reads served from memory
+//! or the local file system stay well under one simulation step, and writes
+//! to remote storage happen periodically in the background.
+
+use std::collections::{HashMap, HashSet};
+
+use servo_types::{ChunkPos, ServoError, SimDuration, SimTime};
+use servo_world::ChunkSnapshot;
+
+use crate::backend::{LocalDiskStore, ObjectStore};
+
+/// Where a chunk read was ultimately served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChunkLocation {
+    /// Already resident in the in-memory cache.
+    Memory,
+    /// Found in the local file-system cache.
+    LocalDisk,
+    /// A pre-fetch for this chunk was already in flight; the read waited for
+    /// the remaining transfer time.
+    PrefetchInFlight,
+    /// Fetched synchronously from remote storage.
+    Remote,
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from memory.
+    pub memory_hits: u64,
+    /// Reads served from the local disk cache.
+    pub disk_hits: u64,
+    /// Reads that joined an in-flight pre-fetch.
+    pub prefetch_joins: u64,
+    /// Reads that had to go to remote storage synchronously.
+    pub remote_misses: u64,
+    /// Pre-fetch requests issued.
+    pub prefetches_issued: u64,
+    /// Chunks written back to remote storage.
+    pub write_backs: u64,
+}
+
+impl CacheStats {
+    /// Total number of chunk reads served.
+    pub fn total_reads(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.prefetch_joins + self.remote_misses
+    }
+
+    /// Fraction of reads that did not require a synchronous remote fetch.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_reads();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.remote_misses as f64 / total as f64
+    }
+}
+
+/// An outcome of a cached chunk read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedRead {
+    /// The chunk snapshot.
+    pub snapshot: ChunkSnapshot,
+    /// End-to-end latency as observed by the game loop.
+    pub latency: SimDuration,
+    /// Where the chunk was served from.
+    pub location: ChunkLocation,
+}
+
+/// A chunk store that fronts a remote [`ObjectStore`] with an in-memory map,
+/// a local-disk cache, and asynchronous pre-fetching.
+///
+/// # Example
+///
+/// ```
+/// use servo_storage::{BlobStore, BlobTier, CachedChunkStore, ChunkLocation};
+/// use servo_simkit::SimRng;
+/// use servo_types::{ChunkPos, SimTime};
+/// use servo_world::Chunk;
+///
+/// let remote = BlobStore::new(BlobTier::Standard, SimRng::seed(1));
+/// let mut store = CachedChunkStore::new(remote, SimRng::seed(2));
+/// let pos = ChunkPos::new(0, 0);
+/// store.put(Chunk::empty(pos).snapshot(), SimTime::ZERO).unwrap();
+///
+/// let read = store.read(pos, SimTime::ZERO).unwrap();
+/// assert_eq!(read.location, ChunkLocation::Memory);
+/// ```
+#[derive(Debug)]
+pub struct CachedChunkStore<R: ObjectStore> {
+    remote: R,
+    local: LocalDiskStore,
+    memory: HashMap<ChunkPos, ChunkSnapshot>,
+    /// Chunks modified since the last write-back.
+    dirty: HashSet<ChunkPos>,
+    /// Pre-fetches in flight: chunk -> instant the data arrives locally.
+    in_flight: HashMap<ChunkPos, SimTime>,
+    stats: CacheStats,
+    /// Latency of serving a read straight from the in-memory map.
+    memory_latency: SimDuration,
+}
+
+impl<R: ObjectStore> CachedChunkStore<R> {
+    /// Creates a cache in front of `remote`. The local-disk cache layer gets
+    /// its own latency stream from `rng`.
+    pub fn new(remote: R, rng: servo_simkit::SimRng) -> Self {
+        CachedChunkStore {
+            remote,
+            local: LocalDiskStore::new(rng),
+            memory: HashMap::new(),
+            dirty: HashSet::new(),
+            in_flight: HashMap::new(),
+            stats: CacheStats::default(),
+            memory_latency: SimDuration::from_micros(50),
+        }
+    }
+
+    /// Cache effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Access to the remote backend (e.g. to seed it with generated terrain).
+    pub fn remote_mut(&mut self) -> &mut R {
+        &mut self.remote
+    }
+
+    /// Number of chunks resident in memory.
+    pub fn resident_chunks(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Whether a chunk is resident in memory.
+    pub fn is_resident(&self, pos: ChunkPos) -> bool {
+        self.memory.contains_key(&pos)
+    }
+
+    fn key(pos: ChunkPos) -> String {
+        format!("terrain/{}/{}", pos.x, pos.z)
+    }
+
+    /// Inserts a freshly generated or modified chunk into the cache and
+    /// marks it dirty for the next write-back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::StorageFailed`] if the local cache copy cannot
+    /// be written.
+    pub fn put(&mut self, snapshot: ChunkSnapshot, now: SimTime) -> Result<(), ServoError> {
+        self.local
+            .write(&Self::key(snapshot.pos), snapshot.bytes.clone(), now)?;
+        self.dirty.insert(snapshot.pos);
+        self.memory.insert(snapshot.pos, snapshot);
+        Ok(())
+    }
+
+    /// Completes any pre-fetches that have arrived by `now`, moving them
+    /// into memory. Returns how many arrived.
+    pub fn poll(&mut self, now: SimTime) -> usize {
+        let arrived: Vec<ChunkPos> = self
+            .in_flight
+            .iter()
+            .filter(|(_, &t)| t <= now)
+            .map(|(&p, _)| p)
+            .collect();
+        for pos in &arrived {
+            self.in_flight.remove(pos);
+            // The data was transferred in the background; materialise it.
+            if let Ok(read) = self.remote.read(&Self::key(*pos), now) {
+                let snapshot = ChunkSnapshot {
+                    pos: *pos,
+                    bytes: read.data,
+                };
+                let _ = self.local.write(&Self::key(*pos), snapshot.bytes.clone(), now);
+                self.memory.insert(*pos, snapshot);
+            }
+        }
+        arrived.len()
+    }
+
+    /// Starts asynchronous pre-fetches for every chunk in `positions` that
+    /// is not already resident, cached locally on disk, or in flight.
+    pub fn prefetch<I: IntoIterator<Item = ChunkPos>>(&mut self, positions: I, now: SimTime) {
+        for pos in positions {
+            if self.memory.contains_key(&pos)
+                || self.in_flight.contains_key(&pos)
+                || self.local.contains(&Self::key(pos))
+            {
+                continue;
+            }
+            if !self.remote.contains(&Self::key(pos)) {
+                continue;
+            }
+            // Sample the transfer time by performing the remote read now and
+            // recording only its completion time; the bytes are re-read (at
+            // no extra simulated cost) when the transfer completes in
+            // `poll`.
+            if let Ok(read) = self.remote.read(&Self::key(pos), now) {
+                self.in_flight.insert(pos, read.completed_at);
+                self.stats.prefetches_issued += 1;
+            }
+        }
+    }
+
+    /// Reads a chunk through the cache hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::NotFound`] if the chunk exists nowhere
+    /// (it must be generated instead), or [`ServoError::StorageFailed`] if
+    /// the backing store fails.
+    pub fn read(&mut self, pos: ChunkPos, now: SimTime) -> Result<CachedRead, ServoError> {
+        self.poll(now);
+        let key = Self::key(pos);
+
+        if let Some(snapshot) = self.memory.get(&pos) {
+            self.stats.memory_hits += 1;
+            return Ok(CachedRead {
+                snapshot: snapshot.clone(),
+                latency: self.memory_latency,
+                location: ChunkLocation::Memory,
+            });
+        }
+
+        if let Some(&arrives_at) = self.in_flight.get(&pos) {
+            // Wait for the in-flight transfer to finish.
+            self.stats.prefetch_joins += 1;
+            let wait = arrives_at.saturating_since(now).max(self.memory_latency);
+            self.poll(arrives_at);
+            let snapshot = self
+                .memory
+                .get(&pos)
+                .cloned()
+                .ok_or_else(|| ServoError::storage_failed("prefetched chunk vanished"))?;
+            return Ok(CachedRead {
+                snapshot,
+                latency: wait,
+                location: ChunkLocation::PrefetchInFlight,
+            });
+        }
+
+        if self.local.contains(&key) {
+            let read = self.local.read(&key, now)?;
+            self.stats.disk_hits += 1;
+            let snapshot = ChunkSnapshot {
+                pos,
+                bytes: read.data,
+            };
+            self.memory.insert(pos, snapshot.clone());
+            return Ok(CachedRead {
+                snapshot,
+                latency: read.latency,
+                location: ChunkLocation::LocalDisk,
+            });
+        }
+
+        let read = self.remote.read(&key, now)?;
+        self.stats.remote_misses += 1;
+        let snapshot = ChunkSnapshot {
+            pos,
+            bytes: read.data,
+        };
+        let _ = self.local.write(&key, snapshot.bytes.clone(), now);
+        self.memory.insert(pos, snapshot.clone());
+        Ok(CachedRead {
+            snapshot,
+            latency: read.latency,
+            location: ChunkLocation::Remote,
+        })
+    }
+
+    /// Evicts from memory every chunk not contained in `keep`. Evicted
+    /// chunks remain in the local-disk cache; dirty evicted chunks are
+    /// written back to remote storage first.
+    ///
+    /// Returns the number of chunks evicted.
+    pub fn evict_except(&mut self, keep: &HashSet<ChunkPos>, now: SimTime) -> usize {
+        let to_evict: Vec<ChunkPos> = self
+            .memory
+            .keys()
+            .filter(|p| !keep.contains(p))
+            .copied()
+            .collect();
+        for pos in &to_evict {
+            if self.dirty.remove(pos) {
+                if let Some(snapshot) = self.memory.get(pos) {
+                    let _ = self.remote.write(&Self::key(*pos), snapshot.bytes.clone(), now);
+                    self.stats.write_backs += 1;
+                }
+            }
+            self.memory.remove(pos);
+        }
+        to_evict.len()
+    }
+
+    /// Writes every dirty chunk back to remote storage (the paper's periodic
+    /// write policy). Returns the number of chunks written.
+    pub fn write_back_dirty(&mut self, now: SimTime) -> usize {
+        let dirty: Vec<ChunkPos> = self.dirty.drain().collect();
+        let mut written = 0;
+        for pos in dirty {
+            if let Some(snapshot) = self.memory.get(&pos) {
+                if self
+                    .remote
+                    .write(&Self::key(pos), snapshot.bytes.clone(), now)
+                    .is_ok()
+                {
+                    written += 1;
+                    self.stats.write_backs += 1;
+                } else {
+                    // Keep it dirty so the next write-back retries.
+                    self.dirty.insert(pos);
+                }
+            }
+        }
+        written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BlobStore, BlobTier};
+    use servo_simkit::SimRng;
+    use servo_world::Chunk;
+
+    fn store_with_remote_chunks(n: i32) -> CachedChunkStore<BlobStore> {
+        let mut remote = BlobStore::new(BlobTier::Standard, SimRng::seed(1));
+        for x in 0..n {
+            for z in 0..n {
+                let pos = ChunkPos::new(x, z);
+                let chunk = Chunk::empty(pos);
+                remote
+                    .write(&format!("terrain/{}/{}", x, z), chunk.to_bytes(), SimTime::ZERO)
+                    .unwrap();
+            }
+        }
+        CachedChunkStore::new(remote, SimRng::seed(2))
+    }
+
+    #[test]
+    fn read_miss_then_memory_hit() {
+        let mut store = store_with_remote_chunks(2);
+        let pos = ChunkPos::new(0, 0);
+        let first = store.read(pos, SimTime::ZERO).unwrap();
+        assert_eq!(first.location, ChunkLocation::Remote);
+        let second = store.read(pos, SimTime::ZERO + first.latency).unwrap();
+        assert_eq!(second.location, ChunkLocation::Memory);
+        assert!(second.latency < SimDuration::from_millis(1));
+        assert_eq!(store.stats().remote_misses, 1);
+        assert_eq!(store.stats().memory_hits, 1);
+        assert_eq!(first.snapshot.restore().unwrap().pos(), pos);
+    }
+
+    #[test]
+    fn unknown_chunk_is_not_found() {
+        let mut store = store_with_remote_chunks(1);
+        let err = store.read(ChunkPos::new(9, 9), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, ServoError::NotFound { .. }));
+    }
+
+    #[test]
+    fn prefetch_arrivals_become_memory_hits() {
+        let mut store = store_with_remote_chunks(3);
+        let targets: Vec<ChunkPos> = (0..3).flat_map(|x| (0..3).map(move |z| ChunkPos::new(x, z))).collect();
+        store.prefetch(targets.clone(), SimTime::ZERO);
+        assert_eq!(store.stats().prefetches_issued, 9);
+        // Long after the transfers finish, every read is a memory hit.
+        let later = SimTime::from_secs(10);
+        for pos in targets {
+            let read = store.read(pos, later).unwrap();
+            assert_eq!(read.location, ChunkLocation::Memory, "chunk {pos}");
+        }
+        assert_eq!(store.stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn read_during_prefetch_waits_for_remaining_time() {
+        let mut store = store_with_remote_chunks(1);
+        let pos = ChunkPos::new(0, 0);
+        store.prefetch([pos], SimTime::ZERO);
+        // Read immediately: must join the in-flight transfer, not start a new
+        // remote read.
+        let read = store.read(pos, SimTime::ZERO).unwrap();
+        assert_eq!(read.location, ChunkLocation::PrefetchInFlight);
+        assert_eq!(store.stats().remote_misses, 0);
+        assert!(read.latency >= SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn prefetch_skips_resident_and_missing_chunks() {
+        let mut store = store_with_remote_chunks(1);
+        let pos = ChunkPos::new(0, 0);
+        store.read(pos, SimTime::ZERO).unwrap();
+        store.prefetch([pos, ChunkPos::new(5, 5)], SimTime::ZERO);
+        // Resident chunk and non-existent chunk are both skipped.
+        assert_eq!(store.stats().prefetches_issued, 0);
+    }
+
+    #[test]
+    fn eviction_keeps_local_copy_and_writes_back_dirty() {
+        let mut store = store_with_remote_chunks(1);
+        let pos = ChunkPos::new(4, 4);
+        let chunk = Chunk::empty(pos);
+        store.put(chunk.snapshot(), SimTime::ZERO).unwrap();
+        assert!(store.is_resident(pos));
+        let evicted = store.evict_except(&HashSet::new(), SimTime::ZERO);
+        assert_eq!(evicted, 1);
+        assert!(!store.is_resident(pos));
+        assert_eq!(store.stats().write_backs, 1);
+        // The chunk is still available quickly from the local disk cache.
+        let read = store.read(pos, SimTime::from_secs(1)).unwrap();
+        assert_eq!(read.location, ChunkLocation::LocalDisk);
+    }
+
+    #[test]
+    fn write_back_flushes_dirty_chunks() {
+        let mut store = store_with_remote_chunks(0);
+        for x in 0..4 {
+            let pos = ChunkPos::new(x, 0);
+            store.put(Chunk::empty(pos).snapshot(), SimTime::ZERO).unwrap();
+        }
+        assert_eq!(store.write_back_dirty(SimTime::ZERO), 4);
+        // A second write-back has nothing to do.
+        assert_eq!(store.write_back_dirty(SimTime::ZERO), 0);
+        // The remote store now contains the chunks.
+        assert_eq!(store.remote_mut().len(), 4);
+    }
+
+    #[test]
+    fn hit_rate_reflects_misses() {
+        let mut store = store_with_remote_chunks(2);
+        store.read(ChunkPos::new(0, 0), SimTime::ZERO).unwrap();
+        store.read(ChunkPos::new(0, 1), SimTime::ZERO).unwrap();
+        store.read(ChunkPos::new(0, 0), SimTime::ZERO).unwrap();
+        store.read(ChunkPos::new(0, 1), SimTime::ZERO).unwrap();
+        assert!((store.stats().hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(store.stats().total_reads(), 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! Player- and metadata storage.
+//!
+//! Besides terrain, Servo keeps player data (position, inventory, health)
+//! and instance metadata in managed storage (Section III-E of the paper).
+//! Player data is read every time a player connects — the "Player" curve of
+//! Figure 3 — and written back periodically and on disconnect. The records
+//! are small, so the latency is dominated by the per-request overhead of the
+//! storage service rather than by transfer time.
+
+use servo_types::{PlayerId, ServoError, SimDuration, SimTime};
+
+use crate::backend::ObjectStore;
+
+/// A persistent player record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlayerRecord {
+    /// The player this record belongs to.
+    pub player: PlayerId,
+    /// Last known east-west position.
+    pub x: f64,
+    /// Last known north-south position.
+    pub z: f64,
+    /// Health points (0–20 in Minecraft-like games).
+    pub health: u8,
+    /// Selected inventory slots, as item identifiers.
+    pub inventory: Vec<u16>,
+}
+
+impl PlayerRecord {
+    /// Creates a fresh record for a newly seen player at spawn.
+    pub fn new_at_spawn(player: PlayerId, x: f64, z: f64) -> Self {
+        PlayerRecord {
+            player,
+            x,
+            z,
+            health: 20,
+            inventory: Vec::new(),
+        }
+    }
+
+    /// Serializes the record into a compact byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.inventory.len() * 2);
+        out.extend_from_slice(&self.player.raw().to_le_bytes());
+        out.extend_from_slice(&self.x.to_le_bytes());
+        out.extend_from_slice(&self.z.to_le_bytes());
+        out.push(self.health);
+        out.extend_from_slice(&(self.inventory.len() as u32).to_le_bytes());
+        for item in &self.inventory {
+            out.extend_from_slice(&item.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a record produced by [`PlayerRecord::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::CorruptData`] if the buffer is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PlayerRecord, ServoError> {
+        fn corrupt(reason: &str) -> ServoError {
+            ServoError::CorruptData {
+                reason: reason.to_string(),
+            }
+        }
+        if bytes.len() < 29 {
+            return Err(corrupt("player record shorter than header"));
+        }
+        let player = PlayerId::new(u64::from_le_bytes(bytes[0..8].try_into().unwrap()));
+        let x = f64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let z = f64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let health = bytes[24];
+        let count = u32::from_le_bytes(bytes[25..29].try_into().unwrap()) as usize;
+        if bytes.len() != 29 + count * 2 {
+            return Err(corrupt("inventory length mismatch"));
+        }
+        let inventory = (0..count)
+            .map(|i| u16::from_le_bytes(bytes[29 + i * 2..31 + i * 2].try_into().unwrap()))
+            .collect();
+        Ok(PlayerRecord {
+            player,
+            x,
+            z,
+            health,
+            inventory,
+        })
+    }
+}
+
+/// The outcome of loading a player record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlayerLoad {
+    /// The loaded (or freshly created) record.
+    pub record: PlayerRecord,
+    /// Latency of the load as observed by the game server.
+    pub latency: SimDuration,
+    /// Whether the record existed in storage (returning player) or was
+    /// created fresh (new player).
+    pub existed: bool,
+}
+
+/// Player-data persistence on top of any [`ObjectStore`].
+#[derive(Debug)]
+pub struct PlayerDataStore<S: ObjectStore> {
+    store: S,
+    loads: u64,
+    saves: u64,
+}
+
+impl<S: ObjectStore> PlayerDataStore<S> {
+    /// Creates a player-data store backed by `store`.
+    pub fn new(store: S) -> Self {
+        PlayerDataStore {
+            store,
+            loads: 0,
+            saves: 0,
+        }
+    }
+
+    fn key(player: PlayerId) -> String {
+        format!("players/{}", player.raw())
+    }
+
+    /// Number of load operations performed.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Number of save operations performed.
+    pub fn saves(&self) -> u64 {
+        self.saves
+    }
+
+    /// Access to the backing store.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Loads the record for `player`, creating a fresh one at the given
+    /// spawn position if the player has never connected before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::StorageFailed`] if the backend fails, or
+    /// [`ServoError::CorruptData`] if the stored record cannot be decoded.
+    pub fn load_or_create(
+        &mut self,
+        player: PlayerId,
+        spawn: (f64, f64),
+        now: SimTime,
+    ) -> Result<PlayerLoad, ServoError> {
+        self.loads += 1;
+        match self.store.read(&Self::key(player), now) {
+            Ok(read) => Ok(PlayerLoad {
+                record: PlayerRecord::from_bytes(&read.data)?,
+                latency: read.latency,
+                existed: true,
+            }),
+            Err(ServoError::NotFound { .. }) => Ok(PlayerLoad {
+                record: PlayerRecord::new_at_spawn(player, spawn.0, spawn.1),
+                latency: SimDuration::ZERO,
+                existed: false,
+            }),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Persists a player record (periodically and on disconnect).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::StorageFailed`] if the backend fails.
+    pub fn save(&mut self, record: &PlayerRecord, now: SimTime) -> Result<SimDuration, ServoError> {
+        self.saves += 1;
+        let result = self.store.write(&Self::key(record.player), record.to_bytes(), now)?;
+        Ok(result.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BlobStore, BlobTier, LocalDiskStore};
+    use servo_simkit::SimRng;
+
+    fn record() -> PlayerRecord {
+        PlayerRecord {
+            player: PlayerId::new(7),
+            x: 120.5,
+            z: -33.25,
+            health: 17,
+            inventory: vec![1, 5, 5, 64, 300],
+        }
+    }
+
+    #[test]
+    fn record_serialization_round_trips() {
+        let r = record();
+        assert_eq!(PlayerRecord::from_bytes(&r.to_bytes()).unwrap(), r);
+        let empty = PlayerRecord::new_at_spawn(PlayerId::new(0), 8.0, 8.0);
+        assert_eq!(PlayerRecord::from_bytes(&empty.to_bytes()).unwrap(), empty);
+        assert_eq!(empty.health, 20);
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected() {
+        assert!(PlayerRecord::from_bytes(&[]).is_err());
+        assert!(PlayerRecord::from_bytes(&[0u8; 10]).is_err());
+        let mut bytes = record().to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(PlayerRecord::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn new_players_get_fresh_records() {
+        let mut store = PlayerDataStore::new(LocalDiskStore::new(SimRng::seed(1)));
+        let load = store
+            .load_or_create(PlayerId::new(3), (8.0, 8.0), SimTime::ZERO)
+            .unwrap();
+        assert!(!load.existed);
+        assert_eq!(load.record.player, PlayerId::new(3));
+        assert_eq!(load.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn returning_players_get_their_saved_state() {
+        let mut store = PlayerDataStore::new(BlobStore::new(BlobTier::Standard, SimRng::seed(2)));
+        let mut r = record();
+        store.save(&r, SimTime::ZERO).unwrap();
+        r.health = 3;
+        store.save(&r, SimTime::ZERO).unwrap();
+
+        let load = store
+            .load_or_create(r.player, (0.0, 0.0), SimTime::from_secs(1))
+            .unwrap();
+        assert!(load.existed);
+        assert_eq!(load.record.health, 3);
+        assert_eq!(load.record.inventory, r.inventory);
+        assert!(load.latency > SimDuration::ZERO);
+        assert_eq!(store.loads(), 1);
+        assert_eq!(store.saves(), 2);
+    }
+
+    #[test]
+    fn backend_failures_propagate() {
+        let mut backend = LocalDiskStore::new(SimRng::seed(3));
+        backend.inject_failure("disk full");
+        let mut store = PlayerDataStore::new(backend);
+        assert!(store.save(&record(), SimTime::ZERO).is_err());
+        // The next operation succeeds (transient failure).
+        assert!(store.save(&record(), SimTime::ZERO).is_ok());
+    }
+}

@@ -1,0 +1,69 @@
+//! Game-wide constants taken directly from the paper's operational model
+//! (Section II) and system requirements (Section III-A).
+
+use crate::time::SimDuration;
+
+/// The fixed simulation rate `R` of the game loop, in Hertz.
+///
+/// The paper uses Minecraft's rate of 20 Hz (Section II-A).
+pub const TICK_RATE_HZ: u32 = 20;
+
+/// The time budget of a single simulation step: `1/R` = 50 ms.
+///
+/// Requirement R2 of the paper: simulation latency should not exceed this
+/// value, otherwise players observe degraded quality of service.
+pub const TICK_BUDGET: SimDuration = SimDuration::from_millis(50);
+
+/// Horizontal chunk size in blocks (both X and Z), following the Minecraft
+/// world layout the paper's prototype (Opencraft) uses.
+pub const CHUNK_SIZE: i32 = 16;
+
+/// Vertical world height in blocks. One generated "chunk" in the paper is an
+/// area of 16 x 16 x 256 blocks (Section IV-D).
+pub const CHUNK_HEIGHT: i32 = 256;
+
+/// Default view distance in blocks used in the terrain-generation QoS
+/// experiment (Figure 10): players must always have terrain within 128 blocks.
+pub const DEFAULT_VIEW_DISTANCE_BLOCKS: i32 = 128;
+
+/// The fraction of tick-duration samples that may exceed [`TICK_BUDGET`]
+/// while the game is still considered to support its player count.
+///
+/// The paper defines the maximum number of supported players as the largest
+/// player count for which *less than 5%* of tick-duration samples exceed
+/// 50 ms (Section IV-B).
+pub const QOS_VIOLATION_FRACTION: f64 = 0.05;
+
+/// Approximate maximum acceptable network latency for first-person games
+/// (Figure 3, blue threshold), in milliseconds. Most MVEs are first-person.
+pub const FPS_LATENCY_THRESHOLD_MS: u64 = 100;
+
+/// Approximate maximum acceptable network latency for third-person (RPG)
+/// games (Figure 3, green threshold), in milliseconds.
+pub const RPG_LATENCY_THRESHOLD_MS: u64 = 500;
+
+/// Approximate maximum acceptable network latency for omnipresent (RTS)
+/// games (Figure 3, red threshold), in milliseconds.
+pub const RTS_LATENCY_THRESHOLD_MS: u64 = 1000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_budget_is_inverse_of_rate() {
+        assert_eq!(1_000 / TICK_RATE_HZ as u64, TICK_BUDGET.as_millis());
+    }
+
+    #[test]
+    fn chunk_dimensions_match_paper() {
+        assert_eq!(CHUNK_SIZE, 16);
+        assert_eq!(CHUNK_HEIGHT, 256);
+    }
+
+    #[test]
+    fn latency_thresholds_are_ordered() {
+        assert!(FPS_LATENCY_THRESHOLD_MS < RPG_LATENCY_THRESHOLD_MS);
+        assert!(RPG_LATENCY_THRESHOLD_MS < RTS_LATENCY_THRESHOLD_MS);
+    }
+}

@@ -1,0 +1,134 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Convenience alias for results using [`ServoError`].
+pub type Result<T> = std::result::Result<T, ServoError>;
+
+/// Errors produced by the Servo stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServoError {
+    /// A block or chunk coordinate was outside the valid range.
+    OutOfBounds {
+        /// Human-readable description of the offending coordinate.
+        what: String,
+    },
+    /// A requested chunk is not loaded in memory.
+    ChunkNotLoaded {
+        /// Chunk x coordinate.
+        x: i32,
+        /// Chunk z coordinate.
+        z: i32,
+    },
+    /// A requested entity (player, construct, function) does not exist.
+    NotFound {
+        /// Human-readable description of the missing entity.
+        what: String,
+    },
+    /// A serverless function invocation failed or timed out.
+    FunctionFailed {
+        /// Reason reported by the platform simulator.
+        reason: String,
+    },
+    /// A storage operation failed.
+    StorageFailed {
+        /// Reason reported by the storage backend.
+        reason: String,
+    },
+    /// Serialized data could not be decoded.
+    CorruptData {
+        /// Human-readable description of the decoding failure.
+        reason: String,
+    },
+    /// The operation violates a configured limit (e.g. concurrency cap).
+    LimitExceeded {
+        /// Human-readable description of the limit.
+        what: String,
+    },
+    /// The server rejected the request because it is shutting down or the
+    /// component is not running.
+    Unavailable {
+        /// Human-readable description of the unavailable component.
+        what: String,
+    },
+}
+
+impl ServoError {
+    /// Shorthand constructor for [`ServoError::NotFound`].
+    pub fn not_found(what: impl Into<String>) -> Self {
+        ServoError::NotFound { what: what.into() }
+    }
+
+    /// Shorthand constructor for [`ServoError::FunctionFailed`].
+    pub fn function_failed(reason: impl Into<String>) -> Self {
+        ServoError::FunctionFailed {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`ServoError::StorageFailed`].
+    pub fn storage_failed(reason: impl Into<String>) -> Self {
+        ServoError::StorageFailed {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServoError::OutOfBounds { what } => write!(f, "coordinate out of bounds: {what}"),
+            ServoError::ChunkNotLoaded { x, z } => write!(f, "chunk [{x}, {z}] is not loaded"),
+            ServoError::NotFound { what } => write!(f, "not found: {what}"),
+            ServoError::FunctionFailed { reason } => {
+                write!(f, "serverless function failed: {reason}")
+            }
+            ServoError::StorageFailed { reason } => write!(f, "storage operation failed: {reason}"),
+            ServoError::CorruptData { reason } => write!(f, "corrupt data: {reason}"),
+            ServoError::LimitExceeded { what } => write!(f, "limit exceeded: {what}"),
+            ServoError::Unavailable { what } => write!(f, "unavailable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_and_nonempty() {
+        let errors = [
+            ServoError::OutOfBounds {
+                what: "y=300".into(),
+            },
+            ServoError::ChunkNotLoaded { x: 1, z: -2 },
+            ServoError::not_found("player-3"),
+            ServoError::function_failed("timeout"),
+            ServoError::storage_failed("throttled"),
+            ServoError::CorruptData {
+                reason: "bad header".into(),
+            },
+            ServoError::LimitExceeded {
+                what: "concurrency".into(),
+            },
+            ServoError::Unavailable {
+                what: "scheduler".into(),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ServoError>();
+    }
+}

@@ -1,0 +1,157 @@
+//! Avatars and the events their actions generate on the server.
+
+use servo_types::{BlockPos, BlocksPerSecond, PlayerId, SimDuration};
+
+/// A server-side event caused by a player action, which the game server must
+/// process during its tick (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlayerEvent {
+    /// The player placed a block near their avatar.
+    BlockPlaced(BlockPos),
+    /// The player broke a block near their avatar.
+    BlockBroken(BlockPos),
+    /// The player sent a chat message to all other players.
+    ChatMessage,
+    /// The player changed their selected inventory item.
+    InventoryChanged,
+}
+
+/// A player's avatar: a position in the horizontal plane plus bookkeeping
+/// for movement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Avatar {
+    /// The owning player.
+    pub id: PlayerId,
+    /// Continuous east-west position in blocks.
+    pub x: f64,
+    /// Continuous north-south position in blocks.
+    pub z: f64,
+    /// The position the avatar spawned at.
+    spawn: (f64, f64),
+    /// Total horizontal distance travelled, in blocks.
+    distance_travelled: f64,
+}
+
+impl Avatar {
+    /// Creates an avatar at the given spawn position.
+    pub fn new(id: PlayerId, spawn_x: f64, spawn_z: f64) -> Self {
+        Avatar {
+            id,
+            x: spawn_x,
+            z: spawn_z,
+            spawn: (spawn_x, spawn_z),
+            distance_travelled: 0.0,
+        }
+    }
+
+    /// The avatar's block position (the block containing it), at ground
+    /// level `y = 4` which is where the flat experiment worlds place the
+    /// surface.
+    pub fn block_pos(&self) -> BlockPos {
+        BlockPos::new(self.x.floor() as i32, 4, self.z.floor() as i32)
+    }
+
+    /// The avatar's spawn position.
+    pub fn spawn(&self) -> (f64, f64) {
+        self.spawn
+    }
+
+    /// Total horizontal distance travelled since spawning.
+    pub fn distance_travelled(&self) -> f64 {
+        self.distance_travelled
+    }
+
+    /// Distance from the spawn position.
+    pub fn distance_from_spawn(&self) -> f64 {
+        let dx = self.x - self.spawn.0;
+        let dz = self.z - self.spawn.1;
+        (dx * dx + dz * dz).sqrt()
+    }
+
+    /// Moves the avatar towards `(tx, tz)` at `speed` for `dt`, stopping at
+    /// the target if it is reached. Returns the distance actually moved.
+    pub fn move_towards(
+        &mut self,
+        tx: f64,
+        tz: f64,
+        speed: BlocksPerSecond,
+        dt: SimDuration,
+    ) -> f64 {
+        let budget = speed.value().max(0.0) * dt.as_secs_f64();
+        let dx = tx - self.x;
+        let dz = tz - self.z;
+        let distance = (dx * dx + dz * dz).sqrt();
+        if distance <= f64::EPSILON {
+            return 0.0;
+        }
+        let step = budget.min(distance);
+        self.x += dx / distance * step;
+        self.z += dz / distance * step;
+        self.distance_travelled += step;
+        step
+    }
+
+    /// Moves the avatar along a fixed heading (radians) at `speed` for `dt`.
+    /// Returns the distance moved.
+    pub fn move_along(&mut self, heading: f64, speed: BlocksPerSecond, dt: SimDuration) -> f64 {
+        let step = speed.value().max(0.0) * dt.as_secs_f64();
+        self.x += heading.cos() * step;
+        self.z += heading.sin() * step;
+        self.distance_travelled += step;
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_towards_stops_at_target() {
+        let mut a = Avatar::new(PlayerId::new(0), 0.0, 0.0);
+        let moved = a.move_towards(3.0, 4.0, BlocksPerSecond::new(100.0), SimDuration::from_secs(1));
+        assert!((moved - 5.0).abs() < 1e-9);
+        assert!((a.x - 3.0).abs() < 1e-9 && (a.z - 4.0).abs() < 1e-9);
+        // Already there: no movement.
+        assert_eq!(
+            a.move_towards(3.0, 4.0, BlocksPerSecond::new(1.0), SimDuration::from_secs(1)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn move_towards_is_limited_by_speed() {
+        let mut a = Avatar::new(PlayerId::new(0), 0.0, 0.0);
+        let moved = a.move_towards(100.0, 0.0, BlocksPerSecond::new(2.0), SimDuration::from_millis(500));
+        assert!((moved - 1.0).abs() < 1e-9);
+        assert!((a.x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn move_along_accumulates_distance() {
+        let mut a = Avatar::new(PlayerId::new(1), 10.0, 10.0);
+        for _ in 0..20 {
+            a.move_along(0.0, BlocksPerSecond::new(3.0), SimDuration::from_millis(50));
+        }
+        assert!((a.distance_travelled() - 3.0).abs() < 1e-9);
+        assert!((a.x - 13.0).abs() < 1e-9);
+        assert!((a.distance_from_spawn() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_pos_floors_continuous_position() {
+        let mut a = Avatar::new(PlayerId::new(2), -0.5, 15.9);
+        assert_eq!(a.block_pos(), BlockPos::new(-1, 4, 15));
+        a.move_along(std::f64::consts::PI, BlocksPerSecond::new(1.0), SimDuration::from_secs(1));
+        assert_eq!(a.block_pos(), BlockPos::new(-2, 4, 15));
+    }
+
+    #[test]
+    fn negative_speed_is_clamped() {
+        let mut a = Avatar::new(PlayerId::new(3), 0.0, 0.0);
+        assert_eq!(
+            a.move_along(0.0, BlocksPerSecond::new(-5.0), SimDuration::from_secs(1)),
+            0.0
+        );
+    }
+}

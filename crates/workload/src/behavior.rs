@@ -1,0 +1,301 @@
+//! The player behaviours of the paper's experiment workloads.
+
+use rand::Rng;
+use servo_simkit::SimRng;
+use servo_types::{BlockPos, BlocksPerSecond, SimDuration};
+
+use crate::avatar::{Avatar, PlayerEvent};
+
+/// Selects which behaviour a fleet of players follows (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BehaviorKind {
+    /// `A`: players exclusively move, within a bounded area around spawn.
+    /// Used for the simulated-construct experiments.
+    Bounded {
+        /// Radius of the allowed area, in blocks.
+        radius: f64,
+    },
+    /// `Sx`: players move away from spawn in a straight line at `speed`
+    /// blocks per second, each in a different direction (star pattern).
+    Star {
+        /// Movement speed in blocks per second.
+        speed: f64,
+    },
+    /// `S_inc`: star movement whose speed starts at 1 block/s and increases
+    /// by 1 block/s every `step_every` of virtual time (200 s in the paper).
+    IncreasingStar {
+        /// How often the speed increases by one block per second.
+        step_every: SimDuration,
+    },
+    /// `R`: the randomized behaviour of Table II.
+    Random,
+}
+
+impl BehaviorKind {
+    /// The paper's label for this behaviour (`A`, `S3`, `S_inc`, `R`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            BehaviorKind::Bounded { .. } => "A".to_string(),
+            BehaviorKind::Star { speed } => format!("S{speed}"),
+            BehaviorKind::IncreasingStar { .. } => "Sinc".to_string(),
+            BehaviorKind::Random => "R".to_string(),
+        }
+    }
+}
+
+/// Per-player behaviour state machine.
+#[derive(Debug, Clone)]
+pub struct Behavior {
+    kind: BehaviorKind,
+    /// Star heading in radians (assigned per player).
+    heading: f64,
+    /// Current movement target for target-based behaviours.
+    target: Option<(f64, f64)>,
+    /// Current speed for target-based behaviours.
+    speed: BlocksPerSecond,
+    /// Virtual time this behaviour has been running.
+    elapsed: SimDuration,
+    /// Remaining idle time when standing still.
+    idle_remaining: SimDuration,
+}
+
+impl Behavior {
+    /// Creates the behaviour state for the `player_index`-th of
+    /// `player_count` players (star behaviours spread players over
+    /// directions).
+    pub fn new(kind: BehaviorKind, player_index: usize, player_count: usize) -> Self {
+        let count = player_count.max(1) as f64;
+        let heading = std::f64::consts::TAU * (player_index as f64) / count;
+        Behavior {
+            kind,
+            heading,
+            target: None,
+            speed: BlocksPerSecond::new(1.0),
+            elapsed: SimDuration::ZERO,
+            idle_remaining: SimDuration::ZERO,
+        }
+    }
+
+    /// The behaviour kind.
+    pub fn kind(&self) -> BehaviorKind {
+        self.kind
+    }
+
+    /// Advances the behaviour by one tick: moves `avatar` and returns the
+    /// events the server has to process.
+    pub fn act(&mut self, avatar: &mut Avatar, dt: SimDuration, rng: &mut SimRng) -> Vec<PlayerEvent> {
+        self.elapsed += dt;
+        match self.kind {
+            BehaviorKind::Bounded { radius } => {
+                self.act_towards_random_target(avatar, dt, rng, radius);
+                Vec::new()
+            }
+            BehaviorKind::Star { speed } => {
+                avatar.move_along(self.heading, BlocksPerSecond::new(speed), dt);
+                Vec::new()
+            }
+            BehaviorKind::IncreasingStar { step_every } => {
+                let steps = if step_every > SimDuration::ZERO {
+                    self.elapsed.as_micros() / step_every.as_micros().max(1)
+                } else {
+                    0
+                };
+                let speed = 1.0 + steps as f64;
+                avatar.move_along(self.heading, BlocksPerSecond::new(speed), dt);
+                Vec::new()
+            }
+            BehaviorKind::Random => self.act_random(avatar, dt, rng),
+        }
+    }
+
+    /// Movement towards a random target inside `radius` of spawn at a random
+    /// speed of 1–8 blocks/s, re-rolling the target when it is reached.
+    fn act_towards_random_target(
+        &mut self,
+        avatar: &mut Avatar,
+        dt: SimDuration,
+        rng: &mut SimRng,
+        radius: f64,
+    ) {
+        if self.target.is_none() {
+            let (sx, sz) = avatar.spawn();
+            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+            let r = rng.gen::<f64>().sqrt() * radius.max(1.0);
+            self.target = Some((sx + angle.cos() * r, sz + angle.sin() * r));
+            self.speed = BlocksPerSecond::new(1.0 + rng.gen::<f64>() * 7.0);
+        }
+        let (tx, tz) = self.target.expect("target set above");
+        avatar.move_towards(tx, tz, self.speed, dt);
+        let dx = tx - avatar.x;
+        let dz = tz - avatar.z;
+        if (dx * dx + dz * dz).sqrt() < 0.25 {
+            self.target = None;
+        }
+    }
+
+    /// The Table II action mix: 40% move, 30% break/place a nearby block,
+    /// 20% stand still, 5% chat, 5% inventory change.
+    fn act_random(&mut self, avatar: &mut Avatar, dt: SimDuration, rng: &mut SimRng) -> Vec<PlayerEvent> {
+        // Finish any pending idle period first.
+        if self.idle_remaining > SimDuration::ZERO {
+            self.idle_remaining = self.idle_remaining.saturating_sub(dt);
+            return Vec::new();
+        }
+        // Continue an in-progress movement.
+        if let Some((tx, tz)) = self.target {
+            avatar.move_towards(tx, tz, self.speed, dt);
+            let dx = tx - avatar.x;
+            let dz = tz - avatar.z;
+            if (dx * dx + dz * dz).sqrt() < 0.25 {
+                self.target = None;
+            }
+            return Vec::new();
+        }
+        // Pick a new action.
+        let roll = rng.gen::<f64>();
+        if roll < 0.40 {
+            // Move to a random destination at 1 to 8 blocks per second.
+            let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+            let distance = 4.0 + rng.gen::<f64>() * 28.0;
+            self.target = Some((
+                avatar.x + angle.cos() * distance,
+                avatar.z + angle.sin() * distance,
+            ));
+            self.speed = BlocksPerSecond::new(1.0 + rng.gen::<f64>() * 7.0);
+            Vec::new()
+        } else if roll < 0.70 {
+            // Break or place a nearby block.
+            let base = avatar.block_pos();
+            let offset = BlockPos::new(
+                rng.gen_range(-2..=2),
+                rng.gen_range(0..=2),
+                rng.gen_range(-2..=2),
+            );
+            let pos = base + offset;
+            if rng.gen::<bool>() {
+                vec![PlayerEvent::BlockPlaced(pos)]
+            } else {
+                vec![PlayerEvent::BlockBroken(pos)]
+            }
+        } else if roll < 0.90 {
+            // Stand still for a short while.
+            self.idle_remaining = SimDuration::from_millis(500 + (rng.gen::<f64>() * 1500.0) as u64);
+            Vec::new()
+        } else if roll < 0.95 {
+            vec![PlayerEvent::ChatMessage]
+        } else {
+            vec![PlayerEvent::InventoryChanged]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servo_types::PlayerId;
+
+    const TICK: SimDuration = SimDuration::from_millis(50);
+
+    fn run(kind: BehaviorKind, ticks: usize, seed: u64) -> (Avatar, Vec<PlayerEvent>) {
+        let mut avatar = Avatar::new(PlayerId::new(0), 0.0, 0.0);
+        let mut behavior = Behavior::new(kind, 0, 8);
+        let mut rng = SimRng::seed(seed);
+        let mut events = Vec::new();
+        for _ in 0..ticks {
+            events.extend(behavior.act(&mut avatar, TICK, &mut rng));
+        }
+        (avatar, events)
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(BehaviorKind::Bounded { radius: 50.0 }.label(), "A");
+        assert_eq!(BehaviorKind::Star { speed: 3.0 }.label(), "S3");
+        assert_eq!(BehaviorKind::Star { speed: 8.0 }.label(), "S8");
+        assert_eq!(
+            BehaviorKind::IncreasingStar { step_every: SimDuration::from_secs(200) }.label(),
+            "Sinc"
+        );
+        assert_eq!(BehaviorKind::Random.label(), "R");
+    }
+
+    #[test]
+    fn star_moves_in_a_straight_line_at_speed() {
+        // 20 ticks/s * 60 s at 3 blocks/s = 180 blocks from spawn.
+        let (avatar, events) = run(BehaviorKind::Star { speed: 3.0 }, 20 * 60, 1);
+        assert!(events.is_empty());
+        assert!((avatar.distance_from_spawn() - 180.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn different_players_head_in_different_directions() {
+        let mut a = Avatar::new(PlayerId::new(0), 0.0, 0.0);
+        let mut b = Avatar::new(PlayerId::new(1), 0.0, 0.0);
+        let mut ba = Behavior::new(BehaviorKind::Star { speed: 5.0 }, 0, 4);
+        let mut bb = Behavior::new(BehaviorKind::Star { speed: 5.0 }, 1, 4);
+        let mut rng = SimRng::seed(1);
+        for _ in 0..100 {
+            ba.act(&mut a, TICK, &mut rng);
+            bb.act(&mut b, TICK, &mut rng);
+        }
+        let separation = ((a.x - b.x).powi(2) + (a.z - b.z).powi(2)).sqrt();
+        assert!(separation > 10.0, "players did not spread out: {separation}");
+    }
+
+    #[test]
+    fn increasing_star_accelerates() {
+        let kind = BehaviorKind::IncreasingStar {
+            step_every: SimDuration::from_secs(200),
+        };
+        // Distance in the first 200 s at 1 block/s is ~200 blocks; in the
+        // next 200 s at 2 blocks/s it is ~400 blocks.
+        let (avatar, _) = run(kind, 20 * 400, 2);
+        assert!(
+            avatar.distance_from_spawn() > 550.0 && avatar.distance_from_spawn() < 650.0,
+            "distance {}",
+            avatar.distance_from_spawn()
+        );
+    }
+
+    #[test]
+    fn bounded_behavior_stays_in_area() {
+        let (avatar, events) = run(BehaviorKind::Bounded { radius: 30.0 }, 20 * 300, 3);
+        assert!(events.is_empty());
+        assert!(avatar.distance_from_spawn() <= 31.0);
+        // It does move around, though.
+        assert!(avatar.distance_travelled() > 50.0);
+    }
+
+    #[test]
+    fn random_behavior_mixes_actions_roughly_like_table_ii() {
+        let (_avatar, events) = run(BehaviorKind::Random, 20 * 600, 4);
+        let placed_or_broken = events
+            .iter()
+            .filter(|e| matches!(e, PlayerEvent::BlockPlaced(_) | PlayerEvent::BlockBroken(_)))
+            .count();
+        let chats = events
+            .iter()
+            .filter(|e| matches!(e, PlayerEvent::ChatMessage))
+            .count();
+        let inventory = events
+            .iter()
+            .filter(|e| matches!(e, PlayerEvent::InventoryChanged))
+            .count();
+        assert!(placed_or_broken > 0);
+        assert!(chats > 0);
+        assert!(inventory > 0);
+        // Block modifications are 30% of decisions vs 5% each for chat and
+        // inventory: expect them to dominate clearly.
+        assert!(placed_or_broken > 2 * chats);
+        assert!(placed_or_broken > 2 * inventory);
+    }
+
+    #[test]
+    fn random_behavior_is_deterministic_per_seed() {
+        let (a1, e1) = run(BehaviorKind::Random, 500, 9);
+        let (a2, e2) = run(BehaviorKind::Random, 500, 9);
+        assert_eq!(e1, e2);
+        assert_eq!(a1.x.to_bits(), a2.x.to_bits());
+        assert_eq!(a1.z.to_bits(), a2.z.to_bits());
+    }
+}

@@ -1,0 +1,196 @@
+//! A fleet of players joining a game instance over time.
+
+use servo_simkit::SimRng;
+use servo_types::{BlockPos, PlayerId, SimDuration, SimTime};
+
+use crate::avatar::{Avatar, PlayerEvent};
+use crate::behavior::{Behavior, BehaviorKind};
+
+/// A set of synthetic players connected (or connecting) to one game
+/// instance.
+///
+/// Players can either all be present from the start
+/// ([`PlayerFleet::connect_all`]) or join on a schedule (a new player every
+/// `interval`, as in the paper's Figure 12a where a player joins every ten
+/// seconds).
+#[derive(Debug, Clone)]
+pub struct PlayerFleet {
+    kind: BehaviorKind,
+    rng: SimRng,
+    avatars: Vec<Avatar>,
+    behaviors: Vec<Behavior>,
+    /// Total players that will eventually join.
+    target_players: usize,
+    /// Interval between joins; `None` means all players join immediately.
+    join_interval: Option<SimDuration>,
+    /// Spawn location of all players.
+    spawn: (f64, f64),
+}
+
+impl PlayerFleet {
+    /// Creates an empty fleet whose players follow `kind`.
+    pub fn new(kind: BehaviorKind, rng: SimRng) -> Self {
+        PlayerFleet {
+            kind,
+            rng,
+            avatars: Vec::new(),
+            behaviors: Vec::new(),
+            target_players: 0,
+            join_interval: None,
+            spawn: (8.0, 8.0),
+        }
+    }
+
+    /// Sets the spawn location for newly joining players.
+    pub fn set_spawn(&mut self, x: f64, z: f64) {
+        self.spawn = (x, z);
+    }
+
+    /// Connects `count` players immediately.
+    pub fn connect_all(&mut self, count: usize) {
+        self.target_players = count;
+        self.join_interval = None;
+        while self.avatars.len() < count {
+            self.join_one();
+        }
+    }
+
+    /// Schedules `count` players to join one every `interval`, starting with
+    /// the first player at time zero.
+    pub fn set_join_schedule(&mut self, count: usize, interval: SimDuration) {
+        self.target_players = count;
+        self.join_interval = Some(interval);
+    }
+
+    fn join_one(&mut self) {
+        let index = self.avatars.len();
+        let id = PlayerId::new(index as u64);
+        self.avatars.push(Avatar::new(id, self.spawn.0, self.spawn.1));
+        self.behaviors
+            .push(Behavior::new(self.kind, index, self.target_players.max(1)));
+    }
+
+    /// Number of players currently connected.
+    pub fn connected_players(&self) -> usize {
+        self.avatars.len()
+    }
+
+    /// The behaviour kind of this fleet.
+    pub fn kind(&self) -> BehaviorKind {
+        self.kind
+    }
+
+    /// The avatars currently connected.
+    pub fn avatars(&self) -> &[Avatar] {
+        &self.avatars
+    }
+
+    /// Current block positions of all avatars (used for view-distance and
+    /// terrain-loading decisions).
+    pub fn positions(&self) -> Vec<BlockPos> {
+        self.avatars.iter().map(|a| a.block_pos()).collect()
+    }
+
+    /// Advances the fleet by one tick ending at `now`: connects any players
+    /// whose join time has arrived and lets every connected player act.
+    ///
+    /// Returns the server-visible events of this tick, tagged by player.
+    pub fn tick(&mut self, now: SimTime, dt: SimDuration) -> Vec<(PlayerId, PlayerEvent)> {
+        // Handle scheduled joins.
+        if let Some(interval) = self.join_interval {
+            let due = if interval.as_micros() == 0 {
+                self.target_players
+            } else {
+                (now.as_micros() / interval.as_micros()) as usize + 1
+            };
+            while self.avatars.len() < due.min(self.target_players) {
+                self.join_one();
+            }
+        } else {
+            while self.avatars.len() < self.target_players {
+                self.join_one();
+            }
+        }
+
+        let mut events = Vec::new();
+        for (avatar, behavior) in self.avatars.iter_mut().zip(self.behaviors.iter_mut()) {
+            for event in behavior.act(avatar, dt, &mut self.rng) {
+                events.push((avatar.id, event));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: SimDuration = SimDuration::from_millis(50);
+
+    #[test]
+    fn connect_all_connects_immediately() {
+        let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 20.0 }, SimRng::seed(1));
+        fleet.connect_all(25);
+        assert_eq!(fleet.connected_players(), 25);
+        assert_eq!(fleet.positions().len(), 25);
+    }
+
+    #[test]
+    fn join_schedule_adds_players_over_time() {
+        let mut fleet = PlayerFleet::new(BehaviorKind::Star { speed: 3.0 }, SimRng::seed(1));
+        fleet.set_join_schedule(10, SimDuration::from_secs(10));
+        fleet.tick(SimTime::ZERO, TICK);
+        assert_eq!(fleet.connected_players(), 1);
+        fleet.tick(SimTime::from_secs(35), TICK);
+        assert_eq!(fleet.connected_players(), 4);
+        fleet.tick(SimTime::from_secs(1000), TICK);
+        assert_eq!(fleet.connected_players(), 10);
+    }
+
+    #[test]
+    fn star_fleet_spreads_out_from_spawn() {
+        let mut fleet = PlayerFleet::new(BehaviorKind::Star { speed: 8.0 }, SimRng::seed(2));
+        fleet.connect_all(8);
+        let mut now = SimTime::ZERO;
+        for _ in 0..(20 * 30) {
+            now += TICK;
+            fleet.tick(now, TICK);
+        }
+        // After 30 s at 8 blocks/s every avatar is ~240 blocks from spawn.
+        for avatar in fleet.avatars() {
+            assert!(avatar.distance_from_spawn() > 200.0);
+        }
+        // And they went in different directions.
+        let first = &fleet.avatars()[0];
+        let any_far_apart = fleet.avatars()[1..]
+            .iter()
+            .any(|a| ((a.x - first.x).powi(2) + (a.z - first.z).powi(2)).sqrt() > 100.0);
+        assert!(any_far_apart);
+    }
+
+    #[test]
+    fn random_fleet_produces_events() {
+        let mut fleet = PlayerFleet::new(BehaviorKind::Random, SimRng::seed(3));
+        fleet.connect_all(20);
+        let mut events = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..(20 * 60) {
+            now += TICK;
+            events.extend(fleet.tick(now, TICK));
+        }
+        assert!(!events.is_empty());
+        // Events are tagged with valid player ids.
+        assert!(events.iter().all(|(id, _)| id.raw() < 20));
+    }
+
+    #[test]
+    fn spawn_can_be_relocated() {
+        let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 5.0 }, SimRng::seed(4));
+        fleet.set_spawn(1000.0, -500.0);
+        fleet.connect_all(3);
+        for avatar in fleet.avatars() {
+            assert_eq!(avatar.spawn(), (1000.0, -500.0));
+        }
+    }
+}

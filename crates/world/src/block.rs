@@ -1,0 +1,180 @@
+//! Block types.
+
+use std::fmt;
+
+/// A block type in the voxel world.
+///
+/// The first group are passive terrain blocks; the second group are the
+/// *stateful* block kinds that make up simulated constructs (Section II-A of
+/// the paper: batteries, lamps, wires and other programmable terrain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u16)]
+pub enum Block {
+    /// Empty space.
+    #[default]
+    Air = 0,
+    /// Generic stone.
+    Stone = 1,
+    /// Dirt.
+    Dirt = 2,
+    /// Grass-covered dirt.
+    Grass = 3,
+    /// Sand.
+    Sand = 4,
+    /// Water.
+    Water = 5,
+    /// Unbreakable world floor.
+    Bedrock = 6,
+    /// Tree trunk.
+    Wood = 7,
+    /// Tree canopy.
+    Leaves = 8,
+    /// Snow cover.
+    Snow = 9,
+
+    /// A power source (battery): always emits a signal.
+    PowerSource = 100,
+    /// A signal wire: propagates power with decaying strength.
+    Wire = 101,
+    /// A lamp: lights up when powered.
+    Lamp = 102,
+    /// A repeater: re-emits full-strength signal one tick later.
+    Repeater = 103,
+    /// A torch (inverter): emits unless its input is powered.
+    Torch = 104,
+}
+
+impl Block {
+    /// All block kinds, useful for exhaustive tests.
+    pub const ALL: [Block; 15] = [
+        Block::Air,
+        Block::Stone,
+        Block::Dirt,
+        Block::Grass,
+        Block::Sand,
+        Block::Water,
+        Block::Bedrock,
+        Block::Wood,
+        Block::Leaves,
+        Block::Snow,
+        Block::PowerSource,
+        Block::Wire,
+        Block::Lamp,
+        Block::Repeater,
+        Block::Torch,
+    ];
+
+    /// The compact numeric identifier stored in chunk data.
+    pub const fn id(self) -> u16 {
+        self as u16
+    }
+
+    /// Reconstructs a block from its numeric identifier.
+    ///
+    /// Unknown identifiers return `None`; chunk deserialization treats them
+    /// as corrupt data.
+    pub const fn from_id(id: u16) -> Option<Block> {
+        Some(match id {
+            0 => Block::Air,
+            1 => Block::Stone,
+            2 => Block::Dirt,
+            3 => Block::Grass,
+            4 => Block::Sand,
+            5 => Block::Water,
+            6 => Block::Bedrock,
+            7 => Block::Wood,
+            8 => Block::Leaves,
+            9 => Block::Snow,
+            100 => Block::PowerSource,
+            101 => Block::Wire,
+            102 => Block::Lamp,
+            103 => Block::Repeater,
+            104 => Block::Torch,
+            _ => return None,
+        })
+    }
+
+    /// Whether the block is empty space.
+    pub const fn is_air(self) -> bool {
+        matches!(self, Block::Air)
+    }
+
+    /// Whether the block is a *stateful* block, i.e. participates in
+    /// simulated constructs and generates simulation work every tick.
+    pub const fn is_stateful(self) -> bool {
+        matches!(
+            self,
+            Block::PowerSource | Block::Wire | Block::Lamp | Block::Repeater | Block::Torch
+        )
+    }
+
+    /// Whether the block blocks movement (used by the workload models to
+    /// keep avatars on the ground).
+    pub const fn is_solid(self) -> bool {
+        !matches!(self, Block::Air | Block::Water)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Block::Air => "air",
+            Block::Stone => "stone",
+            Block::Dirt => "dirt",
+            Block::Grass => "grass",
+            Block::Sand => "sand",
+            Block::Water => "water",
+            Block::Bedrock => "bedrock",
+            Block::Wood => "wood",
+            Block::Leaves => "leaves",
+            Block::Snow => "snow",
+            Block::PowerSource => "power source",
+            Block::Wire => "wire",
+            Block::Lamp => "lamp",
+            Block::Repeater => "repeater",
+            Block::Torch => "torch",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trips_for_all_blocks() {
+        for b in Block::ALL {
+            assert_eq!(Block::from_id(b.id()), Some(b));
+        }
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        assert_eq!(Block::from_id(50), None);
+        assert_eq!(Block::from_id(u16::MAX), None);
+    }
+
+    #[test]
+    fn stateful_classification() {
+        assert!(Block::Wire.is_stateful());
+        assert!(Block::PowerSource.is_stateful());
+        assert!(!Block::Stone.is_stateful());
+        assert!(!Block::Air.is_stateful());
+    }
+
+    #[test]
+    fn solidity() {
+        assert!(Block::Stone.is_solid());
+        assert!(!Block::Air.is_solid());
+        assert!(!Block::Water.is_solid());
+        assert!(Block::Air.is_air());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for b in Block::ALL {
+            assert!(!b.to_string().is_empty());
+        }
+    }
+}

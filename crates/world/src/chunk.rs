@@ -1,0 +1,362 @@
+//! The chunk container: a 16 x 16 x 256 column of blocks.
+
+use servo_types::consts::{CHUNK_HEIGHT, CHUNK_SIZE};
+use servo_types::{ChunkPos, ServoError};
+
+use crate::block::Block;
+
+/// Number of blocks in a chunk.
+pub const BLOCKS_PER_CHUNK: usize =
+    (CHUNK_SIZE as usize) * (CHUNK_SIZE as usize) * (CHUNK_HEIGHT as usize);
+
+/// A 16 x 16 x 256 column of blocks, the unit of terrain generation, loading
+/// and storage in the paper (Section IV-D: "an area of 16x16x256 blocks").
+///
+/// Blocks are addressed with chunk-local coordinates: `x` and `z` in
+/// `0..16`, `y` in `0..256`.
+///
+/// # Example
+///
+/// ```
+/// use servo_world::{Block, Chunk};
+/// use servo_types::ChunkPos;
+///
+/// let mut chunk = Chunk::empty(ChunkPos::new(0, 0));
+/// chunk.set_local(3, 64, 5, Block::Stone).unwrap();
+/// assert_eq!(chunk.local(3, 64, 5), Some(Block::Stone));
+/// assert_eq!(chunk.non_air_blocks(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    pos: ChunkPos,
+    /// Block identifiers in x-major, then z, then y order.
+    blocks: Vec<u16>,
+    /// Number of modifications since the chunk was created or loaded.
+    modifications: u64,
+}
+
+impl Chunk {
+    /// Creates an all-air chunk at the given position.
+    pub fn empty(pos: ChunkPos) -> Self {
+        Chunk {
+            pos,
+            blocks: vec![Block::Air.id(); BLOCKS_PER_CHUNK],
+            modifications: 0,
+        }
+    }
+
+    /// The chunk's position in chunk space.
+    pub fn pos(&self) -> ChunkPos {
+        self.pos
+    }
+
+    /// Number of modifications applied since creation or deserialization.
+    pub fn modifications(&self) -> u64 {
+        self.modifications
+    }
+
+    fn index(x: i32, y: i32, z: i32) -> Option<usize> {
+        if !(0..CHUNK_SIZE).contains(&x)
+            || !(0..CHUNK_HEIGHT).contains(&y)
+            || !(0..CHUNK_SIZE).contains(&z)
+        {
+            return None;
+        }
+        Some(
+            (x as usize * CHUNK_SIZE as usize + z as usize) * CHUNK_HEIGHT as usize + y as usize,
+        )
+    }
+
+    /// Reads the block at chunk-local coordinates, or `None` if out of range.
+    pub fn local(&self, x: i32, y: i32, z: i32) -> Option<Block> {
+        let idx = Self::index(x, y, z)?;
+        Block::from_id(self.blocks[idx])
+    }
+
+    /// Writes the block at chunk-local coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::OutOfBounds`] if a coordinate is outside the
+    /// chunk.
+    pub fn set_local(&mut self, x: i32, y: i32, z: i32, block: Block) -> Result<(), ServoError> {
+        let idx = Self::index(x, y, z).ok_or_else(|| ServoError::OutOfBounds {
+            what: format!("chunk-local ({x}, {y}, {z})"),
+        })?;
+        if self.blocks[idx] != block.id() {
+            self.blocks[idx] = block.id();
+            self.modifications += 1;
+        }
+        Ok(())
+    }
+
+    /// Fills every block of the horizontal layer at height `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::OutOfBounds`] if `y` is outside the chunk.
+    pub fn fill_layer(&mut self, y: i32, block: Block) -> Result<(), ServoError> {
+        if !(0..CHUNK_HEIGHT).contains(&y) {
+            return Err(ServoError::OutOfBounds {
+                what: format!("layer y={y}"),
+            });
+        }
+        for x in 0..CHUNK_SIZE {
+            for z in 0..CHUNK_SIZE {
+                self.set_local(x, y, z, block)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The height of the highest non-air block in the column at `(x, z)`,
+    /// or `None` for an empty column or out-of-range coordinates.
+    pub fn height_at(&self, x: i32, z: i32) -> Option<i32> {
+        if !(0..CHUNK_SIZE).contains(&x) || !(0..CHUNK_SIZE).contains(&z) {
+            return None;
+        }
+        (0..CHUNK_HEIGHT)
+            .rev()
+            .find(|&y| self.local(x, y, z).map(|b| !b.is_air()).unwrap_or(false))
+    }
+
+    /// Number of non-air blocks in the chunk.
+    pub fn non_air_blocks(&self) -> usize {
+        let air = Block::Air.id();
+        self.blocks.iter().filter(|&&b| b != air).count()
+    }
+
+    /// Number of stateful blocks (simulated-construct material) in the chunk.
+    pub fn stateful_blocks(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|&&b| Block::from_id(b).map(|b| b.is_stateful()).unwrap_or(false))
+            .count()
+    }
+
+    /// Serializes the chunk into a compact run-length encoded byte buffer.
+    ///
+    /// Layout: chunk x (i32 LE), chunk z (i32 LE), number of runs (u32 LE),
+    /// then `(count: u32 LE, block id: u16 LE)` per run.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.pos.x.to_le_bytes());
+        out.extend_from_slice(&self.pos.z.to_le_bytes());
+        let mut runs: Vec<(u32, u16)> = Vec::new();
+        for &b in &self.blocks {
+            match runs.last_mut() {
+                Some((count, id)) if *id == b => *count += 1,
+                _ => runs.push((1, b)),
+            }
+        }
+        out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+        for (count, id) in runs {
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a chunk produced by [`Chunk::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::CorruptData`] if the buffer is truncated, the
+    /// run lengths do not add up to a full chunk, or a block id is unknown.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Chunk, ServoError> {
+        fn corrupt(reason: &str) -> ServoError {
+            ServoError::CorruptData {
+                reason: reason.to_string(),
+            }
+        }
+        if bytes.len() < 12 {
+            return Err(corrupt("buffer shorter than header"));
+        }
+        let x = i32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let z = i32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let run_count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let mut blocks = Vec::with_capacity(BLOCKS_PER_CHUNK);
+        let mut offset = 12;
+        for _ in 0..run_count {
+            if offset + 6 > bytes.len() {
+                return Err(corrupt("truncated run"));
+            }
+            let count = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+            let id = u16::from_le_bytes(bytes[offset + 4..offset + 6].try_into().unwrap());
+            if Block::from_id(id).is_none() {
+                return Err(corrupt("unknown block id"));
+            }
+            if blocks.len() + count > BLOCKS_PER_CHUNK {
+                return Err(corrupt("run overflows chunk"));
+            }
+            blocks.extend(std::iter::repeat(id).take(count));
+            offset += 6;
+        }
+        if blocks.len() != BLOCKS_PER_CHUNK {
+            return Err(corrupt("runs do not cover full chunk"));
+        }
+        Ok(Chunk {
+            pos: ChunkPos::new(x, z),
+            blocks,
+            modifications: 0,
+        })
+    }
+
+    /// The serialized size of this chunk in bytes, used by the storage model
+    /// to account for transfer volume.
+    pub fn serialized_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Takes an immutable snapshot of the chunk suitable for handing to a
+    /// remote component (a generation function or the storage layer).
+    pub fn snapshot(&self) -> ChunkSnapshot {
+        ChunkSnapshot {
+            pos: self.pos,
+            bytes: self.to_bytes(),
+        }
+    }
+}
+
+/// An immutable serialized copy of a chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkSnapshot {
+    /// Position of the chunk.
+    pub pos: ChunkPos,
+    /// Serialized chunk contents ([`Chunk::to_bytes`] layout).
+    pub bytes: Vec<u8>,
+}
+
+impl ChunkSnapshot {
+    /// Reconstructs the chunk from the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::CorruptData`] if the snapshot bytes are invalid.
+    pub fn restore(&self) -> Result<Chunk, ServoError> {
+        Chunk::from_bytes(&self.bytes)
+    }
+
+    /// Size of the serialized data in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_chunk_is_all_air() {
+        let c = Chunk::empty(ChunkPos::new(1, -1));
+        assert_eq!(c.non_air_blocks(), 0);
+        assert_eq!(c.local(0, 0, 0), Some(Block::Air));
+        assert_eq!(c.height_at(5, 5), None);
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut c = Chunk::empty(ChunkPos::ORIGIN);
+        c.set_local(15, 255, 15, Block::Stone).unwrap();
+        c.set_local(0, 0, 0, Block::Bedrock).unwrap();
+        assert_eq!(c.local(15, 255, 15), Some(Block::Stone));
+        assert_eq!(c.local(0, 0, 0), Some(Block::Bedrock));
+        assert_eq!(c.non_air_blocks(), 2);
+        assert_eq!(c.modifications(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected() {
+        let mut c = Chunk::empty(ChunkPos::ORIGIN);
+        assert_eq!(c.local(16, 0, 0), None);
+        assert_eq!(c.local(0, 256, 0), None);
+        assert_eq!(c.local(-1, 0, 0), None);
+        assert!(c.set_local(0, -1, 0, Block::Stone).is_err());
+        assert!(c.fill_layer(256, Block::Stone).is_err());
+    }
+
+    #[test]
+    fn redundant_writes_do_not_count_as_modifications() {
+        let mut c = Chunk::empty(ChunkPos::ORIGIN);
+        c.set_local(1, 1, 1, Block::Air).unwrap();
+        assert_eq!(c.modifications(), 0);
+        c.set_local(1, 1, 1, Block::Dirt).unwrap();
+        c.set_local(1, 1, 1, Block::Dirt).unwrap();
+        assert_eq!(c.modifications(), 1);
+    }
+
+    #[test]
+    fn height_at_finds_highest_block() {
+        let mut c = Chunk::empty(ChunkPos::ORIGIN);
+        c.fill_layer(0, Block::Bedrock).unwrap();
+        c.fill_layer(10, Block::Grass).unwrap();
+        c.set_local(3, 42, 3, Block::Wood).unwrap();
+        assert_eq!(c.height_at(0, 0), Some(10));
+        assert_eq!(c.height_at(3, 3), Some(42));
+        assert_eq!(c.height_at(16, 0), None);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut c = Chunk::empty(ChunkPos::new(-3, 7));
+        c.fill_layer(0, Block::Bedrock).unwrap();
+        c.fill_layer(1, Block::Dirt).unwrap();
+        c.set_local(8, 2, 8, Block::Lamp).unwrap();
+        c.set_local(9, 2, 8, Block::Wire).unwrap();
+        let bytes = c.to_bytes();
+        let restored = Chunk::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.pos(), c.pos());
+        assert_eq!(restored.local(8, 2, 8), Some(Block::Lamp));
+        assert_eq!(restored.non_air_blocks(), c.non_air_blocks());
+    }
+
+    #[test]
+    fn rle_compresses_uniform_chunks() {
+        let c = Chunk::empty(ChunkPos::ORIGIN);
+        // A uniform chunk serializes to the 12-byte header plus one run.
+        assert_eq!(c.to_bytes().len(), 18);
+    }
+
+    #[test]
+    fn corrupt_data_is_rejected() {
+        assert!(Chunk::from_bytes(&[]).is_err());
+        assert!(Chunk::from_bytes(&[0u8; 11]).is_err());
+        // Valid header claiming one run that does not cover the chunk.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0i32.to_le_bytes());
+        bytes.extend_from_slice(&0i32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&10u32.to_le_bytes());
+        bytes.extend_from_slice(&Block::Stone.id().to_le_bytes());
+        assert!(Chunk::from_bytes(&bytes).is_err());
+        // Unknown block id.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0i32.to_le_bytes());
+        bytes.extend_from_slice(&0i32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&(BLOCKS_PER_CHUNK as u32).to_le_bytes());
+        bytes.extend_from_slice(&999u16.to_le_bytes());
+        assert!(Chunk::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn snapshot_restores_identical_chunk() {
+        let mut c = Chunk::empty(ChunkPos::new(2, 2));
+        c.fill_layer(5, Block::Sand).unwrap();
+        let snap = c.snapshot();
+        assert_eq!(snap.size_bytes(), snap.bytes.len());
+        let restored = snap.restore().unwrap();
+        assert_eq!(restored.local(0, 5, 0), Some(Block::Sand));
+        assert_eq!(restored.pos(), ChunkPos::new(2, 2));
+    }
+
+    #[test]
+    fn stateful_block_count() {
+        let mut c = Chunk::empty(ChunkPos::ORIGIN);
+        c.set_local(0, 0, 0, Block::Wire).unwrap();
+        c.set_local(0, 0, 1, Block::Lamp).unwrap();
+        c.set_local(0, 0, 2, Block::Stone).unwrap();
+        assert_eq!(c.stateful_blocks(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Voxel world substrate.
+//!
+//! A modifiable virtual environment's terrain is a grid of blocks organised
+//! in 16 x 16 x 256 chunks (the paper's Section II-A and IV-D). This crate
+//! provides the block vocabulary ([`Block`]), the chunk container
+//! ([`Chunk`]) with a compact run-length serialization, the in-memory
+//! [`World`] with chunk lifecycle management, and view-distance helpers used
+//! by terrain generation and storage experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use servo_world::{Block, World};
+//! use servo_types::BlockPos;
+//!
+//! let mut world = World::flat(4); // flat bedrock/dirt/grass world, ground at y=4
+//! world.ensure_chunk_at(BlockPos::new(10, 0, 10).into());
+//! world.set_block(BlockPos::new(10, 5, 10), Block::Lamp).unwrap();
+//! assert_eq!(world.block(BlockPos::new(10, 5, 10)), Some(Block::Lamp));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod chunk;
+pub mod view;
+pub mod world;
+
+pub use block::Block;
+pub use chunk::{Chunk, ChunkSnapshot};
+pub use view::{missing_chunks, nearest_missing_distance_blocks, required_chunks};
+pub use world::{World, WorldKind};

@@ -1,0 +1,291 @@
+//! The in-memory world: a collection of loaded chunks.
+
+use std::collections::HashMap;
+
+use servo_types::consts::{CHUNK_HEIGHT, CHUNK_SIZE};
+use servo_types::{BlockPos, ChunkPos, ServoError};
+
+use crate::block::Block;
+use crate::chunk::Chunk;
+
+/// The terrain flavour of a world, matching the paper's experiment setups
+/// (Section IV-A: "default" procedurally generated terrain vs. the "flat"
+/// world players use to prototype simulated constructs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WorldKind {
+    /// Procedurally generated terrain with mountains and rivers.
+    #[default]
+    Default,
+    /// An infinite flat plain.
+    Flat,
+}
+
+/// The in-memory game world: loaded chunks plus bookkeeping about
+/// modifications, used by both the baseline servers and Servo.
+///
+/// Chunks are created explicitly (by a terrain generator or by loading from
+/// storage); block access on a missing chunk returns `None` / an error so the
+/// caller can trigger generation or loading.
+///
+/// # Example
+///
+/// ```
+/// use servo_world::{Block, World};
+/// use servo_types::{BlockPos, ChunkPos};
+///
+/// let mut w = World::flat(4);
+/// w.ensure_chunk_at(ChunkPos::new(0, 0));
+/// assert_eq!(w.block(BlockPos::new(3, 4, 3)), Some(Block::Grass));
+/// assert_eq!(w.block(BlockPos::new(100, 4, 100)), None); // chunk not loaded
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct World {
+    kind: WorldKind,
+    flat_ground_height: i32,
+    chunks: HashMap<ChunkPos, Chunk>,
+    total_modifications: u64,
+}
+
+impl World {
+    /// Creates an empty world of the default (procedural) kind. Chunks must
+    /// be inserted by a terrain generator.
+    pub fn new() -> Self {
+        World {
+            kind: WorldKind::Default,
+            flat_ground_height: 4,
+            chunks: HashMap::new(),
+            total_modifications: 0,
+        }
+    }
+
+    /// Creates a flat world whose ground surface sits at `ground_height`.
+    ///
+    /// Chunks are still created lazily ([`World::ensure_chunk_at`]), but when
+    /// created they are pre-filled with bedrock, dirt and a grass surface.
+    pub fn flat(ground_height: i32) -> Self {
+        World {
+            kind: WorldKind::Flat,
+            flat_ground_height: ground_height.clamp(1, CHUNK_HEIGHT - 1),
+            chunks: HashMap::new(),
+            total_modifications: 0,
+        }
+    }
+
+    /// The world kind.
+    pub fn kind(&self) -> WorldKind {
+        self.kind
+    }
+
+    /// Number of chunks currently loaded in memory.
+    pub fn loaded_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the chunk at `pos` is loaded.
+    pub fn is_loaded(&self, pos: ChunkPos) -> bool {
+        self.chunks.contains_key(&pos)
+    }
+
+    /// Iterates over the positions of all loaded chunks.
+    pub fn loaded_positions(&self) -> impl Iterator<Item = ChunkPos> + '_ {
+        self.chunks.keys().copied()
+    }
+
+    /// Total number of block modifications applied through this world.
+    pub fn total_modifications(&self) -> u64 {
+        self.total_modifications
+    }
+
+    /// Inserts a fully-built chunk (from a generator or storage), replacing
+    /// any chunk already at that position.
+    pub fn insert_chunk(&mut self, chunk: Chunk) {
+        self.chunks.insert(chunk.pos(), chunk);
+    }
+
+    /// Removes and returns the chunk at `pos`, e.g. when it falls out of all
+    /// players' view distance and is persisted to storage.
+    pub fn remove_chunk(&mut self, pos: ChunkPos) -> Option<Chunk> {
+        self.chunks.remove(&pos)
+    }
+
+    /// Returns a reference to the chunk at `pos`, if loaded.
+    pub fn chunk(&self, pos: ChunkPos) -> Option<&Chunk> {
+        self.chunks.get(&pos)
+    }
+
+    /// Returns a mutable reference to the chunk at `pos`, if loaded.
+    pub fn chunk_mut(&mut self, pos: ChunkPos) -> Option<&mut Chunk> {
+        self.chunks.get_mut(&pos)
+    }
+
+    /// Ensures a chunk exists at `pos`, creating a default one if missing.
+    ///
+    /// For [`WorldKind::Flat`] the created chunk has a bedrock floor, dirt
+    /// body and grass surface at the configured ground height; for
+    /// [`WorldKind::Default`] an empty chunk is created (procedural content
+    /// is supplied by the `servo-pcg` generator instead).
+    pub fn ensure_chunk_at(&mut self, pos: ChunkPos) -> &mut Chunk {
+        let ground = self.flat_ground_height;
+        let kind = self.kind;
+        self.chunks.entry(pos).or_insert_with(|| {
+            let mut chunk = Chunk::empty(pos);
+            if kind == WorldKind::Flat {
+                chunk
+                    .fill_layer(0, Block::Bedrock)
+                    .expect("layer 0 is in range");
+                for y in 1..ground {
+                    chunk.fill_layer(y, Block::Dirt).expect("layer in range");
+                }
+                chunk
+                    .fill_layer(ground, Block::Grass)
+                    .expect("ground layer in range");
+            }
+            chunk
+        })
+    }
+
+    /// Reads the block at a world position. Returns `None` if the containing
+    /// chunk is not loaded or `y` is out of range.
+    pub fn block(&self, pos: BlockPos) -> Option<Block> {
+        let chunk = self.chunks.get(&ChunkPos::from(pos))?;
+        let (lx, ly, lz) = Self::local_coords(pos);
+        chunk.local(lx, ly, lz)
+    }
+
+    /// Writes the block at a world position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::ChunkNotLoaded`] if the containing chunk is not
+    /// loaded, or [`ServoError::OutOfBounds`] if `y` is outside the world.
+    pub fn set_block(&mut self, pos: BlockPos, block: Block) -> Result<(), ServoError> {
+        let chunk_pos = ChunkPos::from(pos);
+        let chunk = self
+            .chunks
+            .get_mut(&chunk_pos)
+            .ok_or(ServoError::ChunkNotLoaded {
+                x: chunk_pos.x,
+                z: chunk_pos.z,
+            })?;
+        let (lx, ly, lz) = Self::local_coords(pos);
+        chunk.set_local(lx, ly, lz, block)?;
+        self.total_modifications += 1;
+        Ok(())
+    }
+
+    /// The ground height (highest non-air block) at the given column, if the
+    /// chunk is loaded.
+    pub fn height_at(&self, x: i32, z: i32) -> Option<i32> {
+        let pos = BlockPos::new(x, 0, z);
+        let chunk = self.chunks.get(&ChunkPos::from(pos))?;
+        let (lx, _, lz) = Self::local_coords(pos);
+        chunk.height_at(lx, lz)
+    }
+
+    /// Total number of stateful (simulated-construct) blocks across all
+    /// loaded chunks.
+    pub fn stateful_blocks(&self) -> usize {
+        self.chunks.values().map(|c| c.stateful_blocks()).sum()
+    }
+
+    fn local_coords(pos: BlockPos) -> (i32, i32, i32) {
+        (
+            pos.x.rem_euclid(CHUNK_SIZE),
+            pos.y,
+            pos.z.rem_euclid(CHUNK_SIZE),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_world_chunks_have_surface() {
+        let mut w = World::flat(4);
+        w.ensure_chunk_at(ChunkPos::new(0, 0));
+        w.ensure_chunk_at(ChunkPos::new(-1, -1));
+        assert_eq!(w.loaded_chunks(), 2);
+        assert_eq!(w.block(BlockPos::new(0, 0, 0)), Some(Block::Bedrock));
+        assert_eq!(w.block(BlockPos::new(5, 4, 5)), Some(Block::Grass));
+        assert_eq!(w.block(BlockPos::new(5, 5, 5)), Some(Block::Air));
+        assert_eq!(w.block(BlockPos::new(-5, 4, -5)), Some(Block::Grass));
+        assert_eq!(w.height_at(-5, -5), Some(4));
+    }
+
+    #[test]
+    fn block_access_requires_loaded_chunk() {
+        let mut w = World::flat(4);
+        assert_eq!(w.block(BlockPos::new(100, 4, 100)), None);
+        let err = w
+            .set_block(BlockPos::new(100, 4, 100), Block::Stone)
+            .unwrap_err();
+        assert!(matches!(err, ServoError::ChunkNotLoaded { .. }));
+    }
+
+    #[test]
+    fn set_block_across_chunks_and_negative_coords() {
+        let mut w = World::flat(4);
+        for cx in -3..=3 {
+            for cz in -3..=3 {
+                w.ensure_chunk_at(ChunkPos::new(cx, cz));
+            }
+        }
+        let positions = [
+            BlockPos::new(0, 10, 0),
+            BlockPos::new(-1, 10, -1),
+            BlockPos::new(17, 10, -17),
+            BlockPos::new(-33, 10, 31),
+        ];
+        for (i, &p) in positions.iter().enumerate() {
+            w.set_block(p, Block::Lamp).unwrap();
+            assert_eq!(w.block(p), Some(Block::Lamp), "position {i}");
+        }
+        assert_eq!(w.total_modifications(), positions.len() as u64);
+        assert_eq!(w.stateful_blocks(), positions.len());
+    }
+
+    #[test]
+    fn out_of_range_y_is_rejected() {
+        let mut w = World::flat(4);
+        w.ensure_chunk_at(ChunkPos::ORIGIN);
+        assert!(w.set_block(BlockPos::new(0, 256, 0), Block::Stone).is_err());
+        assert!(w.set_block(BlockPos::new(0, -1, 0), Block::Stone).is_err());
+        assert_eq!(w.block(BlockPos::new(0, 300, 0)), None);
+    }
+
+    #[test]
+    fn default_world_creates_empty_chunks() {
+        let mut w = World::new();
+        assert_eq!(w.kind(), WorldKind::Default);
+        w.ensure_chunk_at(ChunkPos::ORIGIN);
+        assert_eq!(w.block(BlockPos::new(0, 0, 0)), Some(Block::Air));
+    }
+
+    #[test]
+    fn insert_and_remove_chunks() {
+        let mut w = World::new();
+        let mut chunk = Chunk::empty(ChunkPos::new(3, 3));
+        chunk.fill_layer(7, Block::Sand).unwrap();
+        w.insert_chunk(chunk);
+        assert!(w.is_loaded(ChunkPos::new(3, 3)));
+        assert_eq!(w.block(BlockPos::new(48, 7, 48)), Some(Block::Sand));
+        let removed = w.remove_chunk(ChunkPos::new(3, 3)).unwrap();
+        assert_eq!(removed.pos(), ChunkPos::new(3, 3));
+        assert!(!w.is_loaded(ChunkPos::new(3, 3)));
+        assert_eq!(w.remove_chunk(ChunkPos::new(3, 3)), None);
+    }
+
+    #[test]
+    fn loaded_positions_iterates_all() {
+        let mut w = World::flat(4);
+        let expected: Vec<ChunkPos> = (0..5).map(|i| ChunkPos::new(i, -i)).collect();
+        for &p in &expected {
+            w.ensure_chunk_at(p);
+        }
+        let mut got: Vec<ChunkPos> = w.loaded_positions().collect();
+        got.sort_by_key(|p| (p.x, p.z));
+        assert_eq!(got.len(), expected.len());
+    }
+}

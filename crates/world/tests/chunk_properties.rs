@@ -1,0 +1,91 @@
+//! Property-based tests for the chunk and world data structures.
+
+use proptest::prelude::*;
+use servo_types::consts::{CHUNK_HEIGHT, CHUNK_SIZE};
+use servo_types::{BlockPos, ChunkPos};
+use servo_world::{Block, Chunk, World};
+
+fn arb_block() -> impl Strategy<Value = Block> {
+    prop::sample::select(Block::ALL.to_vec())
+}
+
+fn arb_local_coord() -> impl Strategy<Value = (i32, i32, i32)> {
+    (0..CHUNK_SIZE, 0..CHUNK_HEIGHT, 0..CHUNK_SIZE)
+}
+
+proptest! {
+    /// Any sequence of in-range writes is readable back, and serialization
+    /// round-trips the exact chunk contents.
+    #[test]
+    fn chunk_serialization_round_trips(
+        writes in prop::collection::vec((arb_local_coord(), arb_block()), 0..80),
+        cx in -1000i32..1000,
+        cz in -1000i32..1000,
+    ) {
+        let mut chunk = Chunk::empty(ChunkPos::new(cx, cz));
+        for ((x, y, z), block) in &writes {
+            chunk.set_local(*x, *y, *z, *block).unwrap();
+        }
+        let restored = Chunk::from_bytes(&chunk.to_bytes()).unwrap();
+        prop_assert_eq!(restored.pos(), chunk.pos());
+        for ((x, y, z), _) in &writes {
+            prop_assert_eq!(restored.local(*x, *y, *z), chunk.local(*x, *y, *z));
+        }
+        prop_assert_eq!(restored.non_air_blocks(), chunk.non_air_blocks());
+        prop_assert_eq!(restored.to_bytes(), chunk.to_bytes());
+    }
+
+    /// The last write to a position wins, and counts are consistent.
+    #[test]
+    fn last_write_wins(
+        coord in arb_local_coord(),
+        blocks in prop::collection::vec(arb_block(), 1..12),
+    ) {
+        let mut chunk = Chunk::empty(ChunkPos::ORIGIN);
+        for b in &blocks {
+            chunk.set_local(coord.0, coord.1, coord.2, *b).unwrap();
+        }
+        prop_assert_eq!(chunk.local(coord.0, coord.1, coord.2), Some(*blocks.last().unwrap()));
+        let expected = if blocks.last().unwrap().is_air() { 0 } else { 1 };
+        prop_assert_eq!(chunk.non_air_blocks(), expected);
+    }
+
+    /// World-space block addressing round-trips across arbitrary coordinates
+    /// (including negatives) once the containing chunk is loaded.
+    #[test]
+    fn world_block_round_trip(
+        x in -10_000i32..10_000,
+        y in 0i32..CHUNK_HEIGHT,
+        z in -10_000i32..10_000,
+        block in arb_block(),
+    ) {
+        let mut world = World::new();
+        let pos = BlockPos::new(x, y, z);
+        world.ensure_chunk_at(ChunkPos::from(pos));
+        world.set_block(pos, block).unwrap();
+        prop_assert_eq!(world.block(pos), Some(block));
+        // The write landed in exactly one chunk.
+        prop_assert_eq!(world.loaded_chunks(), 1);
+    }
+
+    /// Truncating serialized data never panics: it either fails cleanly or
+    /// (for the empty tail) still describes a valid chunk.
+    #[test]
+    fn truncated_chunk_data_is_rejected_cleanly(cut in 0usize..1000) {
+        let mut chunk = Chunk::empty(ChunkPos::new(1, 2));
+        chunk.fill_layer(3, Block::Stone).unwrap();
+        let bytes = chunk.to_bytes();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let _ = Chunk::from_bytes(&bytes[..cut]);
+    }
+
+    /// Chunk-space conversion is consistent with the chunk's block range.
+    #[test]
+    fn chunk_pos_contains_its_blocks(x in -100_000i32..100_000, z in -100_000i32..100_000) {
+        let pos = BlockPos::new(x, 10, z);
+        let chunk = ChunkPos::from(pos);
+        let min = chunk.min_block();
+        prop_assert!(x >= min.x && x < min.x + CHUNK_SIZE);
+        prop_assert!(z >= min.z && z < min.z + CHUNK_SIZE);
+    }
+}

@@ -1,0 +1,67 @@
+//! Capacity planning: how many players can one instance host for a given
+//! amount of player-built machinery? This walks the paper's "maximum number
+//! of supported players" methodology (Section IV-B) on a small scale and is
+//! the kind of question a game operator would ask before picking a backend.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use servo::core::ServoDeployment;
+use servo::metrics::{max_supported, Table};
+use servo::redstone::generators;
+use servo::server::ServerConfig;
+use servo::simkit::SimRng;
+use servo::types::SimDuration;
+use servo::workload::{BehaviorKind, PlayerFleet};
+
+fn capacity(system: &str, constructs: usize) -> u32 {
+    let counts: Vec<u32> = (1..=15).map(|i| i * 10).collect();
+    let duration = SimDuration::from_secs(15);
+    let result = max_supported(&counts, |players| {
+        let mut server = match system {
+            "Servo" => {
+                ServoDeployment::builder()
+                    .seed(1)
+                    .view_distance(32)
+                    .build()
+                    .server
+            }
+            "Opencraft" => ServoDeployment::opencraft_baseline(
+                1,
+                &ServerConfig::opencraft().with_view_distance(32),
+            ),
+            _ => ServoDeployment::minecraft_baseline(
+                1,
+                &ServerConfig::minecraft().with_view_distance(32),
+            ),
+        };
+        server.add_constructs(constructs, |_| generators::dense_circuit(64));
+        let mut fleet =
+            PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(2));
+        fleet.connect_all(players as usize);
+        server.run_with_fleet(&mut fleet, SimDuration::from_secs(3));
+        server.discard_reports();
+        server.run_with_fleet(&mut fleet, duration);
+        server.tick_durations()
+    });
+    result.max_players
+}
+
+fn main() {
+    println!("capacity planning: maximum players per instance (QoS: <5% of ticks over 50 ms)\n");
+    let mut table = Table::new(vec!["Constructs", "Servo", "Opencraft", "Minecraft"]);
+    for constructs in [0usize, 50, 100] {
+        println!("evaluating workload with {constructs} constructs...");
+        table.row(vec![
+            constructs.to_string(),
+            capacity("Servo", constructs).to_string(),
+            capacity("Opencraft", constructs).to_string(),
+            capacity("Minecraft", constructs).to_string(),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "With player-built machinery present, Servo sustains far more players per\n\
+         instance than either baseline; without machinery the lean Opencraft\n\
+         baseline remains the fastest, as in the paper."
+    );
+}

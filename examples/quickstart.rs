@@ -1,0 +1,72 @@
+//! Quickstart: build a Servo deployment, add player-built simulated
+//! constructs, connect players, run a few virtual minutes, and print what
+//! the serverless backend did.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use servo::core::ServoDeployment;
+use servo::metrics::Summary;
+use servo::redstone::generators;
+use servo::simkit::SimRng;
+use servo::types::SimDuration;
+use servo::workload::{BehaviorKind, PlayerFleet};
+
+fn main() {
+    // 1. Build a Servo instance: a 20 Hz game server whose simulated
+    //    constructs, terrain generation and persistence are offloaded to
+    //    (simulated) serverless services.
+    let mut deployment = ServoDeployment::builder()
+        .seed(42)
+        .view_distance(64)
+        .build();
+
+    // 2. Players have built 100 circuits of 64 stateful blocks each.
+    deployment
+        .server
+        .add_constructs(100, |_| generators::dense_circuit(64));
+
+    // 3. Connect 80 players that wander around the spawn area.
+    let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 32.0 }, SimRng::seed(7));
+    fleet.connect_all(80);
+
+    // 4. Run two virtual minutes of gameplay.
+    println!("running 120 virtual seconds with 80 players and 100 constructs...");
+    deployment
+        .server
+        .run_with_fleet(&mut fleet, SimDuration::from_secs(120));
+
+    // 5. Report.
+    let durations = deployment.server.tick_durations();
+    let summary = Summary::from_durations(&durations);
+    let stats = deployment.server.stats();
+    let speculation = deployment.speculation.stats();
+
+    println!("\n--- game loop ---");
+    println!("ticks executed:        {}", stats.ticks);
+    println!("median tick duration:  {:.1} ms", summary.p50);
+    println!("95th percentile:       {:.1} ms (budget: 50 ms)", summary.p95);
+    println!(
+        "QoS satisfied:         {}",
+        servo::metrics::qos_satisfied_default(&durations)
+    );
+
+    println!("\n--- simulated constructs ---");
+    println!("offloaded (applied):   {}", stats.sc_merged);
+    println!("loop replays:          {}", stats.sc_replayed);
+    println!("local fallbacks:       {}", stats.sc_local);
+    println!(
+        "median speculation efficiency: {:.0}%",
+        speculation.median_efficiency().unwrap_or(0.0) * 100.0
+    );
+
+    println!("\n--- serverless usage ---");
+    println!("SC function invocations:      {}", speculation.invocations);
+    println!(
+        "terrain function invocations: {}",
+        deployment.terrain.stats().invocations
+    );
+    let elapsed = SimDuration::from_secs(120);
+    let cost = deployment.speculation.billing().cost_rate(elapsed).value()
+        + deployment.terrain.billing().cost_rate(elapsed).value();
+    println!("estimated offload cost:       ${cost:.3}/hour");
+}

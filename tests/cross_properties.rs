@@ -1,0 +1,146 @@
+//! Cross-crate property-based tests: the invariants Servo's correctness
+//! rests on, checked with randomly generated constructs, schedules and
+//! terrain.
+
+use proptest::prelude::*;
+use servo::core::{SpeculationConfig, SpeculativeScBackend};
+use servo::faas::{FaasPlatform, FunctionConfig};
+use servo::pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
+use servo::redstone::{Blueprint, CircuitBlock, Construct};
+use servo::server::ScBackend;
+use servo::simkit::SimRng;
+use servo::storage::{BlobStore, BlobTier, CachedChunkStore};
+use servo::types::{BlockPos, ChunkPos, ConstructId, MemoryMb, SimTime, Tick};
+
+fn arb_blueprint() -> impl Strategy<Value = Blueprint> {
+    prop::collection::vec(
+        (
+            (0i32..8, 0i32..2, 0i32..8),
+            prop::sample::select(vec![
+                CircuitBlock::PowerSource,
+                CircuitBlock::Wire,
+                CircuitBlock::Lamp,
+                CircuitBlock::Repeater,
+                CircuitBlock::Torch,
+            ]),
+        ),
+        2..50,
+    )
+    .prop_map(|blocks| {
+        let mut blueprint = Blueprint::new();
+        for ((x, y, z), kind) in blocks {
+            blueprint.add(BlockPos::new(x, y, z), kind);
+        }
+        blueprint
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Servo's central correctness property (Section III-C): speculative
+    /// offloading never changes the construct's evolution, for any construct
+    /// shape, tick lead, and simulation length.
+    #[test]
+    fn speculation_is_transparent(
+        blueprint in arb_blueprint(),
+        tick_lead in 0u64..40,
+        simulation_steps in 5usize..120,
+        loop_detection in any::<bool>(),
+        seed in any::<u64>(),
+        ticks in 50u64..250,
+    ) {
+        let config = SpeculationConfig {
+            tick_lead,
+            simulation_steps,
+            loop_detection,
+            ..SpeculationConfig::default()
+        };
+        let platform = FaasPlatform::new(
+            FunctionConfig::aws_like(MemoryMb::new(2048)),
+            SimRng::seed(seed),
+        );
+        let mut backend = SpeculativeScBackend::new(config, platform);
+        let mut offloaded = Construct::new(blueprint.clone());
+        let mut reference = Construct::new(blueprint);
+        for t in 0..ticks {
+            backend.resolve(
+                ConstructId::new(0),
+                &mut offloaded,
+                Tick(t),
+                SimTime::from_millis(t * 50),
+            );
+            reference.step();
+            prop_assert_eq!(offloaded.state().hash(), reference.state().hash(), "tick {}", t);
+            prop_assert_eq!(offloaded.state().step(), reference.state().step());
+        }
+    }
+
+    /// Whatever is written through the cache is read back identically,
+    /// regardless of eviction and write-back order.
+    #[test]
+    fn cache_is_coherent_with_remote(
+        chunk_coords in prop::collection::vec((-20i32..20, -20i32..20), 1..15),
+        evict_first in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let generator = FlatGenerator::new(5);
+        let remote = BlobStore::new(BlobTier::Standard, SimRng::seed(seed));
+        let mut cache = CachedChunkStore::new(remote, SimRng::seed(seed ^ 1));
+        let mut expected = Vec::new();
+        for (x, z) in &chunk_coords {
+            let pos = ChunkPos::new(*x, *z);
+            let chunk = generator.generate(pos);
+            expected.push((pos, chunk.to_bytes()));
+            cache.put(chunk.snapshot(), SimTime::ZERO).unwrap();
+        }
+        if evict_first {
+            cache.write_back_dirty(SimTime::ZERO);
+            cache.evict_except(&std::collections::HashSet::new(), SimTime::ZERO);
+        }
+        for (pos, bytes) in expected {
+            let read = cache.read(pos, SimTime::from_secs(1)).unwrap();
+            prop_assert_eq!(read.snapshot.bytes, bytes);
+        }
+    }
+
+    /// Terrain generation is a pure function of (seed, chunk position): any
+    /// two generators with the same seed agree, and serialization preserves
+    /// the generated content exactly.
+    #[test]
+    fn generation_is_deterministic_and_serializable(
+        seed in any::<u64>(),
+        x in -500i32..500,
+        z in -500i32..500,
+    ) {
+        let a = DefaultGenerator::new(seed).generate(ChunkPos::new(x, z));
+        let b = DefaultGenerator::new(seed).generate(ChunkPos::new(x, z));
+        prop_assert_eq!(a.to_bytes(), b.to_bytes());
+        let restored = servo::world::Chunk::from_bytes(&a.to_bytes()).unwrap();
+        prop_assert_eq!(restored.pos(), ChunkPos::new(x, z));
+        prop_assert_eq!(restored.non_air_blocks(), a.non_air_blocks());
+    }
+
+    /// The FaaS platform never bills more invocations than were issued and
+    /// never reports a completion before the request.
+    #[test]
+    fn faas_invocations_are_causal(
+        works in prop::collection::vec(0.1f64..2000.0, 1..40),
+        memory in prop::sample::select(MemoryMb::PAPER_SWEEP.to_vec()),
+        seed in any::<u64>(),
+    ) {
+        let mut platform = FaasPlatform::new(FunctionConfig::aws_like(memory), SimRng::seed(seed));
+        let mut now = SimTime::ZERO;
+        let mut issued = 0u64;
+        for work in works {
+            let inv = platform.invoke(now, work).unwrap();
+            prop_assert!(inv.completed_at > now);
+            prop_assert!(inv.latency >= inv.compute);
+            issued += 1;
+            now = inv.completed_at;
+        }
+        prop_assert_eq!(platform.billing().invocations(), issued);
+        prop_assert!(platform.stats().cold_starts >= 1);
+        prop_assert!(platform.stats().cold_starts <= issued);
+    }
+}

@@ -1,0 +1,119 @@
+//! Failure-injection tests: Servo must degrade gracefully when the
+//! serverless substrate misbehaves (concurrency limits, timeouts), falling
+//! back to local simulation and staying correct.
+
+use servo::core::{ServoConfig, ServoDeployment, SpeculationConfig, SpeculativeScBackend};
+use servo::faas::{FaasPlatform, FunctionConfig};
+use servo::redstone::{generators, Construct};
+use servo::server::{ScBackend, ScResolution};
+use servo::simkit::SimRng;
+use servo::types::{ConstructId, MemoryMb, SimDuration, SimTime, Tick};
+use servo::workload::{BehaviorKind, PlayerFleet};
+
+/// With a concurrency limit of zero every invocation fails; the construct
+/// must still advance correctly, entirely through local fallback.
+#[test]
+fn offload_failures_fall_back_to_local_simulation() {
+    let mut function = FunctionConfig::aws_like(MemoryMb::new(1024));
+    function.max_concurrency = Some(0);
+    let platform = FaasPlatform::new(function, SimRng::seed(1));
+    let mut backend = SpeculativeScBackend::new(SpeculationConfig::default(), platform);
+
+    let blueprint = generators::dense_circuit(80);
+    let mut offloaded = Construct::new(blueprint.clone());
+    let mut reference = Construct::new(blueprint);
+    for t in 0..200u64 {
+        let resolution = backend.resolve(
+            ConstructId::new(0),
+            &mut offloaded,
+            Tick(t),
+            SimTime::from_millis(t * 50),
+        );
+        assert_eq!(resolution, ScResolution::LocalSimulated);
+        reference.step();
+        assert_eq!(offloaded.state().hash(), reference.state().hash());
+    }
+    let stats = backend.handle().stats();
+    assert_eq!(stats.speculative_applied, 0);
+    assert!(stats.failed > 0);
+}
+
+/// An aggressive function timeout rejects the configured simulation length;
+/// the game keeps running (all constructs simulated locally) and still
+/// satisfies basic liveness.
+#[test]
+fn timeouts_do_not_stall_the_game_loop() {
+    let mut sc_function = FunctionConfig::aws_like(MemoryMb::new(512));
+    sc_function.timeout = SimDuration::from_millis(1);
+    let mut config = ServoConfig {
+        sc_function,
+        ..ServoConfig::default()
+    };
+    config.server = config.server.clone().with_view_distance(32);
+    let mut deployment = ServoDeployment::from_config(config);
+    deployment
+        .server
+        .add_constructs(10, |_| generators::dense_circuit(64));
+    let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(2));
+    fleet.connect_all(10);
+    deployment
+        .server
+        .run_with_fleet(&mut fleet, SimDuration::from_secs(5));
+
+    let stats = deployment.server.stats();
+    // The initial terrain load makes a few early ticks overrun their budget,
+    // so slightly fewer than 100 ticks fit into five virtual seconds; the
+    // loop must keep running regardless.
+    assert!(stats.ticks >= 80 && stats.ticks <= 100, "ticks {}", stats.ticks);
+    assert_eq!(stats.sc_merged, 0);
+    assert_eq!(stats.sc_local, 10 * stats.ticks);
+    // Every construct advanced exactly once per tick despite the failures.
+    assert_eq!(
+        deployment
+            .server
+            .construct(ConstructId::new(0))
+            .unwrap()
+            .state()
+            .step(),
+        stats.ticks
+    );
+}
+
+/// Player modifications racing in-flight speculation never corrupt construct
+/// state: the stale reply is discarded and the construct's evolution matches
+/// a purely local reference that received the same modifications.
+#[test]
+fn stale_replies_are_discarded_on_modification_races() {
+    let platform = FaasPlatform::new(
+        FunctionConfig::aws_like(MemoryMb::new(2048)),
+        SimRng::seed(3),
+    );
+    let mut backend = SpeculativeScBackend::new(SpeculationConfig::default(), platform);
+    let blueprint = generators::dense_circuit(120);
+    let mut offloaded = Construct::new(blueprint.clone());
+    let mut reference = Construct::new(blueprint);
+
+    for t in 0..600u64 {
+        // Every 97 ticks a player breaks a block of the construct.
+        if t % 97 == 41 {
+            let pos = servo::types::BlockPos::new((t % 16) as i32, 0, ((t / 16) % 4) as i32);
+            offloaded.apply_modification(pos, None);
+            reference.apply_modification(pos, None);
+        }
+        backend.resolve(
+            ConstructId::new(0),
+            &mut offloaded,
+            Tick(t),
+            SimTime::from_millis(t * 50),
+        );
+        reference.step();
+        assert_eq!(
+            offloaded.state().hash(),
+            reference.state().hash(),
+            "divergence at tick {t}"
+        );
+    }
+    // At least one reply must have been discarded as stale for this test to
+    // exercise the interesting path.
+    assert!(backend.handle().stats().discarded_stale + backend.handle().stats().local_fallback > 0);
+}

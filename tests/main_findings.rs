@@ -1,0 +1,212 @@
+//! End-to-end integration tests asserting the paper's main findings
+//! (MF1–MF6) qualitatively, at a scale small enough for CI.
+
+use servo::core::{ServoDeployment, SpeculationConfig, SpeculativeScBackend};
+use servo::faas::{FaasPlatform, FunctionConfig};
+use servo::metrics::{qos_satisfied_default, Summary};
+use servo::redstone::{generators, Construct};
+use servo::server::{GameServer, ScBackend, ServerConfig};
+use servo::simkit::SimRng;
+use servo::types::{ConstructId, MemoryMb, SimDuration, SimTime, Tick};
+use servo::workload::{BehaviorKind, PlayerFleet};
+use servo::world::WorldKind;
+
+fn bounded_fleet(players: usize, seed: u64) -> PlayerFleet {
+    let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(seed));
+    fleet.connect_all(players);
+    fleet
+}
+
+fn run_sc_workload(mut server: GameServer, constructs: usize, players: usize) -> Vec<servo::types::SimDuration> {
+    server.add_constructs(constructs, |_| generators::dense_circuit(64));
+    let mut fleet = bounded_fleet(players, 99);
+    server.run_with_fleet(&mut fleet, SimDuration::from_secs(3));
+    server.discard_reports();
+    server.run_with_fleet(&mut fleet, SimDuration::from_secs(8));
+    server.tick_durations()
+}
+
+/// MF1: serverless offloading of simulated constructs improves scalability —
+/// with a construct-heavy workload Servo meets the QoS target at a player
+/// count where both baselines fail outright.
+#[test]
+fn mf1_servo_supports_more_players_under_sc_load() {
+    let constructs = 150;
+    let players = 60;
+
+    let servo = ServoDeployment::builder().seed(5).view_distance(32).build().server;
+    let servo_ticks = run_sc_workload(servo, constructs, players);
+    assert!(
+        qos_satisfied_default(&servo_ticks),
+        "Servo p95 {:.1} ms",
+        Summary::from_durations(&servo_ticks).p95
+    );
+
+    let opencraft = ServoDeployment::opencraft_baseline(
+        5,
+        &ServerConfig::opencraft().with_view_distance(32),
+    );
+    let opencraft_ticks = run_sc_workload(opencraft, constructs, players);
+    assert!(!qos_satisfied_default(&opencraft_ticks));
+
+    let minecraft = ServoDeployment::minecraft_baseline(
+        5,
+        &ServerConfig::minecraft().with_view_distance(32),
+    );
+    let minecraft_ticks = run_sc_workload(minecraft, constructs, players);
+    assert!(!qos_satisfied_default(&minecraft_ticks));
+}
+
+/// The ordering of Figure 7a also holds without constructs: the lean
+/// Opencraft baseline beats Minecraft, and Servo sits close to Opencraft.
+#[test]
+fn baseline_ordering_without_constructs() {
+    let mean = |ticks: &[servo::types::SimDuration]| {
+        ticks.iter().map(|d| d.as_millis_f64()).sum::<f64>() / ticks.len() as f64
+    };
+    let servo = mean(&run_sc_workload(
+        ServoDeployment::builder().seed(6).view_distance(32).build().server,
+        0,
+        100,
+    ));
+    let opencraft = mean(&run_sc_workload(
+        ServoDeployment::opencraft_baseline(6, &ServerConfig::opencraft().with_view_distance(32)),
+        0,
+        100,
+    ));
+    let minecraft = mean(&run_sc_workload(
+        ServoDeployment::minecraft_baseline(6, &ServerConfig::minecraft().with_view_distance(32)),
+        0,
+        100,
+    ));
+    assert!(opencraft < minecraft, "opencraft {opencraft} vs minecraft {minecraft}");
+    assert!(servo < minecraft, "servo {servo} vs minecraft {minecraft}");
+}
+
+/// MF2: speculative execution hides the offloading latency — with a
+/// generous tick lead the median efficiency reaches (nearly) 100%, and it is
+/// clearly lower without a lead.
+#[test]
+fn mf2_tick_lead_hides_latency() {
+    let run = |lead: u64| {
+        let platform = FaasPlatform::new(
+            FunctionConfig::aws_like(MemoryMb::new(2048)),
+            SimRng::seed(21 + lead),
+        );
+        let config = SpeculationConfig {
+            tick_lead: lead,
+            simulation_steps: 100,
+            loop_detection: false,
+            ..SpeculationConfig::default()
+        };
+        let mut backend = SpeculativeScBackend::new(config, platform);
+        let mut construct = Construct::new(generators::paper_medium());
+        for t in 0..900u64 {
+            backend.resolve(
+                ConstructId::new(0),
+                &mut construct,
+                Tick(t),
+                SimTime::from_millis(t * 50),
+            );
+        }
+        backend.handle().stats().median_efficiency().unwrap()
+    };
+    let without_lead = run(0);
+    let with_lead = run(40);
+    assert!(with_lead >= 0.99, "lead-40 efficiency {with_lead}");
+    assert!(without_lead < with_lead);
+    assert!(without_lead > 0.6, "lead-0 efficiency {without_lead}");
+}
+
+/// MF3: serverless content generation provides good QoS — Servo keeps the
+/// view range near the target while Opencraft's falls behind once players
+/// speed up.
+#[test]
+fn mf3_serverless_generation_keeps_view_range() {
+    let run = |servo: bool| -> f64 {
+        let mut server = if servo {
+            ServoDeployment::builder()
+                .seed(31)
+                .view_distance(96)
+                .world_kind(WorldKind::Default)
+                .build()
+                .server
+        } else {
+            ServoDeployment::opencraft_baseline(
+                31,
+                &ServerConfig::opencraft()
+                    .with_view_distance(96)
+                    .with_world_kind(WorldKind::Default),
+            )
+        };
+        let mut fleet = PlayerFleet::new(BehaviorKind::Star { speed: 6.0 }, SimRng::seed(32));
+        fleet.connect_all(5);
+        server.run_with_fleet(&mut fleet, SimDuration::from_secs(90));
+        // Ignore the initial loading transient; look at the steady state.
+        let series = server.view_range_series();
+        let tail = &series[series.len() / 2..];
+        tail.iter().map(|p| p.value).sum::<f64>() / tail.len() as f64
+    };
+    let servo_view = run(true);
+    let opencraft_view = run(false);
+    assert!(
+        servo_view > opencraft_view + 20.0,
+        "servo {servo_view:.0} vs opencraft {opencraft_view:.0}"
+    );
+    assert!(servo_view > 80.0, "servo steady-state view range {servo_view:.0}");
+}
+
+/// MF6: small and medium constructs simulate far faster than the 20 Hz game
+/// rate inside the offload function, and the loop-detection optimization
+/// eliminates repeat invocations for cyclic constructs.
+#[test]
+fn mf6_offloaded_simulation_is_fast_and_loops_are_detected() {
+    let model = servo::core::ScWorkModel::default();
+    let small_rate = 1000.0 / model.work_per_step(252);
+    let medium_rate = 1000.0 / model.work_per_step(484);
+    assert!(small_rate / 20.0 > 10.0, "small construct speed-up {small_rate}");
+    assert!(medium_rate / 20.0 > 4.0, "medium construct speed-up {medium_rate}");
+
+    let platform = FaasPlatform::new(
+        FunctionConfig::aws_like(MemoryMb::new(2048)),
+        SimRng::seed(61),
+    );
+    let mut backend = SpeculativeScBackend::new(SpeculationConfig::default(), platform);
+    let mut clock = Construct::new(generators::clock(8));
+    for t in 0..400u64 {
+        backend.resolve(
+            ConstructId::new(0),
+            &mut clock,
+            Tick(t),
+            SimTime::from_millis(t * 50),
+        );
+    }
+    let stats = backend.handle().stats();
+    assert!(stats.invocations <= 3, "invocations {}", stats.invocations);
+    assert!(stats.loop_replayed > 200);
+}
+
+/// Determinism: the whole stack is reproducible from a seed.
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let run = || {
+        let mut deployment = ServoDeployment::builder().seed(77).view_distance(32).build();
+        deployment
+            .server
+            .add_constructs(20, |_| generators::dense_circuit(64));
+        let mut fleet = bounded_fleet(20, 78);
+        deployment
+            .server
+            .run_with_fleet(&mut fleet, SimDuration::from_secs(5));
+        (
+            deployment.server.tick_durations(),
+            deployment.server.stats(),
+            deployment.speculation.stats().invocations,
+        )
+    };
+    let (ticks_a, stats_a, inv_a) = run();
+    let (ticks_b, stats_b, inv_b) = run();
+    assert_eq!(ticks_a, ticks_b);
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(inv_a, inv_b);
+}
