@@ -8,17 +8,21 @@ fn bench_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("sc_step");
     for blocks in [64usize, 252, 484, 1000] {
         group.throughput(Throughput::Elements(1));
-        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
-            let blueprint = generators::dense_circuit(blocks);
-            b.iter_batched(
-                || Construct::new(blueprint.clone()),
-                |mut construct| {
-                    construct.step();
-                    construct
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(blocks),
+            &blocks,
+            |b, &blocks| {
+                let blueprint = generators::dense_circuit(blocks);
+                b.iter_batched(
+                    || Construct::new(blueprint.clone()),
+                    |mut construct| {
+                        construct.step();
+                        construct
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -26,14 +30,18 @@ fn bench_step(c: &mut Criterion) {
 fn bench_simulate_sequence(c: &mut Criterion) {
     let mut group = c.benchmark_group("sc_simulate_100_steps");
     for blocks in [252usize, 484] {
-        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
-            let blueprint = generators::dense_circuit(blocks);
-            b.iter_batched(
-                || Construct::new(blueprint.clone()),
-                |mut construct| simulate_sequence(&mut construct, 100),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(blocks),
+            &blocks,
+            |b, &blocks| {
+                let blueprint = generators::dense_circuit(blocks);
+                b.iter_batched(
+                    || Construct::new(blueprint.clone()),
+                    |mut construct| simulate_sequence(&mut construct, 100),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }

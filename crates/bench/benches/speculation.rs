@@ -35,19 +35,28 @@ fn bench_resolve(c: &mut Criterion) {
 fn bench_server_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("server_tick_100sc_50players");
     group.sample_size(20);
-    for kind in [SystemKind::Servo, SystemKind::Opencraft, SystemKind::Minecraft] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let world = ExperimentWorld::flat_sc(100);
-            let mut server = build_system(kind, &world, 9);
-            let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(10));
-            fleet.connect_all(50);
-            let tick_budget = server.config().tick_budget();
-            b.iter(|| {
-                let events = fleet.tick(server.now(), tick_budget);
-                let positions = fleet.positions();
-                server.run_tick(&positions, &events)
-            });
-        });
+    for kind in [
+        SystemKind::Servo,
+        SystemKind::Opencraft,
+        SystemKind::Minecraft,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let world = ExperimentWorld::flat_sc(100);
+                let mut server = build_system(kind, &world, 9);
+                let mut fleet =
+                    PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(10));
+                fleet.connect_all(50);
+                let tick_budget = server.config().tick_budget();
+                b.iter(|| {
+                    let events = fleet.tick(server.now(), tick_budget);
+                    let positions = fleet.positions();
+                    server.run_tick(&positions, &events)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -28,14 +28,20 @@ fn bench_cache_reads(c: &mut Criterion) {
     group.bench_function("memory_hit", |b| {
         let mut store = seeded_cache(4);
         store.read(ChunkPos::new(0, 0), SimTime::ZERO).unwrap();
-        b.iter(|| store.read(ChunkPos::new(0, 0), SimTime::from_secs(1)).unwrap());
+        b.iter(|| {
+            store
+                .read(ChunkPos::new(0, 0), SimTime::from_secs(1))
+                .unwrap()
+        });
     });
     group.bench_function("remote_miss_then_hit_cycle", |b| {
         let mut store = seeded_cache(16);
         let mut i = 0i32;
         b.iter(|| {
             i = (i + 1) % 16;
-            store.read(ChunkPos::new(i, i), SimTime::from_secs(1)).unwrap()
+            store
+                .read(ChunkPos::new(i, i), SimTime::from_secs(1))
+                .unwrap()
         });
     });
     group.bench_function("prefetch_issue", |b| {

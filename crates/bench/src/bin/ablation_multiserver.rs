@@ -15,7 +15,13 @@ use servo_server::CostModel;
 use servo_types::SimDuration;
 use servo_workload::BehaviorKind;
 
-fn summarize(label: &str, players: usize, constructs: usize, durations: &[SimDuration], table: &mut Table) {
+fn summarize(
+    label: &str,
+    players: usize,
+    constructs: usize,
+    durations: &[SimDuration],
+    table: &mut Table,
+) {
     let s = Summary::from_durations(durations);
     table.row(vec![
         label.to_string(),
@@ -31,7 +37,12 @@ fn main() {
     let ticks = (scaled_secs(60).as_secs_f64() * 20.0) as usize;
     let duration = scaled_secs(20);
     let mut table = Table::new(vec![
-        "Architecture", "Players", "Constructs", "median tick [ms]", "p95 tick [ms]", "QoS ok",
+        "Architecture",
+        "Players",
+        "Constructs",
+        "median tick [ms]",
+        "p95 tick [ms]",
+        "QoS ok",
     ]);
 
     for &(players, constructs) in &[(100usize, 0usize), (100, 100), (60, 200)] {
@@ -45,16 +56,34 @@ fn main() {
             duration,
             3,
         );
-        summarize("Opencraft (1 server)", players, constructs, &single, &mut table);
+        summarize(
+            "Opencraft (1 server)",
+            players,
+            constructs,
+            &single,
+            &mut table,
+        );
 
         // Zoning with 4 servers.
         let zoned = zoned_tick_durations(CostModel::opencraft(), 4, players, constructs, ticks, 4);
-        summarize("Zoning (4 servers)", players, constructs, &zoned, &mut table);
+        summarize(
+            "Zoning (4 servers)",
+            players,
+            constructs,
+            &zoned,
+            &mut table,
+        );
 
         // Replication with 4 servers.
         let replicated =
             replicated_tick_durations(CostModel::opencraft(), 4, players, constructs, ticks, 5);
-        summarize("Replication (4 servers)", players, constructs, &replicated, &mut table);
+        summarize(
+            "Replication (4 servers)",
+            players,
+            constructs,
+            &replicated,
+            &mut table,
+        );
 
         // Servo (1 server + serverless offloading).
         let servo = measure_tick_durations(
@@ -65,7 +94,13 @@ fn main() {
             duration,
             6,
         );
-        summarize("Servo (1 server + FaaS)", players, constructs, &servo, &mut table);
+        summarize(
+            "Servo (1 server + FaaS)",
+            players,
+            constructs,
+            &servo,
+            &mut table,
+        );
     }
 
     emit(

@@ -51,15 +51,10 @@ fn main() {
             deployment.server.run_with_fleet(&mut fleet, duration);
 
             let stats = deployment.server.stats();
-            let total =
-                (stats.sc_local + stats.sc_merged + stats.sc_replayed).max(1) as f64;
+            let total = (stats.sc_local + stats.sc_merged + stats.sc_replayed).max(1) as f64;
             let fallback_share = stats.sc_local as f64 / total;
             let ticks = Summary::from_durations(&deployment.server.tick_durations());
-            let cost = deployment
-                .speculation
-                .billing()
-                .cost_rate(duration)
-                .value();
+            let cost = deployment.speculation.billing().cost_rate(duration).value();
             table.row(vec![
                 tick_lead.to_string(),
                 simulation_steps.to_string(),

@@ -14,10 +14,17 @@ fn main() {
 
     let mut table = Table::new(vec!["Game", "Maximum number of players supported"]);
     let mut results = Vec::new();
-    for kind in [SystemKind::Servo, SystemKind::Minecraft, SystemKind::Opencraft] {
+    for kind in [
+        SystemKind::Servo,
+        SystemKind::Minecraft,
+        SystemKind::Opencraft,
+    ] {
         let result = measure_capacity(kind, &world, behavior, &player_counts, duration, 7);
         results.push((kind, result.max_players));
-        table.row(vec![kind.name().to_string(), result.max_players.to_string()]);
+        table.row(vec![
+            kind.name().to_string(),
+            result.max_players.to_string(),
+        ]);
     }
     emit(
         "fig01_headline",
@@ -25,9 +32,21 @@ fn main() {
         &table,
     );
 
-    let servo = results.iter().find(|(k, _)| *k == SystemKind::Servo).unwrap().1;
-    let minecraft = results.iter().find(|(k, _)| *k == SystemKind::Minecraft).unwrap().1;
-    let opencraft = results.iter().find(|(k, _)| *k == SystemKind::Opencraft).unwrap().1;
+    let servo = results
+        .iter()
+        .find(|(k, _)| *k == SystemKind::Servo)
+        .unwrap()
+        .1;
+    let minecraft = results
+        .iter()
+        .find(|(k, _)| *k == SystemKind::Minecraft)
+        .unwrap()
+        .1;
+    let opencraft = results
+        .iter()
+        .find(|(k, _)| *k == SystemKind::Opencraft)
+        .unwrap()
+        .1;
     println!(
         "Servo supports +{} players vs Minecraft and +{} vs Opencraft (paper: +60 and +140).",
         servo.saturating_sub(minecraft),

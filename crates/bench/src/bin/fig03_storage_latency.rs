@@ -17,12 +17,18 @@ fn main() {
     let tiers = [BlobTier::Premium, BlobTier::Standard];
 
     let mut table = Table::new(vec![
-        "Game data", "Service", "median [ms]", "p95 [ms]", "p99 [ms]", "max [ms]",
-        "> FPS threshold (100 ms)", "> RPG threshold (500 ms)",
+        "Game data",
+        "Service",
+        "median [ms]",
+        "p95 [ms]",
+        "p99 [ms]",
+        "max [ms]",
+        "> FPS threshold (100 ms)",
+        "> RPG threshold (500 ms)",
     ]);
     for (label, size) in data_kinds {
         for tier in tiers {
-            let mut store = BlobStore::new(tier, SimRng::seed(0xF16_3));
+            let mut store = BlobStore::new(tier, SimRng::seed(0xF163));
             store
                 .write("object", vec![0u8; size], SimTime::ZERO)
                 .expect("seed write");
@@ -34,8 +40,10 @@ fn main() {
                 latencies.push(read.latency.as_millis_f64());
             }
             let s = Summary::from_values(&latencies);
-            let frac_fps = Summary::fraction_above(&latencies, consts::FPS_LATENCY_THRESHOLD_MS as f64);
-            let frac_rpg = Summary::fraction_above(&latencies, consts::RPG_LATENCY_THRESHOLD_MS as f64);
+            let frac_fps =
+                Summary::fraction_above(&latencies, consts::FPS_LATENCY_THRESHOLD_MS as f64);
+            let frac_rpg =
+                Summary::fraction_above(&latencies, consts::RPG_LATENCY_THRESHOLD_MS as f64);
             table.row(vec![
                 label.to_string(),
                 match tier {

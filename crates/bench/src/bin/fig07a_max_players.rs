@@ -16,11 +16,20 @@ fn main() {
     let duration = scaled_secs(30);
     let behavior = BehaviorKind::Bounded { radius: 24.0 };
 
-    let mut table = Table::new(vec!["Simulated constructs", "Servo", "Opencraft", "Minecraft"]);
+    let mut table = Table::new(vec![
+        "Simulated constructs",
+        "Servo",
+        "Opencraft",
+        "Minecraft",
+    ]);
     for &constructs in &sc_counts {
         let world = ExperimentWorld::flat_sc(constructs);
         let mut row = vec![constructs.to_string()];
-        for kind in [SystemKind::Servo, SystemKind::Opencraft, SystemKind::Minecraft] {
+        for kind in [
+            SystemKind::Servo,
+            SystemKind::Opencraft,
+            SystemKind::Minecraft,
+        ] {
             let result = measure_capacity(kind, &world, behavior, &player_counts, duration, 42);
             println!(
                 "{:<10} {:>3} SCs -> max {:>3} players (evaluated {:?})",

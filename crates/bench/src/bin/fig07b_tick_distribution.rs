@@ -17,10 +17,21 @@ fn main() {
     let player_counts: Vec<usize> = (1..=20).map(|i| i * 10).collect();
 
     let mut table = Table::new(vec![
-        "Game", "Players", "p5 [ms]", "q1 [ms]", "median [ms]", "q3 [ms]", "p95 [ms]", "max [ms]",
+        "Game",
+        "Players",
+        "p5 [ms]",
+        "q1 [ms]",
+        "median [ms]",
+        "q3 [ms]",
+        "p95 [ms]",
+        "max [ms]",
         "frac > 50 ms",
     ]);
-    for kind in [SystemKind::Minecraft, SystemKind::Opencraft, SystemKind::Servo] {
+    for kind in [
+        SystemKind::Minecraft,
+        SystemKind::Opencraft,
+        SystemKind::Servo,
+    ] {
         for &players in &player_counts {
             let ticks = measure_tick_durations(kind, &world, behavior, players, duration, 11);
             let values: Vec<f64> = ticks.iter().map(|d| d.as_millis_f64()).collect();

@@ -35,7 +35,12 @@ fn main() {
 
     // Left plot: efficiency vs tick lead, 100-step simulations.
     let mut lead_table = Table::new(vec![
-        "Tick lead", "median efficiency", "p5", "p95", "samples", "share at 100%",
+        "Tick lead",
+        "median efficiency",
+        "p5",
+        "p95",
+        "samples",
+        "share at 100%",
     ]);
     for lead in [0u64, 10, 20, 40] {
         let config = SpeculationConfig {
@@ -46,7 +51,8 @@ fn main() {
         };
         let samples = run(config, ticks, 0x8E + lead);
         let s = Summary::from_values(&samples);
-        let full = samples.iter().filter(|e| **e >= 0.999).count() as f64 / samples.len().max(1) as f64;
+        let full =
+            samples.iter().filter(|e| **e >= 0.999).count() as f64 / samples.len().max(1) as f64;
         lead_table.row(vec![
             lead.to_string(),
             format!("{:.2}", s.p50),
@@ -64,7 +70,11 @@ fn main() {
 
     // Right plot: efficiency vs simulation length, fixed 20-tick lead.
     let mut length_table = Table::new(vec![
-        "Simulation steps", "median efficiency", "p5", "p95", "samples",
+        "Simulation steps",
+        "median efficiency",
+        "p5",
+        "p95",
+        "samples",
     ]);
     for steps in [50usize, 100, 200] {
         let config = SpeculationConfig {

@@ -31,10 +31,14 @@ fn main() {
     let bucket = SimDuration::from_secs(50);
 
     let mut view_table = Table::new(vec![
-        "Time [s]", "Servo: min view range [blocks]", "Opencraft: min view range [blocks]",
+        "Time [s]",
+        "Servo: min view range [blocks]",
+        "Opencraft: min view range [blocks]",
     ]);
     let mut tick_table = Table::new(vec![
-        "Time [s]", "Servo: p95 tick [ms]", "Opencraft: p95 tick [ms]",
+        "Time [s]",
+        "Servo: p95 tick [ms]",
+        "Opencraft: p95 tick [ms]",
     ]);
 
     let (servo_view, servo_ticks) = run(SystemKind::Servo, duration);

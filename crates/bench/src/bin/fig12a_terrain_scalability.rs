@@ -11,7 +11,11 @@ use servo_simkit::SimRng;
 use servo_types::SimDuration;
 use servo_workload::{BehaviorKind, PlayerFleet};
 
-fn supported_players(kind: SystemKind, speed: f64, duration: SimDuration) -> (u32, Vec<(u64, f64)>) {
+fn supported_players(
+    kind: SystemKind,
+    speed: f64,
+    duration: SimDuration,
+) -> (u32, Vec<(u64, f64)>) {
     let world = ExperimentWorld::default_world(128);
     let mut server = build_system(kind, &world, 0xF12);
     let mut fleet = PlayerFleet::new(BehaviorKind::Star { speed }, SimRng::seed(0x12a));
@@ -54,7 +58,11 @@ fn main() {
             open_n.to_string(),
         ]);
 
-        let mut detail = Table::new(vec!["Time [s]", "Servo p95 tick [ms]", "Opencraft p95 tick [ms]"]);
+        let mut detail = Table::new(vec![
+            "Time [s]",
+            "Servo p95 tick [ms]",
+            "Opencraft p95 tick [ms]",
+        ]);
         for (servo_point, open_point) in servo_series.iter().zip(open_series.iter()) {
             detail.row(vec![
                 servo_point.0.to_string(),

@@ -3,7 +3,9 @@
 //! experiment 20 times and reports that Servo supports slightly more players
 //! than Opencraft, with somewhat higher variability.
 
-use servo_bench::{emit, experiment_scale, measure_capacity, scaled_secs, ExperimentWorld, SystemKind};
+use servo_bench::{
+    emit, experiment_scale, measure_capacity, scaled_secs, ExperimentWorld, SystemKind,
+};
 use servo_metrics::{Summary, Table};
 use servo_workload::BehaviorKind;
 
@@ -14,7 +16,14 @@ fn main() {
     let world = ExperimentWorld::default_world(64);
 
     let mut table = Table::new(vec![
-        "Game", "repetitions", "min", "p25", "median", "mean", "p75", "max",
+        "Game",
+        "repetitions",
+        "min",
+        "p25",
+        "median",
+        "mean",
+        "p75",
+        "max",
     ]);
     let mut per_rep = Table::new(vec!["Repetition", "Servo", "Opencraft"]);
     let mut per_rep_rows: Vec<(u32, u32)> = Vec::new();
@@ -50,7 +59,11 @@ fn main() {
         ]);
     }
     for (i, (servo, opencraft)) in per_rep_rows.iter().enumerate() {
-        per_rep.row(vec![(i + 1).to_string(), servo.to_string(), opencraft.to_string()]);
+        per_rep.row(vec![
+            (i + 1).to_string(),
+            servo.to_string(),
+            opencraft.to_string(),
+        ]);
     }
 
     emit(

@@ -30,7 +30,10 @@ fn seed_store<S: ObjectStore>(store: &mut S, radius_chunks: i32) {
 
 /// Simulates eight players walking outward (S3) and reading the chunks that
 /// enter their view; returns the observed read latencies in milliseconds.
-fn walk_and_read(mut read: impl FnMut(ChunkPos, SimTime) -> Option<f64>, duration: SimDuration) -> Vec<f64> {
+fn walk_and_read(
+    mut read: impl FnMut(ChunkPos, SimTime) -> Option<f64>,
+    duration: SimDuration,
+) -> Vec<f64> {
     let mut fleet = PlayerFleet::new(BehaviorKind::Star { speed: 3.0 }, SimRng::seed(0xF13));
     fleet.connect_all(8);
     let mut already_read = std::collections::HashSet::new();
@@ -58,10 +61,19 @@ fn main() {
     let duration = scaled_secs(240);
     let radius = 48; // enough terrain for 8 players at 3 blocks/s
     let mut table = Table::new(vec![
-        "terrain storage", "samples", "median [ms]", "p99 [ms]", "p99.9 [ms]", "max [ms]",
+        "terrain storage",
+        "samples",
+        "median [ms]",
+        "p99 [ms]",
+        "p99.9 [ms]",
+        "max [ms]",
         "fraction > 50 ms",
     ]);
-    let mut ccdf_table = Table::new(vec!["terrain storage", "latency [ms]", "fraction of operations >= latency"]);
+    let mut ccdf_table = Table::new(vec![
+        "terrain storage",
+        "latency [ms]",
+        "fraction of operations >= latency",
+    ]);
 
     // 1. Local storage.
     let mut local = LocalDiskStore::new(SimRng::seed(1));
@@ -111,7 +123,10 @@ fn main() {
                 fleet_positions.drain(..start);
             }
             cached.maintain(&fleet_positions, now);
-            cached.read(pos, now).ok().map(|r| r.latency.as_millis_f64())
+            cached
+                .read(pos, now)
+                .ok()
+                .map(|r| r.latency.as_millis_f64())
         },
         duration,
     );
@@ -142,7 +157,11 @@ fn main() {
         // A handful of CCDF points for the log-scale curve of Figure 13.
         for point in ccdf_points(latencies)
             .into_iter()
-            .filter(|p| [1.0, 0.1, 0.01, 0.001].iter().any(|f| (p.fraction - f).abs() / f < 0.25))
+            .filter(|p| {
+                [1.0, 0.1, 0.01, 0.001]
+                    .iter()
+                    .any(|f| (p.fraction - f).abs() / f < 0.25)
+            })
             .take(12)
         {
             ccdf_table.row(vec![

@@ -15,16 +15,90 @@ fn main() {
         "Reproduced by",
     ]);
     let rows: Vec<[&str; 9]> = vec![
-        ["IV-B (Fig. 7)", "SC: system scalability", "L+S", "L", "L", "10-200", "A", "flat", "fig07a_max_players / fig07b_tick_distribution"],
-        ["IV-C (Fig. 8, 9)", "SC: latency hiding", "L+S", "L", "L", "1", "-", "flat", "fig08_speculation_efficiency / fig09_function_latency"],
-        ["IV-D (Fig. 10, 11)", "TG: QoS", "-", "S", "L", "5", "Sinc", "default", "fig10_terrain_qos / fig11_memory_scaling"],
-        ["IV-E (Fig. 12)", "TG: system scalability", "-", "L+S", "L+S", "up to 50 / 100", "S3, S8, R", "default", "fig12a_terrain_scalability / fig12b_random_behavior"],
-        ["IV-F (Fig. 13)", "RS: perf. variability", "-", "-", "S", "8", "S3", "default", "fig13_storage_icdf"],
-        ["IV-G", "SC: function performance", "S", "-", "-", "1", "-", "flat", "sec4g_sc_performance"],
-        ["Fig. 1 / Fig. 3", "headline & storage motivation", "L+S", "L", "S", "10-200", "A", "flat", "fig01_headline / fig03_storage_latency"],
+        [
+            "IV-B (Fig. 7)",
+            "SC: system scalability",
+            "L+S",
+            "L",
+            "L",
+            "10-200",
+            "A",
+            "flat",
+            "fig07a_max_players / fig07b_tick_distribution",
+        ],
+        [
+            "IV-C (Fig. 8, 9)",
+            "SC: latency hiding",
+            "L+S",
+            "L",
+            "L",
+            "1",
+            "-",
+            "flat",
+            "fig08_speculation_efficiency / fig09_function_latency",
+        ],
+        [
+            "IV-D (Fig. 10, 11)",
+            "TG: QoS",
+            "-",
+            "S",
+            "L",
+            "5",
+            "Sinc",
+            "default",
+            "fig10_terrain_qos / fig11_memory_scaling",
+        ],
+        [
+            "IV-E (Fig. 12)",
+            "TG: system scalability",
+            "-",
+            "L+S",
+            "L+S",
+            "up to 50 / 100",
+            "S3, S8, R",
+            "default",
+            "fig12a_terrain_scalability / fig12b_random_behavior",
+        ],
+        [
+            "IV-F (Fig. 13)",
+            "RS: perf. variability",
+            "-",
+            "-",
+            "S",
+            "8",
+            "S3",
+            "default",
+            "fig13_storage_icdf",
+        ],
+        [
+            "IV-G",
+            "SC: function performance",
+            "S",
+            "-",
+            "-",
+            "1",
+            "-",
+            "flat",
+            "sec4g_sc_performance",
+        ],
+        [
+            "Fig. 1 / Fig. 3",
+            "headline & storage motivation",
+            "L+S",
+            "L",
+            "S",
+            "10-200",
+            "A",
+            "flat",
+            "fig01_headline / fig03_storage_latency",
+        ],
     ];
     for row in rows {
         table.row(row.iter().map(|s| s.to_string()).collect());
     }
-    servo_bench::emit("table01_overview", "Table I: Overview of Experiments", &table);
+    servo_bench::emit(
+        "table01_overview",
+        "Table I: Overview of Experiments",
+        &table,
+    );
 }

@@ -18,9 +18,9 @@ use servo_metrics::{max_supported, CapacityResult, Table};
 use servo_redstone::generators;
 use servo_server::{GameServer, ServerConfig};
 use servo_simkit::SimRng;
-use servo_types::{SimDuration};
-use servo_world::WorldKind;
+use servo_types::SimDuration;
 use servo_workload::{BehaviorKind, PlayerFleet};
+use servo_world::WorldKind;
 
 /// The three systems compared throughout the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,7 +35,11 @@ pub enum SystemKind {
 
 impl SystemKind {
     /// All systems, in the order the paper's figures list them.
-    pub const ALL: [SystemKind; 3] = [SystemKind::Servo, SystemKind::Opencraft, SystemKind::Minecraft];
+    pub const ALL: [SystemKind; 3] = [
+        SystemKind::Servo,
+        SystemKind::Opencraft,
+        SystemKind::Minecraft,
+    ];
 
     /// The display name used in tables.
     pub fn name(&self) -> &'static str {
@@ -200,8 +204,7 @@ pub fn measure_capacity(
             // even larger player counts: report an over-budget sample.
             return vec![SimDuration::from_millis(1000)];
         }
-        let ticks =
-            measure_tick_durations(kind, world, behavior, players as usize, duration, seed);
+        let ticks = measure_tick_durations(kind, world, behavior, players as usize, duration, seed);
         if servo_metrics::qos_satisfied_default(&ticks) {
             consecutive_failures = 0;
         } else {

@@ -159,13 +159,27 @@ impl ServoDeployment {
     /// distance as this configuration would use — convenience for
     /// comparative experiments.
     pub fn opencraft_baseline(seed: u64, config: &ServerConfig) -> GameServer {
-        Self::local_baseline(ServerConfig { costs: servo_server::CostModel::opencraft(), name: "Opencraft", ..config.clone() }, seed)
+        Self::local_baseline(
+            ServerConfig {
+                costs: servo_server::CostModel::opencraft(),
+                name: "Opencraft",
+                ..config.clone()
+            },
+            seed,
+        )
     }
 
     /// Builds the Minecraft baseline with the same world kind and view
     /// distance as this configuration would use.
     pub fn minecraft_baseline(seed: u64, config: &ServerConfig) -> GameServer {
-        Self::local_baseline(ServerConfig { costs: servo_server::CostModel::minecraft(), name: "Minecraft", ..config.clone() }, seed)
+        Self::local_baseline(
+            ServerConfig {
+                costs: servo_server::CostModel::minecraft(),
+                name: "Minecraft",
+                ..config.clone()
+            },
+            seed,
+        )
     }
 
     fn local_baseline(config: ServerConfig, seed: u64) -> GameServer {
@@ -199,10 +213,7 @@ mod tests {
 
     #[test]
     fn deployment_runs_and_offloads() {
-        let mut deployment = ServoDeployment::builder()
-            .seed(3)
-            .view_distance(32)
-            .build();
+        let mut deployment = ServoDeployment::builder().seed(3).view_distance(32).build();
         deployment
             .server
             .add_constructs(20, |_| generators::dense_circuit(64));

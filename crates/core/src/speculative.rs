@@ -308,8 +308,7 @@ impl ScBackend for SpeculativeScBackend {
                 available.outcome.state_at(offset).map(|state| {
                     let replaying = available.outcome.loop_info.is_some()
                         && offset > available.outcome.simulated_steps;
-                    let remaining =
-                        available.outcome.simulated_steps.saturating_sub(offset) as u64;
+                    let remaining = available.outcome.simulated_steps.saturating_sub(offset) as u64;
                     let refresh_base = if !replaying
                         && available.outcome.loop_info.is_none()
                         && remaining <= config.tick_lead
@@ -493,7 +492,11 @@ mod tests {
         let mut c = Construct::new(generators::clock(6));
         drive(&mut b, &mut c, 600);
         let stats = b.handle().stats();
-        assert!(stats.loop_replayed > 300, "replayed {}", stats.loop_replayed);
+        assert!(
+            stats.loop_replayed > 300,
+            "replayed {}",
+            stats.loop_replayed
+        );
         // One or two invocations at the start, then the loop replays forever.
         assert!(stats.invocations <= 3, "invocations {}", stats.invocations);
     }
@@ -531,7 +534,10 @@ mod tests {
             .iter()
             .filter(|r| **r == ScResolution::LocalSimulated)
             .count();
-        assert!(local_after < 20, "local fallbacks after modification: {local_after}");
+        assert!(
+            local_after < 20,
+            "local fallbacks after modification: {local_after}"
+        );
         assert!(resolutions.iter().any(|r| matches!(
             r,
             ScResolution::SpeculativeApplied | ScResolution::LoopReplayed
@@ -569,8 +575,14 @@ mod tests {
         // and both are far above the 20 Hz game rate.
         assert!(small_rate > 3.0 * medium_rate);
         assert!(medium_rate > 20.0 * 5.0);
-        assert!(small_rate > 400.0 && small_rate < 900.0, "rate {small_rate}");
-        assert!(medium_rate > 90.0 && medium_rate < 250.0, "rate {medium_rate}");
+        assert!(
+            small_rate > 400.0 && small_rate < 900.0,
+            "rate {small_rate}"
+        );
+        assert!(
+            medium_rate > 90.0 && medium_rate < 250.0,
+            "rate {medium_rate}"
+        );
     }
 
     #[test]
@@ -582,6 +594,9 @@ mod tests {
         assert!(!stats.invocation_latencies.is_empty());
         assert!(stats.invocations_per_minute(SimDuration::from_secs(20)) > 0.0);
         assert!(stats.median_efficiency().is_some());
-        assert_eq!(stats.invocation_latencies.len(), stats.invocation_completions.len());
+        assert_eq!(
+            stats.invocation_latencies.len(),
+            stats.invocation_completions.len()
+        );
     }
 }

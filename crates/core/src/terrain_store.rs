@@ -1,7 +1,7 @@
 //! Remote state storage with distance-based pre-fetching
 //! (paper Section III-E).
 
-use servo_storage::{CachedChunkStore, CachedRead, CacheStats, ObjectStore};
+use servo_storage::{CacheStats, CachedChunkStore, CachedRead, ObjectStore};
 use servo_types::{BlockPos, ChunkPos, ServoError, SimTime};
 use servo_world::{required_chunks, ChunkSnapshot};
 
@@ -235,8 +235,7 @@ mod tests {
     #[test]
     fn flush_persists_new_chunks() {
         let remote = BlobStore::new(BlobTier::Premium, SimRng::seed(5));
-        let mut store =
-            RemoteTerrainStore::new(remote, SimRng::seed(6), PrefetchPolicy::default());
+        let mut store = RemoteTerrainStore::new(remote, SimRng::seed(6), PrefetchPolicy::default());
         for x in 0..5 {
             store
                 .put(Chunk::empty(ChunkPos::new(x, 0)).snapshot(), SimTime::ZERO)

@@ -126,7 +126,9 @@ mod tests {
         let mut rng1 = SimRng::seed(1);
         let mut rng2 = SimRng::seed(1);
         let spread = |cfg: &FunctionConfig, rng: &mut SimRng| {
-            let samples: Vec<f64> = (0..2000).map(|_| cfg.warm_overhead.sample_ms(rng)).collect();
+            let samples: Vec<f64> = (0..2000)
+                .map(|_| cfg.warm_overhead.sample_ms(rng))
+                .collect();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
             samples.iter().map(|s| (s - mean).abs()).sum::<f64>() / samples.len() as f64
         };
@@ -137,7 +139,9 @@ mod tests {
     fn azure_has_higher_cold_start() {
         assert!(
             FunctionConfig::azure_like().cold_start.median_ms()
-                > FunctionConfig::aws_like(MemoryMb::new(1536)).cold_start.median_ms()
+                > FunctionConfig::aws_like(MemoryMb::new(1536))
+                    .cold_start
+                    .median_ms()
         );
     }
 

@@ -127,7 +127,11 @@ impl FaasPlatform {
         self.containers
             .retain(|c| now.saturating_since(c.last_used) <= idle_timeout);
 
-        let busy = self.containers.iter().filter(|c| c.busy_until > now).count();
+        let busy = self
+            .containers
+            .iter()
+            .filter(|c| c.busy_until > now)
+            .count();
         if let Some(limit) = self.config.max_concurrency {
             if busy >= limit {
                 self.stats.rejected += 1;
@@ -147,10 +151,7 @@ impl FaasPlatform {
         }
 
         // Find a warm, free container; otherwise start a new (cold) one.
-        let warm_index = self
-            .containers
-            .iter()
-            .position(|c| c.busy_until <= now);
+        let warm_index = self.containers.iter().position(|c| c.busy_until <= now);
         let (cold_start, container_index) = match warm_index {
             Some(i) => (false, i),
             None => {
@@ -162,11 +163,11 @@ impl FaasPlatform {
             }
         };
 
-        let mut latency = SimDuration::from_millis_f64(
-            self.config.warm_overhead.sample_ms(&mut self.rng),
-        );
+        let mut latency =
+            SimDuration::from_millis_f64(self.config.warm_overhead.sample_ms(&mut self.rng));
         if cold_start {
-            latency += SimDuration::from_millis_f64(self.config.cold_start.sample_ms(&mut self.rng));
+            latency +=
+                SimDuration::from_millis_f64(self.config.cold_start.sample_ms(&mut self.rng));
             self.stats.cold_starts += 1;
         }
         latency += compute;

@@ -133,9 +133,7 @@ mod tests {
         let candidates: Vec<u32> = (1..=20).map(|i| i * 10).collect();
         // Model: tick time = players / 4 ms, so the budget of 50 ms breaks at
         // >200... use players / 2 to break at >100.
-        let result = max_supported(&candidates, |players| {
-            ticks_ms((players / 2) as u64, 200)
-        });
+        let result = max_supported(&candidates, |players| ticks_ms((players / 2) as u64, 200));
         assert_eq!(result.max_players, 100);
         assert_eq!(result.evaluated.len(), 20);
         assert_eq!(result.passing_counts().last(), Some(&100));

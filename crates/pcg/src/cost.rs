@@ -72,6 +72,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn default_world_is_much_more_expensive_than_flat() {
         assert!(GenerationCost::DEFAULT_WORLD.work_units >= 10.0 * GenerationCost::FLAT.work_units);
     }

@@ -119,7 +119,7 @@ impl Construct {
         //    decaying one level per block, keeping the strongest signal.
         let mut wire_power = vec![0u8; n];
         let mut queue: VecDeque<usize> = VecDeque::new();
-        for i in 0..n {
+        for (i, slot) in wire_power.iter_mut().enumerate() {
             if self.blueprint.kind(i) != CircuitBlock::Wire {
                 continue;
             }
@@ -132,7 +132,7 @@ impl Construct {
                 .unwrap_or(0);
             let p = strongest_emitter.saturating_sub(1);
             if p > 0 {
-                wire_power[i] = p;
+                *slot = p;
                 queue.push_back(i);
             }
         }

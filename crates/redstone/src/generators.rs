@@ -179,8 +179,7 @@ mod tests {
         // simulation work), not settle immediately.
         let mut c = Construct::new(dense_circuit(252));
         let states = c.step_many(20);
-        let distinct: std::collections::HashSet<u64> =
-            states.iter().map(|s| s.hash()).collect();
+        let distinct: std::collections::HashSet<u64> = states.iter().map(|s| s.hash()).collect();
         assert!(distinct.len() >= 2);
         // And it carries power.
         assert!(states.last().unwrap().powered_blocks() > 0);

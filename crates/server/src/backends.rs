@@ -36,6 +36,16 @@ pub trait ScBackend {
         now: SimTime,
     ) -> ScResolution;
 
+    /// If every construct would be resolved identically this tick without
+    /// mutating backend state, the resolution that will apply — this lets
+    /// the game loop step constructs on parallel worker threads, partitioned
+    /// by the world shard that owns them. Returning `None` (the default)
+    /// forces the sequential per-construct [`ScBackend::resolve`] path,
+    /// which stateful backends such as the speculative offloader need.
+    fn parallel_resolution(&self, _tick: Tick) -> Option<ScResolution> {
+        None
+    }
+
     /// A short name for experiment output.
     fn name(&self) -> &'static str;
 }
@@ -79,6 +89,16 @@ impl ScBackend for LocalScBackend {
         }
         construct.step();
         ScResolution::LocalSimulated
+    }
+
+    fn parallel_resolution(&self, tick: Tick) -> Option<ScResolution> {
+        // Local simulation treats every construct the same way on a given
+        // tick and keeps no backend state, so it is safe to fan out.
+        if self.every_other_tick && tick.0 % 2 == 1 {
+            Some(ScResolution::Skipped)
+        } else {
+            Some(ScResolution::LocalSimulated)
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -263,7 +263,11 @@ mod tests {
             sc_local: 200,
             ..TickWork::default()
         };
-        assert!(m.mean_duration_ms(&merged) < 48.0, "merged: {}", m.mean_duration_ms(&merged));
+        assert!(
+            m.mean_duration_ms(&merged) < 48.0,
+            "merged: {}",
+            m.mean_duration_ms(&merged)
+        );
         assert!(m.mean_duration_ms(&local) > 50.0);
         // Replaying a detected loop is almost free.
         let replayed = TickWork {
@@ -303,7 +307,10 @@ mod tests {
             .collect();
         let sample_mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!(samples.iter().all(|&s| s > 0.0));
-        assert!((sample_mean - mean).abs() / mean < 0.1, "mean {mean} vs {sample_mean}");
+        assert!(
+            (sample_mean - mean).abs() / mean < 0.1,
+            "mean {mean} vs {sample_mean}"
+        );
         // Spikes occasionally produce large outliers.
         assert!(samples.iter().cloned().fold(0.0, f64::max) > mean * 1.5);
     }
@@ -311,7 +318,10 @@ mod tests {
     #[test]
     fn chunk_loading_and_interference_add_cost() {
         let m = CostModel::minecraft();
-        let quiet = TickWork { players: 5, ..TickWork::default() };
+        let quiet = TickWork {
+            players: 5,
+            ..TickWork::default()
+        };
         let loading = TickWork {
             players: 5,
             chunks_loaded: 20,

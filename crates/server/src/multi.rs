@@ -111,7 +111,12 @@ impl ZonedCluster {
             };
             let work = TickWork {
                 players: per_zone_players + extra,
-                sc_local: per_zone_constructs + if zone == 0 { constructs % self.zones } else { 0 },
+                sc_local: per_zone_constructs
+                    + if zone == 0 {
+                        constructs % self.zones
+                    } else {
+                        0
+                    },
                 ..TickWork::default()
             };
             let mut duration = self.costs.tick_duration(&work, &mut self.rng);
@@ -171,14 +176,17 @@ impl ReplicatedCluster {
         let per_replica_players = players / self.replicas;
         // An interaction crosses replicas with probability (replicas-1)/replicas.
         let cross_fraction = (self.replicas as f64 - 1.0) / self.replicas as f64;
-        let expected_cross =
-            players as f64 * self.interaction_rate * cross_fraction;
+        let expected_cross = players as f64 * self.interaction_rate * cross_fraction;
         let messages = expected_cross.round() as u64 * 2;
         let coordination_ms = expected_cross * self.message_cost_ms;
 
         let mut critical = SimDuration::ZERO;
         for replica in 0..self.replicas {
-            let extra = if replica == 0 { players % self.replicas } else { 0 };
+            let extra = if replica == 0 {
+                players % self.replicas
+            } else {
+                0
+            };
             let work = TickWork {
                 players: per_replica_players + extra,
                 // Every replica simulates the whole environment.

@@ -8,8 +8,8 @@ use servo_simkit::{SimClock, SimRng};
 use servo_types::consts;
 use servo_types::id::IdAllocator;
 use servo_types::{BlockPos, ChunkPos, ConstructId, PlayerId, SimDuration, SimTime, Tick};
-use servo_world::{nearest_missing_distance_blocks, required_chunks, World, WorldKind};
 use servo_workload::{PlayerEvent, PlayerFleet};
+use servo_world::{nearest_missing_distance_blocks, required_chunks, ShardedWorld, WorldKind};
 
 use crate::backends::{ScBackend, ScResolution, TerrainBackend};
 use crate::costs::{CostModel, TickWork};
@@ -34,6 +34,19 @@ pub struct ServerConfig {
     pub max_chunk_loads_per_tick: usize,
     /// The kind of world the instance hosts.
     pub world_kind: WorldKind,
+    /// Number of worker threads the game loop may fan real computation out
+    /// to: avatar stepping and (when the construct backend allows it)
+    /// construct simulation, partitioned by the world shard owning each
+    /// construct. `1` keeps everything on the game-loop thread.
+    ///
+    /// Construct simulation results are identical for every value.
+    /// Fleet-driven runs ([`GameServer::run_with_fleet`]) are identical for
+    /// every value above `1` (avatars use per-avatar random streams via
+    /// `PlayerFleet::tick_parallel`), but differ from `parallelism = 1`,
+    /// which drives the fleet through its sequential shared-stream
+    /// `PlayerFleet::tick` — the seed behaviour existing experiments
+    /// depend on. Compare like with like when sweeping this knob.
+    pub parallelism: usize,
 }
 
 impl ServerConfig {
@@ -47,6 +60,7 @@ impl ServerConfig {
             generation_margin_blocks: 16,
             max_chunk_loads_per_tick: 16,
             world_kind: WorldKind::Flat,
+            parallelism: 1,
         }
     }
 
@@ -79,6 +93,13 @@ impl ServerConfig {
     /// Sets the world kind, returning the modified configuration.
     pub fn with_world_kind(mut self, kind: WorldKind) -> Self {
         self.world_kind = kind;
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel tick path, returning
+    /// the modified configuration.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
         self
     }
 
@@ -131,8 +152,10 @@ pub struct TickReport {
 /// cost models.
 pub struct GameServer {
     config: ServerConfig,
-    world: World,
-    constructs: Vec<(ConstructId, Construct)>,
+    world: ShardedWorld,
+    /// Constructs with the world shard that owns them (by the chunk of
+    /// their first block) — the partition key of the parallel tick path.
+    constructs: Vec<(ConstructId, usize, Construct)>,
     construct_ids: IdAllocator<ConstructId>,
     sc_backend: Box<dyn ScBackend>,
     terrain: Box<dyn TerrainBackend>,
@@ -167,8 +190,8 @@ impl GameServer {
         rng: SimRng,
     ) -> Self {
         let world = match config.world_kind {
-            WorldKind::Flat => World::flat(4),
-            WorldKind::Default => World::new(),
+            WorldKind::Flat => ShardedWorld::flat(4),
+            WorldKind::Default => ShardedWorld::new(),
         };
         GameServer {
             config,
@@ -192,7 +215,7 @@ impl GameServer {
     }
 
     /// The server's world.
-    pub fn world(&self) -> &World {
+    pub fn world(&self) -> &ShardedWorld {
         &self.world
     }
 
@@ -219,7 +242,12 @@ impl GameServer {
     /// Adds a simulated construct built from `blueprint` and returns its id.
     pub fn add_construct(&mut self, blueprint: Blueprint) -> ConstructId {
         let id = self.construct_ids.next();
-        self.constructs.push((id, Construct::new(blueprint)));
+        let shard = blueprint
+            .positions()
+            .first()
+            .map(|&p| self.world.shard_of(ChunkPos::from(p)))
+            .unwrap_or(0);
+        self.constructs.push((id, shard, Construct::new(blueprint)));
         id
     }
 
@@ -234,8 +262,8 @@ impl GameServer {
     pub fn construct(&self, id: ConstructId) -> Option<&Construct> {
         self.constructs
             .iter()
-            .find(|(cid, _)| *cid == id)
-            .map(|(_, c)| c)
+            .find(|(cid, _, _)| *cid == id)
+            .map(|(_, _, c)| c)
     }
 
     /// All tick reports recorded so far.
@@ -301,18 +329,18 @@ impl GameServer {
                 self.terrain.request(*pos, now);
             }
         }
-        self.pending_integration.extend(self.terrain.poll_ready(now));
+        self.pending_integration
+            .extend(self.terrain.poll_ready(now));
         let to_integrate = self
             .pending_integration
             .len()
             .min(self.config.max_chunk_loads_per_tick);
         work.chunks_loaded = to_integrate;
-        work.chunks_sent = to_integrate * positions.len().min(4).max(1);
-        for _ in 0..to_integrate {
-            if let Some(chunk) = self.pending_integration.pop_front() {
-                self.world.insert_chunk(chunk);
-            }
-        }
+        work.chunks_sent = to_integrate * positions.len().clamp(1, 4);
+        // Integrate as one batch: the sharded world groups the chunks by
+        // shard and takes each shard's write lock once.
+        self.world
+            .insert_chunks(self.pending_integration.drain(..to_integrate));
         work.busy_generation_workers = self.terrain.busy_local_workers(now);
         work.generation_backlog = self.terrain.pending() + self.pending_integration.len();
 
@@ -329,7 +357,7 @@ impl GameServer {
                     // Ignore writes into unloaded terrain; clients cannot
                     // modify terrain they have not received.
                     let _ = self.world.set_block(*pos, block);
-                    for (_, construct) in &mut self.constructs {
+                    for (_, _, construct) in &mut self.constructs {
                         if construct.blueprint().index_of(*pos).is_some() {
                             construct.apply_modification(*pos, None);
                         }
@@ -340,22 +368,62 @@ impl GameServer {
         }
 
         // 3. Advance simulated constructs through the configured backend.
-        for (id, construct) in &mut self.constructs {
-            match self.sc_backend.resolve(*id, construct, self.tick, now) {
-                ScResolution::LocalSimulated => {
-                    work.sc_local += 1;
-                    self.stats.sc_local += 1;
+        //    When the backend declares a uniform, stateless resolution for
+        //    this tick and parallelism is enabled, constructs are stepped on
+        //    scoped worker threads, partitioned by their owning world shard;
+        //    otherwise each construct goes through the sequential resolve
+        //    path. Both paths produce identical states and counters.
+        let threads = self
+            .config
+            .parallelism
+            .max(1)
+            .min(self.constructs.len().max(1));
+        let uniform = self.sc_backend.parallel_resolution(self.tick);
+        match uniform {
+            Some(resolution @ (ScResolution::LocalSimulated | ScResolution::Skipped))
+                if threads > 1 =>
+            {
+                let count = self.constructs.len();
+                if resolution == ScResolution::LocalSimulated {
+                    let mut buckets: Vec<Vec<&mut Construct>> =
+                        (0..threads).map(|_| Vec::new()).collect();
+                    for (_, shard, construct) in &mut self.constructs {
+                        buckets[*shard % threads].push(construct);
+                    }
+                    std::thread::scope(|scope| {
+                        for bucket in buckets {
+                            scope.spawn(move || {
+                                for construct in bucket {
+                                    construct.step();
+                                }
+                            });
+                        }
+                    });
+                    work.sc_local += count;
+                    self.stats.sc_local += count as u64;
+                } else {
+                    self.stats.sc_skipped += count as u64;
                 }
-                ScResolution::SpeculativeApplied => {
-                    work.sc_merged += 1;
-                    self.stats.sc_merged += 1;
-                }
-                ScResolution::LoopReplayed => {
-                    work.sc_replayed += 1;
-                    self.stats.sc_replayed += 1;
-                }
-                ScResolution::Skipped => {
-                    self.stats.sc_skipped += 1;
+            }
+            _ => {
+                for (id, _, construct) in &mut self.constructs {
+                    match self.sc_backend.resolve(*id, construct, self.tick, now) {
+                        ScResolution::LocalSimulated => {
+                            work.sc_local += 1;
+                            self.stats.sc_local += 1;
+                        }
+                        ScResolution::SpeculativeApplied => {
+                            work.sc_merged += 1;
+                            self.stats.sc_merged += 1;
+                        }
+                        ScResolution::LoopReplayed => {
+                            work.sc_replayed += 1;
+                            self.stats.sc_replayed += 1;
+                        }
+                        ScResolution::Skipped => {
+                            self.stats.sc_skipped += 1;
+                        }
+                    }
                 }
             }
         }
@@ -403,10 +471,18 @@ impl GameServer {
     ) -> Vec<TickReport> {
         let end = self.clock.now() + duration;
         let tick_budget = self.config.tick_budget();
+        let parallelism = self.config.parallelism.max(1);
         let mut reports = Vec::new();
         while self.clock.now() < end {
             let now = self.clock.now();
-            let events = fleet.tick(now, tick_budget);
+            // With parallelism enabled, avatars step on scoped worker
+            // threads using per-avatar random streams; sequentially they
+            // share the fleet stream (the seed behaviour).
+            let events = if parallelism > 1 {
+                fleet.tick_parallel(now, tick_budget, parallelism)
+            } else {
+                fleet.tick(now, tick_budget)
+            };
             let positions = fleet.positions();
             reports.push(self.run_tick(&positions, &events));
         }
@@ -443,7 +519,8 @@ mod tests {
     }
 
     fn bounded_fleet(players: usize, seed: u64) -> PlayerFleet {
-        let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(seed));
+        let mut fleet =
+            PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(seed));
         fleet.connect_all(players);
         fleet
     }
@@ -465,7 +542,9 @@ mod tests {
         assert!(server.now() >= SimTime::from_secs(5));
         // Steady state meets the tick budget.
         let tail = &reports[reports.len() / 2..];
-        assert!(tail.iter().all(|r| r.duration <= SimDuration::from_millis(50)));
+        assert!(tail
+            .iter()
+            .all(|r| r.duration <= SimDuration::from_millis(50)));
     }
 
     #[test]
@@ -496,7 +575,10 @@ mod tests {
         assert!(stats.sc_local >= stats.sc_skipped);
         assert!(stats.sc_local <= stats.sc_skipped + 4);
         let id = ConstructId::new(0);
-        assert_eq!(server.construct(id).unwrap().state().step(), stats.sc_local / 4);
+        assert_eq!(
+            server.construct(id).unwrap().state().step(),
+            stats.sc_local / 4
+        );
     }
 
     #[test]
@@ -548,7 +630,10 @@ mod tests {
         server.run_with_fleet(&mut fleet, SimDuration::from_secs(2));
         let stamp_before = server.construct(id).unwrap().modification_stamp();
         // A player breaks the block at the construct's origin.
-        let events = vec![(PlayerId::new(0), PlayerEvent::BlockBroken(BlockPos::new(0, 0, 0)))];
+        let events = vec![(
+            PlayerId::new(0),
+            PlayerEvent::BlockBroken(BlockPos::new(0, 0, 0)),
+        )];
         let positions = fleet.positions();
         server.run_tick(&positions, &events);
         assert_eq!(server.stats().events_processed, 1);
@@ -579,11 +664,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_construct_tick_matches_sequential() {
+        let build = |threads: usize| {
+            let mut server = flat_server(ServerConfig::opencraft().with_parallelism(threads));
+            server.add_constructs(24, |i| generators::dense_circuit(16 + i % 5));
+            server
+        };
+        let mut sequential = build(1);
+        let mut parallel = build(4);
+        let positions = vec![BlockPos::new(8, 4, 8)];
+        for _ in 0..40 {
+            sequential.run_tick(&positions, &[]);
+            parallel.run_tick(&positions, &[]);
+        }
+        assert_eq!(sequential.stats().sc_local, parallel.stats().sc_local);
+        assert_eq!(sequential.stats().sc_skipped, parallel.stats().sc_skipped);
+        for i in 0..24 {
+            let id = ConstructId::new(i);
+            assert_eq!(
+                sequential.construct(id).unwrap().state().hash(),
+                parallel.construct(id).unwrap().state().hash(),
+                "construct {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_fleet_runs_are_reproducible() {
+        let run = || {
+            let mut server = flat_server(ServerConfig::opencraft().with_parallelism(4));
+            server.add_constructs(8, |_| generators::wire_line(6));
+            let mut fleet = bounded_fleet(12, 21);
+            server.run_with_fleet(&mut fleet, SimDuration::from_secs(3));
+            (
+                server.stats(),
+                server.tick_durations(),
+                server.world().total_modifications(),
+            )
+        };
+        let (stats_a, durations_a, mods_a) = run();
+        let (stats_b, durations_b, mods_b) = run();
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(durations_a, durations_b);
+        assert_eq!(mods_a, mods_b);
+    }
+
+    #[test]
     fn config_builders() {
         let cfg = ServerConfig::minecraft().with_view_distance(64);
         assert_eq!(cfg.view_distance_blocks, 64);
         assert_eq!(cfg.name, "Minecraft");
-        assert_eq!(ServerConfig::opencraft().tick_budget(), SimDuration::from_millis(50));
+        assert_eq!(
+            ServerConfig::opencraft().tick_budget(),
+            SimDuration::from_millis(50)
+        );
         assert_eq!(ServerConfig::servo_base().name, "Servo");
     }
 }

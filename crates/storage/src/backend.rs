@@ -83,7 +83,9 @@ impl LocalDiskStore {
             objects: HashMap::new(),
             rng,
             // Body ~1.5 ms, 99.9p well under 16 ms.
-            latency: LatencyModel::new(1.5, 0.45).with_outliers(0.0005, 10.0, 3.0).with_ceiling(16.0),
+            latency: LatencyModel::new(1.5, 0.45)
+                .with_outliers(0.0005, 10.0, 3.0)
+                .with_ceiling(16.0),
             // Cold page cache / JIT during boot: up to ~123 ms.
             boot_latency: LatencyModel::new(35.0, 0.5).with_ceiling(123.0),
             reads: 0,
@@ -348,7 +350,9 @@ mod tests {
     #[test]
     fn local_disk_tail_is_tight_after_boot() {
         let mut store = LocalDiskStore::new(SimRng::seed(7));
-        store.write("chunk", vec![0u8; 20_000], SimTime::ZERO).unwrap();
+        store
+            .write("chunk", vec![0u8; 20_000], SimTime::ZERO)
+            .unwrap();
         let latencies = collect_read_latencies(&mut store, "chunk", 5_000);
         // Ignore the boot reads, as the paper does when explaining outliers.
         let steady = latencies[20..].to_vec();
@@ -360,7 +364,9 @@ mod tests {
     #[test]
     fn blob_standard_has_heavy_tail() {
         let mut store = BlobStore::new(BlobTier::Standard, SimRng::seed(3));
-        store.write("chunk", vec![0u8; 20_000], SimTime::ZERO).unwrap();
+        store
+            .write("chunk", vec![0u8; 20_000], SimTime::ZERO)
+            .unwrap();
         let latencies = collect_read_latencies(&mut store, "chunk", 8_000);
         let p999 = percentile_ms(latencies.clone(), 0.999);
         let p50 = percentile_ms(latencies, 0.5);
@@ -373,10 +379,16 @@ mod tests {
         let big = vec![0u8; 2_000_000];
         let mut standard = BlobStore::new(BlobTier::Standard, SimRng::seed(5));
         let mut premium = BlobStore::new(BlobTier::Premium, SimRng::seed(5));
-        standard.write("terrain", big.clone(), SimTime::ZERO).unwrap();
+        standard
+            .write("terrain", big.clone(), SimTime::ZERO)
+            .unwrap();
         premium.write("terrain", big, SimTime::ZERO).unwrap();
-        let s: f64 = collect_read_latencies(&mut standard, "terrain", 50).iter().sum();
-        let p: f64 = collect_read_latencies(&mut premium, "terrain", 50).iter().sum();
+        let s: f64 = collect_read_latencies(&mut standard, "terrain", 50)
+            .iter()
+            .sum();
+        let p: f64 = collect_read_latencies(&mut premium, "terrain", 50)
+            .iter()
+            .sum();
         assert!(s > 2.0 * p, "standard {s} premium {p}");
         assert_eq!(standard.reads(), 50);
     }
@@ -384,10 +396,18 @@ mod tests {
     #[test]
     fn large_objects_take_longer_than_small_ones() {
         let mut store = BlobStore::new(BlobTier::Standard, SimRng::seed(9));
-        store.write("player", vec![0u8; 2_000], SimTime::ZERO).unwrap();
-        store.write("terrain", vec![0u8; 2_000_000], SimTime::ZERO).unwrap();
-        let small: f64 = collect_read_latencies(&mut store, "player", 100).iter().sum();
-        let large: f64 = collect_read_latencies(&mut store, "terrain", 100).iter().sum();
+        store
+            .write("player", vec![0u8; 2_000], SimTime::ZERO)
+            .unwrap();
+        store
+            .write("terrain", vec![0u8; 2_000_000], SimTime::ZERO)
+            .unwrap();
+        let small: f64 = collect_read_latencies(&mut store, "player", 100)
+            .iter()
+            .sum();
+        let large: f64 = collect_read_latencies(&mut store, "terrain", 100)
+            .iter()
+            .sum();
         assert!(large > small * 3.0);
     }
 

@@ -9,7 +9,7 @@
 use std::collections::{HashMap, HashSet};
 
 use servo_types::{ChunkPos, ServoError, SimDuration, SimTime};
-use servo_world::ChunkSnapshot;
+use servo_world::{shard_index, ChunkSnapshot, ShardedWorld, DEFAULT_SHARDS};
 
 use crate::backend::{LocalDiskStore, ObjectStore};
 
@@ -102,6 +102,9 @@ pub struct CachedChunkStore<R: ObjectStore> {
     stats: CacheStats,
     /// Latency of serving a read straight from the in-memory map.
     memory_latency: SimDuration,
+    /// Shard count used to batch prefetches and write-backs in the same
+    /// groups the sharded world partitions chunks into.
+    shard_count: usize,
 }
 
 impl<R: ObjectStore> CachedChunkStore<R> {
@@ -116,7 +119,16 @@ impl<R: ObjectStore> CachedChunkStore<R> {
             in_flight: HashMap::new(),
             stats: CacheStats::default(),
             memory_latency: SimDuration::from_micros(50),
+            shard_count: DEFAULT_SHARDS,
         }
+    }
+
+    /// Sets the shard count used for grouping batch operations, returning
+    /// the modified store. Use the owning [`ShardedWorld::shard_count`] so
+    /// cache batches align with world shards.
+    pub fn with_shard_batching(mut self, shard_count: usize) -> Self {
+        self.shard_count = shard_count.clamp(1, 1 << 10).next_power_of_two();
+        self
     }
 
     /// Cache effectiveness counters.
@@ -161,31 +173,57 @@ impl<R: ObjectStore> CachedChunkStore<R> {
     /// Completes any pre-fetches that have arrived by `now`, moving them
     /// into memory. Returns how many arrived.
     pub fn poll(&mut self, now: SimTime) -> usize {
-        let arrived: Vec<ChunkPos> = self
+        self.poll_arrivals(now).len()
+    }
+
+    /// The worker behind [`CachedChunkStore::poll`]: completes due
+    /// pre-fetches and returns the positions that actually materialised
+    /// this call.
+    fn poll_arrivals(&mut self, now: SimTime) -> Vec<ChunkPos> {
+        let due: Vec<ChunkPos> = self
             .in_flight
             .iter()
             .filter(|(_, &t)| t <= now)
             .map(|(&p, _)| p)
             .collect();
-        for pos in &arrived {
-            self.in_flight.remove(pos);
+        let mut arrived = Vec::with_capacity(due.len());
+        for pos in due {
+            self.in_flight.remove(&pos);
             // The data was transferred in the background; materialise it.
-            if let Ok(read) = self.remote.read(&Self::key(*pos), now) {
+            if let Ok(read) = self.remote.read(&Self::key(pos), now) {
                 let snapshot = ChunkSnapshot {
-                    pos: *pos,
+                    pos,
                     bytes: read.data,
                 };
-                let _ = self.local.write(&Self::key(*pos), snapshot.bytes.clone(), now);
-                self.memory.insert(*pos, snapshot);
+                let _ = self
+                    .local
+                    .write(&Self::key(pos), snapshot.bytes.clone(), now);
+                self.memory.insert(pos, snapshot);
+                arrived.push(pos);
             }
         }
-        arrived.len()
+        arrived
     }
 
     /// Starts asynchronous pre-fetches for every chunk in `positions` that
-    /// is not already resident, cached locally on disk, or in flight.
+    /// is not already resident, cached locally on disk, or in flight,
+    /// grouping the requests by the world shard that will receive the data.
+    ///
+    /// Shard grouping keeps each batch's arrivals clustered on one shard,
+    /// so [`CachedChunkStore::integrate_arrived`] takes each shard's write
+    /// lock once per poll instead of bouncing between shards; it also makes
+    /// the issue order (and therefore the latency stream consumed from the
+    /// RNG) deterministic regardless of the iteration order of the caller's
+    /// set type.
     pub fn prefetch<I: IntoIterator<Item = ChunkPos>>(&mut self, positions: I, now: SimTime) {
+        let mut by_shard: Vec<Vec<ChunkPos>> = (0..self.shard_count).map(|_| Vec::new()).collect();
         for pos in positions {
+            by_shard[shard_index(pos, self.shard_count)].push(pos);
+        }
+        for batch in &mut by_shard {
+            batch.sort_by_key(|p| (p.x, p.z));
+        }
+        for pos in by_shard.into_iter().flatten() {
             if self.memory.contains_key(&pos)
                 || self.in_flight.contains_key(&pos)
                 || self.local.contains(&Self::key(pos))
@@ -288,7 +326,9 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         for pos in &to_evict {
             if self.dirty.remove(pos) {
                 if let Some(snapshot) = self.memory.get(pos) {
-                    let _ = self.remote.write(&Self::key(*pos), snapshot.bytes.clone(), now);
+                    let _ = self
+                        .remote
+                        .write(&Self::key(*pos), snapshot.bytes.clone(), now);
                     self.stats.write_backs += 1;
                 }
             }
@@ -298,9 +338,16 @@ impl<R: ObjectStore> CachedChunkStore<R> {
     }
 
     /// Writes every dirty chunk back to remote storage (the paper's periodic
-    /// write policy). Returns the number of chunks written.
+    /// write policy), batched per world shard. Returns the number of chunks
+    /// written.
+    ///
+    /// The per-shard order (shard by shard, chunk coordinates within a
+    /// shard) replaces the arbitrary `HashSet` drain order the seed used,
+    /// making the latency stream consumed from the RNG — and with it every
+    /// derived statistic — reproducible across runs.
     pub fn write_back_dirty(&mut self, now: SimTime) -> usize {
-        let dirty: Vec<ChunkPos> = self.dirty.drain().collect();
+        let mut dirty: Vec<ChunkPos> = self.dirty.drain().collect();
+        dirty.sort_by_key(|p| (shard_index(*p, self.shard_count), p.x, p.z));
         let mut written = 0;
         for pos in dirty {
             if let Some(snapshot) = self.memory.get(&pos) {
@@ -319,6 +366,42 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         }
         written
     }
+
+    /// Completes arrived pre-fetches like [`CachedChunkStore::poll`] and
+    /// additionally integrates the chunks that arrived *in this call*
+    /// straight into `world`, as one shard-grouped batch insert. Returns
+    /// the number of chunks integrated.
+    ///
+    /// Only this call's arrivals are integrated — chunks that are merely
+    /// resident in the cache are left alone, so a chunk the caller
+    /// deliberately unloaded with `ShardedWorld::remove_chunk` is not
+    /// resurrected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::CorruptData`] if an arrived snapshot cannot be
+    /// decoded (all arrivals stay resident in the cache either way).
+    pub fn integrate_arrived(
+        &mut self,
+        world: &ShardedWorld,
+        now: SimTime,
+    ) -> Result<usize, ServoError> {
+        let arrived = self.poll_arrivals(now);
+        let mut chunks = Vec::with_capacity(arrived.len());
+        for pos in arrived {
+            if world.is_loaded(pos) {
+                continue;
+            }
+            let snapshot = self
+                .memory
+                .get(&pos)
+                .expect("poll_arrivals materialised this position");
+            chunks.push(snapshot.restore()?);
+        }
+        let integrated = chunks.len();
+        world.insert_chunks(chunks);
+        Ok(integrated)
+    }
 }
 
 #[cfg(test)]
@@ -335,7 +418,11 @@ mod tests {
                 let pos = ChunkPos::new(x, z);
                 let chunk = Chunk::empty(pos);
                 remote
-                    .write(&format!("terrain/{}/{}", x, z), chunk.to_bytes(), SimTime::ZERO)
+                    .write(
+                        &format!("terrain/{}/{}", x, z),
+                        chunk.to_bytes(),
+                        SimTime::ZERO,
+                    )
                     .unwrap();
             }
         }
@@ -366,7 +453,9 @@ mod tests {
     #[test]
     fn prefetch_arrivals_become_memory_hits() {
         let mut store = store_with_remote_chunks(3);
-        let targets: Vec<ChunkPos> = (0..3).flat_map(|x| (0..3).map(move |z| ChunkPos::new(x, z))).collect();
+        let targets: Vec<ChunkPos> = (0..3)
+            .flat_map(|x| (0..3).map(move |z| ChunkPos::new(x, z)))
+            .collect();
         store.prefetch(targets.clone(), SimTime::ZERO);
         assert_eq!(store.stats().prefetches_issued, 9);
         // Long after the transfers finish, every read is a memory hit.
@@ -422,13 +511,59 @@ mod tests {
         let mut store = store_with_remote_chunks(0);
         for x in 0..4 {
             let pos = ChunkPos::new(x, 0);
-            store.put(Chunk::empty(pos).snapshot(), SimTime::ZERO).unwrap();
+            store
+                .put(Chunk::empty(pos).snapshot(), SimTime::ZERO)
+                .unwrap();
         }
         assert_eq!(store.write_back_dirty(SimTime::ZERO), 4);
         // A second write-back has nothing to do.
         assert_eq!(store.write_back_dirty(SimTime::ZERO), 0);
         // The remote store now contains the chunks.
         assert_eq!(store.remote_mut().len(), 4);
+    }
+
+    #[test]
+    fn integrate_arrived_moves_chunks_into_sharded_world() {
+        use servo_world::ShardedWorld;
+        let mut store = store_with_remote_chunks(3);
+        let world = ShardedWorld::new();
+        let targets: Vec<ChunkPos> = (0..3)
+            .flat_map(|x| (0..3).map(move |z| ChunkPos::new(x, z)))
+            .collect();
+        store.prefetch(targets.clone(), SimTime::ZERO);
+        let integrated = store
+            .integrate_arrived(&world, SimTime::from_secs(10))
+            .unwrap();
+        assert_eq!(integrated, 9);
+        assert_eq!(world.loaded_chunks(), 9);
+        for pos in &targets {
+            assert!(world.is_loaded(*pos));
+        }
+        // Re-integrating is a no-op: everything is already loaded.
+        assert_eq!(
+            store
+                .integrate_arrived(&world, SimTime::from_secs(11))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn write_back_order_is_deterministic() {
+        let collect_latency_profile = || {
+            let mut store = store_with_remote_chunks(0).with_shard_batching(8);
+            for x in 0..12 {
+                for z in 0..12 {
+                    let pos = ChunkPos::new(x, z);
+                    store
+                        .put(Chunk::empty(pos).snapshot(), SimTime::ZERO)
+                        .unwrap();
+                }
+            }
+            assert_eq!(store.write_back_dirty(SimTime::ZERO), 144);
+            store.remote_mut().len()
+        };
+        assert_eq!(collect_latency_profile(), collect_latency_profile());
     }
 
     #[test]

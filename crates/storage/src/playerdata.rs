@@ -172,7 +172,9 @@ impl<S: ObjectStore> PlayerDataStore<S> {
     /// Returns [`ServoError::StorageFailed`] if the backend fails.
     pub fn save(&mut self, record: &PlayerRecord, now: SimTime) -> Result<SimDuration, ServoError> {
         self.saves += 1;
-        let result = self.store.write(&Self::key(record.player), record.to_bytes(), now)?;
+        let result = self
+            .store
+            .write(&Self::key(record.player), record.to_bytes(), now)?;
         Ok(result.latency)
     }
 }

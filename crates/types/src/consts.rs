@@ -16,11 +16,33 @@ pub const TICK_BUDGET: SimDuration = SimDuration::from_millis(50);
 
 /// Horizontal chunk size in blocks (both X and Z), following the Minecraft
 /// world layout the paper's prototype (Opencraft) uses.
+///
+/// Must be a power of two: the hot block-addressing paths use shift/mask
+/// arithmetic instead of euclidean division.
 pub const CHUNK_SIZE: i32 = 16;
 
 /// Vertical world height in blocks. One generated "chunk" in the paper is an
 /// area of 16 x 16 x 256 blocks (Section IV-D).
+///
+/// Must be a power of two (see [`CHUNK_SIZE`]).
 pub const CHUNK_HEIGHT: i32 = 256;
+
+/// `log2(CHUNK_SIZE)`: world-to-chunk coordinate conversion is an arithmetic
+/// shift right by this amount, and the chunk-local remainder a mask by
+/// [`CHUNK_MASK`].
+pub const CHUNK_BITS: u32 = CHUNK_SIZE.trailing_zeros();
+
+/// `CHUNK_SIZE - 1`, the chunk-local coordinate mask.
+pub const CHUNK_MASK: i32 = CHUNK_SIZE - 1;
+
+const _: () = assert!(
+    CHUNK_SIZE.count_ones() == 1,
+    "CHUNK_SIZE must be a power of two"
+);
+const _: () = assert!(
+    CHUNK_HEIGHT.count_ones() == 1,
+    "CHUNK_HEIGHT must be a power of two"
+);
 
 /// Default view distance in blocks used in the terrain-generation QoS
 /// experiment (Figure 10): players must always have terrain within 128 blocks.
@@ -62,6 +84,16 @@ mod tests {
     }
 
     #[test]
+    fn shift_mask_agree_with_euclidean_arithmetic() {
+        assert_eq!(1i32 << CHUNK_BITS, CHUNK_SIZE);
+        for v in [-1000i32, -17, -16, -1, 0, 1, 15, 16, 1000] {
+            assert_eq!(v >> CHUNK_BITS, v.div_euclid(CHUNK_SIZE));
+            assert_eq!(v & CHUNK_MASK, v.rem_euclid(CHUNK_SIZE));
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn latency_thresholds_are_ordered() {
         assert!(FPS_LATENCY_THRESHOLD_MS < RPG_LATENCY_THRESHOLD_MS);
         assert!(RPG_LATENCY_THRESHOLD_MS < RTS_LATENCY_THRESHOLD_MS);

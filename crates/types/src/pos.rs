@@ -5,7 +5,7 @@ use std::ops::{Add, Sub};
 
 use serde::{Deserialize, Serialize};
 
-use crate::consts::CHUNK_SIZE;
+use crate::consts::{CHUNK_BITS, CHUNK_SIZE};
 
 /// A block position in world space (one unit per block).
 ///
@@ -137,9 +137,8 @@ impl ChunkPos {
     pub fn square_around(self, radius: u32) -> impl Iterator<Item = ChunkPos> {
         let r = radius as i32;
         let center = self;
-        (-r..=r).flat_map(move |dx| {
-            (-r..=r).map(move |dz| ChunkPos::new(center.x + dx, center.z + dz))
-        })
+        (-r..=r)
+            .flat_map(move |dx| (-r..=r).map(move |dz| ChunkPos::new(center.x + dx, center.z + dz)))
     }
 }
 
@@ -151,7 +150,9 @@ impl fmt::Display for ChunkPos {
 
 impl From<BlockPos> for ChunkPos {
     fn from(p: BlockPos) -> ChunkPos {
-        ChunkPos::new(p.x.div_euclid(CHUNK_SIZE), p.z.div_euclid(CHUNK_SIZE))
+        // Arithmetic shift right is floor division for a power-of-two
+        // divisor, including negative coordinates.
+        ChunkPos::new(p.x >> CHUNK_BITS, p.z >> CHUNK_BITS)
     }
 }
 
@@ -223,7 +224,10 @@ mod tests {
     #[test]
     fn chunk_from_block_handles_negative_coordinates() {
         assert_eq!(ChunkPos::from(BlockPos::new(0, 0, 0)), ChunkPos::new(0, 0));
-        assert_eq!(ChunkPos::from(BlockPos::new(15, 0, 15)), ChunkPos::new(0, 0));
+        assert_eq!(
+            ChunkPos::from(BlockPos::new(15, 0, 15)),
+            ChunkPos::new(0, 0)
+        );
         assert_eq!(ChunkPos::from(BlockPos::new(16, 0, 0)), ChunkPos::new(1, 0));
         assert_eq!(
             ChunkPos::from(BlockPos::new(-1, 0, -16)),

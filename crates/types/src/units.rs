@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let m = MemoryMb::new(1024);
 /// assert!((m.vcpus() - 0.5714).abs() < 1e-3);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MemoryMb(pub u32);
 
 impl MemoryMb {

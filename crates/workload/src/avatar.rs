@@ -109,12 +109,22 @@ mod tests {
     #[test]
     fn move_towards_stops_at_target() {
         let mut a = Avatar::new(PlayerId::new(0), 0.0, 0.0);
-        let moved = a.move_towards(3.0, 4.0, BlocksPerSecond::new(100.0), SimDuration::from_secs(1));
+        let moved = a.move_towards(
+            3.0,
+            4.0,
+            BlocksPerSecond::new(100.0),
+            SimDuration::from_secs(1),
+        );
         assert!((moved - 5.0).abs() < 1e-9);
         assert!((a.x - 3.0).abs() < 1e-9 && (a.z - 4.0).abs() < 1e-9);
         // Already there: no movement.
         assert_eq!(
-            a.move_towards(3.0, 4.0, BlocksPerSecond::new(1.0), SimDuration::from_secs(1)),
+            a.move_towards(
+                3.0,
+                4.0,
+                BlocksPerSecond::new(1.0),
+                SimDuration::from_secs(1)
+            ),
             0.0
         );
     }
@@ -122,7 +132,12 @@ mod tests {
     #[test]
     fn move_towards_is_limited_by_speed() {
         let mut a = Avatar::new(PlayerId::new(0), 0.0, 0.0);
-        let moved = a.move_towards(100.0, 0.0, BlocksPerSecond::new(2.0), SimDuration::from_millis(500));
+        let moved = a.move_towards(
+            100.0,
+            0.0,
+            BlocksPerSecond::new(2.0),
+            SimDuration::from_millis(500),
+        );
         assert!((moved - 1.0).abs() < 1e-9);
         assert!((a.x - 1.0).abs() < 1e-9);
     }
@@ -142,7 +157,11 @@ mod tests {
     fn block_pos_floors_continuous_position() {
         let mut a = Avatar::new(PlayerId::new(2), -0.5, 15.9);
         assert_eq!(a.block_pos(), BlockPos::new(-1, 4, 15));
-        a.move_along(std::f64::consts::PI, BlocksPerSecond::new(1.0), SimDuration::from_secs(1));
+        a.move_along(
+            std::f64::consts::PI,
+            BlocksPerSecond::new(1.0),
+            SimDuration::from_secs(1),
+        );
         assert_eq!(a.block_pos(), BlockPos::new(-2, 4, 15));
     }
 

@@ -83,7 +83,12 @@ impl Behavior {
 
     /// Advances the behaviour by one tick: moves `avatar` and returns the
     /// events the server has to process.
-    pub fn act(&mut self, avatar: &mut Avatar, dt: SimDuration, rng: &mut SimRng) -> Vec<PlayerEvent> {
+    pub fn act(
+        &mut self,
+        avatar: &mut Avatar,
+        dt: SimDuration,
+        rng: &mut SimRng,
+    ) -> Vec<PlayerEvent> {
         self.elapsed += dt;
         match self.kind {
             BehaviorKind::Bounded { radius } => {
@@ -135,7 +140,12 @@ impl Behavior {
 
     /// The Table II action mix: 40% move, 30% break/place a nearby block,
     /// 20% stand still, 5% chat, 5% inventory change.
-    fn act_random(&mut self, avatar: &mut Avatar, dt: SimDuration, rng: &mut SimRng) -> Vec<PlayerEvent> {
+    fn act_random(
+        &mut self,
+        avatar: &mut Avatar,
+        dt: SimDuration,
+        rng: &mut SimRng,
+    ) -> Vec<PlayerEvent> {
         // Finish any pending idle period first.
         if self.idle_remaining > SimDuration::ZERO {
             self.idle_remaining = self.idle_remaining.saturating_sub(dt);
@@ -179,7 +189,8 @@ impl Behavior {
             }
         } else if roll < 0.90 {
             // Stand still for a short while.
-            self.idle_remaining = SimDuration::from_millis(500 + (rng.gen::<f64>() * 1500.0) as u64);
+            self.idle_remaining =
+                SimDuration::from_millis(500 + (rng.gen::<f64>() * 1500.0) as u64);
             Vec::new()
         } else if roll < 0.95 {
             vec![PlayerEvent::ChatMessage]
@@ -213,7 +224,10 @@ mod tests {
         assert_eq!(BehaviorKind::Star { speed: 3.0 }.label(), "S3");
         assert_eq!(BehaviorKind::Star { speed: 8.0 }.label(), "S8");
         assert_eq!(
-            BehaviorKind::IncreasingStar { step_every: SimDuration::from_secs(200) }.label(),
+            BehaviorKind::IncreasingStar {
+                step_every: SimDuration::from_secs(200)
+            }
+            .label(),
             "Sinc"
         );
         assert_eq!(BehaviorKind::Random.label(), "R");
@@ -239,7 +253,10 @@ mod tests {
             bb.act(&mut b, TICK, &mut rng);
         }
         let separation = ((a.x - b.x).powi(2) + (a.z - b.z).powi(2)).sqrt();
-        assert!(separation > 10.0, "players did not spread out: {separation}");
+        assert!(
+            separation > 10.0,
+            "players did not spread out: {separation}"
+        );
     }
 
     #[test]

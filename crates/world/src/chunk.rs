@@ -9,6 +9,13 @@ use crate::block::Block;
 pub const BLOCKS_PER_CHUNK: usize =
     (CHUNK_SIZE as usize) * (CHUNK_SIZE as usize) * (CHUNK_HEIGHT as usize);
 
+/// `log2(CHUNK_HEIGHT)`: the `y` coordinate occupies the low bits of a
+/// block's linear index.
+const HEIGHT_BITS: u32 = CHUNK_HEIGHT.trailing_zeros();
+
+/// `log2(CHUNK_SIZE)`: the `z` coordinate occupies the next bits.
+const SIZE_BITS: u32 = CHUNK_SIZE.trailing_zeros();
+
 /// A 16 x 16 x 256 column of blocks, the unit of terrain generation, loading
 /// and storage in the paper (Section IV-D: "an area of 16x16x256 blocks").
 ///
@@ -55,16 +62,25 @@ impl Chunk {
         self.modifications
     }
 
+    #[inline]
     fn index(x: i32, y: i32, z: i32) -> Option<usize> {
-        if !(0..CHUNK_SIZE).contains(&x)
-            || !(0..CHUNK_HEIGHT).contains(&y)
-            || !(0..CHUNK_SIZE).contains(&z)
+        // One unsigned comparison per axis replaces both range checks
+        // (negative values wrap above the upper bound), and the power-of-two
+        // dimensions make the linear index a shift/or instead of two
+        // multiplications. Same x-major, z, y layout as before:
+        // (x * CHUNK_SIZE + z) * CHUNK_HEIGHT + y.
+        if (x as u32) < CHUNK_SIZE as u32
+            && (y as u32) < CHUNK_HEIGHT as u32
+            && (z as u32) < CHUNK_SIZE as u32
         {
-            return None;
+            Some(
+                ((x as usize) << (SIZE_BITS + HEIGHT_BITS))
+                    | ((z as usize) << HEIGHT_BITS)
+                    | y as usize,
+            )
+        } else {
+            None
         }
-        Some(
-            (x as usize * CHUNK_SIZE as usize + z as usize) * CHUNK_HEIGHT as usize + y as usize,
-        )
     }
 
     /// Reads the block at chunk-local coordinates, or `None` if out of range.
@@ -101,12 +117,58 @@ impl Chunk {
                 what: format!("layer y={y}"),
             });
         }
-        for x in 0..CHUNK_SIZE {
-            for z in 0..CHUNK_SIZE {
-                self.set_local(x, y, z, block)?;
+        self.fill_box((0, y, 0), (CHUNK_SIZE - 1, y, CHUNK_SIZE - 1), block)?;
+        Ok(())
+    }
+
+    /// Fills the axis-aligned box spanning `x0..=x1`, `y0..=y1`, `z0..=z1`
+    /// (chunk-local, inclusive) with `block`, counting each actually changed
+    /// block as one modification. Returns the number of changed blocks.
+    ///
+    /// This is the per-chunk primitive behind the world-level batch
+    /// operations: bounds are validated once and the inner loop writes
+    /// contiguous `y` runs directly, instead of paying an index computation
+    /// and range check per block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::OutOfBounds`] if any corner lies outside the
+    /// chunk or a range is inverted.
+    pub fn fill_box(
+        &mut self,
+        (x0, y0, z0): (i32, i32, i32),
+        (x1, y1, z1): (i32, i32, i32),
+        block: Block,
+    ) -> Result<usize, ServoError> {
+        if Self::index(x0, y0, z0).is_none() || Self::index(x1, y1, z1).is_none() {
+            return Err(ServoError::OutOfBounds {
+                what: format!("chunk-local box ({x0}, {y0}, {z0})..=({x1}, {y1}, {z1})"),
+            });
+        }
+        // Each axis must be validated individually: a single comparison of
+        // the two linear indices lets a dominant higher axis mask an
+        // inverted lower one.
+        if x0 > x1 || y0 > y1 || z0 > z1 {
+            return Err(ServoError::OutOfBounds {
+                what: format!("inverted box ({x0}, {y0}, {z0})..=({x1}, {y1}, {z1})"),
+            });
+        }
+        let id = block.id();
+        let mut changed = 0usize;
+        for x in x0..=x1 {
+            for z in z0..=z1 {
+                let base =
+                    ((x as usize) << (SIZE_BITS + HEIGHT_BITS)) | ((z as usize) << HEIGHT_BITS);
+                for slot in &mut self.blocks[base + y0 as usize..=base + y1 as usize] {
+                    if *slot != id {
+                        *slot = id;
+                        changed += 1;
+                    }
+                }
             }
         }
-        Ok(())
+        self.modifications += changed as u64;
+        Ok(changed)
     }
 
     /// The height of the highest non-air block in the column at `(x, z)`,
@@ -189,7 +251,7 @@ impl Chunk {
             if blocks.len() + count > BLOCKS_PER_CHUNK {
                 return Err(corrupt("run overflows chunk"));
             }
-            blocks.extend(std::iter::repeat(id).take(count));
+            blocks.extend(std::iter::repeat_n(id, count));
             offset += 6;
         }
         if blocks.len() != BLOCKS_PER_CHUNK {
@@ -295,6 +357,50 @@ mod tests {
         assert_eq!(c.height_at(0, 0), Some(10));
         assert_eq!(c.height_at(3, 3), Some(42));
         assert_eq!(c.height_at(16, 0), None);
+    }
+
+    #[test]
+    fn fill_box_writes_exactly_the_box() {
+        let mut c = Chunk::empty(ChunkPos::ORIGIN);
+        let changed = c.fill_box((2, 10, 3), (4, 12, 5), Block::Stone).unwrap();
+        assert_eq!(changed, 27);
+        assert_eq!(c.non_air_blocks(), 27);
+        assert_eq!(c.modifications(), 27);
+        assert_eq!(c.local(2, 10, 3), Some(Block::Stone));
+        assert_eq!(c.local(4, 12, 5), Some(Block::Stone));
+        assert_eq!(c.local(1, 10, 3), Some(Block::Air));
+        assert_eq!(c.local(2, 13, 3), Some(Block::Air));
+        // Refilling the same box changes nothing.
+        assert_eq!(c.fill_box((2, 10, 3), (4, 12, 5), Block::Stone).unwrap(), 0);
+        assert_eq!(c.modifications(), 27);
+    }
+
+    #[test]
+    fn fill_box_rejects_bad_ranges() {
+        let mut c = Chunk::empty(ChunkPos::ORIGIN);
+        assert!(c.fill_box((0, 0, 0), (16, 0, 0), Block::Stone).is_err());
+        assert!(c.fill_box((0, -1, 0), (0, 0, 0), Block::Stone).is_err());
+        assert!(c.fill_box((5, 0, 0), (4, 0, 0), Block::Stone).is_err());
+        // Inversions on a lower-order axis must be rejected even when a
+        // higher-order axis makes the linear end index larger.
+        assert!(c.fill_box((0, 5, 0), (1, 3, 0), Block::Stone).is_err());
+        assert!(c.fill_box((0, 0, 5), (1, 0, 3), Block::Stone).is_err());
+        assert_eq!(c.modifications(), 0);
+    }
+
+    #[test]
+    fn fill_box_agrees_with_set_local() {
+        let mut a = Chunk::empty(ChunkPos::ORIGIN);
+        let mut b = Chunk::empty(ChunkPos::ORIGIN);
+        a.fill_box((1, 2, 3), (6, 9, 4), Block::Sand).unwrap();
+        for x in 1..=6 {
+            for y in 2..=9 {
+                for z in 3..=4 {
+                    b.set_local(x, y, z, Block::Sand).unwrap();
+                }
+            }
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

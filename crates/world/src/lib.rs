@@ -23,10 +23,12 @@
 
 pub mod block;
 pub mod chunk;
+pub mod sharded;
 pub mod view;
 pub mod world;
 
 pub use block::Block;
 pub use chunk::{Chunk, ChunkSnapshot};
-pub use view::{missing_chunks, nearest_missing_distance_blocks, required_chunks};
+pub use sharded::{chunk_hash, shard_index, FxBuildHasher, FxHasher, ShardedWorld, DEFAULT_SHARDS};
+pub use view::{missing_chunks, nearest_missing_distance_blocks, required_chunks, ChunkIndex};
 pub use world::{World, WorldKind};

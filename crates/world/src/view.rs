@@ -11,7 +11,28 @@ use std::collections::BTreeSet;
 use servo_types::consts::CHUNK_SIZE;
 use servo_types::{BlockPos, ChunkPos};
 
+use crate::sharded::ShardedWorld;
 use crate::world::World;
+
+/// Read access to which chunks are loaded, implemented by both the
+/// single-threaded [`World`] and the concurrent [`ShardedWorld`] so the
+/// view-distance helpers work against either.
+pub trait ChunkIndex {
+    /// Whether the chunk at `pos` is loaded.
+    fn contains_chunk(&self, pos: ChunkPos) -> bool;
+}
+
+impl ChunkIndex for World {
+    fn contains_chunk(&self, pos: ChunkPos) -> bool {
+        self.is_loaded(pos)
+    }
+}
+
+impl ChunkIndex for ShardedWorld {
+    fn contains_chunk(&self, pos: ChunkPos) -> bool {
+        self.is_loaded(pos)
+    }
+}
 
 /// The set of chunk positions required to cover `view_distance_blocks`
 /// around every given avatar position.
@@ -32,13 +53,13 @@ pub fn required_chunks(
 
 /// The required chunks that are not currently loaded in `world`.
 pub fn missing_chunks(
-    world: &World,
+    world: &impl ChunkIndex,
     avatar_positions: &[BlockPos],
     view_distance_blocks: i32,
 ) -> Vec<ChunkPos> {
     required_chunks(avatar_positions, view_distance_blocks)
         .into_iter()
-        .filter(|pos| !world.is_loaded(*pos))
+        .filter(|pos| !world.contains_chunk(*pos))
         .collect()
 }
 
@@ -51,14 +72,14 @@ pub fn missing_chunks(
 /// the configured view distance (128) for good QoS, and drops when terrain
 /// generation cannot keep up with player movement.
 pub fn nearest_missing_distance_blocks(
-    world: &World,
+    world: &impl ChunkIndex,
     avatar_positions: &[BlockPos],
     view_distance_blocks: i32,
 ) -> f64 {
     let mut nearest = view_distance_blocks as f64;
     for &avatar in avatar_positions {
         for chunk in required_chunks(&[avatar], view_distance_blocks) {
-            if world.is_loaded(chunk) {
+            if world.contains_chunk(chunk) {
                 continue;
             }
             // Distance from the avatar to the nearest corner of the chunk.
@@ -110,8 +131,7 @@ mod tests {
             16,
         );
         assert_eq!(far_apart.len(), one.len() * 2);
-        let overlapping =
-            required_chunks(&[BlockPos::new(0, 64, 0), BlockPos::new(1, 64, 1)], 16);
+        let overlapping = required_chunks(&[BlockPos::new(0, 64, 0), BlockPos::new(1, 64, 1)], 16);
         assert_eq!(overlapping.len(), one.len());
     }
 

@@ -2,11 +2,25 @@
 
 use std::collections::HashMap;
 
-use servo_types::consts::{CHUNK_HEIGHT, CHUNK_SIZE};
+use servo_types::consts::{CHUNK_BITS, CHUNK_HEIGHT, CHUNK_MASK, CHUNK_SIZE};
 use servo_types::{BlockPos, ChunkPos, ServoError};
 
 use crate::block::Block;
 use crate::chunk::Chunk;
+
+/// Splits a world position into its chunk position and chunk-local
+/// coordinates in a single pass of shift/mask arithmetic (`CHUNK_SIZE` is a
+/// power of two; the arithmetic shift floors correctly for negative
+/// coordinates).
+#[inline]
+pub(crate) fn split_pos(pos: BlockPos) -> (ChunkPos, i32, i32, i32) {
+    (
+        ChunkPos::new(pos.x >> CHUNK_BITS, pos.z >> CHUNK_BITS),
+        pos.x & CHUNK_MASK,
+        pos.y,
+        pos.z & CHUNK_MASK,
+    )
+}
 
 /// The terrain flavour of a world, matching the paper's experiment setups
 /// (Section IV-A: "default" procedurally generated terrain vs. the "flat"
@@ -74,6 +88,12 @@ impl World {
     /// The world kind.
     pub fn kind(&self) -> WorldKind {
         self.kind
+    }
+
+    /// The configured flat-world ground height (meaningful for
+    /// [`WorldKind::Flat`] worlds).
+    pub(crate) fn flat_ground(&self) -> i32 {
+        self.flat_ground_height
     }
 
     /// Number of chunks currently loaded in memory.
@@ -144,11 +164,20 @@ impl World {
         })
     }
 
+    /// Combined lookup: the chunk containing `pos` plus the chunk-local
+    /// coordinates of `pos`, resolved with a single hash of the chunk
+    /// position. The hot accessors ([`World::block`], [`World::set_block`],
+    /// [`World::height_at`]) are all built on this.
+    #[inline]
+    pub fn chunk_and_local(&self, pos: BlockPos) -> Option<(&Chunk, (i32, i32, i32))> {
+        let (chunk_pos, lx, ly, lz) = split_pos(pos);
+        Some((self.chunks.get(&chunk_pos)?, (lx, ly, lz)))
+    }
+
     /// Reads the block at a world position. Returns `None` if the containing
     /// chunk is not loaded or `y` is out of range.
     pub fn block(&self, pos: BlockPos) -> Option<Block> {
-        let chunk = self.chunks.get(&ChunkPos::from(pos))?;
-        let (lx, ly, lz) = Self::local_coords(pos);
+        let (chunk, (lx, ly, lz)) = self.chunk_and_local(pos)?;
         chunk.local(lx, ly, lz)
     }
 
@@ -159,7 +188,7 @@ impl World {
     /// Returns [`ServoError::ChunkNotLoaded`] if the containing chunk is not
     /// loaded, or [`ServoError::OutOfBounds`] if `y` is outside the world.
     pub fn set_block(&mut self, pos: BlockPos, block: Block) -> Result<(), ServoError> {
-        let chunk_pos = ChunkPos::from(pos);
+        let (chunk_pos, lx, ly, lz) = split_pos(pos);
         let chunk = self
             .chunks
             .get_mut(&chunk_pos)
@@ -167,18 +196,119 @@ impl World {
                 x: chunk_pos.x,
                 z: chunk_pos.z,
             })?;
-        let (lx, ly, lz) = Self::local_coords(pos);
         chunk.set_local(lx, ly, lz, block)?;
         self.total_modifications += 1;
         Ok(())
     }
 
+    /// Writes a batch of blocks, resolving the containing chunk once per
+    /// run of consecutive same-chunk positions instead of once per block.
+    /// Returns the number of blocks written.
+    ///
+    /// Writes are applied in order; on the first failing write the already
+    /// applied prefix is kept and the error returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::ChunkNotLoaded`] or [`ServoError::OutOfBounds`]
+    /// for the first offending position.
+    pub fn set_blocks<I>(&mut self, blocks: I) -> Result<usize, ServoError>
+    where
+        I: IntoIterator<Item = (BlockPos, Block)>,
+    {
+        let mut items = blocks.into_iter().peekable();
+        let mut written = 0usize;
+        let mut result = Ok(());
+        'runs: while let Some((pos, block)) = items.next() {
+            let (chunk_pos, lx, ly, lz) = split_pos(pos);
+            let Some(chunk) = self.chunks.get_mut(&chunk_pos) else {
+                result = Err(ServoError::ChunkNotLoaded {
+                    x: chunk_pos.x,
+                    z: chunk_pos.z,
+                });
+                break;
+            };
+            if let Err(e) = chunk.set_local(lx, ly, lz, block) {
+                result = Err(e);
+                break;
+            }
+            written += 1;
+            // Drain the rest of the same-chunk run without re-hashing.
+            while let Some(&(next_pos, _)) = items.peek() {
+                let (next_chunk, nlx, nly, nlz) = split_pos(next_pos);
+                if next_chunk != chunk_pos {
+                    break;
+                }
+                let (_, next_block) = items.next().expect("peeked item exists");
+                if let Err(e) = chunk.set_local(nlx, nly, nlz, next_block) {
+                    result = Err(e);
+                    break 'runs;
+                }
+                written += 1;
+            }
+        }
+        self.total_modifications += written as u64;
+        result.map(|()| written)
+    }
+
+    /// Fills the axis-aligned region spanning `min..=max` (inclusive world
+    /// coordinates) with `block`, taking each involved chunk once and
+    /// filling it with a bulk box write. Returns the number of blocks whose
+    /// value actually changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::ChunkNotLoaded`] if any overlapped chunk is not
+    /// loaded, or [`ServoError::OutOfBounds`] if the `y` range leaves the
+    /// world or the region is inverted. Nothing is written until the whole
+    /// region has been validated as loaded.
+    pub fn fill_region(
+        &mut self,
+        min: BlockPos,
+        max: BlockPos,
+        block: Block,
+    ) -> Result<usize, ServoError> {
+        if min.x > max.x || min.y > max.y || min.z > max.z {
+            return Err(ServoError::OutOfBounds {
+                what: format!("inverted region {min}..={max}"),
+            });
+        }
+        if !(0..CHUNK_HEIGHT).contains(&min.y) || !(0..CHUNK_HEIGHT).contains(&max.y) {
+            return Err(ServoError::OutOfBounds {
+                what: format!("region y range {}..={}", min.y, max.y),
+            });
+        }
+        let (min_chunk, max_chunk) = (ChunkPos::from(min), ChunkPos::from(max));
+        for cx in min_chunk.x..=max_chunk.x {
+            for cz in min_chunk.z..=max_chunk.z {
+                if !self.chunks.contains_key(&ChunkPos::new(cx, cz)) {
+                    return Err(ServoError::ChunkNotLoaded { x: cx, z: cz });
+                }
+            }
+        }
+        let mut changed = 0usize;
+        for cx in min_chunk.x..=max_chunk.x {
+            for cz in min_chunk.z..=max_chunk.z {
+                let chunk_pos = ChunkPos::new(cx, cz);
+                let base = chunk_pos.min_block();
+                let lo = ((min.x - base.x).max(0), min.y, (min.z - base.z).max(0));
+                let hi = (
+                    (max.x - base.x).min(CHUNK_SIZE - 1),
+                    max.y,
+                    (max.z - base.z).min(CHUNK_SIZE - 1),
+                );
+                let chunk = self.chunks.get_mut(&chunk_pos).expect("validated above");
+                changed += chunk.fill_box(lo, hi, block)?;
+            }
+        }
+        self.total_modifications += changed as u64;
+        Ok(changed)
+    }
+
     /// The ground height (highest non-air block) at the given column, if the
     /// chunk is loaded.
     pub fn height_at(&self, x: i32, z: i32) -> Option<i32> {
-        let pos = BlockPos::new(x, 0, z);
-        let chunk = self.chunks.get(&ChunkPos::from(pos))?;
-        let (lx, _, lz) = Self::local_coords(pos);
+        let (chunk, (lx, _, lz)) = self.chunk_and_local(BlockPos::new(x, 0, z))?;
         chunk.height_at(lx, lz)
     }
 
@@ -186,14 +316,6 @@ impl World {
     /// loaded chunks.
     pub fn stateful_blocks(&self) -> usize {
         self.chunks.values().map(|c| c.stateful_blocks()).sum()
-    }
-
-    fn local_coords(pos: BlockPos) -> (i32, i32, i32) {
-        (
-            pos.x.rem_euclid(CHUNK_SIZE),
-            pos.y,
-            pos.z.rem_euclid(CHUNK_SIZE),
-        )
     }
 }
 
@@ -280,12 +402,102 @@ mod tests {
     #[test]
     fn loaded_positions_iterates_all() {
         let mut w = World::flat(4);
-        let expected: Vec<ChunkPos> = (0..5).map(|i| ChunkPos::new(i, -i)).collect();
+        let mut expected: Vec<ChunkPos> = (0..5).map(|i| ChunkPos::new(i, -i)).collect();
         for &p in &expected {
             w.ensure_chunk_at(p);
         }
         let mut got: Vec<ChunkPos> = w.loaded_positions().collect();
         got.sort_by_key(|p| (p.x, p.z));
-        assert_eq!(got.len(), expected.len());
+        expected.sort_by_key(|p| (p.x, p.z));
+        // The exact position sets must match, not just their sizes.
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn set_blocks_matches_individual_writes() {
+        let mut batch_world = World::flat(4);
+        let mut single_world = World::flat(4);
+        for cx in -1..=1 {
+            for cz in -1..=1 {
+                batch_world.ensure_chunk_at(ChunkPos::new(cx, cz));
+                single_world.ensure_chunk_at(ChunkPos::new(cx, cz));
+            }
+        }
+        let writes: Vec<(BlockPos, Block)> = (0..100)
+            .map(|i| {
+                (
+                    BlockPos::new(i % 40 - 16, 10 + i % 7, (i * 3) % 40 - 16),
+                    Block::Lamp,
+                )
+            })
+            .collect();
+        let written = batch_world.set_blocks(writes.clone()).unwrap();
+        assert_eq!(written, writes.len());
+        for &(pos, block) in &writes {
+            single_world.set_block(pos, block).unwrap();
+        }
+        for &(pos, _) in &writes {
+            assert_eq!(batch_world.block(pos), single_world.block(pos));
+        }
+        assert_eq!(
+            batch_world.total_modifications(),
+            single_world.total_modifications()
+        );
+    }
+
+    #[test]
+    fn set_blocks_fails_on_first_unloaded_chunk() {
+        let mut w = World::flat(4);
+        w.ensure_chunk_at(ChunkPos::ORIGIN);
+        let err = w
+            .set_blocks([
+                (BlockPos::new(1, 10, 1), Block::Stone),
+                (BlockPos::new(100, 10, 100), Block::Stone),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServoError::ChunkNotLoaded { .. }));
+        // The prefix before the failure was applied.
+        assert_eq!(w.block(BlockPos::new(1, 10, 1)), Some(Block::Stone));
+        assert_eq!(w.total_modifications(), 1);
+    }
+
+    #[test]
+    fn fill_region_spans_chunks() {
+        let mut w = World::flat(4);
+        for cx in -1..=1 {
+            for cz in -1..=1 {
+                w.ensure_chunk_at(ChunkPos::new(cx, cz));
+            }
+        }
+        let changed = w
+            .fill_region(
+                BlockPos::new(-5, 10, -5),
+                BlockPos::new(20, 12, 4),
+                Block::Stone,
+            )
+            .unwrap();
+        assert_eq!(changed, 26 * 3 * 10);
+        assert_eq!(w.block(BlockPos::new(-5, 10, -5)), Some(Block::Stone));
+        assert_eq!(w.block(BlockPos::new(20, 12, 4)), Some(Block::Stone));
+        assert_eq!(w.block(BlockPos::new(-6, 10, -5)), Some(Block::Air));
+        assert_eq!(w.block(BlockPos::new(20, 13, 4)), Some(Block::Air));
+        assert_eq!(w.total_modifications(), changed as u64);
+    }
+
+    #[test]
+    fn fill_region_requires_all_chunks_loaded() {
+        let mut w = World::flat(4);
+        w.ensure_chunk_at(ChunkPos::ORIGIN);
+        // The region touches the unloaded chunk [1, 0]: nothing is written.
+        let err = w
+            .fill_region(
+                BlockPos::new(0, 10, 0),
+                BlockPos::new(17, 10, 0),
+                Block::Stone,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServoError::ChunkNotLoaded { x: 1, z: 0 }));
+        assert_eq!(w.block(BlockPos::new(0, 10, 0)), Some(Block::Air));
+        assert_eq!(w.total_modifications(), 0);
     }
 }

@@ -1,0 +1,264 @@
+//! Concurrency tests for [`ShardedWorld`]: a multi-threaded stress test over
+//! disjoint and overlapping key ranges, plus property tests checking that
+//! the sharded world and the single-threaded [`World`] agree on arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+use servo_types::consts::CHUNK_HEIGHT;
+use servo_types::{BlockPos, ChunkPos};
+use servo_world::{Block, ShardedWorld, World};
+
+const THREADS: usize = 8;
+
+/// Eight threads hammer reads and writes across a shared chunk grid; block
+/// contents and the modification counter must come out exactly as the
+/// per-thread disjoint writes dictate.
+#[test]
+fn stress_disjoint_writers_concurrent_readers() {
+    let world = ShardedWorld::flat(4);
+    let grid = 8i32;
+    for cx in 0..grid {
+        for cz in 0..grid {
+            world.ensure_chunk_at(ChunkPos::new(cx, cz));
+        }
+    }
+
+    // Each writer owns a disjoint y-layer and writes a recognisable block
+    // pattern; readers sweep the whole grid concurrently.
+    let writes_per_thread = 2_000u64;
+    std::thread::scope(|scope| {
+        for thread_id in 0..THREADS {
+            let world = &world;
+            scope.spawn(move || {
+                let y = 20 + thread_id as i32;
+                for i in 0..writes_per_thread {
+                    let x = (i % (grid as u64 * 16)) as i32;
+                    let z = ((i * 7) % (grid as u64 * 16)) as i32;
+                    world
+                        .set_block(BlockPos::new(x, y, z), Block::Lamp)
+                        .expect("chunk is loaded");
+                }
+            });
+            scope.spawn(move || {
+                let mut non_air = 0usize;
+                for i in 0..writes_per_thread {
+                    let x = (i % (grid as u64 * 16)) as i32;
+                    let z = ((i * 11) % (grid as u64 * 16)) as i32;
+                    // Reads race with writers; any Some result is valid.
+                    if let Some(b) = world.block(BlockPos::new(x, 4, z)) {
+                        if !b.is_air() {
+                            non_air += 1;
+                        }
+                    }
+                }
+                // The ground layer is grass everywhere.
+                assert_eq!(non_air, writes_per_thread as usize);
+            });
+        }
+    });
+
+    // Every write targeted a loaded chunk, so the counter equals the total
+    // number of set_block calls.
+    assert_eq!(
+        world.total_modifications(),
+        THREADS as u64 * writes_per_thread
+    );
+    // Each writer's layer contains exactly its distinct positions.
+    for thread_id in 0..THREADS {
+        let y = 20 + thread_id as i32;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..writes_per_thread {
+            let x = (i % (grid as u64 * 16)) as i32;
+            let z = ((i * 7) % (grid as u64 * 16)) as i32;
+            seen.insert((x, z));
+        }
+        let count: usize = (0..grid * 16)
+            .flat_map(|x| (0..grid * 16).map(move |z| (x, z)))
+            .filter(|&(x, z)| world.block(BlockPos::new(x, y, z)) == Some(Block::Lamp))
+            .count();
+        assert_eq!(count, seen.len(), "layer {y}");
+    }
+    assert_eq!(world.loaded_chunks(), (grid * grid) as usize);
+}
+
+/// Concurrent `ensure_chunk_at` racing on the same positions must create
+/// each chunk exactly once (the loaded counter cannot double-count).
+#[test]
+fn stress_racing_chunk_creation() {
+    let world = ShardedWorld::flat(4);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let world = &world;
+            scope.spawn(move || {
+                for cx in 0..12 {
+                    for cz in 0..12 {
+                        world.ensure_chunk_at(ChunkPos::new(cx, cz));
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(world.loaded_chunks(), 144);
+    let mut positions = world.loaded_positions();
+    positions.sort_by_key(|p| (p.x, p.z));
+    positions.dedup();
+    assert_eq!(positions.len(), 144);
+    // Racing creators did not corrupt chunk contents.
+    for pos in positions {
+        assert_eq!(
+            world.read_chunk(pos, |c| c.height_at(3, 3)).unwrap(),
+            Some(4)
+        );
+    }
+}
+
+/// Mixed concurrent batch operations stay internally consistent: the
+/// modification counter equals the sum of what each batch reported.
+#[test]
+fn stress_batch_operations() {
+    let world = ShardedWorld::flat(4).with_shards(8);
+    for cx in 0..8 {
+        for cz in 0..8 {
+            world.ensure_chunk_at(ChunkPos::new(cx, cz));
+        }
+    }
+    let changed_total: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for thread_id in 0..THREADS {
+            let world = &world;
+            handles.push(scope.spawn(move || {
+                let y = 30 + thread_id as i32 * 2;
+                let mut changed = 0u64;
+                // Disjoint y-layers: each thread's fills cannot overlap
+                // another thread's, so reported change counts must add up.
+                changed += world
+                    .fill_region(
+                        BlockPos::new(0, y, 0),
+                        BlockPos::new(8 * 16 - 1, y, 8 * 16 - 1),
+                        Block::Stone,
+                    )
+                    .expect("region loaded") as u64;
+                let writes: Vec<(BlockPos, Block)> = (0..500)
+                    .map(|i| {
+                        (
+                            BlockPos::new((i * 3) % 128, y + 1, (i * 5) % 128),
+                            Block::Wood,
+                        )
+                    })
+                    .collect();
+                world.set_blocks(writes).expect("chunks loaded");
+                changed + 500
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(world.total_modifications(), changed_total);
+}
+
+fn arb_block() -> impl Strategy<Value = Block> {
+    prop::sample::select(Block::ALL.to_vec())
+}
+
+proptest! {
+    /// `ShardedWorld` and `World` agree on any sequence of single-block
+    /// writes: same per-position contents, same counters.
+    #[test]
+    fn agrees_with_world_on_single_writes(
+        writes in prop::collection::vec(
+            ((-64i32..64, 0i32..CHUNK_HEIGHT, -64i32..64), arb_block()),
+            1..120,
+        ),
+    ) {
+        let sharded = ShardedWorld::flat(4);
+        let mut plain = World::flat(4);
+        for cx in -4..4 {
+            for cz in -4..4 {
+                sharded.ensure_chunk_at(ChunkPos::new(cx, cz));
+                plain.ensure_chunk_at(ChunkPos::new(cx, cz));
+            }
+        }
+        for ((x, y, z), block) in &writes {
+            let pos = BlockPos::new(*x, *y, *z);
+            prop_assert_eq!(
+                sharded.set_block(pos, *block).is_ok(),
+                plain.set_block(pos, *block).is_ok()
+            );
+        }
+        for ((x, y, z), _) in &writes {
+            let pos = BlockPos::new(*x, *y, *z);
+            prop_assert_eq!(sharded.block(pos), plain.block(pos));
+            prop_assert_eq!(sharded.height_at(*x, *z), plain.height_at(*x, *z));
+        }
+        prop_assert_eq!(sharded.total_modifications(), plain.total_modifications());
+        prop_assert_eq!(sharded.loaded_chunks(), plain.loaded_chunks());
+        prop_assert_eq!(sharded.stateful_blocks(), plain.stateful_blocks());
+    }
+
+    /// Batch writes through the sharded world equal single writes through
+    /// the plain world, block for block.
+    #[test]
+    fn sharded_batches_equal_plain_singles(
+        writes in prop::collection::vec(
+            ((-48i32..48, 0i32..64, -48i32..48), arb_block()),
+            1..150,
+        ),
+    ) {
+        let sharded = ShardedWorld::flat(4).with_shards(4);
+        let mut plain = World::flat(4);
+        for cx in -3..3 {
+            for cz in -3..3 {
+                sharded.ensure_chunk_at(ChunkPos::new(cx, cz));
+                plain.ensure_chunk_at(ChunkPos::new(cx, cz));
+            }
+        }
+        let batch: Vec<(BlockPos, Block)> = writes
+            .iter()
+            .map(|((x, y, z), b)| (BlockPos::new(*x, *y, *z), *b))
+            .collect();
+        let written = sharded.set_blocks(batch.clone()).unwrap();
+        prop_assert_eq!(written, batch.len());
+        for (pos, block) in batch {
+            plain.set_block(pos, block).unwrap();
+        }
+        for ((x, y, z), _) in &writes {
+            let pos = BlockPos::new(*x, *y, *z);
+            prop_assert_eq!(sharded.block(pos), plain.block(pos));
+        }
+        // A full conversion round trip preserves every chunk.
+        let converted = sharded.to_world();
+        for ((x, y, z), _) in &writes {
+            let pos = BlockPos::new(*x, *y, *z);
+            prop_assert_eq!(converted.block(pos), plain.block(pos));
+        }
+    }
+
+    /// Region fills agree between the two worlds for arbitrary boxes.
+    #[test]
+    fn fill_region_agrees(
+        x0 in -40i32..40,
+        z0 in -40i32..40,
+        dx in 0i32..30,
+        dz in 0i32..30,
+        y0 in 1i32..60,
+        dy in 0i32..8,
+        block in arb_block(),
+    ) {
+        let sharded = ShardedWorld::flat(4);
+        let mut plain = World::flat(4);
+        for cx in -4..=4 {
+            for cz in -4..=4 {
+                sharded.ensure_chunk_at(ChunkPos::new(cx, cz));
+                plain.ensure_chunk_at(ChunkPos::new(cx, cz));
+            }
+        }
+        let min = BlockPos::new(x0, y0, z0);
+        let max = BlockPos::new(x0 + dx, y0 + dy, z0 + dz);
+        let a = sharded.fill_region(min, max, block).unwrap();
+        let b = plain.fill_region(min, max, block).unwrap();
+        prop_assert_eq!(a, b);
+        for probe in [min, max, BlockPos::new(x0 + dx / 2, y0, z0 + dz / 2)] {
+            prop_assert_eq!(sharded.block(probe), plain.block(probe));
+        }
+        prop_assert_eq!(sharded.total_modifications(), plain.total_modifications());
+    }
+}

@@ -35,8 +35,7 @@ fn capacity(system: &str, constructs: usize) -> u32 {
             ),
         };
         server.add_constructs(constructs, |_| generators::dense_circuit(64));
-        let mut fleet =
-            PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(2));
+        let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 24.0 }, SimRng::seed(2));
         fleet.connect_all(players as usize);
         server.run_with_fleet(&mut fleet, SimDuration::from_secs(3));
         server.discard_reports();

@@ -28,7 +28,10 @@ fn explore(mut server: GameServer, label: &str) {
     println!("--- {label} ---");
     println!("chunks generated:        {}", server.stats().chunks_loaded);
     println!("worst view range:        {worst_view:.0} blocks (target: 128)");
-    println!("final view range:        {:.0} blocks", view.last().copied().unwrap_or(0.0));
+    println!(
+        "final view range:        {:.0} blocks",
+        view.last().copied().unwrap_or(0.0)
+    );
     println!("p95 tick duration:       {:.1} ms", ticks.p95);
     println!();
 }

@@ -44,7 +44,10 @@ fn main() {
     println!("\n--- game loop ---");
     println!("ticks executed:        {}", stats.ticks);
     println!("median tick duration:  {:.1} ms", summary.p50);
-    println!("95th percentile:       {:.1} ms (budget: 50 ms)", summary.p95);
+    println!(
+        "95th percentile:       {:.1} ms (budget: 50 ms)",
+        summary.p95
+    );
     println!(
         "QoS satisfied:         {}",
         servo::metrics::qos_satisfied_default(&durations)

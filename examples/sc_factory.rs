@@ -59,8 +59,7 @@ fn main() {
 
     for name in ["Servo", "Opencraft", "Minecraft"] {
         let mut server = build(name, constructs);
-        let mut fleet =
-            PlayerFleet::new(BehaviorKind::Bounded { radius: 28.0 }, SimRng::seed(23));
+        let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 28.0 }, SimRng::seed(23));
         fleet.connect_all(players);
         server.run_with_fleet(&mut fleet, duration);
 

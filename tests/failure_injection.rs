@@ -64,7 +64,11 @@ fn timeouts_do_not_stall_the_game_loop() {
     // The initial terrain load makes a few early ticks overrun their budget,
     // so slightly fewer than 100 ticks fit into five virtual seconds; the
     // loop must keep running regardless.
-    assert!(stats.ticks >= 80 && stats.ticks <= 100, "ticks {}", stats.ticks);
+    assert!(
+        stats.ticks >= 80 && stats.ticks <= 100,
+        "ticks {}",
+        stats.ticks
+    );
     assert_eq!(stats.sc_merged, 0);
     assert_eq!(stats.sc_local, 10 * stats.ticks);
     // Every construct advanced exactly once per tick despite the failures.

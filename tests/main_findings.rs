@@ -17,7 +17,11 @@ fn bounded_fleet(players: usize, seed: u64) -> PlayerFleet {
     fleet
 }
 
-fn run_sc_workload(mut server: GameServer, constructs: usize, players: usize) -> Vec<servo::types::SimDuration> {
+fn run_sc_workload(
+    mut server: GameServer,
+    constructs: usize,
+    players: usize,
+) -> Vec<servo::types::SimDuration> {
     server.add_constructs(constructs, |_| generators::dense_circuit(64));
     let mut fleet = bounded_fleet(players, 99);
     server.run_with_fleet(&mut fleet, SimDuration::from_secs(3));
@@ -34,7 +38,11 @@ fn mf1_servo_supports_more_players_under_sc_load() {
     let constructs = 150;
     let players = 60;
 
-    let servo = ServoDeployment::builder().seed(5).view_distance(32).build().server;
+    let servo = ServoDeployment::builder()
+        .seed(5)
+        .view_distance(32)
+        .build()
+        .server;
     let servo_ticks = run_sc_workload(servo, constructs, players);
     assert!(
         qos_satisfied_default(&servo_ticks),
@@ -42,17 +50,13 @@ fn mf1_servo_supports_more_players_under_sc_load() {
         Summary::from_durations(&servo_ticks).p95
     );
 
-    let opencraft = ServoDeployment::opencraft_baseline(
-        5,
-        &ServerConfig::opencraft().with_view_distance(32),
-    );
+    let opencraft =
+        ServoDeployment::opencraft_baseline(5, &ServerConfig::opencraft().with_view_distance(32));
     let opencraft_ticks = run_sc_workload(opencraft, constructs, players);
     assert!(!qos_satisfied_default(&opencraft_ticks));
 
-    let minecraft = ServoDeployment::minecraft_baseline(
-        5,
-        &ServerConfig::minecraft().with_view_distance(32),
-    );
+    let minecraft =
+        ServoDeployment::minecraft_baseline(5, &ServerConfig::minecraft().with_view_distance(32));
     let minecraft_ticks = run_sc_workload(minecraft, constructs, players);
     assert!(!qos_satisfied_default(&minecraft_ticks));
 }
@@ -65,7 +69,11 @@ fn baseline_ordering_without_constructs() {
         ticks.iter().map(|d| d.as_millis_f64()).sum::<f64>() / ticks.len() as f64
     };
     let servo = mean(&run_sc_workload(
-        ServoDeployment::builder().seed(6).view_distance(32).build().server,
+        ServoDeployment::builder()
+            .seed(6)
+            .view_distance(32)
+            .build()
+            .server,
         0,
         100,
     ));
@@ -79,7 +87,10 @@ fn baseline_ordering_without_constructs() {
         0,
         100,
     ));
-    assert!(opencraft < minecraft, "opencraft {opencraft} vs minecraft {minecraft}");
+    assert!(
+        opencraft < minecraft,
+        "opencraft {opencraft} vs minecraft {minecraft}"
+    );
     assert!(servo < minecraft, "servo {servo} vs minecraft {minecraft}");
 }
 
@@ -153,7 +164,10 @@ fn mf3_serverless_generation_keeps_view_range() {
         servo_view > opencraft_view + 20.0,
         "servo {servo_view:.0} vs opencraft {opencraft_view:.0}"
     );
-    assert!(servo_view > 80.0, "servo steady-state view range {servo_view:.0}");
+    assert!(
+        servo_view > 80.0,
+        "servo steady-state view range {servo_view:.0}"
+    );
 }
 
 /// MF6: small and medium constructs simulate far faster than the 20 Hz game
@@ -164,8 +178,14 @@ fn mf6_offloaded_simulation_is_fast_and_loops_are_detected() {
     let model = servo::core::ScWorkModel::default();
     let small_rate = 1000.0 / model.work_per_step(252);
     let medium_rate = 1000.0 / model.work_per_step(484);
-    assert!(small_rate / 20.0 > 10.0, "small construct speed-up {small_rate}");
-    assert!(medium_rate / 20.0 > 4.0, "medium construct speed-up {medium_rate}");
+    assert!(
+        small_rate / 20.0 > 10.0,
+        "small construct speed-up {small_rate}"
+    );
+    assert!(
+        medium_rate / 20.0 > 4.0,
+        "medium construct speed-up {medium_rate}"
+    );
 
     let platform = FaasPlatform::new(
         FunctionConfig::aws_like(MemoryMb::new(2048)),
@@ -190,7 +210,10 @@ fn mf6_offloaded_simulation_is_fast_and_loops_are_detected() {
 #[test]
 fn identical_seeds_give_identical_runs() {
     let run = || {
-        let mut deployment = ServoDeployment::builder().seed(77).view_distance(32).build();
+        let mut deployment = ServoDeployment::builder()
+            .seed(77)
+            .view_distance(32)
+            .build();
         deployment
             .server
             .add_constructs(20, |_| generators::dense_circuit(64));

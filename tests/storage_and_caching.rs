@@ -79,7 +79,9 @@ fn mf5_cache_reduces_latency_tail() {
 fn local_storage_has_tight_tail() {
     let mut store = LocalDiskStore::new(SimRng::seed(9));
     let chunk = Chunk::empty(ChunkPos::new(0, 0));
-    store.write("terrain/0/0", chunk.to_bytes(), SimTime::ZERO).unwrap();
+    store
+        .write("terrain/0/0", chunk.to_bytes(), SimTime::ZERO)
+        .unwrap();
     let mut latencies = Vec::new();
     let mut now = SimTime::ZERO;
     for _ in 0..4000 {
@@ -126,7 +128,9 @@ fn terrain_round_trips_through_remote_storage() {
 #[test]
 fn storage_failures_are_transient() {
     let mut store = BlobStore::new(BlobTier::Standard, SimRng::seed(6));
-    store.write("terrain/0/0", vec![1, 2, 3], SimTime::ZERO).unwrap();
+    store
+        .write("terrain/0/0", vec![1, 2, 3], SimTime::ZERO)
+        .unwrap();
     store.inject_failure("503 server busy");
     assert!(store.read("terrain/0/0", SimTime::ZERO).is_err());
     let read = store.read("terrain/0/0", SimTime::ZERO).unwrap();
