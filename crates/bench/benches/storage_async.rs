@@ -1,0 +1,363 @@
+//! Tick-visible storage cost: `SyncChunkService` (the pre-redesign
+//! blocking path) versus `PipelinedChunkService` (worker-pool transfers)
+//! under a 90/10 scan/edit workload with a moving view frontier.
+//!
+//! Both services execute the *same* request stream: per tick the player
+//! frontier advances, chunks entering the view are submitted as demand
+//! reads, the next columns are prefetched, 90% of the remaining actor
+//! operations scan resident chunks and 10% edit world blocks, and
+//! write-back/eviction run on their periodic cadence. What differs is
+//! *where* the storage work executes:
+//!
+//! * sync — every request resolves inline on the tick thread: remote
+//!   misses pay serialization, byte transfer bookkeeping, and chunk
+//!   decoding right in the measured tick section;
+//! * pipelined — submissions are batched per world shard and handed to a
+//!   worker pool (sized by `ServerConfig::with_parallelism`), so the tick
+//!   section pays only queue pushes and completion draining.
+//!
+//! The acceptance metric is the p99 of the *tick-visible storage section*
+//! (wall time the tick thread spends issuing requests and harvesting
+//! completions); the simulated read-stall latency both services impose on
+//! the game loop is reported alongside. Results go to
+//! `BENCH_storage_async.json` at the workspace root.
+//!
+//! Run with `cargo bench -p servo-bench --bench storage_async`; set
+//! `SERVO_BENCH_FAST=1` (or pass `--fast`) for a smoke-test-sized run.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use servo_pcg::{DefaultGenerator, TerrainGenerator};
+use servo_server::ServerConfig;
+use servo_simkit::SimRng;
+use servo_storage::{
+    BlobStore, BlobTier, ChunkOutcome, ChunkRequest, ChunkService, ObjectStore,
+    PipelinedChunkService, SyncChunkService,
+};
+use servo_types::{BlockPos, ChunkPos, SimTime};
+use servo_world::{Block, ShardedWorld};
+
+/// Depth of the terrain band (chunks in z).
+const ROWS: i32 = 6;
+/// Columns resident around the player frontier.
+const WINDOW: i32 = 10;
+/// Columns prefetched ahead of the frontier.
+const AHEAD: i32 = 2;
+/// Actor operations per tick (90% scans, 10% edits).
+const OPS_PER_TICK: usize = 40;
+/// Ticks between write-back passes (1 s of virtual time at 20 Hz).
+const WRITE_BACK_EVERY: u64 = 20;
+/// Ticks between eviction passes.
+const EVICT_EVERY: u64 = 10;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeds remote storage with `columns` columns of generated terrain.
+fn seeded_remote(columns: i32) -> BlobStore {
+    let generator = DefaultGenerator::new(2024);
+    let mut remote = BlobStore::new(BlobTier::Standard, SimRng::seed(1));
+    for x in 0..columns {
+        for z in 0..ROWS {
+            let chunk = generator.generate(ChunkPos::new(x, z));
+            remote
+                .write(&format!("terrain/{x}/{z}"), chunk.to_bytes(), SimTime::ZERO)
+                .expect("seeding remote storage");
+        }
+    }
+    remote
+}
+
+/// The world the edits land in: the full band pre-loaded flat, so edits
+/// always hit loaded chunks regardless of read-arrival timing.
+fn seeded_world(columns: i32) -> Arc<ShardedWorld> {
+    let world = ShardedWorld::flat(4);
+    for x in 0..columns {
+        for z in 0..ROWS {
+            world.ensure_chunk_at(ChunkPos::new(x, z));
+        }
+    }
+    Arc::new(world)
+}
+
+#[derive(Debug, Default)]
+struct RunStats {
+    /// Wall time of each tick's storage section, in nanoseconds.
+    section_ns: Vec<u64>,
+    /// Simulated latency the game loop observed per loaded read, in ms.
+    sim_read_ms: Vec<f64>,
+    loaded: usize,
+    wrote_back: usize,
+    evicted: usize,
+}
+
+/// Drives `service` through the full workload and measures the per-tick
+/// storage section on the calling ("tick") thread.
+fn run_workload(service: &mut impl ChunkService, world: &ShardedWorld, ticks: u64) -> RunStats {
+    let columns = frontier_at(ticks) + WINDOW + AHEAD + 2;
+    let mut stats = RunStats::default();
+    let mut rng_state = 0x5eed_u64;
+    let mut requested_cols = 0i32;
+    for tick in 0..ticks {
+        let now = SimTime::from_millis(tick * 50);
+        let frontier = frontier_at(tick);
+        let window_lo = (frontier - WINDOW + 1).max(0);
+
+        // ---- measured storage section of this tick --------------------
+        let started = Instant::now();
+        for completion in service.poll(now) {
+            if let ChunkOutcome::Loaded { latency, .. } = completion.outcome {
+                stats.loaded += 1;
+                stats.sim_read_ms.push(latency.as_millis_f64());
+            }
+        }
+        // Demand reads for columns entering the view.
+        while requested_cols <= frontier {
+            for z in 0..ROWS {
+                service.submit(ChunkRequest::read(ChunkPos::new(requested_cols, z)));
+            }
+            requested_cols += 1;
+        }
+        // Prefetch the columns ahead of the frontier.
+        let prefetch: Vec<ChunkPos> = (1..=AHEAD)
+            .flat_map(|d| (0..ROWS).map(move |z| ChunkPos::new(frontier + d, z)))
+            .collect();
+        service.submit(ChunkRequest::prefetch(prefetch));
+        // 90/10 scan/edit actor operations over the resident window.
+        for op in 0..OPS_PER_TICK {
+            let r = splitmix(&mut rng_state);
+            let x = window_lo + (r % (frontier - window_lo + 1).max(1) as u64) as i32;
+            let z = ((r >> 16) % ROWS as u64) as i32;
+            if op % 10 < 9 {
+                service.submit(ChunkRequest::read(ChunkPos::new(x, z)));
+            } else {
+                let base = ChunkPos::new(x, z).min_block();
+                let bx = base.x + ((r >> 24) % 16) as i32;
+                let bz = base.z + ((r >> 32) % 16) as i32;
+                let by = ((r >> 40) % 60) as i32 + 8;
+                let block = if r.is_multiple_of(2) {
+                    Block::Stone
+                } else {
+                    Block::Lamp
+                };
+                let _ = world.set_block(BlockPos::new(bx, by, bz), block);
+            }
+        }
+        if tick % EVICT_EVERY == EVICT_EVERY - 1 {
+            let keep: Vec<ChunkPos> = (window_lo..=frontier + AHEAD)
+                .flat_map(|x| (0..ROWS).map(move |z| ChunkPos::new(x, z)))
+                .collect();
+            service.submit(ChunkRequest::evict(keep));
+        }
+        if tick % WRITE_BACK_EVERY == WRITE_BACK_EVERY - 1 {
+            service.submit(ChunkRequest::write_back());
+        }
+        for completion in service.poll(now) {
+            match completion.outcome {
+                ChunkOutcome::Loaded { latency, .. } => {
+                    stats.loaded += 1;
+                    stats.sim_read_ms.push(latency.as_millis_f64());
+                }
+                ChunkOutcome::WroteBack { chunks } => stats.wrote_back += chunks,
+                ChunkOutcome::Evicted { chunks } => stats.evicted += chunks,
+                _ => {}
+            }
+        }
+        stats.section_ns.push(started.elapsed().as_nanos() as u64);
+        // ---- rest of the tick (constructs, avatars, networking) -------
+        // Unmeasured: gives background workers the same slack a real 50 ms
+        // tick budget would.
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let _ = columns;
+    // Unmeasured settling pass: harvest everything still in flight so the
+    // delivered-read counters are comparable across services.
+    let end = SimTime::from_millis(ticks * 50) + servo_types::SimDuration::from_secs(1_000);
+    let mut idle = 0;
+    for _ in 0..200_000 {
+        let completions = service.poll(end);
+        let empty = completions.is_empty();
+        for completion in completions {
+            match completion.outcome {
+                ChunkOutcome::Loaded { .. } => stats.loaded += 1,
+                ChunkOutcome::WroteBack { chunks } => stats.wrote_back += chunks,
+                ChunkOutcome::Evicted { chunks } => stats.evicted += chunks,
+                _ => {}
+            }
+        }
+        if empty && service.pending() == 0 {
+            idle += 1;
+            if idle >= 500 {
+                break;
+            }
+        } else {
+            idle = 0;
+        }
+        std::thread::yield_now();
+    }
+    stats
+}
+
+/// The frontier column at `tick`: one column every three ticks.
+fn frontier_at(tick: u64) -> i32 {
+    WINDOW - 1 + (tick / 3) as i32
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn percentile_f64(values: &mut [f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values[((values.len() - 1) as f64 * q).round() as usize]
+}
+
+struct Report {
+    service: &'static str,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    sim_read_p50_ms: f64,
+    sim_read_p99_ms: f64,
+    loaded: usize,
+    wrote_back: usize,
+    hit_rate: f64,
+    effective_hit_rate: f64,
+}
+
+fn report(service: &'static str, mut stats: RunStats, hit: f64, effective: f64) -> Report {
+    stats.section_ns.sort_unstable();
+    Report {
+        service,
+        p50_us: percentile(&stats.section_ns, 0.5) as f64 / 1_000.0,
+        p99_us: percentile(&stats.section_ns, 0.99) as f64 / 1_000.0,
+        max_us: *stats.section_ns.last().unwrap_or(&0) as f64 / 1_000.0,
+        sim_read_p50_ms: percentile_f64(&mut stats.sim_read_ms, 0.5),
+        sim_read_p99_ms: percentile_f64(&mut stats.sim_read_ms, 0.99),
+        loaded: stats.loaded,
+        wrote_back: stats.wrote_back,
+        hit_rate: hit,
+        effective_hit_rate: effective,
+    }
+}
+
+fn main() {
+    let fast = std::env::var("SERVO_BENCH_FAST")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--fast");
+    let ticks: u64 = if fast { 240 } else { 1200 };
+    let columns = frontier_at(ticks) + WINDOW + AHEAD + 2;
+    let workers = ServerConfig::servo_base().with_parallelism(4).parallelism;
+
+    println!(
+        "storage_async: {columns}x{ROWS} chunk band, {OPS_PER_TICK} actor ops/tick (90% scans), \
+         {ticks} ticks, {workers} transfer workers{}",
+        if fast { " (fast mode)" } else { "" }
+    );
+
+    // Baseline: the synchronous adapter (inline remote misses).
+    let sync_report = {
+        let world = seeded_world(columns);
+        let mut service = SyncChunkService::new(seeded_remote(columns), SimRng::seed(2))
+            .with_world(Arc::clone(&world));
+        let stats = run_workload(&mut service, &world, ticks);
+        let cache = service.stats();
+        report("sync", stats, cache.hit_rate(), cache.effective_hit_rate())
+    };
+
+    // The pipelined service: transfers on the worker pool.
+    let pipelined_report = {
+        let world = seeded_world(columns);
+        let mut service =
+            PipelinedChunkService::new(seeded_remote(columns), SimRng::seed(2), workers)
+                .with_world(Arc::clone(&world));
+        let stats = run_workload(&mut service, &world, ticks);
+        let cache = service.stats();
+        report(
+            "pipelined",
+            stats,
+            cache.hit_rate(),
+            cache.effective_hit_rate(),
+        )
+    };
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14} {:>8}",
+        "service", "p50 [us]", "p99 [us]", "max [us]", "sim p50 [ms]", "sim p99 [ms]", "loaded"
+    );
+    for r in [&sync_report, &pipelined_report] {
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>12.1} {:>14.3} {:>14.3} {:>8}",
+            r.service, r.p50_us, r.p99_us, r.max_us, r.sim_read_p50_ms, r.sim_read_p99_ms, r.loaded
+        );
+    }
+
+    let ratio = if pipelined_report.p99_us > 0.0 {
+        sync_report.p99_us / pipelined_report.p99_us
+    } else {
+        f64::INFINITY
+    };
+    let met = ratio >= 2.0;
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"storage_async\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"columns\": {columns}, \"rows\": {ROWS}, \"ticks\": {ticks}, \
+         \"ops_per_tick\": {OPS_PER_TICK}, \"scan_fraction\": 0.9, \"workers\": {workers}}},\n"
+    ));
+    json.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in [&sync_report, &pipelined_report].iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"service\": \"{}\", \"tick_section_p50_us\": {:.1}, \"tick_section_p99_us\": {:.1}, \
+             \"tick_section_max_us\": {:.1}, \"sim_read_p50_ms\": {:.3}, \"sim_read_p99_ms\": {:.3}, \
+             \"loaded\": {}, \"write_backs\": {}, \"hit_rate\": {:.4}, \"effective_hit_rate\": {:.4}}}{}\n",
+            r.service,
+            r.p50_us,
+            r.p99_us,
+            r.max_us,
+            r.sim_read_p50_ms,
+            r.sim_read_p99_ms,
+            r.loaded,
+            r.wrote_back,
+            r.hit_rate,
+            r.effective_hit_rate,
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"metric\": \"p99 tick-visible storage section\", \
+         \"sync_p99_us\": {:.1}, \"pipelined_p99_us\": {:.1}, \"ratio\": {ratio:.2}, \
+         \"target\": 2.0, \"met\": {met}}}\n",
+        sync_report.p99_us, pipelined_report.p99_us
+    ));
+    json.push_str("}\n");
+
+    let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the workspace root")
+        .join("BENCH_storage_async.json");
+    std::fs::write(&out_path, &json).expect("BENCH_storage_async.json must be writable");
+    println!(
+        "wrote {} (p99 tick-visible storage section: sync {:.1} us vs pipelined {:.1} us, {ratio:.1}x)",
+        out_path.display(),
+        sync_report.p99_us,
+        pipelined_report.p99_us
+    );
+}

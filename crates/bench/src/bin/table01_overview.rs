@@ -1,6 +1,13 @@
-//! Table I: overview of the experiments and where each is reproduced.
+//! Table I: overview of the experiments and where each is reproduced,
+//! plus the storage-cache effectiveness summary (raw hit rate vs the
+//! effective hit rate that counts slow pre-fetch joins as misses).
 
+use servo_core::{PrefetchPolicy, RemoteTerrainStore};
 use servo_metrics::Table;
+use servo_pcg::{DefaultGenerator, TerrainGenerator};
+use servo_simkit::SimRng;
+use servo_storage::{BlobStore, BlobTier, ObjectStore};
+use servo_types::{BlockPos, ChunkPos, SimTime};
 
 fn main() {
     let mut table = Table::new(vec![
@@ -99,6 +106,85 @@ fn main() {
     servo_bench::emit(
         "table01_overview",
         "Table I: Overview of Experiments",
+        &table,
+    );
+
+    emit_cache_effectiveness();
+}
+
+/// A short walking workload against the remote terrain store, reporting
+/// both hit-rate views: `hit_rate` counts every pre-fetch join as a hit;
+/// `effective_hit_rate` counts joins that still stalled the loop past one
+/// simulation step as misses. The gap is the latency the raw rate hides.
+fn emit_cache_effectiveness() {
+    let generator = DefaultGenerator::new(2024);
+    let mut remote = BlobStore::new(BlobTier::Standard, SimRng::seed(21));
+    let radius = 24;
+    for x in -radius..=radius {
+        for z in -radius..=radius {
+            let chunk = generator.generate(ChunkPos::new(x, z));
+            // Pad each object to the multi-hundred-kilobyte terrain size
+            // the paper measures (Figure 3) — run-length encoding shrinks
+            // synthetic terrain far below the real on-the-wire regime, and
+            // the slow-join asymmetry only appears when a transfer rivals
+            // the 50 ms step. Trailing padding is ignored on restore.
+            let mut bytes = chunk.to_bytes();
+            bytes.resize(bytes.len().max(300_000), 0);
+            remote
+                .write(&format!("terrain/{x}/{z}"), bytes, SimTime::ZERO)
+                .expect("seed write");
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "Pre-fetch margin [blocks]",
+        "reads",
+        "hit rate",
+        "effective hit rate",
+        "slow joins",
+    ]);
+    for margin in [0i32, 48] {
+        let mut store = RemoteTerrainStore::new(
+            remote.clone(),
+            SimRng::seed(22),
+            PrefetchPolicy {
+                view_distance_blocks: 64,
+                prefetch_margin_blocks: margin,
+                eviction_margin_blocks: 64,
+            },
+        );
+        // Bound the walk so the player's view never leaves the seeded
+        // terrain (radius 24 chunks = 384 blocks, view + margin ~70):
+        // beyond that every read is NotFound and the ticks are wasted.
+        let on_terrain_ticks = (((radius * 16 - 70) as f64) / 1.5) as u64;
+        let walk_ticks =
+            ((servo_bench::scaled_secs(120).as_secs_f64() * 20.0) as u64).min(on_terrain_ticks);
+        let mut already_needed: std::collections::BTreeSet<ChunkPos> = Default::default();
+        for tick in 0..walk_ticks {
+            let now = SimTime::from_millis(tick * 50);
+            let x = (tick as f64 * 1.5) as i32; // a sprinting player
+            let player = [BlockPos::new(x, 4, 0)];
+            store.maintain(&player, now);
+            // Read every chunk the moment it enters the view distance —
+            // exactly when the game loop needs it.
+            for chunk in servo_world::required_chunks(&player, 64) {
+                if already_needed.insert(chunk) {
+                    let _ = store.read(chunk, now);
+                }
+            }
+        }
+        let stats = store.stats();
+        table.row(vec![
+            margin.to_string(),
+            stats.total_reads().to_string(),
+            format!("{:.4}", stats.hit_rate()),
+            format!("{:.4}", stats.effective_hit_rate()),
+            stats.slow_prefetch_joins.to_string(),
+        ]);
+    }
+    servo_bench::emit(
+        "table01_cache_effectiveness",
+        "Storage cache effectiveness: raw vs effective hit rate",
         &table,
     );
 }

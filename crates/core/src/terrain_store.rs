@@ -1,7 +1,9 @@
 //! Remote state storage with distance-based pre-fetching
 //! (paper Section III-E).
 
-use servo_storage::{CacheStats, CachedChunkStore, CachedRead, ObjectStore};
+use servo_storage::{
+    CacheStats, CachedRead, ChunkOutcome, ChunkRequest, ChunkService, ObjectStore, SyncChunkService,
+};
 use servo_types::{BlockPos, ChunkPos, ServoError, SimTime};
 use servo_world::{required_chunks, ChunkSnapshot};
 
@@ -33,6 +35,12 @@ impl Default for PrefetchPolicy {
 /// Servo's terrain persistence component: serverless blob storage fronted by
 /// the cache of `servo-storage`, driven by avatar positions.
 ///
+/// All storage interaction goes through the [`ChunkService`]
+/// request/completion pipeline (here the synchronous baseline adapter):
+/// reads are submitted as tickets and resolved from completions,
+/// maintenance submits `Prefetch`/`Evict` requests, and flushing submits a
+/// `WriteBack` — this type holds no direct cache access.
+///
 /// # Example
 ///
 /// ```
@@ -50,7 +58,7 @@ impl Default for PrefetchPolicy {
 /// ```
 #[derive(Debug)]
 pub struct RemoteTerrainStore<R: ObjectStore> {
-    cache: CachedChunkStore<R>,
+    service: SyncChunkService<R>,
     policy: PrefetchPolicy,
 }
 
@@ -58,7 +66,7 @@ impl<R: ObjectStore> RemoteTerrainStore<R> {
     /// Creates a store in front of the remote backend `remote`.
     pub fn new(remote: R, rng: servo_simkit::SimRng, policy: PrefetchPolicy) -> Self {
         RemoteTerrainStore {
-            cache: CachedChunkStore::new(remote, rng),
+            service: SyncChunkService::new(remote, rng),
             policy,
         }
     }
@@ -70,60 +78,100 @@ impl<R: ObjectStore> RemoteTerrainStore<R> {
 
     /// Cache effectiveness counters.
     pub fn stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.service.stats()
     }
 
     /// Number of chunks currently resident in memory.
     pub fn resident_chunks(&self) -> usize {
-        self.cache.resident_chunks()
+        self.service.resident_chunks()
     }
 
     /// Access to the remote backend (e.g. to seed it with generated terrain).
     pub fn remote_mut(&mut self) -> &mut R {
-        self.cache.remote_mut()
+        self.service.remote_mut()
     }
 
-    /// Stores a generated or modified chunk.
+    /// Stores a generated or modified chunk (the pipeline's ingest
+    /// boundary; everything else flows through submitted requests).
     ///
     /// # Errors
     ///
     /// Propagates storage failures from the cache layer.
     pub fn put(&mut self, snapshot: ChunkSnapshot, now: SimTime) -> Result<(), ServoError> {
-        self.cache.put(snapshot, now)
+        self.service.put(snapshot, now)
     }
 
-    /// Reads the chunk at `pos` through the cache hierarchy.
+    /// Reads the chunk at `pos`: submits a read ticket and resolves its
+    /// completion (the synchronous service completes it in the same poll).
     ///
     /// # Errors
     ///
     /// Returns [`ServoError::NotFound`] if the chunk does not exist anywhere.
     pub fn read(&mut self, pos: ChunkPos, now: SimTime) -> Result<CachedRead, ServoError> {
-        self.cache.read(pos, now)
+        // Advance the service clock (and materialise arrivals) first so the
+        // submitted read executes at `now`.
+        self.service.poll(now);
+        let ticket = self.service.submit(ChunkRequest::read(pos));
+        for completion in self.service.poll(now) {
+            if completion.ticket != ticket {
+                continue;
+            }
+            return match completion.outcome {
+                ChunkOutcome::Loaded {
+                    chunk,
+                    location,
+                    latency,
+                    ..
+                } => Ok(CachedRead {
+                    snapshot: chunk.snapshot(),
+                    latency,
+                    location,
+                }),
+                ChunkOutcome::Missing { pos } => Err(ServoError::not_found(format!(
+                    "chunk {pos} in remote terrain storage"
+                ))),
+                ChunkOutcome::Failed { error, .. } => Err(error),
+                ChunkOutcome::WroteBack { .. } | ChunkOutcome::Evicted { .. } => Err(
+                    ServoError::storage_failed("read produced a maintenance completion"),
+                ),
+            };
+        }
+        Err(ServoError::storage_failed(
+            "synchronous read ticket did not complete",
+        ))
     }
 
     /// Runs one maintenance round for the given avatar positions:
-    /// completes arrived pre-fetches, issues new pre-fetches for chunks
-    /// within the pre-fetch horizon, and evicts chunks far outside every
-    /// player's view.
+    /// completes arrived pre-fetches, submits pre-fetch requests for chunks
+    /// within the pre-fetch horizon, and submits an eviction request for
+    /// chunks far outside every player's view.
     pub fn maintain(&mut self, avatar_positions: &[BlockPos], now: SimTime) {
-        self.cache.poll(now);
+        self.service.poll(now);
         let prefetch_horizon =
             self.policy.view_distance_blocks + self.policy.prefetch_margin_blocks;
         let prefetch_set = required_chunks(avatar_positions, prefetch_horizon);
-        self.cache.prefetch(prefetch_set.iter().copied(), now);
+        self.service.submit(ChunkRequest::prefetch(prefetch_set));
 
         let keep_horizon = prefetch_horizon + self.policy.eviction_margin_blocks;
-        let keep: std::collections::HashSet<ChunkPos> =
-            required_chunks(avatar_positions, keep_horizon)
-                .into_iter()
-                .collect();
-        self.cache.evict_except(&keep, now);
+        let keep = required_chunks(avatar_positions, keep_horizon);
+        self.service.submit(ChunkRequest::evict(keep));
+        self.service.poll(now);
     }
 
-    /// Periodically writes dirty chunks back to remote storage; returns how
-    /// many chunks were written.
+    /// Periodically writes dirty chunks back to remote storage (as a
+    /// submitted `WriteBack` request); returns how many chunks were
+    /// written.
     pub fn flush(&mut self, now: SimTime) -> usize {
-        self.cache.write_back_dirty(now)
+        self.service.poll(now);
+        let ticket = self.service.submit(ChunkRequest::write_back());
+        self.service
+            .poll(now)
+            .into_iter()
+            .find_map(|completion| match completion.outcome {
+                ChunkOutcome::WroteBack { chunks } if completion.ticket == ticket => Some(chunks),
+                _ => None,
+            })
+            .unwrap_or(0)
     }
 }
 

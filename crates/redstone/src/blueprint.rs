@@ -7,7 +7,7 @@ use servo_world::Block;
 
 /// The kind of a stateful block inside a construct.
 ///
-/// These mirror the stateful [`Block`](servo_world::Block) kinds of the
+/// These mirror the stateful [`servo_world::Block`] kinds of the
 /// world crate, but carry the circuit semantics used by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CircuitBlock {

@@ -1,9 +1,24 @@
-//! Pluggable backends for construct simulation and terrain generation.
+//! Pluggable backends for construct simulation and terrain provisioning.
+//!
+//! Construct simulation plugs in through [`ScBackend`]. Terrain flows
+//! through the unified [`ChunkService`] request/completion API of
+//! `servo-storage`: the game loop submits [`ChunkRequest::Read`]s for
+//! chunks it is missing and integrates whatever [`ChunkOutcome::Loaded`]
+//! completions come back, never blocking on generation or storage. The
+//! baselines use [`LocalGenerationBackend`] (bounded background threads on
+//! the game server); Servo plugs in its FaaS generation service from
+//! `servo-core`.
+//!
+//! The pre-redesign [`TerrainBackend`] trait survives one release behind
+//! the deprecated [`TerrainBackendShim`].
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use servo_pcg::TerrainGenerator;
 use servo_redstone::Construct;
+use servo_storage::{
+    ChunkCompletion, ChunkLocation, ChunkOutcome, ChunkRequest, ChunkService, ShardDelta, Ticket,
+};
 use servo_types::{ChunkPos, ConstructId, SimTime, Tick};
 use servo_world::Chunk;
 
@@ -106,11 +121,16 @@ impl ScBackend for LocalScBackend {
     }
 }
 
-/// A provider of generated terrain.
+/// The pre-redesign terrain-provider interface.
 ///
-/// The baselines generate terrain in background threads on the game server
-/// ([`LocalGenerationBackend`]); Servo offloads generation to serverless
-/// functions (`servo-core`'s `FaasTerrainBackend`).
+/// Superseded by the [`ChunkService`] request/completion API, which the
+/// game loop now consumes exclusively; existing implementations keep
+/// working for one release through [`TerrainBackendShim`].
+#[deprecated(
+    since = "0.2.0",
+    note = "implement servo_storage::ChunkService instead; wrap legacy \
+            implementations in TerrainBackendShim for the transition"
+)]
 pub trait TerrainBackend {
     /// Requests generation of the chunk at `pos`. Duplicate requests are
     /// ignored.
@@ -131,8 +151,146 @@ pub trait TerrainBackend {
     fn name(&self) -> &'static str;
 }
 
+/// Compatibility adapter: exposes a legacy [`TerrainBackend`] through the
+/// [`ChunkService`] API so not-yet-migrated backends keep plugging into
+/// [`GameServer`](crate::GameServer) for one more release.
+///
+/// Requests map directly (`Read`/`Prefetch` → `request`, completions from
+/// `poll_ready`); `WriteBack` and `Evict` complete as no-ops because the
+/// legacy interface has no persistence side.
+#[deprecated(
+    since = "0.2.0",
+    note = "transitional only — implement servo_storage::ChunkService directly"
+)]
+pub struct TerrainBackendShim {
+    #[allow(deprecated)]
+    inner: Box<dyn TerrainBackend>,
+    clock: GenerationClock,
+}
+
+#[allow(deprecated)]
+impl TerrainBackendShim {
+    /// Wraps a legacy backend.
+    pub fn new(inner: Box<dyn TerrainBackend>) -> Self {
+        TerrainBackendShim {
+            inner,
+            clock: GenerationClock::default(),
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl ChunkService for TerrainBackendShim {
+    fn submit(&mut self, request: ChunkRequest) -> Ticket {
+        let (ticket, positions) = self.clock.admit(&request);
+        for pos in positions {
+            self.inner.request(pos, self.clock.now);
+        }
+        ticket
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<ChunkCompletion> {
+        self.clock.now = now;
+        let ready = self.inner.poll_ready(now);
+        self.clock.complete(ready, now)
+    }
+
+    fn drain_dirty(&mut self) -> Vec<ShardDelta> {
+        Vec::new()
+    }
+
+    fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+
+    fn busy_local_workers(&self, now: SimTime) -> usize {
+        self.inner.busy_local_workers(now)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// The submit/complete bookkeeping every generation-style [`ChunkService`]
+/// shares: the virtual clock observed from `poll`, ticket allocation, and
+/// the ticket/issue-time record per requested chunk. Used by
+/// [`LocalGenerationBackend`], the FaaS generation backend of
+/// `servo-core`, and [`TerrainBackendShim`].
+#[derive(Debug, Default)]
+pub struct GenerationClock {
+    now: SimTime,
+    ticket_seq: u64,
+    issued: HashMap<ChunkPos, (Ticket, SimTime)>,
+}
+
+impl GenerationClock {
+    /// The virtual time observed from the most recent `poll` — the issue
+    /// time subsequent submissions should use.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the observed virtual time (call at the top of `poll`).
+    pub fn advance(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Drops the issue record of `pos` (e.g. when an invocation failed and
+    /// the position may be retried under a fresh ticket).
+    pub fn forget(&mut self, pos: ChunkPos) {
+        self.issued.remove(&pos);
+    }
+
+    fn next_ticket(&mut self) -> Ticket {
+        self.ticket_seq += 1;
+        Ticket(self.ticket_seq)
+    }
+
+    /// Allocates a ticket for `request` and returns the chunk positions it
+    /// asks for (empty for maintenance requests, which generation services
+    /// treat as no-ops). Positions already requested keep their original
+    /// ticket; their eventual completion carries that first ticket.
+    pub fn admit(&mut self, request: &ChunkRequest) -> (Ticket, Vec<ChunkPos>) {
+        let ticket = self.next_ticket();
+        let positions: Vec<ChunkPos> = match request {
+            ChunkRequest::Read { pos, .. } => vec![*pos],
+            ChunkRequest::Prefetch { positions, .. } => positions.clone(),
+            ChunkRequest::WriteBack { .. } | ChunkRequest::Evict { .. } => Vec::new(),
+        };
+        for &pos in &positions {
+            self.issued.entry(pos).or_insert((ticket, self.now));
+        }
+        (ticket, positions)
+    }
+
+    /// Wraps generated chunks into completions carrying the ticket and
+    /// issue time of the request that first asked for them.
+    pub fn complete(&mut self, ready: Vec<Chunk>, now: SimTime) -> Vec<ChunkCompletion> {
+        ready
+            .into_iter()
+            .map(|chunk| {
+                let pos = chunk.pos();
+                let (ticket, issued) = self.issued.remove(&pos).unwrap_or((Ticket(0), now));
+                ChunkCompletion {
+                    ticket,
+                    outcome: ChunkOutcome::Loaded {
+                        pos,
+                        chunk: Box::new(chunk),
+                        location: ChunkLocation::Generated,
+                        latency: now.saturating_since(issued),
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
 /// Terrain generation in a bounded pool of background threads on the game
-/// server, the way the monolithic baselines do it.
+/// server, the way the monolithic baselines do it. Plugs into the game
+/// loop as a [`ChunkService`]: `Read`/`Prefetch` requests queue generation
+/// jobs, completed chunks surface as [`ChunkOutcome::Loaded`] completions
+/// with [`ChunkLocation::Generated`].
 pub struct LocalGenerationBackend {
     generator: Box<dyn TerrainGenerator>,
     workers: usize,
@@ -140,6 +298,7 @@ pub struct LocalGenerationBackend {
     running: Vec<(ChunkPos, SimTime)>,
     requested: HashSet<ChunkPos>,
     generated: u64,
+    clock: GenerationClock,
 }
 
 impl LocalGenerationBackend {
@@ -157,12 +316,39 @@ impl LocalGenerationBackend {
             running: Vec::new(),
             requested: HashSet::new(),
             generated: 0,
+            clock: GenerationClock::default(),
         }
     }
 
     /// Total chunks generated so far.
     pub fn generated(&self) -> u64 {
         self.generated
+    }
+
+    /// Queues generation of `pos` at virtual time `now` (duplicates are
+    /// ignored) and starts it as soon as a worker is free.
+    fn request_at(&mut self, pos: ChunkPos, now: SimTime) {
+        if self.requested.insert(pos) {
+            self.queue.push_back(pos);
+            self.start_queued(now);
+        }
+    }
+
+    /// Collects every chunk finished by `now` and refills the workers.
+    fn take_ready(&mut self, now: SimTime) -> Vec<Chunk> {
+        let mut ready = Vec::new();
+        let mut still_running = Vec::new();
+        for (pos, done_at) in self.running.drain(..) {
+            if done_at <= now {
+                ready.push(self.generator.generate(pos));
+            } else {
+                still_running.push((pos, done_at));
+            }
+        }
+        self.running = still_running;
+        self.generated += ready.len() as u64;
+        self.start_queued(now);
+        ready
     }
 
     fn start_queued(&mut self, now: SimTime) {
@@ -187,36 +373,33 @@ impl std::fmt::Debug for LocalGenerationBackend {
     }
 }
 
-impl TerrainBackend for LocalGenerationBackend {
-    fn request(&mut self, pos: ChunkPos, now: SimTime) {
-        if self.requested.insert(pos) {
-            self.queue.push_back(pos);
-            self.start_queued(now);
+impl ChunkService for LocalGenerationBackend {
+    fn submit(&mut self, request: ChunkRequest) -> Ticket {
+        let (ticket, positions) = self.clock.admit(&request);
+        let now = self.clock.now;
+        for pos in positions {
+            self.request_at(pos, now);
         }
+        ticket
     }
 
-    fn poll_ready(&mut self, now: SimTime) -> Vec<Chunk> {
-        let mut ready = Vec::new();
-        let mut still_running = Vec::new();
-        for (pos, done_at) in self.running.drain(..) {
-            if done_at <= now {
-                ready.push(self.generator.generate(pos));
-            } else {
-                still_running.push((pos, done_at));
-            }
-        }
-        self.running = still_running;
-        self.generated += ready.len() as u64;
-        self.start_queued(now);
-        ready
+    fn poll(&mut self, now: SimTime) -> Vec<ChunkCompletion> {
+        self.clock.now = now;
+        let ready = self.take_ready(now);
+        self.clock.complete(ready, now)
     }
 
-    fn busy_local_workers(&self, now: SimTime) -> usize {
-        self.running.iter().filter(|(_, done)| *done > now).count()
+    fn drain_dirty(&mut self) -> Vec<ShardDelta> {
+        // Generation has no persistence side: nothing ever becomes dirty.
+        Vec::new()
     }
 
     fn pending(&self) -> usize {
         self.queue.len() + self.running.len()
+    }
+
+    fn busy_local_workers(&self, now: SimTime) -> usize {
+        self.running.iter().filter(|(_, done)| *done > now).count()
     }
 
     fn name(&self) -> &'static str {
@@ -230,6 +413,22 @@ mod tests {
     use servo_pcg::{DefaultGenerator, FlatGenerator};
     use servo_redstone::generators;
     use servo_types::SimDuration;
+
+    /// Submits a read and advances the service clock to `now` first.
+    fn read_at(service: &mut dyn ChunkService, pos: ChunkPos, now: SimTime) -> Ticket {
+        service.poll(now);
+        service.submit(ChunkRequest::read(pos))
+    }
+
+    fn loaded_chunks(completions: Vec<ChunkCompletion>) -> Vec<Chunk> {
+        completions
+            .into_iter()
+            .filter_map(|c| match c.outcome {
+                ChunkOutcome::Loaded { chunk, .. } => Some(*chunk),
+                _ => None,
+            })
+            .collect()
+    }
 
     #[test]
     fn local_sc_backend_every_other_tick_skips_odd_ticks() {
@@ -259,28 +458,42 @@ mod tests {
     #[test]
     fn local_generation_completes_after_cost_duration() {
         let mut backend = LocalGenerationBackend::new(Box::new(FlatGenerator::default()), 2);
-        backend.request(ChunkPos::new(0, 0), SimTime::ZERO);
-        backend.request(ChunkPos::new(1, 0), SimTime::ZERO);
+        let t0 = read_at(&mut backend, ChunkPos::new(0, 0), SimTime::ZERO);
+        let t1 = read_at(&mut backend, ChunkPos::new(1, 0), SimTime::ZERO);
+        assert_ne!(t0, t1);
         assert_eq!(backend.pending(), 2);
         assert_eq!(backend.busy_local_workers(SimTime::ZERO), 2);
         // Nothing is ready immediately.
-        assert!(backend.poll_ready(SimTime::ZERO).is_empty());
-        // After the flat-generation cost (30 work units = 30 ms) both are done.
-        let ready = backend.poll_ready(SimTime::from_millis(31));
-        assert_eq!(ready.len(), 2);
+        assert!(backend.poll(SimTime::ZERO).is_empty());
+        // After the flat-generation cost (30 work units = 30 ms) both are
+        // done, with the completion carrying the observed latency.
+        let completions = backend.poll(SimTime::from_millis(31));
+        assert_eq!(completions.len(), 2);
+        for completion in &completions {
+            match &completion.outcome {
+                ChunkOutcome::Loaded {
+                    location, latency, ..
+                } => {
+                    assert_eq!(*location, ChunkLocation::Generated);
+                    assert_eq!(*latency, SimDuration::from_millis(31));
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
         assert_eq!(backend.pending(), 0);
         assert_eq!(backend.generated(), 2);
+        assert!(backend.drain_dirty().is_empty());
     }
 
     #[test]
     fn local_generation_throughput_is_bounded_by_workers() {
         let mut backend = LocalGenerationBackend::new(Box::new(DefaultGenerator::new(1)), 2);
         for i in 0..10 {
-            backend.request(ChunkPos::new(i, 0), SimTime::ZERO);
+            read_at(&mut backend, ChunkPos::new(i, 0), SimTime::ZERO);
         }
         // A default chunk costs 550 ms at one vCPU; with 2 workers only 2
         // chunks can be ready after 600 ms.
-        let ready = backend.poll_ready(SimTime::from_millis(600));
+        let ready = loaded_chunks(backend.poll(SimTime::from_millis(600)));
         assert_eq!(ready.len(), 2);
         assert_eq!(backend.pending(), 8);
         // After 10 x 550 ms everything is done even with 2 workers.
@@ -288,7 +501,7 @@ mod tests {
         let mut now = SimTime::from_millis(600);
         for _ in 0..20 {
             now += SimDuration::from_millis(550);
-            total += backend.poll_ready(now).len();
+            total += loaded_chunks(backend.poll(now)).len();
         }
         assert_eq!(total, 10);
     }
@@ -296,18 +509,86 @@ mod tests {
     #[test]
     fn duplicate_requests_are_ignored() {
         let mut backend = LocalGenerationBackend::new(Box::new(FlatGenerator::default()), 1);
-        for _ in 0..5 {
-            backend.request(ChunkPos::new(3, 3), SimTime::ZERO);
+        let first = read_at(&mut backend, ChunkPos::new(3, 3), SimTime::ZERO);
+        for _ in 0..4 {
+            read_at(&mut backend, ChunkPos::new(3, 3), SimTime::ZERO);
         }
         assert_eq!(backend.pending(), 1);
-        let ready = backend.poll_ready(SimTime::from_secs(1));
-        assert_eq!(ready.len(), 1);
-        assert_eq!(ready[0].pos(), ChunkPos::new(3, 3));
+        let completions = backend.poll(SimTime::from_secs(1));
+        assert_eq!(completions.len(), 1);
+        // The completion carries the first request's ticket.
+        assert_eq!(completions[0].ticket, first);
+        match &completions[0].outcome {
+            ChunkOutcome::Loaded { pos, .. } => assert_eq!(*pos, ChunkPos::new(3, 3)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefetch_requests_queue_generation() {
+        let mut backend = LocalGenerationBackend::new(Box::new(FlatGenerator::default()), 4);
+        backend.submit(ChunkRequest::prefetch([
+            ChunkPos::new(0, 0),
+            ChunkPos::new(1, 1),
+        ]));
+        // Maintenance requests are accepted but are no-ops here.
+        backend.submit(ChunkRequest::write_back());
+        backend.submit(ChunkRequest::evict([ChunkPos::new(0, 0)]));
+        assert_eq!(backend.pending(), 2);
+        assert_eq!(loaded_chunks(backend.poll(SimTime::from_secs(1))).len(), 2);
     }
 
     #[test]
     #[should_panic(expected = "at least one generation worker")]
     fn zero_workers_is_rejected() {
         LocalGenerationBackend::new(Box::new(FlatGenerator::default()), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn terrain_backend_shim_adapts_legacy_backends() {
+        /// A minimal legacy backend: delivers flat chunks one tick after the
+        /// request.
+        struct Legacy {
+            pending: Vec<(ChunkPos, SimTime)>,
+        }
+        impl TerrainBackend for Legacy {
+            fn request(&mut self, pos: ChunkPos, now: SimTime) {
+                if !self.pending.iter().any(|(p, _)| *p == pos) {
+                    self.pending.push((pos, now + SimDuration::from_millis(50)));
+                }
+            }
+            fn poll_ready(&mut self, now: SimTime) -> Vec<Chunk> {
+                let (ready, waiting) = self
+                    .pending
+                    .drain(..)
+                    .partition::<Vec<_>, _>(|(_, due)| *due <= now);
+                self.pending = waiting;
+                ready.into_iter().map(|(p, _)| Chunk::empty(p)).collect()
+            }
+            fn busy_local_workers(&self, _now: SimTime) -> usize {
+                0
+            }
+            fn pending(&self) -> usize {
+                self.pending.len()
+            }
+            fn name(&self) -> &'static str {
+                "legacy"
+            }
+        }
+
+        let mut shim = TerrainBackendShim::new(Box::new(Legacy {
+            pending: Vec::new(),
+        }));
+        let ticket = shim.submit(ChunkRequest::read(ChunkPos::new(2, 2)));
+        assert_eq!(shim.pending(), 1);
+        assert_eq!(shim.name(), "legacy");
+        let completions = shim.poll(SimTime::from_millis(50));
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].ticket, ticket);
+        assert!(matches!(
+            completions[0].outcome,
+            ChunkOutcome::Loaded { pos, .. } if pos == ChunkPos::new(2, 2)
+        ));
     }
 }

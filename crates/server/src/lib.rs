@@ -14,9 +14,10 @@
 //! * which [`ScBackend`] simulates constructs (locally every other tick for
 //!   the baselines; Servo plugs in its speculative offloading unit from the
 //!   `servo-core` crate), and
-//! * which [`TerrainBackend`] generates terrain (a bounded local background
-//!   generator for the baselines; Servo plugs in its FaaS generation
-//!   backend).
+//! * which `servo_storage::ChunkService` provides terrain (a bounded local
+//!   background generator for the baselines; Servo plugs in its FaaS
+//!   generation backend). The game loop submits chunk-read tickets and
+//!   integrates completions — it never blocks on generation or storage.
 //!
 //! Experiments run on virtual time: per-tick work is counted from the real
 //! data structures (real constructs stepped, real chunks generated and
@@ -54,8 +55,10 @@ pub mod multi;
 pub mod server;
 
 pub use backends::{
-    LocalGenerationBackend, LocalScBackend, ScBackend, ScResolution, TerrainBackend,
+    GenerationClock, LocalGenerationBackend, LocalScBackend, ScBackend, ScResolution,
 };
+#[allow(deprecated)]
+pub use backends::{TerrainBackend, TerrainBackendShim};
 pub use costs::{CostModel, TickWork};
 pub use multi::{ClusterTick, ReplicatedCluster, ZonedCluster};
 pub use server::{GameServer, ServerConfig, ServerStats, TickReport};

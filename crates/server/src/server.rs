@@ -11,7 +11,9 @@ use servo_types::{BlockPos, ChunkPos, ConstructId, PlayerId, SimDuration, SimTim
 use servo_workload::{PlayerEvent, PlayerFleet};
 use servo_world::{nearest_missing_distance_blocks, required_chunks, ShardedWorld, WorldKind};
 
-use crate::backends::{ScBackend, ScResolution, TerrainBackend};
+use servo_storage::{ChunkOutcome, ChunkRequest, ChunkService};
+
+use crate::backends::{ScBackend, ScResolution};
 use crate::costs::{CostModel, TickWork};
 
 /// Static configuration of a game-server instance.
@@ -158,7 +160,11 @@ pub struct GameServer {
     constructs: Vec<(ConstructId, usize, Construct)>,
     construct_ids: IdAllocator<ConstructId>,
     sc_backend: Box<dyn ScBackend>,
-    terrain: Box<dyn TerrainBackend>,
+    /// The terrain pipeline: every chunk the world is missing is submitted
+    /// as a [`ChunkRequest::Read`] ticket and arrives back as a
+    /// [`ChunkOutcome::Loaded`] completion — the loop never blocks on
+    /// generation or storage.
+    chunks: Box<dyn ChunkService>,
     clock: SimClock,
     tick: Tick,
     rng: SimRng,
@@ -181,12 +187,12 @@ impl std::fmt::Debug for GameServer {
 }
 
 impl GameServer {
-    /// Creates a server instance with the given construct and terrain
-    /// backends.
+    /// Creates a server instance with the given construct backend and
+    /// terrain chunk service.
     pub fn new(
         config: ServerConfig,
         sc_backend: Box<dyn ScBackend>,
-        terrain: Box<dyn TerrainBackend>,
+        chunks: Box<dyn ChunkService>,
         rng: SimRng,
     ) -> Self {
         let world = match config.world_kind {
@@ -199,7 +205,7 @@ impl GameServer {
             constructs: Vec::new(),
             construct_ids: IdAllocator::new(),
             sc_backend,
-            terrain,
+            chunks,
             clock: SimClock::new(),
             tick: Tick::ZERO,
             rng,
@@ -319,18 +325,23 @@ impl GameServer {
             ..TickWork::default()
         };
 
-        // 1. Terrain management: request generation out to the view distance
-        //    plus the generation margin, integrate whatever is ready.
+        // 1. Terrain management: harvest completed chunk tickets, then
+        //    submit reads for everything missing out to the view distance
+        //    plus the generation margin. The chunk service deduplicates
+        //    re-submitted positions, so asking every tick is free.
+        for completion in self.chunks.poll(now) {
+            if let ChunkOutcome::Loaded { chunk, .. } = completion.outcome {
+                self.pending_integration.push_back(*chunk);
+            }
+        }
         let generation_horizon =
             self.config.view_distance_blocks + self.config.generation_margin_blocks;
         let needed = required_chunks(positions, generation_horizon);
         for pos in &needed {
             if !self.world.is_loaded(*pos) {
-                self.terrain.request(*pos, now);
+                self.chunks.submit(ChunkRequest::read(*pos));
             }
         }
-        self.pending_integration
-            .extend(self.terrain.poll_ready(now));
         let to_integrate = self
             .pending_integration
             .len()
@@ -341,8 +352,8 @@ impl GameServer {
         // shard and takes each shard's write lock once.
         self.world
             .insert_chunks(self.pending_integration.drain(..to_integrate));
-        work.busy_generation_workers = self.terrain.busy_local_workers(now);
-        work.generation_backlog = self.terrain.pending() + self.pending_integration.len();
+        work.busy_generation_workers = self.chunks.busy_local_workers(now);
+        work.generation_backlog = self.chunks.pending() + self.pending_integration.len();
 
         // 2. Apply player events to the world and to any construct they
         //    touch (invalidating in-flight speculation via the modification

@@ -5,11 +5,18 @@
 //! player are pre-fetched before they are needed, reads served from memory
 //! or the local file system stay well under one simulation step, and writes
 //! to remote storage happen periodically in the background.
+//!
+//! Dirty tracking, recency tracking, and write-back grouping are all
+//! *per world shard* (the same [`shard_index`] partition the sharded world
+//! uses), so a write-back pass visits only the shards that were actually
+//! modified and eviction walks small per-shard recency maps instead of
+//! scanning the full resident map.
 
 use std::collections::{HashMap, HashSet};
 
+use servo_types::consts::TICK_BUDGET;
 use servo_types::{ChunkPos, ServoError, SimDuration, SimTime};
-use servo_world::{shard_index, ChunkSnapshot, ShardedWorld, DEFAULT_SHARDS};
+use servo_world::{shard_index, ChunkSnapshot, ShardDelta, ShardedWorld, DEFAULT_SHARDS};
 
 use crate::backend::{LocalDiskStore, ObjectStore};
 
@@ -25,6 +32,8 @@ pub enum ChunkLocation {
     PrefetchInFlight,
     /// Fetched synchronously from remote storage.
     Remote,
+    /// Produced by a terrain generator rather than loaded from storage.
+    Generated,
 }
 
 /// Counters describing cache effectiveness.
@@ -36,6 +45,10 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Reads that joined an in-flight pre-fetch.
     pub prefetch_joins: u64,
+    /// Pre-fetch joins that still had to wait longer than one simulation
+    /// step — latency the game loop *does* observe, even though no new
+    /// remote request was issued.
+    pub slow_prefetch_joins: u64,
     /// Reads that had to go to remote storage synchronously.
     pub remote_misses: u64,
     /// Pre-fetch requests issued.
@@ -51,12 +64,32 @@ impl CacheStats {
     }
 
     /// Fraction of reads that did not require a synchronous remote fetch.
+    ///
+    /// Asynchronous services never fetch synchronously — a demand-read
+    /// miss becomes an in-flight transfer (counted under
+    /// `prefetches_issued`, joined on arrival) — so they report 1.0 here
+    /// by construction. Use [`CacheStats::effective_hit_rate`] to compare
+    /// a synchronous and an asynchronous service: it charges joins that
+    /// stalled the loop past one simulation step as misses.
     pub fn hit_rate(&self) -> f64 {
         let total = self.total_reads();
         if total == 0 {
             return 1.0;
         }
         1.0 - self.remote_misses as f64 / total as f64
+    }
+
+    /// Fraction of reads the game loop experienced as fast: like
+    /// [`CacheStats::hit_rate`], but pre-fetch joins that still waited past
+    /// one simulation step also count as misses. [`CacheStats::hit_rate`]
+    /// flatters the cache by counting such joins as hits even though the
+    /// tick stalled on them.
+    pub fn effective_hit_rate(&self) -> f64 {
+        let total = self.total_reads();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - (self.remote_misses + self.slow_prefetch_joins) as f64 / total as f64
     }
 }
 
@@ -69,6 +102,20 @@ pub struct CachedRead {
     pub latency: SimDuration,
     /// Where the chunk was served from.
     pub location: ChunkLocation,
+}
+
+/// The outcome of a non-blocking [`CachedChunkStore::try_read`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryRead {
+    /// The chunk was available without touching remote storage.
+    Ready(CachedRead),
+    /// A remote transfer is in flight (issued by this call if necessary);
+    /// the data arrives at the given instant and materialises on the next
+    /// [`CachedChunkStore::poll`] at or after it.
+    InFlight {
+        /// The instant the transfer completes.
+        arrives_at: SimTime,
+    },
 }
 
 /// A chunk store that fronts a remote [`ObjectStore`] with an in-memory map,
@@ -95,8 +142,21 @@ pub struct CachedChunkStore<R: ObjectStore> {
     remote: R,
     local: LocalDiskStore,
     memory: HashMap<ChunkPos, ChunkSnapshot>,
-    /// Chunks modified since the last write-back.
-    dirty: HashSet<ChunkPos>,
+    /// Chunks modified since the last write-back, per world shard — the
+    /// write-back pass visits only shards whose set is non-empty.
+    dirty: Vec<HashSet<ChunkPos>>,
+    /// Lifetime count of `put`s per shard, the epoch reported in the
+    /// [`ShardDelta`]s of [`CachedChunkStore::take_dirty_deltas`].
+    dirty_epochs: Vec<u64>,
+    /// Per-shard access stamps over the resident set — eviction sorts one
+    /// shard's stamps to find its least-recently-used chunks instead of
+    /// scanning the full resident map, and recording an access is O(1).
+    recency: Vec<HashMap<ChunkPos, u64>>,
+    /// Monotone access clock feeding the recency stamps.
+    access_clock: u64,
+    /// Reusable buffer for grouping one shard's dirty chunks during
+    /// write-back; kept across calls so the hot path does not allocate.
+    write_back_scratch: Vec<ChunkPos>,
     /// Pre-fetches in flight: chunk -> instant the data arrives locally.
     in_flight: HashMap<ChunkPos, SimTime>,
     stats: CacheStats,
@@ -115,7 +175,11 @@ impl<R: ObjectStore> CachedChunkStore<R> {
             remote,
             local: LocalDiskStore::new(rng),
             memory: HashMap::new(),
-            dirty: HashSet::new(),
+            dirty: (0..DEFAULT_SHARDS).map(|_| HashSet::new()).collect(),
+            dirty_epochs: vec![0; DEFAULT_SHARDS],
+            recency: (0..DEFAULT_SHARDS).map(|_| HashMap::new()).collect(),
+            access_clock: 0,
+            write_back_scratch: Vec::new(),
             in_flight: HashMap::new(),
             stats: CacheStats::default(),
             memory_latency: SimDuration::from_micros(50),
@@ -127,8 +191,31 @@ impl<R: ObjectStore> CachedChunkStore<R> {
     /// the modified store. Use the owning [`ShardedWorld::shard_count`] so
     /// cache batches align with world shards.
     pub fn with_shard_batching(mut self, shard_count: usize) -> Self {
-        self.shard_count = shard_count.clamp(1, 1 << 10).next_power_of_two();
+        self.set_shard_batching(shard_count);
         self
+    }
+
+    /// In-place version of [`CachedChunkStore::with_shard_batching`], used
+    /// by the chunk services when binding to a world.
+    pub(crate) fn set_shard_batching(&mut self, shard_count: usize) {
+        self.shard_count = shard_count.clamp(1, 1 << 10).next_power_of_two();
+        let mut dirty: Vec<HashSet<ChunkPos>> =
+            (0..self.shard_count).map(|_| HashSet::new()).collect();
+        for set in self.dirty.drain(..) {
+            for pos in set {
+                dirty[shard_index(pos, self.shard_count)].insert(pos);
+            }
+        }
+        self.dirty = dirty;
+        self.dirty_epochs = vec![0; self.shard_count];
+        let mut recency: Vec<HashMap<ChunkPos, u64>> =
+            (0..self.shard_count).map(|_| HashMap::new()).collect();
+        for map in self.recency.drain(..) {
+            for (pos, stamp) in map {
+                recency[shard_index(pos, self.shard_count)].insert(pos, stamp);
+            }
+        }
+        self.recency = recency;
     }
 
     /// Cache effectiveness counters.
@@ -151,6 +238,38 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         self.memory.contains_key(&pos)
     }
 
+    /// Whether a transfer for this chunk is currently in flight.
+    pub fn is_in_flight(&self, pos: ChunkPos) -> bool {
+        self.in_flight.contains_key(&pos)
+    }
+
+    /// Number of transfers currently in flight.
+    pub fn transfers_in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Number of in-flight transfers whose data has arrived by `now` but
+    /// has not been materialised by a poll yet.
+    pub fn transfers_due(&self, now: SimTime) -> usize {
+        self.in_flight.values().filter(|&&t| t <= now).count()
+    }
+
+    /// A clone of the resident snapshot at `pos`, if any.
+    pub fn snapshot(&self, pos: ChunkPos) -> Option<ChunkSnapshot> {
+        self.memory.get(&pos).cloned()
+    }
+
+    fn shard_of(&self, pos: ChunkPos) -> usize {
+        shard_index(pos, self.shard_count)
+    }
+
+    /// Stamps `pos` as the most recently used chunk of its shard. O(1) —
+    /// this sits on the memory-hit read path.
+    fn touch(&mut self, pos: ChunkPos) {
+        self.access_clock += 1;
+        self.recency[shard_index(pos, self.shard_count)].insert(pos, self.access_clock);
+    }
+
     fn key(pos: ChunkPos) -> String {
         format!("terrain/{}/{}", pos.x, pos.z)
     }
@@ -165,21 +284,25 @@ impl<R: ObjectStore> CachedChunkStore<R> {
     pub fn put(&mut self, snapshot: ChunkSnapshot, now: SimTime) -> Result<(), ServoError> {
         self.local
             .write(&Self::key(snapshot.pos), snapshot.bytes.clone(), now)?;
-        self.dirty.insert(snapshot.pos);
-        self.memory.insert(snapshot.pos, snapshot);
+        let shard = self.shard_of(snapshot.pos);
+        self.dirty[shard].insert(snapshot.pos);
+        self.dirty_epochs[shard] += 1;
+        let pos = snapshot.pos;
+        self.memory.insert(pos, snapshot);
+        self.touch(pos);
         Ok(())
     }
 
     /// Completes any pre-fetches that have arrived by `now`, moving them
     /// into memory. Returns how many arrived.
     pub fn poll(&mut self, now: SimTime) -> usize {
-        self.poll_arrivals(now).len()
+        self.poll_arrived(now).len()
     }
 
-    /// The worker behind [`CachedChunkStore::poll`]: completes due
-    /// pre-fetches and returns the positions that actually materialised
-    /// this call.
-    fn poll_arrivals(&mut self, now: SimTime) -> Vec<ChunkPos> {
+    /// Completes due pre-fetches and returns the positions that actually
+    /// materialised this call (the asynchronous chunk services use the
+    /// positions to resolve tickets waiting on them).
+    pub fn poll_arrived(&mut self, now: SimTime) -> Vec<ChunkPos> {
         let due: Vec<ChunkPos> = self
             .in_flight
             .iter()
@@ -199,6 +322,7 @@ impl<R: ObjectStore> CachedChunkStore<R> {
                     .local
                     .write(&Self::key(pos), snapshot.bytes.clone(), now);
                 self.memory.insert(pos, snapshot);
+                self.touch(pos);
                 arrived.push(pos);
             }
         }
@@ -244,7 +368,9 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         }
     }
 
-    /// Reads a chunk through the cache hierarchy.
+    /// Reads a chunk through the cache hierarchy, resolving remote misses
+    /// *synchronously*: the returned latency includes the full remote
+    /// transfer when nothing closer holds the chunk.
     ///
     /// # Errors
     ///
@@ -255,10 +381,11 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         self.poll(now);
         let key = Self::key(pos);
 
-        if let Some(snapshot) = self.memory.get(&pos) {
+        if let Some(snapshot) = self.memory.get(&pos).cloned() {
             self.stats.memory_hits += 1;
+            self.touch(pos);
             return Ok(CachedRead {
-                snapshot: snapshot.clone(),
+                snapshot,
                 latency: self.memory_latency,
                 location: ChunkLocation::Memory,
             });
@@ -268,6 +395,9 @@ impl<R: ObjectStore> CachedChunkStore<R> {
             // Wait for the in-flight transfer to finish.
             self.stats.prefetch_joins += 1;
             let wait = arrives_at.saturating_since(now).max(self.memory_latency);
+            if wait > TICK_BUDGET {
+                self.stats.slow_prefetch_joins += 1;
+            }
             self.poll(arrives_at);
             let snapshot = self
                 .memory
@@ -289,6 +419,7 @@ impl<R: ObjectStore> CachedChunkStore<R> {
                 bytes: read.data,
             };
             self.memory.insert(pos, snapshot.clone());
+            self.touch(pos);
             return Ok(CachedRead {
                 snapshot,
                 latency: read.latency,
@@ -304,6 +435,7 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         };
         let _ = self.local.write(&key, snapshot.bytes.clone(), now);
         self.memory.insert(pos, snapshot.clone());
+        self.touch(pos);
         Ok(CachedRead {
             snapshot,
             latency: read.latency,
@@ -311,60 +443,195 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         })
     }
 
-    /// Evicts from memory every chunk not contained in `keep`. Evicted
-    /// chunks remain in the local-disk cache; dirty evicted chunks are
-    /// written back to remote storage first.
+    /// The non-blocking counterpart of [`CachedChunkStore::read`]: serves
+    /// memory, in-flight, and local-disk outcomes like `read`, but turns a
+    /// remote miss into an *asynchronous transfer* ([`TryRead::InFlight`])
+    /// instead of paying the remote latency inline. The pipelined chunk
+    /// service is built on this: the tick path never blocks on remote
+    /// storage.
+    ///
+    /// Joins of in-flight transfers are not counted in [`CacheStats`] here;
+    /// the caller records them when the data arrives (it knows the observed
+    /// wait), via [`CachedChunkStore::record_async_join`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::NotFound`] if the chunk exists nowhere, or
+    /// [`ServoError::StorageFailed`] if the backing store fails.
+    pub fn try_read(&mut self, pos: ChunkPos, now: SimTime) -> Result<TryRead, ServoError> {
+        let key = Self::key(pos);
+
+        if let Some(snapshot) = self.memory.get(&pos).cloned() {
+            self.stats.memory_hits += 1;
+            self.touch(pos);
+            return Ok(TryRead::Ready(CachedRead {
+                snapshot,
+                latency: self.memory_latency,
+                location: ChunkLocation::Memory,
+            }));
+        }
+
+        if let Some(&arrives_at) = self.in_flight.get(&pos) {
+            return Ok(TryRead::InFlight { arrives_at });
+        }
+
+        if self.local.contains(&key) {
+            let read = self.local.read(&key, now)?;
+            self.stats.disk_hits += 1;
+            let snapshot = ChunkSnapshot {
+                pos,
+                bytes: read.data,
+            };
+            self.memory.insert(pos, snapshot.clone());
+            self.touch(pos);
+            return Ok(TryRead::Ready(CachedRead {
+                snapshot,
+                latency: read.latency,
+                location: ChunkLocation::LocalDisk,
+            }));
+        }
+
+        if !self.remote.contains(&key) {
+            return Err(ServoError::not_found(format!("chunk {pos}")));
+        }
+        let read = self.remote.read(&key, now)?;
+        self.stats.prefetches_issued += 1;
+        let arrives_at = read.completed_at;
+        self.in_flight.insert(pos, arrives_at);
+        Ok(TryRead::InFlight { arrives_at })
+    }
+
+    /// Records that an asynchronous read joined a transfer and observed
+    /// `wait` of tick-visible latency before its data arrived (counted as a
+    /// slow join when the wait exceeded one simulation step).
+    pub fn record_async_join(&mut self, wait: SimDuration) {
+        self.stats.prefetch_joins += 1;
+        if wait > TICK_BUDGET {
+            self.stats.slow_prefetch_joins += 1;
+        }
+    }
+
+    /// Evicts from memory every chunk not contained in `keep`, walking the
+    /// per-shard recency maps (least recently used first, by access stamp)
+    /// instead of scanning the full resident map. Evicted chunks remain in
+    /// the local-disk cache; dirty evicted chunks are written back to
+    /// remote storage first.
     ///
     /// Returns the number of chunks evicted.
     pub fn evict_except(&mut self, keep: &HashSet<ChunkPos>, now: SimTime) -> usize {
-        let to_evict: Vec<ChunkPos> = self
-            .memory
-            .keys()
-            .filter(|p| !keep.contains(p))
-            .copied()
-            .collect();
-        for pos in &to_evict {
-            if self.dirty.remove(pos) {
-                if let Some(snapshot) = self.memory.get(pos) {
-                    let _ = self
-                        .remote
-                        .write(&Self::key(*pos), snapshot.bytes.clone(), now);
-                    self.stats.write_backs += 1;
-                }
+        let mut evicted = 0usize;
+        for shard in 0..self.shard_count {
+            if self.recency[shard].is_empty() {
+                continue;
             }
-            self.memory.remove(pos);
+            let map = std::mem::take(&mut self.recency[shard]);
+            let mut entries: Vec<(ChunkPos, u64)> = map.into_iter().collect();
+            entries.sort_by_key(|&(pos, stamp)| (stamp, pos.x, pos.z));
+            let mut kept = HashMap::with_capacity(entries.len());
+            for (pos, stamp) in entries {
+                if keep.contains(&pos) {
+                    kept.insert(pos, stamp);
+                    continue;
+                }
+                if self.dirty[shard].remove(&pos) {
+                    if let Some(snapshot) = self.memory.get(&pos) {
+                        let _ = self
+                            .remote
+                            .write(&Self::key(pos), snapshot.bytes.clone(), now);
+                        self.stats.write_backs += 1;
+                    }
+                }
+                self.memory.remove(&pos);
+                evicted += 1;
+            }
+            self.recency[shard] = kept;
         }
-        to_evict.len()
+        evicted
     }
 
     /// Writes every dirty chunk back to remote storage (the paper's periodic
-    /// write policy), batched per world shard. Returns the number of chunks
-    /// written.
+    /// write policy), shard by shard — clean shards are skipped without any
+    /// scanning. Returns the number of chunks written.
     ///
-    /// The per-shard order (shard by shard, chunk coordinates within a
-    /// shard) replaces the arbitrary `HashSet` drain order the seed used,
-    /// making the latency stream consumed from the RNG — and with it every
-    /// derived statistic — reproducible across runs.
+    /// Within one shard chunks flush in `(x, z)` order through a reusable
+    /// scratch buffer (no per-call set allocation), so the latency stream
+    /// consumed from the RNG — and with it every derived statistic — is
+    /// reproducible across runs.
     pub fn write_back_dirty(&mut self, now: SimTime) -> usize {
-        let mut dirty: Vec<ChunkPos> = self.dirty.drain().collect();
-        dirty.sort_by_key(|p| (shard_index(*p, self.shard_count), p.x, p.z));
         let mut written = 0;
-        for pos in dirty {
-            if let Some(snapshot) = self.memory.get(&pos) {
-                if self
-                    .remote
-                    .write(&Self::key(pos), snapshot.bytes.clone(), now)
-                    .is_ok()
-                {
-                    written += 1;
-                    self.stats.write_backs += 1;
-                } else {
-                    // Keep it dirty so the next write-back retries.
-                    self.dirty.insert(pos);
+        for shard in 0..self.shard_count {
+            if self.dirty[shard].is_empty() {
+                continue;
+            }
+            self.write_back_scratch.clear();
+            self.write_back_scratch.extend(self.dirty[shard].drain());
+            self.write_back_scratch.sort_by_key(|p| (p.x, p.z));
+            for i in 0..self.write_back_scratch.len() {
+                let pos = self.write_back_scratch[i];
+                if let Some(snapshot) = self.memory.get(&pos) {
+                    if self
+                        .remote
+                        .write(&Self::key(pos), snapshot.bytes.clone(), now)
+                        .is_ok()
+                    {
+                        written += 1;
+                        self.stats.write_backs += 1;
+                    } else {
+                        // Keep it dirty so the next write-back retries.
+                        self.dirty[shard].insert(pos);
+                    }
                 }
             }
         }
         written
+    }
+
+    /// Writes the given chunks back to remote storage (skipping positions
+    /// not resident in memory), clearing their dirty flags on success and
+    /// re-marking them on failure. The chunk services drive this with the
+    /// per-shard deltas from [`CachedChunkStore::take_dirty_deltas`] and
+    /// [`ShardedWorld::drain_dirty`]. Returns the number of chunks written.
+    pub fn write_back(&mut self, positions: &[ChunkPos], now: SimTime) -> usize {
+        let mut written = 0;
+        for &pos in positions {
+            let Some(snapshot) = self.memory.get(&pos) else {
+                continue;
+            };
+            let shard = shard_index(pos, self.shard_count);
+            if self
+                .remote
+                .write(&Self::key(pos), snapshot.bytes.clone(), now)
+                .is_ok()
+            {
+                written += 1;
+                self.stats.write_backs += 1;
+                self.dirty[shard].remove(&pos);
+            } else {
+                self.dirty[shard].insert(pos);
+            }
+        }
+        written
+    }
+
+    /// Takes the per-shard sets of chunks dirtied through
+    /// [`CachedChunkStore::put`] since the last call, as one sorted
+    /// [`ShardDelta`] per affected shard (clean shards produce nothing).
+    /// The reported epoch is the shard's lifetime `put` count.
+    pub fn take_dirty_deltas(&mut self) -> Vec<ShardDelta> {
+        let mut deltas = Vec::new();
+        for shard in 0..self.shard_count {
+            if self.dirty[shard].is_empty() {
+                continue;
+            }
+            let mut chunks: Vec<ChunkPos> = self.dirty[shard].drain().collect();
+            chunks.sort_by_key(|p| (p.x, p.z));
+            deltas.push(ShardDelta {
+                shard,
+                epoch: self.dirty_epochs[shard],
+                chunks,
+            });
+        }
+        deltas
     }
 
     /// Completes arrived pre-fetches like [`CachedChunkStore::poll`] and
@@ -386,7 +653,7 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         world: &ShardedWorld,
         now: SimTime,
     ) -> Result<usize, ServoError> {
-        let arrived = self.poll_arrivals(now);
+        let arrived = self.poll_arrived(now);
         let mut chunks = Vec::with_capacity(arrived.len());
         for pos in arrived {
             if world.is_loaded(pos) {
@@ -395,7 +662,7 @@ impl<R: ObjectStore> CachedChunkStore<R> {
             let snapshot = self
                 .memory
                 .get(&pos)
-                .expect("poll_arrivals materialised this position");
+                .expect("poll_arrived materialised this position");
             chunks.push(snapshot.restore()?);
         }
         let integrated = chunks.len();
@@ -448,6 +715,10 @@ mod tests {
         let mut store = store_with_remote_chunks(1);
         let err = store.read(ChunkPos::new(9, 9), SimTime::ZERO).unwrap_err();
         assert!(matches!(err, ServoError::NotFound { .. }));
+        let err = store
+            .try_read(ChunkPos::new(9, 9), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ServoError::NotFound { .. }));
     }
 
     #[test]
@@ -481,6 +752,38 @@ mod tests {
     }
 
     #[test]
+    fn try_read_issues_async_transfer_instead_of_blocking() {
+        let mut store = store_with_remote_chunks(2);
+        let pos = ChunkPos::new(1, 1);
+        // First touch: a transfer is issued, nothing blocks.
+        let TryRead::InFlight { arrives_at } = store.try_read(pos, SimTime::ZERO).unwrap() else {
+            panic!("expected an in-flight transfer");
+        };
+        assert!(arrives_at > SimTime::ZERO);
+        assert!(store.is_in_flight(pos));
+        assert_eq!(store.stats().remote_misses, 0);
+        assert_eq!(store.stats().prefetches_issued, 1);
+        // Asking again joins the same transfer.
+        assert!(matches!(
+            store.try_read(pos, SimTime::ZERO).unwrap(),
+            TryRead::InFlight { .. }
+        ));
+        assert_eq!(store.stats().prefetches_issued, 1);
+        // Once polled past the arrival, the chunk is a memory hit.
+        assert_eq!(store.poll_arrived(arrives_at), vec![pos]);
+        let TryRead::Ready(read) = store.try_read(pos, arrives_at).unwrap() else {
+            panic!("expected a ready read");
+        };
+        assert_eq!(read.location, ChunkLocation::Memory);
+        // A slow async join counts against the effective hit rate only.
+        store.record_async_join(SimDuration::from_millis(200));
+        let stats = store.stats();
+        assert_eq!(stats.prefetch_joins, 1);
+        assert_eq!(stats.slow_prefetch_joins, 1);
+        assert!(stats.effective_hit_rate() < stats.hit_rate());
+    }
+
+    #[test]
     fn prefetch_skips_resident_and_missing_chunks() {
         let mut store = store_with_remote_chunks(1);
         let pos = ChunkPos::new(0, 0);
@@ -507,6 +810,24 @@ mod tests {
     }
 
     #[test]
+    fn eviction_prefers_least_recently_used_order() {
+        let mut store = store_with_remote_chunks(0).with_shard_batching(1);
+        for x in 0..4 {
+            store
+                .put(Chunk::empty(ChunkPos::new(x, 0)).snapshot(), SimTime::ZERO)
+                .unwrap();
+        }
+        // Touch chunk 0 so it becomes the most recently used.
+        store.read(ChunkPos::new(0, 0), SimTime::ZERO).unwrap();
+        // With one shard the LRU list orders all four chunks; evicting all
+        // writes the dirty ones back in LRU order: 1, 2, 3, then 0.
+        let evicted = store.evict_except(&HashSet::new(), SimTime::ZERO);
+        assert_eq!(evicted, 4);
+        assert_eq!(store.stats().write_backs, 4);
+        assert_eq!(store.resident_chunks(), 0);
+    }
+
+    #[test]
     fn write_back_flushes_dirty_chunks() {
         let mut store = store_with_remote_chunks(0);
         for x in 0..4 {
@@ -520,6 +841,25 @@ mod tests {
         assert_eq!(store.write_back_dirty(SimTime::ZERO), 0);
         // The remote store now contains the chunks.
         assert_eq!(store.remote_mut().len(), 4);
+    }
+
+    #[test]
+    fn take_dirty_deltas_reports_only_touched_shards() {
+        let mut store = store_with_remote_chunks(0).with_shard_batching(8);
+        let pos = ChunkPos::new(3, 7);
+        store
+            .put(Chunk::empty(pos).snapshot(), SimTime::ZERO)
+            .unwrap();
+        let deltas = store.take_dirty_deltas();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].shard, shard_index(pos, 8));
+        assert_eq!(deltas[0].chunks, vec![pos]);
+        assert_eq!(deltas[0].epoch, 1);
+        // Taking drains: the set is clean afterwards, and targeted
+        // write-back of the taken positions flushes to remote.
+        assert!(store.take_dirty_deltas().is_empty());
+        assert_eq!(store.write_back(&[pos], SimTime::ZERO), 1);
+        assert_eq!(store.remote_mut().len(), 1);
     }
 
     #[test]
@@ -575,5 +915,29 @@ mod tests {
         store.read(ChunkPos::new(0, 1), SimTime::ZERO).unwrap();
         assert!((store.stats().hit_rate() - 0.5).abs() < 1e-9);
         assert_eq!(store.stats().total_reads(), 4);
+        // No slow joins occurred, so the effective rate matches.
+        assert_eq!(store.stats().effective_hit_rate(), store.stats().hit_rate());
+    }
+
+    #[test]
+    fn slow_prefetch_joins_lower_effective_hit_rate() {
+        // A ~1 MB object takes >100 ms to transfer on the standard tier, so
+        // a join issued at transfer start is guaranteed to wait past one
+        // 50 ms simulation step.
+        let mut remote = BlobStore::new(BlobTier::Standard, SimRng::seed(1));
+        remote
+            .write("terrain/0/0", vec![7u8; 1_000_000], SimTime::ZERO)
+            .unwrap();
+        let mut store = CachedChunkStore::new(remote, SimRng::seed(2));
+        let pos = ChunkPos::new(0, 0);
+        store.prefetch([pos], SimTime::ZERO);
+        let read = store.read(pos, SimTime::ZERO).unwrap();
+        assert_eq!(read.location, ChunkLocation::PrefetchInFlight);
+        assert!(read.latency > TICK_BUDGET, "wait {:?}", read.latency);
+        let stats = store.stats();
+        assert_eq!(stats.prefetch_joins, 1);
+        assert_eq!(stats.slow_prefetch_joins, 1);
+        assert_eq!(stats.hit_rate(), 1.0);
+        assert_eq!(stats.effective_hit_rate(), 0.0);
     }
 }

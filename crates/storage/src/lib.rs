@@ -1,5 +1,7 @@
-//! Storage substrates: local disk, serverless blob storage, and the
-//! cache + pre-fetch layer Servo puts in front of remote storage.
+//! Storage substrates: local disk, serverless blob storage, the
+//! cache + pre-fetch layer Servo puts in front of remote storage, and the
+//! asynchronous [`ChunkService`] request/completion pipeline the game loop
+//! talks to.
 //!
 //! The paper measures that reading terrain from managed cloud storage has a
 //! latency body comparable to local disk but a far heavier tail (99.9th
@@ -28,7 +30,15 @@
 pub mod backend;
 pub mod cache;
 pub mod playerdata;
+pub mod service;
 
 pub use backend::{BlobStore, BlobTier, LocalDiskStore, ObjectStore, ReadResult, WriteResult};
-pub use cache::{CacheStats, CachedChunkStore, CachedRead, ChunkLocation};
+pub use cache::{CacheStats, CachedChunkStore, CachedRead, ChunkLocation, TryRead};
 pub use playerdata::{PlayerDataStore, PlayerLoad, PlayerRecord};
+pub use service::{
+    ChunkCompletion, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService, Priority,
+    SyncChunkService, Ticket,
+};
+// Re-exported so service consumers can name the dirty-delta type without a
+// direct `servo-world` dependency.
+pub use servo_world::ShardDelta;

@@ -1,0 +1,1269 @@
+//! The unified asynchronous chunk-service API.
+//!
+//! Every storage interaction of the game loop goes through one
+//! request/completion pipeline: callers [`submit`](ChunkService::submit)
+//! [`ChunkRequest`]s (read / prefetch / write-back / evict, each carrying a
+//! [`Priority`]) and receive a [`Ticket`]; finished work comes back as
+//! [`ChunkCompletion`]s from [`poll`](ChunkService::poll); and per-shard
+//! dirty state flows out of [`drain_dirty`](ChunkService::drain_dirty) as
+//! [`ShardDelta`]s, so write-back touches only the shards that were
+//! actually modified.
+//!
+//! Two implementations cover the design space:
+//!
+//! * [`SyncChunkService`] — the baseline adapter over
+//!   [`CachedChunkStore`]: requests execute inline on the calling thread,
+//!   and a read that misses every cache layer pays the full remote latency
+//!   on the tick path, exactly like the pre-redesign blocking API.
+//! * [`PipelinedChunkService`] — remote transfers run on a pool of worker
+//!   threads (sized by `ServerConfig::with_parallelism` at the deployment
+//!   layer) and submissions are batched per owning world shard, so issue
+//!   cost leaves the tick path entirely: a read that misses becomes an
+//!   asynchronous transfer whose data is integrated by a later poll.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+use servo_types::{ChunkPos, ServoError, SimDuration, SimTime};
+use servo_world::{shard_index, Chunk, ChunkSnapshot, ShardDelta, ShardedWorld};
+
+use crate::backend::ObjectStore;
+use crate::cache::{CacheStats, CachedChunkStore, ChunkLocation, TryRead};
+
+/// How urgently a [`ChunkRequest`] should be served relative to others
+/// flushed in the same batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Maintenance work (write-back, eviction).
+    Background,
+    /// Speculative work the game loop does not wait for (prefetching).
+    Normal,
+    /// Work needed soon (prefetching just ahead of the view frontier).
+    High,
+    /// Work the game loop is actively waiting for (demand reads).
+    Urgent,
+}
+
+/// An opaque handle identifying a submitted [`ChunkRequest`]; completions
+/// carry the ticket of the request that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+impl std::fmt::Display for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ticket#{}", self.0)
+    }
+}
+
+/// One unit of work submitted to a [`ChunkService`].
+///
+/// # Example
+///
+/// ```
+/// use servo_storage::{ChunkRequest, Priority};
+/// use servo_types::ChunkPos;
+///
+/// // Demand reads default to the highest priority...
+/// let read = ChunkRequest::read(ChunkPos::new(3, -1));
+/// assert_eq!(read.priority(), Priority::Urgent);
+/// // ...maintenance runs in the background.
+/// assert_eq!(ChunkRequest::write_back().priority(), Priority::Background);
+/// let prefetch = ChunkRequest::prefetch([ChunkPos::new(4, 0), ChunkPos::new(5, 0)]);
+/// assert_eq!(prefetch.priority(), Priority::Normal);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkRequest {
+    /// Load one chunk for the game loop. Completes with
+    /// [`ChunkOutcome::Loaded`] (or [`ChunkOutcome::Missing`] when the
+    /// chunk exists nowhere and must be generated). Re-submitted reads
+    /// for a position already being served coalesce; the single
+    /// completion carries the earliest request's ticket.
+    Read {
+        /// The chunk to load.
+        pos: ChunkPos,
+        /// Scheduling priority.
+        priority: Priority,
+    },
+    /// Start background transfers for chunks expected to be needed soon.
+    /// Each arrival completes as its own [`ChunkOutcome::Loaded`] carrying
+    /// this request's ticket.
+    Prefetch {
+        /// The chunks to stage.
+        positions: Vec<ChunkPos>,
+        /// Scheduling priority.
+        priority: Priority,
+    },
+    /// Flush dirty chunks to remote storage, visiting only dirty shards.
+    /// Completes with [`ChunkOutcome::WroteBack`].
+    WriteBack {
+        /// Scheduling priority.
+        priority: Priority,
+    },
+    /// Evict resident chunks not in `keep` (least recently used first,
+    /// per shard), writing dirty ones back first. Completes with
+    /// [`ChunkOutcome::Evicted`].
+    Evict {
+        /// The chunks that must stay resident.
+        keep: Vec<ChunkPos>,
+        /// Scheduling priority.
+        priority: Priority,
+    },
+}
+
+impl ChunkRequest {
+    /// A demand read at [`Priority::Urgent`].
+    pub fn read(pos: ChunkPos) -> Self {
+        ChunkRequest::Read {
+            pos,
+            priority: Priority::Urgent,
+        }
+    }
+
+    /// A prefetch at [`Priority::Normal`].
+    pub fn prefetch<I: IntoIterator<Item = ChunkPos>>(positions: I) -> Self {
+        ChunkRequest::Prefetch {
+            positions: positions.into_iter().collect(),
+            priority: Priority::Normal,
+        }
+    }
+
+    /// A write-back pass at [`Priority::Background`].
+    pub fn write_back() -> Self {
+        ChunkRequest::WriteBack {
+            priority: Priority::Background,
+        }
+    }
+
+    /// An eviction pass at [`Priority::Background`].
+    pub fn evict<I: IntoIterator<Item = ChunkPos>>(keep: I) -> Self {
+        ChunkRequest::Evict {
+            keep: keep.into_iter().collect(),
+            priority: Priority::Background,
+        }
+    }
+
+    /// The scheduling priority this request carries.
+    pub fn priority(&self) -> Priority {
+        match self {
+            ChunkRequest::Read { priority, .. }
+            | ChunkRequest::Prefetch { priority, .. }
+            | ChunkRequest::WriteBack { priority }
+            | ChunkRequest::Evict { priority, .. } => *priority,
+        }
+    }
+}
+
+/// What a completed request produced.
+#[derive(Debug)]
+pub enum ChunkOutcome {
+    /// Chunk data became available (from a read, a prefetch arrival, or a
+    /// generation backend).
+    Loaded {
+        /// The chunk's position.
+        pos: ChunkPos,
+        /// The materialised chunk.
+        chunk: Box<Chunk>,
+        /// The layer that served it.
+        location: ChunkLocation,
+        /// The latency the game loop observed for this data.
+        latency: SimDuration,
+    },
+    /// The chunk exists nowhere; it must be generated.
+    Missing {
+        /// The chunk's position.
+        pos: ChunkPos,
+    },
+    /// The request failed.
+    Failed {
+        /// The chunk involved, when the failure is chunk-specific.
+        pos: Option<ChunkPos>,
+        /// The underlying error.
+        error: ServoError,
+    },
+    /// A write-back pass finished.
+    WroteBack {
+        /// Number of chunks written to remote storage.
+        chunks: usize,
+    },
+    /// An eviction pass finished.
+    Evicted {
+        /// Number of chunks evicted from memory.
+        chunks: usize,
+    },
+}
+
+/// A finished unit of work, returned by [`ChunkService::poll`].
+#[derive(Debug)]
+pub struct ChunkCompletion {
+    /// The ticket of the request that produced this completion.
+    pub ticket: Ticket,
+    /// What the request produced.
+    pub outcome: ChunkOutcome,
+}
+
+/// The unified asynchronous chunk-storage interface (the paper's
+/// Section III-E shape: request-scoped, completion-driven interaction with
+/// stateless storage backends).
+///
+/// Submissions return immediately with a [`Ticket`]; results surface from
+/// [`poll`](ChunkService::poll) as [`ChunkCompletion`]s once they are
+/// ready. Implementations are free to execute inline
+/// ([`SyncChunkService`]), on worker threads
+/// ([`PipelinedChunkService`]), or in the cloud (the generation backends
+/// of `servo-server` and `servo-core` implement this trait too).
+///
+/// # Example
+///
+/// ```
+/// use servo_storage::{
+///     BlobStore, BlobTier, ChunkOutcome, ChunkRequest, ChunkService, ObjectStore,
+///     SyncChunkService,
+/// };
+/// use servo_simkit::SimRng;
+/// use servo_types::{ChunkPos, SimTime};
+/// use servo_world::Chunk;
+///
+/// let mut remote = BlobStore::new(BlobTier::Standard, SimRng::seed(1));
+/// let pos = ChunkPos::new(0, 0);
+/// remote.write("terrain/0/0", Chunk::empty(pos).to_bytes(), SimTime::ZERO).unwrap();
+///
+/// let mut service = SyncChunkService::new(remote, SimRng::seed(2));
+/// let ticket = service.submit(ChunkRequest::read(pos));
+/// let completions = service.poll(SimTime::ZERO);
+/// assert!(completions.iter().any(|c| {
+///     c.ticket == ticket && matches!(c.outcome, ChunkOutcome::Loaded { .. })
+/// }));
+/// ```
+pub trait ChunkService {
+    /// Submits a request, returning its ticket. Never blocks on storage.
+    fn submit(&mut self, request: ChunkRequest) -> Ticket;
+
+    /// Advances the service to virtual time `now` and returns every
+    /// completion that became ready.
+    fn poll(&mut self, now: SimTime) -> Vec<ChunkCompletion>;
+
+    /// Takes the per-shard dirty deltas accumulated since the last call
+    /// (from the bound world and/or ingested chunks). The drained chunks
+    /// stay staged inside the service, so a following
+    /// [`ChunkRequest::WriteBack`] still flushes them; draining is for
+    /// observation and routing, not a way to lose work.
+    fn drain_dirty(&mut self) -> Vec<ShardDelta>;
+
+    /// Number of submitted requests whose final completion has not yet been
+    /// returned by [`poll`](ChunkService::poll).
+    fn pending(&self) -> usize;
+
+    /// Number of requests currently executing on the game server itself
+    /// (generation backends use this to model interference with the game
+    /// loop; storage and serverless services return zero).
+    fn busy_local_workers(&self, now: SimTime) -> usize {
+        let _ = now;
+        0
+    }
+
+    /// A short name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The state shared by the storage-backed service implementations: the
+/// cache, the optionally bound world (the dirty-delta source), the staged
+/// write-back working set, and the tickets waiting on in-flight transfers.
+#[derive(Debug)]
+struct ServiceCore<R: ObjectStore> {
+    cache: CachedChunkStore<R>,
+    world: Option<Arc<ShardedWorld>>,
+    /// Per-shard write-back working set: dirty chunks drained from the
+    /// world/cache but not yet flushed to remote storage.
+    staged: Vec<BTreeSet<ChunkPos>>,
+    /// Tickets waiting for an in-flight transfer of a position.
+    waiting: HashMap<ChunkPos, Vec<Waiter>>,
+    shard_count: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    ticket: Ticket,
+    issued: SimTime,
+    /// Prefetch waiters do not count as read joins in the cache stats.
+    is_read: bool,
+}
+
+impl<R: ObjectStore> ServiceCore<R> {
+    fn new(remote: R, rng: servo_simkit::SimRng) -> Self {
+        let cache = CachedChunkStore::new(remote, rng);
+        let shard_count = servo_world::DEFAULT_SHARDS;
+        ServiceCore {
+            cache,
+            world: None,
+            staged: (0..shard_count).map(|_| BTreeSet::new()).collect(),
+            waiting: HashMap::new(),
+            shard_count,
+        }
+    }
+
+    fn set_shard_count(&mut self, shard_count: usize) {
+        let shard_count = shard_count.clamp(1, 1 << 10).next_power_of_two();
+        self.shard_count = shard_count;
+        let old: Vec<BTreeSet<ChunkPos>> = std::mem::take(&mut self.staged);
+        self.staged = (0..shard_count).map(|_| BTreeSet::new()).collect();
+        for set in old {
+            for pos in set {
+                self.staged[shard_index(pos, shard_count)].insert(pos);
+            }
+        }
+        self.cache.set_shard_batching(shard_count);
+    }
+
+    /// Pulls dirty chunks from the bound world and the cache into the
+    /// staged write-back set, returning one merged delta per shard that
+    /// contributed anything new.
+    fn absorb_dirty(&mut self) -> Vec<ShardDelta> {
+        let mut merged: HashMap<usize, (u64, BTreeSet<ChunkPos>)> = HashMap::new();
+        if let Some(world) = &self.world {
+            for delta in world.drain_dirty() {
+                // World shards and service shards use the same hash, but may
+                // differ in count; re-bucket defensively.
+                for pos in delta.chunks {
+                    let shard = shard_index(pos, self.shard_count);
+                    let entry = merged.entry(shard).or_insert_with(|| (0, BTreeSet::new()));
+                    entry.0 = entry.0.max(delta.epoch);
+                    entry.1.insert(pos);
+                }
+            }
+        }
+        for delta in self.cache.take_dirty_deltas() {
+            for pos in delta.chunks {
+                let shard = shard_index(pos, self.shard_count);
+                let entry = merged.entry(shard).or_insert_with(|| (0, BTreeSet::new()));
+                entry.0 = entry.0.max(delta.epoch);
+                entry.1.insert(pos);
+            }
+        }
+        let mut deltas: Vec<ShardDelta> = merged
+            .into_iter()
+            .map(|(shard, (epoch, set))| {
+                for &pos in &set {
+                    self.staged[shard].insert(pos);
+                }
+                ShardDelta {
+                    shard,
+                    epoch,
+                    chunks: set.into_iter().collect(),
+                }
+            })
+            .collect();
+        deltas.sort_by_key(|d| d.shard);
+        deltas
+    }
+
+    /// Executes a read with blocking semantics: a miss pays the full remote
+    /// latency inline (the [`SyncChunkService`] baseline).
+    fn exec_read_sync(&mut self, ticket: Ticket, pos: ChunkPos, now: SimTime) -> ChunkCompletion {
+        let outcome = match self.cache.read(pos, now) {
+            Ok(read) => match read.snapshot.restore() {
+                Ok(chunk) => ChunkOutcome::Loaded {
+                    pos,
+                    chunk: Box::new(chunk),
+                    location: read.location,
+                    latency: read.latency,
+                },
+                Err(error) => ChunkOutcome::Failed {
+                    pos: Some(pos),
+                    error,
+                },
+            },
+            Err(ServoError::NotFound { .. }) => ChunkOutcome::Missing { pos },
+            Err(error) => ChunkOutcome::Failed {
+                pos: Some(pos),
+                error,
+            },
+        };
+        ChunkCompletion { ticket, outcome }
+    }
+
+    /// Executes a read with asynchronous semantics: a miss issues a
+    /// background transfer and the completion is deferred to the poll that
+    /// observes the arrival (the [`PipelinedChunkService`] path).
+    fn exec_read_async(
+        &mut self,
+        ticket: Ticket,
+        pos: ChunkPos,
+        now: SimTime,
+    ) -> Option<ChunkCompletion> {
+        match self.cache.try_read(pos, now) {
+            Ok(TryRead::Ready(read)) => Some(match read.snapshot.restore() {
+                Ok(chunk) => ChunkCompletion {
+                    ticket,
+                    outcome: ChunkOutcome::Loaded {
+                        pos,
+                        chunk: Box::new(chunk),
+                        location: read.location,
+                        latency: read.latency,
+                    },
+                },
+                Err(error) => ChunkCompletion {
+                    ticket,
+                    outcome: ChunkOutcome::Failed {
+                        pos: Some(pos),
+                        error,
+                    },
+                },
+            }),
+            Ok(TryRead::InFlight { .. }) => {
+                // Duplicate reads for a position already being read
+                // coalesce: consumers like the game loop re-submit every
+                // missing chunk every tick, and the arrival completes with
+                // the earliest read's ticket. Without this, every re-ask
+                // would add a waiter, multiplying arrival completions,
+                // chunk decodes, and join stats for one logical read.
+                let waiters = self.waiting.entry(pos).or_default();
+                if !waiters.iter().any(|w| w.is_read) {
+                    waiters.push(Waiter {
+                        ticket,
+                        issued: now,
+                        is_read: true,
+                    });
+                }
+                None
+            }
+            Err(ServoError::NotFound { .. }) => Some(ChunkCompletion {
+                ticket,
+                outcome: ChunkOutcome::Missing { pos },
+            }),
+            Err(error) => Some(ChunkCompletion {
+                ticket,
+                outcome: ChunkOutcome::Failed {
+                    pos: Some(pos),
+                    error,
+                },
+            }),
+        }
+    }
+
+    fn exec_prefetch(&mut self, ticket: Ticket, positions: &[ChunkPos], now: SimTime) {
+        self.cache.prefetch(positions.iter().copied(), now);
+        for &pos in positions {
+            if self.cache.is_in_flight(pos) {
+                let waiters = self.waiting.entry(pos).or_default();
+                if !waiters.iter().any(|w| !w.is_read) {
+                    waiters.push(Waiter {
+                        ticket,
+                        issued: now,
+                        is_read: false,
+                    });
+                }
+            }
+        }
+    }
+
+    fn exec_write_back(&mut self, now: SimTime) -> usize {
+        self.absorb_dirty();
+        let mut written = 0;
+        for shard in 0..self.shard_count {
+            if self.staged[shard].is_empty() {
+                continue;
+            }
+            let positions: Vec<ChunkPos> = std::mem::take(&mut self.staged[shard])
+                .into_iter()
+                .collect();
+            // A chunk edited in the bound world may have a stale (or no)
+            // snapshot in the cache: refresh from the world first.
+            if let Some(world) = self.world.clone() {
+                for &pos in &positions {
+                    if let Some(snapshot) = world.read_chunk(pos, |c| c.snapshot()) {
+                        let _ = self.cache.put(snapshot, now);
+                    }
+                }
+                // The refresh re-marked these chunks dirty in the cache;
+                // absorb that dirt immediately so it is not double-reported.
+                for delta in self.cache.take_dirty_deltas() {
+                    for pos in delta.chunks {
+                        if !positions.contains(&pos) {
+                            self.staged[shard_index(pos, self.shard_count)].insert(pos);
+                        }
+                    }
+                }
+            }
+            written += self.cache.write_back(&positions, now);
+        }
+        written
+    }
+
+    fn exec_evict(&mut self, keep: &[ChunkPos], now: SimTime) -> usize {
+        let keep: std::collections::HashSet<ChunkPos> = keep.iter().copied().collect();
+        self.cache.evict_except(&keep, now)
+    }
+
+    /// Completes transfers that arrived by `now` and resolves every ticket
+    /// waiting on them.
+    fn harvest(&mut self, now: SimTime, out: &mut Vec<ChunkCompletion>) -> usize {
+        let arrived = self.cache.poll_arrived(now);
+        let mut reads_resolved = 0;
+        for pos in arrived {
+            let Some(waiters) = self.waiting.remove(&pos) else {
+                continue;
+            };
+            for waiter in waiters {
+                let snapshot = self.cache.snapshot(pos);
+                let wait = now.saturating_since(waiter.issued);
+                if waiter.is_read {
+                    self.cache.record_async_join(wait);
+                    reads_resolved += 1;
+                }
+                let outcome = match snapshot.as_ref().map(ChunkSnapshot::restore) {
+                    Some(Ok(chunk)) => ChunkOutcome::Loaded {
+                        pos,
+                        chunk: Box::new(chunk),
+                        location: ChunkLocation::PrefetchInFlight,
+                        latency: wait,
+                    },
+                    Some(Err(error)) => ChunkOutcome::Failed {
+                        pos: Some(pos),
+                        error,
+                    },
+                    None => ChunkOutcome::Failed {
+                        pos: Some(pos),
+                        error: ServoError::storage_failed("arrived chunk vanished"),
+                    },
+                };
+                out.push(ChunkCompletion {
+                    ticket: waiter.ticket,
+                    outcome,
+                });
+            }
+        }
+        reads_resolved
+    }
+
+    fn waiting_reads(&self) -> usize {
+        self.waiting
+            .values()
+            .flatten()
+            .filter(|w| w.is_read)
+            .count()
+    }
+}
+
+/// The baseline [`ChunkService`]: a thin adapter over [`CachedChunkStore`]
+/// that executes every request inline on the calling thread. A read that
+/// misses all cache layers resolves the remote fetch synchronously —
+/// tick-visible latency includes the full transfer, exactly like the
+/// pre-redesign blocking API. Use it where determinism and simplicity beat
+/// concurrency (tests, single-threaded experiments, the latency-model
+/// benches).
+#[derive(Debug)]
+pub struct SyncChunkService<R: ObjectStore> {
+    core: ServiceCore<R>,
+    tickets: u64,
+    now: SimTime,
+    ready: VecDeque<ChunkCompletion>,
+}
+
+impl<R: ObjectStore> SyncChunkService<R> {
+    /// Creates a service in front of `remote`; the local-disk layer gets
+    /// its own latency stream from `rng`.
+    pub fn new(remote: R, rng: servo_simkit::SimRng) -> Self {
+        SyncChunkService {
+            core: ServiceCore::new(remote, rng),
+            tickets: 0,
+            now: SimTime::ZERO,
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// Binds the world whose per-shard dirty deltas feed
+    /// [`ChunkService::drain_dirty`] and write-back, aligning the service's
+    /// shard grouping with the world's shard count.
+    pub fn with_world(mut self, world: Arc<ShardedWorld>) -> Self {
+        self.core.set_shard_count(world.shard_count());
+        self.core.world = Some(world);
+        self
+    }
+
+    /// Sets the shard count used for batching, returning the service.
+    pub fn with_shard_batching(mut self, shard_count: usize) -> Self {
+        self.core.set_shard_count(shard_count);
+        self
+    }
+
+    /// Cache effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.core.cache.stats()
+    }
+
+    /// Number of chunks resident in the in-memory cache layer.
+    pub fn resident_chunks(&self) -> usize {
+        self.core.cache.resident_chunks()
+    }
+
+    /// Access to the remote backend (e.g. to seed it with terrain).
+    pub fn remote_mut(&mut self) -> &mut R {
+        self.core.cache.remote_mut()
+    }
+
+    /// Ingests a freshly generated or modified chunk snapshot, marking it
+    /// dirty for the next [`ChunkRequest::WriteBack`]. This is the only
+    /// mutation that does not flow through [`ChunkService::submit`]: it is
+    /// the boundary where new data *enters* the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServoError::StorageFailed`] if the local cache copy cannot
+    /// be written.
+    pub fn put(&mut self, snapshot: ChunkSnapshot, now: SimTime) -> Result<(), ServoError> {
+        self.core.cache.put(snapshot, now)
+    }
+
+    fn next_ticket(&mut self) -> Ticket {
+        self.tickets += 1;
+        Ticket(self.tickets)
+    }
+}
+
+impl<R: ObjectStore> ChunkService for SyncChunkService<R> {
+    fn submit(&mut self, request: ChunkRequest) -> Ticket {
+        let ticket = self.next_ticket();
+        let now = self.now;
+        match request {
+            ChunkRequest::Read { pos, .. } => {
+                let completion = self.core.exec_read_sync(ticket, pos, now);
+                self.ready.push_back(completion);
+            }
+            ChunkRequest::Prefetch { positions, .. } => {
+                self.core.exec_prefetch(ticket, &positions, now);
+            }
+            ChunkRequest::WriteBack { .. } => {
+                let chunks = self.core.exec_write_back(now);
+                self.ready.push_back(ChunkCompletion {
+                    ticket,
+                    outcome: ChunkOutcome::WroteBack { chunks },
+                });
+            }
+            ChunkRequest::Evict { keep, .. } => {
+                let chunks = self.core.exec_evict(&keep, now);
+                self.ready.push_back(ChunkCompletion {
+                    ticket,
+                    outcome: ChunkOutcome::Evicted { chunks },
+                });
+            }
+        }
+        ticket
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<ChunkCompletion> {
+        self.now = now;
+        let mut out: Vec<ChunkCompletion> = self.ready.drain(..).collect();
+        self.core.harvest(now, &mut out);
+        out
+    }
+
+    fn drain_dirty(&mut self) -> Vec<ShardDelta> {
+        self.core.absorb_dirty()
+    }
+
+    fn pending(&self) -> usize {
+        self.ready.len() + self.core.waiting.values().map(Vec::len).sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "chunks-sync"
+    }
+}
+
+/// A job handed to the pipelined service's worker pool.
+enum Job {
+    /// One shard's (or the control lane's) batch of requests, executed in
+    /// priority order.
+    Batch {
+        now: SimTime,
+        requests: Vec<(Ticket, ChunkRequest)>,
+    },
+    /// Complete transfers that arrived by `now` and resolve their waiters.
+    Harvest { now: SimTime },
+}
+
+struct PipeShared<R: ObjectStore> {
+    core: Mutex<ServiceCore<R>>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Submitted requests not yet executed by a worker (deferred reads move
+    /// to the core's waiting map and are tracked there instead).
+    unexecuted: AtomicUsize,
+    /// Whether a harvest job is already queued (polls coalesce them).
+    harvest_queued: AtomicBool,
+    /// The newest virtual time any poll has announced (micros); queued
+    /// harvest jobs catch up to it instead of using their enqueue-time
+    /// timestamp.
+    latest_now: AtomicU64,
+    done_tx: Mutex<Sender<ChunkCompletion>>,
+}
+
+impl<R: ObjectStore> PipeShared<R> {
+    fn run_worker(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = self
+                        .available
+                        .wait(queue)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let mut out = Vec::new();
+            let mut executed = 0usize;
+            {
+                let mut core = self.core.lock().unwrap_or_else(|e| e.into_inner());
+                match job {
+                    Job::Batch { now, mut requests } => {
+                        // Stable by descending priority: urgent reads first,
+                        // background maintenance last.
+                        requests.sort_by_key(|(_, r)| std::cmp::Reverse(r.priority()));
+                        for (ticket, request) in requests {
+                            executed += 1;
+                            match request {
+                                ChunkRequest::Read { pos, .. } => {
+                                    if let Some(completion) = core.exec_read_async(ticket, pos, now)
+                                    {
+                                        out.push(completion);
+                                    }
+                                }
+                                ChunkRequest::Prefetch { positions, .. } => {
+                                    core.exec_prefetch(ticket, &positions, now);
+                                }
+                                ChunkRequest::WriteBack { .. } => {
+                                    let chunks = core.exec_write_back(now);
+                                    out.push(ChunkCompletion {
+                                        ticket,
+                                        outcome: ChunkOutcome::WroteBack { chunks },
+                                    });
+                                }
+                                ChunkRequest::Evict { keep, .. } => {
+                                    let chunks = core.exec_evict(&keep, now);
+                                    out.push(ChunkCompletion {
+                                        ticket,
+                                        outcome: ChunkOutcome::Evicted { chunks },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    Job::Harvest { now } => {
+                        self.harvest_queued.store(false, Ordering::Release);
+                        // Harvest at the freshest time any poll has
+                        // announced: the job may have waited in the queue
+                        // while virtual time moved on.
+                        let newest = SimTime::from_micros(
+                            self.latest_now.load(Ordering::Acquire).max(now.as_micros()),
+                        );
+                        core.harvest(newest, &mut out);
+                    }
+                }
+                // Publish results while still holding the core lock: once a
+                // caller observes quiescence (`pending()` and
+                // `transfers_due()` both take this lock), every completion
+                // produced so far must already be in the channel — sending
+                // after the release would let a drain loop exit between the
+                // state change and the send, losing completions.
+                if !out.is_empty() {
+                    let tx = self.done_tx.lock().unwrap_or_else(|e| e.into_inner());
+                    for completion in out {
+                        // The receiver only disappears during teardown.
+                        let _ = tx.send(completion);
+                    }
+                }
+                if executed > 0 {
+                    self.unexecuted.fetch_sub(executed, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+}
+
+/// The asynchronous [`ChunkService`]: remote transfers and storage
+/// maintenance run on a pool of worker threads, and submissions are
+/// batched per owning world shard before they are handed to the pool, so
+/// the tick path pays neither transfer cost nor per-request dispatch cost.
+///
+/// The workers drain jobs from one queue but mutate a *single shared
+/// service core* behind a mutex: the pool overlaps storage work with the
+/// tick thread and absorbs submission bursts, while mutation of the
+/// store state itself stays serialized (which keeps the final state
+/// bit-identical to [`SyncChunkService`]). Sharding the core so workers
+/// also overlap with each other is tracked in the ROADMAP.
+///
+/// Reads that miss the in-memory layer become background transfers: the
+/// completion arrives from a later [`poll`](ChunkService::poll) once the
+/// simulated transfer time has elapsed, exactly like a prefetch join. The
+/// final cache/world/remote state is identical to what
+/// [`SyncChunkService`] produces for the same request stream (asserted by
+/// the `service_differential` test suite); only *where* the work executes
+/// — and therefore the tick-visible cost — differs.
+pub struct PipelinedChunkService<R: ObjectStore + Send + 'static> {
+    shared: Arc<PipeShared<R>>,
+    done_rx: Receiver<ChunkCompletion>,
+    /// Per-shard lanes of not-yet-flushed read/prefetch submissions.
+    lanes: Vec<Vec<(Ticket, ChunkRequest)>>,
+    /// Write-back / evict lane (not tied to one shard).
+    control: Vec<(Ticket, ChunkRequest)>,
+    tickets: u64,
+    now: SimTime,
+    shard_count: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<R: ObjectStore + Send + 'static> std::fmt::Debug for PipelinedChunkService<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedChunkService")
+            .field("workers", &self.workers.len())
+            .field("shards", &self.shard_count)
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
+    /// Creates a service in front of `remote` with `workers` transfer
+    /// threads (clamped to at least one). Size the pool with
+    /// `ServerConfig::with_parallelism` at the deployment layer.
+    pub fn new(remote: R, rng: servo_simkit::SimRng, workers: usize) -> Self {
+        let (done_tx, done_rx) = channel();
+        let shared = Arc::new(PipeShared {
+            core: Mutex::new(ServiceCore::new(remote, rng)),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            unexecuted: AtomicUsize::new(0),
+            harvest_queued: AtomicBool::new(false),
+            latest_now: AtomicU64::new(0),
+            done_tx: Mutex::new(done_tx),
+        });
+        let shard_count = servo_world::DEFAULT_SHARDS;
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("chunk-worker-{i}"))
+                    .spawn(move || shared.run_worker())
+                    .expect("spawning a chunk worker must succeed")
+            })
+            .collect();
+        PipelinedChunkService {
+            shared,
+            done_rx,
+            lanes: (0..shard_count).map(|_| Vec::new()).collect(),
+            control: Vec::new(),
+            tickets: 0,
+            now: SimTime::ZERO,
+            shard_count,
+            workers,
+        }
+    }
+
+    /// Binds the world whose per-shard dirty deltas feed
+    /// [`ChunkService::drain_dirty`] and write-back, aligning the service's
+    /// shard grouping with the world's shard count.
+    pub fn with_world(mut self, world: Arc<ShardedWorld>) -> Self {
+        let shard_count = world.shard_count();
+        {
+            let mut core = self.shared.core.lock().unwrap_or_else(|e| e.into_inner());
+            core.set_shard_count(shard_count);
+            core.world = Some(world);
+        }
+        self.shard_count = shard_count;
+        self.lanes = (0..shard_count).map(|_| Vec::new()).collect();
+        self
+    }
+
+    /// Cache effectiveness counters (briefly locks the shared core).
+    pub fn stats(&self) -> CacheStats {
+        self.shared
+            .core
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache
+            .stats()
+    }
+
+    /// Number of chunks resident in the in-memory cache layer (briefly
+    /// locks the shared core).
+    pub fn resident_chunks(&self) -> usize {
+        self.shared
+            .core
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache
+            .resident_chunks()
+    }
+
+    /// Number of simulated transfers currently in flight (briefly locks
+    /// the shared core).
+    pub fn transfers_in_flight(&self) -> usize {
+        self.shared
+            .core
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache
+            .transfers_in_flight()
+    }
+
+    /// Number of in-flight transfers due by `now` whose arrival has not
+    /// been harvested yet (briefly locks the shared core). Tests and
+    /// benches use this to detect quiescence at a given virtual time.
+    pub fn transfers_due(&self, now: SimTime) -> usize {
+        self.shared
+            .core
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache
+            .transfers_due(now)
+    }
+
+    /// Runs `f` with the remote backend (briefly locks the shared core;
+    /// e.g. to seed terrain before an experiment).
+    pub fn with_remote<T>(&self, f: impl FnOnce(&mut R) -> T) -> T {
+        let mut core = self.shared.core.lock().unwrap_or_else(|e| e.into_inner());
+        f(core.cache.remote_mut())
+    }
+
+    fn next_ticket(&mut self) -> Ticket {
+        self.tickets += 1;
+        Ticket(self.tickets)
+    }
+
+    fn enqueue(&self, job: Job) {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.push_back(job);
+        drop(queue);
+        self.shared.available.notify_all();
+    }
+}
+
+impl<R: ObjectStore + Send + 'static> ChunkService for PipelinedChunkService<R> {
+    fn submit(&mut self, request: ChunkRequest) -> Ticket {
+        let ticket = self.next_ticket();
+        match request {
+            ChunkRequest::Read { pos, priority } => {
+                self.lanes[shard_index(pos, self.shard_count)]
+                    .push((ticket, ChunkRequest::Read { pos, priority }));
+                self.shared.unexecuted.fetch_add(1, Ordering::AcqRel);
+            }
+            ChunkRequest::Prefetch {
+                positions,
+                priority,
+            } => {
+                // Split per owning shard so each sub-batch lands on the
+                // shard lane that will receive the data.
+                let mut by_shard: Vec<Vec<ChunkPos>> =
+                    (0..self.shard_count).map(|_| Vec::new()).collect();
+                for pos in positions {
+                    by_shard[shard_index(pos, self.shard_count)].push(pos);
+                }
+                for (shard, positions) in by_shard.into_iter().enumerate() {
+                    if positions.is_empty() {
+                        continue;
+                    }
+                    self.lanes[shard].push((
+                        ticket,
+                        ChunkRequest::Prefetch {
+                            positions,
+                            priority,
+                        },
+                    ));
+                    self.shared.unexecuted.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+            request @ (ChunkRequest::WriteBack { .. } | ChunkRequest::Evict { .. }) => {
+                self.control.push((ticket, request));
+                self.shared.unexecuted.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        ticket
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<ChunkCompletion> {
+        self.now = now;
+        self.shared
+            .latest_now
+            .fetch_max(now.as_micros(), Ordering::AcqRel);
+        // Flush the per-shard lanes and the control lane to the pool.
+        let mut batches = Vec::new();
+        for lane in self
+            .lanes
+            .iter_mut()
+            .chain(std::iter::once(&mut self.control))
+        {
+            if !lane.is_empty() {
+                batches.push(std::mem::take(lane));
+            }
+        }
+        for requests in batches {
+            self.enqueue(Job::Batch { now, requests });
+        }
+        // One coalesced harvest per poll keeps sim-time arrivals flowing
+        // even when no new requests were submitted.
+        if !self.shared.harvest_queued.swap(true, Ordering::AcqRel) {
+            self.enqueue(Job::Harvest { now });
+        }
+        self.done_rx.try_iter().collect()
+    }
+
+    fn drain_dirty(&mut self) -> Vec<ShardDelta> {
+        self.shared
+            .core
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .absorb_dirty()
+    }
+
+    fn pending(&self) -> usize {
+        let waiting = self
+            .shared
+            .core
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .waiting_reads();
+        let unflushed: usize = self.lanes.iter().map(Vec::len).sum::<usize>() + self.control.len();
+        self.shared.unexecuted.load(Ordering::Acquire) + waiting + unflushed
+    }
+
+    fn name(&self) -> &'static str {
+        "chunks-pipelined"
+    }
+}
+
+impl<R: ObjectStore + Send + 'static> Drop for PipelinedChunkService<R> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BlobStore, BlobTier};
+    use servo_simkit::SimRng;
+    use servo_types::BlockPos;
+    use servo_world::Block;
+
+    fn seeded_remote(n: i32) -> BlobStore {
+        let mut remote = BlobStore::new(BlobTier::Standard, SimRng::seed(1));
+        for x in 0..n {
+            for z in 0..n {
+                let pos = ChunkPos::new(x, z);
+                remote
+                    .write(
+                        &format!("terrain/{x}/{z}"),
+                        Chunk::empty(pos).to_bytes(),
+                        SimTime::ZERO,
+                    )
+                    .unwrap();
+            }
+        }
+        remote
+    }
+
+    /// Polls a pipelined service until it is quiescent *at* `now`: no
+    /// unexecuted submissions, no reads waiting on transfers due by `now`,
+    /// and three consecutive empty polls (covering channel latency).
+    fn drain<R: ObjectStore + Send + 'static>(
+        service: &mut PipelinedChunkService<R>,
+        now: SimTime,
+    ) -> Vec<ChunkCompletion> {
+        let mut all = Vec::new();
+        let mut idle = 0;
+        for _ in 0..100_000 {
+            let got = service.poll(now);
+            let empty = got.is_empty();
+            all.extend(got);
+            if empty && service.pending() == 0 && service.transfers_due(now) == 0 {
+                idle += 1;
+                if idle >= 3 {
+                    return all;
+                }
+            } else {
+                idle = 0;
+            }
+            std::thread::yield_now();
+        }
+        panic!("pipelined service failed to quiesce");
+    }
+
+    #[test]
+    fn sync_read_completes_inline() {
+        let mut service = SyncChunkService::new(seeded_remote(2), SimRng::seed(2));
+        let ticket = service.submit(ChunkRequest::read(ChunkPos::new(1, 1)));
+        let completions = service.poll(SimTime::ZERO);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].ticket, ticket);
+        match &completions[0].outcome {
+            ChunkOutcome::Loaded { pos, location, .. } => {
+                assert_eq!(*pos, ChunkPos::new(1, 1));
+                assert_eq!(*location, ChunkLocation::Remote);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(service.pending(), 0);
+        assert_eq!(service.stats().remote_misses, 1);
+    }
+
+    #[test]
+    fn sync_missing_chunk_reports_missing() {
+        let mut service = SyncChunkService::new(seeded_remote(1), SimRng::seed(2));
+        service.submit(ChunkRequest::read(ChunkPos::new(9, 9)));
+        let completions = service.poll(SimTime::ZERO);
+        assert!(matches!(
+            completions[0].outcome,
+            ChunkOutcome::Missing { pos } if pos == ChunkPos::new(9, 9)
+        ));
+    }
+
+    #[test]
+    fn pipelined_read_defers_to_arrival() {
+        let mut service = PipelinedChunkService::new(seeded_remote(2), SimRng::seed(2), 2);
+        let ticket = service.submit(ChunkRequest::read(ChunkPos::new(0, 1)));
+        // Immediately after submission nothing has arrived in sim time: the
+        // read became an in-flight transfer instead of blocking.
+        let mut early = Vec::new();
+        for _ in 0..50 {
+            early.extend(service.poll(SimTime::ZERO));
+            std::thread::yield_now();
+        }
+        assert!(
+            !early
+                .iter()
+                .any(|c| matches!(c.outcome, ChunkOutcome::Loaded { .. })),
+            "read completed without any sim time passing"
+        );
+        // Far in the future the transfer has arrived.
+        let completions = drain(&mut service, SimTime::from_secs(10));
+        let loaded: Vec<_> = completions
+            .iter()
+            .filter(|c| matches!(c.outcome, ChunkOutcome::Loaded { .. }))
+            .collect();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].ticket, ticket);
+        // The read never blocked: no synchronous remote miss was recorded.
+        assert_eq!(service.stats().remote_misses, 0);
+        assert_eq!(service.stats().prefetch_joins, 1);
+    }
+
+    #[test]
+    fn prefetch_arrivals_carry_the_prefetch_ticket() {
+        let mut service = PipelinedChunkService::new(seeded_remote(3), SimRng::seed(2), 2);
+        let positions: Vec<ChunkPos> = (0..3)
+            .flat_map(|x| (0..3).map(move |z| ChunkPos::new(x, z)))
+            .collect();
+        let ticket = service.submit(ChunkRequest::prefetch(positions.clone()));
+        // First drain issues the transfers at t=10 s; the second observes
+        // their arrivals (all due well before t=30 s).
+        let mut completions = drain(&mut service, SimTime::from_secs(10));
+        completions.extend(drain(&mut service, SimTime::from_secs(30)));
+        let loaded: Vec<ChunkPos> = completions
+            .iter()
+            .filter(|c| c.ticket == ticket)
+            .filter_map(|c| match &c.outcome {
+                ChunkOutcome::Loaded { pos, .. } => Some(*pos),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loaded.len(), positions.len());
+    }
+
+    #[test]
+    fn world_edits_surface_as_one_shard_delta_and_write_back_skips_clean_shards() {
+        let world = Arc::new(ShardedWorld::flat(4));
+        for x in 0..6 {
+            for z in 0..6 {
+                world.ensure_chunk_at(ChunkPos::new(x, z));
+            }
+        }
+        let mut service =
+            SyncChunkService::new(seeded_remote(0), SimRng::seed(2)).with_world(Arc::clone(&world));
+
+        // Edit blocks of exactly one chunk.
+        world
+            .set_block(BlockPos::new(1, 9, 1), Block::Stone)
+            .unwrap();
+        world
+            .set_block(BlockPos::new(2, 9, 2), Block::Lamp)
+            .unwrap();
+        let deltas = service.drain_dirty();
+        assert_eq!(deltas.len(), 1, "one edited shard, one delta: {deltas:?}");
+        assert_eq!(deltas[0].chunks, vec![ChunkPos::new(0, 0)]);
+
+        // The drained delta stays staged: write-back flushes exactly that
+        // chunk to remote storage and nothing else.
+        service.submit(ChunkRequest::write_back());
+        let completions = service.poll(SimTime::ZERO);
+        let written: Vec<usize> = completions
+            .iter()
+            .filter_map(|c| match c.outcome {
+                ChunkOutcome::WroteBack { chunks } => Some(chunks),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(written, vec![1]);
+        assert_eq!(service.remote_mut().len(), 1);
+        assert!(service.remote_mut().contains("terrain/0/0"));
+
+        // A clean world produces no deltas and write-back does nothing.
+        assert!(service.drain_dirty().is_empty());
+        service.submit(ChunkRequest::write_back());
+        let completions = service.poll(SimTime::ZERO);
+        assert!(completions
+            .iter()
+            .any(|c| matches!(c.outcome, ChunkOutcome::WroteBack { chunks: 0 })));
+    }
+
+    #[test]
+    fn evict_request_drops_unkept_chunks() {
+        let mut service = SyncChunkService::new(seeded_remote(3), SimRng::seed(2));
+        for x in 0..3 {
+            for z in 0..3 {
+                service.submit(ChunkRequest::read(ChunkPos::new(x, z)));
+            }
+        }
+        service.poll(SimTime::ZERO);
+        assert_eq!(service.resident_chunks(), 9);
+        let keep = vec![ChunkPos::new(0, 0), ChunkPos::new(1, 1)];
+        service.submit(ChunkRequest::evict(keep));
+        let completions = service.poll(SimTime::ZERO);
+        assert!(completions
+            .iter()
+            .any(|c| matches!(c.outcome, ChunkOutcome::Evicted { chunks: 7 })));
+        assert_eq!(service.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn priorities_order_within_a_batch() {
+        // Submit a background prefetch and an urgent read touching disjoint
+        // chunks; the worker executes the read first (observable through
+        // the cache stats' issue order is racy, so assert on the request
+        // ordering contract instead).
+        let mut requests = [
+            (Ticket(1), ChunkRequest::prefetch([ChunkPos::new(5, 5)])),
+            (Ticket(2), ChunkRequest::read(ChunkPos::new(1, 1))),
+            (Ticket(3), ChunkRequest::write_back()),
+        ];
+        requests.sort_by_key(|(_, r)| std::cmp::Reverse(r.priority()));
+        assert!(matches!(requests[0].1, ChunkRequest::Read { .. }));
+        assert!(matches!(requests[2].1, ChunkRequest::WriteBack { .. }));
+        assert!(Priority::Urgent > Priority::High);
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Background);
+    }
+}

@@ -29,6 +29,8 @@ pub mod world;
 
 pub use block::Block;
 pub use chunk::{Chunk, ChunkSnapshot};
-pub use sharded::{chunk_hash, shard_index, FxBuildHasher, FxHasher, ShardedWorld, DEFAULT_SHARDS};
+pub use sharded::{
+    chunk_hash, shard_index, FxBuildHasher, FxHasher, ShardDelta, ShardedWorld, DEFAULT_SHARDS,
+};
 pub use view::{missing_chunks, nearest_missing_distance_blocks, required_chunks, ChunkIndex};
 pub use world::{World, WorldKind};

@@ -2,7 +2,7 @@
 //!
 //! The paper's core observation is that a modifiable virtual environment is
 //! bottlenecked by the single game-loop thread of one server. The seed
-//! [`World`](crate::World) mirrors that constraint: one `HashMap` behind one
+//! [`crate::World`] mirrors that constraint: one `HashMap` behind one
 //! `&mut` borrow. [`ShardedWorld`] removes it for the in-memory layer: chunks
 //! are distributed over `N` power-of-two shards by a fast FxHash-style hash
 //! of their [`ChunkPos`], each shard guards its own `HashMap` with an
@@ -19,16 +19,21 @@
 //!   [`fill_region`], [`insert_chunks`]) visit shards one at a time;
 //! * the counters are updated after the shard lock is released; they are
 //!   eventually consistent with in-flight writers but exact once all
-//!   writers have returned.
+//!   writers have returned;
+//! * every block modification also lands in the owning shard's *dirty set*
+//!   (guarded by its own small mutex, never held together with the chunk
+//!   lock) and bumps that shard's *epoch*; [`ShardedWorld::drain_dirty`]
+//!   hands the per-shard deltas to the storage write-back pipeline, which
+//!   therefore skips clean shards entirely.
 //!
 //! [`set_blocks`]: ShardedWorld::set_blocks
 //! [`fill_region`]: ShardedWorld::fill_region
 //! [`insert_chunks`]: ShardedWorld::insert_chunks
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
 use servo_types::consts::{CHUNK_HEIGHT, CHUNK_SIZE};
 use servo_types::{BlockPos, ChunkPos, ServoError};
@@ -126,10 +131,50 @@ pub fn shard_index(pos: ChunkPos, shard_count: usize) -> usize {
     (chunk_hash(pos) >> (64 - bits)) as usize
 }
 
-/// One shard: an independently locked chunk map.
+/// One shard: an independently locked chunk map plus its dirty tracking.
 #[derive(Debug, Default)]
 struct Shard {
     chunks: RwLock<HashMap<ChunkPos, Chunk, FxBuildHasher>>,
+    /// Chunks modified since the last [`ShardedWorld::drain_dirty`]. Guarded
+    /// by its own mutex so writers never hold it together with `chunks`.
+    dirty: Mutex<HashSet<ChunkPos, FxBuildHasher>>,
+    /// Monotone per-shard modification counter: the number of block
+    /// modifications this shard has absorbed over its lifetime. Storage
+    /// consumers use it to order and deduplicate [`ShardDelta`]s.
+    epoch: AtomicU64,
+}
+
+/// The set of chunks one world shard dirtied between two
+/// [`ShardedWorld::drain_dirty`] calls — the unit of work the storage
+/// write-back pipeline consumes. Write-back visits only the shards that
+/// actually produced a delta, skipping clean shards entirely.
+///
+/// # Example
+///
+/// ```
+/// use servo_world::{Block, ShardedWorld};
+/// use servo_types::BlockPos;
+///
+/// let world = ShardedWorld::flat(4);
+/// world.ensure_chunk_at(servo_types::ChunkPos::new(0, 0));
+/// world.set_block(BlockPos::new(1, 10, 1), Block::Stone).unwrap();
+/// let deltas = world.drain_dirty();
+/// // One chunk was edited, so exactly one shard reports a delta.
+/// assert_eq!(deltas.len(), 1);
+/// assert_eq!(deltas[0].chunks, vec![servo_types::ChunkPos::new(0, 0)]);
+/// // Draining leaves every shard clean again.
+/// assert!(world.drain_dirty().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDelta {
+    /// The index of the shard that produced this delta.
+    pub shard: usize,
+    /// The shard's modification epoch at drain time (its lifetime count of
+    /// block modifications).
+    pub epoch: u64,
+    /// The chunks dirtied since the previous drain, sorted by `(x, z)` so
+    /// downstream write-back consumes a deterministic order.
+    pub chunks: Vec<ChunkPos>,
 }
 
 /// The default shard count. Sixteen shards keep the collision probability
@@ -213,6 +258,18 @@ impl ShardedWorld {
             self.modifications.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        // Undrained dirty chunks keep their write-back obligation across the
+        // re-shard (epochs restart from zero: they are per-layout counters).
+        for delta in self.drain_dirty() {
+            for pos in delta.chunks {
+                let target = &rebuilt.shards[rebuilt.shard_of(pos)];
+                target
+                    .dirty
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(pos);
+            }
+        }
         for shard in self.shards.iter() {
             let mut chunks = shard.chunks.write().unwrap_or_else(|e| e.into_inner());
             for (_, chunk) in chunks.drain() {
@@ -253,6 +310,67 @@ impl ShardedWorld {
     /// from a lock-free counter.
     pub fn total_modifications(&self) -> u64 {
         self.modifications.load(Ordering::Acquire)
+    }
+
+    /// The modification epoch of one shard: its lifetime count of block
+    /// modifications. Monotone; storage consumers use it to order deltas.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of shards currently holding dirty (modified since the last
+    /// [`ShardedWorld::drain_dirty`]) chunks.
+    pub fn dirty_shard_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| !s.dirty.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+            .count()
+    }
+
+    /// Marks `delta_mods` block modifications against the chunk at `pos` in
+    /// shard `shard`: bumps the global and per-shard counters and records the
+    /// chunk in the shard's dirty set.
+    fn note_modified(&self, shard: usize, pos: ChunkPos, delta_mods: u64) {
+        if delta_mods == 0 {
+            return;
+        }
+        self.modifications.fetch_add(delta_mods, Ordering::AcqRel);
+        let s = &self.shards[shard];
+        s.epoch.fetch_add(delta_mods, Ordering::AcqRel);
+        s.dirty
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(pos);
+    }
+
+    /// Takes every shard's dirty set, returning one [`ShardDelta`] per shard
+    /// that was modified since the previous drain. Shards that stayed clean
+    /// produce no delta, which is what lets a storage write-back pass skip
+    /// them without scanning anything.
+    ///
+    /// Chunk loads ([`ShardedWorld::insert_chunk`],
+    /// [`ShardedWorld::insert_chunks`], [`ShardedWorld::ensure_chunk_at`])
+    /// do *not* dirty a shard — only block modifications do — so terrain
+    /// streaming in from storage never triggers its own write-back.
+    pub fn drain_dirty(&self) -> Vec<ShardDelta> {
+        let mut deltas = Vec::new();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let taken = {
+                let mut dirty = shard.dirty.lock().unwrap_or_else(|e| e.into_inner());
+                if dirty.is_empty() {
+                    continue;
+                }
+                std::mem::take(&mut *dirty)
+            };
+            let mut chunks: Vec<ChunkPos> = taken.into_iter().collect();
+            chunks.sort_by_key(|p| (p.x, p.z));
+            deltas.push(ShardDelta {
+                shard: index,
+                epoch: shard.epoch.load(Ordering::Acquire),
+                chunks,
+            });
+        }
+        deltas
     }
 
     /// Whether the chunk at `pos` is loaded.
@@ -316,17 +434,20 @@ impl ShardedWorld {
         }
     }
 
-    /// Removes and returns the chunk at `pos`.
+    /// Removes and returns the chunk at `pos`. The chunk also leaves its
+    /// shard's dirty set: an unloaded chunk has nothing left to write back.
     pub fn remove_chunk(&self, pos: ChunkPos) -> Option<Chunk> {
+        let shard = self.shard(pos);
         let removed = {
-            let mut chunks = self
-                .shard(pos)
-                .chunks
-                .write()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut chunks = shard.chunks.write().unwrap_or_else(|e| e.into_inner());
             chunks.remove(&pos)
         };
         if removed.is_some() {
+            shard
+                .dirty
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&pos);
             self.loaded.fetch_sub(1, Ordering::AcqRel);
         }
         removed
@@ -404,9 +525,9 @@ impl ShardedWorld {
     /// `None` if the chunk is not loaded. Block changes `f` makes are folded
     /// into [`ShardedWorld::total_modifications`].
     pub fn with_chunk_mut<R>(&self, pos: ChunkPos, f: impl FnOnce(&mut Chunk) -> R) -> Option<R> {
+        let shard = self.shard_of(pos);
         let (result, delta) = {
-            let mut chunks = self
-                .shard(pos)
+            let mut chunks = self.shards[shard]
                 .chunks
                 .write()
                 .unwrap_or_else(|e| e.into_inner());
@@ -415,9 +536,7 @@ impl ShardedWorld {
             let result = f(chunk);
             (result, chunk.modifications() - before)
         };
-        if delta > 0 {
-            self.modifications.fetch_add(delta, Ordering::AcqRel);
-        }
+        self.note_modified(shard, pos, delta);
         Some(result)
     }
 
@@ -441,9 +560,9 @@ impl ShardedWorld {
     /// loaded, or [`ServoError::OutOfBounds`] if `y` is outside the world.
     pub fn set_block(&self, pos: BlockPos, block: Block) -> Result<(), ServoError> {
         let (chunk_pos, lx, ly, lz) = split_pos(pos);
+        let shard = self.shard_of(chunk_pos);
         {
-            let mut chunks = self
-                .shard(chunk_pos)
+            let mut chunks = self.shards[shard]
                 .chunks
                 .write()
                 .unwrap_or_else(|e| e.into_inner());
@@ -455,7 +574,7 @@ impl ShardedWorld {
                 })?;
             chunk.set_local(lx, ly, lz, block)?;
         }
-        self.modifications.fetch_add(1, Ordering::AcqRel);
+        self.note_modified(shard, chunk_pos, 1);
         Ok(())
     }
 
@@ -486,35 +605,53 @@ impl ShardedWorld {
         }
         let mut written = 0usize;
         let mut result = Ok(());
-        'shards: for (shard, batch) in self.shards.iter().zip(&by_shard) {
+        'shards: for (shard_index, batch) in by_shard.iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
-            let mut chunks = shard.chunks.write().unwrap_or_else(|e| e.into_inner());
-            let mut i = 0;
-            while i < batch.len() {
-                let chunk_pos = batch[i].0;
-                let Some(chunk) = chunks.get_mut(&chunk_pos) else {
-                    result = Err(ServoError::ChunkNotLoaded {
-                        x: chunk_pos.x,
-                        z: chunk_pos.z,
-                    });
-                    break 'shards;
-                };
-                while i < batch.len() && batch[i].0 == chunk_pos {
-                    let (_, lx, ly, lz, block) = batch[i];
-                    if let Err(e) = chunk.set_local(lx, ly, lz, block) {
-                        result = Err(e);
-                        break 'shards;
+            // Per-chunk runs written under this shard's lock, flushed into
+            // the dirty tracking after the lock is released.
+            let mut runs: Vec<(ChunkPos, u64)> = Vec::new();
+            {
+                let mut chunks = self.shards[shard_index]
+                    .chunks
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner());
+                let mut i = 0;
+                while i < batch.len() {
+                    let chunk_pos = batch[i].0;
+                    let Some(chunk) = chunks.get_mut(&chunk_pos) else {
+                        result = Err(ServoError::ChunkNotLoaded {
+                            x: chunk_pos.x,
+                            z: chunk_pos.z,
+                        });
+                        break;
+                    };
+                    let mut run_written = 0u64;
+                    while i < batch.len() && batch[i].0 == chunk_pos {
+                        let (_, lx, ly, lz, block) = batch[i];
+                        if let Err(e) = chunk.set_local(lx, ly, lz, block) {
+                            result = Err(e);
+                            break;
+                        }
+                        written += 1;
+                        run_written += 1;
+                        i += 1;
                     }
-                    written += 1;
-                    i += 1;
+                    if run_written > 0 {
+                        runs.push((chunk_pos, run_written));
+                    }
+                    if result.is_err() {
+                        break;
+                    }
                 }
             }
-        }
-        if written > 0 {
-            self.modifications
-                .fetch_add(written as u64, Ordering::AcqRel);
+            for (chunk_pos, run_written) in runs {
+                self.note_modified(shard_index, chunk_pos, run_written);
+            }
+            if result.is_err() {
+                break 'shards;
+            }
         }
         result.map(|()| written)
     }
@@ -562,41 +699,54 @@ impl ShardedWorld {
         }
         let mut changed = 0usize;
         let mut result = Ok(());
-        'shards: for (shard, batch) in self.shards.iter().zip(&by_shard) {
+        'shards: for (shard_index, batch) in by_shard.iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
-            let mut chunks = shard.chunks.write().unwrap_or_else(|e| e.into_inner());
-            for &chunk_pos in batch {
-                let base = chunk_pos.min_block();
-                let lo = ((min.x - base.x).max(0), min.y, (min.z - base.z).max(0));
-                let hi = (
-                    (max.x - base.x).min(CHUNK_SIZE - 1),
-                    max.y,
-                    (max.z - base.z).min(CHUNK_SIZE - 1),
-                );
-                let Some(chunk) = chunks.get_mut(&chunk_pos) else {
-                    result = Err(ServoError::ChunkNotLoaded {
-                        x: chunk_pos.x,
-                        z: chunk_pos.z,
-                    });
-                    break 'shards;
-                };
-                match chunk.fill_box(lo, hi, block) {
-                    Ok(n) => changed += n,
-                    Err(e) => {
-                        result = Err(e);
-                        break 'shards;
+            let mut runs: Vec<(ChunkPos, u64)> = Vec::new();
+            {
+                let mut chunks = self.shards[shard_index]
+                    .chunks
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner());
+                for &chunk_pos in batch {
+                    let base = chunk_pos.min_block();
+                    let lo = ((min.x - base.x).max(0), min.y, (min.z - base.z).max(0));
+                    let hi = (
+                        (max.x - base.x).min(CHUNK_SIZE - 1),
+                        max.y,
+                        (max.z - base.z).min(CHUNK_SIZE - 1),
+                    );
+                    let Some(chunk) = chunks.get_mut(&chunk_pos) else {
+                        result = Err(ServoError::ChunkNotLoaded {
+                            x: chunk_pos.x,
+                            z: chunk_pos.z,
+                        });
+                        break;
+                    };
+                    match chunk.fill_box(lo, hi, block) {
+                        Ok(n) => {
+                            changed += n;
+                            if n > 0 {
+                                runs.push((chunk_pos, n as u64));
+                            }
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
                     }
                 }
             }
-        }
-        // Flush the changes that did land even when a concurrent
-        // remove_chunk surfaced as a mid-fill error — those blocks were
-        // written and kept, so the counter must reflect them.
-        if changed > 0 {
-            self.modifications
-                .fetch_add(changed as u64, Ordering::AcqRel);
+            // Flush the changes that did land even when a concurrent
+            // remove_chunk surfaced as a mid-fill error — those blocks were
+            // written and kept, so the counters must reflect them.
+            for (chunk_pos, n) in runs {
+                self.note_modified(shard_index, chunk_pos, n);
+            }
+            if result.is_err() {
+                break 'shards;
+            }
         }
         result.map(|()| changed)
     }
@@ -792,6 +942,96 @@ mod tests {
         let mut expected: Vec<ChunkPos> = (0..20).map(|i| ChunkPos::new(i, -i)).collect();
         expected.sort_by_key(|p| (p.x, p.z));
         assert_eq!(positions, expected);
+    }
+
+    #[test]
+    fn dirty_tracking_is_per_shard() {
+        let world = ShardedWorld::flat(4);
+        for cx in 0..4 {
+            for cz in 0..4 {
+                world.ensure_chunk_at(ChunkPos::new(cx, cz));
+            }
+        }
+        // Loading chunks does not dirty anything.
+        assert_eq!(world.dirty_shard_count(), 0);
+        assert!(world.drain_dirty().is_empty());
+
+        // Edit blocks of exactly one chunk: exactly one shard reports dirt.
+        world
+            .set_block(BlockPos::new(1, 9, 1), Block::Stone)
+            .unwrap();
+        world
+            .set_block(BlockPos::new(2, 9, 2), Block::Lamp)
+            .unwrap();
+        assert_eq!(world.dirty_shard_count(), 1);
+        let deltas = world.drain_dirty();
+        assert_eq!(deltas.len(), 1);
+        let delta = &deltas[0];
+        assert_eq!(delta.shard, world.shard_of(ChunkPos::new(0, 0)));
+        assert_eq!(delta.chunks, vec![ChunkPos::new(0, 0)]);
+        assert_eq!(delta.epoch, 2);
+        assert_eq!(world.shard_epoch(delta.shard), 2);
+        // Drained means clean.
+        assert!(world.drain_dirty().is_empty());
+        assert_eq!(world.dirty_shard_count(), 0);
+        // The global counter is untouched by draining.
+        assert_eq!(world.total_modifications(), 2);
+    }
+
+    #[test]
+    fn batch_mutations_mark_dirty_chunks() {
+        let world = ShardedWorld::flat(4);
+        for cx in -2..=2 {
+            for cz in -2..=2 {
+                world.ensure_chunk_at(ChunkPos::new(cx, cz));
+            }
+        }
+        world
+            .fill_region(
+                BlockPos::new(-20, 40, -20),
+                BlockPos::new(20, 41, 20),
+                Block::Sand,
+            )
+            .unwrap();
+        let filled: std::collections::HashSet<ChunkPos> = world
+            .drain_dirty()
+            .iter()
+            .flat_map(|d| d.chunks.iter().copied())
+            .collect();
+        // The region spans chunks -2..=1 on both axes (blocks -20..=20).
+        assert_eq!(filled.len(), 4 * 4);
+
+        world
+            .set_blocks([
+                (BlockPos::new(0, 50, 0), Block::Wood),
+                (BlockPos::new(17, 50, 17), Block::Wood),
+            ])
+            .unwrap();
+        let edited: Vec<ChunkPos> = world
+            .drain_dirty()
+            .iter()
+            .flat_map(|d| d.chunks.iter().copied())
+            .collect();
+        assert_eq!(edited.len(), 2);
+
+        // with_chunk_mut folds its delta into the dirty tracking too; a
+        // read-only closure stays clean.
+        world
+            .with_chunk_mut(ChunkPos::new(1, 1), |chunk| {
+                chunk.fill_layer(60, Block::Stone).unwrap()
+            })
+            .unwrap();
+        world.read_chunk(ChunkPos::new(0, 0), |c| c.modifications());
+        let deltas = world.drain_dirty();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].chunks, vec![ChunkPos::new(1, 1)]);
+
+        // Removing a chunk clears its pending dirt.
+        world
+            .set_block(BlockPos::new(33, 9, 33), Block::Lamp)
+            .unwrap();
+        world.remove_chunk(ChunkPos::new(2, 2)).unwrap();
+        assert!(world.drain_dirty().is_empty());
     }
 
     #[test]
