@@ -2,13 +2,50 @@
 
 use servo_faas::{FaasPlatform, FunctionConfig};
 use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
+use servo_server::cluster::ShardedGameCluster;
 use servo_server::{GameServer, ServerConfig};
 use servo_simkit::SimRng;
-use servo_types::MemoryMb;
-use servo_world::WorldKind;
+use servo_storage::{
+    BlobStore, BlobTier, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService,
+};
+use servo_types::{MemoryMb, SimDuration};
+use servo_workload::PlayerFleet;
+use servo_world::{required_chunks, WorldKind};
 
 use crate::speculative::{SpeculationConfig, SpeculationHandle, SpeculativeScBackend};
 use crate::terrain::{FaasTerrainBackend, TerrainOffloadHandle};
+
+/// Configuration of the deployment's persistence pipeline: the
+/// [`PipelinedChunkService`] that prefetches terrain from and writes dirty
+/// terrain back to serverless blob storage while the game loop runs.
+#[derive(Debug, Clone)]
+pub struct PersistenceConfig {
+    /// Game ticks between write-back (and prefetch) passes.
+    pub write_back_interval: u64,
+    /// The blob-storage tier terrain persists to.
+    pub tier: BlobTier,
+}
+
+impl Default for PersistenceConfig {
+    fn default() -> Self {
+        PersistenceConfig {
+            // One pass per simulated second at the 20 Hz tick rate.
+            write_back_interval: 20,
+            tier: BlobTier::Standard,
+        }
+    }
+}
+
+/// Counters of the deployment's persistence pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistenceStats {
+    /// Write-back passes completed by the pipeline.
+    pub write_back_passes: u64,
+    /// Dirty chunks flushed to remote storage.
+    pub chunks_flushed: u64,
+    /// Chunks staged back into the cache by prefetch arrivals.
+    pub prefetch_arrivals: u64,
+}
 
 /// Configuration of a Servo deployment.
 #[derive(Debug, Clone)]
@@ -21,6 +58,10 @@ pub struct ServoConfig {
     pub sc_function: FunctionConfig,
     /// FaaS configuration of the terrain-generation function.
     pub generation_function: FunctionConfig,
+    /// The persistence pipeline configuration; `None` disables remote
+    /// persistence (terrain lives only in server memory, the seed
+    /// behaviour).
+    pub persistence: Option<PersistenceConfig>,
     /// Seed for all random streams of the deployment.
     pub seed: u64,
 }
@@ -32,6 +73,7 @@ impl Default for ServoConfig {
             speculation: SpeculationConfig::default(),
             sc_function: FunctionConfig::aws_like(MemoryMb::new(2048)),
             generation_function: FunctionConfig::aws_like(MemoryMb::new(10240)),
+            persistence: Some(PersistenceConfig::default()),
             seed: 42,
         }
     }
@@ -86,9 +128,23 @@ impl ServoBuilder {
         self
     }
 
+    /// Sets (or, with `None`, disables) the persistence pipeline
+    /// configuration.
+    pub fn persistence(mut self, persistence: Option<PersistenceConfig>) -> Self {
+        self.config.persistence = persistence;
+        self
+    }
+
     /// Builds the deployment.
     pub fn build(self) -> ServoDeployment {
         ServoDeployment::from_config(self.config)
+    }
+
+    /// Builds a *zoned* cluster instead of a single Servo instance: the
+    /// classic scale-out alternative the ablation compares against. See
+    /// [`ServoDeployment::zoned`].
+    pub fn zoned(self, zones: usize) -> ShardedGameCluster {
+        ServoDeployment::zoned(self.config, zones)
     }
 }
 
@@ -104,6 +160,11 @@ pub struct ServoDeployment {
     pub terrain: TerrainOffloadHandle,
     /// The configuration the deployment was built from.
     pub config: ServoConfig,
+    /// The persistence pipeline, bound to the server's world so per-shard
+    /// dirty deltas flow into write-back (Section III-E). Driven by
+    /// [`ServoDeployment::run_with_fleet`].
+    persistence: Option<PipelinedChunkService<BlobStore>>,
+    persistence_stats: PersistenceStats,
 }
 
 impl std::fmt::Debug for ServoDeployment {
@@ -147,11 +208,147 @@ impl ServoDeployment {
             rng.substream("server"),
         );
 
+        let persistence = config.persistence.as_ref().map(|p| {
+            let remote = BlobStore::new(p.tier, rng.substream("persistence-blob"));
+            PipelinedChunkService::new(
+                remote,
+                rng.substream("persistence-disk"),
+                config.server.parallelism.max(1),
+            )
+            .with_world(server.world_handle())
+        });
+
         ServoDeployment {
             server,
             speculation,
             terrain,
             config,
+            persistence,
+            persistence_stats: PersistenceStats::default(),
+        }
+    }
+
+    /// Builds a *zoned* cluster from this configuration: `zones` real game
+    /// servers sharing the configured cost model, view distance and world
+    /// kind, each wired its own per-zone [`ChunkService`] generation
+    /// backend and restricted to its own slice of world shards. Constructs
+    /// are simulated locally per zone (every other tick, as the production
+    /// baselines do) — zoning is the classic alternative to Servo's
+    /// offloading, which is exactly the comparison the multiserver
+    /// ablation runs on [`ShardedGameCluster::baseline`].
+    pub fn zoned(config: ServoConfig, zones: usize) -> ShardedGameCluster {
+        ShardedGameCluster::baseline(config.server.clone(), zones, config.seed)
+    }
+
+    /// Counters of the persistence pipeline (all zero when persistence is
+    /// disabled or the deployment is driven through the bare server).
+    pub fn persistence_stats(&self) -> PersistenceStats {
+        self.persistence_stats
+    }
+
+    /// Runs `f` against the persistence pipeline's remote blob store, e.g.
+    /// to inspect what has been persisted. Returns `None` when persistence
+    /// is disabled.
+    pub fn with_persisted<T>(&self, f: impl FnOnce(&mut BlobStore) -> T) -> Option<T> {
+        self.persistence.as_ref().map(|p| p.with_remote(f))
+    }
+
+    /// Drives the server with a player fleet for `duration` of virtual
+    /// time — like [`GameServer::run_with_fleet`] — while also driving the
+    /// persistence pipeline: every
+    /// [`PersistenceConfig::write_back_interval`] ticks the deployment
+    /// prefetches the terrain the fleet currently needs and flushes dirty
+    /// shards to blob storage, all through the measured
+    /// [`PipelinedChunkService`] rather than ad-hoc storage calls.
+    pub fn run_with_fleet(
+        &mut self,
+        fleet: &mut PlayerFleet,
+        duration: SimDuration,
+    ) -> Vec<servo_server::TickReport> {
+        let end = self.server.now() + duration;
+        let tick_budget = self.server.config().tick_budget();
+        let parallelism = self.server.config().parallelism.max(1);
+        let interval = self
+            .config
+            .persistence
+            .as_ref()
+            .map(|p| p.write_back_interval.max(1))
+            .unwrap_or(u64::MAX);
+        let view_distance = self.server.config().view_distance_blocks;
+        let mut reports = Vec::new();
+        let mut ticks_since_pass = 0u64;
+        while self.server.now() < end {
+            let now = self.server.now();
+            let events = if parallelism > 1 {
+                fleet.tick_parallel(now, tick_budget, parallelism)
+            } else {
+                fleet.tick(now, tick_budget)
+            };
+            let positions = fleet.positions();
+            reports.push(self.server.run_tick(&positions, &events));
+            if let Some(service) = self.persistence.as_mut() {
+                let now = self.server.now();
+                ticks_since_pass += 1;
+                if ticks_since_pass >= interval {
+                    ticks_since_pass = 0;
+                    service.submit(ChunkRequest::prefetch(required_chunks(
+                        &positions,
+                        view_distance,
+                    )));
+                    service.submit(ChunkRequest::write_back());
+                }
+                for completion in service.poll(now) {
+                    match completion.outcome {
+                        ChunkOutcome::WroteBack { chunks } => {
+                            self.persistence_stats.write_back_passes += 1;
+                            self.persistence_stats.chunks_flushed += chunks as u64;
+                        }
+                        ChunkOutcome::Loaded { .. } => {
+                            self.persistence_stats.prefetch_arrivals += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        reports
+    }
+
+    /// Flushes all remaining dirty terrain through the persistence
+    /// pipeline and waits for the pass to complete. Returns the number of
+    /// chunks written, or zero when persistence is disabled.
+    pub fn flush_persistence(&mut self) -> u64 {
+        let Some(service) = self.persistence.as_mut() else {
+            return 0;
+        };
+        let now = self.server.now();
+        let ticket = service.submit(ChunkRequest::write_back());
+        let mut flushed = 0u64;
+        // The pass runs on the pipeline's worker pool; poll until its
+        // completion surfaces (completions are published before the
+        // pending count drops, so this terminates).
+        loop {
+            let mut done = false;
+            for completion in service.poll(now) {
+                match completion.outcome {
+                    ChunkOutcome::WroteBack { chunks } => {
+                        self.persistence_stats.write_back_passes += 1;
+                        self.persistence_stats.chunks_flushed += chunks as u64;
+                        if completion.ticket == ticket {
+                            flushed = chunks as u64;
+                            done = true;
+                        }
+                    }
+                    ChunkOutcome::Loaded { .. } => {
+                        self.persistence_stats.prefetch_arrivals += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if done {
+                return flushed;
+            }
+            std::thread::yield_now();
         }
     }
 
@@ -201,6 +398,7 @@ impl ServoDeployment {
 mod tests {
     use super::*;
     use servo_redstone::generators;
+    use servo_storage::ObjectStore;
     use servo_types::SimDuration;
     use servo_workload::{BehaviorKind, PlayerFleet};
 
@@ -264,6 +462,53 @@ mod tests {
             mean(&servo.server),
             mean(&opencraft)
         );
+    }
+
+    #[test]
+    fn persistence_pipeline_flushes_player_edits() {
+        let mut deployment = ServoDeployment::builder()
+            .seed(11)
+            .view_distance(32)
+            .build();
+        let mut fleet = PlayerFleet::new(BehaviorKind::Random, SimRng::seed(12));
+        fleet.connect_all(10);
+        deployment.run_with_fleet(&mut fleet, SimDuration::from_secs(10));
+        deployment.flush_persistence();
+        let stats = deployment.persistence_stats();
+        assert!(stats.write_back_passes > 0, "no write-back pass ran");
+        assert!(stats.chunks_flushed > 0, "no dirty chunk reached storage");
+        let persisted = deployment.with_persisted(|remote| remote.len()).unwrap();
+        assert!(persisted > 0, "remote blob store is empty");
+        // A second flush with no new edits writes nothing further.
+        assert_eq!(deployment.flush_persistence(), 0);
+    }
+
+    #[test]
+    fn persistence_can_be_disabled() {
+        let mut deployment = ServoDeployment::builder()
+            .seed(13)
+            .view_distance(32)
+            .persistence(None)
+            .build();
+        let mut fleet = bounded_fleet(5, 14);
+        let reports = deployment.run_with_fleet(&mut fleet, SimDuration::from_secs(2));
+        assert!(!reports.is_empty());
+        assert_eq!(deployment.flush_persistence(), 0);
+        assert_eq!(deployment.persistence_stats(), PersistenceStats::default());
+        assert!(deployment.with_persisted(|remote| remote.len()).is_none());
+    }
+
+    #[test]
+    fn zoned_builder_produces_a_restricted_cluster() {
+        let cluster = ServoDeployment::builder()
+            .seed(15)
+            .view_distance(32)
+            .zoned(4);
+        assert_eq!(cluster.zones(), 4);
+        for (zone, server) in cluster.servers().iter().enumerate() {
+            assert_eq!(server.zone(), Some(zone));
+            assert_eq!(server.config().view_distance_blocks, 32);
+        }
     }
 
     #[test]

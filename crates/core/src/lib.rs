@@ -49,7 +49,7 @@ pub mod speculative;
 pub mod terrain;
 pub mod terrain_store;
 
-pub use deployment::{ServoConfig, ServoDeployment};
+pub use deployment::{PersistenceConfig, PersistenceStats, ServoConfig, ServoDeployment};
 pub use speculative::{
     ScWorkModel, SpeculationConfig, SpeculationHandle, SpeculationStats, SpeculativeScBackend,
 };

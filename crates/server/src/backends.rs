@@ -9,8 +9,9 @@
 //! the game server); Servo plugs in its FaaS generation service from
 //! `servo-core`.
 //!
-//! The pre-redesign [`TerrainBackend`] trait survives one release behind
-//! the deprecated [`TerrainBackendShim`].
+//! The pre-redesign `TerrainBackend` trait and its `TerrainBackendShim`
+//! adapter rode out their one-release deprecation window and are gone;
+//! terrain providers implement [`ChunkService`] directly.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -121,102 +122,11 @@ impl ScBackend for LocalScBackend {
     }
 }
 
-/// The pre-redesign terrain-provider interface.
-///
-/// Superseded by the [`ChunkService`] request/completion API, which the
-/// game loop now consumes exclusively; existing implementations keep
-/// working for one release through [`TerrainBackendShim`].
-#[deprecated(
-    since = "0.2.0",
-    note = "implement servo_storage::ChunkService instead; wrap legacy \
-            implementations in TerrainBackendShim for the transition"
-)]
-pub trait TerrainBackend {
-    /// Requests generation of the chunk at `pos`. Duplicate requests are
-    /// ignored.
-    fn request(&mut self, pos: ChunkPos, now: SimTime);
-
-    /// Returns every chunk whose generation has completed by `now`.
-    fn poll_ready(&mut self, now: SimTime) -> Vec<Chunk>;
-
-    /// Number of generation tasks currently executing *on the game server*
-    /// (used to model interference with the game loop; serverless backends
-    /// return zero).
-    fn busy_local_workers(&self, now: SimTime) -> usize;
-
-    /// Number of requested chunks not yet delivered.
-    fn pending(&self) -> usize;
-
-    /// A short name for experiment output.
-    fn name(&self) -> &'static str;
-}
-
-/// Compatibility adapter: exposes a legacy [`TerrainBackend`] through the
-/// [`ChunkService`] API so not-yet-migrated backends keep plugging into
-/// [`GameServer`](crate::GameServer) for one more release.
-///
-/// Requests map directly (`Read`/`Prefetch` → `request`, completions from
-/// `poll_ready`); `WriteBack` and `Evict` complete as no-ops because the
-/// legacy interface has no persistence side.
-#[deprecated(
-    since = "0.2.0",
-    note = "transitional only — implement servo_storage::ChunkService directly"
-)]
-pub struct TerrainBackendShim {
-    #[allow(deprecated)]
-    inner: Box<dyn TerrainBackend>,
-    clock: GenerationClock,
-}
-
-#[allow(deprecated)]
-impl TerrainBackendShim {
-    /// Wraps a legacy backend.
-    pub fn new(inner: Box<dyn TerrainBackend>) -> Self {
-        TerrainBackendShim {
-            inner,
-            clock: GenerationClock::default(),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl ChunkService for TerrainBackendShim {
-    fn submit(&mut self, request: ChunkRequest) -> Ticket {
-        let (ticket, positions) = self.clock.admit(&request);
-        for pos in positions {
-            self.inner.request(pos, self.clock.now);
-        }
-        ticket
-    }
-
-    fn poll(&mut self, now: SimTime) -> Vec<ChunkCompletion> {
-        self.clock.now = now;
-        let ready = self.inner.poll_ready(now);
-        self.clock.complete(ready, now)
-    }
-
-    fn drain_dirty(&mut self) -> Vec<ShardDelta> {
-        Vec::new()
-    }
-
-    fn pending(&self) -> usize {
-        self.inner.pending()
-    }
-
-    fn busy_local_workers(&self, now: SimTime) -> usize {
-        self.inner.busy_local_workers(now)
-    }
-
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-}
-
 /// The submit/complete bookkeeping every generation-style [`ChunkService`]
 /// shares: the virtual clock observed from `poll`, ticket allocation, and
 /// the ticket/issue-time record per requested chunk. Used by
-/// [`LocalGenerationBackend`], the FaaS generation backend of
-/// `servo-core`, and [`TerrainBackendShim`].
+/// [`LocalGenerationBackend`] and the FaaS generation backend of
+/// `servo-core`.
 #[derive(Debug, Default)]
 pub struct GenerationClock {
     now: SimTime,
@@ -542,53 +452,5 @@ mod tests {
     #[should_panic(expected = "at least one generation worker")]
     fn zero_workers_is_rejected() {
         LocalGenerationBackend::new(Box::new(FlatGenerator::default()), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn terrain_backend_shim_adapts_legacy_backends() {
-        /// A minimal legacy backend: delivers flat chunks one tick after the
-        /// request.
-        struct Legacy {
-            pending: Vec<(ChunkPos, SimTime)>,
-        }
-        impl TerrainBackend for Legacy {
-            fn request(&mut self, pos: ChunkPos, now: SimTime) {
-                if !self.pending.iter().any(|(p, _)| *p == pos) {
-                    self.pending.push((pos, now + SimDuration::from_millis(50)));
-                }
-            }
-            fn poll_ready(&mut self, now: SimTime) -> Vec<Chunk> {
-                let (ready, waiting) = self
-                    .pending
-                    .drain(..)
-                    .partition::<Vec<_>, _>(|(_, due)| *due <= now);
-                self.pending = waiting;
-                ready.into_iter().map(|(p, _)| Chunk::empty(p)).collect()
-            }
-            fn busy_local_workers(&self, _now: SimTime) -> usize {
-                0
-            }
-            fn pending(&self) -> usize {
-                self.pending.len()
-            }
-            fn name(&self) -> &'static str {
-                "legacy"
-            }
-        }
-
-        let mut shim = TerrainBackendShim::new(Box::new(Legacy {
-            pending: Vec::new(),
-        }));
-        let ticket = shim.submit(ChunkRequest::read(ChunkPos::new(2, 2)));
-        assert_eq!(shim.pending(), 1);
-        assert_eq!(shim.name(), "legacy");
-        let completions = shim.poll(SimTime::from_millis(50));
-        assert_eq!(completions.len(), 1);
-        assert_eq!(completions[0].ticket, ticket);
-        assert!(matches!(
-            completions[0].outcome,
-            ChunkOutcome::Loaded { pos, .. } if pos == ChunkPos::new(2, 2)
-        ));
     }
 }

@@ -1,0 +1,765 @@
+//! Zoned multi-server clusters over real [`GameServer`] instances.
+//!
+//! The analytic [`ZonedCluster`](crate::multi::ZonedCluster) of
+//! [`crate::multi`] *models* zoning with a closed-form cost formula. This
+//! module *runs* it: a [`ShardedGameCluster`] is `N` real game servers,
+//! each restricted ([`GameServer::restrict_to_zone`]) to a disjoint set of
+//! [`ShardedWorld`](servo_world::ShardedWorld) shards assigned by a
+//! [`ShardMap`], connected by a deterministic cross-zone message bus. Every
+//! tick the cluster
+//!
+//! 1. routes avatars and player events to the zone owning the terrain
+//!    under them (a [`ZoneRouter`]); an avatar that moved onto another
+//!    zone's terrain is *handed off* — session state crosses the wire;
+//! 2. runs one real tick on every member server (real constructs stepped,
+//!    real chunks generated and inserted, per-zone cost model durations);
+//! 3. executes the border protocol: dirty *border chunks* (chunks with a
+//!    laterally adjacent chunk owned by another zone) are mirrored to the
+//!    neighbouring servers, and every *border construct* (a construct whose
+//!    blocks span zones) exchanges state between its owner and the other
+//!    involved zones on each simulated tick;
+//! 4. charges each message to both endpoint servers and reports the
+//!    slowest member as the cluster's critical path, in the same
+//!    [`ClusterTick`] shape the analytic models emit.
+//!
+//! The cluster is deterministic: routing, the border protocol and message
+//! accounting consume no randomness, zones tick in index order, and each
+//! member server keeps its own seeded random stream — a 1-zone cluster is
+//! tick-for-tick identical to a plain [`GameServer`] (asserted by the
+//! `cluster_equivalence` test suite).
+
+use std::sync::Arc;
+
+use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
+use servo_redstone::Blueprint;
+use servo_simkit::{SimClock, SimRng};
+use servo_types::{BlockPos, ChunkPos, ConstructId, PlayerId, SimDuration, SimTime};
+use servo_workload::{PlayerEvent, PlayerFleet, ZoneRouter};
+use servo_world::{ShardMap, WorldKind};
+
+use crate::backends::{LocalGenerationBackend, LocalScBackend};
+use crate::multi::ClusterTick;
+use crate::server::{GameServer, ServerConfig, ServerStats, TickReport};
+
+/// The cross-zone coordination cost model of a [`ShardedGameCluster`].
+///
+/// Every cross-server message (border-chunk update, construct state
+/// exchange, player handoff leg) is charged to *both* endpoint servers:
+/// the sender serializes and transmits, the receiver deserializes,
+/// validates and applies under its tick lock. The default is calibrated so
+/// coordination is negligible for player-only workloads but dominates once
+/// hundreds of border constructs must be synchronized every simulated
+/// tick, matching the argument of paper Section II-B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterCosts {
+    /// Cost charged to each endpoint server per cross-zone message, in
+    /// milliseconds.
+    pub message_cost_ms: f64,
+}
+
+impl Default for ClusterCosts {
+    fn default() -> Self {
+        ClusterCosts {
+            message_cost_ms: 0.5,
+        }
+    }
+}
+
+/// Lifetime counters of a cluster's cross-zone coordination.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Cluster ticks executed.
+    pub ticks: u64,
+    /// Total cross-server messages exchanged.
+    pub cross_server_messages: u64,
+    /// Avatars handed off between zone servers.
+    pub handoffs: u64,
+    /// Border-chunk updates mirrored to neighbouring zones.
+    pub border_chunk_updates: u64,
+    /// Border-construct state exchanges performed (one per construct and
+    /// involved neighbour zone, on simulated ticks).
+    pub construct_exchanges: u64,
+    /// Block events in border chunks forwarded to neighbouring zones (so
+    /// replica terrain and cross-zone construct state observe the edit).
+    pub forwarded_border_events: u64,
+}
+
+/// One zone's share of a cluster tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneTickBreakdown {
+    /// The zone index.
+    pub zone: usize,
+    /// Avatars this zone simulated this tick.
+    pub players: usize,
+    /// The member server's own tick duration (simulation work).
+    pub duration: SimDuration,
+    /// Cross-zone coordination charged to this server this tick.
+    pub coordination: SimDuration,
+}
+
+/// A [`ClusterTick`] plus the per-zone detail behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTickDetail {
+    /// The critical path and message count, in the shape the analytic
+    /// models and the `servo_metrics` consumers expect.
+    pub tick: ClusterTick,
+    /// Per-zone simulation and coordination breakdown.
+    pub zones: Vec<ZoneTickBreakdown>,
+    /// Avatars handed off between zones at the start of this tick.
+    pub handoffs: u64,
+}
+
+/// A border construct: simulated by `owner`, with block state spanning
+/// into `neighbors`, which must therefore receive its state every
+/// simulated tick.
+#[derive(Debug, Clone)]
+struct BorderConstruct {
+    owner: usize,
+    neighbors: Vec<usize>,
+}
+
+/// A zoned cluster of real [`GameServer`]s partitioned over world shards.
+///
+/// See the module documentation for the tick protocol. Use
+/// [`ShardedGameCluster::baseline`] for the configuration the zoning
+/// ablation measures (local simulation and generation per zone, the way
+/// classic zoned deployments work), or [`ShardedGameCluster::new`] to wire
+/// custom per-zone servers.
+pub struct ShardedGameCluster {
+    map: Arc<ShardMap>,
+    servers: Vec<GameServer>,
+    router: ZoneRouter,
+    costs: ClusterCosts,
+    clock: SimClock,
+    border_constructs: Vec<BorderConstruct>,
+    construct_count: usize,
+    details: Vec<ClusterTickDetail>,
+    stats: ClusterStats,
+}
+
+impl std::fmt::Debug for ShardedGameCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedGameCluster")
+            .field("zones", &self.servers.len())
+            .field("constructs", &self.construct_count)
+            .field("border_constructs", &self.border_constructs.len())
+            .field("ticks", &self.stats.ticks)
+            .finish()
+    }
+}
+
+impl ShardedGameCluster {
+    /// Builds a cluster of `zones` servers produced by `build(zone)`, each
+    /// restricted to the shards a contiguous [`ShardMap`] assigns to its
+    /// zone. All member servers must share one world shard count (the
+    /// map's) and tick rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zones` is zero, a member's world has a different shard
+    /// count than zone 0's, or a member's tick rate differs from zone 0's.
+    pub fn new(zones: usize, mut build: impl FnMut(usize) -> GameServer) -> Self {
+        assert!(zones > 0, "a cluster needs at least one zone");
+        let mut servers: Vec<GameServer> = (0..zones).map(&mut build).collect();
+        let shard_count = servers[0].world().shard_count();
+        let tick_rate = servers[0].config().tick_rate_hz;
+        let map = Arc::new(ShardMap::contiguous(shard_count, zones));
+        for (zone, server) in servers.iter_mut().enumerate() {
+            assert_eq!(
+                server.world().shard_count(),
+                shard_count,
+                "zone {zone} world has a different shard count"
+            );
+            assert_eq!(
+                server.config().tick_rate_hz,
+                tick_rate,
+                "zone {zone} runs at a different tick rate"
+            );
+            server.restrict_to_zone(Arc::clone(&map), zone);
+        }
+        ShardedGameCluster {
+            map,
+            router: ZoneRouter::new(zones),
+            servers,
+            costs: ClusterCosts::default(),
+            clock: SimClock::new(),
+            border_constructs: Vec::new(),
+            construct_count: 0,
+            details: Vec::new(),
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Builds the classic zoned deployment the ablation measures: every
+    /// zone is a baseline server (local construct simulation every other
+    /// tick, bounded local terrain generation) with configuration `config`
+    /// and its own `zone`-indexed random substream of `seed`.
+    pub fn baseline(config: ServerConfig, zones: usize, seed: u64) -> Self {
+        let root = SimRng::seed(seed);
+        ShardedGameCluster::new(zones, |zone| {
+            let generator: Box<dyn TerrainGenerator> = match config.world_kind {
+                WorldKind::Flat => Box::new(FlatGenerator::default()),
+                WorldKind::Default => Box::new(DefaultGenerator::new(seed)),
+            };
+            GameServer::new(
+                config.clone(),
+                Box::new(LocalScBackend::every_other_tick()),
+                Box::new(LocalGenerationBackend::new(generator, 8)),
+                root.substream_indexed("zone", zone as u64),
+            )
+        })
+    }
+
+    /// Overrides the coordination cost model, returning the cluster.
+    pub fn with_costs(mut self, costs: ClusterCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Number of zones (member servers).
+    pub fn zones(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The shard→zone assignment the cluster partitions the world by.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The member servers, in zone order.
+    pub fn servers(&self) -> &[GameServer] {
+        &self.servers
+    }
+
+    /// One member server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone` is out of range.
+    pub fn server(&self, zone: usize) -> &GameServer {
+        &self.servers[zone]
+    }
+
+    /// The cluster's current virtual time (the lockstep tick clock the
+    /// fleet is driven by; member servers keep their own clocks).
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Lifetime coordination counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// The member servers' counters summed over all zones.
+    pub fn server_stats_total(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for server in &self.servers {
+            let s = server.stats();
+            total.ticks += s.ticks;
+            total.events_processed += s.events_processed;
+            total.chunks_loaded += s.chunks_loaded;
+            total.sc_local += s.sc_local;
+            total.sc_merged += s.sc_merged;
+            total.sc_replayed += s.sc_replayed;
+            total.sc_skipped += s.sc_skipped;
+        }
+        total
+    }
+
+    /// Total constructs registered across all zones.
+    pub fn construct_count(&self) -> usize {
+        self.construct_count
+    }
+
+    /// Number of registered constructs whose blocks span more than one
+    /// zone and therefore require cross-zone state exchange.
+    pub fn border_construct_count(&self) -> usize {
+        self.border_constructs.len()
+    }
+
+    /// Registers a construct: the zone owning its first block simulates
+    /// it, and if its blocks span further zones it becomes a border
+    /// construct whose state is exchanged with those zones on every
+    /// simulated tick. Returns the owning zone and the id within it.
+    pub fn add_construct(&mut self, blueprint: Blueprint) -> (usize, ConstructId) {
+        let involved = self
+            .map
+            .zones_of_blocks(blueprint.positions().iter().copied());
+        let owner = blueprint
+            .positions()
+            .first()
+            .map(|&p| self.map.zone_of_block(p))
+            .unwrap_or(0);
+        let neighbors: Vec<usize> = involved.into_iter().filter(|&z| z != owner).collect();
+        if !neighbors.is_empty() {
+            self.border_constructs
+                .push(BorderConstruct { owner, neighbors });
+        }
+        self.construct_count += 1;
+        (owner, self.servers[owner].add_construct(blueprint))
+    }
+
+    /// The per-tick details recorded so far.
+    pub fn ticks(&self) -> &[ClusterTickDetail] {
+        &self.details
+    }
+
+    /// The recorded critical-path durations, for feeding into the
+    /// capacity/QoS metrics exactly like single-server tick durations.
+    pub fn critical_path_durations(&self) -> Vec<SimDuration> {
+        self.details.iter().map(|d| d.tick.critical_path).collect()
+    }
+
+    /// Clears recorded cluster ticks and every member's tick reports (e.g.
+    /// to discard a warm-up phase) without resetting world state, clocks,
+    /// or lifetime counters.
+    pub fn discard_ticks(&mut self) {
+        self.details.clear();
+        for server in &mut self.servers {
+            server.discard_reports();
+        }
+    }
+
+    /// Runs one lockstep cluster tick for the given fleet state.
+    ///
+    /// `positions` are the avatar positions in fleet order; `events` this
+    /// tick's player events. Each avatar is routed to — and simulated by —
+    /// exactly one zone; the border protocol and message accounting run
+    /// after all zones ticked. Returns the cluster-level tick outcome.
+    pub fn run_tick(
+        &mut self,
+        positions: &[BlockPos],
+        events: &[(PlayerId, PlayerEvent)],
+    ) -> ClusterTick {
+        let zones = self.servers.len();
+        let map = Arc::clone(&self.map);
+        let mut assignment = self
+            .router
+            .route(positions, events, |p| map.zone_of_block(p));
+
+        let mut messages = 0u64;
+        // Message endpoints charged to each zone this tick (each message
+        // burdens both its sender and its receiver).
+        let mut endpoints = vec![0u64; zones];
+
+        // 1a. Player handoffs: two messages per crossing avatar (session
+        //     state transfer plus acknowledgement).
+        for handoff in &assignment.handoffs {
+            messages += 2;
+            endpoints[handoff.from] += 2;
+            endpoints[handoff.to] += 2;
+        }
+        self.stats.handoffs += assignment.handoffs.len() as u64;
+
+        // 1b. Block events in border chunks are part of the coordinated
+        //     border region: besides the owning zone, every laterally
+        //     adjacent zone receives a copy, so its replica terrain — and
+        //     any construct state it owns across the seam — observes the
+        //     edit exactly as a single server would. One message per copy.
+        for &(player, event) in events {
+            let block = match event {
+                PlayerEvent::BlockPlaced(pos) | PlayerEvent::BlockBroken(pos) => pos,
+                PlayerEvent::ChatMessage | PlayerEvent::InventoryChanged => continue,
+            };
+            let chunk = ChunkPos::from(block);
+            let origin = map.zone_of_chunk(chunk);
+            for neighbor in map.neighbor_zones(chunk) {
+                assignment.events[neighbor].push((player, event));
+                messages += 1;
+                endpoints[origin] += 1;
+                endpoints[neighbor] += 1;
+                self.stats.forwarded_border_events += 1;
+            }
+        }
+
+        // 2. One real tick per zone, in zone order.
+        let reports: Vec<TickReport> = (0..zones)
+            .map(|zone| {
+                self.servers[zone].run_tick(&assignment.positions[zone], &assignment.events[zone])
+            })
+            .collect();
+
+        // 3a. Border protocol: mirror dirty border chunks to the zones
+        //     owning adjacent terrain. One message per chunk and neighbour;
+        //     the neighbour applies the fresh copy into its replica world.
+        for zone in 0..zones {
+            for delta in self.servers[zone].drain_owned_dirty() {
+                for pos in delta.chunks {
+                    let neighbors = self.map.neighbor_zones(pos);
+                    if neighbors.is_empty() {
+                        continue;
+                    }
+                    let chunk = self.servers[zone].world().read_chunk(pos, |c| c.clone());
+                    let Some(chunk) = chunk else { continue };
+                    for &neighbor in &neighbors {
+                        self.servers[neighbor].world().insert_chunk(chunk.clone());
+                        messages += 1;
+                        endpoints[zone] += 1;
+                        endpoints[neighbor] += 1;
+                        self.stats.border_chunk_updates += 1;
+                    }
+                }
+            }
+        }
+
+        // 3b. Border constructs: on every tick their owner actually
+        //     simulated constructs, state crosses to each involved
+        //     neighbour zone and is acknowledged (two messages each).
+        for border in &self.border_constructs {
+            let work = reports[border.owner].work;
+            if work.sc_local + work.sc_merged + work.sc_replayed == 0 {
+                continue;
+            }
+            for &neighbor in &border.neighbors {
+                messages += 2;
+                endpoints[border.owner] += 2;
+                endpoints[neighbor] += 2;
+                self.stats.construct_exchanges += 1;
+            }
+        }
+
+        // 4. Critical path: the cluster is as slow as its slowest member,
+        //    simulation plus the coordination charged to it.
+        let mut critical = SimDuration::ZERO;
+        let mut breakdown = Vec::with_capacity(zones);
+        for zone in 0..zones {
+            let coordination =
+                SimDuration::from_millis_f64(endpoints[zone] as f64 * self.costs.message_cost_ms);
+            critical = critical.max(reports[zone].duration + coordination);
+            breakdown.push(ZoneTickBreakdown {
+                zone,
+                players: assignment.positions[zone].len(),
+                duration: reports[zone].duration,
+                coordination,
+            });
+        }
+
+        let tick = ClusterTick {
+            critical_path: critical,
+            cross_server_messages: messages,
+        };
+        self.details.push(ClusterTickDetail {
+            tick,
+            zones: breakdown,
+            handoffs: assignment.handoffs.len() as u64,
+        });
+        self.stats.ticks += 1;
+        self.stats.cross_server_messages += messages;
+
+        // 5. Lockstep clock: the next cluster tick starts after the tick
+        //    interval, or later if the slowest member overran it — the same
+        //    rule each member applies to its own clock.
+        let budget = self.servers[0].config().tick_budget();
+        self.clock.advance_by(critical.max(budget));
+        tick
+    }
+
+    /// Drives the cluster with a player fleet for `duration` of virtual
+    /// time, mirroring [`GameServer::run_with_fleet`]: avatars act on the
+    /// cluster's lockstep clock, then each tick is routed and executed via
+    /// [`ShardedGameCluster::run_tick`].
+    pub fn run_with_fleet(
+        &mut self,
+        fleet: &mut PlayerFleet,
+        duration: SimDuration,
+    ) -> Vec<ClusterTick> {
+        let end = self.clock.now() + duration;
+        let budget = self.servers[0].config().tick_budget();
+        let parallelism = self.servers[0].config().parallelism.max(1);
+        let mut ticks = Vec::new();
+        while self.clock.now() < end {
+            let now = self.clock.now();
+            let events = if parallelism > 1 {
+                fleet.tick_parallel(now, budget, parallelism)
+            } else {
+                fleet.tick(now, budget)
+            };
+            let positions = fleet.positions();
+            ticks.push(self.run_tick(&positions, &events));
+        }
+        ticks
+    }
+}
+
+/// Finds `count` deterministic chunk positions whose eastern neighbour is
+/// owned by a different zone of `map` — sites where a construct spanning
+/// the chunk seam becomes a *border construct*. Scans columns outward from
+/// the origin; panics only if the map has a single zone (no borders
+/// exist).
+///
+/// # Panics
+///
+/// Panics if `map` has fewer than two zones.
+pub fn border_construct_sites(map: &ShardMap, count: usize) -> Vec<ChunkPos> {
+    assert!(map.zones() > 1, "a single-zone map has no border sites");
+    let mut sites = Vec::with_capacity(count);
+    let mut ring = 0i32;
+    while sites.len() < count && ring < 10_000 {
+        for cz in [-ring, ring] {
+            for cx in -ring..=ring {
+                let pos = ChunkPos::new(cx, cz);
+                let east = ChunkPos::new(cx + 1, cz);
+                if map.zone_of_chunk(pos) != map.zone_of_chunk(east) {
+                    sites.push(pos);
+                    if sites.len() == count {
+                        return sites;
+                    }
+                }
+            }
+            if ring == 0 {
+                break;
+            }
+        }
+        for cx in [-ring, ring] {
+            for cz in (-ring + 1)..ring {
+                let pos = ChunkPos::new(cx, cz);
+                let east = ChunkPos::new(cx + 1, cz);
+                if map.zone_of_chunk(pos) != map.zone_of_chunk(east) {
+                    sites.push(pos);
+                    if sites.len() == count {
+                        return sites;
+                    }
+                }
+            }
+        }
+        ring += 1;
+    }
+    sites
+}
+
+/// Translates `blueprint` so it starts eight blocks west of the eastern
+/// seam of `site` at height `y` — laid out east-west, any construct longer
+/// than eight blocks crosses into the neighbouring chunk. Combined with
+/// [`border_construct_sites`] this builds construct fleets that are
+/// border-spanning by construction.
+pub fn place_across_east_seam(blueprint: &Blueprint, site: ChunkPos, y: i32) -> Blueprint {
+    let base = site.min_block();
+    blueprint.translated(BlockPos::new(base.x + 8, y, base.z + 8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use servo_redstone::generators;
+
+    fn flat_config() -> ServerConfig {
+        ServerConfig::opencraft().with_view_distance(32)
+    }
+
+    fn bounded_fleet(players: usize, seed: u64) -> PlayerFleet {
+        let mut fleet = PlayerFleet::new(
+            servo_workload::BehaviorKind::Bounded { radius: 24.0 },
+            SimRng::seed(seed),
+        );
+        fleet.connect_all(players);
+        fleet
+    }
+
+    #[test]
+    fn cluster_runs_and_partitions_players() {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, 1);
+        let mut fleet = bounded_fleet(24, 2);
+        let ticks = cluster.run_with_fleet(&mut fleet, SimDuration::from_secs(3));
+        assert!(!ticks.is_empty());
+        assert_eq!(cluster.stats().ticks, ticks.len() as u64);
+        // Every tick simulates every avatar exactly once, across zones.
+        for detail in cluster.ticks() {
+            let total: usize = detail.zones.iter().map(|z| z.players).sum();
+            assert_eq!(total, 24);
+        }
+        // With 4 hash-interleaved zones the spawn area spans several zones.
+        let occupied = cluster
+            .ticks()
+            .last()
+            .unwrap()
+            .zones
+            .iter()
+            .filter(|z| z.players > 0)
+            .count();
+        assert!(occupied >= 2, "players all landed in {occupied} zone(s)");
+        // Each member served terrain for its own shards only.
+        for (zone, server) in cluster.servers().iter().enumerate() {
+            assert_eq!(server.zone(), Some(zone));
+        }
+    }
+
+    #[test]
+    fn border_constructs_are_detected_and_exchanged() {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, 3);
+        let sites = border_construct_sites(cluster.shard_map(), 10);
+        assert_eq!(sites.len(), 10);
+        let map = cluster.shard_map().clone();
+        for site in &sites {
+            assert_ne!(
+                map.zone_of_chunk(*site),
+                map.zone_of_chunk(ChunkPos::new(site.x + 1, site.z)),
+                "site {site:?} does not straddle zones"
+            );
+            let blueprint = place_across_east_seam(&generators::wire_line(14), *site, 6);
+            cluster.add_construct(blueprint);
+        }
+        assert_eq!(cluster.construct_count(), 10);
+        assert_eq!(cluster.border_construct_count(), 10);
+        let mut fleet = bounded_fleet(4, 4);
+        cluster.run_with_fleet(&mut fleet, SimDuration::from_secs(2));
+        let stats = cluster.stats();
+        assert!(stats.construct_exchanges > 0);
+        assert!(stats.cross_server_messages >= stats.construct_exchanges * 2);
+    }
+
+    #[test]
+    fn interior_constructs_cost_no_coordination() {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, 5);
+        // A construct inside one chunk involves exactly one zone.
+        cluster.add_construct(generators::wire_line(5).translated(BlockPos::new(2, 6, 2)));
+        assert_eq!(cluster.border_construct_count(), 0);
+    }
+
+    #[test]
+    fn border_chunk_edits_are_mirrored_to_neighbors() {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, 6);
+        let mut fleet = bounded_fleet(2, 7);
+        // Let spawn terrain load so edits apply.
+        cluster.run_with_fleet(&mut fleet, SimDuration::from_secs(2));
+
+        // Find a loaded border chunk in some zone and edit it.
+        let map = cluster.shard_map().clone();
+        let mut edited = None;
+        'search: for (zone, server) in cluster.servers().iter().enumerate() {
+            for pos in server.world().loaded_positions() {
+                if map.zone_of_chunk(pos) == zone && map.is_border_chunk(pos) {
+                    edited = Some((zone, pos));
+                    break 'search;
+                }
+            }
+        }
+        let (zone, pos) = edited.expect("spawn area must contain a border chunk");
+        let block = pos.min_block() + BlockPos::new(3, 9, 3);
+        let event = (PlayerId::new(0), PlayerEvent::BlockPlaced(block));
+        let positions = fleet.positions();
+        let before = cluster.stats().border_chunk_updates;
+        cluster.run_tick(&positions, &[event]);
+        assert!(cluster.stats().border_chunk_updates > before);
+        // Every neighbouring zone received the mirrored chunk copy.
+        for neighbor in map.neighbor_zones(pos) {
+            assert_eq!(
+                cluster.server(neighbor).world().block(block),
+                Some(servo_world::Block::Stone),
+                "zone {neighbor} missing mirror of {pos:?} (edited by zone {zone})"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_zone_edits_invalidate_border_construct_owners() {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, 12);
+        let site = border_construct_sites(cluster.shard_map(), 1)[0];
+        let blueprint = place_across_east_seam(&generators::wire_line(14), site, 6);
+        let (owner, id) = cluster.add_construct(blueprint.clone());
+        // Pick a construct block on the far side of the seam: its block
+        // events route to the neighbouring zone, not the owner.
+        let map = cluster.shard_map().clone();
+        let foreign_block = blueprint
+            .positions()
+            .iter()
+            .copied()
+            .find(|&p| map.zone_of_block(p) != owner)
+            .expect("a border construct spans zones");
+        let stamp_before = cluster
+            .server(owner)
+            .construct(id)
+            .unwrap()
+            .modification_stamp();
+        let event = (PlayerId::new(0), PlayerEvent::BlockBroken(foreign_block));
+        cluster.run_tick(&[], &[event]);
+        // The edit was forwarded across the border, so the owning zone's
+        // construct saw the modification exactly as a single server would.
+        assert!(cluster.stats().forwarded_border_events > 0);
+        assert!(
+            cluster
+                .server(owner)
+                .construct(id)
+                .unwrap()
+                .modification_stamp()
+                > stamp_before,
+            "owner's construct never observed the cross-zone edit"
+        );
+    }
+
+    #[test]
+    fn zoned_members_report_view_range_for_owned_terrain_only() {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, 13);
+        let mut fleet = bounded_fleet(6, 14);
+        cluster.run_with_fleet(&mut fleet, SimDuration::from_secs(5));
+        // Once each zone's owned terrain is provisioned, the QoS metric
+        // recovers to the full view distance on every member — foreign
+        // chunks are the neighbouring zones' responsibility, not holes.
+        for server in cluster.servers() {
+            let last = server.reports().last().unwrap();
+            assert_eq!(
+                last.view_range_blocks,
+                32.0,
+                "zone {:?} reports degraded view range",
+                server.zone()
+            );
+        }
+    }
+
+    #[test]
+    fn player_handoffs_cost_messages() {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, 8);
+        let map = cluster.shard_map().clone();
+        // Move one synthetic avatar across a zone seam by hand.
+        let sites = border_construct_sites(&map, 1);
+        let west = sites[0].min_block() + BlockPos::new(8, 4, 8);
+        let east = ChunkPos::new(sites[0].x + 1, sites[0].z).min_block() + BlockPos::new(8, 4, 8);
+        cluster.run_tick(&[west], &[]);
+        assert_eq!(cluster.stats().handoffs, 0);
+        let tick = cluster.run_tick(&[east], &[]);
+        assert_eq!(cluster.stats().handoffs, 1);
+        assert!(tick.cross_server_messages >= 2);
+    }
+
+    #[test]
+    fn single_zone_cluster_has_no_coordination() {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 1, 9);
+        cluster.add_construct(generators::dense_circuit(64));
+        let mut fleet = bounded_fleet(8, 10);
+        cluster.run_with_fleet(&mut fleet, SimDuration::from_secs(2));
+        let stats = cluster.stats();
+        assert_eq!(stats.cross_server_messages, 0);
+        assert_eq!(stats.handoffs, 0);
+        assert_eq!(stats.border_chunk_updates, 0);
+        assert_eq!(stats.construct_exchanges, 0);
+        assert_eq!(cluster.border_construct_count(), 0);
+    }
+
+    #[test]
+    fn discard_ticks_keeps_state() {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 2, 11);
+        let mut fleet = bounded_fleet(4, 12);
+        cluster.run_with_fleet(&mut fleet, SimDuration::from_secs(1));
+        let loaded: usize = cluster
+            .servers()
+            .iter()
+            .map(|s| s.world().loaded_chunks())
+            .sum();
+        assert!(!cluster.ticks().is_empty());
+        cluster.discard_ticks();
+        assert!(cluster.ticks().is_empty());
+        assert!(cluster.critical_path_durations().is_empty());
+        let still_loaded: usize = cluster
+            .servers()
+            .iter()
+            .map(|s| s.world().loaded_chunks())
+            .sum();
+        assert_eq!(loaded, still_loaded);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one zone")]
+    fn zero_zones_is_rejected() {
+        ShardedGameCluster::baseline(flat_config(), 0, 0);
+    }
+}

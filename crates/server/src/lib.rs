@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod backends;
+pub mod cluster;
 pub mod costs;
 pub mod multi;
 pub mod server;
@@ -57,8 +58,9 @@ pub mod server;
 pub use backends::{
     GenerationClock, LocalGenerationBackend, LocalScBackend, ScBackend, ScResolution,
 };
-#[allow(deprecated)]
-pub use backends::{TerrainBackend, TerrainBackendShim};
+pub use cluster::{
+    ClusterCosts, ClusterStats, ClusterTickDetail, ShardedGameCluster, ZoneTickBreakdown,
+};
 pub use costs::{CostModel, TickWork};
 pub use multi::{ClusterTick, ReplicatedCluster, ZonedCluster};
 pub use server::{GameServer, ServerConfig, ServerStats, TickReport};

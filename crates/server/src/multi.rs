@@ -12,11 +12,16 @@
 //!   must simulate the entire modifiable environment, duplicating exactly
 //!   the workload (simulated constructs) that makes MVEs expensive.
 //!
-//! This module models both architectures on top of the same cost model as
-//! the single-server baselines so the ablation experiment
-//! (`ablation_multiserver`) can quantify the argument: with simulated
-//! constructs present, adding servers through zoning or replication helps
-//! far less than Servo's offloading — replication not at all.
+//! This module is the *analytic baseline*: both architectures are modelled
+//! on top of the same closed-form cost model as the single-server
+//! baselines, so the ablation experiment (`ablation_multiserver`) can
+//! sanity-check the argument cheaply. The *measured* counterpart is
+//! [`crate::cluster::ShardedGameCluster`], which replays the zoning
+//! architecture on real [`GameServer`](crate::GameServer) instances
+//! partitioned over world shards; the ablation runs both and compares
+//! them. The headline result holds in both: with simulated constructs
+//! present, adding servers through zoning or replication helps far less
+//! than Servo's offloading — replication not at all.
 
 use servo_simkit::SimRng;
 use servo_types::SimDuration;
@@ -142,6 +147,12 @@ pub struct ReplicatedCluster {
     interaction_rate: f64,
     /// Cost of one cross-replica state-update message, in milliseconds.
     message_cost_ms: f64,
+    /// Fractional cross-replica interactions carried over from previous
+    /// ticks: the expected count per tick is rarely integral, and rounding
+    /// it each tick would systematically over- or under-count messages.
+    /// The fractional part accumulates here until it adds up to a whole
+    /// interaction.
+    cross_carry: f64,
 }
 
 impl ReplicatedCluster {
@@ -158,6 +169,7 @@ impl ReplicatedCluster {
             rng,
             interaction_rate: 0.3,
             message_cost_ms: 0.05,
+            cross_carry: 0.0,
         }
     }
 
@@ -177,7 +189,15 @@ impl ReplicatedCluster {
         // An interaction crosses replicas with probability (replicas-1)/replicas.
         let cross_fraction = (self.replicas as f64 - 1.0) / self.replicas as f64;
         let expected_cross = players as f64 * self.interaction_rate * cross_fraction;
-        let messages = expected_cross.round() as u64 * 2;
+        // Fractional interactions carry across ticks: each tick emits the
+        // whole interactions accumulated so far (two messages each) and
+        // keeps the remainder, so the long-run message total matches the
+        // expected rate instead of drifting by up to half an interaction
+        // per tick.
+        self.cross_carry += expected_cross;
+        let whole_cross = self.cross_carry.floor();
+        self.cross_carry -= whole_cross;
+        let messages = whole_cross as u64 * 2;
         let coordination_ms = expected_cross * self.message_cost_ms;
 
         let mut critical = SimDuration::ZERO;
@@ -311,6 +331,29 @@ mod tests {
             .with_border_fractions(0.0, 0.0);
         let tick = isolated.run_tick(100, 100);
         assert_eq!(tick.cross_server_messages, 0);
+    }
+
+    #[test]
+    fn fractional_cross_interactions_accumulate_across_ticks() {
+        // 5 players at rate 0.3 on 4 replicas: 1.125 expected cross-replica
+        // interactions per tick. Rounding per tick would emit 2 messages
+        // every tick (1 interaction); carrying the remainder emits the
+        // extra interaction every eighth tick.
+        let mut cluster = ReplicatedCluster::new(CostModel::opencraft(), 4, SimRng::seed(7));
+        let ticks = 80u64;
+        let total: u64 = (0..ticks)
+            .map(|_| cluster.run_tick(5, 0).cross_server_messages)
+            .sum();
+        let expected_per_tick = 5.0 * 0.3 * 0.75;
+        let expected_total = (ticks as f64 * expected_per_tick).floor() as u64 * 2;
+        assert_eq!(total, expected_total);
+        // The per-tick count varies (1 or 2 interactions), it is not a
+        // constant rounded value.
+        let mut cluster = ReplicatedCluster::new(CostModel::opencraft(), 4, SimRng::seed(7));
+        let counts: std::collections::HashSet<u64> = (0..8)
+            .map(|_| cluster.run_tick(5, 0).cross_server_messages)
+            .collect();
+        assert!(counts.len() > 1, "carry never emitted a catch-up tick");
     }
 
     #[test]

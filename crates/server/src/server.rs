@@ -1,6 +1,7 @@
 //! The game loop.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use servo_metrics::TimePoint;
 use servo_redstone::{Blueprint, Construct};
@@ -9,7 +10,25 @@ use servo_types::consts;
 use servo_types::id::IdAllocator;
 use servo_types::{BlockPos, ChunkPos, ConstructId, PlayerId, SimDuration, SimTime, Tick};
 use servo_workload::{PlayerEvent, PlayerFleet};
-use servo_world::{nearest_missing_distance_blocks, required_chunks, ShardedWorld, WorldKind};
+use servo_world::{
+    nearest_missing_distance_blocks, required_chunks, ChunkIndex, ShardDelta, ShardMap,
+    ShardedWorld, WorldKind,
+};
+
+/// The terrain a zone-restricted server answers for: its own loaded chunks,
+/// with foreign chunks counting as present because the zone owning them
+/// serves them to clients directly.
+struct OwnedTerrainView<'a> {
+    world: &'a ShardedWorld,
+    map: &'a ShardMap,
+    zone: usize,
+}
+
+impl ChunkIndex for OwnedTerrainView<'_> {
+    fn contains_chunk(&self, pos: ChunkPos) -> bool {
+        self.map.zone_of_chunk(pos) != self.zone || self.world.is_loaded(pos)
+    }
+}
 
 use servo_storage::{ChunkOutcome, ChunkRequest, ChunkService};
 
@@ -154,7 +173,12 @@ pub struct TickReport {
 /// cost models.
 pub struct GameServer {
     config: ServerConfig,
-    world: ShardedWorld,
+    world: Arc<ShardedWorld>,
+    /// When set, this instance is one zone of a sharded cluster: it ticks
+    /// constructs, requests terrain, and drains dirty state only for the
+    /// world shards its zone owns. `None` means the server owns the whole
+    /// world (the single-server deployments).
+    ownership: Option<(Arc<ShardMap>, usize)>,
     /// Constructs with the world shard that owns them (by the chunk of
     /// their first block) — the partition key of the parallel tick path.
     constructs: Vec<(ConstructId, usize, Construct)>,
@@ -201,7 +225,8 @@ impl GameServer {
         };
         GameServer {
             config,
-            world,
+            world: Arc::new(world),
+            ownership: None,
             constructs: Vec::new(),
             construct_ids: IdAllocator::new(),
             sc_backend,
@@ -223,6 +248,72 @@ impl GameServer {
     /// The server's world.
     pub fn world(&self) -> &ShardedWorld {
         &self.world
+    }
+
+    /// A shared handle to the server's world, for binding external
+    /// consumers such as a persistence [`ChunkService`]
+    /// (`PipelinedChunkService::with_world`) or a cluster's border
+    /// protocol. All [`ShardedWorld`] mutation goes through `&self`, so the
+    /// handle is safe to hold alongside the running server.
+    pub fn world_handle(&self) -> Arc<ShardedWorld> {
+        Arc::clone(&self.world)
+    }
+
+    /// Restricts this instance to the world shards that `map` assigns to
+    /// `zone`: terrain is requested, constructs are stepped, and dirty
+    /// state is drained ([`GameServer::drain_owned_dirty`]) only for owned
+    /// shards. Used by `crate::cluster::ShardedGameCluster` to make each
+    /// member simulate exactly its slice of the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's shard count differs from the world's, or `zone`
+    /// is out of range.
+    pub fn restrict_to_zone(&mut self, map: Arc<ShardMap>, zone: usize) {
+        assert_eq!(
+            map.shard_count(),
+            self.world.shard_count(),
+            "shard map must cover the world's shards"
+        );
+        assert!(zone < map.zones(), "zone {zone} out of range");
+        self.ownership = Some((map, zone));
+    }
+
+    /// The zone this instance simulates, when restricted via
+    /// [`GameServer::restrict_to_zone`].
+    pub fn zone(&self) -> Option<usize> {
+        self.ownership.as_ref().map(|(_, zone)| *zone)
+    }
+
+    /// Whether this instance owns (simulates and persists) the world shard
+    /// `shard`. Unrestricted servers own everything.
+    #[inline]
+    pub fn owns_shard(&self, shard: usize) -> bool {
+        match &self.ownership {
+            Some((map, zone)) => map.zone_of_shard(shard) == *zone,
+            None => true,
+        }
+    }
+
+    /// Whether this instance owns the chunk at `pos`.
+    #[inline]
+    pub fn owns_chunk(&self, pos: ChunkPos) -> bool {
+        match &self.ownership {
+            Some((map, zone)) => map.zone_of_chunk(pos) == *zone,
+            None => true,
+        }
+    }
+
+    /// Drains the dirty state of the shards this instance owns — the whole
+    /// world for unrestricted servers, the zone's shards otherwise. The
+    /// cluster's border protocol and per-zone write-back consume this
+    /// instead of [`ShardedWorld::drain_dirty`] so one zone never flushes
+    /// another zone's chunks.
+    pub fn drain_owned_dirty(&self) -> Vec<ShardDelta> {
+        match &self.ownership {
+            Some((map, zone)) => self.world.drain_dirty_shards(map.zone_shards(*zone)),
+            None => self.world.drain_dirty(),
+        }
     }
 
     /// The current virtual time.
@@ -338,7 +429,10 @@ impl GameServer {
             self.config.view_distance_blocks + self.config.generation_margin_blocks;
         let needed = required_chunks(positions, generation_horizon);
         for pos in &needed {
-            if !self.world.is_loaded(*pos) {
+            // A zone-restricted instance provisions only the terrain it
+            // owns; foreign chunks are the owning zone's responsibility
+            // (and the view-range metric below treats them as such).
+            if self.owns_chunk(*pos) && !self.world.is_loaded(*pos) {
                 self.chunks.submit(ChunkRequest::read(*pos));
             }
         }
@@ -389,17 +483,30 @@ impl GameServer {
             .parallelism
             .max(1)
             .min(self.constructs.len().max(1));
+        // Zone-restricted instances step only the constructs living in
+        // shards they own; foreign constructs are another server's work.
+        let ownership = self.ownership.clone();
+        let owns = |shard: usize| match &ownership {
+            Some((map, zone)) => map.zone_of_shard(shard) == *zone,
+            None => true,
+        };
         let uniform = self.sc_backend.parallel_resolution(self.tick);
         match uniform {
             Some(resolution @ (ScResolution::LocalSimulated | ScResolution::Skipped))
                 if threads > 1 =>
             {
-                let count = self.constructs.len();
+                let count = self
+                    .constructs
+                    .iter()
+                    .filter(|(_, shard, _)| owns(*shard))
+                    .count();
                 if resolution == ScResolution::LocalSimulated {
                     let mut buckets: Vec<Vec<&mut Construct>> =
                         (0..threads).map(|_| Vec::new()).collect();
                     for (_, shard, construct) in &mut self.constructs {
-                        buckets[*shard % threads].push(construct);
+                        if owns(*shard) {
+                            buckets[*shard % threads].push(construct);
+                        }
                     }
                     std::thread::scope(|scope| {
                         for bucket in buckets {
@@ -417,7 +524,10 @@ impl GameServer {
                 }
             }
             _ => {
-                for (id, _, construct) in &mut self.constructs {
+                for (id, shard, construct) in &mut self.constructs {
+                    if !owns(*shard) {
+                        continue;
+                    }
                     match self.sc_backend.resolve(*id, construct, self.tick, now) {
                         ScResolution::LocalSimulated => {
                             work.sc_local += 1;
@@ -442,9 +552,23 @@ impl GameServer {
         // 4. QoS metric: distance to the nearest missing terrain.
         let view_range_blocks = if positions.is_empty() {
             self.config.view_distance_blocks as f64
+        } else if let Some((map, zone)) = &self.ownership {
+            // A zone-restricted instance is accountable only for owned
+            // terrain: foreign chunks are served to clients by the zone
+            // that owns them, so they count as present here — otherwise
+            // the interleaved shard layout would pin the metric to zero.
+            nearest_missing_distance_blocks(
+                &OwnedTerrainView {
+                    world: &self.world,
+                    map,
+                    zone: *zone,
+                },
+                positions,
+                self.config.view_distance_blocks,
+            )
         } else {
             nearest_missing_distance_blocks(
-                &self.world,
+                self.world.as_ref(),
                 positions,
                 self.config.view_distance_blocks,
             )

@@ -1,0 +1,197 @@
+//! Determinism guarantees of [`ShardedGameCluster`]:
+//!
+//! * a 1-zone cluster is exactly a single server — tick counters, tick
+//!   durations, world state and construct states all match a plain
+//!   [`GameServer`] built from the same seed;
+//! * in a multi-zone cluster every avatar is simulated by exactly one zone
+//!   per tick, including the tick on which it crosses a zone boundary, and
+//!   the cluster's handoff accounting matches an independent replay of the
+//!   routing rule.
+
+use proptest::prelude::*;
+use servo_pcg::FlatGenerator;
+use servo_redstone::generators;
+use servo_server::cluster::{border_construct_sites, place_across_east_seam, ShardedGameCluster};
+use servo_server::{GameServer, LocalGenerationBackend, LocalScBackend, ServerConfig};
+use servo_simkit::SimRng;
+use servo_types::{ConstructId, SimDuration};
+use servo_workload::{BehaviorKind, PlayerFleet};
+
+fn flat_config() -> ServerConfig {
+    ServerConfig::opencraft().with_view_distance(32)
+}
+
+/// Builds the exact server a 1-zone [`ShardedGameCluster::baseline`]
+/// creates for zone 0, without the cluster around it.
+fn plain_zone_zero(config: ServerConfig, seed: u64) -> GameServer {
+    GameServer::new(
+        config,
+        Box::new(LocalScBackend::every_other_tick()),
+        Box::new(LocalGenerationBackend::new(
+            Box::new(FlatGenerator::default()),
+            8,
+        )),
+        SimRng::seed(seed).substream_indexed("zone", 0),
+    )
+}
+
+fn random_fleet(players: usize, seed: u64) -> PlayerFleet {
+    let mut fleet = PlayerFleet::new(BehaviorKind::Random, SimRng::seed(seed));
+    fleet.connect_all(players);
+    fleet
+}
+
+#[test]
+fn one_zone_cluster_matches_plain_server_exactly() {
+    let seed = 42;
+    let constructs = 12usize;
+    let duration = SimDuration::from_secs(5);
+
+    let mut plain = plain_zone_zero(flat_config(), seed);
+    for i in 0..constructs {
+        plain.add_construct(generators::dense_circuit(32 + i));
+    }
+    let mut plain_fleet = random_fleet(15, 7);
+    plain.run_with_fleet(&mut plain_fleet, duration);
+
+    let mut cluster = ShardedGameCluster::baseline(flat_config(), 1, seed);
+    for i in 0..constructs {
+        cluster.add_construct(generators::dense_circuit(32 + i));
+    }
+    let mut cluster_fleet = random_fleet(15, 7);
+    cluster.run_with_fleet(&mut cluster_fleet, duration);
+    let member = cluster.server(0);
+
+    // Tick counters are identical.
+    assert_eq!(plain.stats(), member.stats());
+    assert_eq!(plain.current_tick(), member.current_tick());
+    // Tick durations — and therefore the whole virtual timeline — match;
+    // the cluster's critical path is exactly the single member's series.
+    assert_eq!(plain.tick_durations(), member.tick_durations());
+    assert_eq!(plain.tick_durations(), cluster.critical_path_durations());
+    assert_eq!(plain.now(), member.now());
+    assert_eq!(plain.now(), cluster.now());
+    // World state is identical.
+    assert_eq!(
+        plain.world().loaded_chunks(),
+        member.world().loaded_chunks()
+    );
+    assert_eq!(
+        plain.world().total_modifications(),
+        member.world().total_modifications()
+    );
+    let mut plain_positions = plain.world().loaded_positions();
+    let mut member_positions = member.world().loaded_positions();
+    plain_positions.sort_by_key(|p| (p.x, p.z));
+    member_positions.sort_by_key(|p| (p.x, p.z));
+    assert_eq!(plain_positions, member_positions);
+    for pos in plain_positions {
+        let a = plain.world().read_chunk(pos, |c| c.to_bytes()).unwrap();
+        let b = member.world().read_chunk(pos, |c| c.to_bytes()).unwrap();
+        assert_eq!(a, b, "chunk {pos} diverged");
+    }
+    // Construct states are identical.
+    for i in 0..constructs {
+        let id = ConstructId::new(i as u64);
+        assert_eq!(
+            plain.construct(id).unwrap().state().hash(),
+            member.construct(id).unwrap().state().hash(),
+            "construct {i} diverged"
+        );
+    }
+    // And the single zone never paid for coordination.
+    let stats = cluster.stats();
+    assert_eq!(stats.cross_server_messages, 0);
+    assert_eq!(stats.handoffs, 0);
+}
+
+#[test]
+fn border_constructs_do_not_change_simulation_results() {
+    // Coordination is charged to the critical path and the message
+    // counters, but the constructs themselves advance exactly as on a
+    // single server: compare a border construct's state in a 4-zone
+    // cluster against the same blueprint on one server.
+    let config = flat_config();
+    let cluster_probe = ShardedGameCluster::baseline(config.clone(), 4, 3);
+    let site = border_construct_sites(cluster_probe.shard_map(), 1)[0];
+    let blueprint = place_across_east_seam(&generators::wire_line(14), site, 6);
+
+    let mut cluster = ShardedGameCluster::baseline(config, 4, 3);
+    let (owner, id) = cluster.add_construct(blueprint.clone());
+    let mut fleet = random_fleet(4, 9);
+    cluster.run_with_fleet(&mut fleet, SimDuration::from_secs(3));
+    assert!(cluster.stats().construct_exchanges > 0);
+
+    // The cluster's only construct was stepped `sc_local` times; stepping
+    // a fresh copy of the blueprint the same number of times must land on
+    // the same state — coordination costs time, never simulation results.
+    let sim_ticks = cluster.server(owner).stats().sc_local;
+    let mut reference = servo_redstone::Construct::new(blueprint);
+    reference.step_many(sim_ticks as usize);
+    assert_eq!(
+        cluster.server(owner).construct(id).unwrap().state().hash(),
+        reference.state().hash(),
+        "border construct diverged from unzoned simulation"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every avatar is simulated by exactly one zone on every tick — the
+    /// routing is a partition — and a boundary crossing moves the avatar to
+    /// its new zone on the crossing tick itself, with the cluster's handoff
+    /// count matching an independent replay of the routing rule.
+    #[test]
+    fn avatars_are_simulated_by_exactly_one_zone_per_tick(seed in 0u64..1000) {
+        let players = 10usize;
+        let ticks = 60usize;
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, seed);
+        let map = cluster.shard_map().clone();
+        // Star walkers move outward fast enough to cross chunk (and with
+        // hash zoning, zone) boundaries within the run.
+        let mut fleet = PlayerFleet::new(
+            BehaviorKind::Star { speed: 12.0 },
+            SimRng::seed(seed ^ 0x5eed),
+        );
+        fleet.connect_all(players);
+
+        let budget = SimDuration::from_millis(50);
+        let mut expected_zone: Vec<Option<usize>> = vec![None; players];
+        let mut expected_handoffs = 0u64;
+        for _ in 0..ticks {
+            let now = cluster.now();
+            let events = fleet.tick(now, budget);
+            let positions = fleet.positions();
+            cluster.run_tick(&positions, &events);
+
+            // Independent replay of the routing rule.
+            let mut expected_per_zone = [0usize; 4];
+            for (index, &pos) in positions.iter().enumerate() {
+                let zone = map.zone_of_block(pos);
+                expected_per_zone[zone] += 1;
+                if let Some(previous) = expected_zone[index] {
+                    if previous != zone {
+                        expected_handoffs += 1;
+                    }
+                }
+                expected_zone[index] = Some(zone);
+            }
+
+            let detail = cluster.ticks().last().unwrap();
+            let assigned: usize = detail.zones.iter().map(|z| z.players).sum();
+            // A partition: every avatar in exactly one zone...
+            prop_assert_eq!(assigned, players);
+            // ...and in the zone owning the terrain under it.
+            for breakdown in &detail.zones {
+                prop_assert_eq!(breakdown.players, expected_per_zone[breakdown.zone]);
+            }
+        }
+        prop_assert_eq!(cluster.stats().handoffs, expected_handoffs);
+        prop_assert!(expected_handoffs > 0, "no avatar ever crossed a zone boundary");
+        // Every member ticked in lockstep: one tick per cluster tick.
+        for server in cluster.servers() {
+            prop_assert_eq!(server.stats().ticks, ticks as u64);
+        }
+    }
+}

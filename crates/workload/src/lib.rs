@@ -29,7 +29,9 @@
 pub mod avatar;
 pub mod behavior;
 pub mod fleet;
+pub mod zoning;
 
 pub use avatar::{Avatar, PlayerEvent};
 pub use behavior::{Behavior, BehaviorKind};
 pub use fleet::PlayerFleet;
+pub use zoning::{Handoff, ZoneAssignment, ZoneRouter};

@@ -1,0 +1,250 @@
+//! Partitioning a player fleet over the zones of a multi-server cluster.
+//!
+//! A zoned deployment simulates each avatar on exactly one server: the one
+//! owning the terrain under the avatar's feet. The [`ZoneRouter`] performs
+//! that assignment every tick — splitting the fleet's positions and events
+//! into per-zone batches — and detects *handoffs*: an avatar whose position
+//! moved into terrain owned by a different zone must have its session state
+//! transferred between the two servers, which costs cross-server messages.
+//!
+//! The router is deliberately independent of how zones are laid out: the
+//! caller supplies a `zone_of: Fn(BlockPos) -> usize` closure (typically
+//! `servo_world::ShardMap::zone_of_block`), so the same machinery serves
+//! hash-sharded zones, spatial zones, or anything else.
+
+use servo_types::{BlockPos, PlayerId};
+
+use crate::avatar::PlayerEvent;
+
+/// One avatar moving from the terrain of one zone into another's: the
+/// session-state transfer a zoned cluster pays for on top of simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handoff {
+    /// The player being handed over.
+    pub player: PlayerId,
+    /// The zone that simulated the avatar last tick.
+    pub from: usize,
+    /// The zone that simulates the avatar from this tick on.
+    pub to: usize,
+}
+
+/// The per-zone split of one tick's fleet state.
+#[derive(Debug, Clone)]
+pub struct ZoneAssignment {
+    /// `positions[z]` holds the avatar positions zone `z` simulates this
+    /// tick, in fleet (avatar) order. Every fleet position appears in
+    /// exactly one zone.
+    pub positions: Vec<Vec<BlockPos>>,
+    /// `events[z]` holds the player events zone `z` processes this tick, in
+    /// arrival order. Block events go to the zone owning the modified
+    /// block; positionless events (chat, inventory) go to the zone
+    /// simulating the emitting avatar.
+    pub events: Vec<Vec<(PlayerId, PlayerEvent)>>,
+    /// The avatars that crossed a zone boundary since the previous tick.
+    pub handoffs: Vec<Handoff>,
+}
+
+impl ZoneAssignment {
+    /// Total number of avatar positions assigned across all zones.
+    pub fn total_players(&self) -> usize {
+        self.positions.iter().map(Vec::len).sum()
+    }
+}
+
+/// Routes a fleet's positions and events to the zones of a cluster, tick
+/// by tick, tracking which zone simulates each avatar so boundary
+/// crossings surface as [`Handoff`]s.
+///
+/// # Example
+///
+/// ```
+/// use servo_workload::ZoneRouter;
+/// use servo_types::BlockPos;
+///
+/// let mut router = ZoneRouter::new(2);
+/// // Zone by the sign of x: west is zone 0, east is zone 1.
+/// let zone_of = |p: BlockPos| usize::from(p.x >= 0);
+/// let a = router.route(&[BlockPos::new(-5, 4, 0)], &[], zone_of);
+/// assert_eq!(a.positions[0].len(), 1);
+/// assert!(a.handoffs.is_empty()); // first sighting is a join, not a handoff
+/// let b = router.route(&[BlockPos::new(3, 4, 0)], &[], zone_of);
+/// assert_eq!(b.positions[1].len(), 1);
+/// assert_eq!(b.handoffs.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZoneRouter {
+    zones: usize,
+    /// The zone that simulated each avatar (by fleet index) last tick;
+    /// `None` until the avatar is first seen.
+    current_zone: Vec<Option<usize>>,
+    handoffs: u64,
+}
+
+impl ZoneRouter {
+    /// Creates a router for a cluster of `zones` zones (at least one).
+    pub fn new(zones: usize) -> Self {
+        ZoneRouter {
+            zones: zones.max(1),
+            current_zone: Vec::new(),
+            handoffs: 0,
+        }
+    }
+
+    /// Number of zones routed to.
+    pub fn zones(&self) -> usize {
+        self.zones
+    }
+
+    /// Lifetime count of handoffs observed.
+    pub fn total_handoffs(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// The zone currently simulating the avatar at fleet index `player`,
+    /// if it has been seen.
+    pub fn zone_of_player(&self, player: usize) -> Option<usize> {
+        self.current_zone.get(player).copied().flatten()
+    }
+
+    /// Splits one tick's fleet state into per-zone batches.
+    ///
+    /// `positions` are the fleet's avatar positions in fleet order (index
+    /// `i` belongs to `PlayerId(i)`, the [`crate::PlayerFleet`] invariant);
+    /// `events` are this tick's events in arrival order. `zone_of` maps a
+    /// block position to its owning zone; out-of-range zones are clamped
+    /// into range so a buggy closure cannot lose players.
+    pub fn route(
+        &mut self,
+        positions: &[BlockPos],
+        events: &[(PlayerId, PlayerEvent)],
+        zone_of: impl Fn(BlockPos) -> usize,
+    ) -> ZoneAssignment {
+        if self.current_zone.len() < positions.len() {
+            self.current_zone.resize(positions.len(), None);
+        }
+        let mut assignment = ZoneAssignment {
+            positions: (0..self.zones).map(|_| Vec::new()).collect(),
+            events: (0..self.zones).map(|_| Vec::new()).collect(),
+            handoffs: Vec::new(),
+        };
+        for (index, &pos) in positions.iter().enumerate() {
+            let zone = zone_of(pos).min(self.zones - 1);
+            if let Some(previous) = self.current_zone[index] {
+                if previous != zone {
+                    assignment.handoffs.push(Handoff {
+                        player: PlayerId::new(index as u64),
+                        from: previous,
+                        to: zone,
+                    });
+                    self.handoffs += 1;
+                }
+            }
+            self.current_zone[index] = Some(zone);
+            assignment.positions[zone].push(pos);
+        }
+        for &(player, event) in events {
+            let zone = match event {
+                PlayerEvent::BlockPlaced(pos) | PlayerEvent::BlockBroken(pos) => {
+                    zone_of(pos).min(self.zones - 1)
+                }
+                PlayerEvent::ChatMessage | PlayerEvent::InventoryChanged => self
+                    .current_zone
+                    .get(player.raw() as usize)
+                    .copied()
+                    .flatten()
+                    .unwrap_or(0),
+            };
+            assignment.events[zone].push((player, event));
+        }
+        assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sign_zone(p: BlockPos) -> usize {
+        usize::from(p.x >= 0)
+    }
+
+    #[test]
+    fn every_position_lands_in_exactly_one_zone() {
+        let mut router = ZoneRouter::new(4);
+        let positions: Vec<BlockPos> = (0..40).map(|i| BlockPos::new(i * 3 - 60, 4, i)).collect();
+        let assignment = router.route(&positions, &[], |p| (p.x.rem_euclid(4)) as usize);
+        assert_eq!(assignment.total_players(), positions.len());
+    }
+
+    #[test]
+    fn first_sighting_is_not_a_handoff() {
+        let mut router = ZoneRouter::new(2);
+        let a = router.route(&[BlockPos::new(5, 4, 0)], &[], sign_zone);
+        assert!(a.handoffs.is_empty());
+        assert_eq!(router.total_handoffs(), 0);
+        assert_eq!(router.zone_of_player(0), Some(1));
+    }
+
+    #[test]
+    fn boundary_crossings_produce_handoffs() {
+        let mut router = ZoneRouter::new(2);
+        router.route(
+            &[BlockPos::new(-1, 4, 0), BlockPos::new(1, 4, 0)],
+            &[],
+            sign_zone,
+        );
+        let crossed = router.route(
+            &[BlockPos::new(2, 4, 0), BlockPos::new(1, 4, 0)],
+            &[],
+            sign_zone,
+        );
+        assert_eq!(
+            crossed.handoffs,
+            vec![Handoff {
+                player: PlayerId::new(0),
+                from: 0,
+                to: 1,
+            }]
+        );
+        assert_eq!(router.total_handoffs(), 1);
+        // The crossing avatar is simulated by its new zone only.
+        assert_eq!(crossed.positions[0].len(), 0);
+        assert_eq!(crossed.positions[1].len(), 2);
+    }
+
+    #[test]
+    fn events_route_by_block_or_by_avatar_zone() {
+        let mut router = ZoneRouter::new(2);
+        let positions = [BlockPos::new(-4, 4, 0)];
+        let events = [
+            (
+                PlayerId::new(0),
+                PlayerEvent::BlockPlaced(BlockPos::new(9, 4, 0)),
+            ),
+            (PlayerId::new(0), PlayerEvent::ChatMessage),
+        ];
+        let assignment = router.route(&positions, &events, sign_zone);
+        // The block edit goes to the zone owning the block (east, zone 1)...
+        assert_eq!(assignment.events[1], vec![events[0]]);
+        // ...while chat follows the avatar (west, zone 0).
+        assert_eq!(assignment.events[0], vec![events[1]]);
+    }
+
+    #[test]
+    fn out_of_range_zones_are_clamped() {
+        let mut router = ZoneRouter::new(2);
+        let assignment = router.route(&[BlockPos::ORIGIN], &[], |_| 17);
+        assert_eq!(assignment.positions[1].len(), 1);
+    }
+
+    #[test]
+    fn single_zone_routing_is_the_identity() {
+        let mut router = ZoneRouter::new(1);
+        let positions: Vec<BlockPos> = (0..10).map(|i| BlockPos::new(i, 4, -i)).collect();
+        let events = [(PlayerId::new(3), PlayerEvent::InventoryChanged)];
+        let assignment = router.route(&positions, &events, |_| 0);
+        assert_eq!(assignment.positions[0], positions);
+        assert_eq!(assignment.events[0], events);
+        assert!(assignment.handoffs.is_empty());
+    }
+}

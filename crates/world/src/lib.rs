@@ -23,12 +23,14 @@
 
 pub mod block;
 pub mod chunk;
+pub mod partition;
 pub mod sharded;
 pub mod view;
 pub mod world;
 
 pub use block::Block;
 pub use chunk::{Chunk, ChunkSnapshot};
+pub use partition::ShardMap;
 pub use sharded::{
     chunk_hash, shard_index, FxBuildHasher, FxHasher, ShardDelta, ShardedWorld, DEFAULT_SHARDS,
 };

@@ -1,0 +1,284 @@
+//! Shard ownership for zoned multi-server deployments.
+//!
+//! Zoning (paper Section II-B) partitions the *world* over servers. On top
+//! of [`ShardedWorld`](crate::ShardedWorld) the natural partition unit is
+//! the shard: a [`ShardMap`] assigns every shard to exactly one zone, and a
+//! chunk belongs to the zone owning its shard. Because shard assignment is
+//! hash-based, a zone's chunks are interleaved with its neighbours' across
+//! the map — which is precisely the property that makes the zoning
+//! experiment interesting: almost any multi-chunk structure near another
+//! zone's terrain crosses an ownership boundary and forces cross-server
+//! coordination.
+//!
+//! The map answers three questions the cluster layer needs every tick:
+//!
+//! * which zone owns a chunk ([`ShardMap::zone_of_chunk`]), used to route
+//!   players, events and constructs to their simulating server;
+//! * whether a chunk sits on a zone border ([`ShardMap::is_border_chunk`]),
+//!   i.e. whether a modification to it must be mirrored to neighbouring
+//!   zones ([`ShardMap::neighbor_zones`]);
+//! * which shards a zone owns ([`ShardMap::zone_shards`]), the argument to
+//!   the per-zone dirty-drain view
+//!   [`ShardedWorld::drain_dirty_shards`](crate::ShardedWorld::drain_dirty_shards).
+
+use servo_types::{BlockPos, ChunkPos};
+
+use crate::sharded::shard_index;
+
+/// An assignment of world shards to zones (servers) for a zoned cluster.
+///
+/// Shards are assigned in contiguous, balanced blocks: shard `s` belongs to
+/// zone `s * zones / shard_count`. With a power-of-two shard count and
+/// `zones <= shard_count` every zone owns either `floor` or `ceil` of
+/// `shard_count / zones` shards.
+///
+/// # Example
+///
+/// ```
+/// use servo_world::{ShardMap, DEFAULT_SHARDS};
+/// use servo_types::ChunkPos;
+///
+/// let map = ShardMap::contiguous(DEFAULT_SHARDS, 4);
+/// assert_eq!(map.zones(), 4);
+/// // Every chunk belongs to exactly one zone.
+/// let zone = map.zone_of_chunk(ChunkPos::new(3, -2));
+/// assert!(zone < 4);
+/// // A single-zone map has no borders at all.
+/// assert!(!ShardMap::contiguous(DEFAULT_SHARDS, 1).is_border_chunk(ChunkPos::ORIGIN));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shard_count: usize,
+    zones: usize,
+    /// `zone_of[s]` is the zone owning shard `s`.
+    zone_of: Vec<usize>,
+    /// `shards[z]` lists the shards zone `z` owns, ascending.
+    shards: Vec<Vec<usize>>,
+}
+
+impl ShardMap {
+    /// Builds the contiguous balanced assignment of `shard_count` shards to
+    /// `zones` zones. `zones` is clamped to `1..=shard_count`;
+    /// `shard_count` is rounded up to a power of two (matching
+    /// [`ShardedWorld`](crate::ShardedWorld)'s layout rule).
+    pub fn contiguous(shard_count: usize, zones: usize) -> Self {
+        let shard_count = shard_count.clamp(1, 1 << 10).next_power_of_two();
+        let zones = zones.clamp(1, shard_count);
+        let zone_of: Vec<usize> = (0..shard_count).map(|s| s * zones / shard_count).collect();
+        let mut shards: Vec<Vec<usize>> = (0..zones).map(|_| Vec::new()).collect();
+        for (shard, &zone) in zone_of.iter().enumerate() {
+            shards[zone].push(shard);
+        }
+        ShardMap {
+            shard_count,
+            zones,
+            zone_of,
+            shards,
+        }
+    }
+
+    /// Number of zones (servers) in the partition.
+    pub fn zones(&self) -> usize {
+        self.zones
+    }
+
+    /// Number of world shards the map covers.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The zone owning shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count`.
+    pub fn zone_of_shard(&self, shard: usize) -> usize {
+        self.zone_of[shard]
+    }
+
+    /// The shards zone `zone` owns, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone >= zones`.
+    pub fn zone_shards(&self, zone: usize) -> &[usize] {
+        &self.shards[zone]
+    }
+
+    /// The zone owning the chunk at `pos` (the zone of its shard).
+    #[inline]
+    pub fn zone_of_chunk(&self, pos: ChunkPos) -> usize {
+        self.zone_of[shard_index(pos, self.shard_count)]
+    }
+
+    /// The zone owning the chunk containing the block at `pos` — the
+    /// routing rule for avatars and player events.
+    #[inline]
+    pub fn zone_of_block(&self, pos: BlockPos) -> usize {
+        self.zone_of_chunk(ChunkPos::from(pos))
+    }
+
+    /// Whether any of the four laterally adjacent chunks belongs to a
+    /// different zone — the condition under which a modification to the
+    /// chunk at `pos` must be coordinated with neighbouring servers.
+    pub fn is_border_chunk(&self, pos: ChunkPos) -> bool {
+        if self.zones <= 1 {
+            return false;
+        }
+        let own = self.zone_of_chunk(pos);
+        self.lateral_neighbors(pos)
+            .into_iter()
+            .any(|n| self.zone_of_chunk(n) != own)
+    }
+
+    /// The distinct zones, ascending and excluding the owner, found among
+    /// the four laterally adjacent chunks of `pos`. Empty for interior
+    /// chunks; these are the destinations of border-chunk update messages.
+    pub fn neighbor_zones(&self, pos: ChunkPos) -> Vec<usize> {
+        if self.zones <= 1 {
+            return Vec::new();
+        }
+        let own = self.zone_of_chunk(pos);
+        let mut zones: Vec<usize> = self
+            .lateral_neighbors(pos)
+            .into_iter()
+            .map(|n| self.zone_of_chunk(n))
+            .filter(|&z| z != own)
+            .collect();
+        zones.sort_unstable();
+        zones.dedup();
+        zones
+    }
+
+    /// The distinct zones, ascending, owning the chunks under `positions`.
+    /// A construct whose blocks span more than one zone is a *border
+    /// construct*: its owner must exchange state with every other involved
+    /// zone each simulated tick.
+    pub fn zones_of_blocks<I: IntoIterator<Item = BlockPos>>(&self, positions: I) -> Vec<usize> {
+        let mut zones: Vec<usize> = positions
+            .into_iter()
+            .map(|p| self.zone_of_block(p))
+            .collect();
+        zones.sort_unstable();
+        zones.dedup();
+        zones
+    }
+
+    #[inline]
+    fn lateral_neighbors(&self, pos: ChunkPos) -> [ChunkPos; 4] {
+        [
+            ChunkPos::new(pos.x - 1, pos.z),
+            ChunkPos::new(pos.x + 1, pos.z),
+            ChunkPos::new(pos.x, pos.z - 1),
+            ChunkPos::new(pos.x, pos.z + 1),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::DEFAULT_SHARDS;
+
+    #[test]
+    fn contiguous_assignment_is_balanced_and_total() {
+        let map = ShardMap::contiguous(16, 4);
+        assert_eq!(map.zones(), 4);
+        assert_eq!(map.shard_count(), 16);
+        let mut seen = vec![false; 16];
+        for zone in 0..4 {
+            assert_eq!(map.zone_shards(zone).len(), 4);
+            for &s in map.zone_shards(zone) {
+                assert_eq!(map.zone_of_shard(s), zone);
+                assert!(!seen[s], "shard {s} owned twice");
+                seen[s] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        assert_eq!(ShardMap::contiguous(16, 0).zones(), 1);
+        assert_eq!(ShardMap::contiguous(16, 99).zones(), 16);
+        // Non-power-of-two shard counts round up like the world does.
+        assert_eq!(ShardMap::contiguous(12, 2).shard_count(), 16);
+    }
+
+    #[test]
+    fn chunk_zone_matches_shard_zone() {
+        let map = ShardMap::contiguous(DEFAULT_SHARDS, 4);
+        for x in -8..8 {
+            for z in -8..8 {
+                let pos = ChunkPos::new(x, z);
+                assert_eq!(
+                    map.zone_of_chunk(pos),
+                    map.zone_of_shard(shard_index(pos, DEFAULT_SHARDS))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_routing_follows_the_containing_chunk() {
+        let map = ShardMap::contiguous(DEFAULT_SHARDS, 8);
+        let block = BlockPos::new(35, 7, -3);
+        assert_eq!(
+            map.zone_of_block(block),
+            map.zone_of_chunk(ChunkPos::from(block))
+        );
+    }
+
+    #[test]
+    fn single_zone_has_no_borders() {
+        let map = ShardMap::contiguous(DEFAULT_SHARDS, 1);
+        for x in -4..4 {
+            for z in -4..4 {
+                let pos = ChunkPos::new(x, z);
+                assert!(!map.is_border_chunk(pos));
+                assert!(map.neighbor_zones(pos).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn border_chunks_exist_and_neighbor_zones_are_consistent() {
+        let map = ShardMap::contiguous(DEFAULT_SHARDS, 4);
+        let mut borders = 0usize;
+        for x in -8..8 {
+            for z in -8..8 {
+                let pos = ChunkPos::new(x, z);
+                let neighbors = map.neighbor_zones(pos);
+                assert_eq!(map.is_border_chunk(pos), !neighbors.is_empty());
+                assert!(!neighbors.contains(&map.zone_of_chunk(pos)));
+                if map.is_border_chunk(pos) {
+                    borders += 1;
+                }
+            }
+        }
+        // Hash sharding interleaves zones: borders are common.
+        assert!(borders > 100, "only {borders} border chunks");
+    }
+
+    #[test]
+    fn zones_of_blocks_dedupes_and_sorts() {
+        let map = ShardMap::contiguous(DEFAULT_SHARDS, 4);
+        // Find two laterally adjacent chunks in different zones.
+        let mut found = None;
+        'outer: for x in 0..32 {
+            for z in 0..32 {
+                let a = ChunkPos::new(x, z);
+                let b = ChunkPos::new(x + 1, z);
+                if map.zone_of_chunk(a) != map.zone_of_chunk(b) {
+                    found = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = found.expect("4 zones over hash shards must have adjacent-zone pairs");
+        let blocks = [a.min_block(), b.min_block(), a.min_block()];
+        let zones = map.zones_of_blocks(blocks);
+        assert_eq!(zones.len(), 2);
+        assert!(zones[0] < zones[1]);
+    }
+}

@@ -354,23 +354,44 @@ impl ShardedWorld {
     /// streaming in from storage never triggers its own write-back.
     pub fn drain_dirty(&self) -> Vec<ShardDelta> {
         let mut deltas = Vec::new();
-        for (index, shard) in self.shards.iter().enumerate() {
-            let taken = {
-                let mut dirty = shard.dirty.lock().unwrap_or_else(|e| e.into_inner());
-                if dirty.is_empty() {
-                    continue;
-                }
-                std::mem::take(&mut *dirty)
-            };
-            let mut chunks: Vec<ChunkPos> = taken.into_iter().collect();
-            chunks.sort_by_key(|p| (p.x, p.z));
-            deltas.push(ShardDelta {
-                shard: index,
-                epoch: shard.epoch.load(Ordering::Acquire),
-                chunks,
-            });
+        for index in 0..self.shards.len() {
+            self.drain_one_shard(index, &mut deltas);
         }
         deltas
+    }
+
+    /// Like [`ShardedWorld::drain_dirty`], but restricted to the given shard
+    /// indices — the per-zone drain view a zoned cluster uses so each zone
+    /// server flushes and coordinates only the shards it owns. Out-of-range
+    /// indices are ignored; duplicate indices drain (at most) once because
+    /// the first drain leaves the shard clean.
+    pub fn drain_dirty_shards(&self, shards: &[usize]) -> Vec<ShardDelta> {
+        let mut deltas = Vec::new();
+        for &index in shards {
+            if index < self.shards.len() {
+                self.drain_one_shard(index, &mut deltas);
+            }
+        }
+        deltas.sort_by_key(|d| d.shard);
+        deltas
+    }
+
+    fn drain_one_shard(&self, index: usize, deltas: &mut Vec<ShardDelta>) {
+        let shard = &self.shards[index];
+        let taken = {
+            let mut dirty = shard.dirty.lock().unwrap_or_else(|e| e.into_inner());
+            if dirty.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *dirty)
+        };
+        let mut chunks: Vec<ChunkPos> = taken.into_iter().collect();
+        chunks.sort_by_key(|p| (p.x, p.z));
+        deltas.push(ShardDelta {
+            shard: index,
+            epoch: shard.epoch.load(Ordering::Acquire),
+            chunks,
+        });
     }
 
     /// Whether the chunk at `pos` is loaded.
@@ -1032,6 +1053,46 @@ mod tests {
             .unwrap();
         world.remove_chunk(ChunkPos::new(2, 2)).unwrap();
         assert!(world.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn drain_dirty_shards_is_a_restricted_view() {
+        let world = ShardedWorld::flat(4);
+        for cx in 0..6 {
+            for cz in 0..6 {
+                world.ensure_chunk_at(ChunkPos::new(cx, cz));
+            }
+        }
+        // Dirty two chunks living in different shards.
+        let a = ChunkPos::new(0, 0);
+        let mut b = ChunkPos::new(1, 0);
+        for cx in 1..6 {
+            for cz in 0..6 {
+                let candidate = ChunkPos::new(cx, cz);
+                if world.shard_of(candidate) != world.shard_of(a) {
+                    b = candidate;
+                }
+            }
+        }
+        assert_ne!(world.shard_of(a), world.shard_of(b));
+        world
+            .set_block(a.min_block() + BlockPos::new(1, 9, 1), Block::Stone)
+            .unwrap();
+        world
+            .set_block(b.min_block() + BlockPos::new(1, 9, 1), Block::Lamp)
+            .unwrap();
+
+        // Draining only a's shard leaves b's shard dirty.
+        let drained = world.drain_dirty_shards(&[world.shard_of(a)]);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].chunks, vec![a]);
+        let rest = world.drain_dirty();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].chunks, vec![b]);
+        // Out-of-range and duplicate indices are harmless.
+        assert!(world
+            .drain_dirty_shards(&[world.shard_of(a), world.shard_of(a), 10_000])
+            .is_empty());
     }
 
     #[test]
