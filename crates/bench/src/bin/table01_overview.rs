@@ -2,12 +2,15 @@
 //! plus the storage-cache effectiveness summary (raw hit rate vs the
 //! effective hit rate that counts slow pre-fetch joins as misses).
 
-use servo_core::{PrefetchPolicy, RemoteTerrainStore};
+use servo_core::{PrefetchPolicy, RemoteTerrainStore, ServoDeployment};
 use servo_metrics::Table;
 use servo_pcg::{DefaultGenerator, TerrainGenerator};
+use servo_redstone::generators;
+use servo_server::cluster::{border_construct_sites, place_across_east_seam};
 use servo_simkit::SimRng;
 use servo_storage::{BlobStore, BlobTier, ObjectStore};
-use servo_types::{BlockPos, ChunkPos, SimTime};
+use servo_types::{BlockPos, ChunkPos, SimDuration, SimTime};
+use servo_workload::{BehaviorKind, PlayerFleet};
 
 fn main() {
     let mut table = Table::new(vec![
@@ -110,6 +113,85 @@ fn main() {
     );
 
     emit_cache_effectiveness();
+    emit_hybrid_overview();
+}
+
+/// The hybrid zoned+offloading deployment's row(s): per-zone speculation
+/// efficiency and per-zone persistence-cache effectiveness, so the paper
+/// tables cover the deployment `ablation_hybrid` measures.
+fn emit_hybrid_overview() {
+    let zones = 4usize;
+    let mut hybrid = ServoDeployment::builder()
+        .seed(2024)
+        .view_distance(32)
+        // Continuously active speculation (as the capacity experiments
+        // measure it): loop replay would trivially serve the synthetic
+        // wire constructs and leave no efficiency samples to report.
+        .speculation(servo_core::SpeculationConfig {
+            loop_detection: false,
+            ..servo_core::SpeculationConfig::default()
+        })
+        .hybrid(zones);
+    for site in border_construct_sites(hybrid.cluster.shard_map(), 48) {
+        hybrid
+            .cluster
+            .add_construct(place_across_east_seam(&generators::wire_line(14), site, 6));
+    }
+    // Random behaviour includes terrain edits, so the per-zone persistence
+    // pipelines have dirty shards to flush.
+    let mut fleet = PlayerFleet::new(BehaviorKind::Random, SimRng::seed(7));
+    fleet.connect_all(24);
+    let seconds = servo_bench::scaled_secs(30).as_secs_f64().max(1.0) as u64;
+    hybrid.run_with_fleet(&mut fleet, SimDuration::from_secs(seconds));
+    hybrid.flush_persistence();
+
+    let mut table = Table::new(vec![
+        "Zone",
+        "SC efficiency (median)",
+        "invocations",
+        "cache hit rate",
+        "effective hit rate",
+        "chunks flushed",
+    ]);
+    for zone in 0..zones {
+        let speculation = hybrid.speculation[zone].stats();
+        let cache = hybrid
+            .cluster
+            .persistence_cache_stats(zone)
+            .expect("hybrid zones persist");
+        let persistence = hybrid
+            .cluster
+            .persistence_stats(zone)
+            .expect("hybrid zones persist");
+        table.row(vec![
+            zone.to_string(),
+            speculation
+                .median_efficiency()
+                .map(|e| format!("{e:.4}"))
+                .unwrap_or_else(|| "-".to_string()),
+            speculation.invocations.to_string(),
+            format!("{:.4}", cache.hit_rate()),
+            format!("{:.4}", cache.effective_hit_rate()),
+            persistence.chunks_flushed.to_string(),
+        ]);
+    }
+    let total = hybrid.speculation_stats_total();
+    table.row(vec![
+        "all (shared platform)".to_string(),
+        total
+            .median_efficiency()
+            .map(|e| format!("{e:.4}"))
+            .unwrap_or_else(|| "-".to_string()),
+        hybrid.sc_platform_stats().invocations.to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        hybrid.persistence_stats().chunks_flushed.to_string(),
+    ]);
+    servo_bench::emit(
+        "table01_hybrid",
+        "Hybrid zoned+offloading deployment: per-zone speculation and persistence-cache effectiveness",
+        &table,
+    );
 }
 
 /// A short walking workload against the remote terrain store, reporting

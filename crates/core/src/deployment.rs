@@ -1,8 +1,12 @@
 //! Wiring a complete Servo instance.
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use servo_faas::{FaasPlatform, FunctionConfig};
 use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
-use servo_server::cluster::ShardedGameCluster;
+use servo_server::cluster::{BorderExchange, ShardedGameCluster, ZonePersistenceStats};
+use servo_server::multi::ClusterTick;
 use servo_server::{GameServer, ServerConfig};
 use servo_simkit::SimRng;
 use servo_storage::{
@@ -12,7 +16,9 @@ use servo_types::{MemoryMb, SimDuration};
 use servo_workload::PlayerFleet;
 use servo_world::{required_chunks, WorldKind};
 
-use crate::speculative::{SpeculationConfig, SpeculationHandle, SpeculativeScBackend};
+use crate::speculative::{
+    SharedScPlatform, SpeculationConfig, SpeculationHandle, SpeculationStats, SpeculativeScBackend,
+};
 use crate::terrain::{FaasTerrainBackend, TerrainOffloadHandle};
 
 /// Configuration of the deployment's persistence pipeline: the
@@ -145,6 +151,13 @@ impl ServoBuilder {
     /// [`ServoDeployment::zoned`].
     pub fn zoned(self, zones: usize) -> ShardedGameCluster {
         ServoDeployment::zoned(self.config, zones)
+    }
+
+    /// Builds a *hybrid* zoned+offloading cluster: zoning for players and
+    /// terrain, serverless offloading for constructs, per-zone persistence.
+    /// See [`HybridDeployment`].
+    pub fn hybrid(self, zones: usize) -> HybridDeployment {
+        HybridDeployment::from_config(self.config, zones)
     }
 }
 
@@ -394,6 +407,164 @@ impl ServoDeployment {
     }
 }
 
+/// A hybrid zoned+offloading deployment — the configuration operators
+/// would actually run (argued by the paper's extended technical report):
+/// the world is partitioned over `zones` real game servers (zoning handles
+/// players and terrain locality), while **every** zone plugs in Servo's
+/// serverless backends — a [`SpeculativeScBackend`] over one *shared* FaaS
+/// platform (cluster-level concurrency limits and billing), a per-zone
+/// FaaS terrain-generation service, and a per-zone persistence pipeline
+/// flushing exactly the zone's owned world shards to blob storage.
+///
+/// Border-construct state crosses zone seams in *batched* form
+/// ([`BorderExchange::Batched`]): offloaded speculative sequences make
+/// construct states available as precomputed bundles, so each (owner,
+/// neighbour) server pair exchanges one bundle per simulated tick instead
+/// of one round-trip per construct — which is what lets the hybrid stay
+/// within QoS on border-construct workloads where classic zoning
+/// collapses (measured by `ablation_hybrid`).
+///
+/// A 1-zone hybrid derives exactly the random streams of the single
+/// [`ServoDeployment`], so it is tick-for-tick — and persisted-byte-for-
+/// byte — identical to it (asserted by the `hybrid_equivalence` suite).
+pub struct HybridDeployment {
+    /// The running cluster (drive it with
+    /// [`ShardedGameCluster::run_with_fleet`] or
+    /// [`HybridDeployment::run_with_fleet`]).
+    pub cluster: ShardedGameCluster,
+    /// Per-zone handles to the speculative execution units' statistics.
+    pub speculation: Vec<SpeculationHandle>,
+    /// Per-zone handles to the terrain-offloading statistics.
+    pub terrain: Vec<TerrainOffloadHandle>,
+    /// The configuration the deployment was built from.
+    pub config: ServoConfig,
+    sc_platform: SharedScPlatform,
+}
+
+impl std::fmt::Debug for HybridDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridDeployment")
+            .field("zones", &self.cluster.zones())
+            .field("seed", &self.config.seed)
+            .finish()
+    }
+}
+
+impl HybridDeployment {
+    /// Builds a hybrid deployment from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zones` is zero.
+    pub fn from_config(config: ServoConfig, zones: usize) -> Self {
+        assert!(zones > 0, "a hybrid deployment needs at least one zone");
+        let root = SimRng::seed(config.seed);
+        // One platform for the SC-offload function, shared by every zone:
+        // concurrency limits, the warm-container pool and the billing
+        // meter are cluster-level, as for a real shared function
+        // deployment.
+        let sc_platform: SharedScPlatform = Arc::new(Mutex::new(FaasPlatform::new(
+            config.sc_function.clone(),
+            root.substream("sc-faas"),
+        )));
+        // A 1-zone hybrid *is* the single Servo deployment: derive the same
+        // streams `ServoDeployment::from_config` uses, so the equivalence
+        // is exact. Multi-zone deployments give every zone its own
+        // substream family.
+        let zone_rng = |zone: usize| {
+            if zones == 1 {
+                root.clone()
+            } else {
+                root.substream_indexed("zone", zone as u64)
+            }
+        };
+        let mut speculation = Vec::with_capacity(zones);
+        let mut terrain = Vec::with_capacity(zones);
+        let mut cluster = ShardedGameCluster::new(zones, |zone| {
+            let rng = zone_rng(zone);
+            let sc_backend =
+                SpeculativeScBackend::over(config.speculation, Arc::clone(&sc_platform));
+            speculation.push(sc_backend.handle());
+            let generator: Box<dyn TerrainGenerator> = match config.server.world_kind {
+                WorldKind::Flat => Box::new(FlatGenerator::default()),
+                WorldKind::Default => Box::new(DefaultGenerator::new(config.seed)),
+            };
+            let generation_platform = FaasPlatform::new(
+                config.generation_function.clone(),
+                rng.substream("generation-faas"),
+            );
+            let terrain_backend = FaasTerrainBackend::new(generator, generation_platform);
+            terrain.push(terrain_backend.handle());
+            GameServer::new(
+                config.server.clone(),
+                Box::new(sc_backend),
+                Box::new(terrain_backend),
+                rng.substream("server"),
+            )
+        })
+        .with_border_exchange(BorderExchange::Batched);
+        if let Some(persistence) = &config.persistence {
+            for zone in 0..zones {
+                let rng = zone_rng(zone);
+                cluster.attach_persistence(
+                    zone,
+                    BlobStore::new(persistence.tier, rng.substream("persistence-blob")),
+                    rng.substream("persistence-disk"),
+                    persistence.write_back_interval,
+                );
+            }
+        }
+        HybridDeployment {
+            cluster,
+            speculation,
+            terrain,
+            config,
+            sc_platform,
+        }
+    }
+
+    /// Drives the cluster with a player fleet for `duration` of virtual
+    /// time (persistence is driven inside the cluster tick).
+    pub fn run_with_fleet(
+        &mut self,
+        fleet: &mut PlayerFleet,
+        duration: SimDuration,
+    ) -> Vec<ClusterTick> {
+        self.cluster.run_with_fleet(fleet, duration)
+    }
+
+    /// Flushes all remaining dirty terrain of every zone and returns the
+    /// number of chunks written.
+    pub fn flush_persistence(&mut self) -> u64 {
+        self.cluster.flush_persistence()
+    }
+
+    /// The persistence counters summed over all zones.
+    pub fn persistence_stats(&self) -> ZonePersistenceStats {
+        self.cluster.persistence_stats_total()
+    }
+
+    /// The speculation statistics merged over all zones.
+    pub fn speculation_stats_total(&self) -> SpeculationStats {
+        let mut total = SpeculationStats::default();
+        for handle in &self.speculation {
+            total.merge(&handle.stats());
+        }
+        total
+    }
+
+    /// The cluster-level billing meter of the shared SC-offload function.
+    pub fn sc_billing(&self) -> servo_faas::BillingMeter {
+        self.sc_platform.lock().billing().clone()
+    }
+
+    /// The cluster-level platform statistics of the shared SC-offload
+    /// function (invocations, cold starts, peak concurrency).
+    pub fn sc_platform_stats(&self) -> servo_faas::PlatformStats {
+        self.sc_platform.lock().stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +667,59 @@ mod tests {
         assert_eq!(deployment.flush_persistence(), 0);
         assert_eq!(deployment.persistence_stats(), PersistenceStats::default());
         assert!(deployment.with_persisted(|remote| remote.len()).is_none());
+    }
+
+    #[test]
+    fn hybrid_offloads_constructs_and_batches_border_exchanges() {
+        use servo_server::cluster::{border_construct_sites, place_across_east_seam};
+
+        let mut hybrid = ServoDeployment::builder()
+            .seed(51)
+            .view_distance(32)
+            .hybrid(4);
+        assert_eq!(hybrid.cluster.border_exchange(), BorderExchange::Batched);
+        assert_eq!(hybrid.cluster.zones(), 4);
+        // A fleet of border-spanning constructs: far more constructs than
+        // (owner, neighbour) zone pairs, which is where batching wins.
+        let sites = border_construct_sites(hybrid.cluster.shard_map(), 40);
+        for site in &sites {
+            hybrid.cluster.add_construct(place_across_east_seam(
+                &generators::wire_line(14),
+                *site,
+                6,
+            ));
+        }
+        assert_eq!(hybrid.cluster.border_construct_count(), 40);
+        let mut fleet = bounded_fleet(8, 52);
+        hybrid.run_with_fleet(&mut fleet, SimDuration::from_secs(6));
+
+        // Constructs are served from offloaded results, not local stepping.
+        let stats = hybrid.cluster.server_stats_total();
+        assert!(
+            stats.sc_merged + stats.sc_replayed > stats.sc_local,
+            "offloading never took over: local {} merged {} replayed {}",
+            stats.sc_local,
+            stats.sc_merged,
+            stats.sc_replayed
+        );
+        // Batched exchange: messages stay far below the two-per-exchange
+        // cost the per-construct baseline pays.
+        let cluster_stats = hybrid.cluster.stats();
+        assert!(cluster_stats.construct_exchanges > 0);
+        assert!(
+            cluster_stats.cross_server_messages < cluster_stats.construct_exchanges * 2,
+            "batching never paid off: {} messages for {} exchanges",
+            cluster_stats.cross_server_messages,
+            cluster_stats.construct_exchanges
+        );
+        // The shared platform meters the union of all zones' invocations.
+        let per_zone: u64 = (0..4)
+            .map(|zone| hybrid.speculation[zone].stats().invocations)
+            .sum();
+        assert!(per_zone > 0);
+        assert_eq!(hybrid.sc_platform_stats().invocations, per_zone);
+        assert_eq!(hybrid.sc_billing().invocations(), per_zone);
+        assert_eq!(hybrid.speculation_stats_total().invocations, per_zone);
     }
 
     #[test]

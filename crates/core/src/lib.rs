@@ -49,9 +49,12 @@ pub mod speculative;
 pub mod terrain;
 pub mod terrain_store;
 
-pub use deployment::{PersistenceConfig, PersistenceStats, ServoConfig, ServoDeployment};
+pub use deployment::{
+    HybridDeployment, PersistenceConfig, PersistenceStats, ServoConfig, ServoDeployment,
+};
 pub use speculative::{
-    ScWorkModel, SpeculationConfig, SpeculationHandle, SpeculationStats, SpeculativeScBackend,
+    ScWorkModel, SharedScPlatform, SpeculationConfig, SpeculationHandle, SpeculationStats,
+    SpeculativeScBackend,
 };
 pub use terrain::{FaasTerrainBackend, TerrainOffloadHandle};
 pub use terrain_store::{PrefetchPolicy, RemoteTerrainStore};

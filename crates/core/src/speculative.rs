@@ -1,5 +1,36 @@
 //! Replicated speculative execution for simulated constructs
 //! (paper Section III-C).
+//!
+//! # Concurrency model
+//!
+//! The unit's in-flight speculation state is split **per construct** into
+//! [`SLOT_SHARDS`] lock shards (keyed by construct id), so the game loop
+//! can fan per-construct resolution out across worker threads through the
+//! [`PartitionedResolver`] table: each worker touches only the slot shards
+//! of its constructs and **never** the shared FaaS platform. Everything
+//! that must happen in a deterministic global order — statistics pushes
+//! and platform invocations, whose RNG stream must be consumed exactly
+//! like the sequential path consumes it — is *deferred* during the
+//! fan-out and replayed by [`ScBackend::reconcile`] in ascending construct
+//! id order (the order the sequential path visits constructs in). The
+//! sequential [`ScBackend::resolve`] path is implemented as "defer, then
+//! immediately replay", so both paths are identical by construction
+//! (asserted end-to-end by `crates/core/tests/speculative_differential.rs`).
+//!
+//! Lock order (never violated): slot shard → stats → platform. Phase A
+//! (planning/fan-out) takes only slot-shard locks; phase B (reconcile)
+//! re-locks one slot shard at a time and then stats/platform, so planning
+//! on one zone server and reconciliation on another can run concurrently
+//! against one shared platform.
+//!
+//! # Sharing the platform
+//!
+//! [`SpeculativeScBackend::over`] builds a unit on an existing
+//! [`SharedScPlatform`], so several backends — e.g. the zone servers of a
+//! hybrid zoned+offloading cluster — offload to **one** platform whose
+//! concurrency limit, container pool and billing meter are cluster-level,
+//! exactly like a real per-function deployment shared by many game
+//! servers.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -7,8 +38,17 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use servo_faas::FaasPlatform;
 use servo_redstone::{simulate_sequence, Construct, SimulationOutcome};
-use servo_server::{ScBackend, ScResolution};
+use servo_server::{PartitionedResolver, ResolutionPlan, ScBackend, ScResolution};
 use servo_types::{ConstructId, SimDuration, SimTime, Tick};
+
+/// Number of lock shards the per-construct speculation slots are split
+/// into.
+pub const SLOT_SHARDS: usize = 16;
+
+/// A FaaS platform shared between several [`SpeculativeScBackend`]s (the
+/// zone servers of a hybrid cluster offload to one platform, preserving
+/// cluster-level concurrency limits and billing).
+pub type SharedScPlatform = Arc<Mutex<FaasPlatform>>;
 
 /// The compute-cost model of the offloaded construct simulation function.
 ///
@@ -79,7 +119,7 @@ impl Default for SpeculationConfig {
 }
 
 /// Aggregate statistics of the speculative execution unit.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpeculationStats {
     /// Function invocations issued.
     pub invocations: u64,
@@ -115,6 +155,24 @@ impl SpeculationStats {
         Some(sorted[sorted.len() / 2])
     }
 
+    /// Merges another unit's statistics into this one (counters add,
+    /// sample vectors concatenate) — e.g. to aggregate the per-zone units
+    /// of a hybrid zoned+offloading cluster.
+    pub fn merge(&mut self, other: &SpeculationStats) {
+        self.invocations += other.invocations;
+        self.discarded_stale += other.discarded_stale;
+        self.failed += other.failed;
+        self.speculative_applied += other.speculative_applied;
+        self.loop_replayed += other.loop_replayed;
+        self.local_fallback += other.local_fallback;
+        self.efficiency_samples
+            .extend_from_slice(&other.efficiency_samples);
+        self.invocation_latencies
+            .extend_from_slice(&other.invocation_latencies);
+        self.invocation_completions
+            .extend_from_slice(&other.invocation_completions);
+    }
+
     /// Invocations per minute, averaged over `elapsed`.
     pub fn invocations_per_minute(&self, elapsed: SimDuration) -> f64 {
         if elapsed == SimDuration::ZERO {
@@ -127,24 +185,27 @@ impl SpeculationStats {
 /// A cloneable handle to the speculation unit's statistics and billing.
 #[derive(Debug, Clone)]
 pub struct SpeculationHandle {
-    inner: Arc<Mutex<Shared>>,
+    platform: SharedScPlatform,
+    stats: Arc<Mutex<SpeculationStats>>,
 }
 
 impl SpeculationHandle {
     /// A snapshot of the current statistics.
     pub fn stats(&self) -> SpeculationStats {
-        self.inner.lock().stats.clone()
+        self.stats.lock().clone()
     }
 
     /// A snapshot of the FaaS billing meter for the SC-offload function.
+    /// When the platform is shared between several backends, the meter is
+    /// the *platform-level* (cluster) aggregate.
     pub fn billing(&self) -> servo_faas::BillingMeter {
-        self.inner.lock().platform.billing().clone()
+        self.platform.lock().billing().clone()
     }
 
     /// A snapshot of the FaaS platform statistics (cold starts, peak
-    /// concurrency).
+    /// concurrency); platform-level when the platform is shared.
     pub fn platform_stats(&self) -> servo_faas::PlatformStats {
-        self.inner.lock().platform.stats()
+        self.platform.lock().stats()
     }
 }
 
@@ -176,49 +237,116 @@ struct ConstructSlot {
     available: Option<AvailableSequence>,
 }
 
+/// A completed invocation delivered by phase A, with the derived
+/// efficiency sample (`None` when the result was stale and must count as
+/// discarded).
 #[derive(Debug)]
-struct Shared {
-    platform: FaasPlatform,
-    stats: SpeculationStats,
+struct Delivered {
+    latency: SimDuration,
+    completes_at: SimTime,
+    efficiency: Option<f64>,
+}
+
+/// The engine work of a prepared invocation: normally precomputed in
+/// phase A (on the worker thread), but deferred to phase B while the
+/// platform looks saturated — an invoke that fails would discard the
+/// whole simulation, so there is no point paying for it up front.
+#[derive(Debug)]
+enum IssuePayload {
+    Ready(SimulationOutcome),
+    Deferred(Construct),
+}
+
+/// An invocation phase A decided to issue: the platform call — which
+/// consumes the shared RNG stream and must happen in construct order — is
+/// left to phase B.
+#[derive(Debug)]
+struct PreparedIssue {
+    stamp: u64,
+    start_step: u64,
+    work: f64,
+    payload: IssuePayload,
+}
+
+/// Everything one construct's phase-A resolution deferred to phase B.
+#[derive(Debug)]
+struct Deferred {
+    id: ConstructId,
+    resolution: ScResolution,
+    delivered: Option<Delivered>,
+    issue: Option<PreparedIssue>,
+}
+
+/// One lock shard of the per-construct speculation state.
+#[derive(Debug, Default)]
+struct SlotShard {
+    slots: HashMap<ConstructId, ConstructSlot>,
+    /// Phase-A actions of the current tick, drained by `reconcile`.
+    deferred: Vec<Deferred>,
 }
 
 /// The speculative execution unit: Servo's [`ScBackend`].
 ///
-/// See the crate-level documentation and the paper's Section III-C for the
-/// mechanism. The unit is deterministic given the platform's RNG seed.
+/// See the crate- and module-level documentation and the paper's
+/// Section III-C for the mechanism. The unit is deterministic given the
+/// platform's RNG seed, for every `ServerConfig::with_parallelism` value:
+/// the partitioned fan-out defers all shared-state effects and replays
+/// them in the sequential path's order.
 pub struct SpeculativeScBackend {
     config: SpeculationConfig,
-    slots: HashMap<ConstructId, ConstructSlot>,
-    shared: Arc<Mutex<Shared>>,
+    slot_shards: Vec<Mutex<SlotShard>>,
+    platform: SharedScPlatform,
+    stats: Arc<Mutex<SpeculationStats>>,
+    /// Hint set by phase B when the platform rejected the last invocation
+    /// (concurrency limit) and cleared when one succeeds. While set,
+    /// phase A defers the speculative engine work instead of eagerly
+    /// computing results a failing invoke would throw away. Purely a
+    /// where-does-the-work-run hint: the computed outcome is identical.
+    saturated: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for SpeculativeScBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpeculativeScBackend")
             .field("config", &self.config)
-            .field("constructs", &self.slots.len())
+            .field("slot_shards", &self.slot_shards.len())
             .finish()
     }
 }
 
 impl SpeculativeScBackend {
-    /// Creates a speculative execution unit that offloads to `platform`.
+    /// Creates a speculative execution unit that offloads to its own
+    /// exclusive `platform`.
     pub fn new(config: SpeculationConfig, platform: FaasPlatform) -> Self {
+        Self::over(config, Arc::new(Mutex::new(platform)))
+    }
+
+    /// Creates a speculative execution unit over an existing (possibly
+    /// shared) platform. Zone servers of a hybrid cluster use this to
+    /// offload to one platform with cluster-level concurrency and billing.
+    pub fn over(config: SpeculationConfig, platform: SharedScPlatform) -> Self {
         SpeculativeScBackend {
             config,
-            slots: HashMap::new(),
-            shared: Arc::new(Mutex::new(Shared {
-                platform,
-                stats: SpeculationStats::default(),
-            })),
+            slot_shards: (0..SLOT_SHARDS)
+                .map(|_| Mutex::new(SlotShard::default()))
+                .collect(),
+            platform,
+            stats: Arc::new(Mutex::new(SpeculationStats::default())),
+            saturated: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// The platform this unit offloads to, for sharing with further units.
+    pub fn platform(&self) -> SharedScPlatform {
+        Arc::clone(&self.platform)
     }
 
     /// A handle for reading statistics and billing after the unit has been
     /// moved into a [`GameServer`](servo_server::GameServer).
     pub fn handle(&self) -> SpeculationHandle {
         SpeculationHandle {
-            inner: Arc::clone(&self.shared),
+            platform: Arc::clone(&self.platform),
+            stats: Arc::clone(&self.stats),
         }
     }
 
@@ -227,62 +355,22 @@ impl SpeculativeScBackend {
         self.config
     }
 
-    /// Issues a new offload invocation for `construct`, speculating from
-    /// `base` (a clone of the construct at `start_step`).
-    fn issue(
-        shared: &mut Shared,
+    #[inline]
+    fn slot_shard_of(id: ConstructId) -> usize {
+        (id.raw() as usize) & (SLOT_SHARDS - 1)
+    }
+
+    /// Phase A for one construct: advance it using only its slot's state,
+    /// deferring every shared-state effect. Runs under the construct's
+    /// slot-shard lock and touches neither the platform nor the statistics.
+    fn resolve_slot(
         config: &SpeculationConfig,
         slot: &mut ConstructSlot,
-        base: Construct,
-        now: SimTime,
-    ) {
-        let start_step = base.state().step();
-        let stamp = base.state().modification_stamp();
-        let blocks = base.len();
-        let work = config.work_model.work_for(blocks, config.simulation_steps);
-        match shared.platform.invoke(now, work) {
-            Ok(invocation) => {
-                // The remote function runs the same deterministic engine; we
-                // compute its reply eagerly but only deliver it at the
-                // invocation's completion time.
-                let mut remote = base;
-                let outcome = if config.loop_detection {
-                    simulate_sequence(&mut remote, config.simulation_steps)
-                } else {
-                    let states = remote.step_many(config.simulation_steps);
-                    SimulationOutcome {
-                        simulated_steps: states.len(),
-                        states,
-                        loop_info: None,
-                    }
-                };
-                shared.stats.invocations += 1;
-                slot.pending = Some(PendingInvocation {
-                    completes_at: invocation.completed_at,
-                    latency: invocation.latency,
-                    stamp,
-                    start_step,
-                    outcome,
-                });
-            }
-            Err(_) => {
-                shared.stats.failed += 1;
-            }
-        }
-    }
-}
-
-impl ScBackend for SpeculativeScBackend {
-    fn resolve(
-        &mut self,
-        id: ConstructId,
         construct: &mut Construct,
-        _tick: Tick,
         now: SimTime,
-    ) -> ScResolution {
-        let slot = self.slots.entry(id).or_default();
-        let mut shared = self.shared.lock();
-        let config = self.config;
+        saturated: bool,
+    ) -> (ScResolution, Option<Delivered>, Option<PreparedIssue>) {
+        let mut delivered = None;
 
         // Drop an available sequence that a player interaction invalidated.
         if let Some(available) = &slot.available {
@@ -333,15 +421,13 @@ impl ScBackend for SpeculativeScBackend {
                 state.set_step(target_step);
                 state.set_modification_stamp(construct.modification_stamp());
                 construct.apply_state(state);
-                if let Some(base) = refresh_base {
-                    Self::issue(&mut shared, &config, slot, base, now);
-                }
-                if replaying {
-                    shared.stats.loop_replayed += 1;
-                    return ScResolution::LoopReplayed;
-                }
-                shared.stats.speculative_applied += 1;
-                return ScResolution::SpeculativeApplied;
+                let issue = refresh_base.map(|base| Self::prepare_issue(config, base, saturated));
+                let resolution = if replaying {
+                    ScResolution::LoopReplayed
+                } else {
+                    ScResolution::SpeculativeApplied
+                };
+                return (resolution, delivered, issue);
             }
 
             // The current sequence cannot serve this tick. If it is a
@@ -364,11 +450,11 @@ impl ScBackend for SpeculativeScBackend {
                     .unwrap_or(false);
                 if completed && slot.available.is_none() {
                     let pending = slot.pending.take().expect("checked above");
-                    shared.stats.invocation_latencies.push(pending.latency);
-                    shared
-                        .stats
-                        .invocation_completions
-                        .push(pending.completes_at);
+                    let mut record = Delivered {
+                        latency: pending.latency,
+                        completes_at: pending.completes_at,
+                        efficiency: None,
+                    };
                     if pending.stamp == construct.modification_stamp() {
                         // Efficiency: the fraction of offloaded steps the
                         // server did not already compute locally while
@@ -376,16 +462,18 @@ impl ScBackend for SpeculativeScBackend {
                         let total = pending.outcome.simulated_steps.max(1) as f64;
                         let already_local =
                             construct.state().step().saturating_sub(pending.start_step) as f64;
-                        let efficiency = ((total - already_local) / total).clamp(0.0, 1.0);
-                        shared.stats.efficiency_samples.push(efficiency);
+                        record.efficiency = Some(((total - already_local) / total).clamp(0.0, 1.0));
                         slot.available = Some(AvailableSequence {
                             stamp: pending.stamp,
                             start_step: pending.start_step,
                             outcome: pending.outcome,
                         });
+                        delivered = Some(record);
                         continue;
                     }
-                    shared.stats.discarded_stale += 1;
+                    // Stale: the delivery is still recorded (latency and
+                    // completion time), but counts as discarded.
+                    delivered = Some(record);
                 }
             }
             break;
@@ -393,16 +481,192 @@ impl ScBackend for SpeculativeScBackend {
 
         // Fall back to local simulation while (re)starting speculation.
         construct.step();
-        shared.stats.local_fallback += 1;
-        if slot.pending.is_none() {
-            let base = construct.clone();
-            Self::issue(&mut shared, &config, slot, base, now);
+        let issue = if slot.pending.is_none() {
+            Some(Self::prepare_issue(config, construct.clone(), saturated))
+        } else {
+            None
+        };
+        (ScResolution::LocalSimulated, delivered, issue)
+    }
+
+    /// Prepares a new invocation speculating from `base`. The deterministic
+    /// engine work normally runs here — on the worker thread during a
+    /// partitioned fan-out — while the platform call is deferred to
+    /// phase B. While the platform looks saturated the engine work is
+    /// deferred too, so a rejected invoke wastes nothing.
+    fn prepare_issue(
+        config: &SpeculationConfig,
+        base: Construct,
+        saturated: bool,
+    ) -> PreparedIssue {
+        let start_step = base.state().step();
+        let stamp = base.state().modification_stamp();
+        let work = config
+            .work_model
+            .work_for(base.len(), config.simulation_steps);
+        let payload = if saturated {
+            IssuePayload::Deferred(base)
+        } else {
+            IssuePayload::Ready(Self::compute_outcome(config, base))
+        };
+        PreparedIssue {
+            stamp,
+            start_step,
+            work,
+            payload,
         }
-        ScResolution::LocalSimulated
+    }
+
+    /// The remote function's deterministic engine work for one invocation.
+    fn compute_outcome(config: &SpeculationConfig, base: Construct) -> SimulationOutcome {
+        let mut remote = base;
+        if config.loop_detection {
+            simulate_sequence(&mut remote, config.simulation_steps)
+        } else {
+            let states = remote.step_many(config.simulation_steps);
+            SimulationOutcome {
+                simulated_steps: states.len(),
+                states,
+                loop_info: None,
+            }
+        }
+    }
+
+    /// Phase B for one construct: replay the deferred statistics pushes and
+    /// platform invocation. Lock order: the caller holds the construct's
+    /// slot shard; stats, then the platform, are taken here.
+    fn apply_deferred(&self, slot: &mut ConstructSlot, deferred: Deferred, now: SimTime) {
+        use std::sync::atomic::Ordering;
+        let mut stats = self.stats.lock();
+        if let Some(record) = deferred.delivered {
+            stats.invocation_latencies.push(record.latency);
+            stats.invocation_completions.push(record.completes_at);
+            match record.efficiency {
+                Some(efficiency) => stats.efficiency_samples.push(efficiency),
+                None => stats.discarded_stale += 1,
+            }
+        }
+        match deferred.resolution {
+            ScResolution::LocalSimulated => stats.local_fallback += 1,
+            ScResolution::SpeculativeApplied => stats.speculative_applied += 1,
+            ScResolution::LoopReplayed => stats.loop_replayed += 1,
+            ScResolution::Skipped => {}
+        }
+        if let Some(issue) = deferred.issue {
+            match self.platform.lock().invoke(now, issue.work) {
+                Ok(invocation) => {
+                    self.saturated.store(false, Ordering::Relaxed);
+                    stats.invocations += 1;
+                    let outcome = match issue.payload {
+                        IssuePayload::Ready(outcome) => outcome,
+                        // The platform looked saturated in phase A but the
+                        // invoke got through: pay the engine work now (the
+                        // result is identical — the computation is pure).
+                        IssuePayload::Deferred(base) => Self::compute_outcome(&self.config, base),
+                    };
+                    slot.pending = Some(PendingInvocation {
+                        completes_at: invocation.completed_at,
+                        latency: invocation.latency,
+                        stamp: issue.stamp,
+                        start_step: issue.start_step,
+                        outcome,
+                    });
+                }
+                Err(_) => {
+                    self.saturated.store(true, Ordering::Relaxed);
+                    stats.failed += 1;
+                }
+            }
+        }
+    }
+}
+
+impl ScBackend for SpeculativeScBackend {
+    fn resolve(
+        &mut self,
+        id: ConstructId,
+        construct: &mut Construct,
+        _tick: Tick,
+        now: SimTime,
+    ) -> ScResolution {
+        // The sequential reference path is "phase A, then immediately
+        // phase B" — which is exactly what the partitioned path replays,
+        // making the two identical by construction.
+        let mut guard = self.slot_shards[Self::slot_shard_of(id)].lock();
+        let slot = guard.slots.entry(id).or_default();
+        let saturated = self.saturated.load(std::sync::atomic::Ordering::Relaxed);
+        let (resolution, delivered, issue) =
+            Self::resolve_slot(&self.config, slot, construct, now, saturated);
+        self.apply_deferred(
+            slot,
+            Deferred {
+                id,
+                resolution,
+                delivered,
+                issue,
+            },
+            now,
+        );
+        resolution
+    }
+
+    fn plan(&mut self, _tick: Tick) -> ResolutionPlan {
+        // Speculative stepping always runs on the parallel
+        // shard-partitioned path: per-construct state lives behind sharded
+        // locks and shared effects are deferred to `reconcile`.
+        ResolutionPlan::Partitioned
+    }
+
+    fn partitioned(&self) -> Option<&dyn PartitionedResolver> {
+        Some(self)
+    }
+
+    fn reconcile(&mut self, _tick: Tick, now: SimTime) {
+        let mut all: Vec<Deferred> = Vec::new();
+        for shard in &self.slot_shards {
+            all.append(&mut shard.lock().deferred);
+        }
+        // Ascending construct id is the order the sequential path visits
+        // constructs in (ids are allocated in registration order), so the
+        // platform's RNG stream and the stats vectors are consumed and
+        // filled identically.
+        all.sort_by_key(|deferred| deferred.id);
+        for deferred in all {
+            let mut guard = self.slot_shards[Self::slot_shard_of(deferred.id)].lock();
+            let slot = guard
+                .slots
+                .get_mut(&deferred.id)
+                .expect("deferred action for a construct phase A never saw");
+            self.apply_deferred(slot, deferred, now);
+        }
     }
 
     fn name(&self) -> &'static str {
         "servo-speculative"
+    }
+}
+
+impl PartitionedResolver for SpeculativeScBackend {
+    fn resolve_partitioned(
+        &self,
+        id: ConstructId,
+        _shard: usize,
+        construct: &mut Construct,
+        _tick: Tick,
+        now: SimTime,
+    ) -> ScResolution {
+        let mut guard = self.slot_shards[Self::slot_shard_of(id)].lock();
+        let slot = guard.slots.entry(id).or_default();
+        let saturated = self.saturated.load(std::sync::atomic::Ordering::Relaxed);
+        let (resolution, delivered, issue) =
+            Self::resolve_slot(&self.config, slot, construct, now, saturated);
+        guard.deferred.push(Deferred {
+            id,
+            resolution,
+            delivered,
+            issue,
+        });
+        resolution
     }
 }
 
@@ -465,6 +729,121 @@ mod tests {
         let handle = b.handle();
         assert!(handle.stats().invocations >= 1);
         assert!(handle.billing().total_cost_usd() > 0.0);
+    }
+
+    #[test]
+    fn planning_is_partitioned_with_a_resolver() {
+        let mut b = backend(SpeculationConfig::default(), 9);
+        assert_eq!(b.plan(Tick(0)), ResolutionPlan::Partitioned);
+        assert!(b.partitioned().is_some());
+    }
+
+    #[test]
+    fn partitioned_path_matches_sequential_resolve() {
+        // Drive the same workload once through `resolve` and once through
+        // `resolve_partitioned` + `reconcile`; construct states and all
+        // statistics (including vector order) must agree exactly.
+        let run = |partitioned: bool| {
+            let mut b = backend(SpeculationConfig::default(), 11);
+            let mut constructs: Vec<Construct> = (0..6)
+                .map(|i| Construct::new(generators::dense_circuit(40 + i * 13)))
+                .collect();
+            for t in 0..240u64 {
+                let now = SimTime::from_millis(t * 50);
+                if t == 77 {
+                    // A player modification invalidates one construct.
+                    constructs[2].apply_modification(BlockPos::new(0, 0, 0), None);
+                }
+                if partitioned {
+                    // Resolve in reverse order to prove order independence.
+                    for (i, c) in constructs.iter_mut().enumerate().rev() {
+                        b.resolve_partitioned(ConstructId::new(i as u64), 0, c, Tick(t), now);
+                    }
+                    b.reconcile(Tick(t), now);
+                } else {
+                    for (i, c) in constructs.iter_mut().enumerate() {
+                        b.resolve(ConstructId::new(i as u64), c, Tick(t), now);
+                    }
+                }
+            }
+            let hashes: Vec<u64> = constructs.iter().map(|c| c.state().hash()).collect();
+            let handle = b.handle();
+            (hashes, handle.stats(), handle.billing())
+        };
+        let (seq_hashes, seq_stats, seq_billing) = run(false);
+        let (par_hashes, par_stats, par_billing) = run(true);
+        assert_eq!(seq_hashes, par_hashes);
+        assert_eq!(seq_stats, par_stats);
+        assert_eq!(seq_billing, par_billing);
+        assert!(seq_stats.invocations > 0);
+    }
+
+    #[test]
+    fn saturated_platform_stays_identical_across_paths() {
+        // A tiny concurrency limit forces invoke failures: the saturation
+        // hint defers engine work, which must not change any observable
+        // state between the sequential and partitioned paths.
+        let run = |partitioned: bool| {
+            let mut function = FunctionConfig::aws_like(MemoryMb::new(2048));
+            function.max_concurrency = Some(2);
+            let config = SpeculationConfig {
+                loop_detection: false,
+                ..SpeculationConfig::default()
+            };
+            let mut b =
+                SpeculativeScBackend::new(config, FaasPlatform::new(function, SimRng::seed(31)));
+            let mut constructs: Vec<Construct> = (0..8)
+                .map(|i| Construct::new(generators::dense_circuit(40 + i * 9)))
+                .collect();
+            for t in 0..200u64 {
+                let now = SimTime::from_millis(t * 50);
+                if partitioned {
+                    for (i, c) in constructs.iter_mut().enumerate().rev() {
+                        b.resolve_partitioned(ConstructId::new(i as u64), 0, c, Tick(t), now);
+                    }
+                    b.reconcile(Tick(t), now);
+                } else {
+                    for (i, c) in constructs.iter_mut().enumerate() {
+                        b.resolve(ConstructId::new(i as u64), c, Tick(t), now);
+                    }
+                }
+            }
+            let hashes: Vec<u64> = constructs.iter().map(|c| c.state().hash()).collect();
+            (hashes, b.handle().stats())
+        };
+        let (seq_hashes, seq_stats) = run(false);
+        let (par_hashes, par_stats) = run(true);
+        assert!(seq_stats.failed > 0, "the limit never rejected an invoke");
+        assert_eq!(seq_hashes, par_hashes);
+        assert_eq!(seq_stats, par_stats);
+    }
+
+    #[test]
+    fn shared_platform_aggregates_billing_across_backends() {
+        let platform: SharedScPlatform = Arc::new(Mutex::new(FaasPlatform::new(
+            FunctionConfig::aws_like(MemoryMb::new(2048)),
+            SimRng::seed(21),
+        )));
+        let mut a = SpeculativeScBackend::over(SpeculationConfig::default(), Arc::clone(&platform));
+        let mut b = SpeculativeScBackend::over(SpeculationConfig::default(), a.platform());
+        let mut ca = Construct::new(generators::dense_circuit(64));
+        let mut cb = Construct::new(generators::dense_circuit(64));
+        drive(&mut a, &mut ca, 100);
+        drive(&mut b, &mut cb, 100);
+        // Per-backend stats stay separate...
+        assert!(a.handle().stats().invocations > 0);
+        assert!(b.handle().stats().invocations > 0);
+        // ...while the platform meters the union.
+        let platform_invocations = platform.lock().stats().invocations;
+        assert_eq!(
+            platform_invocations,
+            a.handle().stats().invocations + b.handle().stats().invocations
+        );
+        assert_eq!(
+            a.handle().billing().invocations(),
+            platform_invocations,
+            "the billing meter is platform-level"
+        );
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Differential property test for the partitioned speculative resolution
+//! path (the PR's acceptance gate): for a seeded workload — mixed
+//! construct sizes, looping constructs, and player modifications arriving
+//! mid-run — a `GameServer` running the `SpeculativeScBackend` with
+//! parallel workers (`ResolutionPlan::Partitioned` fan-out + `reconcile`)
+//! must produce construct states, `SpeculationStats` (including the exact
+//! order-sensitive sample vectors), FaaS billing, and server counters
+//! identical to the sequential `resolve` path.
+
+use proptest::prelude::*;
+use servo_core::{SpeculationConfig, SpeculationHandle, SpeculativeScBackend};
+use servo_faas::{FaasPlatform, FunctionConfig};
+use servo_pcg::FlatGenerator;
+use servo_redstone::{generators, Blueprint};
+use servo_server::{GameServer, LocalGenerationBackend, ServerConfig};
+use servo_simkit::SimRng;
+use servo_types::{BlockPos, ConstructId, MemoryMb, PlayerId};
+use servo_workload::PlayerEvent;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The construct fleet of one generated workload: a deterministic mix of
+/// aperiodic circuits, looping clocks, and wire lines.
+fn fleet_blueprints(seed: u64) -> Vec<Blueprint> {
+    let mut state = seed ^ 0xb1e0;
+    (0..8)
+        .map(|_| {
+            let r = splitmix(&mut state);
+            match r % 3 {
+                0 => generators::dense_circuit(24 + (r >> 8) as usize % 40),
+                1 => generators::clock(4 + (r >> 8) as usize % 4),
+                _ => generators::wire_line(6 + (r >> 8) as usize % 10),
+            }
+        })
+        .collect()
+}
+
+/// The modification schedule: (tick, construct, block index) triples.
+fn modifications(seed: u64, ticks: u64, blueprints: &[Blueprint]) -> Vec<(u64, usize, usize)> {
+    let mut state = seed ^ 0x0d1f;
+    (0..5)
+        .map(|_| {
+            let r = splitmix(&mut state);
+            let construct = (r % blueprints.len() as u64) as usize;
+            let block = ((r >> 16) as usize) % blueprints[construct].positions().len();
+            ((r >> 32) % ticks.max(1), construct, block)
+        })
+        .collect()
+}
+
+struct Run {
+    hashes: Vec<u64>,
+    stats: servo_core::SpeculationStats,
+    billing: servo_faas::BillingMeter,
+    server_stats: servo_server::ServerStats,
+}
+
+fn run(seed: u64, parallelism: usize, ticks: u64) -> Run {
+    let platform = FaasPlatform::new(
+        FunctionConfig::aws_like(MemoryMb::new(2048)),
+        SimRng::seed(seed),
+    );
+    let backend = SpeculativeScBackend::new(SpeculationConfig::default(), platform);
+    let handle: SpeculationHandle = backend.handle();
+    let mut server = GameServer::new(
+        ServerConfig::servo_base()
+            .with_view_distance(32)
+            .with_parallelism(parallelism),
+        Box::new(backend),
+        Box::new(LocalGenerationBackend::new(
+            Box::new(FlatGenerator::default()),
+            8,
+        )),
+        SimRng::seed(seed ^ 0x5e4e4),
+    );
+    let blueprints = fleet_blueprints(seed);
+    for blueprint in &blueprints {
+        server.add_construct(blueprint.clone());
+    }
+    let schedule = modifications(seed, ticks, &blueprints);
+    let positions = vec![BlockPos::new(4, 4, 4)];
+    for tick in 0..ticks {
+        let events: Vec<(PlayerId, PlayerEvent)> = schedule
+            .iter()
+            .filter(|(t, _, _)| *t == tick)
+            .map(|&(_, construct, block)| {
+                let pos = blueprints[construct].positions()[block];
+                (PlayerId::new(0), PlayerEvent::BlockBroken(pos))
+            })
+            .collect();
+        server.run_tick(&positions, &events);
+    }
+    Run {
+        hashes: (0..blueprints.len())
+            .map(|i| {
+                server
+                    .construct(ConstructId::new(i as u64))
+                    .unwrap()
+                    .state()
+                    .hash()
+            })
+            .collect(),
+        stats: handle.stats(),
+        billing: handle.billing(),
+        server_stats: server.stats(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The acceptance property: partitioned parallel resolution is
+    /// indistinguishable from the sequential path, down to the stats
+    /// vectors and the billing meter.
+    #[test]
+    fn partitioned_resolution_is_identical_to_sequential(seed in 0u64..100_000) {
+        let sequential = run(seed, 1, 120);
+        let parallel = run(seed, 4, 120);
+        prop_assert_eq!(&sequential.hashes, &parallel.hashes, "construct states diverged");
+        prop_assert_eq!(&sequential.stats, &parallel.stats, "speculation stats diverged");
+        prop_assert_eq!(&sequential.billing, &parallel.billing, "billing diverged");
+        prop_assert_eq!(&sequential.server_stats, &parallel.server_stats, "server counters diverged");
+        // The workload genuinely exercised speculation.
+        prop_assert!(sequential.stats.invocations > 0);
+        prop_assert!(sequential.server_stats.sc_merged + sequential.server_stats.sc_replayed > 0);
+    }
+}
+
+/// A longer single-seed soak with modifications on, doubling as a
+/// regression anchor for the deferred-reconcile ordering.
+#[test]
+fn long_run_with_modifications_stays_identical() {
+    let sequential = run(77, 1, 300);
+    let parallel = run(77, 4, 300);
+    assert_eq!(sequential.hashes, parallel.hashes);
+    assert_eq!(sequential.stats, parallel.stats);
+    assert_eq!(sequential.billing, parallel.billing);
+    assert_eq!(sequential.server_stats, parallel.server_stats);
+    assert!(sequential.stats.invocations > 0);
+}

@@ -37,13 +37,62 @@ pub enum ScResolution {
     Skipped,
 }
 
+/// How a backend wants the game loop to advance constructs on one tick,
+/// returned by [`ScBackend::plan`].
+///
+/// A plan either gives a *uniform* resolution every construct shares (the
+/// stateless fast path), declares a *partitioned* table the game loop can
+/// fan out across worker threads (each construct resolved through
+/// [`PartitionedResolver::resolve_partitioned`], partitioned by the world
+/// shard owning it, followed by one [`ScBackend::reconcile`] call), or
+/// falls back to the *sequential* per-construct [`ScBackend::resolve`]
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolutionPlan {
+    /// Every construct resolves identically this tick without mutating
+    /// backend state: the game loop may step constructs on parallel worker
+    /// threads with no backend involvement at all.
+    Uniform(ScResolution),
+    /// Per-construct resolution goes through the backend's
+    /// [`PartitionedResolver`] (see [`ScBackend::partitioned`]), which is
+    /// safe to call concurrently for different constructs. The game loop
+    /// must call [`ScBackend::reconcile`] once after all constructs of the
+    /// tick resolved.
+    Partitioned,
+    /// No parallel path this tick: resolve each construct sequentially.
+    Sequential,
+}
+
+/// The thread-safe per-construct resolution table of a
+/// [`ResolutionPlan::Partitioned`] backend.
+///
+/// `resolve_partitioned` may be called concurrently from several worker
+/// threads as long as no construct is resolved twice in one tick; the game
+/// loop partitions constructs by their owning world shard (passed as
+/// `shard`) and calls [`ScBackend::reconcile`] exactly once afterwards to
+/// flush whatever the backend deferred (statistics, platform invocations).
+pub trait PartitionedResolver: Sync {
+    /// Advances one construct for game tick `tick` at virtual time `now`.
+    fn resolve_partitioned(
+        &self,
+        id: ConstructId,
+        shard: usize,
+        construct: &mut Construct,
+        tick: Tick,
+        now: SimTime,
+    ) -> ScResolution;
+}
+
 /// A strategy for advancing simulated constructs each tick.
 ///
 /// The baselines use [`LocalScBackend`]; Servo plugs in its speculative
-/// execution unit (implemented in the `servo-core` crate).
+/// execution unit (implemented in the `servo-core` crate). Each tick the
+/// game loop asks the backend for a [`ResolutionPlan`] and executes it;
+/// [`ScBackend::resolve`] remains the sequential reference path every
+/// backend must provide (and the path single-threaded servers use).
 pub trait ScBackend {
     /// Advances `construct` for game tick `tick` at virtual time `now` and
-    /// reports how its state was obtained.
+    /// reports how its state was obtained — the sequential reference path.
     fn resolve(
         &mut self,
         id: ConstructId,
@@ -52,15 +101,25 @@ pub trait ScBackend {
         now: SimTime,
     ) -> ScResolution;
 
-    /// If every construct would be resolved identically this tick without
-    /// mutating backend state, the resolution that will apply — this lets
-    /// the game loop step constructs on parallel worker threads, partitioned
-    /// by the world shard that owns them. Returning `None` (the default)
-    /// forces the sequential per-construct [`ScBackend::resolve`] path,
-    /// which stateful backends such as the speculative offloader need.
-    fn parallel_resolution(&self, _tick: Tick) -> Option<ScResolution> {
+    /// The backend's plan for advancing constructs on `tick`. The default
+    /// is [`ResolutionPlan::Sequential`], which routes every construct
+    /// through [`ScBackend::resolve`].
+    fn plan(&mut self, _tick: Tick) -> ResolutionPlan {
+        ResolutionPlan::Sequential
+    }
+
+    /// The concurrent per-construct resolution table backing
+    /// [`ResolutionPlan::Partitioned`]. Backends whose `plan` can return
+    /// `Partitioned` must override this to return `Some`.
+    fn partitioned(&self) -> Option<&dyn PartitionedResolver> {
         None
     }
+
+    /// Flushes state the backend deferred during a partitioned fan-out
+    /// (statistics, platform invocations), in a deterministic order. Called
+    /// exactly once per tick executed under [`ResolutionPlan::Partitioned`];
+    /// a no-op for other plans.
+    fn reconcile(&mut self, _tick: Tick, _now: SimTime) {}
 
     /// A short name for experiment output.
     fn name(&self) -> &'static str;
@@ -107,13 +166,13 @@ impl ScBackend for LocalScBackend {
         ScResolution::LocalSimulated
     }
 
-    fn parallel_resolution(&self, tick: Tick) -> Option<ScResolution> {
+    fn plan(&mut self, tick: Tick) -> ResolutionPlan {
         // Local simulation treats every construct the same way on a given
         // tick and keeps no backend state, so it is safe to fan out.
         if self.every_other_tick && tick.0 % 2 == 1 {
-            Some(ScResolution::Skipped)
+            ResolutionPlan::Uniform(ScResolution::Skipped)
         } else {
-            Some(ScResolution::LocalSimulated)
+            ResolutionPlan::Uniform(ScResolution::LocalSimulated)
         }
     }
 
@@ -363,6 +422,26 @@ mod tests {
         }
         assert_eq!(construct.state().step(), 10);
         assert_eq!(backend.name(), "local");
+    }
+
+    #[test]
+    fn local_backend_plans_are_uniform() {
+        let mut every = LocalScBackend::every_tick();
+        assert_eq!(
+            every.plan(Tick(5)),
+            ResolutionPlan::Uniform(ScResolution::LocalSimulated)
+        );
+        let mut other = LocalScBackend::every_other_tick();
+        assert_eq!(
+            other.plan(Tick(0)),
+            ResolutionPlan::Uniform(ScResolution::LocalSimulated)
+        );
+        assert_eq!(
+            other.plan(Tick(1)),
+            ResolutionPlan::Uniform(ScResolution::Skipped)
+        );
+        // Uniform backends never expose a partitioned table.
+        assert!(other.partitioned().is_none());
     }
 
     #[test]

@@ -28,14 +28,16 @@
 //! tick-for-tick identical to a plain [`GameServer`] (asserted by the
 //! `cluster_equivalence` test suite).
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
 use servo_redstone::Blueprint;
 use servo_simkit::{SimClock, SimRng};
+use servo_storage::{BlobStore, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService};
 use servo_types::{BlockPos, ChunkPos, ConstructId, PlayerId, SimDuration, SimTime};
 use servo_workload::{PlayerEvent, PlayerFleet, ZoneRouter};
-use servo_world::{ShardMap, WorldKind};
+use servo_world::{required_chunks, ShardDelta, ShardMap, WorldKind};
 
 use crate::backends::{LocalGenerationBackend, LocalScBackend};
 use crate::multi::ClusterTick;
@@ -63,6 +65,61 @@ impl Default for ClusterCosts {
             message_cost_ms: 0.5,
         }
     }
+}
+
+/// How border-construct state crosses zone seams each simulated tick.
+///
+/// Classic zoned deployments synchronize every cross-border entity
+/// individually ([`BorderExchange::PerConstruct`]) — the per-entity
+/// messaging the paper's Section II-B identifies as zoning's failure mode.
+/// The hybrid zoned+offloading deployment instead bundles all border
+/// construct states between one (owner, neighbour) server pair into a
+/// single message per simulated tick ([`BorderExchange::Batched`]):
+/// offloaded speculative sequences make construct states available as
+/// compact precomputed bundles, so the coordinated deployment ships one
+/// state bundle plus acknowledgement per server pair instead of one
+/// round-trip per construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BorderExchange {
+    /// One state + acknowledgement (2 messages) per border construct and
+    /// involved neighbour zone, every simulated tick — the classic zoned
+    /// baseline the ablation measures.
+    #[default]
+    PerConstruct,
+    /// One state bundle + acknowledgement (2 messages) per (owner,
+    /// neighbour) zone pair with at least one simulated border construct —
+    /// the hybrid deployment's coordinated exchange.
+    Batched,
+}
+
+/// Counters of one zone's persistence pipeline (mirrors the shape of the
+/// single-deployment `PersistenceStats` in `servo-core`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZonePersistenceStats {
+    /// Write-back passes completed by the zone's pipeline.
+    pub write_back_passes: u64,
+    /// Dirty chunks flushed to the zone's remote storage.
+    pub chunks_flushed: u64,
+    /// Chunks staged into the zone's cache by prefetch arrivals.
+    pub prefetch_arrivals: u64,
+}
+
+impl ZonePersistenceStats {
+    fn absorb(&mut self, other: ZonePersistenceStats) {
+        self.write_back_passes += other.write_back_passes;
+        self.chunks_flushed += other.chunks_flushed;
+        self.prefetch_arrivals += other.prefetch_arrivals;
+    }
+}
+
+/// One zone's persistence pipeline: a [`PipelinedChunkService`] bound to
+/// the zone's world restricted to its owned shards, fed by the dirty
+/// deltas `run_tick` drains (`GameServer::drain_owned_dirty`).
+struct ZonePersistence {
+    service: PipelinedChunkService<BlobStore>,
+    interval: u64,
+    ticks_since_pass: u64,
+    stats: ZonePersistenceStats,
 }
 
 /// Lifetime counters of a cluster's cross-zone coordination.
@@ -130,11 +187,15 @@ pub struct ShardedGameCluster {
     servers: Vec<GameServer>,
     router: ZoneRouter,
     costs: ClusterCosts,
+    border_exchange: BorderExchange,
     clock: SimClock,
     border_constructs: Vec<BorderConstruct>,
     construct_count: usize,
     details: Vec<ClusterTickDetail>,
     stats: ClusterStats,
+    /// Per-zone persistence pipelines (attached via
+    /// [`ShardedGameCluster::attach_persistence`]).
+    persistence: Vec<Option<ZonePersistence>>,
 }
 
 impl std::fmt::Debug for ShardedGameCluster {
@@ -182,11 +243,13 @@ impl ShardedGameCluster {
             router: ZoneRouter::new(zones),
             servers,
             costs: ClusterCosts::default(),
+            border_exchange: BorderExchange::default(),
             clock: SimClock::new(),
             border_constructs: Vec::new(),
             construct_count: 0,
             details: Vec::new(),
             stats: ClusterStats::default(),
+            persistence: (0..zones).map(|_| None).collect(),
         }
     }
 
@@ -214,6 +277,185 @@ impl ShardedGameCluster {
     pub fn with_costs(mut self, costs: ClusterCosts) -> Self {
         self.costs = costs;
         self
+    }
+
+    /// Selects how border-construct state crosses zone seams, returning
+    /// the cluster. Defaults to [`BorderExchange::PerConstruct`] (the
+    /// classic zoned baseline); hybrid deployments use
+    /// [`BorderExchange::Batched`].
+    pub fn with_border_exchange(mut self, exchange: BorderExchange) -> Self {
+        self.border_exchange = exchange;
+        self
+    }
+
+    /// The configured border-exchange mode.
+    pub fn border_exchange(&self) -> BorderExchange {
+        self.border_exchange
+    }
+
+    /// Attaches a persistence pipeline to `zone`: a
+    /// [`PipelinedChunkService`] in front of `remote`, staging exactly the
+    /// owned dirty deltas the cluster tick drains (one zone never flushes
+    /// another zone's chunks). Every `write_back_interval` cluster ticks
+    /// the zone prefetches the owned terrain its players need and flushes
+    /// its dirty shards — the per-zone equivalent of `ServoDeployment`'s
+    /// persistence path, fed by the same `drain_owned_dirty` deltas the
+    /// border protocol consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone` is out of range.
+    pub fn attach_persistence(
+        &mut self,
+        zone: usize,
+        remote: BlobStore,
+        rng: SimRng,
+        write_back_interval: u64,
+    ) {
+        let workers = self.servers[zone].config().parallelism.max(1);
+        // Bind the world with an EMPTY pull set: the tick thread's
+        // `drain_owned_dirty` (step 3a) is the single consumer of the
+        // world's dirty flags, and it feeds the service via `stage_dirty`.
+        // If the service pulled dirty shards itself, its write-back worker
+        // would race the border protocol for the same destructive drain
+        // and mirroring would silently miss chunks. The world binding
+        // remains so write-back re-snapshots staged chunks from it.
+        let service = PipelinedChunkService::new(remote, rng, workers)
+            .with_world_shards(self.servers[zone].world_handle(), &[]);
+        self.persistence[zone] = Some(ZonePersistence {
+            service,
+            interval: write_back_interval.max(1),
+            ticks_since_pass: 0,
+            stats: ZonePersistenceStats::default(),
+        });
+    }
+
+    /// The persistence counters of one zone, or `None` when the zone has
+    /// no pipeline attached.
+    pub fn persistence_stats(&self, zone: usize) -> Option<ZonePersistenceStats> {
+        self.persistence
+            .get(zone)
+            .and_then(|p| p.as_ref())
+            .map(|p| p.stats)
+    }
+
+    /// The persistence counters summed over all zones.
+    pub fn persistence_stats_total(&self) -> ZonePersistenceStats {
+        let mut total = ZonePersistenceStats::default();
+        for persistence in self.persistence.iter().flatten() {
+            total.absorb(persistence.stats);
+        }
+        total
+    }
+
+    /// The cache-effectiveness counters of one zone's persistence
+    /// pipeline, or `None` when the zone has no pipeline attached.
+    pub fn persistence_cache_stats(&self, zone: usize) -> Option<servo_storage::CacheStats> {
+        self.persistence
+            .get(zone)
+            .and_then(|p| p.as_ref())
+            .map(|p| p.service.stats())
+    }
+
+    /// Runs `f` against one zone's persisted blob store (e.g. to inspect
+    /// what reached storage). Returns `None` when the zone has no pipeline
+    /// attached.
+    pub fn with_persisted<T>(&self, zone: usize, f: impl FnOnce(&mut BlobStore) -> T) -> Option<T> {
+        self.persistence
+            .get(zone)
+            .and_then(|p| p.as_ref())
+            .map(|p| p.service.with_remote(f))
+    }
+
+    /// Mirrors the dirty border chunks of `deltas` (owned by `zone`) into
+    /// the neighbouring zones' replica worlds, charging one message per
+    /// chunk and neighbour to `endpoints` and returning the message count.
+    /// Both consumers of a destructive `drain_owned_dirty` — the tick's
+    /// border protocol and a mid-run persistence flush — go through this,
+    /// so no drain can ever skip mirroring.
+    fn mirror_border_deltas(
+        &mut self,
+        zone: usize,
+        deltas: &[ShardDelta],
+        endpoints: &mut [u64],
+    ) -> u64 {
+        let mut messages = 0u64;
+        for delta in deltas {
+            for &pos in &delta.chunks {
+                let neighbors = self.map.neighbor_zones(pos);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                let chunk = self.servers[zone].world().read_chunk(pos, |c| c.clone());
+                let Some(chunk) = chunk else { continue };
+                for &neighbor in &neighbors {
+                    self.servers[neighbor].world().insert_chunk(chunk.clone());
+                    messages += 1;
+                    endpoints[zone] += 1;
+                    endpoints[neighbor] += 1;
+                    self.stats.border_chunk_updates += 1;
+                }
+            }
+        }
+        messages
+    }
+
+    /// Flushes all remaining dirty terrain of every zone through its
+    /// persistence pipeline and waits for the passes to complete. Returns
+    /// the total number of chunks written (zero when no zone has a
+    /// pipeline attached).
+    pub fn flush_persistence(&mut self) -> u64 {
+        let mut flushed = 0u64;
+        let zones = self.servers.len();
+        for zone in 0..zones {
+            // Check for a pipeline BEFORE draining: on zones without one,
+            // a drain here would destroy dirty flags the next tick's
+            // border protocol still needs.
+            if self.persistence[zone].is_none() {
+                continue;
+            }
+            // Stage whatever dirt the last tick left undrained — and since
+            // this drain is destructive, run the border mirroring for it
+            // too, or neighbour replicas would silently miss the chunks a
+            // mid-run checkpoint happened to flush. The messages are
+            // charged to the lifetime counters but to no tick (the flush
+            // runs between ticks).
+            let deltas = self.servers[zone].drain_owned_dirty();
+            let mut endpoints = vec![0u64; zones];
+            let messages = self.mirror_border_deltas(zone, &deltas, &mut endpoints);
+            self.stats.cross_server_messages += messages;
+            let persistence = self.persistence[zone].as_mut().expect("checked above");
+            persistence.service.stage_dirty(deltas);
+            let now = self.servers[zone].now();
+            let ticket = persistence.service.submit(ChunkRequest::write_back());
+            // The pass runs on the pipeline's worker pool; poll until its
+            // completion surfaces (completions are published before the
+            // pending count drops, so this terminates).
+            loop {
+                let mut done = false;
+                for completion in persistence.service.poll(now) {
+                    match completion.outcome {
+                        ChunkOutcome::WroteBack { chunks } => {
+                            persistence.stats.write_back_passes += 1;
+                            persistence.stats.chunks_flushed += chunks as u64;
+                            if completion.ticket == ticket {
+                                flushed += chunks as u64;
+                                done = true;
+                            }
+                        }
+                        ChunkOutcome::Loaded { .. } => {
+                            persistence.stats.prefetch_arrivals += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if done {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        flushed
     }
 
     /// Number of zones (member servers).
@@ -381,41 +623,82 @@ impl ShardedGameCluster {
             .collect();
 
         // 3a. Border protocol: mirror dirty border chunks to the zones
-        //     owning adjacent terrain. One message per chunk and neighbour;
-        //     the neighbour applies the fresh copy into its replica world.
+        //     owning adjacent terrain (one message per chunk and neighbour;
+        //     the neighbour applies the fresh copy into its replica world),
+        //     then route the same drained deltas into the zone's
+        //     persistence pipeline — draining happens exactly once per
+        //     tick, and both consumers see every owned dirty shard.
         for zone in 0..zones {
-            for delta in self.servers[zone].drain_owned_dirty() {
-                for pos in delta.chunks {
-                    let neighbors = self.map.neighbor_zones(pos);
-                    if neighbors.is_empty() {
-                        continue;
-                    }
-                    let chunk = self.servers[zone].world().read_chunk(pos, |c| c.clone());
-                    let Some(chunk) = chunk else { continue };
-                    for &neighbor in &neighbors {
-                        self.servers[neighbor].world().insert_chunk(chunk.clone());
-                        messages += 1;
-                        endpoints[zone] += 1;
-                        endpoints[neighbor] += 1;
-                        self.stats.border_chunk_updates += 1;
-                    }
-                }
+            let deltas = self.servers[zone].drain_owned_dirty();
+            messages += self.mirror_border_deltas(zone, &deltas, &mut endpoints);
+            if let Some(persistence) = self.persistence[zone].as_mut() {
+                persistence.service.stage_dirty(deltas);
             }
         }
 
         // 3b. Border constructs: on every tick their owner actually
         //     simulated constructs, state crosses to each involved
-        //     neighbour zone and is acknowledged (two messages each).
+        //     neighbour zone and is acknowledged. Per construct in the
+        //     classic baseline; bundled per (owner, neighbour) server pair
+        //     in the hybrid's batched exchange.
+        let mut exchange_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
         for border in &self.border_constructs {
             let work = reports[border.owner].work;
             if work.sc_local + work.sc_merged + work.sc_replayed == 0 {
                 continue;
             }
             for &neighbor in &border.neighbors {
-                messages += 2;
-                endpoints[border.owner] += 2;
-                endpoints[neighbor] += 2;
                 self.stats.construct_exchanges += 1;
+                match self.border_exchange {
+                    BorderExchange::PerConstruct => {
+                        messages += 2;
+                        endpoints[border.owner] += 2;
+                        endpoints[neighbor] += 2;
+                    }
+                    BorderExchange::Batched => {
+                        exchange_pairs.insert((border.owner, neighbor));
+                    }
+                }
+            }
+        }
+        for (owner, neighbor) in exchange_pairs {
+            messages += 2;
+            endpoints[owner] += 2;
+            endpoints[neighbor] += 2;
+        }
+
+        // 3c. Per-zone persistence: on the configured cadence each zone
+        //     prefetches the owned terrain its players need and flushes its
+        //     staged dirty shards through its PipelinedChunkService — zoned
+        //     clusters persist the way `ServoDeployment` does. Runs on the
+        //     pipeline's worker pool; nothing here is charged to the tick.
+        for zone in 0..zones {
+            let Some(persistence) = self.persistence[zone].as_mut() else {
+                continue;
+            };
+            let now = self.servers[zone].now();
+            persistence.ticks_since_pass += 1;
+            if persistence.ticks_since_pass >= persistence.interval {
+                persistence.ticks_since_pass = 0;
+                let view = self.servers[zone].config().view_distance_blocks;
+                let needed: Vec<ChunkPos> = required_chunks(&assignment.positions[zone], view)
+                    .into_iter()
+                    .filter(|&pos| map.zone_of_chunk(pos) == zone)
+                    .collect();
+                persistence.service.submit(ChunkRequest::prefetch(needed));
+                persistence.service.submit(ChunkRequest::write_back());
+            }
+            for completion in persistence.service.poll(now) {
+                match completion.outcome {
+                    ChunkOutcome::WroteBack { chunks } => {
+                        persistence.stats.write_back_passes += 1;
+                        persistence.stats.chunks_flushed += chunks as u64;
+                    }
+                    ChunkOutcome::Loaded { .. } => {
+                        persistence.stats.prefetch_arrivals += 1;
+                    }
+                    _ => {}
+                }
             }
         }
 
@@ -704,6 +987,64 @@ mod tests {
                 server.zone()
             );
         }
+    }
+
+    #[test]
+    fn mid_run_flush_still_mirrors_border_chunks() {
+        use servo_storage::{BlobTier, ObjectStore};
+
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, 21);
+        for zone in 0..4 {
+            cluster.attach_persistence(
+                zone,
+                BlobStore::new(BlobTier::Standard, SimRng::seed(100 + zone as u64)),
+                SimRng::seed(200 + zone as u64),
+                20,
+            );
+        }
+        let mut fleet = bounded_fleet(2, 22);
+        cluster.run_with_fleet(&mut fleet, SimDuration::from_secs(2));
+
+        // Dirty a loaded border chunk directly (between ticks), then flush
+        // BEFORE any further tick: the flush's destructive drain must still
+        // mirror the chunk to the neighbouring replicas.
+        let map = cluster.shard_map().clone();
+        let mut edited = None;
+        'search: for (zone, server) in cluster.servers().iter().enumerate() {
+            for pos in server.world().loaded_positions() {
+                if map.zone_of_chunk(pos) == zone && map.is_border_chunk(pos) {
+                    edited = Some((zone, pos));
+                    break 'search;
+                }
+            }
+        }
+        let (zone, pos) = edited.expect("spawn area must contain a border chunk");
+        let block = pos.min_block() + BlockPos::new(4, 9, 4);
+        cluster
+            .server(zone)
+            .world()
+            .set_block(block, servo_world::Block::Lamp)
+            .unwrap();
+        let mirrored_before = cluster.stats().border_chunk_updates;
+        let flushed = cluster.flush_persistence();
+        assert!(flushed > 0, "the dirty chunk never reached storage");
+        assert!(
+            cluster.stats().border_chunk_updates > mirrored_before,
+            "flush drained the chunk without mirroring it"
+        );
+        for neighbor in map.neighbor_zones(pos) {
+            assert_eq!(
+                cluster.server(neighbor).world().block(block),
+                Some(servo_world::Block::Lamp),
+                "zone {neighbor} missing the flush-time mirror of {pos:?}"
+            );
+        }
+        // The owning zone persisted it; nobody else did.
+        assert_eq!(
+            cluster.with_persisted(zone, |remote| remote
+                .contains(&format!("terrain/{}/{}", pos.x, pos.z))),
+            Some(true)
+        );
     }
 
     #[test]

@@ -56,10 +56,12 @@ pub mod multi;
 pub mod server;
 
 pub use backends::{
-    GenerationClock, LocalGenerationBackend, LocalScBackend, ScBackend, ScResolution,
+    GenerationClock, LocalGenerationBackend, LocalScBackend, PartitionedResolver, ResolutionPlan,
+    ScBackend, ScResolution,
 };
 pub use cluster::{
-    ClusterCosts, ClusterStats, ClusterTickDetail, ShardedGameCluster, ZoneTickBreakdown,
+    BorderExchange, ClusterCosts, ClusterStats, ClusterTickDetail, ShardedGameCluster,
+    ZonePersistenceStats, ZoneTickBreakdown,
 };
 pub use costs::{CostModel, TickWork};
 pub use multi::{ClusterTick, ReplicatedCluster, ZonedCluster};

@@ -32,8 +32,22 @@ impl ChunkIndex for OwnedTerrainView<'_> {
 
 use servo_storage::{ChunkOutcome, ChunkRequest, ChunkService};
 
-use crate::backends::{ScBackend, ScResolution};
+use crate::backends::{ResolutionPlan, ScBackend, ScResolution};
 use crate::costs::{CostModel, TickWork};
+
+/// Per-kind resolution tallies collected by the partitioned fan-out
+/// (indexed local / merged / replayed / skipped).
+type ResolutionCounts = [u64; 4];
+
+fn count_resolution(counts: &mut ResolutionCounts, resolution: ScResolution) {
+    let index = match resolution {
+        ScResolution::LocalSimulated => 0,
+        ScResolution::SpeculativeApplied => 1,
+        ScResolution::LoopReplayed => 2,
+        ScResolution::Skipped => 3,
+    };
+    counts[index] += 1;
+}
 
 /// Static configuration of a game-server instance.
 #[derive(Debug, Clone)]
@@ -472,12 +486,15 @@ impl GameServer {
             }
         }
 
-        // 3. Advance simulated constructs through the configured backend.
-        //    When the backend declares a uniform, stateless resolution for
-        //    this tick and parallelism is enabled, constructs are stepped on
-        //    scoped worker threads, partitioned by their owning world shard;
-        //    otherwise each construct goes through the sequential resolve
-        //    path. Both paths produce identical states and counters.
+        // 3. Advance simulated constructs through the configured backend's
+        //    resolution plan. A uniform plan steps constructs on scoped
+        //    worker threads with no backend involvement; a partitioned plan
+        //    fans per-construct resolution out through the backend's
+        //    thread-safe table (partitioned by owning world shard) and then
+        //    reconciles the backend's deferred state once; anything else
+        //    goes through the sequential resolve path. All paths produce
+        //    identical states and counters (asserted by the differential
+        //    suites in `servo-server` and `servo-core`).
         let threads = self
             .config
             .parallelism
@@ -490,11 +507,11 @@ impl GameServer {
             Some((map, zone)) => map.zone_of_shard(shard) == *zone,
             None => true,
         };
-        let uniform = self.sc_backend.parallel_resolution(self.tick);
-        match uniform {
-            Some(resolution @ (ScResolution::LocalSimulated | ScResolution::Skipped))
-                if threads > 1 =>
-            {
+        let plan = self.sc_backend.plan(self.tick);
+        match plan {
+            ResolutionPlan::Uniform(
+                resolution @ (ScResolution::LocalSimulated | ScResolution::Skipped),
+            ) if threads > 1 => {
                 let count = self
                     .constructs
                     .iter()
@@ -522,6 +539,60 @@ impl GameServer {
                 } else {
                     self.stats.sc_skipped += count as u64;
                 }
+            }
+            ResolutionPlan::Partitioned if threads > 1 => {
+                let tick = self.tick;
+                let counts = {
+                    let resolver = self
+                        .sc_backend
+                        .partitioned()
+                        .expect("a Partitioned plan must provide a partitioned resolver");
+                    let mut buckets: Vec<Vec<(ConstructId, usize, &mut Construct)>> =
+                        (0..threads).map(|_| Vec::new()).collect();
+                    for (id, shard, construct) in &mut self.constructs {
+                        if owns(*shard) {
+                            buckets[*shard % threads].push((*id, *shard, construct));
+                        }
+                    }
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = buckets
+                            .into_iter()
+                            .map(|bucket| {
+                                scope.spawn(move || {
+                                    let mut counts = ResolutionCounts::default();
+                                    for (id, shard, construct) in bucket {
+                                        let resolution = resolver
+                                            .resolve_partitioned(id, shard, construct, tick, now);
+                                        count_resolution(&mut counts, resolution);
+                                    }
+                                    counts
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().fold(
+                            ResolutionCounts::default(),
+                            |mut total, handle| {
+                                let counts =
+                                    handle.join().expect("construct worker must not panic");
+                                for (slot, value) in total.iter_mut().zip(counts) {
+                                    *slot += value;
+                                }
+                                total
+                            },
+                        )
+                    })
+                };
+                // Flush deferred statistics and platform invocations in the
+                // backend's deterministic order.
+                self.sc_backend.reconcile(tick, now);
+                let [local, merged, replayed, skipped] = counts;
+                work.sc_local += local as usize;
+                work.sc_merged += merged as usize;
+                work.sc_replayed += replayed as usize;
+                self.stats.sc_local += local;
+                self.stats.sc_merged += merged;
+                self.stats.sc_replayed += replayed;
+                self.stats.sc_skipped += skipped;
             }
             _ => {
                 for (id, shard, construct) in &mut self.constructs {
@@ -814,6 +885,105 @@ mod tests {
         }
         assert_eq!(sequential.stats().sc_local, parallel.stats().sc_local);
         assert_eq!(sequential.stats().sc_skipped, parallel.stats().sc_skipped);
+        for i in 0..24 {
+            let id = ConstructId::new(i);
+            assert_eq!(
+                sequential.construct(id).unwrap().state().hash(),
+                parallel.construct(id).unwrap().state().hash(),
+                "construct {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_plan_matches_sequential_and_reconciles_once_per_tick() {
+        use crate::backends::{PartitionedResolver, ResolutionPlan};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        /// A stateful backend exercising the partitioned fan-out: every
+        /// construct steps locally, resolutions are counted through the
+        /// shared table, and each tick must reconcile exactly once.
+        struct CountingPartitioned {
+            resolved: Arc<AtomicU64>,
+            reconciled: Arc<AtomicU64>,
+        }
+
+        impl PartitionedResolver for CountingPartitioned {
+            fn resolve_partitioned(
+                &self,
+                _id: ConstructId,
+                _shard: usize,
+                construct: &mut Construct,
+                _tick: Tick,
+                _now: SimTime,
+            ) -> ScResolution {
+                construct.step();
+                self.resolved.fetch_add(1, Ordering::Relaxed);
+                ScResolution::LocalSimulated
+            }
+        }
+
+        impl crate::backends::ScBackend for CountingPartitioned {
+            fn resolve(
+                &mut self,
+                id: ConstructId,
+                construct: &mut Construct,
+                tick: Tick,
+                now: SimTime,
+            ) -> ScResolution {
+                self.resolve_partitioned(id, 0, construct, tick, now)
+            }
+
+            fn plan(&mut self, _tick: Tick) -> ResolutionPlan {
+                ResolutionPlan::Partitioned
+            }
+
+            fn partitioned(&self) -> Option<&dyn PartitionedResolver> {
+                Some(self)
+            }
+
+            fn reconcile(&mut self, _tick: Tick, _now: SimTime) {
+                self.reconciled.fetch_add(1, Ordering::Relaxed);
+            }
+
+            fn name(&self) -> &'static str {
+                "counting-partitioned"
+            }
+        }
+
+        let build = |threads: usize| {
+            let resolved = Arc::new(AtomicU64::new(0));
+            let reconciled = Arc::new(AtomicU64::new(0));
+            let mut server = GameServer::new(
+                ServerConfig::opencraft()
+                    .with_view_distance(32)
+                    .with_parallelism(threads),
+                Box::new(CountingPartitioned {
+                    resolved: Arc::clone(&resolved),
+                    reconciled: Arc::clone(&reconciled),
+                }),
+                Box::new(LocalGenerationBackend::new(
+                    Box::new(FlatGenerator::default()),
+                    8,
+                )),
+                SimRng::seed(7),
+            );
+            server.add_constructs(24, |i| generators::dense_circuit(16 + i % 5));
+            (server, resolved, reconciled)
+        };
+        let (mut sequential, seq_resolved, _) = build(1);
+        let (mut parallel, par_resolved, par_reconciled) = build(4);
+        let positions = vec![BlockPos::new(8, 4, 8)];
+        for _ in 0..30 {
+            sequential.run_tick(&positions, &[]);
+            parallel.run_tick(&positions, &[]);
+        }
+        assert_eq!(seq_resolved.load(Ordering::Relaxed), 24 * 30);
+        assert_eq!(par_resolved.load(Ordering::Relaxed), 24 * 30);
+        // The fan-out reconciles exactly once per tick.
+        assert_eq!(par_reconciled.load(Ordering::Relaxed), 30);
+        assert_eq!(sequential.stats().sc_local, parallel.stats().sc_local);
         for i in 0..24 {
             let id = ConstructId::new(i);
             assert_eq!(

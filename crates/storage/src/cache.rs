@@ -63,6 +63,18 @@ impl CacheStats {
         self.memory_hits + self.disk_hits + self.prefetch_joins + self.remote_misses
     }
 
+    /// Adds another store's counters into this one — e.g. to aggregate the
+    /// per-shard segments of a sharded chunk service.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.memory_hits += other.memory_hits;
+        self.disk_hits += other.disk_hits;
+        self.prefetch_joins += other.prefetch_joins;
+        self.slow_prefetch_joins += other.slow_prefetch_joins;
+        self.remote_misses += other.remote_misses;
+        self.prefetches_issued += other.prefetches_issued;
+        self.write_backs += other.write_backs;
+    }
+
     /// Fraction of reads that did not require a synchronous remote fetch.
     ///
     /// Asynchronous services never fetch synchronously — a demand-read

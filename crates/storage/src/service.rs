@@ -251,6 +251,17 @@ pub trait ChunkService {
     /// observation and routing, not a way to lose work.
     fn drain_dirty(&mut self) -> Vec<ShardDelta>;
 
+    /// Stages externally drained dirty deltas into the service's write-back
+    /// working set, so the next [`ChunkRequest::WriteBack`] flushes them.
+    /// This is the inverse of [`ChunkService::drain_dirty`]: a consumer that
+    /// drains a world view itself (e.g. a zoned cluster running its border
+    /// protocol on `GameServer::drain_owned_dirty`) routes the deltas back
+    /// into its persistence service here. Services without a persistence
+    /// side (generation backends) ignore staged deltas.
+    fn stage_dirty(&mut self, deltas: Vec<ShardDelta>) {
+        let _ = deltas;
+    }
+
     /// Number of submitted requests whose final completion has not yet been
     /// returned by [`poll`](ChunkService::poll).
     fn pending(&self) -> usize;
@@ -267,13 +278,71 @@ pub trait ChunkService {
     fn name(&self) -> &'static str;
 }
 
+/// A cloneable [`ObjectStore`] handle sharing one backing store between
+/// the per-shard segments of a [`PipelinedChunkService`]: the store (and
+/// its latency RNG) stays a single cluster-wide resource, while each
+/// segment keeps its own cache and in-flight state. The lock is held only
+/// for the duration of one simulated storage operation.
+#[derive(Debug)]
+pub struct SharedRemote<R>(Arc<Mutex<R>>);
+
+impl<R> Clone for SharedRemote<R> {
+    fn clone(&self) -> Self {
+        SharedRemote(Arc::clone(&self.0))
+    }
+}
+
+impl<R> SharedRemote<R> {
+    fn new(inner: Arc<Mutex<R>>) -> Self {
+        SharedRemote(inner)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, R> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<R: ObjectStore> ObjectStore for SharedRemote<R> {
+    fn read(&mut self, key: &str, now: SimTime) -> Result<crate::backend::ReadResult, ServoError> {
+        self.lock().read(key, now)
+    }
+
+    fn write(
+        &mut self,
+        key: &str,
+        data: Vec<u8>,
+        now: SimTime,
+    ) -> Result<crate::backend::WriteResult, ServoError> {
+        self.lock().write(key, data, now)
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.lock().contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "shared-remote"
+    }
+}
+
 /// The state shared by the storage-backed service implementations: the
 /// cache, the optionally bound world (the dirty-delta source), the staged
 /// write-back working set, and the tickets waiting on in-flight transfers.
+/// [`SyncChunkService`] owns one core; [`PipelinedChunkService`] owns one
+/// *per world shard* so its storage workers overlap with each other.
 #[derive(Debug)]
 struct ServiceCore<R: ObjectStore> {
     cache: CachedChunkStore<R>,
     world: Option<Arc<ShardedWorld>>,
+    /// When set, dirty state is pulled from the bound world only for these
+    /// shards: each segment of a sharded pipeline pulls its own shard, and
+    /// a zone-restricted persistence service pulls only owned shards so one
+    /// zone never flushes another zone's chunks.
+    world_shards: Option<Vec<usize>>,
     /// Per-shard write-back working set: dirty chunks drained from the
     /// world/cache but not yet flushed to remote storage.
     staged: Vec<BTreeSet<ChunkPos>>,
@@ -297,10 +366,16 @@ impl<R: ObjectStore> ServiceCore<R> {
         ServiceCore {
             cache,
             world: None,
+            world_shards: None,
             staged: (0..shard_count).map(|_| BTreeSet::new()).collect(),
             waiting: HashMap::new(),
             shard_count,
         }
+    }
+
+    /// Stages one externally drained position for the next write-back.
+    fn stage(&mut self, pos: ChunkPos) {
+        self.staged[shard_index(pos, self.shard_count)].insert(pos);
     }
 
     fn set_shard_count(&mut self, shard_count: usize) {
@@ -322,7 +397,11 @@ impl<R: ObjectStore> ServiceCore<R> {
     fn absorb_dirty(&mut self) -> Vec<ShardDelta> {
         let mut merged: HashMap<usize, (u64, BTreeSet<ChunkPos>)> = HashMap::new();
         if let Some(world) = &self.world {
-            for delta in world.drain_dirty() {
+            let world_deltas = match &self.world_shards {
+                Some(shards) => world.drain_dirty_shards(shards),
+                None => world.drain_dirty(),
+            };
+            for delta in world_deltas {
                 // World shards and service shards use the same hash, but may
                 // differ in count; re-bucket defensively.
                 for pos in delta.chunks {
@@ -663,6 +742,14 @@ impl<R: ObjectStore> ChunkService for SyncChunkService<R> {
         self.core.absorb_dirty()
     }
 
+    fn stage_dirty(&mut self, deltas: Vec<ShardDelta>) {
+        for delta in deltas {
+            for pos in delta.chunks {
+                self.core.stage(pos);
+            }
+        }
+    }
+
     fn pending(&self) -> usize {
         self.ready.len() + self.core.waiting.values().map(Vec::len).sum::<usize>()
     }
@@ -674,23 +761,38 @@ impl<R: ObjectStore> ChunkService for SyncChunkService<R> {
 
 /// A job handed to the pipelined service's worker pool.
 enum Job {
-    /// One shard's (or the control lane's) batch of requests, executed in
-    /// priority order.
+    /// One shard segment's batch of read/prefetch requests, executed in
+    /// priority order under that segment's lock only.
     Batch {
+        segment: usize,
         now: SimTime,
         requests: Vec<(Ticket, ChunkRequest)>,
     },
-    /// Complete transfers that arrived by `now` and resolve their waiters.
+    /// Cross-shard maintenance (write-back, eviction), executed by visiting
+    /// the segments one at a time in ascending index order.
+    Control {
+        now: SimTime,
+        requests: Vec<(Ticket, ChunkRequest)>,
+    },
+    /// Complete transfers that arrived by `now` and resolve their waiters,
+    /// one segment at a time.
     Harvest { now: SimTime },
 }
 
 struct PipeShared<R: ObjectStore> {
-    core: Mutex<ServiceCore<R>>,
+    /// One service core per world shard. Workers on different shards run
+    /// concurrently; the only cross-segment resource is the shared remote
+    /// store (its own short-lived lock). Lock order: at most ONE segment
+    /// lock is held at a time (cross-shard jobs visit segments in ascending
+    /// order, releasing each before the next), and the remote/`done_tx`
+    /// locks are leaves taken under a segment lock — so the hierarchy is
+    /// segment → {remote | done_tx} and deadlock-free.
+    segments: Vec<Mutex<ServiceCore<SharedRemote<R>>>>,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
     /// Submitted requests not yet executed by a worker (deferred reads move
-    /// to the core's waiting map and are tracked there instead).
+    /// to the segments' waiting maps and are tracked there instead).
     unexecuted: AtomicUsize,
     /// Whether a harvest job is already queued (polls coalesce them).
     harvest_queued: AtomicBool,
@@ -702,6 +804,23 @@ struct PipeShared<R: ObjectStore> {
 }
 
 impl<R: ObjectStore> PipeShared<R> {
+    fn publish(&self, out: Vec<ChunkCompletion>) {
+        if out.is_empty() {
+            return;
+        }
+        let tx = self.done_tx.lock().unwrap_or_else(|e| e.into_inner());
+        for completion in out {
+            // The receiver only disappears during teardown.
+            let _ = tx.send(completion);
+        }
+    }
+
+    fn segment(&self, index: usize) -> std::sync::MutexGuard<'_, ServiceCore<SharedRemote<R>>> {
+        self.segments[index]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
     fn run_worker(&self) {
         loop {
             let job = {
@@ -719,14 +838,18 @@ impl<R: ObjectStore> PipeShared<R> {
                         .unwrap_or_else(|e| e.into_inner());
                 }
             };
-            let mut out = Vec::new();
-            let mut executed = 0usize;
-            {
-                let mut core = self.core.lock().unwrap_or_else(|e| e.into_inner());
-                match job {
-                    Job::Batch { now, mut requests } => {
-                        // Stable by descending priority: urgent reads first,
-                        // background maintenance last.
+            match job {
+                Job::Batch {
+                    segment,
+                    now,
+                    mut requests,
+                } => {
+                    let mut out = Vec::new();
+                    let mut executed = 0usize;
+                    {
+                        let mut core = self.segment(segment);
+                        // Stable by descending priority: urgent reads
+                        // first, prefetches after.
                         requests.sort_by_key(|(_, r)| std::cmp::Reverse(r.priority()));
                         for (ticket, request) in requests {
                             executed += 1;
@@ -740,49 +863,69 @@ impl<R: ObjectStore> PipeShared<R> {
                                 ChunkRequest::Prefetch { positions, .. } => {
                                     core.exec_prefetch(ticket, &positions, now);
                                 }
-                                ChunkRequest::WriteBack { .. } => {
-                                    let chunks = core.exec_write_back(now);
-                                    out.push(ChunkCompletion {
-                                        ticket,
-                                        outcome: ChunkOutcome::WroteBack { chunks },
-                                    });
-                                }
-                                ChunkRequest::Evict { keep, .. } => {
-                                    let chunks = core.exec_evict(&keep, now);
-                                    out.push(ChunkCompletion {
-                                        ticket,
-                                        outcome: ChunkOutcome::Evicted { chunks },
-                                    });
-                                }
+                                // Maintenance never lands on a shard lane.
+                                ChunkRequest::WriteBack { .. } | ChunkRequest::Evict { .. } => {}
                             }
                         }
+                        // Publish results while still holding the segment
+                        // lock: once a caller observes this segment
+                        // quiescent (`pending()` and `transfers_due()` take
+                        // the segment locks), every completion it produced
+                        // must already be in the channel.
+                        self.publish(out);
                     }
-                    Job::Harvest { now } => {
-                        self.harvest_queued.store(false, Ordering::Release);
-                        // Harvest at the freshest time any poll has
-                        // announced: the job may have waited in the queue
-                        // while virtual time moved on.
-                        let newest = SimTime::from_micros(
-                            self.latest_now.load(Ordering::Acquire).max(now.as_micros()),
-                        );
-                        core.harvest(newest, &mut out);
-                    }
-                }
-                // Publish results while still holding the core lock: once a
-                // caller observes quiescence (`pending()` and
-                // `transfers_due()` both take this lock), every completion
-                // produced so far must already be in the channel — sending
-                // after the release would let a drain loop exit between the
-                // state change and the send, losing completions.
-                if !out.is_empty() {
-                    let tx = self.done_tx.lock().unwrap_or_else(|e| e.into_inner());
-                    for completion in out {
-                        // The receiver only disappears during teardown.
-                        let _ = tx.send(completion);
-                    }
-                }
-                if executed > 0 {
                     self.unexecuted.fetch_sub(executed, Ordering::AcqRel);
+                }
+                Job::Control { now, mut requests } => {
+                    requests.sort_by_key(|(_, r)| std::cmp::Reverse(r.priority()));
+                    let executed = requests.len();
+                    let mut out = Vec::new();
+                    for (ticket, request) in requests {
+                        match request {
+                            ChunkRequest::WriteBack { .. } => {
+                                let mut chunks = 0;
+                                for segment in 0..self.segments.len() {
+                                    chunks += self.segment(segment).exec_write_back(now);
+                                }
+                                out.push(ChunkCompletion {
+                                    ticket,
+                                    outcome: ChunkOutcome::WroteBack { chunks },
+                                });
+                            }
+                            ChunkRequest::Evict { keep, .. } => {
+                                let mut chunks = 0;
+                                for segment in 0..self.segments.len() {
+                                    chunks += self.segment(segment).exec_evict(&keep, now);
+                                }
+                                out.push(ChunkCompletion {
+                                    ticket,
+                                    outcome: ChunkOutcome::Evicted { chunks },
+                                });
+                            }
+                            ChunkRequest::Read { .. } | ChunkRequest::Prefetch { .. } => {}
+                        }
+                    }
+                    // Publish before the pending count drops so a drain
+                    // loop that sees `pending() == 0` finds the completions
+                    // already in the channel.
+                    self.publish(out);
+                    self.unexecuted.fetch_sub(executed, Ordering::AcqRel);
+                }
+                Job::Harvest { now } => {
+                    self.harvest_queued.store(false, Ordering::Release);
+                    // Harvest at the freshest time any poll has announced:
+                    // the job may have waited in the queue while virtual
+                    // time moved on.
+                    let newest = SimTime::from_micros(
+                        self.latest_now.load(Ordering::Acquire).max(now.as_micros()),
+                    );
+                    for segment in 0..self.segments.len() {
+                        let mut core = self.segment(segment);
+                        let mut out = Vec::new();
+                        core.harvest(newest, &mut out);
+                        // Under the segment lock, as for batches.
+                        self.publish(out);
+                    }
                 }
             }
         }
@@ -794,12 +937,15 @@ impl<R: ObjectStore> PipeShared<R> {
 /// batched per owning world shard before they are handed to the pool, so
 /// the tick path pays neither transfer cost nor per-request dispatch cost.
 ///
-/// The workers drain jobs from one queue but mutate a *single shared
-/// service core* behind a mutex: the pool overlaps storage work with the
-/// tick thread and absorbs submission bursts, while mutation of the
-/// store state itself stays serialized (which keeps the final state
-/// bit-identical to [`SyncChunkService`]). Sharding the core so workers
-/// also overlap with each other is tracked in the ROADMAP.
+/// The workers drain jobs from one queue and mutate *per-shard core
+/// segments*, each behind its own mutex (the submission lanes were already
+/// per-shard): workers on different shards overlap with each other, not
+/// just with the tick thread. The only cross-segment resources are the
+/// shared remote store (one short-lived leaf lock around each simulated
+/// storage operation, so the store and its latency stream stay one
+/// cluster-wide resource) and the completion channel. Cross-shard
+/// maintenance (write-back, eviction) visits the segments one at a time in
+/// ascending index order, never holding two segment locks at once.
 ///
 /// Reads that miss the in-memory layer become background transfers: the
 /// completion arrives from a later [`poll`](ChunkService::poll) once the
@@ -818,14 +964,21 @@ pub struct PipelinedChunkService<R: ObjectStore + Send + 'static> {
     tickets: u64,
     now: SimTime,
     shard_count: usize,
+    /// The shared remote store handle (also held by every segment core).
+    remote: Arc<Mutex<R>>,
+    /// Base RNG the per-segment local-disk latency streams derive from.
+    disk_rng: servo_simkit::SimRng,
+    /// Worker threads, spawned lazily on first use so the world can still
+    /// be bound (rebuilding the segments) right after construction.
     workers: Vec<std::thread::JoinHandle<()>>,
+    workers_target: usize,
 }
 
 impl<R: ObjectStore + Send + 'static> std::fmt::Debug for PipelinedChunkService<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PipelinedChunkService")
-            .field("workers", &self.workers.len())
-            .field("shards", &self.shard_count)
+            .field("workers", &self.workers_target)
+            .field("segments", &self.shard_count)
             .field("pending", &self.pending())
             .finish()
     }
@@ -837,8 +990,10 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
     /// `ServerConfig::with_parallelism` at the deployment layer.
     pub fn new(remote: R, rng: servo_simkit::SimRng, workers: usize) -> Self {
         let (done_tx, done_rx) = channel();
+        let remote = Arc::new(Mutex::new(remote));
+        let shard_count = servo_world::DEFAULT_SHARDS;
         let shared = Arc::new(PipeShared {
-            core: Mutex::new(ServiceCore::new(remote, rng)),
+            segments: Self::build_segments(&remote, &rng, shard_count, None, None),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -847,16 +1002,6 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
             latest_now: AtomicU64::new(0),
             done_tx: Mutex::new(done_tx),
         });
-        let shard_count = servo_world::DEFAULT_SHARDS;
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("chunk-worker-{i}"))
-                    .spawn(move || shared.run_worker())
-                    .expect("spawning a chunk worker must succeed")
-            })
-            .collect();
         PipelinedChunkService {
             shared,
             done_rx,
@@ -865,74 +1010,155 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
             tickets: 0,
             now: SimTime::ZERO,
             shard_count,
-            workers,
+            remote,
+            disk_rng: rng,
+            workers: Vec::new(),
+            // Clamp the pool to the machine's parallelism: with the core
+            // sharded, every worker is genuinely runnable at once, and on
+            // a box with fewer cores than requested workers the surplus
+            // threads only preempt the tick thread (measured as multi-ms
+            // p99 spikes in `storage_async` on 1-core containers) without
+            // adding any overlap.
+            workers_target: workers.max(1).min(
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            ),
         }
+    }
+
+    /// Builds one service core per shard segment, each with its own derived
+    /// local-disk latency stream and (when bound) a pull view onto exactly
+    /// its own world shard — intersected with `owned` when the service
+    /// persists only a zone's slice of the world.
+    fn build_segments(
+        remote: &Arc<Mutex<R>>,
+        rng: &servo_simkit::SimRng,
+        shard_count: usize,
+        world: Option<&Arc<ShardedWorld>>,
+        owned: Option<&[usize]>,
+    ) -> Vec<Mutex<ServiceCore<SharedRemote<R>>>> {
+        (0..shard_count)
+            .map(|shard| {
+                let mut core = ServiceCore::new(
+                    SharedRemote::new(Arc::clone(remote)),
+                    rng.substream_indexed("segment", shard as u64),
+                );
+                core.set_shard_count(shard_count);
+                if let Some(world) = world {
+                    core.world = Some(Arc::clone(world));
+                    let pulls = match owned {
+                        Some(owned) if !owned.contains(&shard) => Vec::new(),
+                        _ => vec![shard],
+                    };
+                    core.world_shards = Some(pulls);
+                }
+                Mutex::new(core)
+            })
+            .collect()
+    }
+
+    /// Rebuilds the segments for a newly bound world. Only legal before the
+    /// workers have spawned (i.e. before the first submit/poll), which is
+    /// when the builder-style `with_world*` calls run.
+    fn rebind(&mut self, world: Arc<ShardedWorld>, owned: Option<Vec<usize>>) {
+        assert!(
+            self.workers.is_empty(),
+            "bind the world before submitting work to the service"
+        );
+        let shard_count = world.shard_count();
+        let segments = Self::build_segments(
+            &self.remote,
+            &self.disk_rng,
+            shard_count,
+            Some(&world),
+            owned.as_deref(),
+        );
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("no worker holds the shared state before the first spawn");
+        shared.segments = segments;
+        self.shard_count = shard_count;
+        self.lanes = (0..shard_count).map(|_| Vec::new()).collect();
     }
 
     /// Binds the world whose per-shard dirty deltas feed
     /// [`ChunkService::drain_dirty`] and write-back, aligning the service's
-    /// shard grouping with the world's shard count.
+    /// shard segmentation with the world's shard count.
     pub fn with_world(mut self, world: Arc<ShardedWorld>) -> Self {
-        let shard_count = world.shard_count();
-        {
-            let mut core = self.shared.core.lock().unwrap_or_else(|e| e.into_inner());
-            core.set_shard_count(shard_count);
-            core.world = Some(world);
-        }
-        self.shard_count = shard_count;
-        self.lanes = (0..shard_count).map(|_| Vec::new()).collect();
+        self.rebind(world, None);
         self
     }
 
-    /// Cache effectiveness counters (briefly locks the shared core).
+    /// Like [`PipelinedChunkService::with_world`], but pulls dirty state
+    /// only for the given world shards — the persistence view of one zone
+    /// of a sharded cluster, which must never flush chunks another zone
+    /// owns.
+    pub fn with_world_shards(mut self, world: Arc<ShardedWorld>, owned: &[usize]) -> Self {
+        self.rebind(world, Some(owned.to_vec()));
+        self
+    }
+
+    fn ensure_workers(&mut self) {
+        if !self.workers.is_empty() {
+            return;
+        }
+        self.workers = (0..self.workers_target)
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("chunk-worker-{i}"))
+                    .spawn(move || shared.run_worker())
+                    .expect("spawning a chunk worker must succeed")
+            })
+            .collect();
+    }
+
+    /// Cache effectiveness counters, summed over the shard segments
+    /// (briefly locks each segment in turn).
     pub fn stats(&self) -> CacheStats {
-        self.shared
-            .core
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .cache
-            .stats()
+        let mut total = CacheStats::default();
+        for segment in 0..self.shared.segments.len() {
+            total.merge(&self.shared.segment(segment).cache.stats());
+        }
+        total
     }
 
-    /// Number of chunks resident in the in-memory cache layer (briefly
-    /// locks the shared core).
+    /// Number of chunks resident in the in-memory cache layer, summed over
+    /// the shard segments.
     pub fn resident_chunks(&self) -> usize {
-        self.shared
-            .core
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .cache
-            .resident_chunks()
+        (0..self.shared.segments.len())
+            .map(|segment| self.shared.segment(segment).cache.resident_chunks())
+            .sum()
     }
 
-    /// Number of simulated transfers currently in flight (briefly locks
-    /// the shared core).
+    /// Number of simulated transfers currently in flight, summed over the
+    /// shard segments.
     pub fn transfers_in_flight(&self) -> usize {
-        self.shared
-            .core
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .cache
-            .transfers_in_flight()
+        (0..self.shared.segments.len())
+            .map(|segment| self.shared.segment(segment).cache.transfers_in_flight())
+            .sum()
     }
 
     /// Number of in-flight transfers due by `now` whose arrival has not
-    /// been harvested yet (briefly locks the shared core). Tests and
+    /// been harvested yet, summed over the shard segments. Tests and
     /// benches use this to detect quiescence at a given virtual time.
     pub fn transfers_due(&self, now: SimTime) -> usize {
-        self.shared
-            .core
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .cache
-            .transfers_due(now)
+        (0..self.shared.segments.len())
+            .map(|segment| self.shared.segment(segment).cache.transfers_due(now))
+            .sum()
     }
 
-    /// Runs `f` with the remote backend (briefly locks the shared core;
+    /// Number of worker threads the pool runs: the requested size clamped
+    /// to the machine's available parallelism.
+    pub fn worker_count(&self) -> usize {
+        self.workers_target
+    }
+
+    /// Runs `f` with the remote backend (briefly locks the shared store;
     /// e.g. to seed terrain before an experiment).
     pub fn with_remote<T>(&self, f: impl FnOnce(&mut R) -> T) -> T {
-        let mut core = self.shared.core.lock().unwrap_or_else(|e| e.into_inner());
-        f(core.cache.remote_mut())
+        let mut remote = self.remote.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut remote)
     }
 
     fn next_ticket(&mut self) -> Ticket {
@@ -944,7 +1170,11 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
         let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         queue.push_back(job);
         drop(queue);
-        self.shared.available.notify_all();
+        // One job, one worker: waking the whole pool for every enqueue
+        // stampedes the queue lock (and, on small machines, the
+        // scheduler). Sleeping workers each consume one job, so one
+        // wake-up per job keeps the pool exactly as busy as the backlog.
+        self.shared.available.notify_one();
     }
 }
 
@@ -992,22 +1222,28 @@ impl<R: ObjectStore + Send + 'static> ChunkService for PipelinedChunkService<R> 
 
     fn poll(&mut self, now: SimTime) -> Vec<ChunkCompletion> {
         self.now = now;
+        self.ensure_workers();
         self.shared
             .latest_now
             .fetch_max(now.as_micros(), Ordering::AcqRel);
-        // Flush the per-shard lanes and the control lane to the pool.
+        // Flush the per-shard lanes (each to its own segment) and the
+        // control lane to the pool.
         let mut batches = Vec::new();
-        for lane in self
-            .lanes
-            .iter_mut()
-            .chain(std::iter::once(&mut self.control))
-        {
+        for (segment, lane) in self.lanes.iter_mut().enumerate() {
             if !lane.is_empty() {
-                batches.push(std::mem::take(lane));
+                batches.push((segment, std::mem::take(lane)));
             }
         }
-        for requests in batches {
-            self.enqueue(Job::Batch { now, requests });
+        for (segment, requests) in batches {
+            self.enqueue(Job::Batch {
+                segment,
+                now,
+                requests,
+            });
+        }
+        if !self.control.is_empty() {
+            let requests = std::mem::take(&mut self.control);
+            self.enqueue(Job::Control { now, requests });
         }
         // One coalesced harvest per poll keeps sim-time arrivals flowing
         // even when no new requests were submitted.
@@ -1018,20 +1254,38 @@ impl<R: ObjectStore + Send + 'static> ChunkService for PipelinedChunkService<R> 
     }
 
     fn drain_dirty(&mut self) -> Vec<ShardDelta> {
-        self.shared
-            .core
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .absorb_dirty()
+        let mut deltas = Vec::new();
+        for segment in 0..self.shared.segments.len() {
+            deltas.extend(self.shared.segment(segment).absorb_dirty());
+        }
+        deltas.sort_by_key(|d| d.shard);
+        deltas
+    }
+
+    fn stage_dirty(&mut self, deltas: Vec<ShardDelta>) {
+        // Group per segment so each segment lock is taken once.
+        let mut by_segment: Vec<Vec<ChunkPos>> =
+            (0..self.shard_count).map(|_| Vec::new()).collect();
+        for delta in deltas {
+            for pos in delta.chunks {
+                by_segment[shard_index(pos, self.shard_count)].push(pos);
+            }
+        }
+        for (segment, positions) in by_segment.into_iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut core = self.shared.segment(segment);
+            for pos in positions {
+                core.stage(pos);
+            }
+        }
     }
 
     fn pending(&self) -> usize {
-        let waiting = self
-            .shared
-            .core
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .waiting_reads();
+        let waiting: usize = (0..self.shared.segments.len())
+            .map(|segment| self.shared.segment(segment).waiting_reads())
+            .sum();
         let unflushed: usize = self.lanes.iter().map(Vec::len).sum::<usize>() + self.control.len();
         self.shared.unexecuted.load(Ordering::Acquire) + waiting + unflushed
     }
@@ -1246,6 +1500,79 @@ mod tests {
             .iter()
             .any(|c| matches!(c.outcome, ChunkOutcome::Evicted { chunks: 7 })));
         assert_eq!(service.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn staged_external_deltas_feed_write_back() {
+        let world = Arc::new(ShardedWorld::flat(4));
+        world.ensure_chunk_at(ChunkPos::new(1, 1));
+        let mut service = PipelinedChunkService::new(seeded_remote(0), SimRng::seed(2), 2)
+            .with_world(Arc::clone(&world));
+        world
+            .set_block(
+                ChunkPos::new(1, 1).min_block() + BlockPos::new(2, 9, 2),
+                Block::Stone,
+            )
+            .unwrap();
+        // An external consumer (the cluster's border protocol) drains the
+        // world itself...
+        let deltas = world.drain_dirty();
+        assert_eq!(deltas.len(), 1);
+        // ...and routes the deltas back in: the next write-back still
+        // flushes the chunk even though the world's dirty sets are clean.
+        service.stage_dirty(deltas);
+        service.submit(ChunkRequest::write_back());
+        let completions = drain(&mut service, SimTime::ZERO);
+        assert!(completions
+            .iter()
+            .any(|c| matches!(c.outcome, ChunkOutcome::WroteBack { chunks: 1 })));
+        assert!(service.with_remote(|remote| remote.contains("terrain/1/1")));
+    }
+
+    #[test]
+    fn zone_restricted_service_never_flushes_foreign_shards() {
+        let world = Arc::new(ShardedWorld::flat(4));
+        // Find two chunks living in different world shards.
+        let a = ChunkPos::new(0, 0);
+        let mut b = ChunkPos::new(1, 0);
+        'search: for x in 0..16 {
+            for z in 0..16 {
+                let candidate = ChunkPos::new(x, z);
+                if world.shard_of(candidate) != world.shard_of(a) {
+                    b = candidate;
+                    break 'search;
+                }
+            }
+        }
+        assert_ne!(world.shard_of(a), world.shard_of(b));
+        world.ensure_chunk_at(a);
+        world.ensure_chunk_at(b);
+        let owned = vec![world.shard_of(a)];
+        let mut service = PipelinedChunkService::new(seeded_remote(0), SimRng::seed(2), 2)
+            .with_world_shards(Arc::clone(&world), &owned);
+        // Edit both chunks; only the owned shard's chunk may be flushed.
+        world
+            .set_block(a.min_block() + BlockPos::new(1, 9, 1), Block::Stone)
+            .unwrap();
+        world
+            .set_block(b.min_block() + BlockPos::new(1, 9, 1), Block::Lamp)
+            .unwrap();
+        let deltas = service.drain_dirty();
+        assert_eq!(
+            deltas.len(),
+            1,
+            "only the owned shard is pulled: {deltas:?}"
+        );
+        assert_eq!(deltas[0].chunks, vec![a]);
+        service.submit(ChunkRequest::write_back());
+        let completions = drain(&mut service, SimTime::ZERO);
+        assert!(completions
+            .iter()
+            .any(|c| matches!(c.outcome, ChunkOutcome::WroteBack { chunks: 1 })));
+        service.with_remote(|remote| {
+            assert_eq!(remote.len(), 1);
+            assert!(remote.contains(&format!("terrain/{}/{}", a.x, a.z)));
+        });
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Property tests for [`ShardMap`] invariants on zone seams: the border
+//! flag must agree with `zone_of_chunk` everywhere, `neighbor_zones` must
+//! be symmetric across a seam, and the shard→zone assignment must be a
+//! partition — the properties the cluster's border protocol (mirroring,
+//! construct exchange, per-zone persistence) silently depends on.
+
+use proptest::prelude::*;
+use servo_types::ChunkPos;
+use servo_world::{shard_index, ShardMap};
+
+fn lateral(pos: ChunkPos) -> [ChunkPos; 4] {
+    [
+        ChunkPos::new(pos.x - 1, pos.z),
+        ChunkPos::new(pos.x + 1, pos.z),
+        ChunkPos::new(pos.x, pos.z - 1),
+        ChunkPos::new(pos.x, pos.z + 1),
+    ]
+}
+
+proptest! {
+    /// `is_border_chunk` and `neighbor_zones` are exactly derivable from
+    /// `zone_of_chunk` over the lateral neighbourhood.
+    #[test]
+    fn border_flag_agrees_with_zone_of_chunk(
+        shards in 1usize..64,
+        zones in 1usize..16,
+        x in -64i32..64,
+        z in -64i32..64,
+    ) {
+        let map = ShardMap::contiguous(shards, zones);
+        let pos = ChunkPos::new(x, z);
+        let own = map.zone_of_chunk(pos);
+        prop_assert_eq!(own, map.zone_of_shard(shard_index(pos, map.shard_count())));
+        let differs = lateral(pos).iter().any(|&n| map.zone_of_chunk(n) != own);
+        prop_assert_eq!(map.is_border_chunk(pos), differs);
+        let neighbors = map.neighbor_zones(pos);
+        prop_assert_eq!(neighbors.is_empty(), !map.is_border_chunk(pos));
+        prop_assert!(!neighbors.contains(&own));
+        prop_assert!(neighbors.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        let mut expected: Vec<usize> = lateral(pos)
+            .iter()
+            .map(|&n| map.zone_of_chunk(n))
+            .filter(|&zone| zone != own)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(neighbors, expected);
+    }
+
+    /// A seam is visible from both of its sides: if zone B appears among
+    /// the neighbour zones of a chunk owned by A, the adjacent chunk owned
+    /// by B reports A among its neighbour zones — the property that makes
+    /// border-chunk mirroring and construct state exchange converge from
+    /// either endpoint.
+    #[test]
+    fn neighbor_zones_are_symmetric_across_seams(
+        shards in 1usize..64,
+        zones in 1usize..16,
+        x in -64i32..64,
+        z in -64i32..64,
+    ) {
+        let map = ShardMap::contiguous(shards, zones);
+        let pos = ChunkPos::new(x, z);
+        let own = map.zone_of_chunk(pos);
+        for neighbor in lateral(pos) {
+            let other = map.zone_of_chunk(neighbor);
+            if other != own {
+                prop_assert!(map.neighbor_zones(pos).contains(&other));
+                prop_assert!(map.neighbor_zones(neighbor).contains(&own));
+                prop_assert!(map.is_border_chunk(pos));
+                prop_assert!(map.is_border_chunk(neighbor));
+            }
+        }
+    }
+
+    /// The shard→zone assignment is a partition: every shard owned by
+    /// exactly one zone, and `zone_shards` agrees with `zone_of_shard`.
+    #[test]
+    fn zone_shards_partition_all_shards(shards in 1usize..64, zones in 1usize..64) {
+        let map = ShardMap::contiguous(shards, zones);
+        let mut seen = vec![0usize; map.shard_count()];
+        for zone in 0..map.zones() {
+            for &shard in map.zone_shards(zone) {
+                seen[shard] += 1;
+                prop_assert_eq!(map.zone_of_shard(shard), zone);
+            }
+        }
+        prop_assert!(seen.iter().all(|&count| count == 1));
+    }
+}
