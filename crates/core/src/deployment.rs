@@ -523,6 +523,18 @@ impl HybridDeployment {
         }
     }
 
+    /// Enables dynamic zone rebalancing on the underlying cluster. The
+    /// hybrid's speculative backends survive mid-run ownership changes:
+    /// when a shard migration moves a construct to another zone's server,
+    /// the source zone's `SpeculativeScBackend` releases its in-flight
+    /// speculation (counted as `discarded_migrated`) and the destination
+    /// zone re-establishes speculation from the construct's live state —
+    /// over the same shared platform, so billing and concurrency stay
+    /// cluster-level.
+    pub fn enable_rebalancing(&mut self, policy: servo_world::RebalancePolicy) {
+        self.cluster.enable_rebalancing(policy);
+    }
+
     /// Drives the cluster with a player fleet for `duration` of virtual
     /// time (persistence is driven inside the cluster tick).
     pub fn run_with_fleet(
@@ -720,6 +732,77 @@ mod tests {
         assert_eq!(hybrid.sc_platform_stats().invocations, per_zone);
         assert_eq!(hybrid.sc_billing().invocations(), per_zone);
         assert_eq!(hybrid.speculation_stats_total().invocations, per_zone);
+    }
+
+    #[test]
+    fn hybrid_speculation_survives_mid_run_ownership_changes() {
+        use servo_server::cluster::zone_hotspot_sites;
+        use servo_types::{BlockPos, SimTime};
+        use servo_workload::Hotspot;
+        use servo_world::{RebalanceConfig, RebalancePolicy};
+
+        let mut hybrid = ServoDeployment::builder()
+            .seed(83)
+            .view_distance(32)
+            .hybrid(4);
+        hybrid.enable_rebalancing(RebalancePolicy::new(RebalanceConfig {
+            warmup_ticks: 10,
+            evaluate_every: 5,
+            cooldown_ticks: 20,
+            trigger_ratio: 1.2,
+            min_gap_ms: 0.5,
+            max_migrations_per_step: 8,
+            ..RebalanceConfig::default()
+        }));
+        // Constructs inside the future-hot chunks: their speculation is in
+        // flight on zone 0's backend when the migration moves them away.
+        let sites = zone_hotspot_sites(hybrid.cluster.shard_map(), 0, 4);
+        for site in &sites {
+            let base = site.min_block() + BlockPos::new(2, 6, 2);
+            hybrid
+                .cluster
+                .add_construct(generators::dense_circuit(48).translated(base));
+        }
+        let mut fleet = bounded_fleet(40, 84);
+        fleet.set_hotspot(Hotspot {
+            targets: Hotspot::chunk_centers(&sites),
+            converge_at: SimTime::from_secs(2),
+            disperse_at: SimTime::from_secs(3_600),
+            travel_speed: 24.0,
+            dwell_radius: 4.0,
+        });
+        hybrid.run_with_fleet(&mut fleet, SimDuration::from_secs(12));
+
+        let rebalance = hybrid.cluster.rebalance_stats();
+        assert!(
+            rebalance.constructs_transferred > 0,
+            "no construct ever migrated: {rebalance:?}"
+        );
+        // Speculation kept working across the ownership change: constructs
+        // are still overwhelmingly served from offloaded results, and the
+        // shared platform's meter still matches the per-zone sum.
+        let stats = hybrid.cluster.server_stats_total();
+        assert!(
+            stats.sc_merged + stats.sc_replayed > stats.sc_local,
+            "offloading never recovered after migration: {stats:?}"
+        );
+        let speculation = hybrid.speculation_stats_total();
+        assert_eq!(
+            hybrid.sc_platform_stats().invocations,
+            speculation.invocations
+        );
+        // Every registered construct is still simulated by exactly one
+        // server — none was lost or duplicated by the handoff.
+        for index in 0..hybrid.cluster.construct_count() {
+            let (zone, id) = hybrid
+                .cluster
+                .construct_location(index)
+                .expect("registered construct");
+            assert!(
+                hybrid.cluster.server(zone).construct(id).is_some(),
+                "construct {index} missing from zone {zone} after migration"
+            );
+        }
     }
 
     #[test]

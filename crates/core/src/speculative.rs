@@ -126,6 +126,9 @@ pub struct SpeculationStats {
     /// Invocations whose results were discarded because the construct was
     /// modified while they were in flight.
     pub discarded_stale: u64,
+    /// Speculative sequences (in flight or awaiting application) dropped
+    /// because the construct's zone ownership migrated mid-run.
+    pub discarded_migrated: u64,
     /// Invocations that failed on the platform (timeout, concurrency).
     pub failed: u64,
     /// Construct-ticks served by applying a speculative state.
@@ -161,6 +164,7 @@ impl SpeculationStats {
     pub fn merge(&mut self, other: &SpeculationStats) {
         self.invocations += other.invocations;
         self.discarded_stale += other.discarded_stale;
+        self.discarded_migrated += other.discarded_migrated;
         self.failed += other.failed;
         self.speculative_applied += other.speculative_applied;
         self.loop_replayed += other.loop_replayed;
@@ -638,6 +642,23 @@ impl ScBackend for SpeculativeScBackend {
                 .get_mut(&deferred.id)
                 .expect("deferred action for a construct phase A never saw");
             self.apply_deferred(slot, deferred, now);
+        }
+    }
+
+    fn release(&mut self, id: ConstructId) {
+        // The construct is migrating to another zone's backend: drop its
+        // slot so a later reuse of the id on this server starts clean. A
+        // result still in flight (or available but unapplied) is counted as
+        // discarded — the offloaded steps are lost to the migration, the
+        // same way a modification mid-flight loses them. The new owner's
+        // backend re-establishes speculation from the construct's live
+        // state on its first resolve.
+        let mut guard = self.slot_shards[Self::slot_shard_of(id)].lock();
+        if let Some(slot) = guard.slots.remove(&id) {
+            let in_flight = slot.pending.is_some() as u64 + slot.available.is_some() as u64;
+            if in_flight > 0 {
+                self.stats.lock().discarded_migrated += in_flight;
+            }
         }
     }
 

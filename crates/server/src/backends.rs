@@ -121,6 +121,14 @@ pub trait ScBackend {
     /// a no-op for other plans.
     fn reconcile(&mut self, _tick: Tick, _now: SimTime) {}
 
+    /// Notifies the backend that construct `id` is leaving this server —
+    /// e.g. a zoned cluster migrating the construct's shard to another
+    /// zone. Backends holding per-construct state (in-flight speculation,
+    /// cached sequences) must drop it here so a later id reuse or a stale
+    /// completion cannot corrupt a construct the server no longer owns.
+    /// The default is a no-op, which is correct for stateless backends.
+    fn release(&mut self, _id: ConstructId) {}
+
     /// A short name for experiment output.
     fn name(&self) -> &'static str;
 }

@@ -37,7 +37,10 @@ use servo_simkit::{SimClock, SimRng};
 use servo_storage::{BlobStore, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService};
 use servo_types::{BlockPos, ChunkPos, ConstructId, PlayerId, SimDuration, SimTime};
 use servo_workload::{PlayerEvent, PlayerFleet, ZoneRouter};
-use servo_world::{required_chunks, ShardDelta, ShardMap, WorldKind};
+use servo_world::{
+    required_chunks, shard_index, RebalancePolicy, ShardDelta, ShardMap, ShardMigration, WorldKind,
+    ZoneLoadSample,
+};
 
 use crate::backends::{LocalGenerationBackend, LocalScBackend};
 use crate::multi::ClusterTick;
@@ -122,6 +125,41 @@ struct ZonePersistence {
     stats: ZonePersistenceStats,
 }
 
+impl ZonePersistence {
+    /// Submits one write-back pass and polls until its completion
+    /// surfaces, folding everything observed into the stats. Returns the
+    /// number of chunks the pass wrote. The pass runs on the pipeline's
+    /// worker pool; completions are published before the pending count
+    /// drops, so the wait terminates.
+    fn run_write_back_pass(&mut self, now: SimTime) -> u64 {
+        let ticket = self.service.submit(ChunkRequest::write_back());
+        let mut flushed = 0u64;
+        loop {
+            let mut done = false;
+            for completion in self.service.poll(now) {
+                match completion.outcome {
+                    ChunkOutcome::WroteBack { chunks } => {
+                        self.stats.write_back_passes += 1;
+                        self.stats.chunks_flushed += chunks as u64;
+                        if completion.ticket == ticket {
+                            flushed += chunks as u64;
+                            done = true;
+                        }
+                    }
+                    ChunkOutcome::Loaded { .. } => {
+                        self.stats.prefetch_arrivals += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if done {
+                return flushed;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// Lifetime counters of a cluster's cross-zone coordination.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClusterStats {
@@ -139,6 +177,54 @@ pub struct ClusterStats {
     /// Block events in border chunks forwarded to neighbouring zones (so
     /// replica terrain and cross-zone construct state observe the edit).
     pub forwarded_border_events: u64,
+}
+
+/// Lifetime counters of the dynamic rebalancing machinery — the cost side
+/// of the migration storms a [`RebalancePolicy`] triggers. All zero while
+/// no rebalancing is enabled or the policy never fires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceStats {
+    /// Migration batches applied (each batch is one policy decision).
+    pub rebalance_events: u64,
+    /// Individual shard ownership changes applied.
+    pub shard_migrations: u64,
+    /// Loaded chunks shipped from a shard's old owner to its new owner.
+    pub chunks_transferred: u64,
+    /// Constructs whose simulation state moved servers with their shard.
+    pub constructs_transferred: u64,
+    /// Staged-but-unflushed dirty chunks handed from the source zone's
+    /// persistence pipeline to the destination's during the quiesce.
+    pub staged_dirty_handed_off: u64,
+    /// Cross-server messages charged for migrations (control, chunk and
+    /// construct transfers) — a subset of
+    /// [`ClusterStats::cross_server_messages`].
+    pub migration_messages: u64,
+}
+
+/// One registered construct as the cluster tracks it: where it currently
+/// lives and which chunks its blocks cover, so a shard migration can move
+/// it and recompute its border relationships under the new ownership.
+#[derive(Debug, Clone)]
+struct RegisteredConstruct {
+    /// The zone currently simulating the construct.
+    zone: usize,
+    /// Its id *within that zone's server* (ids change when a construct is
+    /// adopted by a new server).
+    id: ConstructId,
+    /// The chunk of the blueprint's first block — its shard decides which
+    /// zone owns the construct. `None` for empty blueprints, which are
+    /// pinned to zone 0 and never migrate.
+    home: Option<ChunkPos>,
+    /// The distinct chunks the blueprint's blocks cover, ascending.
+    chunks: Vec<ChunkPos>,
+}
+
+/// The opt-in rebalancing state of a cluster.
+struct Rebalancer {
+    policy: RebalancePolicy,
+    /// Dirty chunk counts per shard accumulated since the last policy
+    /// observation (fed by the tick's owned-dirty drains).
+    shard_dirty: Vec<u64>,
 }
 
 /// One zone's share of a cluster tick.
@@ -164,6 +250,9 @@ pub struct ClusterTickDetail {
     pub zones: Vec<ZoneTickBreakdown>,
     /// Avatars handed off between zones at the start of this tick.
     pub handoffs: u64,
+    /// Shard migrations applied at this tick's boundary (zero unless a
+    /// rebalancing policy fired; their messages are charged to this tick).
+    pub shard_migrations: u64,
 }
 
 /// A border construct: simulated by `owner`, with block state spanning
@@ -189,20 +278,30 @@ pub struct ShardedGameCluster {
     costs: ClusterCosts,
     border_exchange: BorderExchange,
     clock: SimClock,
+    /// Derived from `registry` under the current map; rebuilt after every
+    /// migration batch.
     border_constructs: Vec<BorderConstruct>,
-    construct_count: usize,
+    /// Every registered construct, in registration order.
+    registry: Vec<RegisteredConstruct>,
     details: Vec<ClusterTickDetail>,
     stats: ClusterStats,
     /// Per-zone persistence pipelines (attached via
     /// [`ShardedGameCluster::attach_persistence`]).
     persistence: Vec<Option<ZonePersistence>>,
+    /// Opt-in dynamic rebalancing (see
+    /// [`ShardedGameCluster::enable_rebalancing`]).
+    rebalancer: Option<Rebalancer>,
+    rebalance_stats: RebalanceStats,
+    /// The previous tick's per-zone load samples, fed to the policy at the
+    /// next tick boundary. Empty until the first tick ran.
+    last_zone_loads: Vec<ZoneLoadSample>,
 }
 
 impl std::fmt::Debug for ShardedGameCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedGameCluster")
             .field("zones", &self.servers.len())
-            .field("constructs", &self.construct_count)
+            .field("constructs", &self.registry.len())
             .field("border_constructs", &self.border_constructs.len())
             .field("ticks", &self.stats.ticks)
             .finish()
@@ -246,10 +345,13 @@ impl ShardedGameCluster {
             border_exchange: BorderExchange::default(),
             clock: SimClock::new(),
             border_constructs: Vec::new(),
-            construct_count: 0,
+            registry: Vec::new(),
             details: Vec::new(),
             stats: ClusterStats::default(),
             persistence: (0..zones).map(|_| None).collect(),
+            rebalancer: None,
+            rebalance_stats: RebalanceStats::default(),
+            last_zone_loads: Vec::new(),
         }
     }
 
@@ -291,6 +393,42 @@ impl ShardedGameCluster {
     /// The configured border-exchange mode.
     pub fn border_exchange(&self) -> BorderExchange {
         self.border_exchange
+    }
+
+    /// Enables dynamic rebalancing: every tick the cluster feeds `policy`
+    /// the previous tick's per-zone loads and the avatar/dirty heat of
+    /// every shard, and applies whatever migrations it proposes at the
+    /// tick boundary (before routing, so avatars re-route to the new
+    /// owners in the same tick). A policy that never proposes leaves the
+    /// cluster tick-for-tick identical to a static one: the observation
+    /// path consumes no randomness, sends no messages, and touches no
+    /// clocks (asserted by the `cluster_equivalence` suite).
+    pub fn enable_rebalancing(&mut self, policy: RebalancePolicy) {
+        self.rebalancer = Some(Rebalancer {
+            policy,
+            shard_dirty: vec![0; self.map.shard_count()],
+        });
+    }
+
+    /// Builder-style [`ShardedGameCluster::enable_rebalancing`].
+    pub fn with_rebalancing(mut self, policy: RebalancePolicy) -> Self {
+        self.enable_rebalancing(policy);
+        self
+    }
+
+    /// Lifetime counters of the rebalancing machinery (all zero while no
+    /// policy is enabled or it never fired).
+    pub fn rebalance_stats(&self) -> RebalanceStats {
+        self.rebalance_stats
+    }
+
+    /// Where the `index`-th registered construct (in
+    /// [`ShardedGameCluster::add_construct`] order) currently lives:
+    /// `(zone, id within that zone's server)`. Migrations move constructs
+    /// between servers — and ids change on adoption — so this lookup is
+    /// the stable handle.
+    pub fn construct_location(&self, index: usize) -> Option<(usize, ConstructId)> {
+        self.registry.get(index).map(|entry| (entry.zone, entry.id))
     }
 
     /// Attaches a persistence pipeline to `zone`: a
@@ -427,33 +565,7 @@ impl ShardedGameCluster {
             let persistence = self.persistence[zone].as_mut().expect("checked above");
             persistence.service.stage_dirty(deltas);
             let now = self.servers[zone].now();
-            let ticket = persistence.service.submit(ChunkRequest::write_back());
-            // The pass runs on the pipeline's worker pool; poll until its
-            // completion surfaces (completions are published before the
-            // pending count drops, so this terminates).
-            loop {
-                let mut done = false;
-                for completion in persistence.service.poll(now) {
-                    match completion.outcome {
-                        ChunkOutcome::WroteBack { chunks } => {
-                            persistence.stats.write_back_passes += 1;
-                            persistence.stats.chunks_flushed += chunks as u64;
-                            if completion.ticket == ticket {
-                                flushed += chunks as u64;
-                                done = true;
-                            }
-                        }
-                        ChunkOutcome::Loaded { .. } => {
-                            persistence.stats.prefetch_arrivals += 1;
-                        }
-                        _ => {}
-                    }
-                }
-                if done {
-                    break;
-                }
-                std::thread::yield_now();
-            }
+            flushed += persistence.run_write_back_pass(now);
         }
         flushed
     }
@@ -511,7 +623,7 @@ impl ShardedGameCluster {
 
     /// Total constructs registered across all zones.
     pub fn construct_count(&self) -> usize {
-        self.construct_count
+        self.registry.len()
     }
 
     /// Number of registered constructs whose blocks span more than one
@@ -523,23 +635,234 @@ impl ShardedGameCluster {
     /// Registers a construct: the zone owning its first block simulates
     /// it, and if its blocks span further zones it becomes a border
     /// construct whose state is exchanged with those zones on every
-    /// simulated tick. Returns the owning zone and the id within it.
+    /// simulated tick. Returns the owning zone and the id within it (the
+    /// *initial* location: a later rebalance may move the construct; track
+    /// it via [`ShardedGameCluster::construct_location`]).
     pub fn add_construct(&mut self, blueprint: Blueprint) -> (usize, ConstructId) {
-        let involved = self
-            .map
-            .zones_of_blocks(blueprint.positions().iter().copied());
-        let owner = blueprint
+        let home = blueprint.positions().first().map(|&p| ChunkPos::from(p));
+        let mut chunks: Vec<ChunkPos> = blueprint
             .positions()
-            .first()
-            .map(|&p| self.map.zone_of_block(p))
-            .unwrap_or(0);
-        let neighbors: Vec<usize> = involved.into_iter().filter(|&z| z != owner).collect();
-        if !neighbors.is_empty() {
-            self.border_constructs
-                .push(BorderConstruct { owner, neighbors });
+            .iter()
+            .map(|&p| ChunkPos::from(p))
+            .collect();
+        chunks.sort_by_key(|p| (p.x, p.z));
+        chunks.dedup();
+        let owner = home.map(|c| self.map.zone_of_chunk(c)).unwrap_or(0);
+        let id = self.servers[owner].add_construct(blueprint);
+        self.registry.push(RegisteredConstruct {
+            zone: owner,
+            id,
+            home,
+            chunks,
+        });
+        let entry = self.registry.last().expect("pushed above");
+        if let Some(border) = Self::border_entry(&self.map, entry) {
+            self.border_constructs.push(border);
         }
-        self.construct_count += 1;
-        (owner, self.servers[owner].add_construct(blueprint))
+        (owner, id)
+    }
+
+    /// The border relationship of one registered construct under `map`, or
+    /// `None` when all its chunks live in its own zone.
+    fn border_entry(map: &ShardMap, entry: &RegisteredConstruct) -> Option<BorderConstruct> {
+        let mut neighbors: Vec<usize> = entry
+            .chunks
+            .iter()
+            .map(|&c| map.zone_of_chunk(c))
+            .filter(|&z| z != entry.zone)
+            .collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        if neighbors.is_empty() {
+            None
+        } else {
+            Some(BorderConstruct {
+                owner: entry.zone,
+                neighbors,
+            })
+        }
+    }
+
+    /// Recomputes the border-construct list from the registry under the
+    /// current map — run after every migration batch, because both a
+    /// construct's owner and its neighbour set can change when any shard
+    /// its blocks touch moves.
+    fn rebuild_border_constructs(&mut self) {
+        self.border_constructs = self
+            .registry
+            .iter()
+            .filter_map(|entry| Self::border_entry(&self.map, entry))
+            .collect();
+    }
+
+    /// Applies one batch of proposed shard migrations at a tick boundary,
+    /// charging every transfer to `endpoints` and returning the message
+    /// count. Per migration, in order:
+    ///
+    /// 1. *quiesce* — the source's dirty state for the shard is drained
+    ///    and border-mirrored (a destructive drain must mirror), and the
+    ///    staged-but-unflushed write-back set for the shard is pulled out
+    ///    of the source zone's persistence pipeline;
+    /// 2. *chunk transfer* — every loaded chunk of the shard is copied to
+    ///    the destination server's world and removed from the source's
+    ///    (one message per chunk, charged to both endpoint servers);
+    /// 3. *ownership flip* — [`ShardMap::migrate`] re-assigns the shard;
+    ///    every consumer of the shared map (restriction filters,
+    ///    persistence pull views, the router) sees the new owner from here
+    ///    on;
+    /// 4. *persistence handoff* — the quiesced dirty set is staged into
+    ///    the destination zone's pipeline, which owns the flush obligation
+    ///    from now on;
+    /// 5. *construct transfer* — constructs whose home chunk lives in the
+    ///    shard move servers with their full simulation state (two
+    ///    messages each: state + acknowledgement); the source backend
+    ///    releases any in-flight speculation for them.
+    ///
+    /// After the batch, border-construct relationships are rebuilt under
+    /// the new ownership. Avatars are *not* moved here: the router
+    /// re-routes them on this very tick, surfacing the moves as ordinary
+    /// (charged) handoffs.
+    fn apply_migrations(
+        &mut self,
+        migrations: &[ShardMigration],
+        endpoints: &mut [u64],
+    ) -> (u64, u64) {
+        let mut messages = 0u64;
+        let mut applied = 0u64;
+        for migration in migrations {
+            let shard = migration.shard;
+            let from = self.map.zone_of_shard(shard);
+            let to = migration.to;
+            // Revalidate against the live map: a stale or self-targeted
+            // proposal is dropped, never misapplied.
+            if from != migration.from || to == from || to >= self.servers.len() {
+                continue;
+            }
+            // Migration control: announcement + acknowledgement.
+            messages += 2;
+            endpoints[from] += 2;
+            endpoints[to] += 2;
+
+            // 1. Quiesce the shard's in-flight persistence. The drain is
+            //    destructive, so its border mirroring runs here (under the
+            //    pre-migration ownership) like every other drain consumer.
+            //    The staged write-back set is handed to the destination's
+            //    pipeline only when one exists; migrating towards a
+            //    pipeline-less zone instead flushes the source's staging
+            //    synchronously while its world still holds the chunks —
+            //    an obligation the source already accepted must never be
+            //    silently dropped.
+            let deltas = self.servers[from].world().drain_dirty_shards(&[shard]);
+            messages += self.mirror_border_deltas(from, &deltas, endpoints);
+            let destination_persists = self.persistence[to].is_some();
+            let now = self.servers[from].now();
+            let world = self.servers[from].world_handle();
+            let staged = match self.persistence[from].as_mut() {
+                Some(persistence) if destination_persists => {
+                    persistence.service.take_staged_shard(shard)
+                }
+                Some(persistence) => {
+                    // Destination has no pipeline to inherit the
+                    // obligation: flush exactly this shard's dirty set
+                    // synchronously to the source's store while the source
+                    // world still holds the chunks — the same terrain keys
+                    // and snapshot bytes its pipeline would write. Other
+                    // shards' staging keeps its normal cadence.
+                    use servo_storage::ObjectStore;
+                    let mut dirty: BTreeSet<ChunkPos> = persistence
+                        .service
+                        .take_staged_shard(shard)
+                        .into_iter()
+                        .collect();
+                    for delta in &deltas {
+                        dirty.extend(delta.chunks.iter().copied());
+                    }
+                    let written = persistence.service.with_remote(|remote| {
+                        let mut written = 0u64;
+                        for &pos in &dirty {
+                            let Some(snapshot) = world.read_chunk(pos, |c| c.snapshot()) else {
+                                continue;
+                            };
+                            let key = servo_storage::chunk_key(pos);
+                            if remote.write(&key, snapshot.bytes, now).is_ok() {
+                                written += 1;
+                            }
+                        }
+                        written
+                    });
+                    persistence.stats.chunks_flushed += written;
+                    Vec::new()
+                }
+                None => Vec::new(),
+            };
+            self.rebalance_stats.staged_dirty_handed_off += staged.len() as u64;
+
+            // 2. Transfer the shard's loaded chunks to the new owner.
+            let epoch = self.servers[from].world().shard_epoch(shard);
+            let positions = self.servers[from].world().shard_positions(shard);
+            let chunks: Vec<_> = positions
+                .iter()
+                .filter_map(|&pos| self.servers[from].world().read_chunk(pos, |c| c.clone()))
+                .collect();
+            let transferred = chunks.len() as u64;
+            self.servers[to].world().insert_chunks(chunks);
+            for &pos in &positions {
+                self.servers[from].world().remove_chunk(pos);
+            }
+            messages += transferred;
+            endpoints[from] += transferred;
+            endpoints[to] += transferred;
+            self.rebalance_stats.chunks_transferred += transferred;
+
+            // 3. Flip ownership. From here on the destination requests,
+            //    simulates and persists the shard's terrain.
+            self.map.migrate(shard, to);
+
+            // 4. Hand the write-back obligation to the new owner.
+            let mut dirty: BTreeSet<ChunkPos> = staged.into_iter().collect();
+            for delta in &deltas {
+                dirty.extend(delta.chunks.iter().copied());
+            }
+            if !dirty.is_empty() {
+                if let Some(persistence) = self.persistence[to].as_mut() {
+                    persistence.service.stage_dirty(vec![ShardDelta {
+                        shard,
+                        epoch,
+                        chunks: dirty.into_iter().collect(),
+                    }]);
+                }
+            }
+
+            // 5. Move the shard's constructs with their simulation state.
+            let shard_count = self.map.shard_count();
+            for index in 0..self.registry.len() {
+                let entry = &self.registry[index];
+                let Some(home) = entry.home else { continue };
+                if shard_index(home, shard_count) != shard || entry.zone != from {
+                    continue;
+                }
+                let construct = self.servers[from]
+                    .take_construct(entry.id)
+                    .expect("registered construct must exist on its zone server");
+                let new_id = self.servers[to].adopt_construct(construct);
+                let entry = &mut self.registry[index];
+                entry.zone = to;
+                entry.id = new_id;
+                messages += 2;
+                endpoints[from] += 2;
+                endpoints[to] += 2;
+                self.rebalance_stats.constructs_transferred += 1;
+            }
+
+            applied += 1;
+            self.rebalance_stats.shard_migrations += 1;
+        }
+        if applied > 0 {
+            self.rebalance_stats.rebalance_events += 1;
+            self.rebuild_border_constructs();
+        }
+        self.rebalance_stats.migration_messages += messages;
+        (messages, applied)
     }
 
     /// The per-tick details recorded so far.
@@ -575,15 +898,48 @@ impl ShardedGameCluster {
         events: &[(PlayerId, PlayerEvent)],
     ) -> ClusterTick {
         let zones = self.servers.len();
-        let map = Arc::clone(&self.map);
-        let mut assignment = self
-            .router
-            .route(positions, events, |p| map.zone_of_block(p));
-
         let mut messages = 0u64;
         // Message endpoints charged to each zone this tick (each message
         // burdens both its sender and its receiver).
         let mut endpoints = vec![0u64; zones];
+
+        // 0. Dynamic rebalancing (opt-in): feed the policy the previous
+        //    tick's per-zone loads plus the current shard-level heat, and
+        //    apply any proposed migrations at this boundary — before
+        //    routing, so the router hands affected avatars to their new
+        //    owners in this very tick (charged as ordinary handoffs) and
+        //    the migration storm lands in this tick's critical path. With
+        //    no policy, or a policy that proposes nothing, this block
+        //    leaves every observable byte of the tick unchanged.
+        let mut shard_migrations = 0u64;
+        if self.rebalancer.is_some() && !self.last_zone_loads.is_empty() {
+            let shard_count = self.map.shard_count();
+            let mut shard_avatars = vec![0u32; shard_count];
+            for &pos in positions {
+                shard_avatars[shard_index(ChunkPos::from(pos), shard_count)] += 1;
+            }
+            let rebalancer = self.rebalancer.as_mut().expect("checked above");
+            let proposed = rebalancer.policy.observe(
+                &self.map,
+                &self.last_zone_loads,
+                &shard_avatars,
+                &rebalancer.shard_dirty,
+            );
+            for slot in rebalancer.shard_dirty.iter_mut() {
+                *slot = 0;
+            }
+            if !proposed.is_empty() {
+                let (migration_messages, applied) =
+                    self.apply_migrations(&proposed, &mut endpoints);
+                messages += migration_messages;
+                shard_migrations = applied;
+            }
+        }
+
+        let map = Arc::clone(&self.map);
+        let mut assignment = self
+            .router
+            .route(positions, events, |p| map.zone_of_block(p));
 
         // 1a. Player handoffs: two messages per crossing avatar (session
         //     state transfer plus acknowledgement).
@@ -630,6 +986,13 @@ impl ShardedGameCluster {
         //     tick, and both consumers see every owned dirty shard.
         for zone in 0..zones {
             let deltas = self.servers[zone].drain_owned_dirty();
+            if let Some(rebalancer) = self.rebalancer.as_mut() {
+                for delta in &deltas {
+                    if let Some(slot) = rebalancer.shard_dirty.get_mut(delta.shard) {
+                        *slot += delta.chunks.len() as u64;
+                    }
+                }
+            }
             messages += self.mirror_border_deltas(zone, &deltas, &mut endpoints);
             if let Some(persistence) = self.persistence[zone].as_mut() {
                 persistence.service.stage_dirty(deltas);
@@ -722,10 +1085,21 @@ impl ShardedGameCluster {
             critical_path: critical,
             cross_server_messages: messages,
         };
+        // Feed the next tick boundary's policy observation: each zone's
+        // cost this tick (simulation + coordination) and its avatar count.
+        self.last_zone_loads = breakdown
+            .iter()
+            .map(|zone| ZoneLoadSample {
+                zone: zone.zone,
+                load_ms: (zone.duration + zone.coordination).as_millis_f64(),
+                avatars: zone.players,
+            })
+            .collect();
         self.details.push(ClusterTickDetail {
             tick,
             zones: breakdown,
             handoffs: assignment.handoffs.len() as u64,
+            shard_migrations,
         });
         self.stats.ticks += 1;
         self.stats.cross_server_messages += messages;
@@ -809,6 +1183,49 @@ pub fn border_construct_sites(map: &ShardMap, count: usize) -> Vec<ChunkPos> {
         ring += 1;
     }
     sites
+}
+
+/// Finds `count` chunks owned by `zone` of `map`, each in a *distinct*
+/// shard, scanning outward from the origin. These are the natural targets
+/// of a hotspot workload: players converging on them pile all their load
+/// onto one zone, yet across several shards — exactly the skew a
+/// [`RebalancePolicy`] can dissolve by migrating the hot shards apart
+/// (whereas a hotspot inside a single shard can only ever be relocated).
+///
+/// # Panics
+///
+/// Panics if fewer than `count` qualifying chunks exist within a 64-chunk
+/// radius (cannot happen for `count <=` the zone's shard count, since hash
+/// sharding scatters every shard's chunks across the plane).
+pub fn zone_hotspot_sites(map: &ShardMap, zone: usize, count: usize) -> Vec<ChunkPos> {
+    let mut sites = Vec::with_capacity(count);
+    let mut used_shards = Vec::new();
+    for ring in 0..64i32 {
+        for cx in -ring..=ring {
+            for cz in -ring..=ring {
+                if cx.abs().max(cz.abs()) != ring {
+                    continue;
+                }
+                let pos = ChunkPos::new(cx, cz);
+                if map.zone_of_chunk(pos) != zone {
+                    continue;
+                }
+                let shard = servo_world::shard_index(pos, map.shard_count());
+                if used_shards.contains(&shard) {
+                    continue;
+                }
+                used_shards.push(shard);
+                sites.push(pos);
+                if sites.len() == count {
+                    return sites;
+                }
+            }
+        }
+    }
+    panic!(
+        "only {} of {count} hotspot sites found for zone {zone}",
+        sites.len()
+    );
 }
 
 /// Translates `blueprint` so it starts eight blocks west of the eastern

@@ -325,7 +325,7 @@ impl GameServer {
     /// another zone's chunks.
     pub fn drain_owned_dirty(&self) -> Vec<ShardDelta> {
         match &self.ownership {
-            Some((map, zone)) => self.world.drain_dirty_shards(map.zone_shards(*zone)),
+            Some((map, zone)) => self.world.drain_dirty_shards(&map.zone_shards(*zone)),
             None => self.world.drain_dirty(),
         }
     }
@@ -367,6 +367,35 @@ impl GameServer {
         for i in 0..count {
             self.add_construct(builder(i));
         }
+    }
+
+    /// Removes construct `id` from this server and returns it with its
+    /// full simulation state — the source half of a cluster shard
+    /// migration. The construct backend is told to release any
+    /// per-construct state it holds (in-flight speculation, cached
+    /// sequences), so a later reuse of the id cannot observe stale state.
+    pub fn take_construct(&mut self, id: ConstructId) -> Option<Construct> {
+        let index = self.constructs.iter().position(|(cid, _, _)| *cid == id)?;
+        let (_, _, construct) = self.constructs.remove(index);
+        self.sc_backend.release(id);
+        Some(construct)
+    }
+
+    /// Adopts a construct taken from another server (the destination half
+    /// of a cluster shard migration), preserving its simulation state and
+    /// returning the id it carries *on this server*. The owning shard is
+    /// re-derived from the construct's first block, exactly like
+    /// [`GameServer::add_construct`] does.
+    pub fn adopt_construct(&mut self, construct: Construct) -> ConstructId {
+        let id = self.construct_ids.next();
+        let shard = construct
+            .blueprint()
+            .positions()
+            .first()
+            .map(|&p| self.world.shard_of(ChunkPos::from(p)))
+            .unwrap_or(0);
+        self.constructs.push((id, shard, construct));
+        id
     }
 
     /// Read access to a construct by id.

@@ -20,6 +20,14 @@ use servo_world::{shard_index, ChunkSnapshot, ShardDelta, ShardedWorld, DEFAULT_
 
 use crate::backend::{LocalDiskStore, ObjectStore};
 
+/// The canonical object-store key terrain chunks persist under. Every
+/// producer of persisted terrain — the cache write-back path, remote
+/// seeding, and the cluster's migration quiesce flush — must share this
+/// scheme, or recovery paths silently stop finding each other's bytes.
+pub fn chunk_key(pos: ChunkPos) -> String {
+    format!("terrain/{}/{}", pos.x, pos.z)
+}
+
 /// Where a chunk read was ultimately served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChunkLocation {
@@ -283,7 +291,7 @@ impl<R: ObjectStore> CachedChunkStore<R> {
     }
 
     fn key(pos: ChunkPos) -> String {
-        format!("terrain/{}/{}", pos.x, pos.z)
+        chunk_key(pos)
     }
 
     /// Inserts a freshly generated or modified chunk into the cache and

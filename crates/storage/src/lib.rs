@@ -33,7 +33,7 @@ pub mod playerdata;
 pub mod service;
 
 pub use backend::{BlobStore, BlobTier, LocalDiskStore, ObjectStore, ReadResult, WriteResult};
-pub use cache::{CacheStats, CachedChunkStore, CachedRead, ChunkLocation, TryRead};
+pub use cache::{chunk_key, CacheStats, CachedChunkStore, CachedRead, ChunkLocation, TryRead};
 pub use playerdata::{PlayerDataStore, PlayerLoad, PlayerRecord};
 pub use service::{
     ChunkCompletion, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService, Priority,

@@ -378,6 +378,15 @@ impl<R: ObjectStore> ServiceCore<R> {
         self.staged[shard_index(pos, self.shard_count)].insert(pos);
     }
 
+    /// Takes the staged write-back set of one shard (the migration-handoff
+    /// primitive; see `PipelinedChunkService::take_staged_shard`).
+    fn take_staged_shard(&mut self, shard: usize) -> Vec<ChunkPos> {
+        match self.staged.get_mut(shard) {
+            Some(set) => std::mem::take(set).into_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
     fn set_shard_count(&mut self, shard_count: usize) {
         let shard_count = shard_count.clamp(1, 1 << 10).next_power_of_two();
         self.shard_count = shard_count;
@@ -1161,6 +1170,32 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
         f(&mut remote)
     }
 
+    /// Removes and returns every *staged* (drained-but-not-yet-flushed)
+    /// write-back position belonging to world shard `shard`, across all
+    /// segments, sorted by `(x, z)`.
+    ///
+    /// This is the quiesce half of a shard-migration handoff: when a zoned
+    /// cluster moves a shard to another zone, the source zone's pipeline
+    /// must stop owing those chunks a flush — the cluster takes them here
+    /// and `stage_dirty`s them into the destination zone's pipeline, which
+    /// owns the write-back obligation from then on. Positions already
+    /// snapshotted by an in-flight write-back pass are flushed by the
+    /// source as usual (a harmless duplicate write); only the not-yet
+    /// started remainder is handed over.
+    pub fn take_staged_shard(&mut self, shard: usize) -> Vec<ChunkPos> {
+        // Every staging path routes a position to segment
+        // `shard_index(pos, shard_count)` and buckets it at the same index
+        // inside the segment (segments and buckets share one shard count),
+        // so shard `s`'s staged positions live only in segment `s` — one
+        // segment lock suffices.
+        if shard >= self.shared.segments.len() {
+            return Vec::new();
+        }
+        let mut positions = self.shared.segment(shard).take_staged_shard(shard);
+        positions.sort_by_key(|p| (p.x, p.z));
+        positions
+    }
+
     fn next_ticket(&mut self) -> Ticket {
         self.tickets += 1;
         Ticket(self.tickets)
@@ -1527,6 +1562,63 @@ mod tests {
             .iter()
             .any(|c| matches!(c.outcome, ChunkOutcome::WroteBack { chunks: 1 })));
         assert!(service.with_remote(|remote| remote.contains("terrain/1/1")));
+    }
+
+    #[test]
+    fn take_staged_shard_hands_off_the_write_back_obligation() {
+        let world = Arc::new(ShardedWorld::flat(4));
+        // Two chunks in different world shards, both dirtied and staged.
+        let a = ChunkPos::new(0, 0);
+        let mut b = ChunkPos::new(1, 0);
+        'search: for x in 0..16 {
+            for z in 0..16 {
+                let candidate = ChunkPos::new(x, z);
+                if world.shard_of(candidate) != world.shard_of(a) {
+                    b = candidate;
+                    break 'search;
+                }
+            }
+        }
+        assert_ne!(world.shard_of(a), world.shard_of(b));
+        world.ensure_chunk_at(a);
+        world.ensure_chunk_at(b);
+        let mut source = PipelinedChunkService::new(seeded_remote(0), SimRng::seed(7), 2)
+            .with_world_shards(Arc::clone(&world), &[]);
+        for &pos in &[a, b] {
+            world
+                .set_block(pos.min_block() + BlockPos::new(2, 9, 2), Block::Stone)
+                .unwrap();
+        }
+        source.stage_dirty(world.drain_dirty());
+
+        // Quiesce: shard `a` leaves the source's staging (the migration
+        // handoff); a repeated take is empty.
+        let taken = source.take_staged_shard(world.shard_of(a));
+        assert_eq!(taken, vec![a]);
+        assert!(source.take_staged_shard(world.shard_of(a)).is_empty());
+
+        // The source now owes a flush only for `b`.
+        source.submit(ChunkRequest::write_back());
+        let completions = drain(&mut source, SimTime::ZERO);
+        assert!(completions
+            .iter()
+            .any(|c| matches!(c.outcome, ChunkOutcome::WroteBack { chunks: 1 })));
+        assert!(!source.with_remote(|remote| remote.contains("terrain/0/0")));
+
+        // The destination, staged with the taken set, owes `a`'s flush.
+        let mut destination = PipelinedChunkService::new(seeded_remote(0), SimRng::seed(8), 2)
+            .with_world_shards(Arc::clone(&world), &[]);
+        destination.stage_dirty(vec![ShardDelta {
+            shard: world.shard_of(a),
+            epoch: 1,
+            chunks: taken,
+        }]);
+        destination.submit(ChunkRequest::write_back());
+        let completions = drain(&mut destination, SimTime::ZERO);
+        assert!(completions
+            .iter()
+            .any(|c| matches!(c.outcome, ChunkOutcome::WroteBack { chunks: 1 })));
+        assert!(destination.with_remote(|remote| remote.contains("terrain/0/0")));
     }
 
     #[test]

@@ -1,10 +1,59 @@
 //! A fleet of players joining a game instance over time.
 
 use servo_simkit::SimRng;
-use servo_types::{BlockPos, PlayerId, SimDuration, SimTime};
+use servo_types::{consts, BlockPos, BlocksPerSecond, ChunkPos, PlayerId, SimDuration, SimTime};
 
 use crate::avatar::{Avatar, PlayerEvent};
 use crate::behavior::{Behavior, BehaviorKind};
+
+/// A scripted load-skew scenario layered over a fleet's base behaviour:
+/// the hotspot workload of the zone-rebalancing experiments.
+///
+/// From `converge_at` every avatar abandons its base behaviour and walks
+/// to its assigned hotspot target (`targets[player_index % targets.len()]`),
+/// then dwells on a small deterministic ring around it; from `disperse_at`
+/// avatars walk home and resume their base behaviour once they reach their
+/// spawn point. Pointing all targets at chunks owned by one zone
+/// concentrates the whole fleet's simulation load on that zone's server —
+/// the imbalance a static `ShardMap` cannot answer and a rebalancing
+/// cluster migrates its way out of.
+///
+/// The scripted phases consume no randomness and depend only on the
+/// avatar's id and the virtual time, so a hotspot fleet advances
+/// identically through [`PlayerFleet::tick`] and
+/// [`PlayerFleet::tick_parallel`], for every thread count.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    /// Hotspot centers in world coordinates; avatar `i` converges on
+    /// `targets[i % targets.len()]`.
+    pub targets: Vec<(f64, f64)>,
+    /// When avatars start walking towards their targets.
+    pub converge_at: SimTime,
+    /// When avatars head home again.
+    pub disperse_at: SimTime,
+    /// Walking speed during the scripted phases, in blocks per second.
+    pub travel_speed: f64,
+    /// Radius of the dwell ring around each target, in blocks. Keep it
+    /// below half a chunk (8 blocks) so every dweller stays inside the
+    /// target's chunk — and therefore its shard.
+    pub dwell_radius: f64,
+}
+
+impl Hotspot {
+    /// The block-space centers of whole-chunk hotspot sites — the target
+    /// convention used when players should converge on specific chunks
+    /// (and so land inside specific world shards).
+    pub fn chunk_centers(sites: &[ChunkPos]) -> Vec<(f64, f64)> {
+        let half = consts::CHUNK_SIZE as f64 / 2.0;
+        sites
+            .iter()
+            .map(|site| {
+                let base = site.min_block();
+                (base.x as f64 + half, base.z as f64 + half)
+            })
+            .collect()
+    }
+}
 
 /// A set of synthetic players connected (or connecting) to one game
 /// instance.
@@ -28,6 +77,11 @@ pub struct PlayerFleet {
     join_interval: Option<SimDuration>,
     /// Spawn location of all players.
     spawn: (f64, f64),
+    /// Optional scripted hotspot scenario overriding the base behaviour.
+    hotspot: Option<Hotspot>,
+    /// Per-avatar flag: reached home again after the hotspot dispersed
+    /// (base behaviour resumed for good).
+    hotspot_returned: Vec<bool>,
 }
 
 impl PlayerFleet {
@@ -42,6 +96,58 @@ impl PlayerFleet {
             target_players: 0,
             join_interval: None,
             spawn: (8.0, 8.0),
+            hotspot: None,
+            hotspot_returned: Vec::new(),
+        }
+    }
+
+    /// Installs a scripted [`Hotspot`] scenario over the fleet's base
+    /// behaviour (replacing any previous one).
+    pub fn set_hotspot(&mut self, hotspot: Hotspot) {
+        self.hotspot_returned = vec![false; self.avatars.len()];
+        self.hotspot = Some(hotspot);
+    }
+
+    /// Advances one avatar through the scripted hotspot phases, returning
+    /// `true` when the script controlled the avatar this tick (the base
+    /// behaviour is skipped, no randomness is consumed).
+    fn hotspot_act(
+        hotspot: &Hotspot,
+        avatar: &mut Avatar,
+        returned: &mut bool,
+        now: SimTime,
+        dt: SimDuration,
+    ) -> bool {
+        if hotspot.targets.is_empty() || now < hotspot.converge_at {
+            return false;
+        }
+        let speed = BlocksPerSecond::new(hotspot.travel_speed.max(0.1));
+        let index = avatar.id.raw() as usize;
+        if now < hotspot.disperse_at {
+            *returned = false;
+            let (cx, cz) = hotspot.targets[index % hotspot.targets.len()];
+            // Deterministic dwell point: a golden-angle ring spreads the
+            // avatars over the target chunk without stacking on one block.
+            let angle = index as f64 * 2.399_963_229_728_653;
+            let radius = hotspot.dwell_radius.max(0.5) * (0.4 + 0.6 * (index % 7) as f64 / 6.0);
+            avatar.move_towards(
+                cx + angle.cos() * radius,
+                cz + angle.sin() * radius,
+                speed,
+                dt,
+            );
+            true
+        } else if *returned {
+            false
+        } else {
+            let (sx, sz) = avatar.spawn();
+            avatar.move_towards(sx, sz, speed, dt);
+            let dx = avatar.x - sx;
+            let dz = avatar.z - sz;
+            if (dx * dx + dz * dz).sqrt() < 1.5 {
+                *returned = true;
+            }
+            true
         }
     }
 
@@ -75,6 +181,7 @@ impl PlayerFleet {
             .push(Behavior::new(self.kind, index, self.target_players.max(1)));
         self.rngs
             .push(self.rng.substream_indexed("avatar", index as u64));
+        self.hotspot_returned.push(false);
     }
 
     /// Number of players currently connected.
@@ -105,7 +212,18 @@ impl PlayerFleet {
     pub fn tick(&mut self, now: SimTime, dt: SimDuration) -> Vec<(PlayerId, PlayerEvent)> {
         self.process_joins(now);
         let mut events = Vec::new();
-        for (avatar, behavior) in self.avatars.iter_mut().zip(self.behaviors.iter_mut()) {
+        let hotspot = self.hotspot.as_ref();
+        for (index, (avatar, behavior)) in self
+            .avatars
+            .iter_mut()
+            .zip(self.behaviors.iter_mut())
+            .enumerate()
+        {
+            if let Some(hotspot) = hotspot {
+                if Self::hotspot_act(hotspot, avatar, &mut self.hotspot_returned[index], now, dt) {
+                    continue;
+                }
+            }
             for event in behavior.act(avatar, dt, &mut self.rng) {
                 events.push((avatar.id, event));
             }
@@ -139,22 +257,32 @@ impl PlayerFleet {
         let mut behavior_slices: Vec<&mut [Behavior]> =
             self.behaviors.chunks_mut(per_worker).collect();
         let mut rng_slices: Vec<&mut [SimRng]> = self.rngs.chunks_mut(per_worker).collect();
+        let mut returned_slices: Vec<&mut [bool]> =
+            self.hotspot_returned.chunks_mut(per_worker).collect();
+        let hotspot = self.hotspot.as_ref();
 
         let mut per_worker_events: Vec<Vec<(PlayerId, PlayerEvent)>> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(threads);
-                for ((avatars, behaviors), rngs) in avatar_slices
+                for (((avatars, behaviors), rngs), returned) in avatar_slices
                     .drain(..)
                     .zip(behavior_slices.drain(..))
                     .zip(rng_slices.drain(..))
+                    .zip(returned_slices.drain(..))
                 {
                     handles.push(scope.spawn(move || {
                         let mut events = Vec::new();
-                        for ((avatar, behavior), rng) in avatars
+                        for (((avatar, behavior), rng), returned) in avatars
                             .iter_mut()
                             .zip(behaviors.iter_mut())
                             .zip(rngs.iter_mut())
+                            .zip(returned.iter_mut())
                         {
+                            if let Some(hotspot) = hotspot {
+                                if Self::hotspot_act(hotspot, avatar, returned, now, dt) {
+                                    continue;
+                                }
+                            }
                             for event in behavior.act(avatar, dt, rng) {
                                 events.push((avatar.id, event));
                             }
@@ -293,6 +421,90 @@ mod tests {
         assert_eq!(fleet.connected_players(), 4);
         fleet.tick_parallel(SimTime::from_secs(1000), TICK, 32);
         assert_eq!(fleet.connected_players(), 10);
+    }
+
+    fn hotspot(targets: Vec<(f64, f64)>) -> Hotspot {
+        Hotspot {
+            targets,
+            converge_at: SimTime::from_secs(2),
+            disperse_at: SimTime::from_secs(30),
+            travel_speed: 8.0,
+            dwell_radius: 4.0,
+        }
+    }
+
+    #[test]
+    fn hotspot_converges_then_disperses() {
+        let mut fleet = PlayerFleet::new(BehaviorKind::Bounded { radius: 20.0 }, SimRng::seed(9));
+        fleet.connect_all(12);
+        fleet.set_hotspot(hotspot(vec![(120.0, 80.0), (-100.0, 40.0)]));
+        let mut now = SimTime::ZERO;
+        // Before converge_at: ordinary bounded wandering near spawn.
+        for _ in 0..20 {
+            now += TICK;
+            fleet.tick(now, TICK);
+        }
+        assert!(fleet
+            .avatars()
+            .iter()
+            .all(|a| a.distance_from_spawn() < 25.0));
+        // Converge phase: everyone ends up on their target's dwell ring.
+        while now < SimTime::from_secs(29) {
+            now += TICK;
+            fleet.tick(now, TICK);
+        }
+        for (i, avatar) in fleet.avatars().iter().enumerate() {
+            let (tx, tz) = if i % 2 == 0 {
+                (120.0, 80.0)
+            } else {
+                (-100.0, 40.0)
+            };
+            let distance = ((avatar.x - tx).powi(2) + (avatar.z - tz).powi(2)).sqrt();
+            assert!(distance <= 4.5, "avatar {i} is {distance} blocks out");
+        }
+        // Disperse phase: everyone walks home and resumes base behaviour.
+        while now < SimTime::from_secs(70) {
+            now += TICK;
+            fleet.tick(now, TICK);
+        }
+        assert!(
+            fleet
+                .avatars()
+                .iter()
+                .all(|a| a.distance_from_spawn() < 25.0),
+            "avatars never came home"
+        );
+    }
+
+    #[test]
+    fn hotspot_is_identical_across_tick_paths() {
+        let build = || {
+            let mut fleet =
+                PlayerFleet::new(BehaviorKind::Bounded { radius: 20.0 }, SimRng::seed(4));
+            fleet.connect_all(10);
+            fleet.set_hotspot(hotspot(vec![(96.0, -64.0)]));
+            fleet
+        };
+        let mut sequential = build();
+        let mut parallel = build();
+        let mut now = SimTime::ZERO;
+        for _ in 0..(20 * 40) {
+            now += TICK;
+            // Scripted phases consume no randomness, so even the
+            // sequential shared-stream path matches tick_parallel while
+            // the hotspot is in control (from 2 s in).
+            if now >= SimTime::from_secs(2) {
+                let a = sequential.tick_parallel(now, TICK, 1);
+                let b = parallel.tick_parallel(now, TICK, 4);
+                assert_eq!(a, b);
+            } else {
+                sequential.tick_parallel(now, TICK, 1);
+                parallel.tick_parallel(now, TICK, 4);
+            }
+        }
+        for (a, b) in sequential.avatars().iter().zip(parallel.avatars()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod zoning;
 
 pub use avatar::{Avatar, PlayerEvent};
 pub use behavior::{Behavior, BehaviorKind};
-pub use fleet::PlayerFleet;
+pub use fleet::{Hotspot, PlayerFleet};
 pub use zoning::{Handoff, ZoneAssignment, ZoneRouter};

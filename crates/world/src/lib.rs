@@ -24,6 +24,7 @@
 pub mod block;
 pub mod chunk;
 pub mod partition;
+pub mod rebalance;
 pub mod sharded;
 pub mod view;
 pub mod world;
@@ -31,6 +32,7 @@ pub mod world;
 pub use block::Block;
 pub use chunk::{Chunk, ChunkSnapshot};
 pub use partition::ShardMap;
+pub use rebalance::{RebalanceConfig, RebalancePolicy, ShardMigration, ZoneLoadSample};
 pub use sharded::{
     chunk_hash, shard_index, FxBuildHasher, FxHasher, ShardDelta, ShardedWorld, DEFAULT_SHARDS,
 };

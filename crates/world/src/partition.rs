@@ -20,6 +20,19 @@
 //! * which shards a zone owns ([`ShardMap::zone_shards`]), the argument to
 //!   the per-zone dirty-drain view
 //!   [`ShardedWorld::drain_dirty_shards`](crate::ShardedWorld::drain_dirty_shards).
+//!
+//! The assignment is *dynamic*: [`ShardMap::migrate`] re-assigns one shard
+//! to a new zone through a shared `&self` reference, so a cluster can
+//! rebalance ownership at a tick boundary while every layer holding the
+//! same `Arc<ShardMap>` (restriction filters, persistence pull views,
+//! border mirroring) observes the new ownership on its next query. Each
+//! successful migration bumps [`ShardMap::version`]. Border and neighbour
+//! queries are *derived* from the per-shard cells on every call, so they
+//! can never go stale relative to `zone_of_chunk` — the invariant the
+//! `shard_map` property suite pins down across arbitrary migration
+//! sequences.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use servo_types::{BlockPos, ChunkPos};
 
@@ -27,10 +40,13 @@ use crate::sharded::shard_index;
 
 /// An assignment of world shards to zones (servers) for a zoned cluster.
 ///
-/// Shards are assigned in contiguous, balanced blocks: shard `s` belongs to
+/// Shards start out in contiguous, balanced blocks: shard `s` belongs to
 /// zone `s * zones / shard_count`. With a power-of-two shard count and
-/// `zones <= shard_count` every zone owns either `floor` or `ceil` of
-/// `shard_count / zones` shards.
+/// `zones <= shard_count` every zone initially owns either `floor` or
+/// `ceil` of `shard_count / zones` shards. [`ShardMap::migrate`] can then
+/// re-assign individual shards; every shard is owned by exactly one zone at
+/// all times (each shard is a single ownership cell), and a zone may
+/// temporarily own no shards at all.
 ///
 /// # Example
 ///
@@ -43,18 +59,59 @@ use crate::sharded::shard_index;
 /// // Every chunk belongs to exactly one zone.
 /// let zone = map.zone_of_chunk(ChunkPos::new(3, -2));
 /// assert!(zone < 4);
+/// // Ownership can move at runtime; the version tracks each migration.
+/// assert_eq!(map.version(), 0);
+/// assert!(map.migrate(0, 3));
+/// assert_eq!(map.zone_of_shard(0), 3);
+/// assert_eq!(map.version(), 1);
 /// // A single-zone map has no borders at all.
 /// assert!(!ShardMap::contiguous(DEFAULT_SHARDS, 1).is_border_chunk(ChunkPos::ORIGIN));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct ShardMap {
     shard_count: usize,
     zones: usize,
-    /// `zone_of[s]` is the zone owning shard `s`.
-    zone_of: Vec<usize>,
-    /// `shards[z]` lists the shards zone `z` owns, ascending.
-    shards: Vec<Vec<usize>>,
+    /// `zone_of[s]` is the zone owning shard `s` — one independent
+    /// ownership cell per shard, updated by [`ShardMap::migrate`] and read
+    /// with acquire loads everywhere, so shard ownership is a partition by
+    /// construction.
+    zone_of: Vec<AtomicUsize>,
+    /// Bumped once per successful migration; consumers use it to detect
+    /// that cached derivations (e.g. a zone's shard list) are stale.
+    version: AtomicU64,
 }
+
+impl Clone for ShardMap {
+    fn clone(&self) -> Self {
+        ShardMap {
+            shard_count: self.shard_count,
+            zones: self.zones,
+            zone_of: self
+                .zone_of
+                .iter()
+                .map(|cell| AtomicUsize::new(cell.load(Ordering::Acquire)))
+                .collect(),
+            version: AtomicU64::new(self.version.load(Ordering::Acquire)),
+        }
+    }
+}
+
+impl PartialEq for ShardMap {
+    /// Two maps are equal when they describe the same ownership (layout and
+    /// current shard→zone assignment); the version counter is bookkeeping,
+    /// not ownership, and does not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.shard_count == other.shard_count
+            && self.zones == other.zones
+            && self
+                .zone_of
+                .iter()
+                .zip(&other.zone_of)
+                .all(|(a, b)| a.load(Ordering::Acquire) == b.load(Ordering::Acquire))
+    }
+}
+
+impl Eq for ShardMap {}
 
 impl ShardMap {
     /// Builds the contiguous balanced assignment of `shard_count` shards to
@@ -64,16 +121,14 @@ impl ShardMap {
     pub fn contiguous(shard_count: usize, zones: usize) -> Self {
         let shard_count = shard_count.clamp(1, 1 << 10).next_power_of_two();
         let zones = zones.clamp(1, shard_count);
-        let zone_of: Vec<usize> = (0..shard_count).map(|s| s * zones / shard_count).collect();
-        let mut shards: Vec<Vec<usize>> = (0..zones).map(|_| Vec::new()).collect();
-        for (shard, &zone) in zone_of.iter().enumerate() {
-            shards[zone].push(shard);
-        }
+        let zone_of: Vec<AtomicUsize> = (0..shard_count)
+            .map(|s| AtomicUsize::new(s * zones / shard_count))
+            .collect();
         ShardMap {
             shard_count,
             zones,
             zone_of,
-            shards,
+            version: AtomicU64::new(0),
         }
     }
 
@@ -87,28 +142,61 @@ impl ShardMap {
         self.shard_count
     }
 
+    /// Number of migrations applied so far. Monotone; bumped exactly once
+    /// per successful [`ShardMap::migrate`].
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Re-assigns shard `shard` to `zone`, returning whether ownership
+    /// actually changed (migrating a shard to its current owner is a
+    /// no-op that does not bump the version).
+    ///
+    /// Works through `&self` so clusters sharing the map via `Arc` can
+    /// rebalance at tick boundaries; every consumer sees the new owner on
+    /// its next `zone_of_*` query, and border/neighbour queries are derived
+    /// from the same cells so they stay consistent automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count` or `zone >= zones`.
+    pub fn migrate(&self, shard: usize, zone: usize) -> bool {
+        assert!(shard < self.shard_count, "shard {shard} out of range");
+        assert!(zone < self.zones, "zone {zone} out of range");
+        let previous = self.zone_of[shard].swap(zone, Ordering::AcqRel);
+        if previous == zone {
+            return false;
+        }
+        self.version.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
     /// The zone owning shard `shard`.
     ///
     /// # Panics
     ///
     /// Panics if `shard >= shard_count`.
     pub fn zone_of_shard(&self, shard: usize) -> usize {
-        self.zone_of[shard]
+        self.zone_of[shard].load(Ordering::Acquire)
     }
 
-    /// The shards zone `zone` owns, in ascending order.
+    /// The shards zone `zone` owns, in ascending order. Derived from the
+    /// ownership cells on every call, so it reflects past migrations.
     ///
     /// # Panics
     ///
     /// Panics if `zone >= zones`.
-    pub fn zone_shards(&self, zone: usize) -> &[usize] {
-        &self.shards[zone]
+    pub fn zone_shards(&self, zone: usize) -> Vec<usize> {
+        assert!(zone < self.zones, "zone {zone} out of range");
+        (0..self.shard_count)
+            .filter(|&s| self.zone_of_shard(s) == zone)
+            .collect()
     }
 
     /// The zone owning the chunk at `pos` (the zone of its shard).
     #[inline]
     pub fn zone_of_chunk(&self, pos: ChunkPos) -> usize {
-        self.zone_of[shard_index(pos, self.shard_count)]
+        self.zone_of_shard(shard_index(pos, self.shard_count))
     }
 
     /// The zone owning the chunk containing the block at `pos` — the
@@ -188,7 +276,7 @@ mod tests {
         let mut seen = vec![false; 16];
         for zone in 0..4 {
             assert_eq!(map.zone_shards(zone).len(), 4);
-            for &s in map.zone_shards(zone) {
+            for s in map.zone_shards(zone) {
                 assert_eq!(map.zone_of_shard(s), zone);
                 assert!(!seen[s], "shard {s} owned twice");
                 seen[s] = true;
@@ -280,5 +368,68 @@ mod tests {
         let zones = map.zones_of_blocks(blocks);
         assert_eq!(zones.len(), 2);
         assert!(zones[0] < zones[1]);
+    }
+
+    #[test]
+    fn migrate_moves_ownership_and_bumps_version() {
+        let map = ShardMap::contiguous(16, 4);
+        let shard = 5;
+        let old = map.zone_of_shard(shard);
+        let new = (old + 1) % 4;
+        assert!(map.migrate(shard, new));
+        assert_eq!(map.zone_of_shard(shard), new);
+        assert_eq!(map.version(), 1);
+        assert!(map.zone_shards(new).contains(&shard));
+        assert!(!map.zone_shards(old).contains(&shard));
+        // No-op migrations do not bump the version.
+        assert!(!map.migrate(shard, new));
+        assert_eq!(map.version(), 1);
+        // Every chunk of the shard follows the new owner.
+        for x in -16..16 {
+            for z in -16..16 {
+                let pos = ChunkPos::new(x, z);
+                if shard_index(pos, 16) == shard {
+                    assert_eq!(map.zone_of_chunk(pos), new);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_preserves_the_partition() {
+        let map = ShardMap::contiguous(16, 4);
+        for step in 0..32 {
+            map.migrate(step % 16, (step * 7 + 3) % 4);
+            let mut owned = [0usize; 16];
+            for zone in 0..4 {
+                for shard in map.zone_shards(zone) {
+                    owned[shard] += 1;
+                }
+            }
+            assert!(owned.iter().all(|&n| n == 1), "not a partition at {step}");
+        }
+    }
+
+    #[test]
+    fn clone_and_eq_follow_ownership_not_version() {
+        let map = ShardMap::contiguous(16, 4);
+        map.migrate(3, 2);
+        let copy = map.clone();
+        assert_eq!(map, copy);
+        assert_eq!(copy.zone_of_shard(3), 2);
+        assert_eq!(copy.version(), map.version());
+        // Migrating the copy does not affect the original: shard 4 keeps
+        // its contiguous owner (zone 1 for 16 shards over 4 zones) there.
+        let original_owner = map.zone_of_shard(4);
+        copy.migrate(4, 3);
+        assert_eq!(copy.zone_of_shard(4), 3);
+        assert_eq!(map.zone_of_shard(4), original_owner);
+        assert_ne!(map, copy);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn migrate_rejects_unknown_zone() {
+        ShardMap::contiguous(16, 4).migrate(0, 4);
     }
 }

@@ -403,6 +403,20 @@ impl ShardedWorld {
             .contains_key(&pos)
     }
 
+    /// A snapshot of the positions of the chunks loaded in one shard,
+    /// sorted by `(x, z)` — the transfer unit of a shard migration, which
+    /// must hand the complete shard to its new owner deterministically.
+    /// Out-of-range shards yield an empty set.
+    pub fn shard_positions(&self, shard: usize) -> Vec<ChunkPos> {
+        let Some(shard) = self.shards.get(shard) else {
+            return Vec::new();
+        };
+        let chunks = shard.chunks.read().unwrap_or_else(|e| e.into_inner());
+        let mut positions: Vec<ChunkPos> = chunks.keys().copied().collect();
+        positions.sort_by_key(|p| (p.x, p.z));
+        positions
+    }
+
     /// A snapshot of the positions of all loaded chunks, shard by shard.
     pub fn loaded_positions(&self) -> Vec<ChunkPos> {
         let mut positions = Vec::with_capacity(self.loaded_chunks());

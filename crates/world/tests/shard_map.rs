@@ -80,11 +80,82 @@ proptest! {
         let map = ShardMap::contiguous(shards, zones);
         let mut seen = vec![0usize; map.shard_count()];
         for zone in 0..map.zones() {
-            for &shard in map.zone_shards(zone) {
+            for shard in map.zone_shards(zone) {
                 seen[shard] += 1;
                 prop_assert_eq!(map.zone_of_shard(shard), zone);
             }
         }
         prop_assert!(seen.iter().all(|&count| count == 1));
+    }
+
+    /// Any sequence of `migrate` calls preserves the shard partition:
+    /// after every single migration each shard is owned by exactly one
+    /// zone, `zone_shards` agrees with `zone_of_shard`, and the version
+    /// counter advances exactly once per effective migration.
+    #[test]
+    fn migrations_preserve_the_partition(
+        shards in 1usize..64,
+        zones in 2usize..16,
+        moves in prop::collection::vec((0usize..64, 0usize..16), 1..40),
+    ) {
+        let map = ShardMap::contiguous(shards, zones);
+        let mut expected_version = 0u64;
+        for (raw_shard, raw_zone) in moves {
+            let shard = raw_shard % map.shard_count();
+            let zone = raw_zone % map.zones();
+            let before = map.zone_of_shard(shard);
+            let changed = map.migrate(shard, zone);
+            prop_assert_eq!(changed, before != zone);
+            if changed {
+                expected_version += 1;
+            }
+            prop_assert_eq!(map.version(), expected_version);
+            prop_assert_eq!(map.zone_of_shard(shard), zone);
+            // Partition invariant after every step.
+            let mut seen = vec![0usize; map.shard_count()];
+            for z in 0..map.zones() {
+                for s in map.zone_shards(z) {
+                    seen[s] += 1;
+                    prop_assert_eq!(map.zone_of_shard(s), z);
+                }
+            }
+            prop_assert!(seen.iter().all(|&count| count == 1));
+        }
+    }
+
+    /// `is_border_chunk` and `neighbor_zones` stay exactly derivable from
+    /// `zone_of_chunk` after every migration — the derived border queries
+    /// can never go stale relative to ownership.
+    #[test]
+    fn border_queries_stay_consistent_after_migrations(
+        shards in 1usize..64,
+        zones in 2usize..16,
+        moves in prop::collection::vec((0usize..64, 0usize..16), 1..24),
+        x in -32i32..32,
+        z in -32i32..32,
+    ) {
+        let map = ShardMap::contiguous(shards, zones);
+        for (raw_shard, raw_zone) in moves {
+            map.migrate(raw_shard % map.shard_count(), raw_zone % map.zones());
+            let pos = ChunkPos::new(x, z);
+            let own = map.zone_of_chunk(pos);
+            prop_assert_eq!(own, map.zone_of_shard(shard_index(pos, map.shard_count())));
+            let mut expected: Vec<usize> = lateral(pos)
+                .iter()
+                .map(|&n| map.zone_of_chunk(n))
+                .filter(|&zone| zone != own)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(map.is_border_chunk(pos), !expected.is_empty());
+            prop_assert_eq!(map.neighbor_zones(pos), expected);
+            // Seam symmetry survives migration too.
+            for neighbor in lateral(pos) {
+                let other = map.zone_of_chunk(neighbor);
+                if other != own {
+                    prop_assert!(map.neighbor_zones(neighbor).contains(&own));
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Unified bench gate for the BENCH_*.json acceptance artefacts.
+
+Every experiment binary and bench in this repository writes a small JSON
+artefact at the workspace root (BENCH_world_shard.json, BENCH_hybrid.json,
+...). CI used to sanity-check each of them with an ad-hoc inline snippet;
+this script replaces all of those with one declarative pass driven by
+``tools/bench_gates.toml``:
+
+* **required** — dotted paths that must exist in the JSON (structure gate);
+* **invariant** — value checks that must hold in *any* run mode (smoke or
+  full scale): ``equals``, ``gt``/``gte``/``lt``/``lte`` against literals,
+  and ``lt_path``/``gt_path`` against another path in the same JSON;
+* **regression** — comparisons of a freshly emitted value against the
+  *committed baseline* of the same file (``git show <ref>:<file>``):
+  ``min_ratio`` for higher-is-better metrics (new >= baseline * min_ratio)
+  and ``max_ratio`` for lower-is-better ones (new <= baseline * max_ratio).
+  Ratios are deliberately loose — CI smoke runs are shorter and noisier
+  than the committed full-scale baselines — but tight enough that a real
+  performance collapse cannot ship behind a still-green invariant.
+
+Usage:
+    python3 tools/bench_gate.py                 # gate every configured file
+    python3 tools/bench_gate.py BENCH_foo.json  # gate a subset
+    python3 tools/bench_gate.py --no-baseline   # skip regression checks
+    python3 tools/bench_gate.py --baseline-ref origin/main
+
+Exits non-zero if any gate fails. A file missing its committed baseline
+(first PR introducing a bench) skips regression checks with a note.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+
+def resolve(data, path: str):
+    """Walks a dotted path ('hybrid.qos_ok', 'results.3.speedup')."""
+    node = data
+    for part in path.split("."):
+        if isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError) as err:
+                raise KeyError(f"{path}: bad list index {part!r}") from err
+        elif isinstance(node, dict):
+            if part not in node:
+                raise KeyError(f"{path}: missing key {part!r}")
+            node = node[part]
+        else:
+            raise KeyError(f"{path}: {part!r} walks into a {type(node).__name__}")
+    return node
+
+
+def load_baseline(ref: str, file: str):
+    try:
+        out = subprocess.run(
+            ["git", "show", f"{ref}:{file}"],
+            capture_output=True,
+            check=True,
+        )
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    try:
+        return json.loads(out.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+class Gate:
+    def __init__(self, spec: dict):
+        self.file = spec["file"]
+        self.required = spec.get("required", [])
+        self.invariants = spec.get("invariant", [])
+        self.regressions = spec.get("regression", [])
+
+    def run(self, baseline_ref: str | None) -> list[str]:
+        """Returns a list of failure messages (empty = gate passed)."""
+        failures = []
+        path = Path(self.file)
+        if not path.is_file():
+            return [f"{self.file}: artefact missing (bench did not run?)"]
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            return [f"{self.file}: invalid JSON ({err})"]
+
+        for required in self.required:
+            try:
+                resolve(data, required)
+            except KeyError as err:
+                failures.append(f"{self.file}: required {err}")
+
+        for inv in self.invariants:
+            inv_path = inv["path"]
+            try:
+                value = resolve(data, inv_path)
+            except KeyError as err:
+                failures.append(f"{self.file}: invariant {err}")
+                continue
+            if "equals" in inv and value != inv["equals"]:
+                failures.append(
+                    f"{self.file}: {inv_path} == {value!r}, expected {inv['equals']!r}"
+                )
+            for op, check in (
+                ("gt", lambda v, b: v > b),
+                ("gte", lambda v, b: v >= b),
+                ("lt", lambda v, b: v < b),
+                ("lte", lambda v, b: v <= b),
+            ):
+                if op in inv and not check(value, inv[op]):
+                    failures.append(
+                        f"{self.file}: {inv_path} = {value!r} violates {op} {inv[op]!r}"
+                    )
+            for op, check in (
+                ("lt_path", lambda v, b: v < b),
+                ("gt_path", lambda v, b: v > b),
+            ):
+                if op in inv:
+                    try:
+                        other = resolve(data, inv[op])
+                    except KeyError as err:
+                        failures.append(f"{self.file}: invariant {err}")
+                        continue
+                    if not check(value, other):
+                        failures.append(
+                            f"{self.file}: {inv_path} = {value!r} violates "
+                            f"{op} {inv[op]} (= {other!r})"
+                        )
+
+        if self.regressions and baseline_ref is not None:
+            baseline = load_baseline(baseline_ref, self.file)
+            if baseline is None:
+                print(
+                    f"  note: no committed baseline for {self.file} at "
+                    f"{baseline_ref}; regression checks skipped"
+                )
+            else:
+                for reg in self.regressions:
+                    reg_path = reg["path"]
+                    try:
+                        new = resolve(data, reg_path)
+                        old = resolve(baseline, reg_path)
+                    except KeyError as err:
+                        failures.append(f"{self.file}: regression {err}")
+                        continue
+                    if not isinstance(new, (int, float)) or not isinstance(
+                        old, (int, float)
+                    ):
+                        failures.append(
+                            f"{self.file}: regression {reg_path} is not numeric"
+                        )
+                        continue
+                    if "min_ratio" in reg and new < old * reg["min_ratio"]:
+                        failures.append(
+                            f"{self.file}: {reg_path} collapsed to {new} "
+                            f"(< {reg['min_ratio']} x baseline {old})"
+                        )
+                    if "max_ratio" in reg and new > old * reg["max_ratio"]:
+                        failures.append(
+                            f"{self.file}: {reg_path} blew up to {new} "
+                            f"(> {reg['max_ratio']} x baseline {old})"
+                        )
+        return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="restrict to these artefact files (default: all configured)",
+    )
+    parser.add_argument(
+        "--config",
+        default="tools/bench_gates.toml",
+        help="gate declarations (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref holding the committed baselines (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip all regression-vs-baseline checks",
+    )
+    args = parser.parse_args()
+
+    config = tomllib.loads(Path(args.config).read_text())
+    gates = [Gate(spec) for spec in config.get("gate", [])]
+    if args.files:
+        wanted = set(args.files)
+        gates = [g for g in gates if g.file in wanted]
+        unknown = wanted - {g.file for g in gates}
+        if unknown:
+            print(f"no gate configured for: {', '.join(sorted(unknown))}")
+            return 1
+    if not gates:
+        print("no gates selected")
+        return 1
+
+    baseline_ref = None if args.no_baseline else args.baseline_ref
+    failed = False
+    for gate in gates:
+        failures = gate.run(baseline_ref)
+        if failures:
+            failed = True
+            print(f"FAIL {gate.file}")
+            for failure in failures:
+                print(f"  - {failure}")
+        else:
+            checks = len(gate.required) + len(gate.invariants) + len(gate.regressions)
+            print(f"ok   {gate.file} ({checks} checks)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
