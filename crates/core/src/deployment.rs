@@ -535,6 +535,22 @@ impl HybridDeployment {
         self.cluster.enable_rebalancing(policy);
     }
 
+    /// Schedules zone `zone` to crash at the start of cluster tick
+    /// `tick`. The hybrid survives the crash: the substrate abandons the
+    /// dead zone's in-flight speculation, its persistence pipeline is
+    /// fenced, and the surviving zones adopt its shards — rebuilding
+    /// terrain from the dead zone's remote store plus its write-ahead
+    /// log and re-homing its constructs (see
+    /// [`ShardedGameCluster::crash_zone`]).
+    pub fn crash_zone(&mut self, zone: usize, tick: u64) {
+        self.cluster.crash_zone(zone, tick);
+    }
+
+    /// Lifetime counters of the crash-recovery machinery.
+    pub fn recovery_stats(&self) -> servo_server::RecoveryStats {
+        self.cluster.recovery_stats()
+    }
+
     /// Drives the cluster with a player fleet for `duration` of virtual
     /// time (persistence is driven inside the cluster tick).
     pub fn run_with_fleet(

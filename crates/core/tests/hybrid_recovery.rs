@@ -1,0 +1,128 @@
+//! Crash recovery at deployment scope: killing one zone of a 4-zone
+//! [`HybridDeployment`] mid-run must not cost any construct a simulation
+//! step — the dead zone's constructs are adopted and stepped by survivors
+//! with no gap and no repeat — and must never cause a surviving zone to
+//! persist terrain it does not own.
+
+use servo_core::{HybridDeployment, ServoDeployment};
+use servo_simkit::SimRng;
+use servo_types::{ChunkPos, SimDuration};
+use servo_workload::{BehaviorKind, PlayerFleet};
+
+fn random_fleet(players: usize, seed: u64) -> PlayerFleet {
+    let mut fleet = PlayerFleet::new(BehaviorKind::Random, SimRng::seed(seed));
+    fleet.connect_all(players);
+    fleet
+}
+
+fn build(constructs: usize) -> HybridDeployment {
+    let mut hybrid: HybridDeployment = ServoDeployment::builder()
+        .seed(61)
+        .view_distance(32)
+        .hybrid(4);
+    for i in 0..constructs {
+        hybrid
+            .cluster
+            .add_construct(servo_redstone::generators::dense_circuit(24 + i * 5));
+    }
+    hybrid
+}
+
+#[test]
+fn crashing_a_hybrid_zone_keeps_every_construct_step_exact() {
+    let constructs = 8usize;
+    let seconds = 8u64;
+    let dead = 2usize;
+    let crash_tick = 70u64;
+
+    // Control: the same deployment, fleet, and duration with no failure.
+    let mut control = build(constructs);
+    let mut fleet = random_fleet(12, 62);
+    control.run_with_fleet(&mut fleet, SimDuration::from_secs(seconds));
+    let expected: Vec<u64> = (0..constructs)
+        .map(|index| {
+            let (zone, id) = control.cluster.construct_location(index).unwrap();
+            control
+                .cluster
+                .server(zone)
+                .construct(id)
+                .unwrap()
+                .state()
+                .step()
+        })
+        .collect();
+    assert!(
+        expected.iter().all(|&s| s > 0),
+        "control run never stepped its constructs: {expected:?}"
+    );
+
+    // Crashed run: one zone dies mid-run; its shards — and its constructs —
+    // are adopted by the survivors.
+    let mut crashed = build(constructs);
+    crashed.crash_zone(dead, crash_tick);
+    let mut fleet = random_fleet(12, 62);
+    crashed.run_with_fleet(&mut fleet, SimDuration::from_secs(seconds));
+
+    let recovery = crashed.recovery_stats();
+    assert_eq!(recovery.crashes, 1);
+    assert!(recovery.shards_adopted > 0, "the dead zone owned no shards");
+    assert!(crashed.cluster.zone_is_dead(dead));
+    assert!(crashed.cluster.shard_map().zone_shards(dead).is_empty());
+    assert_eq!(crashed.cluster.pending_adoption_count(), 0);
+
+    // Every construct — including those that lived on the dead zone — kept
+    // its exact step count: adoption neither dropped nor repeated a step.
+    assert_eq!(crashed.cluster.stats().ticks, control.cluster.stats().ticks);
+    for (index, steps) in expected.iter().enumerate() {
+        let (zone, id) = crashed
+            .cluster
+            .construct_location(index)
+            .expect("construct survived the crash");
+        assert_ne!(
+            zone, dead,
+            "construct {index} still registered to the dead zone"
+        );
+        let construct = crashed
+            .cluster
+            .server(zone)
+            .construct(id)
+            .expect("construct must live on its registered zone");
+        assert_eq!(
+            construct.state().step(),
+            *steps,
+            "construct {index} lost or repeated steps across the crash"
+        );
+    }
+
+    // No survivor persisted foreign terrain: after the final flush, every
+    // key in a surviving zone's store parses to a chunk that zone owns
+    // under the post-recovery map.
+    crashed.flush_persistence();
+    let map = crashed.cluster.shard_map().clone();
+    for zone in 0..4 {
+        if zone == dead {
+            continue;
+        }
+        let keys = crashed
+            .cluster
+            .with_persisted(zone, |remote| remote.keys())
+            .expect("hybrid zones persist");
+        for key in keys {
+            let mut parts = key.split('/');
+            assert_eq!(parts.next(), Some("terrain"), "unexpected key {key}");
+            let x: i32 = parts.next().unwrap().parse().unwrap();
+            let z: i32 = parts.next().unwrap().parse().unwrap();
+            assert_eq!(
+                map.zone_of_chunk(ChunkPos::new(x, z)),
+                zone,
+                "surviving zone {zone} persisted foreign chunk {key}"
+            );
+        }
+    }
+
+    // Avatars never went unsimulated, crash tick and adoption included.
+    for detail in crashed.cluster.ticks() {
+        let assigned: usize = detail.zones.iter().map(|z| z.players).sum();
+        assert_eq!(assigned, 12);
+    }
+}

@@ -28,18 +28,21 @@
 //! tick-for-tick identical to a plain [`GameServer`] (asserted by the
 //! `cluster_equivalence` test suite).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
 use servo_redstone::Blueprint;
 use servo_simkit::{SimClock, SimRng};
-use servo_storage::{BlobStore, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService};
+use servo_storage::{
+    BlobStore, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService, RetryPolicy,
+    SharedWal,
+};
 use servo_types::{BlockPos, ChunkPos, ConstructId, PlayerId, SimDuration, SimTime};
 use servo_workload::{PlayerEvent, PlayerFleet, ZoneRouter};
 use servo_world::{
-    required_chunks, shard_index, RebalancePolicy, ShardDelta, ShardMap, ShardMigration, WorldKind,
-    ZoneLoadSample,
+    required_chunks, shard_index, Chunk, RebalanceConfig, RebalancePolicy, ShardDelta, ShardMap,
+    ShardMigration, WorldKind, ZoneLoadSample,
 };
 
 use crate::backends::{LocalGenerationBackend, LocalScBackend};
@@ -123,6 +126,18 @@ struct ZonePersistence {
     interval: u64,
     ticks_since_pass: u64,
     stats: ZonePersistenceStats,
+    /// The zone's write-ahead delta log. The cluster holds this clone in
+    /// addition to the service's own: the log models a durable device
+    /// (replicated log service, attached journal volume) that *survives*
+    /// the zone server, so recovery replays it after the pipeline is
+    /// fenced. `None` when durability was explicitly disabled
+    /// ([`ShardedGameCluster::set_wal_enabled`]) — the configuration whose
+    /// data-loss window the failure ablation measures.
+    wal: Option<SharedWal>,
+    /// Set when the zone crashes: a fenced pipeline accepts no more
+    /// staging, cadence passes, or flushes — its remote store keeps
+    /// exactly the bytes it held at the crash.
+    fenced: bool,
 }
 
 impl ZonePersistence {
@@ -199,6 +214,76 @@ pub struct RebalanceStats {
     /// construct transfers) — a subset of
     /// [`ClusterStats::cross_server_messages`].
     pub migration_messages: u64,
+}
+
+/// Lifetime counters of the crash-recovery machinery. All zero until a
+/// zone crashes ([`ShardedGameCluster::crash_zone`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Zone crashes executed.
+    pub crashes: u64,
+    /// Orphaned shards adopted by surviving zones.
+    pub shards_adopted: u64,
+    /// Constructs re-homed onto surviving zones with their state.
+    pub constructs_adopted: u64,
+    /// Chunks rebuilt from the dead zone's remote store during adoption.
+    pub chunks_restored: u64,
+    /// Chunks rebuilt from the dead zone's write-ahead log — the
+    /// staged-but-unflushed window the periodic write-back cadence leaves
+    /// open, which only the WAL can close.
+    pub chunks_replayed: u64,
+    /// Staged-but-unflushed chunks whose bytes died with the zone's memory
+    /// (not covered by any WAL record). Zero whenever the WAL is enabled;
+    /// grows with the flush cadence when it is not.
+    pub chunks_lost: u64,
+    /// Cross-server messages charged for failure detection and adoption —
+    /// a subset of [`ClusterStats::cross_server_messages`].
+    pub recovery_messages: u64,
+    /// Cluster ticks from the crash until the cluster was back inside its
+    /// tick budget with no adoption pending.
+    pub recovery_ticks: u64,
+    /// Recovery ticks whose critical path overran the tick budget — the
+    /// QoS dip the adoption storm causes.
+    pub ticks_over_qos: u64,
+}
+
+/// A scripted schedule of zone crashes, for benches and tests that inject
+/// failures at deterministic points of a run.
+///
+/// ```
+/// use servo_server::FailurePlan;
+/// let plan = FailurePlan::new().crash(2, 150);
+/// assert_eq!(plan.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    /// `(tick, zone)` pairs, executed at the start of the given cluster
+    /// tick (as counted by [`ClusterStats::ticks`]).
+    crashes: Vec<(u64, usize)>,
+}
+
+impl FailurePlan {
+    /// An empty plan (no failures — the control arm).
+    pub fn new() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Adds a crash of `zone` at the start of cluster tick `tick`,
+    /// returning the plan.
+    pub fn crash(mut self, zone: usize, tick: u64) -> Self {
+        self.crashes.push((tick, zone));
+        self
+    }
+
+    /// Number of scheduled crashes.
+    pub fn len(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Whether no crash is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
 }
 
 /// One registered construct as the cluster tracks it: where it currently
@@ -295,6 +380,24 @@ pub struct ShardedGameCluster {
     /// The previous tick's per-zone load samples, fed to the policy at the
     /// next tick boundary. Empty until the first tick ran.
     last_zone_loads: Vec<ZoneLoadSample>,
+    /// Per-zone liveness. A dead zone no longer ticks, persists, mirrors,
+    /// or exchanges border state; its shards are adopted by survivors.
+    dead: Vec<bool>,
+    /// Scheduled crashes not yet executed, as `(tick, zone)`.
+    failure_plan: Vec<(u64, usize)>,
+    /// Orphaned shards awaiting adoption, each with its designated
+    /// surviving adopter, in deterministic round-robin order. Drained by
+    /// up to the migration budget per tick.
+    pending_adoptions: VecDeque<(usize, usize)>,
+    /// Shard → designated adopter for shards still awaiting adoption —
+    /// the interim routing rule, so avatars and events on orphaned
+    /// terrain reach the zone about to own it instead of the dead one.
+    pending_owner: BTreeMap<usize, usize>,
+    recovery_stats: RecoveryStats,
+    /// Set from a crash until the cluster is back inside its tick budget
+    /// with no adoption pending (the bounded recovery window
+    /// [`RecoveryStats::recovery_ticks`] measures).
+    recovering: bool,
 }
 
 impl std::fmt::Debug for ShardedGameCluster {
@@ -352,6 +455,12 @@ impl ShardedGameCluster {
             rebalancer: None,
             rebalance_stats: RebalanceStats::default(),
             last_zone_loads: Vec::new(),
+            dead: vec![false; zones],
+            failure_plan: Vec::new(),
+            pending_adoptions: VecDeque::new(),
+            pending_owner: BTreeMap::new(),
+            recovery_stats: RecoveryStats::default(),
+            recovering: false,
         }
     }
 
@@ -458,14 +567,61 @@ impl ShardedGameCluster {
         // would race the border protocol for the same destructive drain
         // and mirroring would silently miss chunks. The world binding
         // remains so write-back re-snapshots staged chunks from it.
+        // Durability is on by default: a write-ahead delta log shared
+        // between the pipeline's segments and the cluster, so the log (a
+        // durable device in the model) survives a crash of the zone. WAL
+        // maintenance consumes no randomness, messages, or clock, so a
+        // no-failure run is byte-identical with or without it.
+        let wal = SharedWal::new(self.servers[zone].world().shard_count());
         let service = PipelinedChunkService::new(remote, rng, workers)
-            .with_world_shards(self.servers[zone].world_handle(), &[]);
+            .with_world_shards(self.servers[zone].world_handle(), &[])
+            .with_wal(wal.clone());
         self.persistence[zone] = Some(ZonePersistence {
             service,
             interval: write_back_interval.max(1),
             ticks_since_pass: 0,
             stats: ZonePersistenceStats::default(),
+            wal: Some(wal),
+            fenced: false,
         });
+    }
+
+    /// Enables or disables the write-ahead delta log of `zone`'s
+    /// persistence pipeline. Attached pipelines have the WAL on by
+    /// default; the failure ablation's no-WAL arms disable it to measure
+    /// the data-loss window the write-back cadence leaves open. No-op when
+    /// the zone has no pipeline attached.
+    pub fn set_wal_enabled(&mut self, zone: usize, enabled: bool) {
+        let shard_count = self.map.shard_count();
+        let Some(persistence) = self.persistence.get_mut(zone).and_then(|p| p.as_mut()) else {
+            return;
+        };
+        if enabled && persistence.wal.is_none() {
+            let wal = SharedWal::new(shard_count);
+            persistence.service.set_wal(Some(wal.clone()));
+            persistence.wal = Some(wal);
+        } else if !enabled {
+            persistence.service.set_wal(None);
+            persistence.wal = None;
+        }
+    }
+
+    /// Sets the bounded retry-and-backoff policy `zone`'s persistence
+    /// workers apply to transient remote-storage failures. No-op when the
+    /// zone has no pipeline attached.
+    pub fn set_persistence_retry(&mut self, zone: usize, retry: RetryPolicy) {
+        if let Some(persistence) = self.persistence.get_mut(zone).and_then(|p| p.as_mut()) {
+            persistence.service.set_retry(retry);
+        }
+    }
+
+    /// The write-ahead log handle of `zone`'s persistence pipeline, when
+    /// one is attached with durability enabled.
+    pub fn persistence_wal(&self, zone: usize) -> Option<SharedWal> {
+        self.persistence
+            .get(zone)
+            .and_then(|p| p.as_ref())
+            .and_then(|p| p.wal.clone())
     }
 
     /// The persistence counters of one zone, or `None` when the zone has
@@ -527,6 +683,12 @@ impl ShardedGameCluster {
                 let chunk = self.servers[zone].world().read_chunk(pos, |c| c.clone());
                 let Some(chunk) = chunk else { continue };
                 for &neighbor in &neighbors {
+                    // A dead neighbour receives nothing: its replica
+                    // terrain dies with it, and recovery rebuilds owned
+                    // state only.
+                    if self.dead[neighbor] {
+                        continue;
+                    }
                     self.servers[neighbor].world().insert_chunk(chunk.clone());
                     messages += 1;
                     endpoints[zone] += 1;
@@ -548,9 +710,12 @@ impl ShardedGameCluster {
         for zone in 0..zones {
             // Check for a pipeline BEFORE draining: on zones without one,
             // a drain here would destroy dirty flags the next tick's
-            // border protocol still needs.
-            if self.persistence[zone].is_none() {
-                continue;
+            // border protocol still needs. A crashed zone's pipeline is
+            // fenced — it flushes nothing, so its store keeps exactly the
+            // bytes it held at the crash.
+            match &self.persistence[zone] {
+                Some(persistence) if !persistence.fenced => {}
+                _ => continue,
             }
             // Stage whatever dirt the last tick left undrained — and since
             // this drain is destructive, run the border mirroring for it
@@ -734,8 +899,16 @@ impl ShardedGameCluster {
             let from = self.map.zone_of_shard(shard);
             let to = migration.to;
             // Revalidate against the live map: a stale or self-targeted
-            // proposal is dropped, never misapplied.
-            if from != migration.from || to == from || to >= self.servers.len() {
+            // proposal is dropped, never misapplied. Dead zones are
+            // neither sources (recovery, not rebalancing, empties them)
+            // nor destinations (a policy reading a dead zone's zero load
+            // as headroom must not resurrect it).
+            if from != migration.from
+                || to == from
+                || to >= self.servers.len()
+                || self.dead[from]
+                || self.dead[to]
+            {
                 continue;
             }
             // Migration control: announcement + acknowledgement.
@@ -865,6 +1038,268 @@ impl ShardedGameCluster {
         (messages, applied)
     }
 
+    /// Schedules `zone` to crash at the start of cluster tick `tick` (as
+    /// counted by [`ClusterStats::ticks`]; an index at or before the
+    /// current count fires at the next boundary). The crash is executed
+    /// inside [`ShardedGameCluster::run_tick`]: the zone is marked dead,
+    /// its in-flight construct speculation is released, its persistence
+    /// pipeline is fenced, and its shards are queued for adoption by the
+    /// surviving zones — spread over ticks by the same per-step migration
+    /// budget dynamic rebalancing is bounded by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone` is out of range (and, at execution time, if the
+    /// crash would leave no live zone).
+    pub fn crash_zone(&mut self, zone: usize, tick: u64) {
+        assert!(zone < self.servers.len(), "zone {zone} out of range");
+        self.failure_plan.push((tick, zone));
+    }
+
+    /// Schedules every crash of `plan` (see
+    /// [`ShardedGameCluster::crash_zone`]), returning the cluster.
+    pub fn with_failure_plan(mut self, plan: FailurePlan) -> Self {
+        for (tick, zone) in plan.crashes {
+            self.crash_zone(zone, tick);
+        }
+        self
+    }
+
+    /// Lifetime counters of the crash-recovery machinery (all zero while
+    /// no crash was scheduled and executed).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
+    }
+
+    /// Whether `zone` has crashed.
+    pub fn zone_is_dead(&self, zone: usize) -> bool {
+        self.dead.get(zone).copied().unwrap_or(false)
+    }
+
+    /// Orphaned shards still awaiting adoption by a survivor.
+    pub fn pending_adoption_count(&self) -> usize {
+        self.pending_adoptions.len()
+    }
+
+    /// Executes a scheduled crash of `zone`: marks it dead, releases its
+    /// in-flight speculation (the substrate abandons whatever it was
+    /// computing for the dead server), fences its persistence pipeline,
+    /// sizes the data-loss window, and queues its shards for adoption.
+    /// Charges one failure-detection message per survivor and returns the
+    /// message count.
+    fn execute_crash(&mut self, zone: usize, endpoints: &mut [u64]) -> u64 {
+        if self.dead[zone] {
+            return 0;
+        }
+        let survivors: Vec<usize> = (0..self.servers.len())
+            .filter(|&z| z != zone && !self.dead[z])
+            .collect();
+        assert!(
+            !survivors.is_empty(),
+            "crashing zone {zone} would leave no live zone"
+        );
+        self.dead[zone] = true;
+        self.recovering = true;
+        self.recovery_stats.crashes += 1;
+        self.servers[zone].release_all_speculation();
+
+        // Fence persistence and size the loss window: every
+        // staged-but-unflushed position not covered by a WAL record
+        // existed only in the zone's memory — with the zone gone, the
+        // remote store will forever hold the stale pre-staging bytes.
+        let orphans = self.map.zone_shards(zone);
+        let mut lost = 0u64;
+        if let Some(persistence) = self.persistence[zone].as_mut() {
+            persistence.fenced = true;
+            for &shard in &orphans {
+                for pos in persistence.service.staged_positions(shard) {
+                    let covered = persistence
+                        .wal
+                        .as_ref()
+                        .and_then(|wal| wal.latest_seq(pos))
+                        .is_some();
+                    if !covered {
+                        lost += 1;
+                    }
+                }
+            }
+        }
+        self.recovery_stats.chunks_lost += lost;
+
+        // Round-robin the orphaned shards over the survivors and record
+        // each designated adopter, so interim routing already targets the
+        // zone about to own the terrain.
+        for (index, &shard) in orphans.iter().enumerate() {
+            let adopter = survivors[index % survivors.len()];
+            self.pending_adoptions.push_back((shard, adopter));
+            self.pending_owner.insert(shard, adopter);
+        }
+
+        // Failure detection: one message announcing the death to each
+        // survivor (the dead endpoint answers nothing, so only the
+        // survivor side is charged).
+        let mut messages = 0u64;
+        for &survivor in &survivors {
+            messages += 1;
+            endpoints[survivor] += 1;
+        }
+        self.recovery_stats.recovery_messages += messages;
+        messages
+    }
+
+    /// Applies one batch of recovery adoptions: each orphaned `(shard,
+    /// adopter)` pair rebuilds the shard on the adopter from the dead
+    /// zone's remote store plus its write-ahead log, flips ownership, and
+    /// re-homes the shard's constructs. Charges every transfer to
+    /// `endpoints` (adopter side only — the dead server sends nothing;
+    /// recovery reads come from the storage substrate and the durable
+    /// log) and returns `(messages, shards_adopted)`.
+    fn apply_recovery_migrations(
+        &mut self,
+        batch: &[(usize, usize)],
+        endpoints: &mut [u64],
+    ) -> (u64, u64) {
+        let mut messages = 0u64;
+        let mut applied = 0u64;
+        let now = self.clock.now();
+        for &(shard, to) in batch {
+            let from = self.map.zone_of_shard(shard);
+            // Revalidate: the source must actually be dead and still own
+            // the shard, and the adopter must be alive.
+            if !self.dead[from] || to >= self.servers.len() || self.dead[to] {
+                self.pending_owner.remove(&shard);
+                continue;
+            }
+            // Adoption control: coordination announcement plus
+            // acknowledgement, charged to the adopter.
+            messages += 2;
+            endpoints[to] += 2;
+
+            // The dead zone's world is unreachable, but the shard's chunk
+            // *directory* is knowable (the map and the store's key scheme
+            // identify owned terrain); the in-memory copy here stands in
+            // for it.
+            let positions = self.servers[from].world().shard_positions(shard);
+
+            // 1. Restore from the dead zone's remote store. Positions the
+            //    adopter already holds are skipped: a border replica was
+            //    mirrored fresh every tick, so it is never older than the
+            //    last flush.
+            for &pos in &positions {
+                if self.servers[to].world().read_chunk(pos, |_| ()).is_some() {
+                    continue;
+                }
+                let key = servo_storage::chunk_key(pos);
+                let restored = self.persistence[from].as_ref().and_then(|p| {
+                    p.service.with_remote(|remote| {
+                        use servo_storage::ObjectStore;
+                        remote
+                            .read(&key, now)
+                            .ok()
+                            .and_then(|r| Chunk::from_bytes(&r.data).ok())
+                    })
+                });
+                if let Some(chunk) = restored {
+                    self.servers[to].world().insert_chunk(chunk);
+                    messages += 1;
+                    endpoints[to] += 1;
+                    self.recovery_stats.chunks_restored += 1;
+                }
+            }
+
+            // 2. Replay the write-ahead log over the restored terrain:
+            //    WAL records carry the staged-but-unflushed bytes the
+            //    remote store never received, so they win over whatever
+            //    step 1 restored. Replayed records are truncated — the
+            //    durability obligation moves to the adopter.
+            let mut replayed: Vec<ChunkPos> = Vec::new();
+            let wal = self.persistence[from].as_ref().and_then(|p| p.wal.clone());
+            if let Some(wal) = &wal {
+                for record in wal.replay_shard(shard) {
+                    let Ok(chunk) = Chunk::from_bytes(&record.bytes) else {
+                        continue;
+                    };
+                    self.servers[to].world().insert_chunk(chunk);
+                    messages += 1;
+                    endpoints[to] += 1;
+                    self.recovery_stats.chunks_replayed += 1;
+                    wal.truncate(record.pos, record.seq);
+                    replayed.push(record.pos);
+                }
+            }
+
+            // 3. Flip ownership: the adopter simulates, routes, and
+            //    persists the shard from here on.
+            self.map.migrate(shard, to);
+            self.pending_owner.remove(&shard);
+
+            // 4. Replayed bytes are ahead of remote storage — stage them
+            //    into the adopter's pipeline so the *new* owner flushes
+            //    them on its next pass (and, with its own WAL, makes them
+            //    durable again immediately).
+            if !replayed.is_empty() {
+                if let Some(persistence) = self.persistence[to].as_mut() {
+                    let epoch = self.servers[to].world().shard_epoch(shard);
+                    persistence.service.stage_dirty(vec![ShardDelta {
+                        shard,
+                        epoch,
+                        chunks: replayed,
+                    }]);
+                }
+            }
+
+            // 5. Re-home the shard's constructs. Construct state is
+            //    recoverable from the offloading substrate (speculative
+            //    sequences live outside the zone server), so adoption
+            //    moves it like a migration would: state plus
+            //    acknowledgement per construct, charged to the adopter.
+            let shard_count = self.map.shard_count();
+            for index in 0..self.registry.len() {
+                let entry = &self.registry[index];
+                let Some(home) = entry.home else { continue };
+                if shard_index(home, shard_count) != shard || entry.zone != from {
+                    continue;
+                }
+                let construct = self.servers[from]
+                    .take_construct(entry.id)
+                    .expect("registered construct must exist on its zone server");
+                let new_id = self.servers[to].adopt_construct(construct);
+                let entry = &mut self.registry[index];
+                entry.zone = to;
+                entry.id = new_id;
+                messages += 2;
+                endpoints[to] += 2;
+                self.recovery_stats.constructs_adopted += 1;
+            }
+
+            // 6. The dead server's memory is gone: drop the shard's
+            //    chunks from its world so nothing can read them back.
+            for &pos in &positions {
+                self.servers[from].world().remove_chunk(pos);
+            }
+
+            applied += 1;
+            self.recovery_stats.shards_adopted += 1;
+        }
+        if applied > 0 {
+            self.rebuild_border_constructs();
+        }
+        self.recovery_stats.recovery_messages += messages;
+        (messages, applied)
+    }
+
+    /// The zone that will simulate the chunk at `pos` *this* tick: the
+    /// map's owner, unless the shard is orphaned and awaiting adoption —
+    /// then its designated adopter. Identical to the map while no
+    /// adoption is pending.
+    fn effective_zone_of_chunk(&self, pos: ChunkPos) -> usize {
+        let shard = shard_index(pos, self.map.shard_count());
+        self.pending_owner
+            .get(&shard)
+            .copied()
+            .unwrap_or_else(|| self.map.zone_of_shard(shard))
+    }
+
     /// The per-tick details recorded so far.
     pub fn ticks(&self) -> &[ClusterTickDetail] {
         &self.details
@@ -903,7 +1338,45 @@ impl ShardedGameCluster {
         // burdens both its sender and its receiver).
         let mut endpoints = vec![0u64; zones];
 
-        // 0. Dynamic rebalancing (opt-in): feed the policy the previous
+        // 0a. Failure injection: execute any crash scheduled for this
+        //     boundary. With an empty plan this block touches nothing.
+        if !self.failure_plan.is_empty() {
+            let tick_index = self.stats.ticks;
+            let due: Vec<usize> = self
+                .failure_plan
+                .iter()
+                .filter(|&&(tick, _)| tick <= tick_index)
+                .map(|&(_, zone)| zone)
+                .collect();
+            self.failure_plan.retain(|&(tick, _)| tick > tick_index);
+            for zone in due {
+                messages += self.execute_crash(zone, &mut endpoints);
+            }
+        }
+
+        // 0b. Recovery adoption: survivors adopt orphaned shards through
+        //     the migration path, consuming the same per-step budget
+        //     dynamic rebalancing is bounded by. Recovery takes
+        //     precedence — the policy below only gets what is left — so a
+        //     crash and a hot policy can never compound into a migration
+        //     storm that exceeds the configured bound.
+        let mut shard_migrations = 0u64;
+        let mut migration_budget = self
+            .rebalancer
+            .as_ref()
+            .map(|r| r.policy.config().max_migrations_per_step)
+            .unwrap_or_else(|| RebalanceConfig::default().max_migrations_per_step);
+        if !self.pending_adoptions.is_empty() {
+            let take = migration_budget.min(self.pending_adoptions.len());
+            let batch: Vec<(usize, usize)> = self.pending_adoptions.drain(..take).collect();
+            migration_budget -= take;
+            let (recovery_messages, adopted) =
+                self.apply_recovery_migrations(&batch, &mut endpoints);
+            messages += recovery_messages;
+            shard_migrations += adopted;
+        }
+
+        // 0c. Dynamic rebalancing (opt-in): feed the policy the previous
         //    tick's per-zone loads plus the current shard-level heat, and
         //    apply any proposed migrations at this boundary — before
         //    routing, so the router hands affected avatars to their new
@@ -911,7 +1384,6 @@ impl ShardedGameCluster {
         //    the migration storm lands in this tick's critical path. With
         //    no policy, or a policy that proposes nothing, this block
         //    leaves every observable byte of the tick unchanged.
-        let mut shard_migrations = 0u64;
         if self.rebalancer.is_some() && !self.last_zone_loads.is_empty() {
             let shard_count = self.map.shard_count();
             let mut shard_avatars = vec![0u32; shard_count];
@@ -928,18 +1400,38 @@ impl ShardedGameCluster {
             for slot in rebalancer.shard_dirty.iter_mut() {
                 *slot = 0;
             }
+            // Recovery already spent part of this tick's budget; the
+            // policy's proposals are truncated to the remainder (a no-op
+            // while no recovery is in flight, since the policy bounds
+            // itself to the same maximum). Undropped proposals stay with
+            // the policy's internal cooldown — they are simply re-derived
+            // at a later boundary if the imbalance persists.
+            let mut proposed = proposed;
+            proposed.truncate(migration_budget);
             if !proposed.is_empty() {
                 let (migration_messages, applied) =
                     self.apply_migrations(&proposed, &mut endpoints);
                 messages += migration_messages;
-                shard_migrations = applied;
+                shard_migrations += applied;
             }
         }
 
+        // Route to the *effective* owner: while an orphaned shard awaits
+        // adoption, its avatars and events go to the designated adopter
+        // (which tolerates simulating over foreign terrain) rather than
+        // the dead zone. With nothing pending this is exactly the map.
         let map = Arc::clone(&self.map);
-        let mut assignment = self
-            .router
-            .route(positions, events, |p| map.zone_of_block(p));
+        let pending = self.pending_owner.clone();
+        let mut assignment = self.router.route(positions, events, |p| {
+            if pending.is_empty() {
+                return map.zone_of_block(p);
+            }
+            let shard = shard_index(ChunkPos::from(p), map.shard_count());
+            pending
+                .get(&shard)
+                .copied()
+                .unwrap_or_else(|| map.zone_of_shard(shard))
+        });
 
         // 1a. Player handoffs: two messages per crossing avatar (session
         //     state transfer plus acknowledgement).
@@ -961,8 +1453,14 @@ impl ShardedGameCluster {
                 PlayerEvent::ChatMessage | PlayerEvent::InventoryChanged => continue,
             };
             let chunk = ChunkPos::from(block);
-            let origin = map.zone_of_chunk(chunk);
+            let origin = self.effective_zone_of_chunk(chunk);
             for neighbor in map.neighbor_zones(chunk) {
+                // Dead neighbours receive nothing; a neighbour that IS
+                // the effective origin (the adopter of a still-pending
+                // shard) already gets the event through routing.
+                if neighbor == origin || self.dead[neighbor] {
+                    continue;
+                }
                 assignment.events[neighbor].push((player, event));
                 messages += 1;
                 endpoints[origin] += 1;
@@ -971,9 +1469,20 @@ impl ShardedGameCluster {
             }
         }
 
-        // 2. One real tick per zone, in zone order.
+        // 2. One real tick per zone, in zone order. A dead zone performs
+        //    no work at all — its slot gets a zero report so the border
+        //    and critical-path accounting below stay positional.
         let reports: Vec<TickReport> = (0..zones)
             .map(|zone| {
+                if self.dead[zone] {
+                    return TickReport {
+                        tick: self.servers[zone].current_tick(),
+                        started_at: self.clock.now(),
+                        duration: SimDuration::ZERO,
+                        work: Default::default(),
+                        view_range_blocks: self.servers[zone].config().view_distance_blocks as f64,
+                    };
+                }
                 self.servers[zone].run_tick(&assignment.positions[zone], &assignment.events[zone])
             })
             .collect();
@@ -985,6 +1494,9 @@ impl ShardedGameCluster {
         //     persistence pipeline — draining happens exactly once per
         //     tick, and both consumers see every owned dirty shard.
         for zone in 0..zones {
+            if self.dead[zone] {
+                continue;
+            }
             let deltas = self.servers[zone].drain_owned_dirty();
             if let Some(rebalancer) = self.rebalancer.as_mut() {
                 for delta in &deltas {
@@ -1006,11 +1518,19 @@ impl ShardedGameCluster {
         //     in the hybrid's batched exchange.
         let mut exchange_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
         for border in &self.border_constructs {
+            // A dead owner simulates nothing (its constructs await
+            // adoption); dead neighbours receive nothing.
+            if self.dead[border.owner] {
+                continue;
+            }
             let work = reports[border.owner].work;
             if work.sc_local + work.sc_merged + work.sc_replayed == 0 {
                 continue;
             }
             for &neighbor in &border.neighbors {
+                if self.dead[neighbor] {
+                    continue;
+                }
                 self.stats.construct_exchanges += 1;
                 match self.border_exchange {
                     BorderExchange::PerConstruct => {
@@ -1039,6 +1559,11 @@ impl ShardedGameCluster {
             let Some(persistence) = self.persistence[zone].as_mut() else {
                 continue;
             };
+            // A fenced (crashed) pipeline runs no cadence and flushes
+            // nothing more; its store is frozen at the crash.
+            if persistence.fenced {
+                continue;
+            }
             let now = self.servers[zone].now();
             persistence.ticks_since_pass += 1;
             if persistence.ticks_since_pass >= persistence.interval {
@@ -1086,9 +1611,12 @@ impl ShardedGameCluster {
             cross_server_messages: messages,
         };
         // Feed the next tick boundary's policy observation: each zone's
-        // cost this tick (simulation + coordination) and its avatar count.
+        // cost this tick (simulation + coordination) and its avatar
+        // count. Dead zones are excluded — a policy reading their zero
+        // load as headroom would try to migrate shards into a grave.
         self.last_zone_loads = breakdown
             .iter()
+            .filter(|zone| !self.dead[zone.zone])
             .map(|zone| ZoneLoadSample {
                 zone: zone.zone,
                 load_ms: (zone.duration + zone.coordination).as_millis_f64(),
@@ -1108,6 +1636,18 @@ impl ShardedGameCluster {
         //    interval, or later if the slowest member overran it — the same
         //    rule each member applies to its own clock.
         let budget = self.servers[0].config().tick_budget();
+
+        // Recovery window: from the crash until the cluster is back
+        // inside its tick budget with no adoption pending, count every
+        // tick (and every tick the adoption storm pushed over QoS).
+        if self.recovering {
+            self.recovery_stats.recovery_ticks += 1;
+            if critical > budget {
+                self.recovery_stats.ticks_over_qos += 1;
+            } else if self.pending_adoptions.is_empty() {
+                self.recovering = false;
+            }
+        }
         self.clock.advance_by(critical.max(budget));
         tick
     }

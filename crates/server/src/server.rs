@@ -398,6 +398,18 @@ impl GameServer {
         id
     }
 
+    /// Tells the construct backend to release every construct's
+    /// per-construct state — in-flight speculation, cached sequences. The
+    /// cluster calls this when the zone *crashes*: whatever the substrate
+    /// was computing on the dead server's behalf is abandoned, so a
+    /// survivor adopting the constructs starts from their last committed
+    /// state instead of racing stale speculative results.
+    pub fn release_all_speculation(&mut self) {
+        for (id, _, _) in &self.constructs {
+            self.sc_backend.release(*id);
+        }
+    }
+
     /// Read access to a construct by id.
     pub fn construct(&self, id: ConstructId) -> Option<&Construct> {
         self.constructs

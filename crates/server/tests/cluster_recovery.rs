@@ -1,0 +1,320 @@
+//! Crash recovery of a [`ShardedGameCluster`]: a zone killed mid-run is
+//! fenced, its shards are adopted by the survivors through the migration
+//! path (remote-store restore plus write-ahead-log replay), and the
+//! cluster returns to its tick budget within a bounded window — while a
+//! run whose scheduled crash never fires stays byte-identical to a run
+//! with no failure plan at all.
+
+use servo_server::cluster::ShardedGameCluster;
+use servo_server::{RecoveryStats, ServerConfig};
+use servo_simkit::SimRng;
+use servo_storage::{BlobStore, BlobTier, ObjectStore};
+use servo_types::{BlockPos, ChunkPos, SimDuration};
+use servo_workload::{BehaviorKind, PlayerFleet};
+
+fn flat_config() -> ServerConfig {
+    ServerConfig::opencraft().with_view_distance(32)
+}
+
+fn random_fleet(players: usize, seed: u64) -> PlayerFleet {
+    let mut fleet = PlayerFleet::new(BehaviorKind::Random, SimRng::seed(seed));
+    fleet.connect_all(players);
+    fleet
+}
+
+/// The standard 4-zone baseline with per-zone persistence attached (the
+/// same shape the `cluster_equivalence` suite uses).
+fn persistent_cluster(seed: u64) -> ShardedGameCluster {
+    let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, seed);
+    for zone in 0..4 {
+        cluster.attach_persistence(
+            zone,
+            BlobStore::new(BlobTier::Standard, SimRng::seed(500 + zone as u64)),
+            SimRng::seed(600 + zone as u64),
+            10,
+        );
+    }
+    cluster
+}
+
+/// Every observable byte of a run: coordination stats, critical paths,
+/// member counters and timelines, world bytes, and persisted bytes.
+fn run_fingerprint(cluster: &ShardedGameCluster) -> String {
+    use servo_types::SimTime;
+    let mut out = String::new();
+    out.push_str(&format!("{:?}\n", cluster.stats()));
+    out.push_str(&format!("{:?}\n", cluster.critical_path_durations()));
+    for (zone, server) in cluster.servers().iter().enumerate() {
+        out.push_str(&format!(
+            "zone {zone}: {:?} now={:?}\n",
+            server.stats(),
+            server.now()
+        ));
+        let mut positions = server.world().loaded_positions();
+        positions.sort_by_key(|p| (p.x, p.z));
+        for pos in positions {
+            let bytes = server.world().read_chunk(pos, |c| c.to_bytes()).unwrap();
+            out.push_str(&format!("  chunk {pos} {bytes:?}\n"));
+        }
+        let persisted = cluster
+            .with_persisted(zone, |remote| {
+                let mut dump = Vec::new();
+                for key in remote.keys() {
+                    if let Ok(result) = remote.read(&key, SimTime::from_secs(10_000)) {
+                        dump.push((key, result.data));
+                    }
+                }
+                dump
+            })
+            .expect("persistence attached");
+        out.push_str(&format!("  persisted {persisted:?}\n"));
+    }
+    out
+}
+
+#[test]
+fn scheduled_but_unfired_crash_is_byte_identical_to_no_plan() {
+    let run = |schedule: bool| {
+        let mut cluster = persistent_cluster(77);
+        if schedule {
+            // Far beyond the run: the failure-injection path is armed on
+            // every tick but never fires.
+            cluster.crash_zone(2, 1_000_000);
+        }
+        let mut fleet = random_fleet(16, 78);
+        cluster.run_with_fleet(&mut fleet, SimDuration::from_secs(5));
+        cluster.flush_persistence();
+        cluster
+    };
+    let control = run(false);
+    let armed = run(true);
+    assert_eq!(armed.recovery_stats(), RecoveryStats::default());
+    assert_eq!(run_fingerprint(&control), run_fingerprint(&armed));
+}
+
+#[test]
+fn crash_mid_run_adopts_all_shards_and_freezes_the_dead_store() {
+    let players = 16usize;
+    let crash_tick = 60u64;
+    let total_ticks = 160u64;
+    let dead = 3usize;
+
+    let mut cluster = persistent_cluster(91);
+    cluster.crash_zone(dead, crash_tick);
+    let orphaned = cluster.shard_map().zone_shards(dead);
+    assert!(!orphaned.is_empty());
+
+    let mut fleet = random_fleet(players, 92);
+    let budget = SimDuration::from_millis(50);
+    let mut dead_keys_at_crash: Option<Vec<String>> = None;
+    for tick in 0..total_ticks {
+        let now = cluster.now();
+        let events = fleet.tick(now, budget);
+        let positions = fleet.positions();
+        cluster.run_tick(&positions, &events);
+        if tick == crash_tick {
+            assert!(cluster.zone_is_dead(dead));
+            dead_keys_at_crash = Some(
+                cluster
+                    .with_persisted(dead, |remote| remote.keys())
+                    .unwrap(),
+            );
+        }
+    }
+    cluster.flush_persistence();
+
+    // Every orphaned shard was adopted by a survivor; nothing is pending
+    // and the map is still a partition over the three live zones.
+    assert!(cluster.shard_map().zone_shards(dead).is_empty());
+    assert_eq!(cluster.pending_adoption_count(), 0);
+    let recovery = cluster.recovery_stats();
+    assert_eq!(recovery.crashes, 1);
+    assert_eq!(recovery.shards_adopted, orphaned.len() as u64);
+    // The WAL is on by default, so the crash lost nothing.
+    assert_eq!(recovery.chunks_lost, 0);
+    assert!(recovery.recovery_messages > 0);
+    assert!(recovery.recovery_ticks >= 1);
+    assert!(recovery.ticks_over_qos <= recovery.recovery_ticks);
+
+    // The dead member froze at the crash: no further ticks, and its store
+    // holds exactly the bytes it held when it died.
+    assert_eq!(cluster.server(dead).stats().ticks, crash_tick);
+    let dead_keys_now = cluster
+        .with_persisted(dead, |remote| remote.keys())
+        .unwrap();
+    assert_eq!(dead_keys_at_crash.unwrap(), dead_keys_now);
+
+    // Every avatar was simulated by exactly one zone on every tick —
+    // including the crash tick and the adoption window.
+    for detail in cluster.ticks() {
+        let assigned: usize = detail.zones.iter().map(|z| z.players).sum();
+        assert_eq!(assigned, players);
+    }
+
+    // The recovery window is bounded: the cluster was back inside its
+    // budget well before the run ended, and the last tick is within QoS.
+    assert!(recovery.recovery_ticks < total_ticks - crash_tick);
+    let last = cluster.ticks().last().unwrap();
+    assert!(last.tick.critical_path <= cluster.server(0).config().tick_budget());
+
+    // Ownership audit: every chunk a *surviving* zone persisted is owned
+    // by that zone under the final map — recovery never makes a zone
+    // flush foreign terrain.
+    let map = cluster.shard_map();
+    for zone in 0..4 {
+        if zone == dead {
+            continue;
+        }
+        let keys = cluster
+            .with_persisted(zone, |remote| remote.keys())
+            .unwrap();
+        assert!(!keys.is_empty(), "zone {zone} persisted nothing");
+        for key in keys {
+            let mut parts = key.split('/');
+            assert_eq!(parts.next(), Some("terrain"), "unexpected key {key}");
+            let x: i32 = parts.next().unwrap().parse().unwrap();
+            let z: i32 = parts.next().unwrap().parse().unwrap();
+            assert_eq!(
+                map.zone_of_chunk(ChunkPos::new(x, z)),
+                zone,
+                "zone {zone} persisted foreign chunk {key}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_respects_the_shared_migration_budget() {
+    use servo_world::{RebalanceConfig, RebalancePolicy};
+
+    // Budget 2 with 4 orphaned shards: adoption must spread over (at
+    // least) two ticks, and no tick may ever apply more migrations than
+    // the configured bound — recovery and the policy share one budget, so
+    // a crash cannot compound into a migration storm.
+    let step_budget = 2usize;
+    let crash_tick = 40u64;
+    let dead = 1usize;
+    let mut cluster = persistent_cluster(131);
+    cluster.enable_rebalancing(RebalancePolicy::new(RebalanceConfig {
+        warmup_ticks: 5,
+        evaluate_every: 1,
+        cooldown_ticks: 10,
+        trigger_ratio: 1.1,
+        min_gap_ms: 0.1,
+        max_migrations_per_step: step_budget,
+        ..RebalanceConfig::default()
+    }));
+    cluster.crash_zone(dead, crash_tick);
+    let orphaned = cluster.shard_map().zone_shards(dead).len();
+    assert!(
+        orphaned > step_budget,
+        "test needs more orphans than budget"
+    );
+
+    let mut fleet = random_fleet(20, 132);
+    let budget = SimDuration::from_millis(50);
+    let mut pending_after_crash_tick = None;
+    for tick in 0..120u64 {
+        let now = cluster.now();
+        let events = fleet.tick(now, budget);
+        let positions = fleet.positions();
+        cluster.run_tick(&positions, &events);
+        if tick == crash_tick {
+            pending_after_crash_tick = Some(cluster.pending_adoption_count());
+        }
+    }
+
+    // The first recovery tick adopted exactly the budget, leaving the
+    // rest pending for later boundaries.
+    assert_eq!(
+        pending_after_crash_tick,
+        Some(orphaned - step_budget),
+        "recovery exceeded (or under-used) the per-tick migration budget"
+    );
+    assert_eq!(cluster.pending_adoption_count(), 0);
+    assert_eq!(cluster.recovery_stats().shards_adopted, orphaned as u64);
+    // No tick — crash, recovery, or policy — ever exceeded the bound.
+    for detail in cluster.ticks() {
+        assert!(
+            detail.shard_migrations <= step_budget as u64,
+            "migration storm: {} migrations in one tick",
+            detail.shard_migrations
+        );
+    }
+    // The map is still a partition and the dead zone owns nothing.
+    let map = cluster.shard_map();
+    assert!(map.zone_shards(dead).is_empty());
+    let mut owned = vec![0usize; map.shard_count()];
+    for zone in 0..map.zones() {
+        for shard in map.zone_shards(zone) {
+            owned[shard] += 1;
+        }
+    }
+    assert!(owned.iter().all(|&n| n == 1), "shard owned twice or never");
+}
+
+#[test]
+fn wal_replay_recovers_staged_edits_and_disabling_it_loses_them() {
+    use servo_server::cluster::zone_hotspot_sites;
+    use servo_world::Block;
+
+    // Dirty two owned chunks of zone 0, let one tick drain them into the
+    // (never-flushing) staging, then kill zone 0. With the WAL on, the
+    // adopters replay the edited bytes; with it off, the edits die with
+    // the zone's memory and are counted as lost.
+    let run = |wal_enabled: bool| {
+        let mut cluster = ShardedGameCluster::baseline(flat_config(), 4, 171);
+        cluster.attach_persistence(
+            0,
+            BlobStore::new(BlobTier::Standard, SimRng::seed(700)),
+            SimRng::seed(701),
+            1_000_000, // no cadence pass ever: the dirt stays staged
+        );
+        cluster.set_wal_enabled(0, wal_enabled);
+        let sites = zone_hotspot_sites(cluster.shard_map(), 0, 2);
+        let mut edited = Vec::new();
+        for site in &sites {
+            cluster.server(0).world().ensure_chunk_at(*site);
+            let block = site.min_block() + BlockPos::new(3, 9, 3);
+            cluster
+                .server(0)
+                .world()
+                .set_block(block, Block::Lamp)
+                .unwrap();
+            edited.push(block);
+        }
+        // Tick 0 drains the dirt into zone 0's staging (and WAL, when
+        // enabled); the crash fires at tick 1.
+        cluster.crash_zone(0, 1);
+        for _ in 0..4 {
+            cluster.run_tick(&[], &[]);
+        }
+        (cluster, edited)
+    };
+
+    let (with_wal, edited) = run(true);
+    let recovery = with_wal.recovery_stats();
+    assert_eq!(recovery.chunks_lost, 0);
+    assert!(recovery.chunks_replayed >= edited.len() as u64);
+    // The edited bytes survived the crash: the adopting zone's world
+    // holds the lamp each staged-but-unflushed chunk carried.
+    let map = with_wal.shard_map();
+    for block in &edited {
+        let owner = map.zone_of_block(*block);
+        assert_ne!(owner, 0, "shard never left the dead zone");
+        assert_eq!(
+            with_wal.server(owner).world().block(*block),
+            Some(Block::Lamp),
+            "replayed edit at {block:?} did not survive adoption"
+        );
+    }
+
+    let (without_wal, edited) = run(false);
+    let recovery = without_wal.recovery_stats();
+    assert_eq!(recovery.chunks_replayed, 0);
+    assert_eq!(
+        recovery.chunks_lost,
+        edited.len() as u64,
+        "staged-but-unflushed chunks must be counted lost without a WAL"
+    );
+}

@@ -150,6 +150,30 @@ impl ObjectStore for LocalDiskStore {
     }
 }
 
+/// Deterministic transient-failure rates for a [`BlobStore`], driven by a
+/// dedicated [`SimRng`] substream so an armed-but-zero-rate profile leaves
+/// the store's latency stream — and therefore every derived statistic —
+/// untouched. Failed operations consume no latency sample and do not count
+/// toward the read/write counters, matching the single-shot
+/// [`BlobStore::inject_failure`] behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability in `[0, 1]` that a read fails transiently.
+    pub read_fail_rate: f64,
+    /// Probability in `[0, 1]` that a write fails transiently.
+    pub write_fail_rate: f64,
+}
+
+impl FaultProfile {
+    /// A profile that never fails (useful as a default arm in sweeps).
+    pub fn none() -> Self {
+        FaultProfile {
+            read_fail_rate: 0.0,
+            write_fail_rate: 0.0,
+        }
+    }
+}
+
 /// The service tier of the blob store, matching the Premium/Standard plans
 /// compared in Figure 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,6 +199,10 @@ pub struct BlobStore {
     /// Sustained download throughput in bytes per millisecond.
     throughput_bytes_per_ms: f64,
     fail_next: Option<String>,
+    /// Transient fault injection: rates plus a dedicated RNG, armed via
+    /// [`BlobStore::with_faults`]. Kept separate from the latency RNG so an
+    /// unarmed store's streams are bit-identical to a pre-fault build.
+    faults: Option<(FaultProfile, SimRng)>,
     /// Counters for experiment output.
     reads: u64,
     writes: u64,
@@ -206,8 +234,32 @@ impl BlobStore {
             base_latency,
             throughput_bytes_per_ms,
             fail_next: None,
+            faults: None,
             reads: 0,
             writes: 0,
+        }
+    }
+
+    /// Arms deterministic transient faults: each read (write) independently
+    /// fails with the profile's rate, sampled from `rng`. Use a dedicated
+    /// substream (e.g. `rng.substream("faults")`) — the latency RNG stays
+    /// untouched either way.
+    pub fn with_faults(mut self, profile: FaultProfile, rng: SimRng) -> Self {
+        self.faults = Some((profile, rng));
+        self
+    }
+
+    fn transient_fault(&mut self, is_read: bool) -> bool {
+        match &mut self.faults {
+            Some((profile, rng)) => {
+                let rate = if is_read {
+                    profile.read_fail_rate
+                } else {
+                    profile.write_fail_rate
+                };
+                rate > 0.0 && rng.unit() < rate
+            }
+            None => false,
         }
     }
 
@@ -226,6 +278,14 @@ impl BlobStore {
         self.writes
     }
 
+    /// Every stored key, sorted (no latency accounted) — audit surface for
+    /// ownership tests and recovery tooling.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.objects.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
     /// Injects a failure: the next operation returns
     /// [`ServoError::StorageFailed`] with the given reason.
     pub fn inject_failure(&mut self, reason: impl Into<String>) {
@@ -241,6 +301,9 @@ impl ObjectStore for BlobStore {
     fn read(&mut self, key: &str, now: SimTime) -> Result<ReadResult, ServoError> {
         if let Some(reason) = self.fail_next.take() {
             return Err(ServoError::storage_failed(reason));
+        }
+        if self.transient_fault(true) {
+            return Err(ServoError::storage_failed("transient blob read fault"));
         }
         let data = self
             .objects
@@ -259,6 +322,9 @@ impl ObjectStore for BlobStore {
     fn write(&mut self, key: &str, data: Vec<u8>, now: SimTime) -> Result<WriteResult, ServoError> {
         if let Some(reason) = self.fail_next.take() {
             return Err(ServoError::storage_failed(reason));
+        }
+        if self.transient_fault(false) {
+            return Err(ServoError::storage_failed("transient blob write fault"));
         }
         self.writes += 1;
         let latency = self.base_latency.sample(&mut self.rng) + self.transfer_time(data.len());

@@ -18,7 +18,7 @@ use servo_types::consts::TICK_BUDGET;
 use servo_types::{ChunkPos, ServoError, SimDuration, SimTime};
 use servo_world::{shard_index, ChunkSnapshot, ShardDelta, ShardedWorld, DEFAULT_SHARDS};
 
-use crate::backend::{LocalDiskStore, ObjectStore};
+use crate::backend::{LocalDiskStore, ObjectStore, ReadResult, WriteResult};
 
 /// The canonical object-store key terrain chunks persist under. Every
 /// producer of persisted terrain — the cache write-back path, remote
@@ -63,6 +63,11 @@ pub struct CacheStats {
     pub prefetches_issued: u64,
     /// Chunks written back to remote storage.
     pub write_backs: u64,
+    /// Remote operations retried after a transient storage failure.
+    pub retries: u64,
+    /// Remote operations that failed even after exhausting their retry
+    /// budget (the error then surfaces exactly like a no-retry failure).
+    pub retries_exhausted: u64,
 }
 
 impl CacheStats {
@@ -81,6 +86,8 @@ impl CacheStats {
         self.remote_misses += other.remote_misses;
         self.prefetches_issued += other.prefetches_issued;
         self.write_backs += other.write_backs;
+        self.retries += other.retries;
+        self.retries_exhausted += other.retries_exhausted;
     }
 
     /// Fraction of reads that did not require a synchronous remote fetch.
@@ -185,6 +192,31 @@ pub struct CachedChunkStore<R: ObjectStore> {
     /// Shard count used to batch prefetches and write-backs in the same
     /// groups the sharded world partitions chunks into.
     shard_count: usize,
+    /// Bounded retry-and-backoff for transient remote failures. Zero
+    /// attempts (the default) preserves the historical fail-once behavior
+    /// bit for bit.
+    retry: RetryPolicy,
+}
+
+/// Bounded retry-and-backoff applied to remote reads and writes when the
+/// store reports a transient [`ServoError::StorageFailed`]. Each retry is
+/// issued `backoff * attempt` later in simulated time, so retried
+/// operations genuinely cost more latency than clean ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 disables retrying).
+    pub attempts: u32,
+    /// Delay added per retry attempt.
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 0,
+            backoff: SimDuration::from_millis(5),
+        }
+    }
 }
 
 impl<R: ObjectStore> CachedChunkStore<R> {
@@ -204,6 +236,67 @@ impl<R: ObjectStore> CachedChunkStore<R> {
             stats: CacheStats::default(),
             memory_latency: SimDuration::from_micros(50),
             shard_count: DEFAULT_SHARDS,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Sets the bounded retry-and-backoff policy for transient remote
+    /// failures (see [`RetryPolicy`]).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Reads `key` from the remote store, retrying transient failures up to
+    /// the policy's budget with linear backoff. `NotFound` is never retried.
+    fn remote_read_retrying(&mut self, key: &str, now: SimTime) -> Result<ReadResult, ServoError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self
+                .remote
+                .read(key, now + self.retry.backoff * attempt as u64)
+            {
+                Ok(read) => return Ok(read),
+                Err(err @ ServoError::NotFound { .. }) => return Err(err),
+                Err(err) => {
+                    if attempt >= self.retry.attempts {
+                        if self.retry.attempts > 0 {
+                            self.stats.retries_exhausted += 1;
+                        }
+                        return Err(err);
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Writes `key` to the remote store with the same bounded retry policy
+    /// as [`CachedChunkStore::remote_read_retrying`].
+    fn remote_write_retrying(
+        &mut self,
+        key: &str,
+        data: Vec<u8>,
+        now: SimTime,
+    ) -> Result<WriteResult, ServoError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self
+                .remote
+                .write(key, data.clone(), now + self.retry.backoff * attempt as u64)
+            {
+                Ok(write) => return Ok(write),
+                Err(err) => {
+                    if attempt >= self.retry.attempts {
+                        if self.retry.attempts > 0 {
+                            self.stats.retries_exhausted += 1;
+                        }
+                        return Err(err);
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                }
+            }
         }
     }
 
@@ -333,17 +426,31 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         for pos in due {
             self.in_flight.remove(&pos);
             // The data was transferred in the background; materialise it.
-            if let Ok(read) = self.remote.read(&Self::key(pos), now) {
-                let snapshot = ChunkSnapshot {
-                    pos,
-                    bytes: read.data,
-                };
-                let _ = self
-                    .local
-                    .write(&Self::key(pos), snapshot.bytes.clone(), now);
-                self.memory.insert(pos, snapshot);
-                self.touch(pos);
-                arrived.push(pos);
+            match self.remote_read_retrying(&Self::key(pos), now) {
+                Ok(read) => {
+                    let snapshot = ChunkSnapshot {
+                        pos,
+                        bytes: read.data,
+                    };
+                    let _ = self
+                        .local
+                        .write(&Self::key(pos), snapshot.bytes.clone(), now);
+                    self.memory.insert(pos, snapshot);
+                    self.touch(pos);
+                    arrived.push(pos);
+                }
+                Err(ServoError::NotFound { .. }) => {}
+                Err(_) if self.retry.attempts > 0 => {
+                    // Transient failure even after the retry budget: keep
+                    // the transfer in flight with a pushed-out arrival so
+                    // waiters are resolved on a later poll instead of
+                    // being stranded.
+                    self.in_flight.insert(
+                        pos,
+                        now + self.retry.backoff * (self.retry.attempts + 1) as u64,
+                    );
+                }
+                Err(_) => {}
             }
         }
         arrived
@@ -381,7 +488,7 @@ impl<R: ObjectStore> CachedChunkStore<R> {
             // recording only its completion time; the bytes are re-read (at
             // no extra simulated cost) when the transfer completes in
             // `poll`.
-            if let Ok(read) = self.remote.read(&Self::key(pos), now) {
+            if let Ok(read) = self.remote_read_retrying(&Self::key(pos), now) {
                 self.in_flight.insert(pos, read.completed_at);
                 self.stats.prefetches_issued += 1;
             }
@@ -447,7 +554,7 @@ impl<R: ObjectStore> CachedChunkStore<R> {
             });
         }
 
-        let read = self.remote.read(&key, now)?;
+        let read = self.remote_read_retrying(&key, now)?;
         self.stats.remote_misses += 1;
         let snapshot = ChunkSnapshot {
             pos,
@@ -514,7 +621,7 @@ impl<R: ObjectStore> CachedChunkStore<R> {
         if !self.remote.contains(&key) {
             return Err(ServoError::not_found(format!("chunk {pos}")));
         }
-        let read = self.remote.read(&key, now)?;
+        let read = self.remote_read_retrying(&key, now)?;
         self.stats.prefetches_issued += 1;
         let arrives_at = read.completed_at;
         self.in_flight.insert(pos, arrives_at);
@@ -555,9 +662,8 @@ impl<R: ObjectStore> CachedChunkStore<R> {
                 }
                 if self.dirty[shard].remove(&pos) {
                     if let Some(snapshot) = self.memory.get(&pos) {
-                        let _ = self
-                            .remote
-                            .write(&Self::key(pos), snapshot.bytes.clone(), now);
+                        let bytes = snapshot.bytes.clone();
+                        let _ = self.remote_write_retrying(&Self::key(pos), bytes, now);
                         self.stats.write_backs += 1;
                     }
                 }
@@ -589,9 +695,9 @@ impl<R: ObjectStore> CachedChunkStore<R> {
             for i in 0..self.write_back_scratch.len() {
                 let pos = self.write_back_scratch[i];
                 if let Some(snapshot) = self.memory.get(&pos) {
+                    let bytes = snapshot.bytes.clone();
                     if self
-                        .remote
-                        .write(&Self::key(pos), snapshot.bytes.clone(), now)
+                        .remote_write_retrying(&Self::key(pos), bytes, now)
                         .is_ok()
                     {
                         written += 1;
@@ -610,20 +716,23 @@ impl<R: ObjectStore> CachedChunkStore<R> {
     /// not resident in memory), clearing their dirty flags on success and
     /// re-marking them on failure. The chunk services drive this with the
     /// per-shard deltas from [`CachedChunkStore::take_dirty_deltas`] and
-    /// [`ShardedWorld::drain_dirty`]. Returns the number of chunks written.
-    pub fn write_back(&mut self, positions: &[ChunkPos], now: SimTime) -> usize {
-        let mut written = 0;
+    /// [`ShardedWorld::drain_dirty`]. Returns the positions actually
+    /// written — the caller's signal for which durability obligations (WAL
+    /// records, staged sets) may now be discharged; a failed position is
+    /// re-marked dirty and must stay recoverable.
+    pub fn write_back(&mut self, positions: &[ChunkPos], now: SimTime) -> Vec<ChunkPos> {
+        let mut written = Vec::with_capacity(positions.len());
         for &pos in positions {
             let Some(snapshot) = self.memory.get(&pos) else {
                 continue;
             };
+            let bytes = snapshot.bytes.clone();
             let shard = shard_index(pos, self.shard_count);
             if self
-                .remote
-                .write(&Self::key(pos), snapshot.bytes.clone(), now)
+                .remote_write_retrying(&Self::key(pos), bytes, now)
                 .is_ok()
             {
-                written += 1;
+                written.push(pos);
                 self.stats.write_backs += 1;
                 self.dirty[shard].remove(&pos);
             } else {
@@ -878,7 +987,7 @@ mod tests {
         // Taking drains: the set is clean afterwards, and targeted
         // write-back of the taken positions flushes to remote.
         assert!(store.take_dirty_deltas().is_empty());
-        assert_eq!(store.write_back(&[pos], SimTime::ZERO), 1);
+        assert_eq!(store.write_back(&[pos], SimTime::ZERO), vec![pos]);
         assert_eq!(store.remote_mut().len(), 1);
     }
 

@@ -31,14 +31,20 @@ pub mod backend;
 pub mod cache;
 pub mod playerdata;
 pub mod service;
+pub mod wal;
 
-pub use backend::{BlobStore, BlobTier, LocalDiskStore, ObjectStore, ReadResult, WriteResult};
-pub use cache::{chunk_key, CacheStats, CachedChunkStore, CachedRead, ChunkLocation, TryRead};
+pub use backend::{
+    BlobStore, BlobTier, FaultProfile, LocalDiskStore, ObjectStore, ReadResult, WriteResult,
+};
+pub use cache::{
+    chunk_key, CacheStats, CachedChunkStore, CachedRead, ChunkLocation, RetryPolicy, TryRead,
+};
 pub use playerdata::{PlayerDataStore, PlayerLoad, PlayerRecord};
 pub use service::{
     ChunkCompletion, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService, Priority,
     SyncChunkService, Ticket,
 };
+pub use wal::{DeltaWal, SharedWal, WalRecord};
 // Re-exported so service consumers can name the dirty-delta type without a
 // direct `servo-world` dependency.
 pub use servo_world::ShardDelta;

@@ -30,7 +30,8 @@ use servo_types::{ChunkPos, ServoError, SimDuration, SimTime};
 use servo_world::{shard_index, Chunk, ChunkSnapshot, ShardDelta, ShardedWorld};
 
 use crate::backend::ObjectStore;
-use crate::cache::{CacheStats, CachedChunkStore, ChunkLocation, TryRead};
+use crate::cache::{CacheStats, CachedChunkStore, ChunkLocation, RetryPolicy, TryRead};
+use crate::wal::SharedWal;
 
 /// How urgently a [`ChunkRequest`] should be served relative to others
 /// flushed in the same batch.
@@ -262,6 +263,17 @@ pub trait ChunkService {
         let _ = deltas;
     }
 
+    /// Returns the recoverable write-back deltas for `shard`: positions
+    /// that were staged (and write-ahead logged) but whose flush has not
+    /// durably completed. A crashed zone's adopter drives its rebuild from
+    /// this plus the remote store. Services without a durability log — the
+    /// generation backends, or a pipeline built without
+    /// `PipelinedChunkService::with_wal` — recover nothing.
+    fn recover(&mut self, shard: usize) -> Vec<ShardDelta> {
+        let _ = shard;
+        Vec::new()
+    }
+
     /// Number of submitted requests whose final completion has not yet been
     /// returned by [`poll`](ChunkService::poll).
     fn pending(&self) -> usize;
@@ -349,6 +361,12 @@ struct ServiceCore<R: ObjectStore> {
     /// Tickets waiting for an in-flight transfer of a position.
     waiting: HashMap<ChunkPos, Vec<Waiter>>,
     shard_count: usize,
+    /// The zone's write-ahead delta log, when durability is enabled: every
+    /// staged position is appended here (with the chunk bytes captured from
+    /// the bound world at staging time) before the stage is acknowledged,
+    /// and truncated only once its write-back has durably landed. A leaf
+    /// lock under the segment lock, like the shared remote.
+    wal: Option<SharedWal>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -370,12 +388,28 @@ impl<R: ObjectStore> ServiceCore<R> {
             staged: (0..shard_count).map(|_| BTreeSet::new()).collect(),
             waiting: HashMap::new(),
             shard_count,
+            wal: None,
         }
     }
 
-    /// Stages one externally drained position for the next write-back.
+    /// Stages one externally drained position for the next write-back,
+    /// write-ahead-logging it first when a WAL is attached.
     fn stage(&mut self, pos: ChunkPos) {
+        self.log_staged(pos);
         self.staged[shard_index(pos, self.shard_count)].insert(pos);
+    }
+
+    /// Appends `pos`'s current world bytes to the WAL. Every path that adds
+    /// a position to the staged set must come through here (or through
+    /// [`ServiceCore::stage`]) so nothing enters the write-back working set
+    /// without first being recoverable. Positions the bound world no longer
+    /// holds are skipped — there are no bytes left to make durable.
+    fn log_staged(&mut self, pos: ChunkPos) {
+        if let (Some(wal), Some(world)) = (&self.wal, &self.world) {
+            if let Some(bytes) = world.read_chunk(pos, |c| c.to_bytes()) {
+                wal.append(pos, bytes);
+            }
+        }
     }
 
     /// Takes the staged write-back set of one shard (the migration-handoff
@@ -433,6 +467,7 @@ impl<R: ObjectStore> ServiceCore<R> {
             .into_iter()
             .map(|(shard, (epoch, set))| {
                 for &pos in &set {
+                    self.log_staged(pos);
                     self.staged[shard].insert(pos);
                 }
                 ShardDelta {
@@ -569,12 +604,30 @@ impl<R: ObjectStore> ServiceCore<R> {
                 for delta in self.cache.take_dirty_deltas() {
                     for pos in delta.chunks {
                         if !positions.contains(&pos) {
+                            self.log_staged(pos);
                             self.staged[shard_index(pos, self.shard_count)].insert(pos);
                         }
                     }
                 }
             }
-            written += self.cache.write_back(&positions, now);
+            // Record, per position, the newest WAL sequence covered by the
+            // snapshot this pass is about to flush. Appends racing in after
+            // this point carry higher sequences and survive truncation.
+            let marks: Vec<(ChunkPos, Option<u64>)> = match &self.wal {
+                Some(wal) => positions.iter().map(|&p| (p, wal.latest_seq(p))).collect(),
+                None => Vec::new(),
+            };
+            let flushed = self.cache.write_back(&positions, now);
+            if let Some(wal) = &self.wal {
+                for &(pos, mark) in &marks {
+                    if let Some(seq) = mark {
+                        if flushed.contains(&pos) {
+                            wal.truncate(pos, seq);
+                        }
+                    }
+                }
+            }
+            written += flushed.len();
         }
         written
     }
@@ -676,6 +729,22 @@ impl<R: ObjectStore> SyncChunkService<R> {
         self
     }
 
+    /// Attaches a write-ahead delta log: staged positions are logged (with
+    /// their world bytes) before the stage is acknowledged and truncated on
+    /// durable write-back. Attach after binding the world — the log reads
+    /// chunk bytes from it.
+    pub fn with_wal(mut self, wal: SharedWal) -> Self {
+        self.core.wal = Some(wal);
+        self
+    }
+
+    /// Sets the bounded retry-and-backoff policy for transient remote
+    /// failures.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.core.cache.set_retry(retry);
+        self
+    }
+
     /// Cache effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         self.core.cache.stats()
@@ -756,6 +825,13 @@ impl<R: ObjectStore> ChunkService for SyncChunkService<R> {
             for pos in delta.chunks {
                 self.core.stage(pos);
             }
+        }
+    }
+
+    fn recover(&mut self, shard: usize) -> Vec<ShardDelta> {
+        match &self.core.wal {
+            Some(wal) => wal.delta(shard).into_iter().collect(),
+            None => Vec::new(),
         }
     }
 
@@ -981,6 +1057,11 @@ pub struct PipelinedChunkService<R: ObjectStore + Send + 'static> {
     /// be bound (rebuilding the segments) right after construction.
     workers: Vec<std::thread::JoinHandle<()>>,
     workers_target: usize,
+    /// The zone's write-ahead delta log, re-applied to the segments on
+    /// every rebind. `None` disables durability logging.
+    wal: Option<SharedWal>,
+    /// Retry policy re-applied to the segment caches on every rebind.
+    retry: RetryPolicy,
 }
 
 impl<R: ObjectStore + Send + 'static> std::fmt::Debug for PipelinedChunkService<R> {
@@ -1033,7 +1114,78 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(1),
             ),
+            wal: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Attaches a write-ahead delta log shared by every shard segment:
+    /// staged positions are logged (with the chunk bytes read from the
+    /// bound world) before the stage is acknowledged, and truncated once
+    /// their write-back durably lands. The caller keeps a clone of the
+    /// handle — the log models a durable device that outlives this
+    /// pipeline, which is what crash recovery replays. Attach *after*
+    /// `with_world`/`with_world_shards` (rebinding rebuilds the segments).
+    pub fn with_wal(mut self, wal: SharedWal) -> Self {
+        for segment in 0..self.shared.segments.len() {
+            self.shared.segment(segment).wal = Some(wal.clone());
+        }
+        self.wal = Some(wal);
+        self
+    }
+
+    /// The attached write-ahead log handle, if durability is enabled.
+    pub fn wal(&self) -> Option<SharedWal> {
+        self.wal.clone()
+    }
+
+    /// Attaches or detaches the write-ahead log in place (the non-builder
+    /// form of [`PipelinedChunkService::with_wal`]; `None` disables
+    /// durability — the configuration the failure ablation's no-WAL arms
+    /// measure the data-loss window of).
+    pub fn set_wal(&mut self, wal: Option<SharedWal>) {
+        for segment in 0..self.shared.segments.len() {
+            self.shared.segment(segment).wal = wal.clone();
+        }
+        self.wal = wal;
+    }
+
+    /// Sets the bounded retry-and-backoff policy the workers apply to
+    /// transient remote failures (see `RetryPolicy`).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.set_retry(retry);
+        self
+    }
+
+    /// In-place form of [`PipelinedChunkService::with_retry`], for callers
+    /// that only hold the built pipeline (e.g. a cluster re-configuring an
+    /// attached persistence service).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        for segment in 0..self.shared.segments.len() {
+            self.shared.segment(segment).cache.set_retry(retry);
+        }
+        self.retry = retry;
+    }
+
+    /// The *staged* (drained-but-not-yet-flushed) write-back positions of
+    /// world shard `shard`, sorted by `(x, z)`, without removing them — the
+    /// inspection half of [`PipelinedChunkService::take_staged_shard`].
+    /// Crash accounting reads this to size the data-loss window: every
+    /// staged position not covered by the WAL is lost with the zone's
+    /// memory.
+    pub fn staged_positions(&self, shard: usize) -> Vec<ChunkPos> {
+        if shard >= self.shared.segments.len() {
+            return Vec::new();
+        }
+        let mut positions: Vec<ChunkPos> = self
+            .shared
+            .segment(shard)
+            .staged
+            .get(shard)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        positions.sort_by_key(|p| (p.x, p.z));
+        positions
     }
 
     /// Builds one service core per shard segment, each with its own derived
@@ -1088,6 +1240,13 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
         shared.segments = segments;
         self.shard_count = shard_count;
         self.lanes = (0..shard_count).map(|_| Vec::new()).collect();
+        // Re-apply the durability log and retry policy to the fresh
+        // segments, so builder-call order cannot silently drop them.
+        for segment in 0..self.shared.segments.len() {
+            let mut core = self.shared.segment(segment);
+            core.wal = self.wal.clone();
+            core.cache.set_retry(self.retry);
+        }
     }
 
     /// Binds the world whose per-shard dirty deltas feed
@@ -1193,6 +1352,17 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
         }
         let mut positions = self.shared.segment(shard).take_staged_shard(shard);
         positions.sort_by_key(|p| (p.x, p.z));
+        // The write-back obligation (and with it the durability obligation)
+        // moves to whoever receives the handoff: drop this pipeline's WAL
+        // records for the taken positions, or a later crash here would
+        // replay chunks the zone no longer owns.
+        if let Some(wal) = &self.wal {
+            for &pos in &positions {
+                if let Some(seq) = wal.latest_seq(pos) {
+                    wal.truncate(pos, seq);
+                }
+            }
+        }
         positions
     }
 
@@ -1314,6 +1484,13 @@ impl<R: ObjectStore + Send + 'static> ChunkService for PipelinedChunkService<R> 
             for pos in positions {
                 core.stage(pos);
             }
+        }
+    }
+
+    fn recover(&mut self, shard: usize) -> Vec<ShardDelta> {
+        match &self.wal {
+            Some(wal) => wal.delta(shard).into_iter().collect(),
+            None => Vec::new(),
         }
     }
 

@@ -1,0 +1,233 @@
+//! Property tests for the write-ahead delta log: replaying a
+//! [`DeltaWal`] is idempotent and order-insensitive (last-writer-wins by
+//! sequence number within each shard), and the truncation a write-back
+//! performs never drops a delta that was staged after the flush snapshot
+//! was taken.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use servo_simkit::SimRng;
+use servo_storage::{BlobStore, BlobTier, ChunkService, DeltaWal, SyncChunkService, WalRecord};
+use servo_types::{BlockPos, ChunkPos, SimTime};
+use servo_world::{shard_index, Block, ShardedWorld};
+
+const SHARDS: usize = 4;
+const GRID: u64 = 5;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded append stream over a small chunk grid; payload bytes encode
+/// the append index so later writes are distinguishable from earlier ones.
+fn append_stream(seed: u64, len: usize) -> Vec<(ChunkPos, Vec<u8>)> {
+    let mut state = seed ^ 0x57ab1e;
+    (0..len)
+        .map(|i| {
+            let r = splitmix(&mut state);
+            let pos = ChunkPos::new((r % GRID) as i32, ((r >> 8) % GRID) as i32);
+            (
+                pos,
+                vec![(i & 0xff) as u8, (i >> 8) as u8, (r & 0xff) as u8],
+            )
+        })
+        .collect()
+}
+
+/// Applies records with the log's replay rule: a record lands only if its
+/// sequence is not older than what the state already holds for that chunk.
+fn apply_lww(state: &mut BTreeMap<ChunkPos, (u64, Vec<u8>)>, records: &[WalRecord]) {
+    for record in records {
+        match state.get(&record.pos) {
+            Some((seq, _)) if *seq > record.seq => {}
+            _ => {
+                state.insert(record.pos, (record.seq, record.bytes.clone()));
+            }
+        }
+    }
+}
+
+/// A deterministic permutation of `records` driven by `seed`.
+fn shuffled(records: &[WalRecord], seed: u64) -> Vec<WalRecord> {
+    let mut out = records.to_vec();
+    let mut state = seed ^ 0x0bad_5eed;
+    for i in (1..out.len()).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replaying a shard yields, for every chunk, exactly the bytes of the
+    /// *last* append to that chunk — last-writer-wins within the shard.
+    #[test]
+    fn replay_is_last_writer_wins(seed in 0u64..1_000_000) {
+        let mut wal = DeltaWal::new(SHARDS);
+        let mut last: BTreeMap<ChunkPos, Vec<u8>> = BTreeMap::new();
+        for (pos, bytes) in append_stream(seed, 80) {
+            wal.append(pos, bytes.clone());
+            last.insert(pos, bytes);
+        }
+        let mut replayed: BTreeMap<ChunkPos, Vec<u8>> = BTreeMap::new();
+        for shard in 0..SHARDS {
+            for record in wal.replay_shard(shard) {
+                prop_assert_eq!(shard_index(record.pos, SHARDS), shard);
+                prop_assert!(replayed.insert(record.pos, record.bytes).is_none(),
+                    "replay emitted a chunk twice");
+            }
+        }
+        prop_assert_eq!(replayed, last);
+    }
+
+    /// Applying the replay of a shard to a state that already absorbed it
+    /// changes nothing: recovery may be retried after a second crash
+    /// without corrupting the adopted world.
+    #[test]
+    fn replay_is_idempotent(seed in 0u64..1_000_000) {
+        let mut wal = DeltaWal::new(SHARDS);
+        for (pos, bytes) in append_stream(seed, 80) {
+            wal.append(pos, bytes);
+        }
+        for shard in 0..SHARDS {
+            let records = wal.replay_shard(shard);
+            let mut once = BTreeMap::new();
+            apply_lww(&mut once, &records);
+            let mut twice = once.clone();
+            apply_lww(&mut twice, &records);
+            prop_assert_eq!(&once, &twice, "second replay changed the state");
+        }
+    }
+
+    /// Records applied in *any* order under the sequence rule converge to
+    /// the same state the ordered replay produces — adopters may consume
+    /// restore and replay traffic in whatever order it arrives.
+    #[test]
+    fn replay_is_order_insensitive(seed in 0u64..1_000_000, shuffle_seed in 0u64..1_000) {
+        let mut wal = DeltaWal::new(SHARDS);
+        for (pos, bytes) in append_stream(seed, 80) {
+            wal.append(pos, bytes);
+        }
+        for shard in 0..SHARDS {
+            // The full per-shard log, not just the condensed replay: even
+            // superseded records must be harmless out of order.
+            let log = wal.records(shard).to_vec();
+            let mut ordered = BTreeMap::new();
+            apply_lww(&mut ordered, &log);
+            let mut scrambled = BTreeMap::new();
+            apply_lww(&mut scrambled, &shuffled(&log, shuffle_seed));
+            prop_assert_eq!(&ordered, &scrambled, "shard {} diverged under reordering", shard);
+        }
+    }
+
+    /// Re-ingesting a wal's own replay into a fresh log and replaying
+    /// again is a fixed point: condensation is stable.
+    #[test]
+    fn replay_of_replay_is_a_fixed_point(seed in 0u64..1_000_000) {
+        let mut wal = DeltaWal::new(SHARDS);
+        for (pos, bytes) in append_stream(seed, 80) {
+            wal.append(pos, bytes);
+        }
+        let mut condensed = DeltaWal::new(SHARDS);
+        for shard in 0..SHARDS {
+            for record in wal.replay_shard(shard) {
+                condensed.ingest(record);
+            }
+        }
+        for shard in 0..SHARDS {
+            prop_assert_eq!(wal.replay_shard(shard), condensed.replay_shard(shard));
+        }
+    }
+}
+
+/// The write-back path snapshots each chunk's latest sequence *before*
+/// flushing and truncates only through that mark — so a delta staged after
+/// the flush (here: after a first write-back completes) is never dropped
+/// by the truncation and is still recoverable.
+#[test]
+fn truncation_after_write_back_never_drops_an_unflushed_delta() {
+    let world = Arc::new(ShardedWorld::flat(4));
+    world.ensure_chunk_at(ChunkPos::new(1, 1));
+    let remote = BlobStore::new(BlobTier::Standard, SimRng::seed(11));
+    let wal = servo_storage::SharedWal::new(world.shard_count());
+    let mut service = SyncChunkService::new(remote, SimRng::seed(12))
+        .with_world(Arc::clone(&world))
+        .with_wal(wal.clone());
+
+    let target = ChunkPos::new(1, 1);
+    let shard = world.shard_of(target);
+    let base = target.min_block();
+
+    // First edit: stage it (logging to the WAL) and flush it.
+    world
+        .set_block(base + BlockPos::new(1, 30, 1), Block::Stone)
+        .unwrap();
+    let deltas = service.drain_dirty();
+    service.stage_dirty(deltas);
+    let first_seq = wal.latest_seq(target).expect("staging logged the delta");
+    service.submit(servo_storage::ChunkRequest::write_back());
+    service.poll(SimTime::from_secs(100));
+
+    // Second edit, staged after the flush: the earlier truncation must not
+    // have consumed its record, and recovery must surface exactly it.
+    world
+        .set_block(base + BlockPos::new(2, 30, 2), Block::Lamp)
+        .unwrap();
+    let deltas = service.drain_dirty();
+    service.stage_dirty(deltas);
+    let second_seq = wal
+        .latest_seq(target)
+        .expect("unflushed delta still logged");
+    assert!(
+        second_seq > first_seq,
+        "staging must stamp a newer sequence"
+    );
+
+    let recovered = service.recover(shard);
+    assert_eq!(recovered.len(), 1, "exactly the unflushed shard delta");
+    assert_eq!(recovered[0].chunks, vec![target]);
+    let replayed = wal.replay_shard(shard);
+    assert_eq!(replayed.len(), 1);
+    assert_eq!(replayed[0].seq, second_seq);
+    let expected = world.read_chunk(target, |c| c.to_bytes()).unwrap();
+    assert_eq!(
+        replayed[0].bytes, expected,
+        "replay carries the second edit's bytes"
+    );
+
+    // A second write-back flushes it and empties the log for that chunk.
+    service.submit(servo_storage::ChunkRequest::write_back());
+    service.poll(SimTime::from_secs(200));
+    assert!(
+        wal.latest_seq(target).is_none(),
+        "flushed delta is truncated"
+    );
+    assert!(service.recover(shard).is_empty());
+}
+
+/// The race the marks protect against, reproduced at the log level: an
+/// append that lands between the flush snapshot and the truncation
+/// survives, because truncation only covers sequences through the mark.
+#[test]
+fn truncation_through_a_stale_mark_keeps_the_racing_append() {
+    let mut wal = DeltaWal::new(SHARDS);
+    let pos = ChunkPos::new(2, 3);
+    wal.append(pos, vec![1]);
+    let mark = wal.latest_seq(pos).unwrap();
+    // Racing append after the snapshot, before the truncation.
+    let racing = wal.append(pos, vec![2]);
+    wal.truncate(pos, mark);
+    assert_eq!(wal.latest_seq(pos), Some(racing));
+    let shard = shard_index(pos, SHARDS);
+    let replayed = wal.replay_shard(shard);
+    assert_eq!(replayed.len(), 1);
+    assert_eq!(replayed[0].bytes, vec![2]);
+}
