@@ -114,6 +114,79 @@ fn main() {
 
     emit_cache_effectiveness();
     emit_hybrid_overview();
+    emit_platform_overview();
+}
+
+/// The serverless-platform row(s): cold-start rate, queue wait, and the
+/// warm-idle share of the (idle-inclusive) bill per platform arm, on one
+/// shared construct workload. The frictionless arm is the pre-platform
+/// behaviour; the AWS-like arms add provisioning delay, a finite
+/// keep-alive, and (in the capped arm) a container cap with a FIFO
+/// request queue.
+fn emit_platform_overview() {
+    let arms: [(&str, servo_faas::PlatformConfig); 3] = [
+        ("frictionless", servo_faas::PlatformConfig::frictionless()),
+        ("aws-like", servo_faas::PlatformConfig::aws_like()),
+        (
+            "aws-like, cap 16 + queue",
+            servo_faas::PlatformConfig::aws_like()
+                .with_max_containers(16)
+                .with_queue_capacity(256),
+        ),
+    ];
+    let mut table = Table::new(vec![
+        "Platform",
+        "invocations",
+        "cold-start rate",
+        "mean queue wait [ms]",
+        "peak queue",
+        "warm-idle cost share",
+    ]);
+    for (label, platform) in arms {
+        let mut hybrid = ServoDeployment::builder()
+            .seed(2024)
+            .view_distance(32)
+            .speculation(servo_core::SpeculationConfig {
+                loop_detection: false,
+                ..servo_core::SpeculationConfig::default()
+            })
+            .sc_platform(platform)
+            .hybrid(4);
+        for site in border_construct_sites(hybrid.cluster.shard_map(), 48) {
+            hybrid.cluster.add_construct(place_across_east_seam(
+                &generators::wire_line(14),
+                site,
+                6,
+            ));
+        }
+        let mut fleet = PlayerFleet::new(BehaviorKind::Random, SimRng::seed(7));
+        fleet.connect_all(24);
+        let seconds = servo_bench::scaled_secs(30).as_secs_f64().max(1.0) as u64;
+        hybrid.run_with_fleet(&mut fleet, SimDuration::from_secs(seconds));
+        let stats = hybrid.sc_platform_stats();
+        let billing = hybrid.sc_billing_at(hybrid.cluster.now());
+        let idle_share = if billing.total_cost_with_idle_usd() > 0.0 {
+            billing.warm_idle_cost_usd() / billing.total_cost_with_idle_usd()
+        } else {
+            0.0
+        };
+        table.row(vec![
+            label.to_string(),
+            stats.invocations.to_string(),
+            format!(
+                "{:.4}",
+                stats.cold_starts as f64 / stats.invocations.max(1) as f64
+            ),
+            format!("{:.3}", stats.queue_wait_ms / stats.queued.max(1) as f64),
+            stats.peak_queue_depth.to_string(),
+            format!("{idle_share:.4}"),
+        ]);
+    }
+    servo_bench::emit(
+        "table01_platform",
+        "Serverless platform model: cold starts, queue wait, and warm-idle cost share per arm",
+        &table,
+    );
 }
 
 /// The hybrid zoned+offloading deployment's row(s): per-zone speculation

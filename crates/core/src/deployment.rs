@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use servo_faas::{FaasPlatform, FunctionConfig};
+use servo_faas::{AutoscalerConfig, FaasPlatform, FunctionConfig, PlatformConfig};
 use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
 use servo_server::cluster::{BorderExchange, ShardedGameCluster, ZonePersistenceStats};
 use servo_server::multi::ClusterTick;
@@ -12,7 +12,7 @@ use servo_simkit::SimRng;
 use servo_storage::{
     BlobStore, BlobTier, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService,
 };
-use servo_types::{MemoryMb, SimDuration};
+use servo_types::{MemoryMb, SimDuration, SimTime};
 use servo_workload::PlayerFleet;
 use servo_world::{required_chunks, WorldKind};
 
@@ -30,6 +30,11 @@ pub struct PersistenceConfig {
     pub write_back_interval: u64,
     /// The blob-storage tier terrain persists to.
     pub tier: BlobTier,
+    /// When set, the pipeline's disk-worker pool follows this autoscaler
+    /// instead of staying at the server's static parallelism. Elasticity is
+    /// wall-clock-only — simulated outcomes are identical either way — so
+    /// the static default keeps existing baselines byte-stable.
+    pub elastic_workers: Option<AutoscalerConfig>,
 }
 
 impl Default for PersistenceConfig {
@@ -38,7 +43,16 @@ impl Default for PersistenceConfig {
             // One pass per simulated second at the 20 Hz tick rate.
             write_back_interval: 20,
             tier: BlobTier::Standard,
+            elastic_workers: None,
         }
+    }
+}
+
+impl PersistenceConfig {
+    /// Lets the pipeline's worker pool scale with its submission backlog.
+    pub fn with_elastic_workers(mut self, config: AutoscalerConfig) -> Self {
+        self.elastic_workers = Some(config);
+        self
     }
 }
 
@@ -64,6 +78,12 @@ pub struct ServoConfig {
     pub sc_function: FunctionConfig,
     /// FaaS configuration of the terrain-generation function.
     pub generation_function: FunctionConfig,
+    /// Platform friction (provisioning delay, keep-alive, queueing) of the
+    /// SC-offloading function. The frictionless default reproduces the
+    /// pre-platform-model behaviour exactly.
+    pub sc_platform: PlatformConfig,
+    /// Platform friction of the terrain-generation function.
+    pub generation_platform: PlatformConfig,
     /// The persistence pipeline configuration; `None` disables remote
     /// persistence (terrain lives only in server memory, the seed
     /// behaviour).
@@ -79,6 +99,8 @@ impl Default for ServoConfig {
             speculation: SpeculationConfig::default(),
             sc_function: FunctionConfig::aws_like(MemoryMb::new(2048)),
             generation_function: FunctionConfig::aws_like(MemoryMb::new(10240)),
+            sc_platform: PlatformConfig::frictionless(),
+            generation_platform: PlatformConfig::frictionless(),
             persistence: Some(PersistenceConfig::default()),
             seed: 42,
         }
@@ -125,6 +147,18 @@ impl ServoBuilder {
     /// Sets the FaaS configuration of the terrain-generation function.
     pub fn generation_function(mut self, function: FunctionConfig) -> Self {
         self.config.generation_function = function;
+        self
+    }
+
+    /// Sets the platform friction of the SC-offloading function.
+    pub fn sc_platform(mut self, platform: PlatformConfig) -> Self {
+        self.config.sc_platform = platform;
+        self
+    }
+
+    /// Sets the platform friction of the terrain-generation function.
+    pub fn generation_platform(mut self, platform: PlatformConfig) -> Self {
+        self.config.generation_platform = platform;
         self
     }
 
@@ -199,7 +233,11 @@ impl ServoDeployment {
     pub fn from_config(config: ServoConfig) -> Self {
         let rng = SimRng::seed(config.seed);
 
-        let sc_platform = FaasPlatform::new(config.sc_function.clone(), rng.substream("sc-faas"));
+        let sc_platform = FaasPlatform::with_platform_config(
+            config.sc_function.clone(),
+            config.sc_platform,
+            rng.substream("sc-faas"),
+        );
         let sc_backend = SpeculativeScBackend::new(config.speculation, sc_platform);
         let speculation = sc_backend.handle();
 
@@ -207,8 +245,9 @@ impl ServoDeployment {
             WorldKind::Flat => Box::new(FlatGenerator::default()),
             WorldKind::Default => Box::new(DefaultGenerator::new(config.seed)),
         };
-        let generation_platform = FaasPlatform::new(
+        let generation_platform = FaasPlatform::with_platform_config(
             config.generation_function.clone(),
+            config.generation_platform,
             rng.substream("generation-faas"),
         );
         let terrain_backend = FaasTerrainBackend::new(generator, generation_platform);
@@ -223,12 +262,16 @@ impl ServoDeployment {
 
         let persistence = config.persistence.as_ref().map(|p| {
             let remote = BlobStore::new(p.tier, rng.substream("persistence-blob"));
-            PipelinedChunkService::new(
+            let service = PipelinedChunkService::new(
                 remote,
                 rng.substream("persistence-disk"),
                 config.server.parallelism.max(1),
-            )
-            .with_world(server.world_handle())
+            );
+            let service = match p.elastic_workers {
+                Some(scaler) => service.with_elastic_workers(scaler),
+                None => service,
+            };
+            service.with_world(server.world_handle())
         });
 
         ServoDeployment {
@@ -463,10 +506,12 @@ impl HybridDeployment {
         // concurrency limits, the warm-container pool and the billing
         // meter are cluster-level, as for a real shared function
         // deployment.
-        let sc_platform: SharedScPlatform = Arc::new(Mutex::new(FaasPlatform::new(
-            config.sc_function.clone(),
-            root.substream("sc-faas"),
-        )));
+        let sc_platform: SharedScPlatform =
+            Arc::new(Mutex::new(FaasPlatform::with_platform_config(
+                config.sc_function.clone(),
+                config.sc_platform,
+                root.substream("sc-faas"),
+            )));
         // A 1-zone hybrid *is* the single Servo deployment: derive the same
         // streams `ServoDeployment::from_config` uses, so the equivalence
         // is exact. Multi-zone deployments give every zone its own
@@ -489,8 +534,9 @@ impl HybridDeployment {
                 WorldKind::Flat => Box::new(FlatGenerator::default()),
                 WorldKind::Default => Box::new(DefaultGenerator::new(config.seed)),
             };
-            let generation_platform = FaasPlatform::new(
+            let generation_platform = FaasPlatform::with_platform_config(
                 config.generation_function.clone(),
+                config.generation_platform,
                 rng.substream("generation-faas"),
             );
             let terrain_backend = FaasTerrainBackend::new(generator, generation_platform);
@@ -590,6 +636,13 @@ impl HybridDeployment {
     /// function (invocations, cold starts, peak concurrency).
     pub fn sc_platform_stats(&self) -> servo_faas::PlatformStats {
         self.sc_platform.lock().stats()
+    }
+
+    /// The cluster-level billing meter as it reads at `now`, including the
+    /// warm-idle time accrued by containers the keep-alive policy holds
+    /// open.
+    pub fn sc_billing_at(&self, now: SimTime) -> servo_faas::BillingMeter {
+        self.sc_platform.lock().billing_at(now)
     }
 }
 

@@ -131,6 +131,12 @@ pub struct SpeculationStats {
     pub discarded_migrated: u64,
     /// Invocations that failed on the platform (timeout, concurrency).
     pub failed: u64,
+    /// Invocations that waited in the platform's saturation queue before a
+    /// container slot freed up.
+    pub queued_invocations: u64,
+    /// Total saturation-queue wait accumulated by queued invocations, in
+    /// milliseconds (already included in the invocation latencies).
+    pub queue_wait_ms: f64,
     /// Construct-ticks served by applying a speculative state.
     pub speculative_applied: u64,
     /// Construct-ticks served by replaying a detected loop.
@@ -166,6 +172,8 @@ impl SpeculationStats {
         self.discarded_stale += other.discarded_stale;
         self.discarded_migrated += other.discarded_migrated;
         self.failed += other.failed;
+        self.queued_invocations += other.queued_invocations;
+        self.queue_wait_ms += other.queue_wait_ms;
         self.speculative_applied += other.speculative_applied;
         self.loop_replayed += other.loop_replayed;
         self.local_fallback += other.local_fallback;
@@ -210,6 +218,13 @@ impl SpeculationHandle {
     /// concurrency); platform-level when the platform is shared.
     pub fn platform_stats(&self) -> servo_faas::PlatformStats {
         self.platform.lock().stats()
+    }
+
+    /// The billing meter as it reads at `now`, including the warm-idle
+    /// time accrued by containers the keep-alive policy is holding open —
+    /// the full cost of the platform configuration at the end of a run.
+    pub fn billing_at(&self, now: SimTime) -> servo_faas::BillingMeter {
+        self.platform.lock().billing_at(now)
     }
 }
 
@@ -561,6 +576,10 @@ impl SpeculativeScBackend {
                 Ok(invocation) => {
                     self.saturated.store(false, Ordering::Relaxed);
                     stats.invocations += 1;
+                    if invocation.queue_wait > SimDuration::ZERO {
+                        stats.queued_invocations += 1;
+                        stats.queue_wait_ms += invocation.queue_wait.as_millis_f64();
+                    }
                     let outcome = match issue.payload {
                         IssuePayload::Ready(outcome) => outcome,
                         // The platform looked saturated in phase A but the

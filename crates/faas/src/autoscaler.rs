@@ -1,0 +1,296 @@
+//! A deterministic queue-depth autoscaler for elastic worker pools.
+//!
+//! The same mechanism serves two kinds of pools:
+//!
+//! * **sim-time pools** — the simulated generation worker pool sizes itself
+//!   from the backlog it sees each tick, and a provisioning delay means new
+//!   workers only become ready a bit later in *virtual* time;
+//! * **real-thread pools** — the persistence pipeline uses the scaler's
+//!   decision as a thread quota (provisioning delay zero: spawning an OS
+//!   thread is instant at simulation granularity).
+//!
+//! The scaler is a pure function of the observation sequence `(now,
+//! backlog)` — no wall clock, no randomness — so elastic pools stay
+//! deterministic and replayable.
+
+use servo_types::{SimDuration, SimTime};
+
+/// Sizing policy of an elastic worker pool.
+///
+/// # Example
+///
+/// ```
+/// use servo_faas::{Autoscaler, AutoscalerConfig};
+/// use servo_types::SimTime;
+///
+/// let mut scaler = Autoscaler::new(AutoscalerConfig::elastic(1, 8));
+/// // A deep backlog grows the pool immediately (zero provisioning delay).
+/// assert_eq!(scaler.observe(SimTime::ZERO, 32), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscalerConfig {
+    /// Lower bound on ready workers; the pool starts here.
+    pub min_workers: usize,
+    /// Upper bound on ready plus provisioning workers.
+    pub max_workers: usize,
+    /// Queue items one worker is expected to absorb; the pool targets
+    /// `ceil(backlog / backlog_per_worker)` workers.
+    pub backlog_per_worker: usize,
+    /// Virtual time between deciding to add a worker and it becoming ready.
+    pub provisioning_delay: SimDuration,
+    /// Minimum time after a scale-up before any worker is retired.
+    pub scale_down_cooldown: SimDuration,
+}
+
+impl AutoscalerConfig {
+    /// A fixed-size pool: scaling disabled, always `workers` ready. This is
+    /// the frictionless configuration — statically sized pools are elastic
+    /// pools that never move.
+    pub fn fixed(workers: usize) -> Self {
+        let workers = workers.max(1);
+        AutoscalerConfig {
+            min_workers: workers,
+            max_workers: workers,
+            backlog_per_worker: 1,
+            provisioning_delay: SimDuration::ZERO,
+            scale_down_cooldown: SimDuration::ZERO,
+        }
+    }
+
+    /// An instant elastic pool between `min` and `max` workers, growing one
+    /// worker per four queued items.
+    pub fn elastic(min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        AutoscalerConfig {
+            min_workers: min,
+            max_workers: max.max(min),
+            backlog_per_worker: 4,
+            provisioning_delay: SimDuration::ZERO,
+            scale_down_cooldown: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the backlog-per-worker growth threshold.
+    pub fn with_backlog_per_worker(mut self, backlog: usize) -> Self {
+        self.backlog_per_worker = backlog.max(1);
+        self
+    }
+
+    /// Sets the provisioning delay for new workers.
+    pub fn with_provisioning_delay(mut self, delay: SimDuration) -> Self {
+        self.provisioning_delay = delay;
+        self
+    }
+
+    /// Sets the scale-down cooldown.
+    pub fn with_scale_down_cooldown(mut self, cooldown: SimDuration) -> Self {
+        self.scale_down_cooldown = cooldown;
+        self
+    }
+}
+
+/// Lifetime counters of an [`Autoscaler`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AutoscalerStats {
+    /// Scale-up decisions taken.
+    pub scale_up_events: u64,
+    /// Scale-down decisions taken.
+    pub scale_down_events: u64,
+    /// Workers provisioned in total (each worker counted once).
+    pub workers_provisioned: u64,
+    /// Workers retired in total.
+    pub workers_retired: u64,
+    /// Largest ready pool observed.
+    pub peak_workers: usize,
+}
+
+/// A deterministic autoscaler: observe backlog, get back ready capacity.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    config: AutoscalerConfig,
+    ready: usize,
+    /// Instants at which in-flight workers become ready. Each entry is
+    /// moved into `ready` exactly once, when its instant passes.
+    provisioning: Vec<SimTime>,
+    last_scale_up: Option<SimTime>,
+    stats: AutoscalerStats,
+}
+
+impl Autoscaler {
+    /// Creates a pool that starts at `min_workers` ready.
+    pub fn new(config: AutoscalerConfig) -> Self {
+        Autoscaler {
+            ready: config.min_workers,
+            provisioning: Vec::new(),
+            last_scale_up: None,
+            stats: AutoscalerStats {
+                peak_workers: config.min_workers,
+                ..AutoscalerStats::default()
+            },
+            config,
+        }
+    }
+
+    /// The sizing policy.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.config
+    }
+
+    /// Workers ready as of the last observation.
+    pub fn ready_workers(&self) -> usize {
+        self.ready
+    }
+
+    /// Workers provisioned but not yet ready.
+    pub fn in_flight(&self) -> usize {
+        self.provisioning.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> AutoscalerStats {
+        self.stats
+    }
+
+    fn desired(&self, backlog: usize) -> usize {
+        let per = self.config.backlog_per_worker.max(1);
+        let needed = backlog.div_ceil(per);
+        needed.clamp(self.config.min_workers, self.config.max_workers)
+    }
+
+    /// Observes the queue at `now` and returns the ready worker capacity.
+    ///
+    /// Provisioning entries whose delay has elapsed mature into ready
+    /// workers (each exactly once); if the backlog asks for more capacity
+    /// than is ready or in flight, new workers are provisioned; if it asks
+    /// for less and the scale-down cooldown has elapsed, surplus ready
+    /// workers retire immediately.
+    pub fn observe(&mut self, now: SimTime, backlog: usize) -> usize {
+        // Mature in-flight workers exactly once.
+        let before = self.provisioning.len();
+        self.provisioning.retain(|ready_at| *ready_at > now);
+        self.ready += before - self.provisioning.len();
+
+        let desired = self.desired(backlog);
+        let committed = self.ready + self.provisioning.len();
+        if desired > committed {
+            let add = desired - committed;
+            if self.config.provisioning_delay == SimDuration::ZERO {
+                self.ready += add;
+            } else {
+                let ready_at = now + self.config.provisioning_delay;
+                self.provisioning.extend(std::iter::repeat_n(ready_at, add));
+            }
+            self.last_scale_up = Some(now);
+            self.stats.scale_up_events += 1;
+            self.stats.workers_provisioned += add as u64;
+        } else if desired < self.ready {
+            let cooled = self
+                .last_scale_up
+                .is_none_or(|t| now.saturating_since(t) >= self.config.scale_down_cooldown);
+            if cooled {
+                let drop = self.ready - desired;
+                self.ready = desired;
+                self.stats.scale_down_events += 1;
+                self.stats.workers_retired += drop as u64;
+            }
+        }
+
+        self.stats.peak_workers = self.stats.peak_workers.max(self.ready);
+        self.ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_pool_never_moves() {
+        let mut a = Autoscaler::new(AutoscalerConfig::fixed(3));
+        for (t, backlog) in [(0u64, 0usize), (1, 100), (2, 0), (3, 7)] {
+            assert_eq!(a.observe(SimTime::from_secs(t), backlog), 3);
+        }
+        assert_eq!(a.stats().workers_provisioned, 0);
+        assert_eq!(a.stats().workers_retired, 0);
+    }
+
+    #[test]
+    fn instant_scaler_tracks_backlog() {
+        let mut a = Autoscaler::new(AutoscalerConfig::elastic(1, 8));
+        assert_eq!(a.observe(SimTime::ZERO, 0), 1);
+        assert_eq!(a.observe(SimTime::from_secs(1), 12), 3);
+        assert_eq!(a.observe(SimTime::from_secs(2), 100), 8);
+        assert_eq!(a.observe(SimTime::from_secs(3), 0), 1);
+    }
+
+    #[test]
+    fn provisioning_delay_defers_readiness() {
+        let config =
+            AutoscalerConfig::elastic(1, 4).with_provisioning_delay(SimDuration::from_secs(2));
+        let mut a = Autoscaler::new(config);
+        // Deep backlog at t=0: workers are in flight, not ready.
+        assert_eq!(a.observe(SimTime::ZERO, 16), 1);
+        assert_eq!(a.in_flight(), 3);
+        // Still in flight before the delay elapses; no re-provisioning.
+        assert_eq!(a.observe(SimTime::from_secs(1), 16), 1);
+        assert_eq!(a.in_flight(), 3);
+        assert_eq!(a.stats().workers_provisioned, 3);
+        // Mature exactly once.
+        assert_eq!(a.observe(SimTime::from_secs(2), 16), 4);
+        assert_eq!(a.in_flight(), 0);
+        assert_eq!(a.stats().workers_provisioned, 3);
+    }
+
+    #[test]
+    fn cooldown_blocks_scale_down() {
+        let config =
+            AutoscalerConfig::elastic(1, 8).with_scale_down_cooldown(SimDuration::from_secs(10));
+        let mut a = Autoscaler::new(config);
+        assert_eq!(a.observe(SimTime::ZERO, 32), 8);
+        // Backlog drains, but the cooldown pins capacity.
+        assert_eq!(a.observe(SimTime::from_secs(5), 0), 8);
+        // After the cooldown the pool releases down to min.
+        assert_eq!(a.observe(SimTime::from_secs(10), 0), 1);
+        assert_eq!(a.stats().workers_retired, 7);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Conservation: provisioning never double-counts a worker.
+            /// After any observation sequence, min + provisioned - retired
+            /// equals ready + in-flight exactly.
+            #[test]
+            fn provisioning_never_double_counts(
+                steps in prop::collection::vec((0u64..5_000, 0usize..64), 1..60),
+                min in 1usize..4,
+                span in 1usize..9,
+                delay_ms in 0u64..3_000,
+                cooldown_ms in 0u64..3_000,
+            ) {
+                let config = AutoscalerConfig {
+                    min_workers: min,
+                    max_workers: min + span,
+                    backlog_per_worker: 3,
+                    provisioning_delay: SimDuration::from_millis(delay_ms),
+                    scale_down_cooldown: SimDuration::from_millis(cooldown_ms),
+                };
+                let mut a = Autoscaler::new(config);
+                let mut now = SimTime::ZERO;
+                for (dt_ms, backlog) in steps {
+                    now += SimDuration::from_millis(dt_ms);
+                    let ready = a.observe(now, backlog);
+                    prop_assert!(ready >= config.min_workers);
+                    prop_assert!(ready + a.in_flight() <= config.max_workers);
+                    let committed = (config.min_workers as u64
+                        + a.stats().workers_provisioned)
+                        .checked_sub(a.stats().workers_retired)
+                        .expect("retired more workers than ever existed");
+                    prop_assert_eq!(committed, (ready + a.in_flight()) as u64);
+                }
+            }
+        }
+    }
+}

@@ -15,10 +15,22 @@ pub const PRICE_PER_GB_SECOND: f64 = 0.000_016_666_7;
 pub const PRICE_PER_REQUEST: f64 = 0.20 / 1_000_000.0;
 
 /// Accumulates the cost of function invocations.
+///
+/// Two pools of GB-time are metered separately: **billed** execution time
+/// (what the provider invoices, driving [`total_cost_usd`]) and **warm
+/// idle** time — containers kept alive between invocations by the
+/// keep-alive policy. Idle time is what a keep-alive budget *costs*; it is
+/// deliberately excluded from [`total_cost_usd`] so that adding the
+/// platform model never changed any existing billing assertion, and
+/// surfaced instead through [`total_cost_with_idle_usd`].
+///
+/// [`total_cost_usd`]: BillingMeter::total_cost_usd
+/// [`total_cost_with_idle_usd`]: BillingMeter::total_cost_with_idle_usd
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BillingMeter {
     invocations: u64,
     billed_gb_seconds: f64,
+    warm_idle_gb_seconds: f64,
 }
 
 impl BillingMeter {
@@ -48,9 +60,37 @@ impl BillingMeter {
         self.billed_gb_seconds
     }
 
+    /// Total GB-milliseconds billed — the granularity commercial platforms
+    /// invoice at, convenient for cost sweeps over short runs.
+    pub fn billed_gb_ms(&self) -> f64 {
+        self.billed_gb_seconds * 1_000.0
+    }
+
+    /// Records `idle` of warm-but-unused container time on a function with
+    /// `memory` configured (keep-alive cost, not billed execution).
+    pub fn record_idle(&mut self, memory: MemoryMb, idle: SimDuration) {
+        self.warm_idle_gb_seconds += memory.as_gb() * idle.as_secs_f64();
+    }
+
+    /// Total GB-seconds of warm-idle container time recorded.
+    pub fn warm_idle_gb_seconds(&self) -> f64 {
+        self.warm_idle_gb_seconds
+    }
+
+    /// Dollar value of the warm-idle time, priced at the execution rate
+    /// (an upper bound; providers price provisioned concurrency lower).
+    pub fn warm_idle_cost_usd(&self) -> f64 {
+        self.warm_idle_gb_seconds * PRICE_PER_GB_SECOND
+    }
+
     /// Total cost in dollars.
     pub fn total_cost_usd(&self) -> f64 {
         self.billed_gb_seconds * PRICE_PER_GB_SECOND + self.invocations as f64 * PRICE_PER_REQUEST
+    }
+
+    /// Total cost including the warm-idle time bought by keep-alive.
+    pub fn total_cost_with_idle_usd(&self) -> f64 {
+        self.total_cost_usd() + self.warm_idle_cost_usd()
     }
 
     /// The cost rate if the recorded usage was accumulated over
@@ -72,6 +112,7 @@ impl BillingMeter {
     pub fn merge(&mut self, other: &BillingMeter) {
         self.invocations += other.invocations;
         self.billed_gb_seconds += other.billed_gb_seconds;
+        self.warm_idle_gb_seconds += other.warm_idle_gb_seconds;
     }
 }
 
@@ -120,9 +161,25 @@ mod tests {
         a.record(MemoryMb::new(512), SimDuration::from_secs(2));
         let mut b = BillingMeter::new();
         b.record(MemoryMb::new(512), SimDuration::from_secs(3));
+        b.record_idle(MemoryMb::new(512), SimDuration::from_secs(4));
         a.merge(&b);
         assert_eq!(a.invocations(), 2);
         assert!((a.billed_gb_seconds() - 2.5).abs() < 1e-9);
+        assert!((a.warm_idle_gb_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_time_is_metered_separately_from_billed_cost() {
+        let mut m = BillingMeter::new();
+        m.record(MemoryMb::new(1024), SimDuration::from_secs(1));
+        let billed_only = m.total_cost_usd();
+        m.record_idle(MemoryMb::new(1024), SimDuration::from_secs(60));
+        // Idle never moves the provider invoice...
+        assert_eq!(m.total_cost_usd(), billed_only);
+        // ...but shows up in the keep-alive-inclusive total.
+        assert!(m.total_cost_with_idle_usd() > billed_only);
+        assert!((m.warm_idle_gb_seconds() - 60.0).abs() < 1e-9);
+        assert!((m.billed_gb_ms() - 1_000.0).abs() < 1e-9);
     }
 
     #[test]

@@ -33,10 +33,18 @@
 
 #![warn(missing_docs)]
 
+pub mod autoscaler;
 pub mod billing;
 pub mod config;
+pub mod model;
 pub mod platform;
+pub mod pool;
+pub mod queue;
 
+pub use autoscaler::{Autoscaler, AutoscalerConfig, AutoscalerStats};
 pub use billing::BillingMeter;
 pub use config::FunctionConfig;
+pub use model::PlatformConfig;
 pub use platform::{FaasPlatform, Invocation, PlatformStats};
+pub use pool::{Container, WarmPool};
+pub use queue::RequestQueue;

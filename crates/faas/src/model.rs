@@ -1,0 +1,188 @@
+//! Platform-level friction: provisioning, keep-alive, pool caps, queuing.
+//!
+//! [`FunctionConfig`](crate::FunctionConfig) describes one *function*
+//! (memory, latency distributions, timeout). [`PlatformConfig`] describes
+//! the *platform* that schedules containers for it: how long provisioning a
+//! new container takes, how long idle containers are kept warm, how fast the
+//! autoscaler releases capacity, how many containers may exist at once, and
+//! what happens to requests that arrive while the platform is saturated.
+//!
+//! The default configuration is [`PlatformConfig::frictionless`]: zero
+//! provisioning delay, the function's own keep-alive, an instant autoscaler
+//! and no request queue. A platform built with it behaves exactly like the
+//! pre-platform-model `FaasPlatform` — same latencies, same rng draws, same
+//! billing — which is what every equivalence proof in the workspace pins.
+
+use servo_simkit::LatencyModel;
+use servo_types::SimDuration;
+
+/// Friction knobs of the serverless platform scheduling one function.
+///
+/// # Example
+///
+/// ```
+/// use servo_faas::PlatformConfig;
+/// use servo_types::SimDuration;
+///
+/// let frictionless = PlatformConfig::frictionless();
+/// assert_eq!(frictionless, PlatformConfig::default());
+/// assert!(frictionless.provisioning_delay == SimDuration::ZERO);
+///
+/// let realistic = PlatformConfig::aws_like();
+/// assert!(realistic.provisioning_delay > SimDuration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformConfig {
+    /// Fixed autoscaler provisioning delay paid by every container start
+    /// before the function's own cold-start latency.
+    pub provisioning_delay: SimDuration,
+    /// Optional stochastic part of the provisioning delay, drawn from the
+    /// dedicated `"platform-friction"` substream so it never perturbs
+    /// simulation rng streams.
+    pub provisioning_jitter: Option<LatencyModel>,
+    /// How long an idle container stays warm before the platform reclaims
+    /// it. `None` uses the function's
+    /// [`idle_timeout`](crate::FunctionConfig::idle_timeout).
+    pub keep_alive: Option<SimDuration>,
+    /// After provisioning a container, the autoscaler holds off reclaiming
+    /// *any* idle container for this long (hysteresis against thrashing).
+    pub scale_down_cooldown: SimDuration,
+    /// Hard cap on the number of containers that may exist simultaneously
+    /// (`None` = unlimited, the serverless default).
+    pub max_containers: Option<usize>,
+    /// Bounded FIFO request queue used when the platform is saturated
+    /// (concurrency limit or container cap reached). `0` disables queuing:
+    /// saturated requests are rejected, the pre-platform-model behaviour.
+    pub queue_capacity: usize,
+}
+
+impl PlatformConfig {
+    /// Zero added friction: instant provisioning, function-default
+    /// keep-alive, no cooldown, unlimited containers, no queue. Identical
+    /// to the platform behaviour before the platform model existed.
+    pub fn frictionless() -> Self {
+        PlatformConfig {
+            provisioning_delay: SimDuration::ZERO,
+            provisioning_jitter: None,
+            keep_alive: None,
+            scale_down_cooldown: SimDuration::ZERO,
+            max_containers: None,
+            queue_capacity: 0,
+        }
+    }
+
+    /// A realistic AWS-like platform: a few hundred milliseconds of
+    /// provisioning (sandbox placement and image pull, on top of the
+    /// function's runtime-init cold start), function-default keep-alive, a
+    /// scale-down cooldown of a minute, unlimited containers and a bounded
+    /// queue instead of immediate rejection.
+    pub fn aws_like() -> Self {
+        PlatformConfig {
+            provisioning_delay: SimDuration::from_millis(150),
+            provisioning_jitter: Some(LatencyModel::new(90.0, 0.45).with_ceiling(2_000.0)),
+            keep_alive: None,
+            scale_down_cooldown: SimDuration::from_secs(60),
+            max_containers: None,
+            queue_capacity: 1_024,
+        }
+    }
+
+    /// Sets the fixed provisioning delay.
+    pub fn with_provisioning_delay(mut self, delay: SimDuration) -> Self {
+        self.provisioning_delay = delay;
+        self
+    }
+
+    /// Sets the stochastic provisioning jitter model.
+    pub fn with_provisioning_jitter(mut self, jitter: LatencyModel) -> Self {
+        self.provisioning_jitter = Some(jitter);
+        self
+    }
+
+    /// Sets an explicit keep-alive budget for idle containers.
+    pub fn with_keep_alive(mut self, keep_alive: SimDuration) -> Self {
+        self.keep_alive = Some(keep_alive);
+        self
+    }
+
+    /// Sets the scale-down cooldown.
+    pub fn with_scale_down_cooldown(mut self, cooldown: SimDuration) -> Self {
+        self.scale_down_cooldown = cooldown;
+        self
+    }
+
+    /// Caps the container pool.
+    pub fn with_max_containers(mut self, cap: usize) -> Self {
+        self.max_containers = Some(cap);
+        self
+    }
+
+    /// Sets the saturation queue capacity (`0` = reject when saturated).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The effective keep-alive given the function's idle timeout.
+    pub fn effective_keep_alive(&self, function_idle_timeout: SimDuration) -> SimDuration {
+        self.keep_alive.unwrap_or(function_idle_timeout)
+    }
+
+    /// True if this configuration adds no friction over the bare function.
+    pub fn is_frictionless(&self) -> bool {
+        *self == PlatformConfig::frictionless()
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig::frictionless()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_frictionless() {
+        assert!(PlatformConfig::default().is_frictionless());
+        assert_eq!(PlatformConfig::default(), PlatformConfig::frictionless());
+    }
+
+    #[test]
+    fn aws_like_adds_friction() {
+        let p = PlatformConfig::aws_like();
+        assert!(!p.is_frictionless());
+        assert!(p.provisioning_delay > SimDuration::ZERO);
+        assert!(p.queue_capacity > 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = PlatformConfig::frictionless()
+            .with_keep_alive(SimDuration::from_secs(5))
+            .with_max_containers(8)
+            .with_queue_capacity(16)
+            .with_provisioning_delay(SimDuration::from_millis(300))
+            .with_scale_down_cooldown(SimDuration::from_secs(30));
+        assert_eq!(p.keep_alive, Some(SimDuration::from_secs(5)));
+        assert_eq!(p.max_containers, Some(8));
+        assert_eq!(p.queue_capacity, 16);
+        assert!(!p.is_frictionless());
+    }
+
+    #[test]
+    fn effective_keep_alive_falls_back_to_function() {
+        let fallback = SimDuration::from_secs(120);
+        assert_eq!(
+            PlatformConfig::frictionless().effective_keep_alive(fallback),
+            fallback
+        );
+        let explicit = PlatformConfig::frictionless().with_keep_alive(SimDuration::from_secs(2));
+        assert_eq!(
+            explicit.effective_keep_alive(fallback),
+            SimDuration::from_secs(2)
+        );
+    }
+}

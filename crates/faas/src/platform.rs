@@ -1,4 +1,14 @@
 //! The FaaS platform: container lifecycle, invocation latency, statistics.
+//!
+//! The platform composes a [`FunctionConfig`] (one function's latency and
+//! compute model) with a [`PlatformConfig`] (the scheduling friction around
+//! it: provisioning delay, keep-alive, scale-down cooldown, container cap,
+//! saturation queue). With [`PlatformConfig::frictionless`] — the default —
+//! every invocation behaves exactly as it did before the platform model
+//! existed: same branch order, same rng draws, same billing. All added
+//! randomness (provisioning jitter) comes from a dedicated
+//! `"platform-friction"` substream, so friction never perturbs the
+//! simulation's own rng streams.
 
 use servo_simkit::{Distribution, SimRng};
 use servo_types::id::IdAllocator;
@@ -6,16 +16,8 @@ use servo_types::{InvocationId, ServoError, SimDuration, SimTime};
 
 use crate::billing::BillingMeter;
 use crate::config::FunctionConfig;
-
-/// One container ("execution environment") of the deployed function.
-#[derive(Debug, Clone, Copy)]
-struct Container {
-    /// The instant at which the container finishes its current invocation.
-    busy_until: SimTime,
-    /// The instant of the last completed (or started) invocation, used to
-    /// decide idle reclamation.
-    last_used: SimTime,
-}
+use crate::model::PlatformConfig;
+use crate::pool::WarmPool;
 
 /// The outcome of a single function invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +32,10 @@ pub struct Invocation {
     pub cold_start: bool,
     /// Pure compute time inside the function (what gets billed).
     pub compute: SimDuration,
+    /// Time spent parked in the saturation queue before a container slot
+    /// freed up (zero unless the platform was saturated and queuing is
+    /// enabled).
+    pub queue_wait: SimDuration,
     /// End-to-end latency observed by the caller.
     pub latency: SimDuration,
 }
@@ -41,17 +47,48 @@ pub struct PlatformStats {
     pub invocations: u64,
     /// Invocations that required a cold start.
     pub cold_starts: u64,
-    /// Invocations rejected because the concurrency limit was reached.
+    /// Invocations rejected because the concurrency limit, the container
+    /// cap, or the saturation queue capacity was reached.
     pub rejected: u64,
+    /// Invocations that waited in the saturation queue.
+    pub queued: u64,
+    /// Total queue wait accumulated by queued invocations, in milliseconds.
+    pub queue_wait_ms: f64,
+    /// Largest number of requests simultaneously waiting in the queue.
+    pub peak_queue_depth: usize,
+    /// Containers provisioned over the platform's lifetime.
+    pub provisioned: u64,
+    /// Containers reclaimed after exceeding their keep-alive budget.
+    pub expired_containers: u64,
     /// Largest number of simultaneously busy containers observed.
     pub peak_concurrency: usize,
+}
+
+/// Why an invocation could not start immediately.
+enum Saturation {
+    /// The function's concurrency limit is reached.
+    Concurrency(usize),
+    /// The platform's container cap is reached.
+    ContainerCap(usize),
+}
+
+impl Saturation {
+    fn describe(&self) -> String {
+        match self {
+            Saturation::Concurrency(limit) => {
+                format!("function concurrency limit of {limit}")
+            }
+            Saturation::ContainerCap(cap) => format!("container pool cap of {cap}"),
+        }
+    }
 }
 
 /// A simulated serverless function deployment.
 ///
 /// The platform tracks warm containers, charges cold starts when no warm
 /// container is available, reclaims containers idle longer than the
-/// configured timeout, and meters billing.
+/// keep-alive budget, queues requests when saturated (if configured), and
+/// meters billing — execution and warm-idle time separately.
 ///
 /// # Example
 ///
@@ -70,20 +107,65 @@ pub struct PlatformStats {
 #[derive(Debug, Clone)]
 pub struct FaasPlatform {
     config: FunctionConfig,
+    platform: PlatformConfig,
     rng: SimRng,
-    containers: Vec<Container>,
+    /// Dedicated substream for platform friction (provisioning jitter);
+    /// derived from the seed so consuming it never moves `rng`.
+    friction_rng: SimRng,
+    pool: WarmPool,
+    /// Start instants of requests currently waiting in the saturation
+    /// queue. Entries whose instant has passed have started executing and
+    /// are pruned on the next saturation event.
+    waiting: Vec<SimTime>,
+    /// Instant of the most recent container provision, for the scale-down
+    /// cooldown.
+    last_provisioned: Option<SimTime>,
     ids: IdAllocator<InvocationId>,
     billing: BillingMeter,
     stats: PlatformStats,
 }
 
 impl FaasPlatform {
-    /// Creates a platform for one function deployment.
+    /// Creates a frictionless platform for one function deployment.
     pub fn new(config: FunctionConfig, rng: SimRng) -> Self {
+        FaasPlatform::with_platform_config(config, PlatformConfig::frictionless(), rng)
+    }
+
+    /// Creates a platform with explicit friction configuration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use servo_faas::{FaasPlatform, FunctionConfig, PlatformConfig};
+    /// use servo_simkit::SimRng;
+    /// use servo_types::{MemoryMb, SimDuration, SimTime};
+    ///
+    /// let platform = PlatformConfig::frictionless()
+    ///     .with_keep_alive(SimDuration::from_secs(5))
+    ///     .with_provisioning_delay(SimDuration::from_millis(250));
+    /// let mut faas = FaasPlatform::with_platform_config(
+    ///     FunctionConfig::aws_like(MemoryMb::new(1024)),
+    ///     platform,
+    ///     SimRng::seed(1),
+    /// );
+    /// let inv = faas.invoke(SimTime::ZERO, 10.0).unwrap();
+    /// assert!(inv.cold_start);
+    /// assert!(inv.latency >= SimDuration::from_millis(250));
+    /// ```
+    pub fn with_platform_config(
+        config: FunctionConfig,
+        platform: PlatformConfig,
+        rng: SimRng,
+    ) -> Self {
+        let friction_rng = rng.substream("platform-friction");
         FaasPlatform {
+            pool: WarmPool::new(platform.max_containers),
             config,
+            platform,
             rng,
-            containers: Vec::new(),
+            friction_rng,
+            waiting: Vec::new(),
+            last_provisioned: None,
             ids: IdAllocator::new(),
             billing: BillingMeter::new(),
             stats: PlatformStats::default(),
@@ -95,9 +177,29 @@ impl FaasPlatform {
         &self.config
     }
 
+    /// The platform friction configuration.
+    pub fn platform_config(&self) -> &PlatformConfig {
+        &self.platform
+    }
+
     /// The billing meter accumulated so far.
     pub fn billing(&self) -> &BillingMeter {
         &self.billing
+    }
+
+    /// The billing meter as it would read at `now`, with the warm-idle time
+    /// accrued by currently-idle containers added in. Non-mutating: use
+    /// this to snapshot keep-alive cost at the end of a run.
+    pub fn billing_at(&self, now: SimTime) -> BillingMeter {
+        let keep_alive = self.platform.effective_keep_alive(self.config.idle_timeout);
+        let mut meter = self.billing.clone();
+        for c in self.pool.containers() {
+            if c.busy_until <= now {
+                let idle = now.saturating_since(c.last_used);
+                meter.record_idle(self.config.memory, idle.min(keep_alive));
+            }
+        }
+        meter
     }
 
     /// Aggregate statistics.
@@ -107,37 +209,64 @@ impl FaasPlatform {
 
     /// Number of containers currently kept warm at instant `now`.
     pub fn warm_containers(&self, now: SimTime) -> usize {
-        self.containers
-            .iter()
-            .filter(|c| now.saturating_since(c.last_used) <= self.config.idle_timeout)
-            .count()
+        let keep_alive = self.platform.effective_keep_alive(self.config.idle_timeout);
+        self.pool.warm(now, keep_alive)
+    }
+
+    /// Total containers in the pool (any state).
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Requests still waiting in the saturation queue at `now`.
+    pub fn queue_depth(&self, now: SimTime) -> usize {
+        self.waiting.iter().filter(|start| **start > now).count()
+    }
+
+    /// The provisioning delay of one container start: the fixed delay plus
+    /// jitter drawn from the friction substream.
+    fn draw_provisioning_delay(&mut self) -> SimDuration {
+        let jitter = match &self.platform.provisioning_jitter {
+            Some(model) => SimDuration::from_millis_f64(model.sample_ms(&mut self.friction_rng)),
+            None => SimDuration::ZERO,
+        };
+        self.platform.provisioning_delay + jitter
     }
 
     /// Invokes the function at `now` with `work_units` of compute
     /// (milliseconds at one full vCPU).
     ///
+    /// When the platform is saturated and a queue is configured, the
+    /// request parks until a container slot frees; the wait surfaces in
+    /// [`Invocation::queue_wait`] and [`Invocation::latency`] instead of an
+    /// error.
+    ///
     /// # Errors
     ///
-    /// Returns [`ServoError::LimitExceeded`] if the concurrency limit is
-    /// reached, and [`ServoError::FunctionFailed`] if the computed execution
-    /// time exceeds the function timeout.
+    /// Returns [`ServoError::LimitExceeded`] if the concurrency limit,
+    /// container cap, or saturation queue capacity is reached, and
+    /// [`ServoError::FunctionFailed`] if the computed execution time
+    /// exceeds the function timeout.
     pub fn invoke(&mut self, now: SimTime, work_units: f64) -> Result<Invocation, ServoError> {
-        // Reclaim containers idle beyond the timeout.
-        let idle_timeout = self.config.idle_timeout;
-        self.containers
-            .retain(|c| now.saturating_since(c.last_used) <= idle_timeout);
+        // Reclaim containers idle beyond the keep-alive budget, unless a
+        // recent provision holds the pool (scale-down cooldown).
+        let keep_alive = self.platform.effective_keep_alive(self.config.idle_timeout);
+        let hold = self.platform.scale_down_cooldown > SimDuration::ZERO
+            && self
+                .last_provisioned
+                .is_some_and(|t| now.saturating_since(t) < self.platform.scale_down_cooldown);
+        let expired = self.pool.reclaim_expired(now, keep_alive, hold);
+        for _ in &expired {
+            // Each reclaimed container sat warm from its last use until the
+            // keep-alive budget ran out.
+            self.billing.record_idle(self.config.memory, keep_alive);
+        }
+        self.stats.expired_containers += expired.len() as u64;
 
-        let busy = self
-            .containers
-            .iter()
-            .filter(|c| c.busy_until > now)
-            .count();
+        let busy = self.pool.busy(now);
         if let Some(limit) = self.config.max_concurrency {
             if busy >= limit {
-                self.stats.rejected += 1;
-                return Err(ServoError::LimitExceeded {
-                    what: format!("function concurrency limit of {limit}"),
-                });
+                return self.invoke_saturated(now, work_units, Saturation::Concurrency(limit));
             }
         }
 
@@ -150,16 +279,27 @@ impl FaasPlatform {
             )));
         }
 
-        // Find a warm, free container; otherwise start a new (cold) one.
-        let warm_index = self.containers.iter().position(|c| c.busy_until <= now);
-        let (cold_start, container_index) = match warm_index {
-            Some(i) => (false, i),
+        // Find a warm, free container; otherwise provision a new (cold) one.
+        let (cold_start, container_index, provisioning) = match self.pool.first_free_at(now) {
+            Some(i) => (false, i, SimDuration::ZERO),
             None => {
-                self.containers.push(Container {
-                    busy_until: now,
-                    last_used: now,
-                });
-                (true, self.containers.len() - 1)
+                if let Some(cap) = self.pool.cap() {
+                    if self.pool.len() >= cap {
+                        return self.invoke_saturated(
+                            now,
+                            work_units,
+                            Saturation::ContainerCap(cap),
+                        );
+                    }
+                }
+                let delay = self.draw_provisioning_delay();
+                let index = self
+                    .pool
+                    .provision(now, now + delay)
+                    .expect("container cap checked above");
+                self.last_provisioned = Some(now);
+                self.stats.provisioned += 1;
+                (true, index, delay)
             }
         };
 
@@ -168,24 +308,31 @@ impl FaasPlatform {
         if cold_start {
             latency +=
                 SimDuration::from_millis_f64(self.config.cold_start.sample_ms(&mut self.rng));
+            latency += provisioning;
             self.stats.cold_starts += 1;
         }
         latency += compute;
 
         let completed_at = now + latency;
-        {
-            let container = &mut self.containers[container_index];
+        let reuse_idle = {
+            let container = self.pool.get_mut(container_index);
+            let idle = if cold_start {
+                SimDuration::ZERO
+            } else {
+                now.saturating_since(container.last_used)
+            };
             container.busy_until = completed_at;
             container.last_used = completed_at;
+            idle
+        };
+        if reuse_idle > SimDuration::ZERO {
+            // The reused container sat warm from its last use until now.
+            self.billing.record_idle(self.config.memory, reuse_idle);
         }
 
         self.billing.record(self.config.memory, compute);
         self.stats.invocations += 1;
-        let busy_now = self
-            .containers
-            .iter()
-            .filter(|c| c.busy_until > now)
-            .count();
+        let busy_now = self.pool.busy(now);
         self.stats.peak_concurrency = self.stats.peak_concurrency.max(busy_now);
 
         Ok(Invocation {
@@ -194,6 +341,111 @@ impl FaasPlatform {
             completed_at,
             cold_start,
             compute,
+            queue_wait: SimDuration::ZERO,
+            latency,
+        })
+    }
+
+    /// Handles an invocation that arrived while the platform was saturated:
+    /// reject if no queue is configured (or it is full), otherwise schedule
+    /// the request onto the earliest container slot that frees up. The
+    /// schedule is virtual — the invocation is returned immediately with
+    /// its future start baked into `queue_wait` — which keeps `invoke`
+    /// synchronous and the platform deterministic.
+    fn invoke_saturated(
+        &mut self,
+        now: SimTime,
+        work_units: f64,
+        cause: Saturation,
+    ) -> Result<Invocation, ServoError> {
+        // Requests whose start instant has passed are executing, not waiting.
+        self.waiting.retain(|start| *start > now);
+
+        if self.platform.queue_capacity == 0 {
+            self.stats.rejected += 1;
+            return Err(ServoError::LimitExceeded {
+                what: cause.describe(),
+            });
+        }
+        if self.waiting.len() >= self.platform.queue_capacity {
+            self.stats.rejected += 1;
+            return Err(ServoError::LimitExceeded {
+                what: format!("request queue capacity of {}", self.platform.queue_capacity),
+            });
+        }
+
+        let compute = self.config.compute_duration(work_units);
+        if compute > self.config.timeout {
+            self.stats.rejected += 1;
+            return Err(ServoError::function_failed(format!(
+                "execution time {compute} exceeds the {} timeout",
+                self.config.timeout
+            )));
+        }
+
+        // The request starts once enough busy containers have drained: one
+        // for a container-cap saturation, `busy - limit + 1` for a
+        // concurrency-limit saturation.
+        let mut ends: Vec<SimTime> = self
+            .pool
+            .containers()
+            .iter()
+            .filter(|c| c.busy_until > now)
+            .map(|c| c.busy_until)
+            .collect();
+        if ends.is_empty() {
+            // A zero-sized pool can never serve the request.
+            self.stats.rejected += 1;
+            return Err(ServoError::LimitExceeded {
+                what: cause.describe(),
+            });
+        }
+        ends.sort_unstable();
+        let skip = match cause {
+            Saturation::Concurrency(limit) => ends.len().saturating_sub(limit.max(1)),
+            Saturation::ContainerCap(_) => 0,
+        };
+        let start = ends[skip.min(ends.len() - 1)];
+        let wait = start.saturating_since(now);
+
+        // At `start` the assigned container is warm: no cold draw.
+        let overhead =
+            SimDuration::from_millis_f64(self.config.warm_overhead.sample_ms(&mut self.rng));
+        let latency = wait + overhead + compute;
+        let completed_at = now + latency;
+
+        let index = self
+            .pool
+            .first_free_at(start)
+            .expect("a busy container frees at the scheduled start");
+        let reuse_idle = {
+            let container = self.pool.get_mut(index);
+            let idle = start.saturating_since(container.last_used);
+            container.busy_until = completed_at;
+            container.last_used = completed_at;
+            idle
+        };
+        if reuse_idle > SimDuration::ZERO {
+            self.billing.record_idle(self.config.memory, reuse_idle);
+        }
+
+        self.waiting.push(start);
+        self.stats.queued += 1;
+        self.stats.queue_wait_ms += wait.as_millis_f64();
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.waiting.len());
+
+        self.billing.record(self.config.memory, compute);
+        self.stats.invocations += 1;
+        let busy_now = self.pool.busy(now);
+        self.stats.peak_concurrency = self.stats.peak_concurrency.max(busy_now);
+
+        Ok(Invocation {
+            id: self.ids.next(),
+            requested_at: now,
+            completed_at,
+            cold_start: false,
+            compute,
+            queue_wait: wait,
             latency,
         })
     }
@@ -202,6 +454,7 @@ impl FaasPlatform {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use servo_simkit::LatencyModel;
     use servo_types::MemoryMb;
 
     fn platform(memory: u32) -> FaasPlatform {
@@ -244,6 +497,7 @@ mod tests {
         assert_eq!(p.warm_containers(later), 0);
         let b = p.invoke(later, 10.0).unwrap();
         assert!(b.cold_start);
+        assert_eq!(p.stats().expired_containers, 1);
     }
 
     #[test]
@@ -314,5 +568,172 @@ mod tests {
         let a = p.invoke(SimTime::ZERO, 1.0).unwrap();
         let b = p.invoke(SimTime::ZERO, 1.0).unwrap();
         assert_ne!(a.id, b.id);
+    }
+
+    // ----- platform-model behaviour -----
+
+    fn with_platform(memory: u32, platform: PlatformConfig) -> FaasPlatform {
+        FaasPlatform::with_platform_config(
+            FunctionConfig::aws_like(MemoryMb::new(memory)),
+            platform,
+            SimRng::seed(42),
+        )
+    }
+
+    #[test]
+    fn frictionless_config_matches_default_platform_exactly() {
+        let mut base = platform(1024);
+        let mut explicit = with_platform(1024, PlatformConfig::frictionless());
+        let mut now = SimTime::ZERO;
+        for i in 0..40 {
+            let a = base.invoke(now, 50.0 + i as f64).unwrap();
+            let b = explicit.invoke(now, 50.0 + i as f64).unwrap();
+            assert_eq!(a, b);
+            // Alternate warm reuse and parallel cold bursts.
+            now = if i % 3 == 0 { a.completed_at } else { now };
+        }
+        assert_eq!(base.stats(), explicit.stats());
+        assert_eq!(base.billing(), explicit.billing());
+    }
+
+    #[test]
+    fn provisioning_delay_adds_to_cold_latency_only() {
+        let friction =
+            PlatformConfig::frictionless().with_provisioning_delay(SimDuration::from_millis(400));
+        let mut base = platform(1024);
+        let mut slow = with_platform(1024, friction);
+        // Cold invocation: the provisioning delay is the exact difference —
+        // every rng draw is shared because friction adds no draws.
+        let a = base.invoke(SimTime::ZERO, 10.0).unwrap();
+        let b = slow.invoke(SimTime::ZERO, 10.0).unwrap();
+        assert!(a.cold_start && b.cold_start);
+        assert_eq!(b.latency, a.latency + SimDuration::from_millis(400));
+        // Warm invocations are unaffected.
+        let t = b.completed_at;
+        let a2 = base.invoke(t, 10.0).unwrap();
+        let b2 = slow.invoke(t, 10.0).unwrap();
+        assert!(!a2.cold_start && !b2.cold_start);
+        assert_eq!(a2.latency, b2.latency);
+    }
+
+    #[test]
+    fn provisioning_jitter_draws_from_friction_substream() {
+        // Sigma-zero jitter is a constant: latencies shift by exactly the
+        // jitter, proving the main rng stream is untouched by the extra
+        // friction draw.
+        let friction =
+            PlatformConfig::frictionless().with_provisioning_jitter(LatencyModel::new(100.0, 0.0));
+        let mut base = platform(1024);
+        let mut jittered = with_platform(1024, friction);
+        for i in 0..5 {
+            let now = SimTime::from_secs(i * 600); // always cold
+            let a = base.invoke(now, 10.0).unwrap();
+            let b = jittered.invoke(now, 10.0).unwrap();
+            assert_eq!(b.latency, a.latency + SimDuration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn keep_alive_budget_controls_expiry() {
+        let short = PlatformConfig::frictionless().with_keep_alive(SimDuration::from_secs(1));
+        let mut p = with_platform(1024, short);
+        let a = p.invoke(SimTime::ZERO, 10.0).unwrap();
+        // Within the budget: warm.
+        let b = p
+            .invoke(a.completed_at + SimDuration::from_millis(900), 10.0)
+            .unwrap();
+        assert!(!b.cold_start);
+        // Beyond the budget: the container expired, and its idle time was
+        // charged to the warm-idle meter.
+        let c = p
+            .invoke(b.completed_at + SimDuration::from_secs(2), 10.0)
+            .unwrap();
+        assert!(c.cold_start);
+        assert_eq!(p.stats().expired_containers, 1);
+        assert!(p.billing().warm_idle_gb_seconds() > 0.0);
+    }
+
+    #[test]
+    fn scale_down_cooldown_holds_idle_containers() {
+        let keep = SimDuration::from_secs(1);
+        let eager = PlatformConfig::frictionless().with_keep_alive(keep);
+        let held = eager.with_scale_down_cooldown(SimDuration::from_secs(60));
+        let mut without = with_platform(1024, eager);
+        let mut with_hold = with_platform(1024, held);
+        let a = without.invoke(SimTime::ZERO, 10.0).unwrap();
+        let b = with_hold.invoke(SimTime::ZERO, 10.0).unwrap();
+        // Five seconds idle: past keep-alive, inside the cooldown.
+        let later = a.completed_at.max(b.completed_at) + SimDuration::from_secs(5);
+        assert!(without.invoke(later, 10.0).unwrap().cold_start);
+        assert!(!with_hold.invoke(later, 10.0).unwrap().cold_start);
+    }
+
+    #[test]
+    fn saturation_queue_surfaces_wait_fifo() {
+        let mut config = FunctionConfig::aws_like(MemoryMb::new(1024));
+        config.max_concurrency = Some(1);
+        let queued = PlatformConfig::frictionless().with_queue_capacity(2);
+        let mut p = FaasPlatform::with_platform_config(config, queued, SimRng::seed(1));
+        let now = SimTime::ZERO;
+        let first = p.invoke(now, 2_000.0).unwrap();
+        assert_eq!(first.queue_wait, SimDuration::ZERO);
+        // Saturated: the next two requests park instead of being rejected.
+        let second = p.invoke(now, 2_000.0).unwrap();
+        assert!(second.queue_wait >= first.completed_at.saturating_since(now));
+        assert!(!second.cold_start);
+        let third = p.invoke(now, 2_000.0).unwrap();
+        assert!(third.queue_wait >= second.queue_wait, "queue drains FIFO");
+        assert!(third.completed_at > second.completed_at);
+        // Queue full: the fourth is rejected.
+        let err = p.invoke(now, 2_000.0).unwrap_err();
+        assert!(matches!(err, ServoError::LimitExceeded { .. }));
+        let stats = p.stats();
+        assert_eq!(stats.queued, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.peak_queue_depth, 2);
+        assert!(stats.queue_wait_ms > 0.0);
+        // Once the schedule drains, the queue is empty again.
+        assert_eq!(p.queue_depth(third.completed_at), 0);
+    }
+
+    #[test]
+    fn container_cap_queues_instead_of_growing() {
+        let capped = PlatformConfig::frictionless()
+            .with_max_containers(1)
+            .with_queue_capacity(8);
+        let mut p = with_platform(1024, capped);
+        let now = SimTime::ZERO;
+        let first = p.invoke(now, 1_000.0).unwrap();
+        assert!(first.cold_start);
+        let second = p.invoke(now, 1_000.0).unwrap();
+        assert!(!second.cold_start, "queued requests reuse the pool");
+        assert!(second.queue_wait > SimDuration::ZERO);
+        assert_eq!(p.pool_size(), 1);
+        assert_eq!(p.stats().queued, 1);
+    }
+
+    #[test]
+    fn container_cap_without_queue_rejects() {
+        let capped = PlatformConfig::frictionless().with_max_containers(1);
+        let mut p = with_platform(1024, capped);
+        let now = SimTime::ZERO;
+        p.invoke(now, 1_000.0).unwrap();
+        let err = p.invoke(now, 1_000.0).unwrap_err();
+        assert!(matches!(err, ServoError::LimitExceeded { .. }));
+        assert_eq!(p.stats().rejected, 1);
+    }
+
+    #[test]
+    fn billing_at_accrues_live_idle_time() {
+        let mut p = with_platform(1024, PlatformConfig::frictionless());
+        let a = p.invoke(SimTime::ZERO, 10.0).unwrap();
+        let snapshot = p.billing_at(a.completed_at + SimDuration::from_secs(10));
+        assert!(snapshot.warm_idle_gb_seconds() > 9.0 * 1.0 * (1024.0 / 1024.0) / 1.01);
+        // The live meter itself is untouched.
+        assert_eq!(p.billing().warm_idle_gb_seconds(), 0.0);
+        // Accrual is capped at the keep-alive budget.
+        let far = p.billing_at(a.completed_at + SimDuration::from_secs(100_000));
+        let keep_alive = p.config().idle_timeout.as_secs_f64();
+        assert!(far.warm_idle_gb_seconds() <= keep_alive * 1.0 + 1e-9);
     }
 }

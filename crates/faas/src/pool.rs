@@ -1,0 +1,231 @@
+//! The warm-container pool backing a [`FaasPlatform`](crate::FaasPlatform).
+//!
+//! Containers move through a small state machine driven entirely by virtual
+//! time: **provisioning** (`ready_at` in the future) → **busy**
+//! (`busy_until` in the future) → **warm** (idle, within the keep-alive
+//! budget of `last_used`) → **expired** (reclaimed on the next pool scan).
+//! The pool itself holds no latency logic — the platform charges
+//! provisioning and cold-start time into the invocation; the pool only
+//! answers "which container, if any, can take this request".
+
+use servo_types::{SimDuration, SimTime};
+
+/// One container ("execution environment") of the deployed function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Container {
+    /// When provisioning completes and the container can first run code.
+    pub ready_at: SimTime,
+    /// The instant at which the container finishes its current invocation.
+    pub busy_until: SimTime,
+    /// The instant of the last completed (or started) invocation, used to
+    /// decide idle reclamation.
+    pub last_used: SimTime,
+}
+
+/// A capacity-capped pool of containers in creation order.
+#[derive(Debug, Clone, Default)]
+pub struct WarmPool {
+    containers: Vec<Container>,
+    cap: Option<usize>,
+}
+
+impl WarmPool {
+    /// Creates an empty pool holding at most `cap` containers (`None` =
+    /// unlimited).
+    pub fn new(cap: Option<usize>) -> Self {
+        WarmPool {
+            containers: Vec::new(),
+            cap,
+        }
+    }
+
+    /// The configured container cap.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Number of containers currently in the pool (any state).
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// True if the pool has no containers.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    /// The containers, in creation order.
+    pub fn containers(&self) -> &[Container] {
+        &self.containers
+    }
+
+    /// Containers busy (or still provisioning) at `now`.
+    pub fn busy(&self, now: SimTime) -> usize {
+        self.containers
+            .iter()
+            .filter(|c| c.busy_until > now)
+            .count()
+    }
+
+    /// Containers idle at `now` but still within the keep-alive budget.
+    pub fn warm(&self, now: SimTime, keep_alive: SimDuration) -> usize {
+        self.containers
+            .iter()
+            .filter(|c| now.saturating_since(c.last_used) <= keep_alive)
+            .count()
+    }
+
+    /// Removes containers idle longer than `keep_alive` and returns them
+    /// (for idle-time accounting). `hold` suppresses reclamation entirely —
+    /// the platform's scale-down cooldown.
+    pub fn reclaim_expired(
+        &mut self,
+        now: SimTime,
+        keep_alive: SimDuration,
+        hold: bool,
+    ) -> Vec<Container> {
+        if hold {
+            return Vec::new();
+        }
+        let mut expired = Vec::new();
+        self.containers.retain(|c| {
+            if now.saturating_since(c.last_used) <= keep_alive {
+                true
+            } else {
+                expired.push(*c);
+                false
+            }
+        });
+        expired
+    }
+
+    /// Index of the first container free at `at` (warm checkout order is
+    /// creation order, which keeps reuse deterministic).
+    pub fn first_free_at(&self, at: SimTime) -> Option<usize> {
+        self.containers.iter().position(|c| c.busy_until <= at)
+    }
+
+    /// Adds a container provisioned at `now` that becomes ready at
+    /// `ready_at`, returning its index, or `None` if the pool is at cap.
+    pub fn provision(&mut self, now: SimTime, ready_at: SimTime) -> Option<usize> {
+        if self.cap.is_some_and(|cap| self.containers.len() >= cap) {
+            return None;
+        }
+        self.containers.push(Container {
+            ready_at,
+            busy_until: now,
+            last_used: now,
+        });
+        Some(self.containers.len() - 1)
+    }
+
+    /// Mutable access to one container.
+    pub fn get_mut(&mut self, index: usize) -> &mut Container {
+        &mut self.containers[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_respects_cap() {
+        let mut pool = WarmPool::new(Some(2));
+        assert!(pool.provision(SimTime::ZERO, SimTime::ZERO).is_some());
+        assert!(pool.provision(SimTime::ZERO, SimTime::ZERO).is_some());
+        assert!(pool.provision(SimTime::ZERO, SimTime::ZERO).is_none());
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn checkout_prefers_earliest_created_free_container() {
+        let mut pool = WarmPool::new(None);
+        let a = pool.provision(SimTime::ZERO, SimTime::ZERO).unwrap();
+        let b = pool.provision(SimTime::ZERO, SimTime::ZERO).unwrap();
+        pool.get_mut(a).busy_until = SimTime::from_secs(10);
+        let now = SimTime::from_secs(1);
+        assert_eq!(pool.first_free_at(now), Some(b));
+    }
+
+    #[test]
+    fn reclaim_returns_expired_and_hold_suppresses() {
+        let mut pool = WarmPool::new(None);
+        pool.provision(SimTime::ZERO, SimTime::ZERO);
+        let later = SimTime::from_secs(100);
+        assert!(pool
+            .reclaim_expired(later, SimDuration::from_secs(10), true)
+            .is_empty());
+        assert_eq!(pool.len(), 1);
+        let expired = pool.reclaim_expired(later, SimDuration::from_secs(10), false);
+        assert_eq!(expired.len(), 1);
+        assert!(pool.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One random pool operation: provision, advance-and-reclaim, or
+        /// mark a container busy into the future.
+        fn apply(pool: &mut WarmPool, now: &mut SimTime, op: (u8, u64)) -> usize {
+            let (kind, amount) = op;
+            match kind % 3 {
+                0 => {
+                    pool.provision(*now, *now + SimDuration::from_millis(amount % 500));
+                }
+                1 => {
+                    *now += SimDuration::from_millis(amount % 5_000);
+                    return pool
+                        .reclaim_expired(*now, SimDuration::from_secs(2), false)
+                        .len();
+                }
+                _ => {
+                    if let Some(i) = pool.first_free_at(*now) {
+                        let done = *now + SimDuration::from_millis(1 + amount % 300);
+                        let c = pool.get_mut(i);
+                        c.busy_until = done;
+                        c.last_used = done;
+                    }
+                }
+            }
+            0
+        }
+
+        proptest! {
+            /// The pool never exceeds its cap, and the warm count never
+            /// exceeds the pool size.
+            #[test]
+            fn warm_pool_never_exceeds_cap(
+                ops in prop::collection::vec((any::<u8>(), any::<u64>()), 1..120),
+                cap in 1usize..12,
+            ) {
+                let mut pool = WarmPool::new(Some(cap));
+                let mut now = SimTime::ZERO;
+                for op in ops {
+                    apply(&mut pool, &mut now, op);
+                    prop_assert!(pool.len() <= cap);
+                    prop_assert!(pool.warm(now, SimDuration::from_secs(2)) <= pool.len());
+                }
+            }
+
+            /// Expiry is a deterministic function of the operation history:
+            /// two pools fed the same operations reclaim identical
+            /// containers at identical instants.
+            #[test]
+            fn expiry_is_deterministic(
+                ops in prop::collection::vec((any::<u8>(), any::<u64>()), 1..120),
+            ) {
+                let mut a = WarmPool::new(None);
+                let mut b = WarmPool::new(None);
+                let (mut now_a, mut now_b) = (SimTime::ZERO, SimTime::ZERO);
+                for op in ops {
+                    let ra = apply(&mut a, &mut now_a, op);
+                    let rb = apply(&mut b, &mut now_b, op);
+                    prop_assert_eq!(ra, rb);
+                    prop_assert_eq!(a.containers(), b.containers());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! A bounded request queue that drains FIFO within each priority class.
+//!
+//! Saturated pools (the FaaS platform at its concurrency limit, worker
+//! pools behind their backlog) park requests here instead of rejecting
+//! them. The queue is generic over the priority type so each consumer can
+//! bring its own ordering — the storage pipeline's `Priority` enum, the
+//! generation backend's single class, or the platform's arrival order.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// A bounded queue draining highest-priority first, FIFO within a priority.
+///
+/// `P` orders classes with *larger* values draining first (matching the
+/// storage crate's `Priority`, where `Urgent > Background`).
+///
+/// # Example
+///
+/// ```
+/// use servo_faas::RequestQueue;
+///
+/// let mut q: RequestQueue<u8, &str> = RequestQueue::bounded(4);
+/// q.push(0, "background").unwrap();
+/// q.push(2, "urgent").unwrap();
+/// q.push(0, "background-2").unwrap();
+/// assert_eq!(q.pop(), Some((2, "urgent")));
+/// assert_eq!(q.pop(), Some((0, "background")));
+/// assert_eq!(q.pop(), Some((0, "background-2")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestQueue<P: Ord, T> {
+    classes: BTreeMap<P, VecDeque<T>>,
+    len: usize,
+    capacity: usize,
+}
+
+impl<P: Ord, T> RequestQueue<P, T> {
+    /// Creates a queue holding at most `capacity` requests across all
+    /// priority classes.
+    pub fn bounded(capacity: usize) -> Self {
+        RequestQueue {
+            classes: BTreeMap::new(),
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Total queued requests.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item` under `priority`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is full.
+    pub fn push(&mut self, priority: P, item: T) -> Result<(), T> {
+        if self.len >= self.capacity {
+            return Err(item);
+        }
+        self.classes.entry(priority).or_default().push_back(item);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Dequeues the oldest request of the highest priority class.
+    pub fn pop(&mut self) -> Option<(P, T)>
+    where
+        P: Clone,
+    {
+        let priority = self.classes.keys().next_back()?.clone();
+        let class = self
+            .classes
+            .get_mut(&priority)
+            .expect("priority key just observed");
+        let item = class.pop_front().expect("classes are never left empty");
+        if class.is_empty() {
+            self.classes.remove(&priority);
+        }
+        self.len -= 1;
+        Some((priority, item))
+    }
+
+    /// Drops queued requests that no longer satisfy `keep`, returning how
+    /// many were removed.
+    pub fn prune(&mut self, mut keep: impl FnMut(&P, &T) -> bool) -> usize {
+        let before = self.len;
+        self.classes.retain(|priority, class| {
+            class.retain(|item| keep(priority, item));
+            !class.is_empty()
+        });
+        self.len = self.classes.values().map(VecDeque::len).sum();
+        before - self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_rejects_overflow() {
+        let mut q: RequestQueue<u8, u32> = RequestQueue::bounded(2);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        assert_eq!(q.push(1, 3), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut q: RequestQueue<u8, u32> = RequestQueue::bounded(0);
+        assert_eq!(q.push(0, 9), Err(9));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn prune_drops_and_recounts() {
+        let mut q: RequestQueue<u8, u32> = RequestQueue::bounded(8);
+        for i in 0..6 {
+            q.push((i % 2) as u8, i).unwrap();
+        }
+        let dropped = q.prune(|_, item| item % 3 != 0);
+        assert_eq!(dropped, 2); // 0 and 3 removed
+        assert_eq!(q.len(), 4);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The queue drains strictly by descending priority and FIFO
+            /// within each priority class, and never exceeds its capacity.
+            #[test]
+            fn drains_fifo_per_priority(
+                pushes in prop::collection::vec((0u8..4, any::<u32>()), 0..80),
+                capacity in 0usize..48,
+            ) {
+                let mut q: RequestQueue<u8, u32> = RequestQueue::bounded(capacity);
+                let mut accepted: Vec<(u8, u32)> = Vec::new();
+                for (priority, item) in pushes {
+                    match q.push(priority, item) {
+                        Ok(()) => accepted.push((priority, item)),
+                        Err(rejected) => {
+                            prop_assert_eq!(rejected, item);
+                            prop_assert_eq!(q.len(), capacity);
+                        }
+                    }
+                    prop_assert!(q.len() <= capacity);
+                }
+
+                let mut drained: Vec<(u8, u32)> = Vec::new();
+                while let Some(pair) = q.pop() {
+                    drained.push(pair);
+                }
+                prop_assert!(q.is_empty());
+
+                // Expected order: stable sort of the accepted pushes by
+                // descending priority (stability = FIFO within a class).
+                let mut expected = accepted;
+                expected.sort_by_key(|(priority, _)| std::cmp::Reverse(*priority));
+                prop_assert_eq!(drained, expected);
+            }
+        }
+    }
+}

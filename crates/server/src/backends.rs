@@ -13,8 +13,9 @@
 //! adapter rode out their one-release deprecation window and are gone;
 //! terrain providers implement [`ChunkService`] directly.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
+use servo_faas::{Autoscaler, AutoscalerConfig, AutoscalerStats, RequestQueue};
 use servo_pcg::TerrainGenerator;
 use servo_redstone::Construct;
 use servo_storage::{
@@ -270,8 +271,13 @@ impl GenerationClock {
 /// with [`ChunkLocation::Generated`].
 pub struct LocalGenerationBackend {
     generator: Box<dyn TerrainGenerator>,
-    workers: usize,
-    queue: VecDeque<ChunkPos>,
+    /// Sizes the worker pool each time the queue is drained. The default
+    /// (`AutoscalerConfig::fixed`) reproduces the statically-sized pool
+    /// exactly; [`LocalGenerationBackend::elastic`] lets the pool follow
+    /// the generation backlog instead.
+    scaler: Autoscaler,
+    /// Queued positions, drained FIFO (generation has one priority class).
+    queue: RequestQueue<(), ChunkPos>,
     running: Vec<(ChunkPos, SimTime)>,
     requested: HashSet<ChunkPos>,
     generated: u64,
@@ -279,17 +285,30 @@ pub struct LocalGenerationBackend {
 }
 
 impl LocalGenerationBackend {
-    /// Creates a backend with `workers` background generation threads.
+    /// Creates a backend with a fixed pool of `workers` background
+    /// generation threads.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(generator: Box<dyn TerrainGenerator>, workers: usize) -> Self {
         assert!(workers > 0, "at least one generation worker is required");
+        Self::with_autoscaler(generator, AutoscalerConfig::fixed(workers))
+    }
+
+    /// Creates a backend whose worker pool elastically follows the queue
+    /// depth between `min` and `max` workers. Provisioning delay and
+    /// scale-down cooldown come from `config`; a fixed config reproduces
+    /// [`LocalGenerationBackend::new`] exactly.
+    pub fn elastic(generator: Box<dyn TerrainGenerator>, config: AutoscalerConfig) -> Self {
+        Self::with_autoscaler(generator, config)
+    }
+
+    fn with_autoscaler(generator: Box<dyn TerrainGenerator>, config: AutoscalerConfig) -> Self {
         LocalGenerationBackend {
             generator,
-            workers,
-            queue: VecDeque::new(),
+            scaler: Autoscaler::new(config),
+            queue: RequestQueue::bounded(usize::MAX),
             running: Vec::new(),
             requested: HashSet::new(),
             generated: 0,
@@ -302,11 +321,19 @@ impl LocalGenerationBackend {
         self.generated
     }
 
+    /// Lifetime counters of the worker-pool autoscaler (all zero for a
+    /// fixed pool).
+    pub fn autoscaler_stats(&self) -> AutoscalerStats {
+        self.scaler.stats()
+    }
+
     /// Queues generation of `pos` at virtual time `now` (duplicates are
     /// ignored) and starts it as soon as a worker is free.
     fn request_at(&mut self, pos: ChunkPos, now: SimTime) {
         if self.requested.insert(pos) {
-            self.queue.push_back(pos);
+            self.queue
+                .push((), pos)
+                .expect("the generation queue is unbounded");
             self.start_queued(now);
         }
     }
@@ -329,8 +356,9 @@ impl LocalGenerationBackend {
     }
 
     fn start_queued(&mut self, now: SimTime) {
-        while self.running.len() < self.workers {
-            let Some(pos) = self.queue.pop_front() else {
+        let workers = self.scaler.observe(now, self.queue.len());
+        while self.running.len() < workers {
+            let Some(((), pos)) = self.queue.pop() else {
                 break;
             };
             let done_at = now + self.generator.cost().duration_at_speed(1.0);
@@ -342,7 +370,7 @@ impl LocalGenerationBackend {
 impl std::fmt::Debug for LocalGenerationBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LocalGenerationBackend")
-            .field("workers", &self.workers)
+            .field("workers", &self.scaler.ready_workers())
             .field("queued", &self.queue.len())
             .field("running", &self.running.len())
             .field("generated", &self.generated)
@@ -539,5 +567,59 @@ mod tests {
     #[should_panic(expected = "at least one generation worker")]
     fn zero_workers_is_rejected() {
         LocalGenerationBackend::new(Box::new(FlatGenerator::default()), 0);
+    }
+
+    #[test]
+    fn elastic_generation_pool_follows_backlog() {
+        // One worker per two queued chunks, capped at 8: a 10-chunk burst
+        // scales the pool out and finishes well before a 2-worker fixed
+        // pool could; an idle stretch scales it back down to min.
+        let config = AutoscalerConfig::elastic(2, 8).with_backlog_per_worker(2);
+        let mut backend =
+            LocalGenerationBackend::elastic(Box::new(DefaultGenerator::new(1)), config);
+        for i in 0..10 {
+            read_at(&mut backend, ChunkPos::new(i, 0), SimTime::ZERO);
+        }
+        // A default chunk costs 550 ms; the scaled-out pool clears twice
+        // what a fixed 2-worker pool can finish in the first wave.
+        let ready = loaded_chunks(backend.poll(SimTime::from_millis(600)));
+        assert!(
+            ready.len() >= 4,
+            "elastic pool only finished {} chunks",
+            ready.len()
+        );
+        let stats = backend.autoscaler_stats();
+        assert!(stats.scale_up_events > 0);
+        assert!(stats.peak_workers > 2);
+        // The backlog is gone: the next drain releases workers to min.
+        backend.poll(SimTime::from_secs(30));
+        assert!(backend.autoscaler_stats().workers_retired > 0);
+    }
+
+    #[test]
+    fn fixed_autoscaler_matches_static_pool_exactly() {
+        // A fixed autoscaler config is the frictionless configuration: the
+        // elastic constructor reproduces the static pool tick for tick.
+        let mut fixed = LocalGenerationBackend::new(Box::new(DefaultGenerator::new(1)), 2);
+        let mut elastic = LocalGenerationBackend::elastic(
+            Box::new(DefaultGenerator::new(1)),
+            AutoscalerConfig::fixed(2),
+        );
+        for i in 0..10 {
+            read_at(&mut fixed, ChunkPos::new(i, 0), SimTime::ZERO);
+            read_at(&mut elastic, ChunkPos::new(i, 0), SimTime::ZERO);
+        }
+        let mut now = SimTime::ZERO;
+        for _ in 0..12 {
+            now += SimDuration::from_millis(550);
+            let a = loaded_chunks(fixed.poll(now));
+            let b = loaded_chunks(elastic.poll(now));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.pos(), y.pos());
+            }
+        }
+        assert_eq!(fixed.generated(), elastic.generated());
+        assert_eq!(elastic.autoscaler_stats().workers_provisioned, 0);
     }
 }

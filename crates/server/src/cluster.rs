@@ -31,6 +31,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
+use servo_faas::AutoscalerConfig;
 use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
 use servo_redstone::Blueprint;
 use servo_simkit::{SimClock, SimRng};
@@ -559,6 +560,27 @@ impl ShardedGameCluster {
         rng: SimRng,
         write_back_interval: u64,
     ) {
+        self.attach_persistence_with_scaler(zone, remote, rng, write_back_interval, None);
+    }
+
+    /// [`Self::attach_persistence`] with an optional autoscaler for the
+    /// pipeline's disk-worker pool: when `elastic` is set, workers scale
+    /// with the submission backlog instead of staying at the zone's static
+    /// parallelism. Elasticity only changes wall-clock throughput — the
+    /// simulated outcomes are identical — so the static default keeps
+    /// committed baselines byte-stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone` is out of range.
+    pub fn attach_persistence_with_scaler(
+        &mut self,
+        zone: usize,
+        remote: BlobStore,
+        rng: SimRng,
+        write_back_interval: u64,
+        elastic: Option<AutoscalerConfig>,
+    ) {
         let workers = self.servers[zone].config().parallelism.max(1);
         // Bind the world with an EMPTY pull set: the tick thread's
         // `drain_owned_dirty` (step 3a) is the single consumer of the
@@ -573,7 +595,12 @@ impl ShardedGameCluster {
         // maintenance consumes no randomness, messages, or clock, so a
         // no-failure run is byte-identical with or without it.
         let wal = SharedWal::new(self.servers[zone].world().shard_count());
-        let service = PipelinedChunkService::new(remote, rng, workers)
+        let service = PipelinedChunkService::new(remote, rng, workers);
+        let service = match elastic {
+            Some(config) => service.with_elastic_workers(config),
+            None => service,
+        };
+        let service = service
             .with_world_shards(self.servers[zone].world_handle(), &[])
             .with_wal(wal.clone());
         self.persistence[zone] = Some(ZonePersistence {

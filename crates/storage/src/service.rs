@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 
+use servo_faas::{Autoscaler, AutoscalerConfig, AutoscalerStats};
 use servo_types::{ChunkPos, ServoError, SimDuration, SimTime};
 use servo_world::{shard_index, Chunk, ChunkSnapshot, ShardDelta, ShardedWorld};
 
@@ -881,6 +882,12 @@ struct PipeShared<R: ObjectStore> {
     unexecuted: AtomicUsize,
     /// Whether a harvest job is already queued (polls coalesce them).
     harvest_queued: AtomicBool,
+    /// Thread quota of the worker pool. Fixed pools pin it to the pool
+    /// size; elastic pools move it with the backlog, and idle workers
+    /// above the quota retire themselves.
+    worker_quota: AtomicUsize,
+    /// Threads currently in the pool (spawned and not retired).
+    live_workers: AtomicUsize,
     /// The newest virtual time any poll has announced (micros); queued
     /// harvest jobs catch up to it instead of using their enqueue-time
     /// timestamp.
@@ -906,6 +913,26 @@ impl<R: ObjectStore> PipeShared<R> {
             .unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Retires this worker if the pool is above its quota. Only called
+    /// with the queue drained (under the queue lock), so a retiring worker
+    /// never strands a queued job.
+    fn try_retire(&self) -> bool {
+        let quota = self.worker_quota.load(Ordering::Acquire);
+        let mut live = self.live_workers.load(Ordering::Acquire);
+        while live > quota {
+            match self.live_workers.compare_exchange(
+                live,
+                live - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => live = actual,
+            }
+        }
+        false
+    }
+
     fn run_worker(&self) {
         loop {
             let job = {
@@ -915,6 +942,11 @@ impl<R: ObjectStore> PipeShared<R> {
                         break job;
                     }
                     if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // The queue is drained: a pool above its quota retires
+                    // the surplus worker instead of sleeping.
+                    if self.try_retire() {
                         return;
                     }
                     queue = self
@@ -1057,6 +1089,10 @@ pub struct PipelinedChunkService<R: ObjectStore + Send + 'static> {
     /// be bound (rebuilding the segments) right after construction.
     workers: Vec<std::thread::JoinHandle<()>>,
     workers_target: usize,
+    /// The machine's available parallelism — the hard cap on live threads.
+    thread_cap: usize,
+    /// Backlog-driven autoscaler of the thread quota (`None` = fixed pool).
+    elastic: Option<Autoscaler>,
     /// The zone's write-ahead delta log, re-applied to the segments on
     /// every rebind. `None` disables durability logging.
     wal: Option<SharedWal>,
@@ -1082,6 +1118,16 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
         let (done_tx, done_rx) = channel();
         let remote = Arc::new(Mutex::new(remote));
         let shard_count = servo_world::DEFAULT_SHARDS;
+        // Clamp the pool to the machine's parallelism: with the core
+        // sharded, every worker is genuinely runnable at once, and on
+        // a box with fewer cores than requested workers the surplus
+        // threads only preempt the tick thread (measured as multi-ms
+        // p99 spikes in `storage_async` on 1-core containers) without
+        // adding any overlap.
+        let thread_cap = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let workers_target = workers.max(1).min(thread_cap);
         let shared = Arc::new(PipeShared {
             segments: Self::build_segments(&remote, &rng, shard_count, None, None),
             queue: Mutex::new(VecDeque::new()),
@@ -1089,6 +1135,8 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
             shutdown: AtomicBool::new(false),
             unexecuted: AtomicUsize::new(0),
             harvest_queued: AtomicBool::new(false),
+            worker_quota: AtomicUsize::new(workers_target),
+            live_workers: AtomicUsize::new(0),
             latest_now: AtomicU64::new(0),
             done_tx: Mutex::new(done_tx),
         });
@@ -1103,20 +1151,35 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
             remote,
             disk_rng: rng,
             workers: Vec::new(),
-            // Clamp the pool to the machine's parallelism: with the core
-            // sharded, every worker is genuinely runnable at once, and on
-            // a box with fewer cores than requested workers the surplus
-            // threads only preempt the tick thread (measured as multi-ms
-            // p99 spikes in `storage_async` on 1-core containers) without
-            // adding any overlap.
-            workers_target: workers.max(1).min(
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1),
-            ),
+            workers_target,
+            thread_cap,
+            elastic: None,
             wal: None,
             retry: RetryPolicy::default(),
         }
+    }
+
+    /// Makes the worker pool elastic: each poll drives `config`'s
+    /// autoscaler from the backlog of not-yet-executed requests, raising
+    /// the thread quota under load and letting idle surplus workers retire
+    /// once the queue drains. The applied quota is clamped to the
+    /// machine's available parallelism (the autoscaler's *decisions* — its
+    /// stats — are not, so they stay machine-independent). Simulated
+    /// outcomes are unaffected: the pool size only moves where wall-clock
+    /// work runs.
+    ///
+    /// Call before the first submit/poll (the fixed pool is the default).
+    pub fn with_elastic_workers(mut self, config: AutoscalerConfig) -> Self {
+        assert!(
+            self.workers.is_empty(),
+            "configure elasticity before submitting work to the service"
+        );
+        self.workers_target = config.min_workers.max(1).min(self.thread_cap);
+        self.shared
+            .worker_quota
+            .store(self.workers_target, Ordering::Release);
+        self.elastic = Some(Autoscaler::new(config));
+        self
     }
 
     /// Attaches a write-ahead delta log shared by every shard segment:
@@ -1267,18 +1330,26 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
     }
 
     fn ensure_workers(&mut self) {
-        if !self.workers.is_empty() {
-            return;
+        if self.workers.is_empty() {
+            self.spawn_up_to(self.workers_target);
         }
-        self.workers = (0..self.workers_target)
-            .map(|i| {
-                let shared = Arc::clone(&self.shared);
+    }
+
+    /// Spawns workers until `target` threads are live (retired threads'
+    /// join handles stay in `workers` for teardown; only `live_workers`
+    /// counts the pool).
+    fn spawn_up_to(&mut self, target: usize) {
+        while self.shared.live_workers.load(Ordering::Acquire) < target {
+            let index = self.workers.len();
+            self.shared.live_workers.fetch_add(1, Ordering::AcqRel);
+            let shared = Arc::clone(&self.shared);
+            self.workers.push(
                 std::thread::Builder::new()
-                    .name(format!("chunk-worker-{i}"))
+                    .name(format!("chunk-worker-{index}"))
                     .spawn(move || shared.run_worker())
-                    .expect("spawning a chunk worker must succeed")
-            })
-            .collect();
+                    .expect("spawning a chunk worker must succeed"),
+            );
+        }
     }
 
     /// Cache effectiveness counters, summed over the shard segments
@@ -1316,10 +1387,30 @@ impl<R: ObjectStore + Send + 'static> PipelinedChunkService<R> {
             .sum()
     }
 
-    /// Number of worker threads the pool runs: the requested size clamped
-    /// to the machine's available parallelism.
+    /// Number of worker threads the pool starts with: the requested size
+    /// clamped to the machine's available parallelism (elastic pools grow
+    /// and shrink from here).
     pub fn worker_count(&self) -> usize {
         self.workers_target
+    }
+
+    /// The current thread quota of the pool (moves with the backlog when
+    /// the pool is elastic, pinned to the pool size otherwise).
+    pub fn worker_quota(&self) -> usize {
+        self.shared.worker_quota.load(Ordering::Acquire)
+    }
+
+    /// Threads currently live in the pool.
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::Acquire)
+    }
+
+    /// Lifetime counters of the worker autoscaler, or `None` for a fixed
+    /// pool. The counters record the scaler's *decisions*, unclamped by
+    /// the machine's core count, so assertions on them are portable to
+    /// single-core CI runners.
+    pub fn autoscaler_stats(&self) -> Option<AutoscalerStats> {
+        self.elastic.as_ref().map(|scaler| scaler.stats())
     }
 
     /// Runs `f` with the remote backend (briefly locks the shared store;
@@ -1428,6 +1519,24 @@ impl<R: ObjectStore + Send + 'static> ChunkService for PipelinedChunkService<R> 
     fn poll(&mut self, now: SimTime) -> Vec<ChunkCompletion> {
         self.now = now;
         self.ensure_workers();
+        if self.elastic.is_some() {
+            let backlog = self.shared.unexecuted.load(Ordering::Acquire);
+            let desired = self
+                .elastic
+                .as_mut()
+                .expect("checked above")
+                .observe(now, backlog);
+            // Decisions are machine-independent; the applied thread quota
+            // is clamped to what the machine can actually run.
+            let quota = desired.min(self.thread_cap).max(1);
+            self.shared.worker_quota.store(quota, Ordering::Release);
+            self.spawn_up_to(quota);
+            if quota < self.shared.live_workers.load(Ordering::Acquire) {
+                // Wake sleepers so surplus workers observe the lowered
+                // quota and retire.
+                self.shared.available.notify_all();
+            }
+        }
         self.shared
             .latest_now
             .fetch_max(now.as_micros(), Ordering::AcqRel);
@@ -1647,6 +1756,39 @@ mod tests {
             })
             .collect();
         assert_eq!(loaded.len(), positions.len());
+    }
+
+    #[test]
+    fn elastic_worker_pool_scales_with_backlog_and_releases() {
+        // Deterministic-decision assertions only: on a 1-core runner the
+        // *applied* thread quota is clamped to 1, but the autoscaler's
+        // decision counters are machine-independent.
+        let config = AutoscalerConfig::elastic(1, 6).with_backlog_per_worker(2);
+        let mut service = PipelinedChunkService::new(seeded_remote(6), SimRng::seed(2), 1)
+            .with_elastic_workers(config);
+        assert_eq!(service.autoscaler_stats().unwrap().scale_up_events, 0);
+        let positions: Vec<ChunkPos> = (0..6)
+            .flat_map(|x| (0..6).map(move |z| ChunkPos::new(x, z)))
+            .collect();
+        let ticket = service.submit(ChunkRequest::prefetch(positions.clone()));
+        // The submission burst lands on every shard lane: the first poll
+        // observes the backlog and scales the quota out.
+        let mut completions = drain(&mut service, SimTime::from_secs(10));
+        let stats = service.autoscaler_stats().unwrap();
+        assert!(stats.scale_up_events > 0, "no scale-up: {stats:?}");
+        assert!(stats.peak_workers > 1, "pool never grew: {stats:?}");
+        // Once the backlog drains the quota releases back to min, and live
+        // threads follow it down.
+        completions.extend(drain(&mut service, SimTime::from_secs(30)));
+        let loaded = completions
+            .iter()
+            .filter(|c| c.ticket == ticket && matches!(c.outcome, ChunkOutcome::Loaded { .. }))
+            .count();
+        assert_eq!(loaded, positions.len(), "elastic pool lost requests");
+        let stats = service.autoscaler_stats().unwrap();
+        assert!(stats.workers_retired > 0, "pool never shrank: {stats:?}");
+        assert_eq!(service.worker_quota(), 1);
+        assert!(service.live_workers() <= service.worker_quota().max(1));
     }
 
     #[test]
