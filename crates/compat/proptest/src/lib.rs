@@ -153,6 +153,62 @@ pub mod strategy {
     tuple_strategy!(A, B, C, D);
     tuple_strategy!(A, B, C, D, E);
     tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+
+    /// Boxes a strategy, erasing its concrete type. This is how
+    /// [`crate::prop_oneof!`] unifies arms built from different
+    /// combinators into one arm list.
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(strategy)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// A weighted union over strategies with a common value type — the
+    /// engine behind [`crate::prop_oneof!`]. Selection consumes exactly one
+    /// draw from the stream, then delegates to the chosen arm, so adding an
+    /// arm never desynchronizes values generated by sibling strategies.
+    pub struct Union<T> {
+        options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(relative weight, strategy)` arms. At least
+        /// one weight must be non-zero.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs a non-zero total weight");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total;
+            for (weight, strategy) in &self.options {
+                if pick < u64::from(*weight) {
+                    return strategy.new_value(rng);
+                }
+                pick -= u64::from(*weight);
+            }
+            unreachable!("weights sum to the modulus")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("arms", &self.options.len())
+                .finish()
+        }
+    }
 }
 
 pub mod arbitrary {
@@ -304,13 +360,28 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// The `prop` namespace (`prop::collection`, `prop::sample`).
     pub mod prop {
         pub use crate::collection;
         pub use crate::sample;
     }
+}
+
+/// Chooses among several strategies producing a common value type, with
+/// optional relative weights (`prop_oneof![3 => a, 1 => b]`; unweighted
+/// arms all get weight 1), mirroring proptest's macro of the same name.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Asserts a condition inside a property test.
@@ -404,6 +475,36 @@ mod tests {
         for _ in 0..50 {
             let v = strat.new_value(&mut rng);
             assert!([10, 20, 30].contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_draws_from_every_arm() {
+        let strat = prop_oneof![
+            3 => (0i32..10).prop_map(|n| n),
+            1 => Just(42i32),
+        ];
+        let mut rng = crate::test_runner::TestRng::for_test("oneof");
+        let (mut low, mut sentinel) = (0u32, 0u32);
+        for _ in 0..400 {
+            match strat.new_value(&mut rng) {
+                42 => sentinel += 1,
+                v if (0..10).contains(&v) => low += 1,
+                v => panic!("value {v} from no arm"),
+            }
+        }
+        // Both arms fire, and the 3:1 weighting shows (the range arm lands
+        // in 0..10 which excludes 42, so the counts are unambiguous).
+        assert!(
+            sentinel > 0 && low > sentinel,
+            "low {low} sentinel {sentinel}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn unweighted_oneof_works_in_proptest(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
         }
     }
 

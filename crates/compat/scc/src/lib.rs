@@ -1,0 +1,20 @@
+//! Offline shim for the `scc` (scalable concurrent containers) API subset
+//! this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the piece of `scc` the world tier consumes — a concurrent
+//! [`HashMap`] with closure-based accessors — in the same cell-locked
+//! design family as the real crate: lock-free chain traversal for lookups,
+//! a per-entry 8-byte read-write lock ([`SeqRwLock`]) for value access,
+//! sequence-validated optimistic membership checks, and reclamation
+//! deferred to quiescent (`&mut`) points instead of a full epoch manager.
+//! See the [`hash_map`] module docs for the exact guarantees and the
+//! simplifications relative to upstream.
+
+#![warn(missing_docs)]
+
+pub mod hash_map;
+pub mod seqlock;
+
+pub use hash_map::HashMap;
+pub use seqlock::SeqRwLock;

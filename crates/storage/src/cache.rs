@@ -16,6 +16,7 @@ use std::collections::{HashMap, HashSet};
 
 use servo_types::consts::TICK_BUDGET;
 use servo_types::{ChunkPos, ServoError, SimDuration, SimTime};
+use servo_world::ChunkStore;
 use servo_world::{shard_index, ChunkSnapshot, ShardDelta, ShardedWorld, DEFAULT_SHARDS};
 
 use crate::backend::{LocalDiskStore, ObjectStore, ReadResult, WriteResult};
@@ -777,9 +778,9 @@ impl<R: ObjectStore> CachedChunkStore<R> {
     ///
     /// Returns [`ServoError::CorruptData`] if an arrived snapshot cannot be
     /// decoded (all arrivals stay resident in the cache either way).
-    pub fn integrate_arrived(
+    pub fn integrate_arrived<B: ChunkStore>(
         &mut self,
-        world: &ShardedWorld,
+        world: &ShardedWorld<B>,
         now: SimTime,
     ) -> Result<usize, ServoError> {
         let arrived = self.poll_arrived(now);

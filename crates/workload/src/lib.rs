@@ -29,9 +29,11 @@
 pub mod avatar;
 pub mod behavior;
 pub mod fleet;
+pub mod skew;
 pub mod zoning;
 
 pub use avatar::{Avatar, PlayerEvent};
 pub use behavior::{Behavior, BehaviorKind};
 pub use fleet::{Hotspot, PlayerFleet};
+pub use skew::{KeySkew, SkewKind};
 pub use zoning::{Handoff, ZoneAssignment, ZoneRouter};

@@ -1,0 +1,219 @@
+//! Deterministic key-skew generators for access-pattern workloads.
+//!
+//! Concurrent-map and world-shard benchmarks are only meaningful when the
+//! key distribution is controlled: uniform access spreads contention
+//! evenly, while real player populations cluster around spawn points and
+//! points of interest — a heavy-tailed (zipfian) distribution where a few
+//! chunks absorb most of the traffic (the hotspot phenomenon the paper's
+//! zoned-partitioning design targets). [`KeySkew`] turns a
+//! [`SimRng`] sub-stream into a reproducible stream
+//! of key indices under either distribution, so a backend × skew benchmark
+//! matrix can replay byte-identical access sequences across backends.
+//!
+//! The zipfian sampler precomputes the cumulative distribution over the
+//! key universe once (`O(n)` setup, `O(log n)` per sample by binary
+//! search), which keeps sampling allocation-free and bias-free — no
+//! rejection loop whose iteration count would depend on the distribution
+//! parameter and desynchronize the random stream between runs.
+//!
+//! # Example
+//!
+//! ```
+//! use servo_simkit::SimRng;
+//! use servo_workload::KeySkew;
+//!
+//! let rng = SimRng::seed(7).substream("bench-keys");
+//! let mut hot = KeySkew::zipf(256, 1.1, rng.clone());
+//! let mut uniform = KeySkew::uniform(256, rng);
+//! let a: Vec<usize> = (0..8).map(|_| hot.sample()).collect();
+//! let b: Vec<usize> = (0..8).map(|_| uniform.sample()).collect();
+//! assert!(a.iter().all(|&k| k < 256));
+//! assert!(b.iter().all(|&k| k < 256));
+//! ```
+
+use servo_simkit::SimRng;
+
+/// The key distribution a [`KeySkew`] samples from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SkewKind {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given exponent: key rank `k` (1-based) has weight
+    /// `1 / k^exponent`. Exponent `0.0` degenerates to uniform; `~1.0` is
+    /// the classic web/player-population skew.
+    Zipf {
+        /// The distribution exponent (`s` in `1 / k^s`).
+        exponent: f64,
+    },
+}
+
+impl SkewKind {
+    /// A short stable label for benchmark output ("uniform", "zipf1.1").
+    pub fn label(&self) -> String {
+        match self {
+            SkewKind::Uniform => "uniform".to_string(),
+            SkewKind::Zipf { exponent } => format!("zipf{exponent}"),
+        }
+    }
+}
+
+/// A deterministic sampler of key indices in `0..keys` under a configured
+/// [`SkewKind`]. Feed it a dedicated
+/// [`SimRng::substream`](servo_simkit::SimRng::substream) so consuming
+/// samples here never perturbs any other component's random sequence.
+#[derive(Debug, Clone)]
+pub struct KeySkew {
+    kind: SkewKind,
+    keys: usize,
+    /// Cumulative probability up to each rank, normalised to end at 1.0.
+    /// Empty for the uniform distribution (sampled directly).
+    cdf: Vec<f64>,
+    rng: SimRng,
+}
+
+impl KeySkew {
+    /// A uniform sampler over `0..keys` (`keys` is clamped to at least 1).
+    pub fn uniform(keys: usize, rng: SimRng) -> Self {
+        KeySkew {
+            kind: SkewKind::Uniform,
+            keys: keys.max(1),
+            cdf: Vec::new(),
+            rng,
+        }
+    }
+
+    /// A zipfian sampler over `0..keys` with the given exponent. Rank `r`
+    /// (1-based) receives probability proportional to `1 / r^exponent`;
+    /// index `0` is the hottest key.
+    pub fn zipf(keys: usize, exponent: f64, rng: SimRng) -> Self {
+        let keys = keys.max(1);
+        let exponent = exponent.max(0.0);
+        let mut cdf = Vec::with_capacity(keys);
+        let mut total = 0.0f64;
+        for rank in 1..=keys {
+            total += 1.0 / (rank as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for value in &mut cdf {
+            *value /= total;
+        }
+        KeySkew {
+            kind: SkewKind::Zipf { exponent },
+            keys,
+            cdf,
+            rng,
+        }
+    }
+
+    /// Builds a sampler for `kind` (the matrix-driver convenience).
+    pub fn new(kind: SkewKind, keys: usize, rng: SimRng) -> Self {
+        match kind {
+            SkewKind::Uniform => Self::uniform(keys, rng),
+            SkewKind::Zipf { exponent } => Self::zipf(keys, exponent, rng),
+        }
+    }
+
+    /// The distribution this sampler draws from.
+    pub fn kind(&self) -> SkewKind {
+        self.kind
+    }
+
+    /// The size of the key universe.
+    pub fn keys(&self) -> usize {
+        self.keys
+    }
+
+    /// Draws the next key index in `0..keys`. Exactly one `f64` is consumed
+    /// from the random stream per call, for every distribution, so swapping
+    /// skews never shifts the samples other components observe.
+    pub fn sample(&mut self) -> usize {
+        let u = self.rng.unit();
+        match self.kind {
+            SkewKind::Uniform => ((u * self.keys as f64) as usize).min(self.keys - 1),
+            SkewKind::Zipf { .. } => self.cdf.partition_point(|&c| c < u).min(self.keys - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed(42).substream("skew-test")
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for mut skew in [
+            KeySkew::uniform(1, rng()),
+            KeySkew::uniform(17, rng()),
+            KeySkew::zipf(1, 1.1, rng()),
+            KeySkew::zipf(17, 0.99, rng()),
+        ] {
+            for _ in 0..2000 {
+                assert!(skew.sample() < skew.keys());
+            }
+        }
+    }
+
+    #[test]
+    fn same_substream_replays_identically() {
+        let mut a = KeySkew::zipf(64, 1.1, rng());
+        let mut b = KeySkew::zipf(64, 1.1, rng());
+        let xs: Vec<usize> = (0..256).map(|_| a.sample()).collect();
+        let ys: Vec<usize> = (0..256).map(|_| b.sample()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_ranks() {
+        let mut skew = KeySkew::zipf(1024, 1.1, rng());
+        let mut head = 0usize;
+        const SAMPLES: usize = 20_000;
+        for _ in 0..SAMPLES {
+            if skew.sample() < 16 {
+                head += 1;
+            }
+        }
+        // Under zipf(1.1) the top 16 of 1024 keys absorb well over a third
+        // of the traffic; under uniform they would get ~1.6%.
+        assert!(
+            head as f64 / SAMPLES as f64 > 0.35,
+            "head share {}",
+            head as f64 / SAMPLES as f64
+        );
+    }
+
+    #[test]
+    fn zero_exponent_looks_uniform() {
+        let mut skew = KeySkew::zipf(64, 0.0, rng());
+        let mut counts = vec![0usize; 64];
+        for _ in 0..64_000 {
+            counts[skew.sample()] += 1;
+        }
+        let (min, max) = (
+            counts.iter().min().copied().unwrap(),
+            counts.iter().max().copied().unwrap(),
+        );
+        // Each key expects 1000 hits; a flat distribution stays well within
+        // 3x between the rarest and hottest key.
+        assert!(max < min * 3, "min {min} max {max}");
+    }
+
+    #[test]
+    fn uniform_covers_the_universe() {
+        let mut skew = KeySkew::uniform(8, rng());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(skew.sample());
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SkewKind::Uniform.label(), "uniform");
+        assert_eq!(SkewKind::Zipf { exponent: 1.1 }.label(), "zipf1.1");
+    }
+}

@@ -26,6 +26,7 @@ pub mod chunk;
 pub mod partition;
 pub mod rebalance;
 pub mod sharded;
+pub mod store;
 pub mod view;
 pub mod world;
 
@@ -34,7 +35,9 @@ pub use chunk::{Chunk, ChunkSnapshot};
 pub use partition::ShardMap;
 pub use rebalance::{RebalanceConfig, RebalancePolicy, ShardMigration, ZoneLoadSample};
 pub use sharded::{
-    chunk_hash, shard_index, FxBuildHasher, FxHasher, ShardDelta, ShardedWorld, DEFAULT_SHARDS,
+    chunk_hash, shard_index, FxBuildHasher, FxHasher, ShardDelta, ShardedWorld, WorldSink,
+    DEFAULT_SHARDS,
 };
+pub use store::{ChunkStore, ChunkWriter, LockFreeStore, RwLockStore};
 pub use view::{missing_chunks, nearest_missing_distance_blocks, required_chunks, ChunkIndex};
 pub use world::{World, WorldKind};

@@ -1,0 +1,455 @@
+//! Pluggable per-shard chunk storage backends.
+//!
+//! [`ShardedWorld`](crate::ShardedWorld) owns the *policy* of the
+//! concurrent world — sharding, dirty tracking, modification epochs,
+//! batch routing — but delegates the *mechanism* of storing one shard's
+//! chunks to a [`ChunkStore`] backend. The split follows the
+//! `Collection`/`CollectionHandle` adapter shape of concurrent-map bench
+//! harnesses: [`ChunkStore`] is the collection (shared, `&self`,
+//! closure-based accessors), and [`ChunkWriter`] is the short-lived
+//! exclusive handle a batch operation pins so a backend that *can* hold
+//! one lock across a whole batch (the `RwLock` store) does, while a
+//! backend with per-entry locking simply serves each call individually.
+//!
+//! Two backends ship:
+//!
+//! * [`RwLockStore`] — the seed design: one `RwLock<HashMap>` per shard.
+//!   Readers of one shard share a lock; a batch writer takes it once per
+//!   batch. This is the default backend and the equivalence baseline.
+//! * [`LockFreeStore`] — an scc-style cell-locked map (the `scc` compat
+//!   crate): lock-free chain traversal for lookups, an 8-byte
+//!   seqlock-augmented read-write lock *per chunk*, and membership checks
+//!   that pay no read-modify-write at all. Readers of *different chunks*
+//!   in the same shard never touch a shared cache line, which removes the
+//!   shard-lock convoy the read-mostly scan path plateaus on.
+//!
+//! Every [`ShardedWorld`](crate::ShardedWorld) entry point works over any
+//! backend, and the differential property suite
+//! (`tests/backend_differential.rs`) pins all backends to the plain
+//! [`World`](crate::World) byte for byte.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::RwLock;
+
+use servo_types::ChunkPos;
+
+use crate::chunk::Chunk;
+use crate::sharded::FxBuildHasher;
+
+/// One shard's chunk storage: a concurrent map from [`ChunkPos`] to
+/// [`Chunk`] with closure-based access, in the `Collection` role of the
+/// adapter shape (see the [module docs](self)).
+///
+/// # Contract
+///
+/// * `read`/`update` run their closure under shared/exclusive access to
+///   that one chunk; backends may serialize more broadly (a whole-shard
+///   lock) but never less.
+/// * `insert_if_absent` is atomic: of many racing inserters of one
+///   position, exactly one returns `true`.
+/// * `len` and `contains` are linearizable against insert/remove.
+/// * Methods taking `&self` may be called from any thread concurrently;
+///   iteration (`keys`, `for_each`) may be weakly consistent under
+///   concurrent mutation but must be exact once writers have returned.
+pub trait ChunkStore: Send + Sync + fmt::Debug + 'static {
+    /// The exclusive batch handle (the `CollectionHandle` role). Holding
+    /// one must not block other shards; whether it blocks other access to
+    /// *this* shard is the backend's choice.
+    type Writer<'a>: ChunkWriter
+    where
+        Self: 'a;
+
+    /// Stable backend identifier used by benches and reports.
+    const NAME: &'static str;
+
+    /// Creates an empty store.
+    fn new() -> Self;
+
+    /// Runs `f` with shared access to the chunk at `pos`.
+    fn read<R>(&self, pos: ChunkPos, f: impl FnOnce(&Chunk) -> R) -> Option<R>;
+
+    /// Runs `f` with exclusive access to the chunk at `pos`.
+    fn update<R>(&self, pos: ChunkPos, f: impl FnOnce(&mut Chunk) -> R) -> Option<R>;
+
+    /// Inserts `chunk`, replacing and returning any chunk already at its
+    /// position.
+    fn insert(&self, chunk: Chunk) -> Option<Chunk>;
+
+    /// Inserts `chunk` only if its position is vacant; returns whether it
+    /// was inserted. Racing inserters of one position elect exactly one
+    /// winner.
+    fn insert_if_absent(&self, chunk: Chunk) -> bool;
+
+    /// Removes and returns the chunk at `pos`.
+    fn remove(&self, pos: ChunkPos) -> Option<Chunk>;
+
+    /// Whether a chunk is stored at `pos`.
+    fn contains(&self, pos: ChunkPos) -> bool;
+
+    /// Number of chunks stored.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stored positions (unordered).
+    fn keys(&self) -> Vec<ChunkPos>;
+
+    /// Visits every stored chunk with shared access.
+    fn for_each(&self, f: impl FnMut(&Chunk));
+
+    /// Pins an exclusive batch handle.
+    fn writer(&self) -> Self::Writer<'_>;
+
+    /// Removes and returns every chunk. Requires `&mut self` (a quiescent
+    /// point), used when a world re-shards.
+    fn drain_all(&mut self) -> Vec<Chunk> {
+        self.keys()
+            .into_iter()
+            .filter_map(|pos| self.remove(pos))
+            .collect()
+    }
+}
+
+/// The exclusive batch handle of a [`ChunkStore`]; see the trait docs.
+pub trait ChunkWriter {
+    /// Runs `f` with exclusive access to the chunk at `pos`.
+    fn update<R>(&mut self, pos: ChunkPos, f: impl FnOnce(&mut Chunk) -> R) -> Option<R>;
+
+    /// Inserts `chunk`, replacing and returning any previous occupant.
+    fn insert(&mut self, chunk: Chunk) -> Option<Chunk>;
+
+    /// Inserts `chunk` only if its position is vacant.
+    fn insert_if_absent(&mut self, chunk: Chunk) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// RwLock backend (the seed design, now one implementation among peers).
+// ---------------------------------------------------------------------------
+
+/// The seed backend: one `RwLock<HashMap>` per shard. Readers of a shard
+/// share its lock; batch writers hold it once per batch. Contention is
+/// per shard — any two operations on the same shard synchronize on one
+/// cache line even when they touch different chunks.
+#[derive(Debug, Default)]
+pub struct RwLockStore {
+    chunks: RwLock<HashMap<ChunkPos, Chunk, FxBuildHasher>>,
+}
+
+impl RwLockStore {
+    fn read_guard(
+        &self,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<ChunkPos, Chunk, FxBuildHasher>> {
+        self.chunks.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_guard(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<ChunkPos, Chunk, FxBuildHasher>> {
+        self.chunks.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl ChunkStore for RwLockStore {
+    type Writer<'a> = RwLockWriter<'a>;
+
+    const NAME: &'static str = "rwlock";
+
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn read<R>(&self, pos: ChunkPos, f: impl FnOnce(&Chunk) -> R) -> Option<R> {
+        self.read_guard().get(&pos).map(f)
+    }
+
+    fn update<R>(&self, pos: ChunkPos, f: impl FnOnce(&mut Chunk) -> R) -> Option<R> {
+        self.write_guard().get_mut(&pos).map(f)
+    }
+
+    fn insert(&self, chunk: Chunk) -> Option<Chunk> {
+        self.write_guard().insert(chunk.pos(), chunk)
+    }
+
+    fn insert_if_absent(&self, chunk: Chunk) -> bool {
+        match self.write_guard().entry(chunk.pos()) {
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(chunk);
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    fn remove(&self, pos: ChunkPos) -> Option<Chunk> {
+        self.write_guard().remove(&pos)
+    }
+
+    fn contains(&self, pos: ChunkPos) -> bool {
+        self.read_guard().contains_key(&pos)
+    }
+
+    fn len(&self) -> usize {
+        self.read_guard().len()
+    }
+
+    fn keys(&self) -> Vec<ChunkPos> {
+        self.read_guard().keys().copied().collect()
+    }
+
+    fn for_each(&self, mut f: impl FnMut(&Chunk)) {
+        for chunk in self.read_guard().values() {
+            f(chunk);
+        }
+    }
+
+    fn writer(&self) -> RwLockWriter<'_> {
+        RwLockWriter {
+            guard: self.write_guard(),
+        }
+    }
+
+    fn drain_all(&mut self) -> Vec<Chunk> {
+        self.write_guard().drain().map(|(_, c)| c).collect()
+    }
+}
+
+/// Batch handle of [`RwLockStore`]: holds the shard write lock for the
+/// whole batch, so a multi-chunk write pays one lock acquisition.
+pub struct RwLockWriter<'a> {
+    guard: std::sync::RwLockWriteGuard<'a, HashMap<ChunkPos, Chunk, FxBuildHasher>>,
+}
+
+impl fmt::Debug for RwLockWriter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLockWriter").finish_non_exhaustive()
+    }
+}
+
+impl ChunkWriter for RwLockWriter<'_> {
+    fn update<R>(&mut self, pos: ChunkPos, f: impl FnOnce(&mut Chunk) -> R) -> Option<R> {
+        self.guard.get_mut(&pos).map(f)
+    }
+
+    fn insert(&mut self, chunk: Chunk) -> Option<Chunk> {
+        self.guard.insert(chunk.pos(), chunk)
+    }
+
+    fn insert_if_absent(&mut self, chunk: Chunk) -> bool {
+        match self.guard.entry(chunk.pos()) {
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(chunk);
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(_) => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free backend over the scc-style cell-locked map.
+// ---------------------------------------------------------------------------
+
+/// The lock-free backend: an scc-style cell-locked concurrent map per
+/// shard (`scc::HashMap`). Lookups traverse lock-free; each chunk carries
+/// its own 8-byte seqlock-augmented read-write lock, so readers of
+/// different chunks share nothing and membership checks
+/// ([`ChunkStore::contains`]) are optimistic loads with sequence
+/// validation — no read-modify-write. Writers still serialize, but per
+/// chunk rather than per shard.
+#[derive(Debug)]
+pub struct LockFreeStore {
+    chunks: scc::HashMap<ChunkPos, Chunk, FxBuildHasher>,
+}
+
+impl Default for LockFreeStore {
+    fn default() -> Self {
+        LockFreeStore {
+            // One shard of a world holds a modest fraction of the loaded
+            // set; 256 buckets keep chains short up to a few thousand
+            // chunks per shard and cost 2 KiB per shard.
+            chunks: scc::HashMap::with_capacity_and_hasher(256, FxBuildHasher::default()),
+        }
+    }
+}
+
+impl ChunkStore for LockFreeStore {
+    type Writer<'a> = LockFreeWriter<'a>;
+
+    const NAME: &'static str = "lockfree_scc";
+
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn read<R>(&self, pos: ChunkPos, f: impl FnOnce(&Chunk) -> R) -> Option<R> {
+        self.chunks.read(&pos, |_, chunk| f(chunk))
+    }
+
+    fn update<R>(&self, pos: ChunkPos, f: impl FnOnce(&mut Chunk) -> R) -> Option<R> {
+        self.chunks.update(&pos, |_, chunk| f(chunk))
+    }
+
+    fn insert(&self, chunk: Chunk) -> Option<Chunk> {
+        self.chunks.upsert(chunk.pos(), chunk)
+    }
+
+    fn insert_if_absent(&self, chunk: Chunk) -> bool {
+        self.chunks.insert(chunk.pos(), chunk).is_ok()
+    }
+
+    fn remove(&self, pos: ChunkPos) -> Option<Chunk> {
+        self.chunks.remove(&pos).map(|(_, chunk)| chunk)
+    }
+
+    fn contains(&self, pos: ChunkPos) -> bool {
+        self.chunks.contains(&pos)
+    }
+
+    fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn keys(&self) -> Vec<ChunkPos> {
+        let mut keys = Vec::with_capacity(self.chunks.len());
+        self.chunks.scan(|pos, _| keys.push(*pos));
+        keys
+    }
+
+    fn for_each(&self, mut f: impl FnMut(&Chunk)) {
+        self.chunks.scan(|_, chunk| f(chunk));
+    }
+
+    fn writer(&self) -> LockFreeWriter<'_> {
+        LockFreeWriter { store: self }
+    }
+}
+
+/// Batch handle of [`LockFreeStore`]: there is no shard-wide lock to
+/// hold, so each call locks just its own chunk's cell — a batch writer
+/// on this backend never blocks readers of other chunks.
+#[derive(Debug)]
+pub struct LockFreeWriter<'a> {
+    store: &'a LockFreeStore,
+}
+
+impl ChunkWriter for LockFreeWriter<'_> {
+    fn update<R>(&mut self, pos: ChunkPos, f: impl FnOnce(&mut Chunk) -> R) -> Option<R> {
+        self.store.update(pos, f)
+    }
+
+    fn insert(&mut self, chunk: Chunk) -> Option<Chunk> {
+        self.store.insert(chunk)
+    }
+
+    fn insert_if_absent(&mut self, chunk: Chunk) -> bool {
+        ChunkStore::insert_if_absent(self.store, chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+
+    fn exercise<B: ChunkStore>() {
+        let store = B::new();
+        assert!(store.is_empty());
+        assert!(!store.contains(ChunkPos::new(1, 2)));
+
+        let mut chunk = Chunk::empty(ChunkPos::new(1, 2));
+        chunk.set_local(3, 4, 5, Block::Stone).unwrap();
+        assert!(store.insert(chunk).is_none());
+        assert!(store.contains(ChunkPos::new(1, 2)));
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.read(ChunkPos::new(1, 2), |c| c.local(3, 4, 5)),
+            Some(Some(Block::Stone))
+        );
+
+        // insert replaces; insert_if_absent does not.
+        assert!(store.insert(Chunk::empty(ChunkPos::new(1, 2))).is_some());
+        assert!(!store.insert_if_absent(Chunk::empty(ChunkPos::new(1, 2))));
+        assert!(store.insert_if_absent(Chunk::empty(ChunkPos::new(7, 7))));
+        assert_eq!(store.len(), 2);
+
+        // update mutates in place.
+        store
+            .update(ChunkPos::new(7, 7), |c| {
+                c.set_local(0, 0, 0, Block::Lamp).unwrap()
+            })
+            .unwrap();
+        assert_eq!(
+            store.read(ChunkPos::new(7, 7), |c| c.local(0, 0, 0)),
+            Some(Some(Block::Lamp))
+        );
+
+        // writer batch path.
+        {
+            let mut writer = store.writer();
+            assert!(writer
+                .update(ChunkPos::new(7, 7), |c| c
+                    .set_local(1, 1, 1, Block::Wood)
+                    .unwrap())
+                .is_some());
+            assert!(writer.insert_if_absent(Chunk::empty(ChunkPos::new(9, 9))));
+            assert!(writer.insert(Chunk::empty(ChunkPos::new(10, 10))).is_none());
+        }
+        assert_eq!(store.len(), 4);
+
+        let mut keys = store.keys();
+        keys.sort_by_key(|p| (p.x, p.z));
+        assert_eq!(
+            keys,
+            vec![
+                ChunkPos::new(1, 2),
+                ChunkPos::new(7, 7),
+                ChunkPos::new(9, 9),
+                ChunkPos::new(10, 10)
+            ]
+        );
+        let mut seen = 0;
+        store.for_each(|_| seen += 1);
+        assert_eq!(seen, 4);
+
+        assert!(store.remove(ChunkPos::new(9, 9)).is_some());
+        assert!(store.remove(ChunkPos::new(9, 9)).is_none());
+        assert_eq!(store.len(), 3);
+
+        let mut store = store;
+        let drained = store.drain_all();
+        assert_eq!(drained.len(), 3);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn rwlock_store_contract() {
+        exercise::<RwLockStore>();
+    }
+
+    #[test]
+    fn lockfree_store_contract() {
+        exercise::<LockFreeStore>();
+    }
+
+    #[test]
+    fn racing_insert_if_absent_elects_one_winner() {
+        let store = LockFreeStore::new();
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (store, winners) = (&store, &winners);
+                scope.spawn(move || {
+                    if store.insert_if_absent(Chunk::empty(ChunkPos::new(5, 5))) {
+                        winners.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(store.len(), 1);
+    }
+}

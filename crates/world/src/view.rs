@@ -28,7 +28,7 @@ impl ChunkIndex for World {
     }
 }
 
-impl ChunkIndex for ShardedWorld {
+impl<B: crate::store::ChunkStore> ChunkIndex for ShardedWorld<B> {
     fn contains_chunk(&self, pos: ChunkPos) -> bool {
         self.is_loaded(pos)
     }
