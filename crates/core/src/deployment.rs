@@ -88,6 +88,12 @@ pub struct ServoConfig {
     /// persistence (terrain lives only in server memory, the seed
     /// behaviour).
     pub persistence: Option<PersistenceConfig>,
+    /// How hybrid clusters built from this configuration exchange
+    /// border-construct state across zone seams (ignored by single-server
+    /// and classic zoned deployments). The batched default keeps existing
+    /// hybrid baselines byte-stable; [`BorderExchange::Speculative`]
+    /// ships per-construct sequence handles instead of eager state.
+    pub border_exchange: BorderExchange,
     /// Seed for all random streams of the deployment.
     pub seed: u64,
 }
@@ -102,6 +108,7 @@ impl Default for ServoConfig {
             sc_platform: PlatformConfig::frictionless(),
             generation_platform: PlatformConfig::frictionless(),
             persistence: Some(PersistenceConfig::default()),
+            border_exchange: BorderExchange::Batched,
             seed: 42,
         }
     }
@@ -172,6 +179,13 @@ impl ServoBuilder {
     /// configuration.
     pub fn persistence(mut self, persistence: Option<PersistenceConfig>) -> Self {
         self.config.persistence = persistence;
+        self
+    }
+
+    /// Sets how hybrid clusters exchange border-construct state across
+    /// zone seams (defaults to [`BorderExchange::Batched`]).
+    pub fn border_exchange(mut self, exchange: BorderExchange) -> Self {
+        self.config.border_exchange = exchange;
         self
     }
 
@@ -460,12 +474,17 @@ impl ServoDeployment {
 /// flushing exactly the zone's owned world shards to blob storage.
 ///
 /// Border-construct state crosses zone seams in *batched* form
-/// ([`BorderExchange::Batched`]): offloaded speculative sequences make
-/// construct states available as precomputed bundles, so each (owner,
-/// neighbour) server pair exchanges one bundle per simulated tick instead
-/// of one round-trip per construct — which is what lets the hybrid stay
-/// within QoS on border-construct workloads where classic zoning
-/// collapses (measured by `ablation_hybrid`).
+/// ([`BorderExchange::Batched`]) by default: offloaded speculative
+/// sequences make construct states available as precomputed bundles, so
+/// each (owner, neighbour) server pair exchanges one bundle per simulated
+/// tick instead of one round-trip per construct — which is what lets the
+/// hybrid stay within QoS on border-construct workloads where classic
+/// zoning collapses (measured by `ablation_hybrid`).
+/// [`ServoBuilder::border_exchange`] switches the cluster to the
+/// speculation-aware handle exchange ([`BorderExchange::Speculative`]):
+/// neighbours replay published sequences from the shared substrate and
+/// the seam only carries per-construct handles on invalidation (measured
+/// by `ablation_border`).
 ///
 /// A 1-zone hybrid derives exactly the random streams of the single
 /// [`ServoDeployment`], so it is tick-for-tick — and persisted-byte-for-
@@ -548,7 +567,7 @@ impl HybridDeployment {
                 rng.substream("server"),
             )
         })
-        .with_border_exchange(BorderExchange::Batched);
+        .with_border_exchange(config.border_exchange);
         if let Some(persistence) = &config.persistence {
             for zone in 0..zones {
                 let rng = zone_rng(zone);

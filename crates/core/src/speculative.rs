@@ -38,7 +38,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use servo_faas::FaasPlatform;
 use servo_redstone::{simulate_sequence, Construct, SimulationOutcome};
-use servo_server::{PartitionedResolver, ResolutionPlan, ScBackend, ScResolution};
+use servo_server::{
+    PartitionedResolver, PublishedSequence, ResolutionPlan, ScBackend, ScResolution,
+};
 use servo_types::{ConstructId, SimDuration, SimTime, Tick};
 
 /// Number of lock shards the per-construct speculation slots are split
@@ -477,11 +479,20 @@ impl SpeculativeScBackend {
                     if pending.stamp == construct.modification_stamp() {
                         // Efficiency: the fraction of offloaded steps the
                         // server did not already compute locally while
-                        // waiting (Section III-C).
+                        // waiting (Section III-C). Steps the server stepped
+                        // locally during the invocation's flight are wasted
+                        // — but only up to the point where the sequence
+                        // loops: a looping sequence serves *every* later
+                        // tick by replay, so its usable steps are never
+                        // exhausted by the wait.
                         let total = pending.outcome.simulated_steps.max(1) as f64;
                         let already_local =
                             construct.state().step().saturating_sub(pending.start_step) as f64;
-                        record.efficiency = Some(((total - already_local) / total).clamp(0.0, 1.0));
+                        let wasted = match pending.outcome.loop_info {
+                            Some(info) => already_local.min(info.start as f64),
+                            None => already_local,
+                        };
+                        record.efficiency = Some(((total - wasted) / total).clamp(0.0, 1.0));
                         slot.available = Some(AvailableSequence {
                             stamp: pending.stamp,
                             start_step: pending.start_step,
@@ -679,6 +690,29 @@ impl ScBackend for SpeculativeScBackend {
                 self.stats.lock().discarded_migrated += in_flight;
             }
         }
+    }
+
+    fn published_sequence(&self, id: ConstructId) -> Option<PublishedSequence> {
+        // The sequence serving this construct already lives in shared
+        // remote storage (the FaaS platform wrote it there); publishing is
+        // just naming it. Identity is (stamp, start_step): a modification
+        // re-invokes under a fresh stamp and a migration releases the
+        // slot, so neighbours holding an old handle observe the change.
+        let guard = self.slot_shards[Self::slot_shard_of(id)].lock();
+        let slot = guard.slots.get(&id)?;
+        let available = slot.available.as_ref()?;
+        let horizon = if available.outcome.loop_info.is_some() {
+            // A looping sequence replays forever: any future step can be
+            // served from the stored states.
+            u64::MAX
+        } else {
+            available.start_step + available.outcome.simulated_steps as u64
+        };
+        Some(PublishedSequence {
+            stamp: available.stamp,
+            start_step: available.start_step,
+            horizon,
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -130,8 +130,43 @@ pub trait ScBackend {
     /// The default is a no-op, which is correct for stateless backends.
     fn release(&mut self, _id: ConstructId) {}
 
+    /// The precomputed speculative sequence currently serving construct
+    /// `id` from shared remote storage, if the backend has one. A zoned
+    /// cluster running `BorderExchange::Speculative` uses this to let
+    /// neighbour zones *join* the sequence — one handle message when the
+    /// identity changes, zero messages while it stays valid — instead of
+    /// shipping per-tick state bundles. Backends that simulate locally
+    /// (the baselines) have no shareable sequence and keep the default
+    /// `None`, which makes the speculative exchange degrade to the eager
+    /// batched path.
+    fn published_sequence(&self, _id: ConstructId) -> Option<PublishedSequence> {
+        None
+    }
+
     /// A short name for experiment output.
     fn name(&self) -> &'static str;
+}
+
+/// The identity of a precomputed construct sequence available in shared
+/// remote storage — what a `BorderExchange::Speculative` cluster ships to
+/// neighbour zones instead of per-tick state bundles (one message per
+/// *sequence*, not per simulated tick).
+///
+/// Two handles are the same sequence exactly when they compare equal: the
+/// platform `stamp` names the invocation that produced it and `start_step`
+/// anchors where in the construct's life it applies, so any modification
+/// (which re-invokes under a fresh stamp) or migration (which releases the
+/// slot) changes the identity and forces a new handle message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishedSequence {
+    /// The platform invocation stamp that produced the sequence.
+    pub stamp: u64,
+    /// The construct step the sequence's first state applies to.
+    pub start_step: u64,
+    /// The construct step up to which the sequence can serve states —
+    /// `u64::MAX` when the sequence detected a loop (replay serves any
+    /// future step).
+    pub horizon: u64,
 }
 
 /// Local construct simulation, as Opencraft and Minecraft do it.

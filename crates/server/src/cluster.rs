@@ -42,8 +42,8 @@ use servo_storage::{
 use servo_types::{BlockPos, ChunkPos, ConstructId, PlayerId, SimDuration, SimTime};
 use servo_workload::{PlayerEvent, PlayerFleet, ZoneRouter};
 use servo_world::{
-    required_chunks, shard_index, Chunk, RebalanceConfig, RebalancePolicy, ShardDelta, ShardMap,
-    ShardMigration, WorldKind, ZoneLoadSample,
+    required_chunks, shard_index, Chunk, ConstructFootprint, ConstructMigration, RebalanceConfig,
+    RebalancePolicy, ShardDelta, ShardMap, ShardMigration, WorldKind, ZoneLoadSample,
 };
 
 use crate::backends::{LocalGenerationBackend, LocalScBackend};
@@ -86,6 +86,19 @@ impl Default for ClusterCosts {
 /// compact precomputed bundles, so the coordinated deployment ships one
 /// state bundle plus acknowledgement per server pair instead of one
 /// round-trip per construct.
+///
+/// [`BorderExchange::Speculative`] goes one step further: when a
+/// construct's owner is serving it from a precomputed speculative sequence
+/// in *shared* remote storage ([`crate::ScBackend::published_sequence`]),
+/// neighbours join the sequence instead of receiving state at all. The
+/// owner publishes one handle message when the sequence identity changes
+/// (new invocation, post-modification re-speculation, migration) and
+/// nothing while it stays valid — neighbours replay the stored states
+/// themselves. Constructs without a published sequence (invalidated,
+/// in-flight, or locally simulated) fall back to the eager batched
+/// exchange for exactly that tick, so the arm never under-delivers state:
+/// with a backend that never publishes (the local baselines) it is
+/// message-for-message identical to [`BorderExchange::Batched`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BorderExchange {
     /// One state + acknowledgement (2 messages) per border construct and
@@ -97,6 +110,11 @@ pub enum BorderExchange {
     /// neighbour) zone pair with at least one simulated border construct —
     /// the hybrid deployment's coordinated exchange.
     Batched,
+    /// Neighbours replay the owner's published speculative sequence from
+    /// shared storage: one handle message per neighbour when the sequence
+    /// identity changes, zero messages while it remains valid, eager
+    /// batched fallback for constructs with nothing published.
+    Speculative,
 }
 
 /// Counters of one zone's persistence pipeline (mirrors the shape of the
@@ -188,8 +206,26 @@ pub struct ClusterStats {
     /// Border-chunk updates mirrored to neighbouring zones.
     pub border_chunk_updates: u64,
     /// Border-construct state exchanges performed (one per construct and
-    /// involved neighbour zone, on simulated ticks).
+    /// involved neighbour zone, on simulated ticks). This is the *logical*
+    /// count — how many construct states crossed a seam — independent of
+    /// how the wire carries them; [`ClusterStats::batched_bundles`],
+    /// [`ClusterStats::speculation_handles`] and
+    /// [`ClusterStats::speculative_replays`] break down the wire side.
     pub construct_exchanges: u64,
+    /// Bundled (owner, neighbour) pair exchanges sent on the wire — one
+    /// per pair per simulated tick under [`BorderExchange::Batched`], and
+    /// for the eager-fallback pairs of [`BorderExchange::Speculative`].
+    /// Zero in per-construct mode, where every exchange is its own
+    /// round-trip.
+    pub batched_bundles: u64,
+    /// Speculation-handle messages published to neighbours under
+    /// [`BorderExchange::Speculative`] — one per neighbour each time a
+    /// border construct's published sequence identity changes.
+    pub speculation_handles: u64,
+    /// Border exchanges served with *zero* messages because the neighbour
+    /// replayed the owner's still-valid published sequence from shared
+    /// storage.
+    pub speculative_replays: u64,
     /// Block events in border chunks forwarded to neighbouring zones (so
     /// replica terrain and cross-zone construct state observe the edit).
     pub forwarded_border_events: u64,
@@ -208,6 +244,10 @@ pub struct RebalanceStats {
     pub chunks_transferred: u64,
     /// Constructs whose simulation state moved servers with their shard.
     pub constructs_transferred: u64,
+    /// Border constructs migrated to the zone owning the majority of their
+    /// blocks by the policy's border-traffic term — ownership-aware moves
+    /// that carry no shard with them.
+    pub construct_migrations: u64,
     /// Staged-but-unflushed dirty chunks handed from the source zone's
     /// persistence pipeline to the destination's during the quiesce.
     pub staged_dirty_handed_off: u64,
@@ -303,6 +343,14 @@ struct RegisteredConstruct {
     home: Option<ChunkPos>,
     /// The distinct chunks the blueprint's blocks cover, ascending.
     chunks: Vec<ChunkPos>,
+    /// Every block position of the blueprint — the footprint the
+    /// border-traffic rebalancing term counts per zone.
+    blocks: Vec<BlockPos>,
+    /// The published-sequence identity the neighbours last received a
+    /// handle for, under [`BorderExchange::Speculative`]. `None` until a
+    /// handle was published, and reset whenever the construct changes
+    /// servers (the new backend has nothing published yet).
+    published: Option<crate::PublishedSequence>,
 }
 
 /// The opt-in rebalancing state of a cluster.
@@ -346,6 +394,9 @@ pub struct ClusterTickDetail {
 /// simulated tick.
 #[derive(Debug, Clone)]
 struct BorderConstruct {
+    /// The construct's index in the cluster registry (for the per-construct
+    /// published-sequence bookkeeping of the speculative exchange).
+    index: usize,
     owner: usize,
     neighbors: Vec<usize>,
 }
@@ -832,6 +883,7 @@ impl ShardedGameCluster {
     /// it via [`ShardedGameCluster::construct_location`]).
     pub fn add_construct(&mut self, blueprint: Blueprint) -> (usize, ConstructId) {
         let home = blueprint.positions().first().map(|&p| ChunkPos::from(p));
+        let blocks = blueprint.positions().to_vec();
         let mut chunks: Vec<ChunkPos> = blueprint
             .positions()
             .iter()
@@ -846,17 +898,23 @@ impl ShardedGameCluster {
             id,
             home,
             chunks,
+            blocks,
+            published: None,
         });
-        let entry = self.registry.last().expect("pushed above");
-        if let Some(border) = Self::border_entry(&self.map, entry) {
+        let index = self.registry.len() - 1;
+        if let Some(border) = Self::border_entry(&self.map, index, &self.registry[index]) {
             self.border_constructs.push(border);
         }
         (owner, id)
     }
 
-    /// The border relationship of one registered construct under `map`, or
-    /// `None` when all its chunks live in its own zone.
-    fn border_entry(map: &ShardMap, entry: &RegisteredConstruct) -> Option<BorderConstruct> {
+    /// The border relationship of the registered construct at `index`
+    /// under `map`, or `None` when all its chunks live in its own zone.
+    fn border_entry(
+        map: &ShardMap,
+        index: usize,
+        entry: &RegisteredConstruct,
+    ) -> Option<BorderConstruct> {
         let mut neighbors: Vec<usize> = entry
             .chunks
             .iter()
@@ -869,6 +927,7 @@ impl ShardedGameCluster {
             None
         } else {
             Some(BorderConstruct {
+                index,
                 owner: entry.zone,
                 neighbors,
             })
@@ -883,7 +942,8 @@ impl ShardedGameCluster {
         self.border_constructs = self
             .registry
             .iter()
-            .filter_map(|entry| Self::border_entry(&self.map, entry))
+            .enumerate()
+            .filter_map(|(index, entry)| Self::border_entry(&self.map, index, entry))
             .collect();
     }
 
@@ -1048,6 +1108,7 @@ impl ShardedGameCluster {
                 let entry = &mut self.registry[index];
                 entry.zone = to;
                 entry.id = new_id;
+                entry.published = None;
                 messages += 2;
                 endpoints[from] += 2;
                 endpoints[to] += 2;
@@ -1059,6 +1120,86 @@ impl ShardedGameCluster {
         }
         if applied > 0 {
             self.rebalance_stats.rebalance_events += 1;
+            self.rebuild_border_constructs();
+        }
+        self.rebalance_stats.migration_messages += messages;
+        (messages, applied)
+    }
+
+    /// Per-zone block counts for every live border construct, as
+    /// [`ConstructFootprint`]s for the policy's border-traffic term
+    /// ([`RebalancePolicy::observe_border_traffic`]). Interior constructs
+    /// are omitted — their footprint is trivially unanimous, so the term
+    /// could never propose moving them.
+    fn border_footprints(&self) -> Vec<ConstructFootprint> {
+        self.border_constructs
+            .iter()
+            .filter(|border| !self.dead[border.owner])
+            .map(|border| {
+                let entry = &self.registry[border.index];
+                let mut zone_blocks: Vec<(usize, u32)> = Vec::new();
+                for &block in &entry.blocks {
+                    let zone = self.map.zone_of_block(block);
+                    match zone_blocks.binary_search_by_key(&zone, |&(z, _)| z) {
+                        Ok(slot) => zone_blocks[slot].1 += 1,
+                        Err(slot) => zone_blocks.insert(slot, (zone, 1)),
+                    }
+                }
+                ConstructFootprint {
+                    index: border.index,
+                    zone: entry.zone,
+                    zone_blocks,
+                }
+            })
+            .collect()
+    }
+
+    /// Applies one batch of traffic-driven construct migrations: each
+    /// construct moves to the zone owning the majority of its block
+    /// footprint through the same take/adopt path shard migrations use
+    /// (two messages: state plus acknowledgement, charged to both
+    /// endpoints). The construct's home shard stays where it is — the
+    /// destination server *pins* the adopted construct, so it keeps
+    /// simulating it across the ownership filter. Returns `(messages,
+    /// applied)`.
+    fn apply_construct_migrations(
+        &mut self,
+        migrations: &[ConstructMigration],
+        endpoints: &mut [u64],
+    ) -> (u64, u64) {
+        let mut messages = 0u64;
+        let mut applied = 0u64;
+        for migration in migrations {
+            let Some(entry) = self.registry.get(migration.index) else {
+                continue;
+            };
+            let (from, to) = (migration.from, migration.to);
+            // Revalidate against the live registry: a stale,
+            // self-targeted, or dead-endpoint proposal is dropped, never
+            // misapplied.
+            if entry.zone != from
+                || to == from
+                || to >= self.servers.len()
+                || self.dead[from]
+                || self.dead[to]
+            {
+                continue;
+            }
+            let construct = self.servers[from]
+                .take_construct(entry.id)
+                .expect("registered construct must exist on its zone server");
+            let new_id = self.servers[to].adopt_construct(construct);
+            let entry = &mut self.registry[migration.index];
+            entry.zone = to;
+            entry.id = new_id;
+            entry.published = None;
+            messages += 2;
+            endpoints[from] += 2;
+            endpoints[to] += 2;
+            self.rebalance_stats.construct_migrations += 1;
+            applied += 1;
+        }
+        if applied > 0 {
             self.rebuild_border_constructs();
         }
         self.rebalance_stats.migration_messages += messages;
@@ -1162,10 +1303,58 @@ impl ShardedGameCluster {
             self.pending_owner.insert(shard, adopter);
         }
 
+        let mut messages = 0u64;
+
+        // Constructs the dead zone simulated *away from their home
+        // shard's zone* (traffic-driven migrations pin a construct to a
+        // foreign server) are invisible to shard adoption — their home
+        // shard belongs to a live zone and is never orphaned. Re-home
+        // each to its home shard's effective owner now: construct state
+        // is recoverable from the offloading substrate, so the move is
+        // charged like any other construct adoption (state plus
+        // acknowledgement, to the adopter).
+        let shard_count = self.map.shard_count();
+        let mut rehomed = false;
+        for index in 0..self.registry.len() {
+            let entry = &self.registry[index];
+            if entry.zone != zone {
+                continue;
+            }
+            let Some(home) = entry.home else { continue };
+            let shard = shard_index(home, shard_count);
+            if self.map.zone_of_shard(shard) == zone {
+                // Orphaned together with its home shard: the normal
+                // adoption path re-homes it with the terrain.
+                continue;
+            }
+            let adopter = self
+                .pending_owner
+                .get(&shard)
+                .copied()
+                .unwrap_or_else(|| self.map.zone_of_shard(shard));
+            if self.dead[adopter] {
+                continue;
+            }
+            let construct = self.servers[zone]
+                .take_construct(entry.id)
+                .expect("registered construct must exist on its zone server");
+            let new_id = self.servers[adopter].adopt_construct(construct);
+            let entry = &mut self.registry[index];
+            entry.zone = adopter;
+            entry.id = new_id;
+            entry.published = None;
+            messages += 2;
+            endpoints[adopter] += 2;
+            self.recovery_stats.constructs_adopted += 1;
+            rehomed = true;
+        }
+        if rehomed {
+            self.rebuild_border_constructs();
+        }
+
         // Failure detection: one message announcing the death to each
         // survivor (the dead endpoint answers nothing, so only the
         // survivor side is charged).
-        let mut messages = 0u64;
         for &survivor in &survivors {
             messages += 1;
             endpoints[survivor] += 1;
@@ -1294,6 +1483,7 @@ impl ShardedGameCluster {
                 let entry = &mut self.registry[index];
                 entry.zone = to;
                 entry.id = new_id;
+                entry.published = None;
                 messages += 2;
                 endpoints[to] += 2;
                 self.recovery_stats.constructs_adopted += 1;
@@ -1435,11 +1625,35 @@ impl ShardedGameCluster {
             // at a later boundary if the imbalance persists.
             let mut proposed = proposed;
             proposed.truncate(migration_budget);
+            migration_budget -= proposed.len();
             if !proposed.is_empty() {
                 let (migration_messages, applied) =
                     self.apply_migrations(&proposed, &mut endpoints);
                 messages += migration_messages;
                 shard_migrations += applied;
+            }
+
+            // Border-traffic term (opt-in): count each border construct's
+            // block footprint per zone and migrate constructs towards the
+            // zone owning the majority of their blocks. Shares the step's
+            // migration budget — shard moves (and recovery above) come
+            // first, the traffic term only gets what is left.
+            let traffic_on = self
+                .rebalancer
+                .as_ref()
+                .map(|r| r.policy.config().border_traffic)
+                .unwrap_or(false);
+            if traffic_on && migration_budget > 0 {
+                let footprints = self.border_footprints();
+                let rebalancer = self.rebalancer.as_mut().expect("checked above");
+                let proposed = rebalancer
+                    .policy
+                    .observe_border_traffic(&footprints, migration_budget);
+                if !proposed.is_empty() {
+                    let (migration_messages, _applied) =
+                        self.apply_construct_migrations(&proposed, &mut endpoints);
+                    messages += migration_messages;
+                }
             }
         }
 
@@ -1542,19 +1756,34 @@ impl ShardedGameCluster {
         //     simulated constructs, state crosses to each involved
         //     neighbour zone and is acknowledged. Per construct in the
         //     classic baseline; bundled per (owner, neighbour) server pair
-        //     in the hybrid's batched exchange.
+        //     in the hybrid's batched exchange. The speculative exchange
+        //     ships a *handle* to the owner's published sequence instead
+        //     of state — one unacknowledged message per construct whose
+        //     sequence identity changed, zero while neighbours keep
+        //     replaying a still-valid sequence from the shared store —
+        //     and degrades to the batched eager path for any construct
+        //     whose backend publishes nothing.
         let mut exchange_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
-        for border in &self.border_constructs {
+        for b in 0..self.border_constructs.len() {
             // A dead owner simulates nothing (its constructs await
             // adoption); dead neighbours receive nothing.
-            if self.dead[border.owner] {
+            let owner = self.border_constructs[b].owner;
+            if self.dead[owner] {
                 continue;
             }
-            let work = reports[border.owner].work;
+            let work = reports[owner].work;
             if work.sc_local + work.sc_merged + work.sc_replayed == 0 {
                 continue;
             }
-            for &neighbor in &border.neighbors {
+            let index = self.border_constructs[b].index;
+            let current = match self.border_exchange {
+                BorderExchange::Speculative => {
+                    self.servers[owner].published_sequence(self.registry[index].id)
+                }
+                _ => None,
+            };
+            for n in 0..self.border_constructs[b].neighbors.len() {
+                let neighbor = self.border_constructs[b].neighbors[n];
                 if self.dead[neighbor] {
                     continue;
                 }
@@ -1562,19 +1791,47 @@ impl ShardedGameCluster {
                 match self.border_exchange {
                     BorderExchange::PerConstruct => {
                         messages += 2;
-                        endpoints[border.owner] += 2;
+                        endpoints[owner] += 2;
                         endpoints[neighbor] += 2;
                     }
                     BorderExchange::Batched => {
-                        exchange_pairs.insert((border.owner, neighbor));
+                        exchange_pairs.insert((owner, neighbor));
                     }
+                    BorderExchange::Speculative => match current {
+                        // The neighbour already holds a handle for this
+                        // exact sequence: it replays the next step from
+                        // the shared store, no message at all.
+                        Some(seq) if self.registry[index].published == Some(seq) => {
+                            self.stats.speculative_replays += 1;
+                        }
+                        // New or invalidated sequence: publish one handle
+                        // (sequence id, storage location, validity
+                        // horizon) — fire-and-forget, half the eager
+                        // exchange's cost.
+                        Some(_) => {
+                            messages += 1;
+                            endpoints[owner] += 1;
+                            endpoints[neighbor] += 1;
+                            self.stats.speculation_handles += 1;
+                        }
+                        // Nothing published (local backend, or the
+                        // substrate has not resolved yet): fall back to
+                        // the eager batched exchange for this pair.
+                        None => {
+                            exchange_pairs.insert((owner, neighbor));
+                        }
+                    },
                 }
+            }
+            if matches!(self.border_exchange, BorderExchange::Speculative) {
+                self.registry[index].published = current;
             }
         }
         for (owner, neighbor) in exchange_pairs {
             messages += 2;
             endpoints[owner] += 2;
             endpoints[neighbor] += 2;
+            self.stats.batched_bundles += 1;
         }
 
         // 3c. Per-zone persistence: on the configured cadence each zone
@@ -1801,8 +2058,23 @@ pub fn zone_hotspot_sites(map: &ShardMap, zone: usize, count: usize) -> Vec<Chun
 /// [`border_construct_sites`] this builds construct fleets that are
 /// border-spanning by construction.
 pub fn place_across_east_seam(blueprint: &Blueprint, site: ChunkPos, y: i32) -> Blueprint {
+    place_across_east_seam_at(blueprint, site, y, 8)
+}
+
+/// Like [`place_across_east_seam`], but starting `offset` blocks into
+/// `site`'s chunk: an east-west construct of length `L > 16 - offset`
+/// still crosses the seam, with `16 - offset` of its blocks west of it
+/// and the rest east. Varying the offset skews which side of the seam
+/// holds the majority of a border construct's footprint — the signal the
+/// border-traffic rebalancing term keys on.
+pub fn place_across_east_seam_at(
+    blueprint: &Blueprint,
+    site: ChunkPos,
+    y: i32,
+    offset: i32,
+) -> Blueprint {
     let base = site.min_block();
-    blueprint.translated(BlockPos::new(base.x + 8, y, base.z + 8))
+    blueprint.translated(BlockPos::new(base.x + offset, y, base.z + 8))
 }
 
 #[cfg(test)]

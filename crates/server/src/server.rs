@@ -197,6 +197,13 @@ pub struct GameServer<B: ChunkStore = RwLockStore> {
     /// Constructs with the world shard that owns them (by the chunk of
     /// their first block) — the partition key of the parallel tick path.
     constructs: Vec<(ConstructId, usize, Construct)>,
+    /// Adopted constructs this zone simulates even though their home shard
+    /// belongs to another zone — the product of ownership-aware construct
+    /// migration, where a cluster moves a border construct to the zone
+    /// owning the majority of its blocks without moving any shard. Empty
+    /// (and therefore free) on unrestricted servers and on zones that only
+    /// ever adopt shard-aligned constructs.
+    pinned: std::collections::HashSet<ConstructId>,
     construct_ids: IdAllocator<ConstructId>,
     sc_backend: Box<dyn ScBackend>,
     /// The terrain pipeline: every chunk the world is missing is submitted
@@ -257,6 +264,7 @@ impl<B: ChunkStore> GameServer<B> {
             world: Arc::new(world),
             ownership: None,
             constructs: Vec::new(),
+            pinned: std::collections::HashSet::new(),
             construct_ids: IdAllocator::new(),
             sc_backend,
             chunks,
@@ -392,6 +400,7 @@ impl<B: ChunkStore> GameServer<B> {
     pub fn take_construct(&mut self, id: ConstructId) -> Option<Construct> {
         let index = self.constructs.iter().position(|(cid, _, _)| *cid == id)?;
         let (_, _, construct) = self.constructs.remove(index);
+        self.pinned.remove(&id);
         self.sc_backend.release(id);
         Some(construct)
     }
@@ -401,6 +410,12 @@ impl<B: ChunkStore> GameServer<B> {
     /// returning the id it carries *on this server*. The owning shard is
     /// re-derived from the construct's first block, exactly like
     /// [`GameServer::add_construct`] does.
+    ///
+    /// The adopted construct is *pinned*: a zone-restricted instance steps
+    /// it even when its home shard belongs to another zone. For shard
+    /// migrations (where the shard arrives with the construct) the pin is
+    /// inert; for ownership-aware construct migrations it is what makes
+    /// the construct run on its new owner at all.
     pub fn adopt_construct(&mut self, construct: Construct) -> ConstructId {
         let id = self.construct_ids.next();
         let shard = construct
@@ -410,7 +425,22 @@ impl<B: ChunkStore> GameServer<B> {
             .map(|&p| self.world.shard_of(ChunkPos::from(p)))
             .unwrap_or(0);
         self.constructs.push((id, shard, construct));
+        self.pinned.insert(id);
         id
+    }
+
+    /// Whether construct `id` is pinned to this instance — simulated here
+    /// regardless of which zone owns its home shard (see
+    /// [`GameServer::adopt_construct`]).
+    pub fn is_pinned(&self, id: ConstructId) -> bool {
+        self.pinned.contains(&id)
+    }
+
+    /// The precomputed speculative sequence currently serving construct
+    /// `id` from shared remote storage, if the construct backend has one —
+    /// the cluster-facing view of [`ScBackend::published_sequence`].
+    pub fn published_sequence(&self, id: ConstructId) -> Option<crate::PublishedSequence> {
+        self.sc_backend.published_sequence(id)
     }
 
     /// Tells the construct backend to release every construct's
@@ -557,10 +587,13 @@ impl<B: ChunkStore> GameServer<B> {
             .max(1)
             .min(self.constructs.len().max(1));
         // Zone-restricted instances step only the constructs living in
-        // shards they own; foreign constructs are another server's work.
+        // shards they own, plus any constructs pinned here by an
+        // ownership-aware migration; other foreign constructs are another
+        // server's work.
         let ownership = self.ownership.clone();
-        let owns = |shard: usize| match &ownership {
-            Some((map, zone)) => map.zone_of_shard(shard) == *zone,
+        let pinned = self.pinned.clone();
+        let owns = |id: ConstructId, shard: usize| match &ownership {
+            Some((map, zone)) => map.zone_of_shard(shard) == *zone || pinned.contains(&id),
             None => true,
         };
         let plan = self.sc_backend.plan(self.tick);
@@ -571,13 +604,13 @@ impl<B: ChunkStore> GameServer<B> {
                 let count = self
                     .constructs
                     .iter()
-                    .filter(|(_, shard, _)| owns(*shard))
+                    .filter(|(id, shard, _)| owns(*id, *shard))
                     .count();
                 if resolution == ScResolution::LocalSimulated {
                     let mut buckets: Vec<Vec<&mut Construct>> =
                         (0..threads).map(|_| Vec::new()).collect();
-                    for (_, shard, construct) in &mut self.constructs {
-                        if owns(*shard) {
+                    for (id, shard, construct) in &mut self.constructs {
+                        if owns(*id, *shard) {
                             buckets[*shard % threads].push(construct);
                         }
                     }
@@ -606,7 +639,7 @@ impl<B: ChunkStore> GameServer<B> {
                     let mut buckets: Vec<Vec<(ConstructId, usize, &mut Construct)>> =
                         (0..threads).map(|_| Vec::new()).collect();
                     for (id, shard, construct) in &mut self.constructs {
-                        if owns(*shard) {
+                        if owns(*id, *shard) {
                             buckets[*shard % threads].push((*id, *shard, construct));
                         }
                     }
@@ -652,7 +685,7 @@ impl<B: ChunkStore> GameServer<B> {
             }
             _ => {
                 for (id, shard, construct) in &mut self.constructs {
-                    if !owns(*shard) {
+                    if !owns(*id, *shard) {
                         continue;
                     }
                     match self.sc_backend.resolve(*id, construct, self.tick, now) {

@@ -1,0 +1,104 @@
+//! Border-heavy construct workload knobs.
+//!
+//! The multi-server experiments build fleets of constructs that straddle
+//! zone seams on purpose (laid out east-west across a chunk border, so the
+//! owning zone must exchange their state with the neighbour every
+//! simulated tick). This module holds the *placement arithmetic* for such
+//! fleets: given a construct's east-west length, [`seam_offset`] computes
+//! where to start it inside the western chunk so that the requested side
+//! of the seam holds the strict majority of its blocks — the signal an
+//! ownership-aware (border-traffic) rebalancing policy keys on.
+//!
+//! Chunks are 16 blocks wide, so a construct starting `offset` blocks into
+//! the western chunk keeps `16 - offset` blocks west of the seam and puts
+//! the rest east of it.
+
+/// Blocks per chunk along the east-west axis.
+const CHUNK_WIDTH: i32 = 16;
+
+/// The in-chunk start offset that places a construct of east-west
+/// `length` across the eastern chunk seam with the strict majority of its
+/// blocks on the requested side — tipped as evenly as possible, so the
+/// minority side still holds almost half the footprint.
+///
+/// The result always leaves at least one block on each side of the seam
+/// (a construct entirely inside one chunk is not a border construct), so
+/// `length` must be at least 2; lengths longer than `2 * (CHUNK_WIDTH-1)`
+/// cannot fit a strict majority on one side of a single seam and are
+/// placed as far toward the requested side as the chunk allows.
+///
+/// # Examples
+///
+/// ```
+/// use servo_workload::seam_offset;
+///
+/// // A 14-block wire: 8 west / 6 east of the seam...
+/// assert_eq!(seam_offset(14, true), 8);
+/// // ...or 6 west / 8 east.
+/// assert_eq!(seam_offset(14, false), 10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `length < 2` — such a construct cannot span a seam.
+pub fn seam_offset(length: usize, majority_west: bool) -> i32 {
+    assert!(
+        length >= 2,
+        "a construct of length {length} cannot span a seam"
+    );
+    let length = length as i32;
+    // Strict majority on the chosen side, as slim as possible.
+    let majority = length / 2 + 1;
+    let west = if majority_west {
+        majority
+    } else {
+        length - majority
+    };
+    // At least one block on each side of the seam, and the western part
+    // must fit inside the western chunk.
+    let west = west.clamp(
+        (length - (CHUNK_WIDTH - 1)).max(1),
+        (CHUNK_WIDTH - 1).min(length - 1),
+    );
+    CHUNK_WIDTH - west
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn west_east(length: usize, majority_west: bool) -> (i32, i32) {
+        let offset = seam_offset(length, majority_west);
+        let west = CHUNK_WIDTH - offset;
+        (west, length as i32 - west)
+    }
+
+    #[test]
+    fn majority_lands_on_the_requested_side() {
+        for length in 3..=20usize {
+            let (west, east) = west_east(length, true);
+            assert!(west >= 1 && east >= 1, "length {length}: {west}/{east}");
+            assert!(west > east, "length {length}: west {west} <= east {east}");
+            let (west, east) = west_east(length, false);
+            assert!(west >= 1 && east >= 1, "length {length}: {west}/{east}");
+            assert!(east > west, "length {length}: east {east} <= west {west}");
+        }
+    }
+
+    #[test]
+    fn majorities_are_as_slim_as_possible() {
+        // The canonical 14-block wire splits 8/6 either way.
+        assert_eq!(west_east(14, true), (8, 6));
+        assert_eq!(west_east(14, false), (6, 8));
+        // An even split is impossible for odd lengths; the majority side
+        // gets the extra block.
+        assert_eq!(west_east(9, true), (5, 4));
+        assert_eq!(west_east(9, false), (4, 5));
+    }
+
+    #[test]
+    fn two_block_constructs_straddle_the_seam() {
+        assert_eq!(west_east(2, true), (1, 1));
+        assert_eq!(west_east(2, false), (1, 1));
+    }
+}

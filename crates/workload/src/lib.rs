@@ -28,12 +28,14 @@
 
 pub mod avatar;
 pub mod behavior;
+pub mod border;
 pub mod fleet;
 pub mod skew;
 pub mod zoning;
 
 pub use avatar::{Avatar, PlayerEvent};
 pub use behavior::{Behavior, BehaviorKind};
+pub use border::seam_offset;
 pub use fleet::{Hotspot, PlayerFleet};
 pub use skew::{KeySkew, SkewKind};
 pub use zoning::{Handoff, ZoneAssignment, ZoneRouter};

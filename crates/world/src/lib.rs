@@ -33,7 +33,10 @@ pub mod world;
 pub use block::Block;
 pub use chunk::{Chunk, ChunkSnapshot};
 pub use partition::ShardMap;
-pub use rebalance::{RebalanceConfig, RebalancePolicy, ShardMigration, ZoneLoadSample};
+pub use rebalance::{
+    ConstructFootprint, ConstructMigration, RebalanceConfig, RebalancePolicy, ShardMigration,
+    ZoneLoadSample,
+};
 pub use sharded::{
     chunk_hash, shard_index, FxBuildHasher, FxHasher, ShardDelta, ShardedWorld, WorldSink,
     DEFAULT_SHARDS,

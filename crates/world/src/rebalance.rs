@@ -52,6 +52,35 @@ pub struct ShardMigration {
     pub to: usize,
 }
 
+/// One proposed construct ownership change — moving a *border construct*
+/// (not a shard) to the zone that owns the majority of its blocks, so the
+/// per-simulated-tick border exchange for it stops crossing that seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstructMigration {
+    /// The cluster's registry index of the construct to move.
+    pub index: usize,
+    /// The zone that owned the construct when the proposal was made; the
+    /// applier revalidates against the live registry, dropping stale
+    /// proposals.
+    pub from: usize,
+    /// The destination zone — the majority owner of the construct's
+    /// blocks.
+    pub to: usize,
+}
+
+/// One border construct's per-zone block footprint, as the cluster feeds
+/// it to [`RebalancePolicy::observe_border_traffic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstructFootprint {
+    /// The cluster's registry index of the construct.
+    pub index: usize,
+    /// The zone currently simulating the construct.
+    pub zone: usize,
+    /// `(zone, blocks)` pairs counting how many of the construct's blocks
+    /// each involved zone owns, ascending by zone.
+    pub zone_blocks: Vec<(usize, u32)>,
+}
+
 /// Tuning knobs of the [`RebalancePolicy`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RebalanceConfig {
@@ -77,6 +106,13 @@ pub struct RebalanceConfig {
     pub smoothing: f64,
     /// Heat contribution of one dirty chunk relative to one avatar.
     pub dirty_weight: f64,
+    /// Makes border-traffic a rebalancing objective: when set, the policy
+    /// also proposes [`ConstructMigration`]s through
+    /// [`RebalancePolicy::observe_border_traffic`], moving each border
+    /// construct towards the zone owning the majority of its blocks. Off
+    /// by default, so existing clusters (and the zero-migration
+    /// equivalence proofs) are untouched.
+    pub border_traffic: bool,
 }
 
 impl Default for RebalanceConfig {
@@ -90,6 +126,7 @@ impl Default for RebalanceConfig {
             max_migrations_per_step: 4,
             smoothing: 0.2,
             dirty_weight: 0.05,
+            border_traffic: false,
         }
     }
 }
@@ -294,6 +331,70 @@ impl RebalancePolicy {
         }
         migrations
     }
+
+    /// The border-traffic term: proposes moving border constructs to the
+    /// zone owning the majority of their block footprint, so their
+    /// per-simulated-tick state exchange stops crossing that seam. Called
+    /// by the cluster right after [`RebalancePolicy::observe`] at each tick
+    /// boundary, with `budget` migrations left of the shared
+    /// `max_migrations_per_step` storm bound (recovery and shard proposals
+    /// are served first).
+    ///
+    /// Inert unless [`RebalanceConfig::border_traffic`] is set, and gated
+    /// on the same warmup and evaluation cadence as shard decisions. A
+    /// construct is proposed only when another zone owns *strictly more*
+    /// of its blocks than the current owner — after the move the owner
+    /// *is* the majority, so the term has built-in hysteresis and never
+    /// ping-pongs a construct. Candidates are ordered by descending block
+    /// advantage (ties towards the lowest registry index), deterministic
+    /// like every other decision here.
+    pub fn observe_border_traffic(
+        &mut self,
+        footprints: &[ConstructFootprint],
+        budget: usize,
+    ) -> Vec<ConstructMigration> {
+        if !self.config.border_traffic
+            || self.ticks_observed < self.config.warmup_ticks
+            || !self
+                .ticks_observed
+                .is_multiple_of(self.config.evaluate_every)
+        {
+            return Vec::new();
+        }
+        let mut candidates: Vec<(u32, ConstructMigration)> = Vec::new();
+        for footprint in footprints {
+            let owned = footprint
+                .zone_blocks
+                .iter()
+                .find(|(zone, _)| *zone == footprint.zone)
+                .map(|&(_, blocks)| blocks)
+                .unwrap_or(0);
+            let Some(&(majority, blocks)) = footprint
+                .zone_blocks
+                .iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            else {
+                continue;
+            };
+            if majority == footprint.zone || blocks <= owned {
+                continue;
+            }
+            candidates.push((
+                blocks - owned,
+                ConstructMigration {
+                    index: footprint.index,
+                    from: footprint.zone,
+                    to: majority,
+                },
+            ));
+        }
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.index.cmp(&b.1.index)));
+        candidates
+            .into_iter()
+            .take(budget.min(self.config.max_migrations_per_step))
+            .map(|(_, migration)| migration)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +531,101 @@ mod tests {
         for pair in fired_at.windows(2) {
             assert!(pair[1] - pair[0] > 10, "batches too close: {fired_at:?}");
         }
+    }
+
+    fn footprint(index: usize, zone: usize, zone_blocks: &[(usize, u32)]) -> ConstructFootprint {
+        ConstructFootprint {
+            index,
+            zone,
+            zone_blocks: zone_blocks.to_vec(),
+        }
+    }
+
+    /// A warmed-up policy with the border-traffic term armed.
+    fn traffic_policy() -> RebalancePolicy {
+        let map = ShardMap::contiguous(16, 2);
+        let mut policy = RebalancePolicy::new(RebalanceConfig {
+            warmup_ticks: 1,
+            evaluate_every: 1,
+            border_traffic: true,
+            ..RebalanceConfig::default()
+        });
+        policy.observe(&map, &[], &[], &[]);
+        policy
+    }
+
+    #[test]
+    fn traffic_term_moves_constructs_to_their_majority_zone() {
+        let mut policy = traffic_policy();
+        let footprints = vec![
+            // Majority elsewhere: proposed, towards zone 1.
+            footprint(0, 0, &[(0, 6), (1, 8)]),
+            // Already home with the majority: untouched (hysteresis).
+            footprint(1, 1, &[(0, 6), (1, 8)]),
+            // Exact tie: not strictly better anywhere, untouched.
+            footprint(2, 0, &[(0, 7), (1, 7)]),
+        ];
+        let proposed = policy.observe_border_traffic(&footprints, usize::MAX);
+        assert_eq!(
+            proposed,
+            vec![ConstructMigration {
+                index: 0,
+                from: 0,
+                to: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn traffic_term_orders_by_advantage_and_respects_the_budget() {
+        let mut policy = traffic_policy();
+        let footprints = vec![
+            footprint(0, 0, &[(0, 6), (1, 8)]),  // advantage 2
+            footprint(1, 0, &[(0, 2), (1, 12)]), // advantage 10
+            footprint(2, 0, &[(0, 5), (1, 9)]),  // advantage 4
+        ];
+        let proposed = policy.observe_border_traffic(&footprints, 2);
+        assert_eq!(proposed.len(), 2);
+        assert_eq!(proposed[0].index, 1);
+        assert_eq!(proposed[1].index, 2);
+        // The shared storm bound caps the batch even with a huge budget.
+        let capped = policy.observe_border_traffic(
+            &(0..10)
+                .map(|i| footprint(i, 0, &[(0, 2), (1, 12)]))
+                .collect::<Vec<_>>(),
+            usize::MAX,
+        );
+        assert_eq!(
+            capped.len(),
+            RebalanceConfig::default().max_migrations_per_step
+        );
+    }
+
+    #[test]
+    fn traffic_term_is_inert_unless_armed() {
+        let map = ShardMap::contiguous(16, 2);
+        let footprints = vec![footprint(0, 0, &[(0, 2), (1, 12)])];
+        // Default config: flag off.
+        let mut off = RebalancePolicy::new(RebalanceConfig {
+            warmup_ticks: 1,
+            evaluate_every: 1,
+            ..RebalanceConfig::default()
+        });
+        off.observe(&map, &[], &[], &[]);
+        assert!(off
+            .observe_border_traffic(&footprints, usize::MAX)
+            .is_empty());
+        // Armed but still warming up: inert too.
+        let cold = &mut RebalancePolicy::new(RebalanceConfig {
+            warmup_ticks: 100,
+            evaluate_every: 1,
+            border_traffic: true,
+            ..RebalanceConfig::default()
+        });
+        cold.observe(&map, &[], &[], &[]);
+        assert!(cold
+            .observe_border_traffic(&footprints, usize::MAX)
+            .is_empty());
     }
 
     #[test]
