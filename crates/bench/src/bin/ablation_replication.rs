@@ -1,0 +1,514 @@
+//! Ablation: **client replication at 10^5–10^6 subscribers** — what the
+//! interest-managed delta broadcast costs on the 4-zone hybrid workload,
+//! and what delta compression buys over naive full-interest resync.
+//!
+//! Arms, all driven by the same construct + edit workload:
+//!
+//! * **control** — no replication attached: the tick is byte-identical to
+//!   the pre-replication cluster, giving the p99 floor;
+//! * **delta** — `SUBSCRIBERS` (scaled, 10^5 at full scale) clients with
+//!   zipf-skewed interest centres over the edit hot-spot and the border
+//!   construct sites, flushed in round-robin cohorts: fresh subscribers
+//!   get one keyframe, everyone else gets dirty-chunk deltas, slow
+//!   cohorts get coalesced diffs; a small fraction of clients retargets
+//!   every tick (avatar movement);
+//! * **keyframe** — the same subscribers with delta compression disabled
+//!   ([`servo_replication::HubConfig::keyframe_only`]): every touched
+//!   subscriber re-receives its full loaded interest region per flush —
+//!   the naive-resync control the `delta_ratio` headline divides by;
+//! * **sweep** — 10x the subscribers (10^6 at full scale) at radius 1,
+//!   bounding index memory while proving the fan-out holds QoS;
+//! * **mirror equality** — the border-as-subscriber path vs the legacy
+//!   mirror on identical seeds must produce *equal* cluster stats,
+//!   message for message.
+//!
+//! Writes `results/ablation_replication.csv` and the acceptance artefact
+//! `BENCH_replication.json` at the workspace root.
+
+use servo_bench::{emit, experiment_scale, scaled_secs};
+use servo_core::{HybridDeployment, ServoDeployment};
+use servo_metrics::{qos_satisfied_default, report_table, StatsReport, Summary, Table};
+use servo_redstone::generators;
+use servo_replication::{FanoutConfig, HubConfig, Interest, ReplicationConfig, SubscriberId};
+use servo_server::cluster::{border_construct_sites, place_across_east_seam, ShardedGameCluster};
+use servo_simkit::SimRng;
+use servo_types::{ChunkPos, SimDuration};
+use servo_workload::{BehaviorKind, KeySkew, PlayerFleet};
+use servo_world::ShardMap;
+
+/// Players (the construct-dominated hybrid scenario of `ablation_border`).
+const PLAYERS: usize = 60;
+/// Border-spanning constructs keeping the seam chunks dirty every tick.
+const CONSTRUCTS: usize = 160;
+/// Blocks of wire per border construct.
+const CONSTRUCT_WIRES: usize = 14;
+/// Zones.
+const ZONES: usize = 4;
+/// Chebyshev interest radius of the headline arms (a 5x5 chunk view).
+const RADIUS: i32 = 2;
+/// Round-robin flush cohorts of the headline arms.
+const COHORTS: u64 = 8;
+/// Zipf exponent of the interest-centre skew.
+const ZIPF_EXPONENT: f64 = 1.1;
+/// Fraction of subscribers that retargets (moves) per tick.
+const RETARGET_FRACTION: f64 = 2e-4;
+
+/// What replication (if any) an arm runs with.
+enum Mode {
+    Control,
+    Replicated {
+        subscribers: usize,
+        radius: i32,
+        cohorts: u64,
+        keyframe_only: bool,
+    },
+}
+
+struct ReplRun {
+    mean_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    qos_ok: bool,
+    ticks: u64,
+    subscribers: u64,
+    frames_per_tick: f64,
+    bytes_per_tick: f64,
+    delta_frames: u64,
+    keyframes: u64,
+    chunks_per_tick: f64,
+    coalesced_chunks: u64,
+    retargets: u64,
+    fanout_charged_ms: f64,
+    stats_dump: Option<Table>,
+}
+
+/// Interest-centre universe: the spawn edit hot-spot first (the zipf head,
+/// where terrain accumulates modifications all run), then the border
+/// construct sites (the tail, kept dirty by the redstone steps).
+fn interest_targets(map: &ShardMap) -> Vec<ChunkPos> {
+    let mut targets = Vec::new();
+    for x in -3..3 {
+        for z in -3..3 {
+            targets.push(ChunkPos::new(x, z));
+        }
+    }
+    targets.extend(border_construct_sites(map, CONSTRUCTS));
+    targets
+}
+
+/// The deterministic terrain-edit stream shared with `ablation_border`:
+/// two block edits per tick in the spawn area, identical across arms.
+struct EditStream {
+    rng: SimRng,
+}
+
+impl EditStream {
+    fn new(seed: u64) -> Self {
+        EditStream {
+            rng: SimRng::seed(seed).substream("terrain-edits"),
+        }
+    }
+
+    fn next_events(&mut self) -> Vec<(servo_types::PlayerId, servo_workload::PlayerEvent)> {
+        use servo_types::{BlockPos, PlayerId};
+        use servo_workload::PlayerEvent;
+        (0..2)
+            .map(|_| {
+                let x = (self.rng.unit() * 81.0) as i32 - 40;
+                let z = (self.rng.unit() * 81.0) as i32 - 40;
+                let pos = BlockPos::new(x, 9, z);
+                let event = if self.rng.unit() < 0.5 {
+                    PlayerEvent::BlockPlaced(pos)
+                } else {
+                    PlayerEvent::BlockBroken(pos)
+                };
+                let player = (self.rng.unit() * PLAYERS as f64) as u64;
+                (PlayerId::new(player.min(PLAYERS as u64 - 1)), event)
+            })
+            .collect()
+    }
+}
+
+/// Drives the cluster for `duration`, injecting edits and retargeting
+/// `movers_per_tick` random subscribers each tick. Returns ticks run.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    cluster: &mut ShardedGameCluster,
+    fleet: &mut PlayerFleet,
+    edits: &mut EditStream,
+    duration: SimDuration,
+    clients: &[SubscriberId],
+    movers_per_tick: usize,
+    skew: &mut KeySkew,
+    targets: &[ChunkPos],
+    mover_rng: &mut SimRng,
+) -> u64 {
+    let end = cluster.now() + duration;
+    let budget = cluster.servers()[0].config().tick_budget();
+    let mut ticks = 0u64;
+    while cluster.now() < end {
+        if !clients.is_empty() {
+            for _ in 0..movers_per_tick {
+                let who =
+                    clients[(mover_rng.unit() * clients.len() as f64) as usize % clients.len()];
+                cluster.retarget_client(who, targets[skew.sample()]);
+            }
+        }
+        let now = cluster.now();
+        let mut events = fleet.tick(now, budget);
+        events.extend(edits.next_events());
+        let positions = fleet.positions();
+        cluster.run_tick(&positions, &events);
+        ticks += 1;
+    }
+    ticks
+}
+
+fn run_arm(seed: u64, mode: Mode, warmup: SimDuration, measure: SimDuration) -> ReplRun {
+    let mut hybrid: HybridDeployment = ServoDeployment::builder()
+        .seed(seed)
+        .view_distance(32)
+        .hybrid(ZONES);
+    let map = hybrid.cluster.shard_map().clone();
+    for site in border_construct_sites(&map, CONSTRUCTS) {
+        hybrid.cluster.add_construct(place_across_east_seam(
+            &generators::wire_line(CONSTRUCT_WIRES),
+            site,
+            6,
+        ));
+    }
+
+    let targets = interest_targets(&map);
+    let mut skew = KeySkew::zipf(
+        targets.len(),
+        ZIPF_EXPONENT,
+        SimRng::seed(seed).substream("interest-skew"),
+    );
+    let mut clients: Vec<SubscriberId> = Vec::new();
+    let mut movers_per_tick = 0usize;
+    if let Mode::Replicated {
+        subscribers,
+        radius,
+        cohorts,
+        keyframe_only,
+    } = mode
+    {
+        hybrid.cluster.enable_replication(ReplicationConfig {
+            hub: HubConfig {
+                keyframe_only,
+                ..HubConfig::default()
+            },
+            fanout: FanoutConfig {
+                scaler: servo_faas::AutoscalerConfig::elastic(4, 64).with_backlog_per_worker(1024),
+                ..FanoutConfig::default()
+            },
+            cohorts,
+            border_via_subscription: false,
+        });
+        clients = (0..subscribers)
+            .map(|_| {
+                let center = targets[skew.sample()];
+                hybrid
+                    .cluster
+                    .subscribe_client(Interest::new(center, radius))
+                    .expect("replication attached")
+            })
+            .collect();
+        movers_per_tick = ((subscribers as f64) * RETARGET_FRACTION).round() as usize;
+    }
+
+    let mut fleet = PlayerFleet::new(
+        BehaviorKind::Bounded { radius: 24.0 },
+        SimRng::seed(seed ^ 0x5eed),
+    );
+    fleet.connect_all(PLAYERS);
+    let mut edits = EditStream::new(seed);
+    let mut mover_rng = SimRng::seed(seed).substream("movers");
+
+    // Warm-up absorbs terrain loading and the initial keyframe wave, so
+    // the measure window sees the steady delta protocol.
+    drive(
+        &mut hybrid.cluster,
+        &mut fleet,
+        &mut edits,
+        warmup,
+        &clients,
+        movers_per_tick,
+        &mut skew,
+        &targets,
+        &mut mover_rng,
+    );
+    hybrid.cluster.discard_ticks();
+    let repl_before = hybrid.cluster.replication_stats();
+    let ticks = drive(
+        &mut hybrid.cluster,
+        &mut fleet,
+        &mut edits,
+        measure,
+        &clients,
+        movers_per_tick,
+        &mut skew,
+        &targets,
+        &mut mover_rng,
+    );
+
+    let summary = Summary::from_durations(&hybrid.cluster.critical_path_durations());
+    let qos_ok = qos_satisfied_default(&hybrid.cluster.critical_path_durations());
+    let (mut frames, mut bytes, mut delta_frames, mut keyframes) = (0u64, 0u64, 0u64, 0u64);
+    let (mut chunks, mut coalesced, mut retargets) = (0u64, 0u64, 0u64);
+    let mut stats_dump = None;
+    if let (Some(before), Some(after)) = (repl_before, hybrid.cluster.replication_stats()) {
+        frames = after.frames - before.frames;
+        bytes = after.bytes_sent - before.bytes_sent;
+        delta_frames = after.delta_frames - before.delta_frames;
+        keyframes = after.keyframes - before.keyframes;
+        chunks = after.chunks_delivered - before.chunks_delivered;
+        coalesced = after.coalesced_chunks - before.coalesced_chunks;
+        retargets = after.retargets - before.retargets;
+        let fanout = hybrid.cluster.fanout_stats().expect("replication attached");
+        let reports: [&dyn StatsReport; 2] = [&after, &fanout];
+        stats_dump = Some(report_table(&reports));
+    }
+    let fanout_charged_ms = hybrid
+        .cluster
+        .fanout_stats()
+        .map(|f| f.charged_ms)
+        .unwrap_or(0.0);
+    ReplRun {
+        mean_ms: summary.mean,
+        p95_ms: summary.p95,
+        p99_ms: summary.p99,
+        qos_ok,
+        ticks,
+        subscribers: clients.len() as u64,
+        frames_per_tick: frames as f64 / ticks.max(1) as f64,
+        bytes_per_tick: bytes as f64 / ticks.max(1) as f64,
+        delta_frames,
+        keyframes,
+        chunks_per_tick: chunks as f64 / ticks.max(1) as f64,
+        coalesced_chunks: coalesced,
+        retargets,
+        fanout_charged_ms,
+        stats_dump,
+    }
+}
+
+/// The degeneracy check: the same short run with border mirroring routed
+/// through whole-shard subscriptions vs the legacy path. Returns the two
+/// message counts and whether the full cluster stats match.
+fn mirror_equality(seed: u64) -> (u64, u64, bool) {
+    let run = |via_subscription: bool| {
+        let mut hybrid: HybridDeployment = ServoDeployment::builder()
+            .seed(seed)
+            .view_distance(32)
+            .hybrid(ZONES);
+        if via_subscription {
+            hybrid.cluster.enable_replication(ReplicationConfig {
+                border_via_subscription: true,
+                ..ReplicationConfig::default()
+            });
+        }
+        for site in border_construct_sites(&hybrid.cluster.shard_map().clone(), 40) {
+            hybrid.cluster.add_construct(place_across_east_seam(
+                &generators::wire_line(CONSTRUCT_WIRES),
+                site,
+                6,
+            ));
+        }
+        let mut fleet = PlayerFleet::new(
+            BehaviorKind::Bounded { radius: 24.0 },
+            SimRng::seed(seed ^ 0x5eed),
+        );
+        fleet.connect_all(24);
+        let mut edits = EditStream::new(seed);
+        let mut skew = KeySkew::zipf(4, ZIPF_EXPONENT, SimRng::seed(seed));
+        let mut mover_rng = SimRng::seed(seed);
+        drive(
+            &mut hybrid.cluster,
+            &mut fleet,
+            &mut edits,
+            scaled_secs(8),
+            &[],
+            0,
+            &mut skew,
+            &[],
+            &mut mover_rng,
+        );
+        hybrid
+    };
+    let legacy = run(false);
+    let subscribed = run(true);
+    let matches = legacy.cluster.stats() == subscribed.cluster.stats()
+        && legacy.cluster.critical_path_durations() == subscribed.cluster.critical_path_durations();
+    (
+        legacy.cluster.stats().cross_server_messages,
+        subscribed.cluster.stats().cross_server_messages,
+        matches,
+    )
+}
+
+fn main() {
+    let scale = experiment_scale();
+    let warmup = scaled_secs(8);
+    let measure = scaled_secs(20);
+    let seed = 17;
+
+    let headline_subs = ((100_000.0 * scale).round() as usize).max(1_000);
+    let sweep_subs = ((1_000_000.0 * scale).round() as usize).max(10_000);
+
+    let control = run_arm(seed, Mode::Control, warmup, measure);
+    let delta = run_arm(
+        seed,
+        Mode::Replicated {
+            subscribers: headline_subs,
+            radius: RADIUS,
+            cohorts: COHORTS,
+            keyframe_only: false,
+        },
+        warmup,
+        measure,
+    );
+    let keyframe = run_arm(
+        seed,
+        Mode::Replicated {
+            subscribers: headline_subs,
+            radius: RADIUS,
+            cohorts: COHORTS,
+            keyframe_only: true,
+        },
+        warmup,
+        measure,
+    );
+    let sweep = run_arm(
+        seed,
+        Mode::Replicated {
+            subscribers: sweep_subs,
+            radius: 1,
+            cohorts: 4 * COHORTS,
+            keyframe_only: false,
+        },
+        scaled_secs(3),
+        scaled_secs(5),
+    );
+    let (mirror_legacy_msgs, mirror_sub_msgs, mirror_match) = mirror_equality(seed);
+
+    let mut table = Table::new(vec![
+        "Arm",
+        "subscribers",
+        "mean tick [ms]",
+        "p99 [ms]",
+        "frames/tick",
+        "KB/tick",
+        "keyframes",
+        "delta frames",
+        "QoS ok",
+    ]);
+    for (label, run) in [
+        ("Control (no replication)", &control),
+        ("Delta broadcast", &delta),
+        ("Keyframe-only resync", &keyframe),
+        ("Sweep 10x, radius 1", &sweep),
+    ] {
+        table.row(vec![
+            label.to_string(),
+            run.subscribers.to_string(),
+            format!("{:.1}", run.mean_ms),
+            format!("{:.1}", run.p99_ms),
+            format!("{:.0}", run.frames_per_tick),
+            format!("{:.1}", run.bytes_per_tick / 1024.0),
+            run.keyframes.to_string(),
+            run.delta_frames.to_string(),
+            run.qos_ok.to_string(),
+        ]);
+    }
+    emit(
+        "ablation_replication",
+        "Ablation: interest-managed delta broadcast vs keyframe resync vs no replication",
+        &table,
+    );
+    if let Some(dump) = &delta.stats_dump {
+        emit(
+            "ablation_replication_stats",
+            "Delta arm subsystem counters (via the StatsReport trait)",
+            dump,
+        );
+    }
+
+    let delta_ratio = keyframe.bytes_per_tick / delta.bytes_per_tick.max(1.0);
+    let p99_impact_ms = delta.p99_ms - control.p99_ms;
+    let min_subscribers = ((100_000.0 * scale).round() as u64).clamp(1_000, 100_000);
+    let met = delta.subscribers >= min_subscribers
+        && delta_ratio >= 5.0
+        && delta.qos_ok
+        && delta.delta_frames > 0
+        && delta.coalesced_chunks > 0
+        && mirror_match;
+
+    let arm_json = |run: &ReplRun| {
+        format!(
+            "{{\"subscribers\": {}, \"ticks\": {}, \"mean_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"qos_ok\": {}, \"frames_per_tick\": {:.1}, \
+             \"bytes_per_tick\": {:.0}, \"delta_frames\": {}, \"keyframes\": {}, \
+             \"chunks_per_tick\": {:.1}, \"coalesced_chunks\": {}, \"retargets\": {}, \
+             \"fanout_charged_ms\": {:.3}}}",
+            run.subscribers,
+            run.ticks,
+            run.mean_ms,
+            run.p95_ms,
+            run.p99_ms,
+            run.qos_ok,
+            run.frames_per_tick,
+            run.bytes_per_tick,
+            run.delta_frames,
+            run.keyframes,
+            run.chunks_per_tick,
+            run.coalesced_chunks,
+            run.retargets,
+            run.fanout_charged_ms,
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"ablation_replication\",\n  \
+         \"workload\": {{\"players\": {PLAYERS}, \"border_constructs\": {CONSTRUCTS}, \
+         \"zones\": {ZONES}, \"radius\": {RADIUS}, \"cohorts\": {COHORTS}, \
+         \"zipf_exponent\": {ZIPF_EXPONENT}, \"retarget_fraction\": {RETARGET_FRACTION}}},\n  \
+         \"control\": {},\n  \
+         \"delta\": {},\n  \
+         \"keyframe\": {},\n  \
+         \"sweep\": {},\n  \
+         \"mirror\": {{\"legacy_messages\": {mirror_legacy_msgs}, \
+         \"subscription_messages\": {mirror_sub_msgs}, \"stats_match\": {mirror_match}}},\n  \
+         \"acceptance\": {{\"subscribers\": {}, \"min_subscribers\": {min_subscribers}, \
+         \"delta_ratio\": {delta_ratio:.3}, \"required_ratio\": 5.0, \
+         \"qos_ok\": {}, \"p99_impact_ms\": {p99_impact_ms:.3}, \
+         \"mirror_messages_match\": {mirror_match}, \"met\": {met}}}\n}}\n",
+        arm_json(&control),
+        arm_json(&delta),
+        arm_json(&keyframe),
+        arm_json(&sweep),
+        delta.subscribers,
+        delta.qos_ok,
+    );
+    let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the workspace root")
+        .join("BENCH_replication.json");
+    std::fs::write(&out_path, &json).expect("BENCH_replication.json must be writable");
+    println!("[saved {}]", out_path.display());
+    println!(
+        "Delta broadcast serves {} subscribers at {:.0} KB/tick ({delta_ratio:.1}x below the \
+         keyframe-only resync's {:.0} KB/tick), p99 {:.1} ms vs {:.1} ms control \
+         (+{p99_impact_ms:.1} ms); border-as-subscriber {} the legacy mirror.",
+        delta.subscribers,
+        delta.bytes_per_tick / 1024.0,
+        keyframe.bytes_per_tick / 1024.0,
+        delta.p99_ms,
+        control.p99_ms,
+        if mirror_match {
+            "matches"
+        } else {
+            "DIVERGES from"
+        },
+    );
+}

@@ -3,7 +3,7 @@
 //! effective hit rate that counts slow pre-fetch joins as misses).
 
 use servo_core::{PrefetchPolicy, RemoteTerrainStore, ServoDeployment};
-use servo_metrics::Table;
+use servo_metrics::{report_table, StatsReport, Table};
 use servo_pcg::{DefaultGenerator, TerrainGenerator};
 use servo_redstone::generators;
 use servo_server::cluster::{border_construct_sites, place_across_east_seam};
@@ -382,6 +382,30 @@ fn emit_hybrid_overview() {
         "table01_hybrid",
         "Hybrid zoned+offloading deployment: per-zone speculation and persistence-cache effectiveness",
         &table,
+    );
+
+    // The deployment-wide counter dump: every subsystem stats struct
+    // renders itself through the shared `StatsReport` trait, so this table
+    // (and the replication ablation's) no longer hand-roll per-struct
+    // formatting and new counters appear here without touching the bench.
+    let cluster_stats = hybrid.cluster.stats();
+    let rebalance = hybrid.cluster.rebalance_stats();
+    let recovery = hybrid.cluster.recovery_stats();
+    let speculation_total = hybrid.speculation_stats_total();
+    let platform = hybrid.sc_platform_stats();
+    let persistence = hybrid.persistence_stats();
+    let reports: [&dyn StatsReport; 6] = [
+        &cluster_stats,
+        &rebalance,
+        &recovery,
+        &speculation_total,
+        &platform,
+        &persistence,
+    ];
+    servo_bench::emit(
+        "table01_stats_report",
+        "Unified subsystem counters (via the StatsReport trait)",
+        &report_table(&reports),
     );
 }
 

@@ -5,7 +5,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use servo_faas::{AutoscalerConfig, FaasPlatform, FunctionConfig, PlatformConfig};
 use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
-use servo_server::cluster::{BorderExchange, ShardedGameCluster, ZonePersistenceStats};
+use servo_server::cluster::{
+    BorderExchange, PersistenceBinding, ShardedGameCluster, ZonePersistenceStats,
+};
 use servo_server::multi::ClusterTick;
 use servo_server::{GameServer, ServerConfig};
 use servo_simkit::SimRng;
@@ -65,6 +67,20 @@ pub struct PersistenceStats {
     pub chunks_flushed: u64,
     /// Chunks staged back into the cache by prefetch arrivals.
     pub prefetch_arrivals: u64,
+}
+
+impl servo_metrics::StatsReport for PersistenceStats {
+    fn section(&self) -> &'static str {
+        "persistence"
+    }
+
+    fn report(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("write_back_passes", self.write_back_passes.to_string()),
+            ("chunks_flushed", self.chunks_flushed.to_string()),
+            ("prefetch_arrivals", self.prefetch_arrivals.to_string()),
+        ]
+    }
 }
 
 /// Configuration of a Servo deployment.
@@ -198,7 +214,7 @@ impl ServoBuilder {
     /// classic scale-out alternative the ablation compares against. See
     /// [`ServoDeployment::zoned`].
     pub fn zoned(self, zones: usize) -> ShardedGameCluster {
-        ServoDeployment::zoned(self.config, zones)
+        ServoDeployment::zoned_cluster(self.config, zones)
     }
 
     /// Builds a *hybrid* zoned+offloading cluster: zoning for players and
@@ -306,7 +322,17 @@ impl ServoDeployment {
     /// baselines do) — zoning is the classic alternative to Servo's
     /// offloading, which is exactly the comparison the multiserver
     /// ablation runs on [`ShardedGameCluster::baseline`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct through `ServoDeployment::builder().zoned(n)`; the free-standing \
+                constructor will be removed next release"
+    )]
     pub fn zoned(config: ServoConfig, zones: usize) -> ShardedGameCluster {
+        Self::zoned_cluster(config, zones)
+    }
+
+    /// The builder's zoned construction path ([`ServoBuilder::zoned`]).
+    fn zoned_cluster(config: ServoConfig, zones: usize) -> ShardedGameCluster {
         ShardedGameCluster::baseline(config.server.clone(), zones, config.seed)
     }
 
@@ -571,12 +597,19 @@ impl HybridDeployment {
         if let Some(persistence) = &config.persistence {
             for zone in 0..zones {
                 let rng = zone_rng(zone);
-                cluster.attach_persistence(
-                    zone,
+                let mut binding = PersistenceBinding::new(
                     BlobStore::new(persistence.tier, rng.substream("persistence-blob")),
                     rng.substream("persistence-disk"),
-                    persistence.write_back_interval,
-                );
+                )
+                .write_back_interval(persistence.write_back_interval);
+                // The builder's elastic_workers knob reaches zoned
+                // pipelines too (elasticity only changes wall-clock
+                // throughput, never simulated outcomes, so the `None`
+                // default keeps committed baselines byte-stable).
+                if let Some(scaler) = persistence.elastic_workers {
+                    binding = binding.elastic(scaler);
+                }
+                cluster.bind_persistence(zone, binding);
             }
         }
         HybridDeployment {

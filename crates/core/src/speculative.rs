@@ -154,6 +154,32 @@ pub struct SpeculationStats {
     pub invocation_completions: Vec<SimTime>,
 }
 
+impl servo_metrics::StatsReport for SpeculationStats {
+    fn section(&self) -> &'static str {
+        "speculation"
+    }
+
+    fn report(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("invocations", self.invocations.to_string()),
+            ("discarded_stale", self.discarded_stale.to_string()),
+            ("discarded_migrated", self.discarded_migrated.to_string()),
+            ("failed", self.failed.to_string()),
+            ("queued_invocations", self.queued_invocations.to_string()),
+            ("queue_wait_ms", format!("{:.3}", self.queue_wait_ms)),
+            ("speculative_applied", self.speculative_applied.to_string()),
+            ("loop_replayed", self.loop_replayed.to_string()),
+            ("local_fallback", self.local_fallback.to_string()),
+            (
+                "median_efficiency",
+                self.median_efficiency()
+                    .map(|e| format!("{e:.3}"))
+                    .unwrap_or_else(|| "n/a".to_string()),
+            ),
+        ]
+    }
+}
+
 impl SpeculationStats {
     /// The median efficiency over all completed invocations, or `None` if no
     /// invocation completed.

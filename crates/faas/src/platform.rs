@@ -64,6 +64,26 @@ pub struct PlatformStats {
     pub peak_concurrency: usize,
 }
 
+impl servo_metrics::StatsReport for PlatformStats {
+    fn section(&self) -> &'static str {
+        "platform"
+    }
+
+    fn report(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("invocations", self.invocations.to_string()),
+            ("cold_starts", self.cold_starts.to_string()),
+            ("rejected", self.rejected.to_string()),
+            ("queued", self.queued.to_string()),
+            ("queue_wait_ms", format!("{:.3}", self.queue_wait_ms)),
+            ("peak_queue_depth", self.peak_queue_depth.to_string()),
+            ("provisioned", self.provisioned.to_string()),
+            ("expired_containers", self.expired_containers.to_string()),
+            ("peak_concurrency", self.peak_concurrency.to_string()),
+        ]
+    }
+}
+
 /// Why an invocation could not start immediately.
 enum Saturation {
     /// The function's concurrency limit is reached.

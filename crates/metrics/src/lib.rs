@@ -21,6 +21,7 @@
 
 pub mod capacity;
 pub mod icdf;
+pub mod report;
 pub mod response;
 pub mod rolling;
 pub mod summary;
@@ -28,6 +29,7 @@ pub mod table;
 
 pub use capacity::{max_supported, qos_satisfied, qos_satisfied_default, CapacityResult};
 pub use icdf::ccdf_points;
+pub use report::{report_table, StatsReport};
 pub use response::{response_summary, response_times, GenreThreshold, ResponseSummary};
 pub use rolling::{RollingBands, TimePoint};
 pub use summary::{percentile, Boxplot, Summary};

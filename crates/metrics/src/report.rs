@@ -1,0 +1,66 @@
+//! A uniform snapshot interface over per-subsystem statistics structs.
+//!
+//! Every subsystem in the workspace accumulates its own counters —
+//! `ClusterStats` for the zoned bus, `PlatformStats` for the FaaS
+//! platform, `SpeculationStats` for the offloading unit, and so on. The
+//! experiment binaries used to hand-roll a formatting block per struct;
+//! [`StatsReport`] replaces that with one `report()` → key/value rows
+//! method, and [`report_table`] renders any set of snapshots as a single
+//! [`Table`] ready for stdout or CSV export.
+//!
+//! # Example
+//!
+//! ```
+//! use servo_metrics::{report_table, StatsReport};
+//!
+//! struct Demo {
+//!     hits: u64,
+//! }
+//! impl StatsReport for Demo {
+//!     fn section(&self) -> &'static str {
+//!         "demo"
+//!     }
+//!     fn report(&self) -> Vec<(&'static str, String)> {
+//!         vec![("hits", self.hits.to_string())]
+//!     }
+//! }
+//!
+//! let table = report_table(&[&Demo { hits: 3 }]);
+//! assert!(table.render().contains("demo"));
+//! assert!(table.to_csv().contains("hits,3"));
+//! ```
+
+use crate::Table;
+
+/// A snapshot of a subsystem's counters as uniform key/value rows.
+///
+/// Implementors should emit rows in a stable, documented order (struct
+/// field order is the convention) and format values the way a human
+/// reading the experiment table expects — raw counts as integers,
+/// durations and ratios with a small fixed precision.
+pub trait StatsReport {
+    /// Short stable name of the subsystem this snapshot belongs to
+    /// (`"cluster"`, `"platform"`, `"replication"`, ...). Used as the
+    /// first column of [`report_table`] so several snapshots can share
+    /// one table.
+    fn section(&self) -> &'static str;
+
+    /// The snapshot as `(metric, value)` rows, in stable order.
+    fn report(&self) -> Vec<(&'static str, String)>;
+}
+
+/// Renders any collection of [`StatsReport`] snapshots as one
+/// `section / metric / value` table.
+pub fn report_table(reports: &[&dyn StatsReport]) -> Table {
+    let mut table = Table::new(vec!["section", "metric", "value"]);
+    for report in reports {
+        for (metric, value) in report.report() {
+            table.row(vec![
+                report.section().to_string(),
+                metric.to_string(),
+                value,
+            ]);
+        }
+    }
+    table
+}

@@ -32,8 +32,13 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use servo_faas::AutoscalerConfig;
+use servo_metrics::StatsReport;
 use servo_pcg::{DefaultGenerator, FlatGenerator, TerrainGenerator};
 use servo_redstone::Blueprint;
+use servo_replication::{
+    FanoutStage, FanoutStats, Interest, ReplicationConfig, ReplicationHub, ReplicationStats,
+    SubscriberId,
+};
 use servo_simkit::{SimClock, SimRng};
 use servo_storage::{
     BlobStore, ChunkOutcome, ChunkRequest, ChunkService, PipelinedChunkService, RetryPolicy,
@@ -127,6 +132,74 @@ pub struct ZonePersistenceStats {
     pub chunks_flushed: u64,
     /// Chunks staged into the zone's cache by prefetch arrivals.
     pub prefetch_arrivals: u64,
+}
+
+/// Builder-style description of one zone's persistence attachment,
+/// consumed by [`ShardedGameCluster::bind_persistence`]. Replaces the
+/// free-standing `attach_persistence_with_scaler` constructor.
+///
+/// ```
+/// use servo_server::PersistenceBinding;
+/// use servo_simkit::SimRng;
+/// use servo_storage::{BlobStore, BlobTier};
+///
+/// let rng = SimRng::seed(7);
+/// let binding = PersistenceBinding::new(
+///     BlobStore::new(BlobTier::Standard, rng.substream("blob")),
+///     rng.substream("disk"),
+/// )
+/// .write_back_interval(20);
+/// assert_eq!(binding.write_back_interval, 20);
+/// ```
+#[derive(Debug)]
+pub struct PersistenceBinding {
+    /// The zone's remote blob store.
+    pub remote: BlobStore,
+    /// Randomness for the pipeline's disk latency model.
+    pub rng: SimRng,
+    /// Cluster ticks between write-back passes (clamped to ≥ 1).
+    pub write_back_interval: u64,
+    /// Optional autoscaler for the pipeline's disk-worker pool.
+    pub elastic: Option<AutoscalerConfig>,
+}
+
+impl PersistenceBinding {
+    /// A binding with the default write-back cadence (every 20 cluster
+    /// ticks — one second at 20 Hz) and a static worker pool.
+    pub fn new(remote: BlobStore, rng: SimRng) -> PersistenceBinding {
+        PersistenceBinding {
+            remote,
+            rng,
+            write_back_interval: 20,
+            elastic: None,
+        }
+    }
+
+    /// Sets the cluster ticks between write-back passes.
+    pub fn write_back_interval(mut self, interval: u64) -> PersistenceBinding {
+        self.write_back_interval = interval;
+        self
+    }
+
+    /// Scales the pipeline's disk workers with the submission backlog.
+    pub fn elastic(mut self, scaler: AutoscalerConfig) -> PersistenceBinding {
+        self.elastic = Some(scaler);
+        self
+    }
+}
+
+impl StatsReport for ZonePersistenceStats {
+    fn section(&self) -> &'static str {
+        "persistence"
+    }
+
+    fn report(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("write_back_passes", self.write_back_passes.to_string()),
+            ("chunks_flushed", self.chunks_flushed.to_string()),
+            ("prefetch_arrivals", self.prefetch_arrivals.to_string()),
+        ]
+    }
 }
 
 impl ZonePersistenceStats {
@@ -229,6 +302,39 @@ pub struct ClusterStats {
     /// Block events in border chunks forwarded to neighbouring zones (so
     /// replica terrain and cross-zone construct state observe the edit).
     pub forwarded_border_events: u64,
+    /// Client replication frames pushed onto the bus's bulk lane by the
+    /// fan-out stage. Zero while no replication hub is attached.
+    pub replication_frames: u64,
+}
+
+impl StatsReport for ClusterStats {
+    fn section(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn report(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("ticks", self.ticks.to_string()),
+            (
+                "cross_server_messages",
+                self.cross_server_messages.to_string(),
+            ),
+            ("handoffs", self.handoffs.to_string()),
+            (
+                "border_chunk_updates",
+                self.border_chunk_updates.to_string(),
+            ),
+            ("construct_exchanges", self.construct_exchanges.to_string()),
+            ("batched_bundles", self.batched_bundles.to_string()),
+            ("speculation_handles", self.speculation_handles.to_string()),
+            ("speculative_replays", self.speculative_replays.to_string()),
+            (
+                "forwarded_border_events",
+                self.forwarded_border_events.to_string(),
+            ),
+            ("replication_frames", self.replication_frames.to_string()),
+        ]
+    }
 }
 
 /// Lifetime counters of the dynamic rebalancing machinery — the cost side
@@ -255,6 +361,33 @@ pub struct RebalanceStats {
     /// construct transfers) — a subset of
     /// [`ClusterStats::cross_server_messages`].
     pub migration_messages: u64,
+}
+
+impl StatsReport for RebalanceStats {
+    fn section(&self) -> &'static str {
+        "rebalance"
+    }
+
+    fn report(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("rebalance_events", self.rebalance_events.to_string()),
+            ("shard_migrations", self.shard_migrations.to_string()),
+            ("chunks_transferred", self.chunks_transferred.to_string()),
+            (
+                "constructs_transferred",
+                self.constructs_transferred.to_string(),
+            ),
+            (
+                "construct_migrations",
+                self.construct_migrations.to_string(),
+            ),
+            (
+                "staged_dirty_handed_off",
+                self.staged_dirty_handed_off.to_string(),
+            ),
+            ("migration_messages", self.migration_messages.to_string()),
+        ]
+    }
 }
 
 /// Lifetime counters of the crash-recovery machinery. All zero until a
@@ -286,6 +419,26 @@ pub struct RecoveryStats {
     /// Recovery ticks whose critical path overran the tick budget — the
     /// QoS dip the adoption storm causes.
     pub ticks_over_qos: u64,
+}
+
+impl StatsReport for RecoveryStats {
+    fn section(&self) -> &'static str {
+        "recovery"
+    }
+
+    fn report(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("crashes", self.crashes.to_string()),
+            ("shards_adopted", self.shards_adopted.to_string()),
+            ("constructs_adopted", self.constructs_adopted.to_string()),
+            ("chunks_restored", self.chunks_restored.to_string()),
+            ("chunks_replayed", self.chunks_replayed.to_string()),
+            ("chunks_lost", self.chunks_lost.to_string()),
+            ("recovery_messages", self.recovery_messages.to_string()),
+            ("recovery_ticks", self.recovery_ticks.to_string()),
+            ("ticks_over_qos", self.ticks_over_qos.to_string()),
+        ]
+    }
 }
 
 /// A scripted schedule of zone crashes, for benches and tests that inject
@@ -450,6 +603,21 @@ pub struct ShardedGameCluster {
     /// with no adoption pending (the bounded recovery window
     /// [`RecoveryStats::recovery_ticks`] measures).
     recovering: bool,
+    /// Opt-in client replication (see
+    /// [`ShardedGameCluster::enable_replication`]). `None` leaves every
+    /// observable byte of the tick unchanged.
+    replication: Option<ClusterReplication>,
+}
+
+/// The cluster's replication attachment: the subscription index plus the
+/// fan-out stage, and the switches controlling how they ride the tick.
+struct ClusterReplication {
+    hub: ReplicationHub,
+    fanout: FanoutStage,
+    /// Round-robin flush cohorts (≥ 1).
+    cohorts: u64,
+    /// Border mirroring routes through border subscriptions.
+    border_via_subscription: bool,
 }
 
 impl std::fmt::Debug for ShardedGameCluster {
@@ -513,6 +681,7 @@ impl ShardedGameCluster {
             pending_owner: BTreeMap::new(),
             recovery_stats: RecoveryStats::default(),
             recovering: false,
+            replication: None,
         }
     }
 
@@ -611,19 +780,19 @@ impl ShardedGameCluster {
         rng: SimRng,
         write_back_interval: u64,
     ) {
-        self.attach_persistence_with_scaler(zone, remote, rng, write_back_interval, None);
+        self.bind_persistence(
+            zone,
+            PersistenceBinding::new(remote, rng).write_back_interval(write_back_interval),
+        );
     }
 
-    /// [`Self::attach_persistence`] with an optional autoscaler for the
-    /// pipeline's disk-worker pool: when `elastic` is set, workers scale
-    /// with the submission backlog instead of staying at the zone's static
-    /// parallelism. Elasticity only changes wall-clock throughput — the
-    /// simulated outcomes are identical — so the static default keeps
-    /// committed baselines byte-stable.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `zone` is out of range.
+    /// [`Self::bind_persistence`] with positional arguments.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a `PersistenceBinding` and call `bind_persistence` (or configure \
+                persistence through `ServoDeployment::builder()`); the free-standing \
+                constructor will be removed next release"
+    )]
     pub fn attach_persistence_with_scaler(
         &mut self,
         zone: usize,
@@ -632,6 +801,33 @@ impl ShardedGameCluster {
         write_back_interval: u64,
         elastic: Option<AutoscalerConfig>,
     ) {
+        let mut binding =
+            PersistenceBinding::new(remote, rng).write_back_interval(write_back_interval);
+        if let Some(scaler) = elastic {
+            binding = binding.elastic(scaler);
+        }
+        self.bind_persistence(zone, binding);
+    }
+
+    /// Attaches `zone`'s persistence pipeline from a [`PersistenceBinding`]
+    /// — the builder-style path [`Self::attach_persistence`] and the
+    /// deployment builder both route through. When the binding carries an
+    /// autoscaler, the pipeline's disk workers scale with the submission
+    /// backlog instead of staying at the zone's static parallelism;
+    /// elasticity only changes wall-clock throughput — the simulated
+    /// outcomes are identical — so the static default keeps committed
+    /// baselines byte-stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone` is out of range.
+    pub fn bind_persistence(&mut self, zone: usize, binding: PersistenceBinding) {
+        let PersistenceBinding {
+            remote,
+            rng,
+            write_back_interval,
+            elastic,
+        } = binding;
         let workers = self.servers[zone].config().parallelism.max(1);
         // Bind the world with an EMPTY pull set: the tick thread's
         // `drain_owned_dirty` (step 3a) is the single consumer of the
@@ -778,6 +974,79 @@ impl ShardedGameCluster {
         messages
     }
 
+    /// Routes one zone's drained deltas to the border protocol — through
+    /// the legacy bespoke mirror path, or through the replication hub's
+    /// border subscriptions when
+    /// [`ReplicationConfig::border_via_subscription`] is set — and feeds
+    /// the same deltas to the client subscription index. Exactly one of
+    /// the mirror paths runs; both count messages identically.
+    fn mirror_drained_deltas(
+        &mut self,
+        zone: usize,
+        deltas: &[ShardDelta],
+        endpoints: &mut [u64],
+    ) -> u64 {
+        let mut via_hub = false;
+        if let Some(repl) = self.replication.as_mut() {
+            repl.hub.sync_partition();
+            repl.hub.ingest(deltas);
+            via_hub = repl.border_via_subscription;
+        }
+        if via_hub {
+            self.mirror_via_subscription(zone, deltas, endpoints)
+        } else {
+            self.mirror_border_deltas(zone, deltas, endpoints)
+        }
+    }
+
+    /// The border protocol re-founded on the subscription index: the hub's
+    /// border subscriptions decide who receives each drained chunk (the
+    /// zones whose whole-shard interest covers it — exactly the laterally
+    /// adjacent foreign owners the legacy path derived per chunk), and the
+    /// transport, message accounting, and replica application are
+    /// identical to [`ShardedGameCluster::mirror_border_deltas`].
+    fn mirror_via_subscription(
+        &mut self,
+        zone: usize,
+        deltas: &[ShardDelta],
+        endpoints: &mut [u64],
+    ) -> u64 {
+        let mut messages = 0u64;
+        for delta in deltas {
+            for &pos in &delta.chunks {
+                let neighbors = self
+                    .replication
+                    .as_ref()
+                    .expect("subscription mirroring requires an attached hub")
+                    .hub
+                    .border_zones_covering(pos);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                let chunk = self.servers[zone].world().read_chunk(pos, |c| c.clone());
+                let Some(chunk) = chunk else { continue };
+                for &neighbor in &neighbors {
+                    // Same rule as the legacy path: a dead neighbour's
+                    // replica terrain dies with it.
+                    if self.dead[neighbor] {
+                        continue;
+                    }
+                    self.servers[neighbor].world().insert_chunk(chunk.clone());
+                    messages += 1;
+                    endpoints[zone] += 1;
+                    endpoints[neighbor] += 1;
+                    self.stats.border_chunk_updates += 1;
+                    self.replication
+                        .as_mut()
+                        .expect("checked above")
+                        .hub
+                        .note_border_delivery();
+                }
+            }
+        }
+        messages
+    }
+
     /// Flushes all remaining dirty terrain of every zone through its
     /// persistence pipeline and waits for the passes to complete. Returns
     /// the total number of chunks written (zero when no zone has a
@@ -803,7 +1072,7 @@ impl ShardedGameCluster {
             // runs between ticks).
             let deltas = self.servers[zone].drain_owned_dirty();
             let mut endpoints = vec![0u64; zones];
-            let messages = self.mirror_border_deltas(zone, &deltas, &mut endpoints);
+            let messages = self.mirror_drained_deltas(zone, &deltas, &mut endpoints);
             self.stats.cross_server_messages += messages;
             let persistence = self.persistence[zone].as_mut().expect("checked above");
             persistence.service.stage_dirty(deltas);
@@ -846,6 +1115,62 @@ impl ShardedGameCluster {
     /// Lifetime coordination counters.
     pub fn stats(&self) -> ClusterStats {
         self.stats
+    }
+
+    /// Attaches the replication layer: an area-of-interest subscription
+    /// index over the cluster's partition plus an autoscaled fan-out
+    /// stage. When [`ReplicationConfig::border_via_subscription`] is set,
+    /// every zone is additionally registered as a border subscriber and
+    /// the tick's border mirroring routes through the index —
+    /// message-for-message identical to the legacy mirror path. Without a
+    /// hub attached the tick is byte-identical to the previous cluster.
+    pub fn enable_replication(&mut self, config: ReplicationConfig) {
+        let mut hub = ReplicationHub::with_config(Arc::clone(&self.map), config.hub);
+        if config.border_via_subscription {
+            for zone in 0..self.servers.len() {
+                hub.subscribe_border(zone);
+            }
+        }
+        self.replication = Some(ClusterReplication {
+            hub,
+            fanout: FanoutStage::new(config.fanout),
+            cohorts: config.cohorts.max(1),
+            border_via_subscription: config.border_via_subscription,
+        });
+    }
+
+    /// Registers a simulated client with the given area of interest.
+    /// Returns `None` when no replication hub is attached.
+    pub fn subscribe_client(&mut self, interest: Interest) -> Option<SubscriberId> {
+        self.replication
+            .as_mut()
+            .map(|repl| repl.hub.subscribe(interest))
+    }
+
+    /// Moves a client subscriber's interest centre (re-resolving its
+    /// subscription). No-op without a hub.
+    pub fn retarget_client(&mut self, id: SubscriberId, center: ChunkPos) {
+        if let Some(repl) = self.replication.as_mut() {
+            repl.hub.retarget(id, center);
+        }
+    }
+
+    /// Removes a client subscriber. No-op without a hub.
+    pub fn unsubscribe_client(&mut self, id: SubscriberId) {
+        if let Some(repl) = self.replication.as_mut() {
+            repl.hub.unsubscribe(id);
+        }
+    }
+
+    /// Counters of the subscription index and encoder, when replication is
+    /// attached.
+    pub fn replication_stats(&self) -> Option<ReplicationStats> {
+        self.replication.as_ref().map(|repl| repl.hub.stats())
+    }
+
+    /// Counters of the fan-out stage, when replication is attached.
+    pub fn fanout_stats(&self) -> Option<FanoutStats> {
+        self.replication.as_ref().map(|repl| repl.fanout.stats())
     }
 
     /// The member servers' counters summed over all zones.
@@ -1675,11 +2000,21 @@ impl ShardedGameCluster {
         });
 
         // 1a. Player handoffs: two messages per crossing avatar (session
-        //     state transfer plus acknowledgement).
+        //     state transfer plus acknowledgement). With a replication hub
+        //     attached, the crossing is also an avatar event for the
+        //     clients watching the destination chunk (piggybacked on their
+        //     next frame, step 3d).
+        let mut client_events: Vec<(ChunkPos, u32)> = Vec::new();
+        let collect_events = self.replication.is_some();
         for handoff in &assignment.handoffs {
             messages += 2;
             endpoints[handoff.from] += 2;
             endpoints[handoff.to] += 2;
+            if collect_events {
+                if let Some(&pos) = positions.get(handoff.player.raw() as usize) {
+                    client_events.push((ChunkPos::from(pos), 1));
+                }
+            }
         }
         self.stats.handoffs += assignment.handoffs.len() as u64;
 
@@ -1746,7 +2081,7 @@ impl ShardedGameCluster {
                     }
                 }
             }
-            messages += self.mirror_border_deltas(zone, &deltas, &mut endpoints);
+            messages += self.mirror_drained_deltas(zone, &deltas, &mut endpoints);
             if let Some(persistence) = self.persistence[zone].as_mut() {
                 persistence.service.stage_dirty(deltas);
             }
@@ -1788,6 +2123,11 @@ impl ShardedGameCluster {
                     continue;
                 }
                 self.stats.construct_exchanges += 1;
+                if collect_events {
+                    if let Some(&block) = self.registry[index].blocks.first() {
+                        client_events.push((ChunkPos::from(block), 1));
+                    }
+                }
                 match self.border_exchange {
                     BorderExchange::PerConstruct => {
                         messages += 2;
@@ -1874,13 +2214,57 @@ impl ShardedGameCluster {
             }
         }
 
+        // 3d. Client replication (opt-in): flush the due cohort of area
+        //     subscribers into epoch-keyed frames (keyframes priced from
+        //     the owning zone's real chunk snapshots) and charge the
+        //     fan-out through the autoscaled worker pool to each owning
+        //     zone's tick, so replication load shows up in QoS like
+        //     simulation work. Frames ride the bus's bulk lane: they count
+        //     as cross-server messages, but their tick cost is the pool's
+        //     amortised share, not the coordination round-trip rate. With
+        //     no hub attached every byte below is zero.
+        let mut replication_ms = vec![0.0f64; zones];
+        if let Some(repl) = self.replication.as_mut() {
+            if !client_events.is_empty() {
+                repl.hub.ingest_events(&client_events);
+            }
+            let map = &self.map;
+            let servers = &self.servers;
+            let dead = &self.dead;
+            let pending = &self.pending_owner;
+            let zone_of = |pos: ChunkPos| {
+                let shard = shard_index(pos, map.shard_count());
+                pending
+                    .get(&shard)
+                    .copied()
+                    .unwrap_or_else(|| map.zone_of_shard(shard))
+            };
+            let frames = repl.hub.flush(repl.cohorts, |pos| {
+                let zone = zone_of(pos);
+                if dead[zone] {
+                    return None;
+                }
+                servers[zone]
+                    .world()
+                    .read_chunk(pos, |c| c.serialized_size() as u64)
+            });
+            if !frames.is_empty() {
+                replication_ms = repl
+                    .fanout
+                    .charge(self.clock.now(), zones, &frames, zone_of);
+                messages += frames.len() as u64;
+                self.stats.replication_frames += frames.len() as u64;
+            }
+        }
+
         // 4. Critical path: the cluster is as slow as its slowest member,
         //    simulation plus the coordination charged to it.
         let mut critical = SimDuration::ZERO;
         let mut breakdown = Vec::with_capacity(zones);
         for zone in 0..zones {
-            let coordination =
-                SimDuration::from_millis_f64(endpoints[zone] as f64 * self.costs.message_cost_ms);
+            let coordination = SimDuration::from_millis_f64(
+                endpoints[zone] as f64 * self.costs.message_cost_ms + replication_ms[zone],
+            );
             critical = critical.max(reports[zone].duration + coordination);
             breakdown.push(ZoneTickBreakdown {
                 zone,

@@ -16,6 +16,7 @@
 //! | [`faas`] | `servo-faas` | FaaS platform simulator and billing |
 //! | [`storage`] | `servo-storage` | local/blob storage models, cache + pre-fetch |
 //! | [`workload`] | `servo-workload` | player behaviours and fleets |
+//! | [`replication`] | `servo-replication` | interest-managed delta broadcast to clients |
 //! | [`server`] | `servo-server` | the MVE game loop and the baseline systems |
 //! | [`core`] | `servo-core` | Servo itself: speculative offloading, serverless generation, remote storage |
 //!
@@ -47,6 +48,7 @@ pub use servo_faas as faas;
 pub use servo_metrics as metrics;
 pub use servo_pcg as pcg;
 pub use servo_redstone as redstone;
+pub use servo_replication as replication;
 pub use servo_server as server;
 pub use servo_simkit as simkit;
 pub use servo_storage as storage;
